@@ -1,0 +1,301 @@
+(* The benchmark harness.
+
+   Two parts, mirroring the paper's evaluation (Section 6):
+
+   1. Table/figure regeneration: runs the experiment drivers over the
+      synthetic corpus and prints one block per paper table/figure
+      (Tables 1-7 and Figure 8).  `--scale` controls the corpus size
+      (default 0.02; the paper's full 6615 superblocks is 1.0 — see
+      `sbsched experiments --full`).
+
+   2. Bechamel micro-benchmarks: one Test group per paper table, timing
+      that table's computational kernel (bound algorithms, heuristics,
+      ablation variants) on a fixed mid-size superblock, so the cost
+      ratios of Tables 2 and 6 can be checked against wall clock.
+
+   Run with:  dune exec bench/main.exe [-- --scale 0.02 | --tables-only |
+              --timing-only] *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Fixed inputs for the micro-benchmarks                               *)
+(* ------------------------------------------------------------------ *)
+
+let bench_machine = Sb_machine.Config.fs4
+
+(* One mid-size superblock (gcc profile) for the kernels. *)
+let bench_sb =
+  let profile =
+    { (Option.get (Sb_workload.Spec_model.by_name "gcc")).Sb_workload.Spec_model.profile
+      with Sb_workload.Generator.max_ops = 80 }
+  in
+  List.nth (Sb_workload.Generator.generate_many ~seed:0xBE9CL profile 12) 7
+
+(* A handful of small superblocks for the corpus-flavoured kernels. *)
+let bench_slice =
+  (Sb_workload.Corpus.program ~count:6 "compress").Sb_workload.Corpus.superblocks
+
+let bench_bounds =
+  Sb_bounds.Superblock_bound.all_bounds ~with_tw:false bench_machine bench_sb
+
+let no_profile_weights sb =
+  let nb = Sb_ir.Superblock.n_branches sb in
+  let total = 1000. +. float_of_int (nb - 1) in
+  Array.init nb (fun k -> if k = nb - 1 then 1000. /. total else 1. /. total)
+
+let stage = Staged.stage
+
+let table1_tests =
+  Test.make_grouped ~name:"table1(bounds)"
+    [
+      Test.make ~name:"all-bounds"
+        (stage (fun () ->
+             ignore
+               (Sb_bounds.Superblock_bound.all_bounds ~with_tw:false
+                  bench_machine bench_sb)));
+      Test.make ~name:"tightest-on-slice"
+        (stage (fun () ->
+             List.iter
+               (fun sb ->
+                 ignore (Sb_bounds.Superblock_bound.tightest bench_machine sb))
+               bench_slice));
+    ]
+
+let table2_tests =
+  Test.make_grouped ~name:"table2(bound-cost)"
+    [
+      Test.make ~name:"cp"
+        (stage (fun () ->
+             ignore (Sb_bounds.Dep_bounds.cp_bound_per_branch bench_sb)));
+      Test.make ~name:"hu"
+        (stage (fun () ->
+             Array.iter
+               (fun b ->
+                 ignore (Sb_bounds.Hu.branch_bound bench_machine bench_sb ~root:b))
+               bench_sb.Sb_ir.Superblock.branches));
+      Test.make ~name:"rj"
+        (stage (fun () ->
+             Array.iter
+               (fun b ->
+                 ignore
+                   (Sb_bounds.Rim_jain.branch_bound bench_machine bench_sb ~root:b))
+               bench_sb.Sb_ir.Superblock.branches));
+      Test.make ~name:"lc"
+        (stage (fun () ->
+             ignore (Sb_bounds.Langevin_cerny.early_rc bench_machine bench_sb)));
+      Test.make ~name:"lc-original"
+        (stage (fun () ->
+             ignore
+               (Sb_bounds.Langevin_cerny.early_rc ~use_theorem1:false
+                  bench_machine bench_sb)));
+      Test.make ~name:"lc-reverse"
+        (stage (fun () ->
+             Array.iter
+               (fun b ->
+                 ignore
+                   (Sb_bounds.Langevin_cerny.reverse_early_rc bench_machine
+                      bench_sb ~root:b))
+               bench_sb.Sb_ir.Superblock.branches));
+      Test.make ~name:"pairwise"
+        (stage (fun () ->
+             let erc = Sb_bounds.Langevin_cerny.early_rc bench_machine bench_sb in
+             ignore (Sb_bounds.Pairwise.compute bench_machine bench_sb ~early_rc:erc)));
+      Test.make ~name:"triplewise"
+        (stage (fun () ->
+             let erc = Sb_bounds.Langevin_cerny.early_rc bench_machine bench_sb in
+             let pw =
+               Sb_bounds.Pairwise.compute bench_machine bench_sb ~early_rc:erc
+             in
+             ignore (Sb_bounds.Triplewise.superblock_bound pw)));
+    ]
+
+let heuristic_test (h : Sb_sched.Registry.heuristic) =
+  Test.make ~name:h.name
+    (stage (fun () -> ignore (h.run bench_machine bench_sb)))
+
+let table3_tests =
+  Test.make_grouped ~name:"table3(heuristics)"
+    (List.map heuristic_test Sb_sched.Registry.primaries)
+
+let table4_tests =
+  Test.make_grouped ~name:"table4(optimality-check)"
+    [
+      Test.make ~name:"balance-vs-bound"
+        (stage (fun () ->
+             let s =
+               Sb_sched.Balance.schedule ~precomputed:bench_bounds bench_machine
+                 bench_sb
+             in
+             ignore
+               (Sb_sched.Schedule.weighted_completion_time s
+               <= bench_bounds.Sb_bounds.Superblock_bound.tightest +. 1e-6)));
+      Test.make ~name:"best-127"
+        (stage (fun () ->
+             ignore
+               (Sb_sched.Best.schedule ~precomputed:bench_bounds bench_machine
+                  bench_sb)));
+    ]
+
+let table5_tests =
+  Test.make_grouped ~name:"table5(no-profile)"
+    [
+      Test.make ~name:"reweight+balance"
+        (stage (fun () ->
+             let blind =
+               Sb_ir.Superblock.with_weights bench_sb
+                 (no_profile_weights bench_sb)
+             in
+             ignore (Sb_sched.Balance.schedule bench_machine blind)));
+    ]
+
+let table6_tests =
+  Test.make_grouped ~name:"table6(engine-cost)"
+    [
+      Test.make ~name:"balance-per-op"
+        (stage (fun () ->
+             ignore
+               (Sb_sched.Balance.schedule ~precomputed:bench_bounds bench_machine
+                  bench_sb)));
+      Test.make ~name:"balance-light"
+        (stage (fun () ->
+             ignore
+               (Sb_sched.Balance.schedule
+                  ~options:
+                    {
+                      Sb_sched.Balance.default_options with
+                      update = Sb_sched.Balance.Light;
+                    }
+                  ~precomputed:bench_bounds bench_machine bench_sb)));
+      Test.make ~name:"balance-per-cycle"
+        (stage (fun () ->
+             ignore
+               (Sb_sched.Balance.schedule
+                  ~options:
+                    {
+                      Sb_sched.Balance.default_options with
+                      update = Sb_sched.Balance.Per_cycle;
+                    }
+                  ~precomputed:bench_bounds bench_machine bench_sb)));
+      Test.make ~name:"help"
+        (stage (fun () -> ignore (Sb_sched.Help.schedule bench_machine bench_sb)));
+      Test.make ~name:"dhasy"
+        (stage (fun () -> ignore (Sb_sched.Dhasy.schedule bench_machine bench_sb)));
+    ]
+
+let table7_tests =
+  let variant name options =
+    Test.make ~name
+      (stage (fun () ->
+           ignore
+             (Sb_sched.Balance.schedule ~options ~precomputed:bench_bounds
+                bench_machine bench_sb)))
+  in
+  let opts bounds hlpdel tradeoff =
+    {
+      Sb_sched.Balance.use_bounds = bounds;
+      use_hlpdel = hlpdel;
+      use_tradeoff = tradeoff;
+      update = Sb_sched.Balance.Full;
+    }
+  in
+  Test.make_grouped ~name:"table7(ablation)"
+    [
+      variant "help-core" (opts false false false);
+      variant "hlpdel" (opts false true false);
+      variant "bounds" (opts true false false);
+      variant "hlpdel+bounds" (opts true true false);
+      variant "full-balance" (opts true true true);
+    ]
+
+let figure8_tests =
+  Test.make_grouped ~name:"figure8(cdf)"
+    [
+      Test.make ~name:"slice-extra-cycles"
+        (stage (fun () ->
+             List.iter
+               (fun sb ->
+                 let bound = Sb_bounds.Superblock_bound.tightest bench_machine sb in
+                 let s = Sb_sched.Balance.schedule bench_machine sb in
+                 ignore
+                   (Sb_sched.Schedule.weighted_completion_time s -. bound))
+               bench_slice));
+    ]
+
+let all_tests =
+  [
+    table1_tests;
+    table2_tests;
+    table3_tests;
+    table4_tests;
+    table5_tests;
+    table6_tests;
+    table7_tests;
+    figure8_tests;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Runner                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let run_timing () =
+  print_endline "== Bechamel micro-benchmarks (OLS estimate per run) ==";
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  List.iter
+    (fun tests ->
+      let raw = Benchmark.all cfg instances tests in
+      let results = Analyze.all ols (List.hd instances) raw in
+      let rows = Hashtbl.fold (fun name o acc -> (name, o) :: acc) results [] in
+      List.iter
+        (fun (name, o) ->
+          let est =
+            match Analyze.OLS.estimates o with
+            | Some (e :: _) ->
+                if e > 1e6 then Printf.sprintf "%10.2f ms/run" (e /. 1e6)
+                else if e > 1e3 then Printf.sprintf "%10.2f us/run" (e /. 1e3)
+                else Printf.sprintf "%10.0f ns/run" e
+            | _ -> "        n/a"
+          in
+          Printf.printf "  %-42s %s\n%!" name est)
+        (List.sort compare rows))
+    all_tests
+
+let run_tables scale =
+  Printf.printf
+    "== Paper tables and figures (synthetic corpus, scale %.3f) ==\n%!" scale;
+  let setup = Sb_eval.Experiments.default_setup ~scale () in
+  let prepared = Sb_eval.Experiments.prepare setup in
+  List.iter
+    (fun (name, t) ->
+      Printf.printf "-- %s --\n%s\n%!" name (Sb_eval.Table.render t))
+    (Sb_eval.Experiments.run_all prepared)
+
+let () =
+  let scale = ref 0.02 in
+  let tables = ref true and timing = ref true in
+  let rec parse = function
+    | [] -> ()
+    | "--scale" :: v :: rest ->
+        scale := float_of_string v;
+        parse rest
+    | "--tables-only" :: rest ->
+        timing := false;
+        parse rest
+    | "--timing-only" :: rest ->
+        tables := false;
+        parse rest
+    | arg :: _ ->
+        Printf.eprintf
+          "unknown argument %S (expected --scale S, --tables-only, \
+           --timing-only)\n"
+          arg;
+        exit 1
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !tables then run_tables !scale;
+  if !timing then run_timing ()

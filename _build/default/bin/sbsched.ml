@@ -1,0 +1,380 @@
+(* sbsched: command-line front end.
+
+   Subcommands:
+     schedule     schedule superblocks from a file (or generated) and print
+                  the schedules
+     bounds       print every lower bound for each superblock
+     corpus       generate the synthetic corpus (stats or dump to a file)
+     experiments  regenerate the paper's tables and figures *)
+
+open Cmdliner
+
+let machine_conv =
+  let parse s =
+    match Sb_machine.Config.by_name s with
+    | Some c -> Ok c
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown machine %S (try GP1 GP2 GP4 FS4 FS6 FS8)" s))
+  in
+  let print ppf (c : Sb_machine.Config.t) =
+    Format.pp_print_string ppf c.Sb_machine.Config.name
+  in
+  Arg.conv (parse, print)
+
+let machine_arg =
+  Arg.(
+    value
+    & opt machine_conv Sb_machine.Config.fs4
+    & info [ "m"; "machine" ] ~docv:"MACHINE"
+        ~doc:"Machine configuration: GP1, GP2, GP4, FS4, FS6 or FS8.")
+
+let load_superblocks file generate count =
+  match (file, generate) with
+  | Some path, _ -> begin
+      match Sb_ir.Serde.load_file path with
+      | Ok sbs -> sbs
+      | Error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          exit 1
+    end
+  | None, Some program -> begin
+      try (Sb_workload.Corpus.program ~count program).superblocks
+      with Invalid_argument msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 1
+    end
+  | None, None ->
+      Printf.eprintf "error: give a FILE or --generate PROGRAM\n";
+      exit 1
+
+let file_arg =
+  Arg.(
+    value
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"Superblock file (see Sb_ir.Serde format).")
+
+let generate_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "g"; "generate" ] ~docv:"PROGRAM"
+        ~doc:"Generate superblocks from a synthetic program profile (e.g. gcc).")
+
+let count_arg =
+  Arg.(
+    value & opt int 5
+    & info [ "n"; "count" ] ~docv:"N" ~doc:"Superblocks to generate.")
+
+let blocking_arg =
+  Arg.(
+    value & flag
+    & info [ "blocking" ]
+        ~doc:
+          "Model a partially pipelined machine (blocking fdiv/fmul) by \
+           expanding operations with Rim & Jain stage chains.")
+
+let maybe_expand blocking sbs =
+  if not blocking then sbs
+  else
+    List.map
+      (fun sb ->
+        fst (Sb_ir.Pipeline.expand ~occupancy:Sb_ir.Pipeline.classic_occupancy sb))
+      sbs
+
+(* ----------------------------- schedule ---------------------------- *)
+
+let schedule_cmd =
+  let heuristic_arg =
+    Arg.(
+      value & opt string "balance"
+      & info [ "H"; "heuristic" ] ~docv:"NAME"
+          ~doc:"One of: sr, cp, gstar, dhasy, help, balance, best.")
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print full schedules.")
+  in
+  let dot_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE"
+          ~doc:
+            "Write the first superblock's dependence graph (with issue \
+             cycles) as Graphviz DOT to FILE.")
+  in
+  let run machine heuristic verbose blocking dot file generate count =
+    match Sb_sched.Registry.by_name heuristic with
+    | None ->
+        Printf.eprintf "error: unknown heuristic %S\n" heuristic;
+        exit 1
+    | Some h ->
+        let sbs = maybe_expand blocking (load_superblocks file generate count) in
+        List.iter
+          (fun sb ->
+            let s = h.Sb_sched.Registry.run machine sb in
+            let bound = Sb_bounds.Superblock_bound.tightest machine sb in
+            let wct = Sb_sched.Schedule.weighted_completion_time s in
+            Printf.printf "%-24s %s  wct=%.3f  bound=%.3f%s\n"
+              sb.Sb_ir.Superblock.name
+              machine.Sb_machine.Config.name wct bound
+              (if wct <= bound +. 1e-6 then "  (optimal)" else "");
+            if verbose then Format.printf "%a@." Sb_sched.Schedule.pp s)
+          sbs;
+        (match (dot, sbs) with
+        | Some path, sb :: _ ->
+            let s = h.Sb_sched.Registry.run machine sb in
+            Sb_ir.Dot.save path
+              (Sb_ir.Dot.superblock ~issue:s.Sb_sched.Schedule.issue sb);
+            Printf.printf "wrote %s\n" path
+        | _ -> ())
+  in
+  Cmd.v
+    (Cmd.info "schedule" ~doc:"Schedule superblocks and report WCT vs bound")
+    Term.(
+      const run $ machine_arg $ heuristic_arg $ verbose_arg $ blocking_arg
+      $ dot_arg $ file_arg $ generate_arg $ count_arg)
+
+(* ------------------------------ bounds ----------------------------- *)
+
+let bounds_cmd =
+  let run machine blocking file generate count =
+    let sbs = maybe_expand blocking (load_superblocks file generate count) in
+    Printf.printf "%-24s %8s %8s %8s %8s %8s %8s %9s\n" "superblock" "CP" "Hu"
+      "RJ" "LC" "PW" "TW" "tightest";
+    List.iter
+      (fun sb ->
+        let b = Sb_bounds.Superblock_bound.all_bounds machine sb in
+        Printf.printf "%-24s %8.3f %8.3f %8.3f %8.3f %8.3f %8s %9.3f\n"
+          sb.Sb_ir.Superblock.name b.cp b.hu b.rj b.lc b.pw
+          (match b.tw with Some v -> Printf.sprintf "%.3f" v | None -> "-")
+          b.tightest)
+      sbs
+  in
+  Cmd.v
+    (Cmd.info "bounds" ~doc:"Print every superblock lower bound")
+    Term.(
+      const run $ machine_arg $ blocking_arg $ file_arg $ generate_arg
+      $ count_arg)
+
+(* ------------------------------ corpus ----------------------------- *)
+
+let corpus_cmd =
+  let scale_arg =
+    Arg.(
+      value & opt float 0.05
+      & info [ "s"; "scale" ] ~docv:"S"
+          ~doc:"Corpus scale; 1.0 reproduces the paper's 6615 superblocks.")
+  in
+  let dump_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "dump" ] ~docv:"FILE" ~doc:"Write the corpus to FILE.")
+  in
+  let run scale dump =
+    let corpus = Sb_workload.Corpus.generate ~scale () in
+    print_string (Sb_workload.Corpus.stats corpus);
+    match dump with
+    | Some path ->
+        Sb_ir.Serde.save_file path (Sb_workload.Corpus.all_superblocks corpus);
+        Printf.printf "wrote %s\n" path
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "corpus" ~doc:"Generate the synthetic SPECint95-like corpus")
+    Term.(const run $ scale_arg $ dump_arg)
+
+(* ----------------------------- simulate ----------------------------- *)
+
+let simulate_cmd =
+  let heuristic_arg =
+    Arg.(
+      value & opt string "balance"
+      & info [ "H"; "heuristic" ] ~docv:"NAME"
+          ~doc:"Heuristic whose schedule is executed.")
+  in
+  let runs_arg =
+    Arg.(
+      value & opt int 10_000
+      & info [ "r"; "runs" ] ~docv:"N" ~doc:"Monte-Carlo executions.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 51966
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Simulation seed.")
+  in
+  let run machine heuristic runs seed file generate count =
+    match Sb_sched.Registry.by_name heuristic with
+    | None ->
+        Printf.eprintf "error: unknown heuristic %S\n" heuristic;
+        exit 1
+    | Some h ->
+        let sbs = load_superblocks file generate count in
+        List.iter
+          (fun sb ->
+            let s = h.Sb_sched.Registry.run machine sb in
+            let wct = Sb_sched.Schedule.weighted_completion_time s in
+            let executions =
+              Sb_sim.Simulator.sample ~runs ~seed:(Int64.of_int seed) s
+            in
+            let stats = Sb_sim.Simulator.stats_of s executions in
+            Printf.printf
+              "%-24s analytic=%.3f simulated=%.3f wasted=%.1f ops/run exits=[%s]\n"
+              sb.Sb_ir.Superblock.name wct stats.Sb_sim.Simulator.mean_cycles
+              stats.Sb_sim.Simulator.mean_wasted
+              (String.concat ","
+                 (Array.to_list
+                    (Array.map
+                       (fun c ->
+                         Printf.sprintf "%.1f%%"
+                           (100. *. float_of_int c /. float_of_int runs))
+                       stats.Sb_sim.Simulator.exit_counts))))
+          sbs
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Monte-Carlo execute schedules and compare with the analytic WCT")
+    Term.(
+      const run $ machine_arg $ heuristic_arg $ runs_arg $ seed_arg $ file_arg
+      $ generate_arg $ count_arg)
+
+(* ------------------------------- form ------------------------------- *)
+
+let form_cmd =
+  let cfg_file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"CFG" ~doc:"Control-flow graph file (see Sb_cfg.Parse).")
+  in
+  let dump_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "dump" ] ~docv:"FILE"
+          ~doc:"Write the formed superblocks to FILE (Sb_ir.Serde format).")
+  in
+  let threshold_arg =
+    Arg.(
+      value & opt float 0.55
+      & info [ "t"; "threshold" ] ~docv:"P"
+          ~doc:"Minimum edge probability followed by trace growth.")
+  in
+  let run machine cfg_file dump threshold =
+    match Sb_cfg.Parse.load_file cfg_file with
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 1
+    | Ok cfg ->
+        let traces = Sb_cfg.Trace.form ~threshold cfg in
+        List.iter (fun t -> Format.printf "%a@." Sb_cfg.Trace.pp t) traces;
+        let sbs = List.map (Sb_cfg.Lower.lower cfg) traces in
+        List.iter
+          (fun sb ->
+            let bound = Sb_bounds.Superblock_bound.tightest machine sb in
+            let s = Sb_sched.Balance.schedule machine sb in
+            Printf.printf "%-24s freq=%-8.2f wct=%.3f bound=%.3f%s\n"
+              sb.Sb_ir.Superblock.name sb.Sb_ir.Superblock.freq
+              (Sb_sched.Schedule.weighted_completion_time s)
+              bound
+              (if
+                 Sb_sched.Schedule.weighted_completion_time s
+                 <= bound +. 1e-6
+               then "  (optimal)"
+               else ""))
+          sbs;
+        match dump with
+        | Some path ->
+            Sb_ir.Serde.save_file path sbs;
+            Printf.printf "wrote %s\n" path
+        | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "form"
+       ~doc:"Form superblocks from a control-flow graph and schedule them")
+    Term.(const run $ machine_arg $ cfg_file_arg $ dump_arg $ threshold_arg)
+
+(* ---------------------------- experiments --------------------------- *)
+
+let experiments_cmd =
+  let scale_arg =
+    Arg.(
+      value & opt float 0.03
+      & info [ "s"; "scale" ] ~docv:"S" ~doc:"Corpus scale for the experiments.")
+  in
+  let full_arg =
+    Arg.(
+      value & flag
+      & info [ "full" ]
+          ~doc:"Paper-scale run (scale 1.0; takes a long time).")
+  in
+  let id_arg =
+    Arg.(
+      value & opt string "all"
+      & info [ "i"; "id" ] ~docv:"ID"
+          ~doc:"table1..table7, figure8, or all.")
+  in
+  let csv_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"DIR"
+          ~doc:"Also write each selected table as DIR/<id>.csv.")
+  in
+  let via_cfg_arg =
+    Arg.(
+      value & flag
+      & info [ "via-cfg" ]
+          ~doc:
+            "Use superblocks formed through the CFG pipeline instead of \
+             the direct generator (robustness check).")
+  in
+  let run scale full via_cfg id csv =
+    let scale = if full then 1.0 else scale in
+    let corpus_kind =
+      if via_cfg then Sb_eval.Experiments.Via_cfg
+      else Sb_eval.Experiments.Synthetic
+    in
+    let setup = Sb_eval.Experiments.default_setup ~scale ~corpus_kind () in
+    let p = Sb_eval.Experiments.prepare setup in
+    let all = Sb_eval.Experiments.run_all p in
+    let selected =
+      if id = "all" then all
+      else
+        match List.assoc_opt id all with
+        | Some t -> [ (id, t) ]
+        | None ->
+            Printf.eprintf "error: unknown experiment %S\n" id;
+            exit 1
+    in
+    List.iter
+      (fun (name, t) ->
+        Printf.printf "== %s ==\n%s\n" name (Sb_eval.Table.render t);
+        match csv with
+        | Some dir ->
+            if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+            let path = Filename.concat dir (name ^ ".csv") in
+            let oc = open_out path in
+            output_string oc (Sb_eval.Table.to_csv t);
+            close_out oc
+        | None -> ())
+      selected
+  in
+  Cmd.v
+    (Cmd.info "experiments" ~doc:"Regenerate the paper's tables and figures")
+    Term.(const run $ scale_arg $ full_arg $ via_cfg_arg $ id_arg $ csv_arg)
+
+let () =
+  let info =
+    Cmd.info "sbsched" ~version:"1.0.0"
+      ~doc:"Superblock scheduling: Balance heuristic and superblock bounds"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            schedule_cmd; bounds_cmd; simulate_cmd; corpus_cmd; form_cmd;
+            experiments_cmd;
+          ]))

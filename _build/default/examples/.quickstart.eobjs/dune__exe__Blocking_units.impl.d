@@ -1,0 +1,1 @@
+examples/blocking_units.ml: Array Balance Bounds Format Ir Machine Sched

@@ -1,0 +1,1 @@
+examples/blocking_units.mli:

@@ -1,0 +1,1 @@
+examples/cfg_formation.ml: Balance Bounds Cfg Format Ir List Machine Sched

@@ -1,0 +1,1 @@
+examples/cfg_formation.mli:

@@ -1,0 +1,1 @@
+examples/machine_sweep.ml: Array Balance Bounds Format List Machine Sched Sys Workload

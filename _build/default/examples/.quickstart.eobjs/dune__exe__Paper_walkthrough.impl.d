@@ -1,0 +1,1 @@
+examples/paper_walkthrough.ml: Array Balance Bounds Format Ir List Machine Printf Sched String

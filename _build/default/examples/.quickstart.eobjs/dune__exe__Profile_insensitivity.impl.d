@@ -1,0 +1,1 @@
+examples/profile_insensitivity.ml: Array Balance Format Ir List Machine Sched Workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Balance Bounds Format Ir Machine Sched

@@ -1,0 +1,1 @@
+examples/simulate.ml: Array Balance Format Ir List Machine Sched Sim Workload

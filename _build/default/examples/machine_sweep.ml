@@ -1,0 +1,58 @@
+(* Sweep the six machine configurations over a slice of the synthetic
+   corpus and compare every heuristic against the tightest lower bound —
+   a miniature version of the paper's Table 3/4 experiment, runnable in
+   seconds.
+
+   Run with:  dune exec examples/machine_sweep.exe [-- <superblocks-per-program>] *)
+
+open Balance
+
+let () =
+  let count =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 8
+  in
+  let corpus =
+    List.concat_map
+      (fun program ->
+        (Workload.Corpus.program ~count program).Workload.Corpus.superblocks)
+      [ "gcc"; "compress"; "perl"; "go" ]
+  in
+  Format.printf "evaluating %d superblocks on %d machines...@.@."
+    (List.length corpus)
+    (List.length Machine.Config.all);
+  Format.printf "%-6s %9s" "config" "bound";
+  List.iter
+    (fun (h : Sched.Registry.heuristic) -> Format.printf " %9s" h.short)
+    Sched.Registry.all;
+  Format.printf "   (total weighted completion time; lower is better)@.";
+  List.iter
+    (fun machine ->
+      let bounds =
+        List.map (fun sb -> Bounds.Superblock_bound.all_bounds machine sb) corpus
+      in
+      let bound_total =
+        List.fold_left (fun acc (b : Bounds.Superblock_bound.all) -> acc +. b.tightest) 0. bounds
+      in
+      Format.printf "%-6s %9.1f" machine.Machine.Config.name bound_total;
+      List.iter
+        (fun (h : Sched.Registry.heuristic) ->
+          let total =
+            List.fold_left2
+              (fun acc sb (b : Bounds.Superblock_bound.all) ->
+                let s =
+                  match h.name with
+                  | "balance" -> Sched.Balance.schedule ~precomputed:b machine sb
+                  | "best" -> Sched.Best.schedule ~precomputed:b machine sb
+                  | _ -> h.run machine sb
+                in
+                acc +. Sched.Schedule.weighted_completion_time s)
+              0. corpus bounds
+          in
+          Format.printf " %9.1f" total)
+        Sched.Registry.all;
+      Format.printf "@.")
+    Machine.Config.all;
+  Format.printf
+    "@.Expected shape (the paper's): SR strong on GP1, CP catches up as \
+     the machine widens, Balance best of the primaries everywhere, Best \
+     at or below Balance.@."

@@ -1,0 +1,1 @@
+lib/bounds/dep_bounds.ml: Array Dep_graph Sb_ir Superblock Work

@@ -1,0 +1,1 @@
+lib/bounds/dep_bounds.mli: Sb_ir

@@ -1,0 +1,1 @@
+lib/bounds/hu.ml: Array Bitset Config Dep_graph List Operation Sb_ir Sb_machine Superblock Work

@@ -1,0 +1,1 @@
+lib/bounds/hu.mli: Sb_ir Sb_machine

@@ -1,0 +1,1 @@
+lib/bounds/kwise.ml: Array Float Hashtbl List Operation Pairwise Rim_jain Sb_ir Superblock

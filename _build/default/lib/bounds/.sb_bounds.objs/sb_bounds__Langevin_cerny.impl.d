@@ -1,0 +1,1 @@
+lib/bounds/langevin_cerny.ml: Array Bitset Dep_graph List Operation Rim_jain Sb_ir Superblock Work

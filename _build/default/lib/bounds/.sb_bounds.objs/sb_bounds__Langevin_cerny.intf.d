@@ -1,0 +1,1 @@
+lib/bounds/langevin_cerny.mli: Sb_ir Sb_machine

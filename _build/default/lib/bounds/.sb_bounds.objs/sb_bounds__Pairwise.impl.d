@@ -1,0 +1,1 @@
+lib/bounds/pairwise.ml: Array Bitset Config Dep_graph Langevin_cerny Operation Rim_jain Sb_ir Sb_machine Superblock

@@ -1,0 +1,1 @@
+lib/bounds/pairwise.mli: Sb_ir Sb_machine

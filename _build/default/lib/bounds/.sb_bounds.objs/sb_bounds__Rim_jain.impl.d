@@ -1,0 +1,1 @@
+lib/bounds/rim_jain.ml: Array Bitset Config Dep_graph Operation Sb_ir Sb_machine Superblock Work

@@ -1,0 +1,1 @@
+lib/bounds/rim_jain.mli: Sb_ir Sb_machine

@@ -1,0 +1,1 @@
+lib/bounds/superblock_bound.ml: Array Dep_bounds Hu Langevin_cerny List Pairwise Rim_jain Sb_ir Superblock Triplewise

@@ -1,0 +1,1 @@
+lib/bounds/superblock_bound.mli: Pairwise Sb_ir Sb_machine

@@ -1,0 +1,1 @@
+lib/bounds/triplewise.ml: Array Operation Pairwise Rim_jain Sb_ir Superblock

@@ -1,0 +1,1 @@
+lib/bounds/work.ml: Hashtbl List

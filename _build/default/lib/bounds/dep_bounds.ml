@@ -1,0 +1,22 @@
+open Sb_ir
+
+let early_dc (sb : Superblock.t) =
+  let g = sb.Superblock.graph in
+  Work.add "cp" (Dep_graph.n_nodes g + Dep_graph.n_edges g);
+  Dep_graph.longest_from_sources g
+
+let late_dc (sb : Superblock.t) ~root =
+  let g = sb.Superblock.graph in
+  let early = Dep_graph.longest_from_sources g in
+  let to_root = Dep_graph.longest_to g root in
+  Work.add "cp" (Dep_graph.n_nodes g + Dep_graph.n_edges g);
+  Array.map
+    (fun lp -> if lp = min_int then max_int else early.(root) - lp)
+    to_root
+
+let critical_path sb =
+  Array.fold_left max 0 (early_dc sb)
+
+let cp_bound_per_branch (sb : Superblock.t) =
+  let early = early_dc sb in
+  Array.map (fun b -> early.(b)) sb.Superblock.branches

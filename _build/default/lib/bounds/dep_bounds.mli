@@ -1,0 +1,22 @@
+(** Dependence-only bounds: EarlyDC, LateDC and the critical path.
+
+    These ignore resource constraints entirely.  [EarlyDC v] is the
+    earliest cycle [v] can issue given only latencies; [LateDC_b v] is the
+    latest cycle [v] can issue without delaying branch [b] past
+    [EarlyDC b]. *)
+
+val early_dc : Sb_ir.Superblock.t -> int array
+(** Per-op earliest dependence-constrained issue cycle. *)
+
+val late_dc : Sb_ir.Superblock.t -> root:int -> int array
+(** [late_dc sb ~root] gives, for every op preceding [root] (and [root]
+    itself), the latest issue cycle that keeps [root] at
+    [early_dc root]; [max_int] for ops that do not precede [root]
+    (they cannot delay it). *)
+
+val critical_path : Sb_ir.Superblock.t -> int
+(** [max_v (early_dc v)] — the CP value used by DHASY's priority. *)
+
+val cp_bound_per_branch : Sb_ir.Superblock.t -> int array
+(** Lower bound on each branch's issue cycle from dependences alone
+    (= [early_dc] at the branch ops), indexed by branch number. *)

@@ -1,0 +1,46 @@
+open Sb_ir
+open Sb_machine
+
+let branch_bound config (sb : Superblock.t) ~root =
+  let g = sb.Superblock.graph in
+  let early = Dep_graph.longest_from_sources g in
+  let to_root = Dep_graph.longest_to g root in
+  let cp = early.(root) in
+  let members =
+    root :: Bitset.elements (Dep_graph.transitive_preds g root)
+  in
+  Work.add "hu" (List.length members);
+  (* Group members by (resource, LateDC) and sweep deadlines in increasing
+     order, accumulating the operation count per resource. *)
+  let nr = Config.n_resources config in
+  let by_resource = Array.make nr [] in
+  List.iter
+    (fun v ->
+      let late = cp - to_root.(v) in
+      let r = Config.resource_of config (Operation.op_class sb.Superblock.ops.(v)) in
+      by_resource.(r) <- late :: by_resource.(r))
+    members;
+  let delay = ref 0 in
+  for r = 0 to nr - 1 do
+    let lates = List.sort compare by_resource.(r) in
+    let cap = Config.capacity_of config r in
+    let count = ref 0 in
+    let rec sweep = function
+      | [] -> ()
+      | c :: rest ->
+          incr count;
+          (* Only evaluate at the last occurrence of each deadline. *)
+          (match rest with
+          | c' :: _ when c' = c -> ()
+          | _ ->
+              let need = !count and avail = (c + 1) * cap in
+              if need > avail then begin
+                let extra = (need - avail + cap - 1) / cap in
+                if extra > !delay then delay := extra
+              end;
+              Work.add "hu" 1);
+          sweep rest
+    in
+    sweep lates
+  done;
+  cp + !delay

@@ -1,0 +1,11 @@
+(** Hu-style resource bound.
+
+    For a branch [b] and each deadline [c], every predecessor [v] with
+    [LateDC_b v <= c] must issue in cycles [0 .. c] or [b] is delayed.  If
+    those operations outnumber the issue slots of their resource type, [b]
+    is delayed by the number of extra cycles needed for the excess.  This
+    is the static counterpart of the ERCs used by the Balance heuristic
+    (Section 5.1 of the paper). *)
+
+val branch_bound : Sb_machine.Config.t -> Sb_ir.Superblock.t -> root:int -> int
+(** Lower bound on the issue cycle of op [root]. *)

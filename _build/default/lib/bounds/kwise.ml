@@ -1,0 +1,180 @@
+open Sb_ir
+
+type tuple_bound = {
+  branches : int array;
+  values : float array;
+}
+
+(* Relaxation rooted at the chain's last branch with the chain edges
+   fixed to [gaps]; valid for schedules with exactly those gaps. *)
+let eval_chain pw ~(branch_ids : int array) ~(ops : int array) ~(gaps : int array) =
+  let sb = Pairwise.superblock pw in
+  let config = Pairwise.config pw in
+  let erc = Pairwise.early_rc_array pw in
+  let k = Array.length branch_ids in
+  let last = k - 1 in
+  (* Forward propagation of the chain's release times. *)
+  let fwd = Array.make k 0 in
+  for m = 0 to last do
+    fwd.(m) <- erc.(ops.(m));
+    if m > 0 && fwd.(m - 1) + gaps.(m - 1) > fwd.(m) then
+      fwd.(m) <- fwd.(m - 1) + gaps.(m - 1)
+  done;
+  let cp = fwd.(last) in
+  (* Distance from chain position m to the root along the fixed gaps. *)
+  let suffix_gap = Array.make k 0 in
+  for m = last - 1 downto 0 do
+    suffix_gap.(m) <- suffix_gap.(m + 1) + gaps.(m)
+  done;
+  let rev_root = Pairwise.reverse_rc pw branch_ids.(last) in
+  let to_chain = Array.map (fun b -> Pairwise.longest_to_branch pw b) branch_ids in
+  let late v =
+    let lp = ref (if rev_root.(v) = min_int then min_int else rev_root.(v)) in
+    for m = 0 to last - 1 do
+      let d = to_chain.(m).(v) in
+      if d <> min_int && d + suffix_gap.(m) > !lp then lp := d + suffix_gap.(m)
+    done;
+    if !lp = min_int then max_int else cp - !lp
+  in
+  let chain_pos = Hashtbl.create 8 in
+  Array.iteri (fun m op -> Hashtbl.replace chain_pos op m) ops;
+  let early v =
+    match Hashtbl.find_opt chain_pos v with
+    | Some m -> max fwd.(m) (cp - suffix_gap.(m))
+    | None -> erc.(v)
+  in
+  let cls v = Operation.op_class sb.Superblock.ops.(v) in
+  let d =
+    Rim_jain.max_tardiness ~work_key:"kw" config
+      ~members:(Pairwise.members_of pw branch_ids.(last))
+      ~early ~late ~cls
+  in
+  let values = Array.make k 0. in
+  let t_last = cp + max 0 d in
+  values.(last) <- float_of_int t_last;
+  for m = last - 1 downto 0 do
+    values.(m) <-
+      Float.max
+        (values.(m + 1) -. float_of_int gaps.(m))
+        (float_of_int erc.(ops.(m)))
+  done;
+  values
+
+let compute_tuple ?(grid_budget = 2000) pw branch_list =
+  let sb = Pairwise.superblock pw in
+  let erc = Pairwise.early_rc_array pw in
+  let cache : (int list, float array option) Hashtbl.t = Hashtbl.create 16 in
+  let rec tuple branch_list =
+    match Hashtbl.find_opt cache branch_list with
+    | Some v -> v
+    | None ->
+        let v = tuple_uncached branch_list in
+        Hashtbl.replace cache branch_list v;
+        v
+  and tuple_uncached branch_list =
+    let branches = Array.of_list branch_list in
+    let k = Array.length branches in
+    if k = 0 then invalid_arg "Kwise.compute_tuple: empty tuple";
+    let ops = Array.map (fun b -> Superblock.branch_op sb b) branches in
+    if k = 1 then Some [| float_of_int erc.(ops.(0)) |]
+    else begin
+      let weights = Array.map (fun b -> Superblock.weight sb b) branches in
+      let cost values =
+        let acc = ref 0. in
+        Array.iteri (fun m v -> acc := !acc +. (weights.(m) *. v)) values;
+        !acc
+      in
+      let l_min = Superblock.branch_latency sb in
+      let caps = Array.init (k - 1) (fun m -> erc.(ops.(m + 1)) + 1) in
+      let grid =
+        Array.fold_left (fun acc cap -> acc * max 1 (cap - l_min + 1)) 1 caps
+      in
+      if grid > grid_budget then None
+      else begin
+        let best = ref None in
+        let over_budget = ref false in
+        let record values =
+          match !best with
+          | Some b when cost b <= cost values -> ()
+          | _ -> best := Some values
+        in
+        (* Interior grid plus, at every capped gap, the Theorem-2-style
+           overflow candidate: positions up to the cap are replaced by
+           the recursively optimal prefix-tuple bound (valid for any
+           larger gap), positions beyond keep their exact-gap values. *)
+        let gaps = Array.make (k - 1) l_min in
+        let rec enumerate m =
+          if !over_budget then ()
+          else if m = k - 1 then begin
+            let base = eval_chain pw ~branch_ids:branches ~ops ~gaps in
+            record base;
+            for cap_pos = 0 to k - 2 do
+              if gaps.(cap_pos) = caps.(cap_pos) then begin
+                let prefix = List.filteri (fun i _ -> i <= cap_pos) branch_list in
+                match tuple prefix with
+                | None -> over_budget := true
+                | Some prefix_values ->
+                    record
+                      (Array.init k (fun m ->
+                           if m <= cap_pos then prefix_values.(m)
+                           else base.(m)))
+              end
+            done
+          end
+          else
+            for l = l_min to caps.(m) do
+              gaps.(m) <- l;
+              enumerate (m + 1)
+            done
+        in
+        enumerate 0;
+        if !over_budget then None else !best
+      end
+    end
+  in
+  match tuple branch_list with
+  | Some values ->
+      Some { branches = Array.of_list branch_list; values }
+  | None -> None
+
+let superblock_bound ?grid_budget ?(max_branches = 8) ~k pw =
+  let sb = Pairwise.superblock pw in
+  let nb = Superblock.n_branches sb in
+  if k < 2 || nb < k || nb > max_branches then None
+  else begin
+    let sums = Array.make nb 0. in
+    let counts = Array.make nb 0 in
+    let ok = ref true in
+    let rec tuples acc start remaining =
+      if not !ok then ()
+      else if remaining = 0 then begin
+        match compute_tuple ?grid_budget pw (List.rev acc) with
+        | None -> ok := false
+        | Some t ->
+            Array.iteri
+              (fun m b ->
+                sums.(b) <- sums.(b) +. t.values.(m);
+                counts.(b) <- counts.(b) + 1)
+              t.branches
+      end
+      else
+        for b = start to nb - remaining do
+          tuples (b :: acc) (b + 1) (remaining - 1)
+        done
+    in
+    tuples [] 0 k;
+    if not !ok then None
+    else begin
+      let acc = ref 0. in
+      Array.iteri
+        (fun b s ->
+          if counts.(b) > 0 then
+            acc :=
+              !acc +. (Superblock.weight sb b *. (s /. float_of_int counts.(b))))
+        sums;
+      Some
+        (!acc
+        +. float_of_int (Superblock.branch_latency sb)
+           *. Superblock.total_weight sb)
+    end
+  end

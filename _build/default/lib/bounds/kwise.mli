@@ -1,0 +1,36 @@
+(** K-wise superblock bounds — the paper's "higher order bounds"
+    (Section 4.4) for arbitrary tuple sizes.
+
+    For an ascending chain of [k] branches and a vector of issue-cycle
+    gaps, the Rim & Jain relaxation rooted at the last branch (augmented
+    with the chain edges) yields simultaneous lower bounds on all [k]
+    issue cycles, valid for schedules with exactly those gaps.  The gap
+    grid is enumerated within the Theorem-2 ranges; gap combinations
+    beyond the caps are covered by {e splitting} the chain at the first
+    overflowing gap and summing the (recursively computed) K-wise bounds
+    of the prefix and suffix — each is valid for every schedule, so the
+    split candidate covers the whole overflow region.  Minimising the
+    weighted sum over all candidates gives a Theorem-2-style tuple bound;
+    averaging per branch over all [k]-tuples combines them exactly as
+    Theorem 3 does.
+
+    [k = 2] reproduces the Pairwise construction (with slightly weaker
+    boundary candidates); [k = 3] is an alternative to {!Triplewise}. *)
+
+type tuple_bound = {
+  branches : int array;  (** ascending branch indices *)
+  values : float array;  (** simultaneous per-branch issue-cycle bounds *)
+}
+
+val compute_tuple :
+  ?grid_budget:int -> Pairwise.t -> int list -> tuple_bound option
+(** [compute_tuple pw branches] for ascending branch indices (length >=
+    1).  [None] when any full gap grid along the recursion exceeds
+    [grid_budget] (default 2000) points. *)
+
+val superblock_bound :
+  ?grid_budget:int -> ?max_branches:int -> k:int -> Pairwise.t -> float option
+(** The Theorem-3 combination over every ascending [k]-tuple of branches
+    (branch latency included).  [None] when the superblock has fewer than
+    [k] branches, more than [max_branches] (default 8), or a tuple
+    exceeds the grid budget. *)

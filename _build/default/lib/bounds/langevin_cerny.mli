@@ -1,0 +1,55 @@
+(** The Langevin & Cerny recursive bound (EarlyRC / LateRC).
+
+    [EarlyRC v] is computed for every operation in topological order by
+    applying the Rim & Jain relaxation to the subgraph rooted at [v], with
+    the recursively computed EarlyRC values of the predecessors as release
+    times.  Theorem 1 of the paper ("trivial bound recursion") skips the
+    relaxation when [v] has a unique direct predecessor reached through a
+    positive-latency edge: then [EarlyRC v = EarlyRC p + latency].
+
+    [LateRC] is obtained by running the same algorithm on the reversed
+    predecessor subgraph of a branch (paper Section 4.1, last paragraph):
+    the reverse bound [rev v] lower-bounds [t_b - t_v] in any schedule, so
+    [t_b = target] forces [t_v <= target - rev v]. *)
+
+val early_rc :
+  ?use_theorem1:bool ->
+  ?work_key:string ->
+  Sb_machine.Config.t ->
+  Sb_ir.Superblock.t ->
+  int array
+(** Resource-constrained earliest issue cycle of every operation.
+    [use_theorem1] defaults to [true]; switching it off reproduces the
+    paper's "LC-original" cost line.  Work is charged to [work_key]
+    (default ["lc"]). *)
+
+val early_rc_of_graph :
+  ?use_theorem1:bool ->
+  ?work_key:string ->
+  Sb_machine.Config.t ->
+  cls:(int -> Sb_ir.Opcode.op_class) ->
+  Sb_ir.Dep_graph.t ->
+  int array
+(** Same algorithm over a bare dependence graph (used internally and for
+    reversed graphs). *)
+
+val reverse_early_rc :
+  ?work_key:string ->
+  Sb_machine.Config.t ->
+  Sb_ir.Superblock.t ->
+  root:int ->
+  int array
+(** [reverse_early_rc config sb ~root] gives, for every op [v] preceding
+    [root], a lower bound on [t_root - t_v] in any schedule (0 for [root]
+    itself, [min_int] for ops unrelated to [root]).  Work defaults to key
+    ["lc_reverse"]. *)
+
+val late_rc :
+  ?work_key:string ->
+  Sb_machine.Config.t ->
+  Sb_ir.Superblock.t ->
+  root:int ->
+  target:int ->
+  int array
+(** [late_rc ... ~target] = [target - reverse_early_rc v]; [max_int] for
+    ops that do not precede [root]. *)

@@ -1,0 +1,162 @@
+open Sb_ir
+open Sb_machine
+
+type pair = { x : int; y : int }
+
+type t = {
+  config : Config.t;
+  sb : Superblock.t;
+  early_rc : int array;
+  work_key : string;
+  to_branch : int array array;  (* per branch index: longest_to the branch op *)
+  rev_rc : int array array;  (* per branch index: reverse_early_rc *)
+  members : int array array;  (* per branch index: tpreds + self *)
+  pairs : pair array array;  (* pairs.(i).(j) valid for i < j *)
+}
+
+let eval_raw ctx ~i ~j ~l =
+  let sb = ctx.sb in
+  let bi = Superblock.branch_op sb i and bj = Superblock.branch_op sb j in
+  let erc = ctx.early_rc in
+  let to_i = ctx.to_branch.(i) and rev_j = ctx.rev_rc.(j) in
+  let cp = max erc.(bj) (erc.(bi) + l) in
+  let late v =
+    let via_rev = if rev_j.(v) = min_int then min_int else rev_j.(v) in
+    let via_i = if to_i.(v) = min_int then min_int else to_i.(v) + l in
+    let lp = max via_rev via_i in
+    if lp = min_int then max_int else cp - lp
+  in
+  let cls v = Operation.op_class sb.Superblock.ops.(v) in
+  (* The augmented edge also raises release times: with gap exactly [l],
+     [t_j >= max(erc_j, erc_i + l)] and [t_i = t_j - l >= erc_j - l]. *)
+  let early v =
+    if v = bj then cp
+    else if v = bi then max erc.(bi) (erc.(bj) - l)
+    else erc.(v)
+  in
+  let d =
+    Rim_jain.max_tardiness ~work_key:ctx.work_key ctx.config
+      ~members:ctx.members.(j) ~early ~late ~cls
+  in
+  let y = cp + max 0 d in
+  let x = max (y - l) erc.(bi) in
+  { x; y }
+
+let eval = eval_raw
+
+(* Figure 5: start from the gap that lets both branches sit at their
+   EarlyRC; widen downwards until [j] reaches its EarlyRC, upwards until
+   [i] reaches its EarlyRC (or the theorem's cap). *)
+let compute_pair ctx ~wi ~wj i j =
+  let sb = ctx.sb in
+  let bi = Superblock.branch_op sb i and bj = Superblock.branch_op sb j in
+  let erc = ctx.early_rc in
+  let ei = erc.(bi) and ej = erc.(bj) in
+  let l_min = Superblock.branch_latency sb in
+  let l_cap = ej + 1 in
+  let best = ref None in
+  let cost p = (wi *. float_of_int p.x) +. (wj *. float_of_int p.y) in
+  let record p =
+    match !best with
+    | Some b when cost b <= cost p -> ()
+    | _ -> best := Some p
+  in
+  let l0 = min l_cap (max l_min (ej - ei)) in
+  let p0 = eval_raw ctx ~i ~j ~l:l0 in
+  record p0;
+  if p0.y <> ej then begin
+    let l = ref (l0 - 1) in
+    let continue = ref true in
+    while !continue && !l >= l_min do
+      let p = eval_raw ctx ~i ~j ~l:!l in
+      record p;
+      if p.y = ej then continue := false;
+      decr l
+    done
+  end;
+  let l = ref (l0 + 1) in
+  let continue = ref true in
+  while !continue && !l <= l_cap do
+    let p = eval_raw ctx ~i ~j ~l:!l in
+    (* At the cap the theorem guarantees x = EarlyRC[i]; force it so the
+       cap candidate stays valid for arbitrarily large gaps. *)
+    let p = if !l = l_cap then { p with x = ei } else p in
+    record p;
+    if p.y - !l <= ei then continue := false;
+    incr l
+  done;
+  match !best with Some p -> p | None -> { x = ei; y = ej }
+
+let compute ?(work_key = "pw") config (sb : Superblock.t) ~early_rc =
+  let g = sb.Superblock.graph in
+  let nb = Superblock.n_branches sb in
+  let to_branch =
+    Array.init nb (fun k -> Dep_graph.longest_to g (Superblock.branch_op sb k))
+  in
+  let rev_rc =
+    Array.init nb (fun k ->
+        Langevin_cerny.reverse_early_rc ~work_key config sb
+          ~root:(Superblock.branch_op sb k))
+  in
+  let members =
+    Array.init nb (fun k ->
+        let b = Superblock.branch_op sb k in
+        Array.of_list (b :: Bitset.elements (Dep_graph.transitive_preds g b)))
+  in
+  let ctx =
+    {
+      config;
+      sb;
+      early_rc;
+      work_key;
+      to_branch;
+      rev_rc;
+      members;
+      pairs = Array.make_matrix nb nb { x = 0; y = 0 };
+    }
+  in
+  for i = 0 to nb - 1 do
+    for j = i + 1 to nb - 1 do
+      ctx.pairs.(i).(j) <-
+        compute_pair ctx ~wi:(Superblock.weight sb i)
+          ~wj:(Superblock.weight sb j) i j
+    done
+  done;
+  ctx
+
+let get t i j =
+  let nb = Superblock.n_branches t.sb in
+  if i < 0 || j <= i || j >= nb then invalid_arg "Pairwise.get: bad indices";
+  t.pairs.(i).(j)
+
+let per_branch_average t =
+  let sb = t.sb in
+  let nb = Superblock.n_branches sb in
+  if nb = 1 then [| float_of_int t.early_rc.(Superblock.branch_op sb 0) |]
+  else begin
+    let sums = Array.make nb 0. in
+    for i = 0 to nb - 1 do
+      for j = i + 1 to nb - 1 do
+        let p = t.pairs.(i).(j) in
+        sums.(i) <- sums.(i) +. float_of_int p.x;
+        sums.(j) <- sums.(j) +. float_of_int p.y
+      done
+    done;
+    Array.map (fun s -> s /. float_of_int (nb - 1)) sums
+  end
+
+let superblock_bound t =
+  let sb = t.sb in
+  let avg = per_branch_average t in
+  let acc = ref 0. in
+  Array.iteri (fun k a -> acc := !acc +. (Superblock.weight sb k *. a)) avg;
+  !acc
+  +. (float_of_int (Superblock.branch_latency sb) *. Superblock.total_weight sb)
+
+let config t = t.config
+let superblock t = t.sb
+let early_rc_array t = t.early_rc
+let longest_to_branch t k = t.to_branch.(k)
+let reverse_rc t k = t.rev_rc.(k)
+let members_of t k = t.members.(k)
+let work_key t = t.work_key

@@ -1,0 +1,63 @@
+(** The Pairwise superblock bound (paper Section 4.2–4.3).
+
+    For two branches [i] (earlier in program order) and [j], and a candidate
+    issue-cycle gap [l = t_j - t_i], the Rim & Jain relaxation over the
+    subgraph rooted at [j] — augmented with an edge [i -> j] of latency
+    [l], with EarlyRC release times and LateRC-tightened deadlines —
+    yields a pair [(x_l, y_l) = (y_l - l, y_l)] of simultaneous lower
+    bounds on [(t_i, t_j)] for schedules with that exact gap.  Scanning
+    [l] per Figure 5 of the paper and keeping the pair minimising
+    [w_i x + w_j y] gives a valid lower bound on the weighted completion
+    time of the two branches in any schedule (Theorem 2).  Averaging the
+    per-branch values across all pairs combines them into a superblock
+    bound (Theorem 3). *)
+
+type pair = { x : int; y : int }
+(** Simultaneous lower bounds on the issue cycles of the earlier and later
+    branch of a pair. *)
+
+type t
+(** Pairwise context for one (superblock, machine) instance: cached
+    reverse-LC arrays and longest-path tables, plus the pair matrix. *)
+
+val compute :
+  ?work_key:string ->
+  Sb_machine.Config.t ->
+  Sb_ir.Superblock.t ->
+  early_rc:int array ->
+  t
+(** Builds the context and the full pair matrix.  [early_rc] is the
+    forward Langevin & Cerny array for the same machine. *)
+
+val get : t -> int -> int -> pair
+(** [get t i j] is the Theorem-2 optimal pair for branch indices [i < j].
+    Raises [Invalid_argument] unless [0 <= i < j < n_branches]. *)
+
+val eval : t -> i:int -> j:int -> l:int -> pair
+(** The raw relaxation value for one specific gap [l] (used by the
+    Triplewise bound's boundary candidates and by tests). *)
+
+val superblock_bound : t -> float
+(** The Theorem-3 "average pair" lower bound on the weighted completion
+    time, including the branch latency term. *)
+
+val per_branch_average : t -> float array
+(** [Avg_j b_(i,j)] for each branch index [i]: the averaged per-branch
+    issue-cycle bounds that Theorem 3 sums (without weights/latency).
+    For a single-branch superblock this is just its EarlyRC. *)
+
+(** {1 Internals shared with the Triplewise bound} *)
+
+val config : t -> Sb_machine.Config.t
+val superblock : t -> Sb_ir.Superblock.t
+val early_rc_array : t -> int array
+val longest_to_branch : t -> int -> int array
+(** Longest dependence path from each op to branch [k]'s op. *)
+
+val reverse_rc : t -> int -> int array
+(** Cached [Langevin_cerny.reverse_early_rc] for branch index [k]. *)
+
+val members_of : t -> int -> int array
+(** Transitive predecessors (plus self) of branch index [k]'s op. *)
+
+val work_key : t -> string

@@ -1,0 +1,54 @@
+open Sb_ir
+open Sb_machine
+
+let max_tardiness ?(work_key = "rj") config ~members ~early ~late ~cls =
+  let m = Array.length members in
+  if m = 0 then 0
+  else begin
+    let order = Array.copy members in
+    Array.sort
+      (fun a b ->
+        let c = compare (late a) (late b) in
+        if c <> 0 then c else compare (early a) (early b))
+      order;
+    (* Per-resource usage table, grown on demand.  The horizon can never
+       exceed max release time + number of members. *)
+    let max_early = Array.fold_left (fun acc v -> max acc (early v)) 0 members in
+    let horizon = max_early + m + 1 in
+    let nr = Config.n_resources config in
+    let used = Array.make_matrix nr horizon 0 in
+    let work = ref m in
+    let worst = ref min_int in
+    Array.iter
+      (fun v ->
+        let r = Config.resource_of config (cls v) in
+        let cap = Config.capacity_of config r in
+        let row = used.(r) in
+        let t = ref (max 0 (early v)) in
+        while row.(!t) >= cap do
+          incr t;
+          incr work
+        done;
+        row.(!t) <- row.(!t) + 1;
+        let deadline = late v in
+        if deadline <> max_int && !t - deadline > !worst then
+          worst := !t - deadline)
+      order;
+    Work.add work_key !work;
+    if !worst = min_int then 0 else !worst
+  end
+
+let branch_bound ?(work_key = "rj") config (sb : Superblock.t) ~root =
+  let g = sb.Superblock.graph in
+  let early = Dep_graph.longest_from_sources g in
+  let to_root = Dep_graph.longest_to g root in
+  let cp = early.(root) in
+  let members =
+    Array.of_list (root :: Bitset.elements (Dep_graph.transitive_preds g root))
+  in
+  let late v = if to_root.(v) = min_int then max_int else cp - to_root.(v) in
+  let cls v = Operation.op_class sb.Superblock.ops.(v) in
+  let d =
+    max_tardiness ~work_key config ~members ~early:(fun v -> early.(v)) ~late ~cls
+  in
+  cp + max 0 d

@@ -1,0 +1,32 @@
+(** The Rim & Jain relaxation solver.
+
+    The relaxation drops dependence edges and keeps, for every operation, a
+    release time [early] and a deadline [late] (relative to an assumed
+    completion [cp] of the root).  Operations are placed greedily in order
+    of increasing deadline, each in the earliest cycle with a free unit of
+    its resource type at or after its release time.  If some operation
+    overshoots its deadline by [d] cycles, the root cannot issue before
+    [cp + d].
+
+    This solver is the kernel shared by the RJ and LC bounds, the
+    Pairwise/Triplewise bounds and Balance's dynamic resource bounds. *)
+
+val max_tardiness :
+  ?work_key:string ->
+  Sb_machine.Config.t ->
+  members:int array ->
+  early:(int -> int) ->
+  late:(int -> int) ->
+  cls:(int -> Sb_ir.Opcode.op_class) ->
+  int
+(** Greatest [t_i - late i] over the greedy placement (may be negative
+    when every deadline is met with slack).  [members] need not be sorted.
+    Deadlines of [max_int] are treated as unconstrained.  Work is charged
+    to [work_key] (default ["rj"]): one unit per member plus one per
+    scanned cycle. *)
+
+val branch_bound :
+  ?work_key:string -> Sb_machine.Config.t -> Sb_ir.Superblock.t -> root:int -> int
+(** The plain Rim & Jain lower bound on the issue cycle of op [root]
+    (usually a branch): the relaxation over the subgraph rooted at [root],
+    with dependence-only EarlyDC release times and LateDC deadlines. *)

@@ -1,0 +1,72 @@
+open Sb_ir
+
+type method_ = Cp | Hu_bound | Rj | Lc
+
+let method_name = function
+  | Cp -> "CP"
+  | Hu_bound -> "Hu"
+  | Rj -> "RJ"
+  | Lc -> "LC"
+
+let per_branch method_ config (sb : Superblock.t) =
+  match method_ with
+  | Cp -> Dep_bounds.cp_bound_per_branch sb
+  | Hu_bound ->
+      Array.map (fun b -> Hu.branch_bound config sb ~root:b) sb.Superblock.branches
+  | Rj ->
+      Array.map
+        (fun b -> Rim_jain.branch_bound config sb ~root:b)
+        sb.Superblock.branches
+  | Lc ->
+      let erc = Langevin_cerny.early_rc config sb in
+      Array.map (fun b -> erc.(b)) sb.Superblock.branches
+
+let weighted_of_issue_bounds (sb : Superblock.t) bounds =
+  let l_br = float_of_int (Superblock.branch_latency sb) in
+  let acc = ref 0. in
+  Array.iteri
+    (fun k e ->
+      acc := !acc +. (Superblock.weight sb k *. (float_of_int e +. l_br)))
+    bounds;
+  !acc
+
+let naive method_ config sb =
+  weighted_of_issue_bounds sb (per_branch method_ config sb)
+
+type all = {
+  cp : float;
+  hu : float;
+  rj : float;
+  lc : float;
+  pw : float;
+  tw : float option;
+  tightest : float;
+  pairwise_ctx : Pairwise.t;
+  early_rc : int array;
+}
+
+let all_bounds ?tw_grid_budget ?tw_max_branches ?(with_tw = true) config
+    (sb : Superblock.t) =
+  let cp = naive Cp config sb in
+  let hu = naive Hu_bound config sb in
+  let rj = naive Rj config sb in
+  let early_rc = Langevin_cerny.early_rc config sb in
+  let lc =
+    weighted_of_issue_bounds sb
+      (Array.map (fun b -> early_rc.(b)) sb.Superblock.branches)
+  in
+  let pw_ctx = Pairwise.compute config sb ~early_rc in
+  let pw = Pairwise.superblock_bound pw_ctx in
+  let tw =
+    if with_tw then
+      Triplewise.superblock_bound ?grid_budget:tw_grid_budget
+        ?max_branches:tw_max_branches pw_ctx
+    else None
+  in
+  let tightest =
+    List.fold_left max cp [ hu; rj; lc; pw ]
+    |> fun t -> match tw with Some v -> max t v | None -> t
+  in
+  { cp; hu; rj; lc; pw; tw; tightest; pairwise_ctx = pw_ctx; early_rc }
+
+let tightest config sb = (all_bounds config sb).tightest

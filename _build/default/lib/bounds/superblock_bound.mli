@@ -1,0 +1,46 @@
+(** Whole-superblock lower bounds on the weighted completion time.
+
+    Each per-branch bounding method (critical path, Hu, Rim & Jain,
+    Langevin & Cerny) yields the naive superblock bound
+    [sum_k w_k * (bound_k + branch_latency)]; the Pairwise and Triplewise
+    bounds additionally account for conflicts between branches.
+    [tightest] takes the maximum of everything available — every method is
+    a valid lower bound, so the maximum is too. *)
+
+type method_ = Cp | Hu_bound | Rj | Lc
+
+val method_name : method_ -> string
+
+val per_branch : method_ -> Sb_machine.Config.t -> Sb_ir.Superblock.t -> int array
+(** Lower bound on the issue cycle of each branch (by branch index). *)
+
+val weighted_of_issue_bounds : Sb_ir.Superblock.t -> int array -> float
+(** [sum_k w_k * (bound_k + branch_latency)]. *)
+
+val naive : method_ -> Sb_machine.Config.t -> Sb_ir.Superblock.t -> float
+(** The per-branch method folded into a superblock bound. *)
+
+type all = {
+  cp : float;
+  hu : float;
+  rj : float;
+  lc : float;
+  pw : float;
+  tw : float option;  (** [None] when outside the Triplewise budget *)
+  tightest : float;
+  pairwise_ctx : Pairwise.t;  (** reusable by the Balance scheduler *)
+  early_rc : int array;
+}
+
+val all_bounds :
+  ?tw_grid_budget:int ->
+  ?tw_max_branches:int ->
+  ?with_tw:bool ->
+  Sb_machine.Config.t ->
+  Sb_ir.Superblock.t ->
+  all
+(** Computes every bound once, sharing the LC array and the pairwise
+    context.  [with_tw] defaults to [true]. *)
+
+val tightest : Sb_machine.Config.t -> Sb_ir.Superblock.t -> float
+(** Convenience wrapper around {!all_bounds}. *)

@@ -1,0 +1,141 @@
+open Sb_ir
+
+type triple = { x : int; y : int; z : int }
+
+(* Relaxation rooted at branch [k] with augmented edges i->j (latency l1)
+   and j->k (latency l2); valid for schedules with those exact gaps. *)
+let eval_triple pw ~i ~j ~k ~l1 ~l2 =
+  let sb = Pairwise.superblock pw in
+  let config = Pairwise.config pw in
+  let erc = Pairwise.early_rc_array pw in
+  let bi = Superblock.branch_op sb i
+  and bj = Superblock.branch_op sb j
+  and bk = Superblock.branch_op sb k in
+  let to_i = Pairwise.longest_to_branch pw i
+  and to_j = Pairwise.longest_to_branch pw j
+  and rev_k = Pairwise.reverse_rc pw k in
+  let ej' = max erc.(bj) (erc.(bi) + l1) in
+  let cp = max erc.(bk) (ej' + l2) in
+  let late v =
+    let via_rev = if rev_k.(v) = min_int then min_int else rev_k.(v) in
+    let via_j = if to_j.(v) = min_int then min_int else to_j.(v) + l2 in
+    let via_i =
+      if to_i.(v) = min_int then min_int else to_i.(v) + l1 + l2
+    in
+    let lp = max via_rev (max via_j via_i) in
+    if lp = min_int then max_int else cp - lp
+  in
+  let early v =
+    if v = bk then cp
+    else if v = bj then max ej' (erc.(bk) - l2)
+    else if v = bi then max erc.(bi) (max (ej' - l1) (erc.(bk) - l2 - l1))
+    else erc.(v)
+  in
+  let cls v = Operation.op_class sb.Superblock.ops.(v) in
+  let d =
+    Rim_jain.max_tardiness ~work_key:"tw" config
+      ~members:(Pairwise.members_of pw k)
+      ~early ~late ~cls
+  in
+  let z = cp + max 0 d in
+  let y = max (z - l2) erc.(bj) in
+  let x = max (y - l1) erc.(bi) in
+  { x; y; z }
+
+let compute_triple ?(grid_budget = 900) pw i j k =
+  let sb = Pairwise.superblock pw in
+  let erc = Pairwise.early_rc_array pw in
+  let bi = Superblock.branch_op sb i
+  and bj = Superblock.branch_op sb j
+  and bk = Superblock.branch_op sb k in
+  let wi = Superblock.weight sb i
+  and wj = Superblock.weight sb j
+  and wk = Superblock.weight sb k in
+  let ei = erc.(bi) and ej = erc.(bj) and ek = erc.(bk) in
+  let l_min = Superblock.branch_latency sb in
+  let cap1 = ej + 1 and cap2 = ek + 1 in
+  let range1 = cap1 - l_min + 1 and range2 = cap2 - l_min + 1 in
+  if range1 <= 0 || range2 <= 0 then Some { x = ei; y = ej; z = ek }
+  else if range1 * range2 > grid_budget then None
+  else begin
+    let best = ref None in
+    let cost t =
+      (wi *. float_of_int t.x) +. (wj *. float_of_int t.y)
+      +. (wk *. float_of_int t.z)
+    in
+    let record t =
+      match !best with
+      | Some b when cost b <= cost t -> ()
+      | _ -> best := Some t
+    in
+    (* Interior: exact-gap points for every gap pair within the caps. *)
+    for l1 = l_min to cap1 do
+      for l2 = l_min to cap2 do
+        record (eval_triple pw ~i ~j ~k ~l1 ~l2)
+      done
+    done;
+    (* Overflow gaps beyond a cap: the dimension that overflows falls back
+       to Pairwise values, which remain valid for any larger gap (the
+       Theorem-2 cap argument). *)
+    for l1 = l_min to cap1 do
+      (* g2 > cap2: (x, y) from the (i, j) pairwise relaxation at exact
+         gap l1; z from the triple relaxation with l2 = cap2 <= g2. *)
+      let p = Pairwise.eval pw ~i ~j ~l:l1 in
+      let t = eval_triple pw ~i ~j ~k ~l1 ~l2:cap2 in
+      record { x = p.Pairwise.x; y = p.Pairwise.y; z = t.z }
+    done;
+    for l2 = l_min to cap2 do
+      (* g1 > cap1: i is unconstrained (EarlyRC floor); (y, z) from the
+         (j, k) pairwise relaxation at exact gap l2. *)
+      let p = Pairwise.eval pw ~i:j ~j:k ~l:l2 in
+      record { x = ei; y = p.Pairwise.x; z = p.Pairwise.y }
+    done;
+    (* Both overflow: everything at its floor except k, which still pays
+       the (j, k) cap relaxation. *)
+    let p = Pairwise.eval pw ~i:j ~j:k ~l:cap2 in
+    record { x = ei; y = ej; z = p.Pairwise.y };
+    Some (match !best with Some t -> t | None -> { x = ei; y = ej; z = ek })
+  end
+
+let superblock_bound ?grid_budget ?(max_branches = 8) pw =
+  let sb = Pairwise.superblock pw in
+  let nb = Superblock.n_branches sb in
+  if nb < 3 || nb > max_branches then None
+  else begin
+    let sums = Array.make nb 0. in
+    let counts = Array.make nb 0 in
+    let ok = ref true in
+    (try
+       for i = 0 to nb - 1 do
+         for j = i + 1 to nb - 1 do
+           for k = j + 1 to nb - 1 do
+             match compute_triple ?grid_budget pw i j k with
+             | None ->
+                 ok := false;
+                 raise Exit
+             | Some t ->
+                 sums.(i) <- sums.(i) +. float_of_int t.x;
+                 sums.(j) <- sums.(j) +. float_of_int t.y;
+                 sums.(k) <- sums.(k) +. float_of_int t.z;
+                 counts.(i) <- counts.(i) + 1;
+                 counts.(j) <- counts.(j) + 1;
+                 counts.(k) <- counts.(k) + 1
+           done
+         done
+       done
+     with Exit -> ());
+    if not !ok then None
+    else begin
+      let acc = ref 0. in
+      Array.iteri
+        (fun b s ->
+          acc :=
+            !acc
+            +. (Superblock.weight sb b *. (s /. float_of_int counts.(b))))
+        sums;
+      Some
+        (!acc
+        +. float_of_int (Superblock.branch_latency sb)
+           *. Superblock.total_weight sb)
+    end
+  end

@@ -1,0 +1,42 @@
+(** The Triplewise superblock bound.
+
+    The paper defers the construction to an unavailable technical report;
+    we extend Theorem 2 faithfully: for branches [i < j < k] and a pair of
+    gaps [(l1, l2) = (t_j - t_i, t_k - t_j)], the Rim & Jain relaxation
+    over the subgraph rooted at [k] — augmented with edges [i -> j]
+    (latency [l1]) and [j -> k] (latency [l2]) — yields simultaneous
+    bounds [(x, y, z)] valid for schedules with those exact gaps.  The
+    grid of gaps is scanned exhaustively within the Theorem-2 ranges; the
+    overflow regions (gaps beyond the caps) are covered by boundary
+    candidates built from the Pairwise evaluator, mirroring the cap
+    argument of Theorem 2.  Minimising [w_i x + w_j y + w_k z] and
+    averaging per branch across all triples (the Theorem-3 argument
+    verbatim) gives the superblock bound.
+
+    The exhaustive grid is quadratic in the critical path, so triples are
+    only evaluated within a work budget; {!superblock_bound} returns
+    [None] when the superblock exceeds it (the caller falls back to the
+    Pairwise bound and reports eligibility separately). *)
+
+type triple = { x : int; y : int; z : int }
+
+val compute_triple :
+  ?grid_budget:int ->
+  Pairwise.t ->
+  int ->
+  int ->
+  int ->
+  triple option
+(** [compute_triple pw i j k] for branch indices [i < j < k].  [None] when
+    the gap grid exceeds [grid_budget] (default 900) points. *)
+
+val superblock_bound :
+  ?grid_budget:int ->
+  ?max_branches:int ->
+  Pairwise.t ->
+  float option
+(** Triplewise bound for the whole superblock.  [None] when the
+    superblock has more than [max_branches] (default 8) branches, fewer
+    than 3 branches, or any triple exceeds the grid budget.  When it
+    returns a value, it is a valid lower bound on the weighted completion
+    time (branch latency included). *)

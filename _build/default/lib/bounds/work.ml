@@ -1,0 +1,25 @@
+let enabled = ref true
+
+let table : (string, int ref) Hashtbl.t = Hashtbl.create 16
+
+let cell key =
+  match Hashtbl.find_opt table key with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add table key r;
+      r
+
+let add key n = if !enabled then (cell key) := !(cell key) + n
+
+let reset () = Hashtbl.reset table
+
+let get key = match Hashtbl.find_opt table key with Some r -> !r | None -> 0
+
+let keys () =
+  Hashtbl.fold (fun k _ acc -> k :: acc) table [] |> List.sort compare
+
+let with_counter key f =
+  let before = get key in
+  let result = f () in
+  (result, get key - before)

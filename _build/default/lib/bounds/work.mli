@@ -1,0 +1,22 @@
+(** Work counters for the empirical-complexity measurements (Table 2 / 6).
+
+    Algorithms report abstract "loop trips" under a string key; the
+    experiment drivers reset the counters, run an algorithm over a corpus
+    and read the totals.  Counting is best effort and documented per
+    algorithm; it is meant to reproduce the *relative* costs the paper
+    reports (e.g. LC ≈ 1.4× RJ, Pairwise ≈ 2 orders of magnitude more). *)
+
+val enabled : bool ref
+(** Counting is on by default; benches may switch it off. *)
+
+val add : string -> int -> unit
+
+val reset : unit -> unit
+
+val get : string -> int
+
+val keys : unit -> string list
+
+val with_counter : string -> (unit -> 'a) -> 'a * int
+(** [with_counter key f] runs [f] and returns the work charged to [key]
+    during the call (other keys unaffected). *)

@@ -1,0 +1,1 @@
+lib/cfg/cfg.ml: Block Format Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+lib/cfg/gen.ml: Block Cfg Instr List Lower Printf Rng Sb_ir Sb_workload

@@ -1,0 +1,1 @@
+lib/cfg/gen.mli: Cfg Sb_ir

@@ -1,0 +1,1 @@
+lib/cfg/instr.ml: Format List Sb_ir

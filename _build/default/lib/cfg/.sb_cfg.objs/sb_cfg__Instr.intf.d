@@ -1,0 +1,1 @@
+lib/cfg/instr.mli: Format Sb_ir

@@ -1,0 +1,1 @@
+lib/cfg/lower.ml: Block Builder Cfg Hashtbl Instr List Sb_ir Trace

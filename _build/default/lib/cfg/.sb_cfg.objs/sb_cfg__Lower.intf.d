@@ -1,0 +1,1 @@
+lib/cfg/lower.mli: Cfg Sb_ir Trace

@@ -1,0 +1,1 @@
+lib/cfg/parse.ml: Block Buffer Cfg Instr List Printf Sb_ir String

@@ -1,0 +1,1 @@
+lib/cfg/parse.mli: Cfg

@@ -1,0 +1,1 @@
+lib/cfg/trace.ml: Cfg Format Hashtbl List Printf String

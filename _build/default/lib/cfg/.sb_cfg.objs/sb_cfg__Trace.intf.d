@@ -1,0 +1,1 @@
+lib/cfg/trace.mli: Cfg Format

@@ -1,0 +1,40 @@
+type terminator =
+  | Exit
+  | Jump of string
+  | Cond of {
+      srcs : Instr.reg list;
+      taken : string;
+      fallthrough : string;
+      prob : float;
+    }
+
+type t = {
+  label : string;
+  body : Instr.t list;
+  term : terminator;
+}
+
+let make ~label ?(body = []) term =
+  if label = "" then invalid_arg "Block.make: empty label";
+  (match term with
+  | Cond { prob; _ } when prob < 0. || prob > 1. ->
+      invalid_arg "Block.make: branch probability outside [0, 1]"
+  | _ -> ());
+  { label; body; term }
+
+let successors t =
+  match t.term with
+  | Exit -> []
+  | Jump l -> [ (l, 1.0) ]
+  | Cond { taken; fallthrough; prob; _ } ->
+      [ (taken, prob); (fallthrough, 1. -. prob) ]
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%s:@," t.label;
+  List.iter (fun i -> Format.fprintf ppf "  %a@," Instr.pp i) t.body;
+  (match t.term with
+  | Exit -> Format.fprintf ppf "  exit"
+  | Jump l -> Format.fprintf ppf "  jump %s" l
+  | Cond { taken; fallthrough; prob; _ } ->
+      Format.fprintf ppf "  br %s (p=%.3f) else %s" taken prob fallthrough);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,27 @@
+(** Basic blocks and their terminators. *)
+
+type terminator =
+  | Exit  (** leaves the region (function return / unanalyzed call) *)
+  | Jump of string  (** unconditional branch to a label *)
+  | Cond of {
+      srcs : Instr.reg list;  (** registers the condition reads *)
+      taken : string;
+      fallthrough : string;
+      prob : float;  (** probability the branch is taken *)
+    }
+
+type t = {
+  label : string;
+  body : Instr.t list;
+  term : terminator;
+}
+
+val make : label:string -> ?body:Instr.t list -> terminator -> t
+(** Raises [Invalid_argument] on an empty label or a probability outside
+    [0, 1]. *)
+
+val successors : t -> (string * float) list
+(** Labels this block can fall into, with edge probabilities (empty for
+    {!Exit}). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,73 @@
+type t = {
+  entry : string;
+  order : Block.t list;
+  by_label : (string, Block.t) Hashtbl.t;
+  preds : (string, (string * float) list) Hashtbl.t;
+}
+
+let make ~entry blocks =
+  if blocks = [] then invalid_arg "Cfg.make: no blocks";
+  let by_label = Hashtbl.create (List.length blocks * 2) in
+  List.iter
+    (fun (b : Block.t) ->
+      if Hashtbl.mem by_label b.Block.label then
+        invalid_arg
+          (Printf.sprintf "Cfg.make: duplicate label %S" b.Block.label);
+      Hashtbl.add by_label b.Block.label b)
+    blocks;
+  if not (Hashtbl.mem by_label entry) then
+    invalid_arg (Printf.sprintf "Cfg.make: entry %S not found" entry);
+  let preds = Hashtbl.create (List.length blocks * 2) in
+  List.iter
+    (fun (b : Block.t) ->
+      List.iter
+        (fun (succ, prob) ->
+          if not (Hashtbl.mem by_label succ) then
+            invalid_arg
+              (Printf.sprintf "Cfg.make: %S branches to unknown label %S"
+                 b.Block.label succ);
+          let cur = Option.value ~default:[] (Hashtbl.find_opt preds succ) in
+          Hashtbl.replace preds succ ((b.Block.label, prob) :: cur))
+        (Block.successors b))
+    blocks;
+  { entry; order = blocks; by_label; preds }
+
+let entry t = t.entry
+
+let blocks t = t.order
+
+let block t label = Hashtbl.find t.by_label label
+
+let successors t label = Block.successors (block t label)
+
+let predecessors t label =
+  Option.value ~default:[] (Hashtbl.find_opt t.preds label)
+
+let frequencies ?(iterations = 256) ?(entry_weight = 1.0) t =
+  let freq = Hashtbl.create 32 in
+  let get l = Option.value ~default:0. (Hashtbl.find_opt freq l) in
+  List.iter (fun (b : Block.t) -> Hashtbl.replace freq b.Block.label 0.) t.order;
+  (* Damped flow iteration: re-inject the entry each pass and propagate
+     along edge probabilities; geometric convergence for loops that can
+     exit. *)
+  for _ = 1 to iterations do
+    let next = Hashtbl.create 32 in
+    Hashtbl.replace next t.entry entry_weight;
+    List.iter
+      (fun (b : Block.t) ->
+        let f = get b.Block.label in
+        List.iter
+          (fun (succ, prob) ->
+            let cur = Option.value ~default:0. (Hashtbl.find_opt next succ) in
+            Hashtbl.replace next succ (cur +. (f *. prob)))
+          (Block.successors b))
+      t.order;
+    Hashtbl.reset freq;
+    Hashtbl.iter (Hashtbl.replace freq) next
+  done;
+  List.map (fun (b : Block.t) -> (b.Block.label, get b.Block.label)) t.order
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>cfg (entry %s):@," t.entry;
+  List.iter (fun b -> Format.fprintf ppf "%a@," Block.pp b) t.order;
+  Format.fprintf ppf "@]"

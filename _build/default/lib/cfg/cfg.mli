@@ -1,0 +1,35 @@
+(** Control-flow graphs with edge profiles.
+
+    A CFG is a set of labelled basic blocks with a distinguished entry.
+    Edge probabilities come from the conditional terminators; block
+    execution frequencies are derived by damped flow propagation (enough
+    for the synthetic front ends used here — a real compiler would carry
+    measured profiles). *)
+
+type t
+
+val make : entry:string -> Block.t list -> t
+(** Validates: the entry exists, labels are unique, every branch target
+    resolves.  Raises [Invalid_argument] otherwise. *)
+
+val entry : t -> string
+
+val blocks : t -> Block.t list
+(** In the order given to {!make}. *)
+
+val block : t -> string -> Block.t
+(** Raises [Not_found] for unknown labels. *)
+
+val successors : t -> string -> (string * float) list
+
+val predecessors : t -> string -> (string * float) list
+(** [(pred_label, edge_probability)] — the probability is the edge's, not
+    the predecessor's frequency. *)
+
+val frequencies : ?iterations:int -> ?entry_weight:float -> t -> (string * float) list
+(** Approximate block execution frequencies: [entry_weight] (default 1.0)
+    enters at the entry and flows along edge probabilities; loops are
+    resolved by bounded iteration (default 256 passes), which converges
+    geometrically for any loop with exit probability > 0. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,130 @@
+open Sb_workload
+
+type params = {
+  n_blocks : int;
+  instrs_mean : float;
+  diamond_prob : float;
+  side_exit_prob : float;
+  loop_prob : float;
+  n_regs : int;
+}
+
+let default_params =
+  {
+    n_blocks = 8;
+    instrs_mean = 4.0;
+    diamond_prob = 0.25;
+    side_exit_prob = 0.3;
+    loop_prob = 0.15;
+    n_regs = 16;
+  }
+
+let opcodes =
+  [|
+    Sb_ir.Opcode.add; Sb_ir.Opcode.sub; Sb_ir.Opcode.and_; Sb_ir.Opcode.or_;
+    Sb_ir.Opcode.shift; Sb_ir.Opcode.cmp; Sb_ir.Opcode.mul; Sb_ir.Opcode.load;
+    Sb_ir.Opcode.store;
+  |]
+
+let gen_body rng p =
+  let n = 1 + Rng.geometric rng ~mean:(p.instrs_mean -. 1.) in
+  List.init n (fun _ ->
+      let op = Rng.pick rng opcodes in
+      let n_srcs = 1 + Rng.int rng 2 in
+      let srcs = List.init n_srcs (fun _ -> Rng.int rng p.n_regs) in
+      let is_mem =
+        Sb_ir.Opcode.equal op Sb_ir.Opcode.store
+        || Sb_ir.Opcode.equal op Sb_ir.Opcode.load
+      in
+      let addr =
+        (* Most accesses go through a few well-known bases (stack/frame
+           style), which is what makes disambiguation pay off. *)
+        if is_mem && Rng.bool rng 0.7 then
+          Some { Instr.base = Rng.int rng 4; offset = 8 * Rng.int rng 8 }
+        else None
+      in
+      if Sb_ir.Opcode.equal op Sb_ir.Opcode.store then Instr.make op ?addr srcs
+      else Instr.make op ~dst:(Rng.int rng p.n_regs) ?addr srcs)
+
+let cond_srcs rng p = [ Rng.int rng p.n_regs ]
+
+let generate ?(params = default_params) ~seed () =
+  let p = params in
+  let rng = Rng.create seed in
+  let blocks = ref [] in
+  let add b = blocks := b :: !blocks in
+  let label i = Printf.sprintf "b%d" i in
+  (* A shared cold exit block for side exits. *)
+  let cold = "cold_exit" in
+  add (Block.make ~label:cold ~body:[] Block.Exit);
+  let n = max 1 p.n_blocks in
+  let i = ref 0 in
+  while !i < n do
+    let this = label !i in
+    let next = if !i + 1 >= n then None else Some (label (!i + 1)) in
+    let body = gen_body rng p in
+    (match next with
+    | None -> add (Block.make ~label:this ~body Block.Exit)
+    | Some next_label ->
+        if Rng.bool rng p.diamond_prob && !i + 3 < n then begin
+          (* this -> {left, right} -> join; the join continues the chain. *)
+          let left = Printf.sprintf "b%d_l" !i
+          and right = Printf.sprintf "b%d_r" !i in
+          let prob = 0.55 +. Rng.float rng 0.4 in
+          add
+            (Block.make ~label:this ~body
+               (Block.Cond
+                  {
+                    srcs = cond_srcs rng p;
+                    taken = left;
+                    fallthrough = right;
+                    prob;
+                  }));
+          add (Block.make ~label:left ~body:(gen_body rng p) (Block.Jump next_label));
+          add (Block.make ~label:right ~body:(gen_body rng p) (Block.Jump next_label))
+        end
+        else if Rng.bool rng p.side_exit_prob then begin
+          (* Side exit to the cold block: the typical superblock shape. *)
+          let prob = 0.02 +. Rng.float rng 0.3 in
+          add
+            (Block.make ~label:this ~body
+               (Block.Cond
+                  {
+                    srcs = cond_srcs rng p;
+                    taken = cold;
+                    fallthrough = next_label;
+                    prob;
+                  }))
+        end
+        else if Rng.bool rng p.loop_prob && !i > 1 then begin
+          (* Back edge: loop to a random earlier block with modest
+             probability, fall through otherwise. *)
+          let target = label (1 + Rng.int rng (!i - 1)) in
+          let prob = 0.2 +. Rng.float rng 0.5 in
+          add
+            (Block.make ~label:this ~body
+               (Block.Cond
+                  {
+                    srcs = cond_srcs rng p;
+                    taken = target;
+                    fallthrough = next_label;
+                    prob;
+                  }))
+        end
+        else add (Block.make ~label:this ~body (Block.Jump next_label)));
+    incr i
+  done;
+  Cfg.make ~entry:(label 0) (List.rev !blocks)
+
+let superblock_corpus ?params ?(per_cfg = max_int) ~seed ~count () =
+  let rng = Sb_workload.Rng.create seed in
+  List.concat_map
+    (fun _ ->
+      let cfg = generate ?params ~seed:(Sb_workload.Rng.next64 rng) () in
+      let sbs =
+        List.filter
+          (fun sb -> Sb_ir.Superblock.n_ops sb > 1)
+          (Lower.superblocks cfg)
+      in
+      List.filteri (fun i _ -> i < per_cfg) sbs)
+    (List.init count (fun i -> i))

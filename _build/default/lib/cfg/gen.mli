@@ -1,0 +1,28 @@
+(** Synthetic control-flow graphs for tests, examples and corpus
+    generation: chains of basic blocks with diamonds (if/else), side
+    exits and loop back edges, over a small virtual register file.
+    Deterministic for a given seed. *)
+
+type params = {
+  n_blocks : int;  (** target block count (>= 1) *)
+  instrs_mean : float;  (** mean instructions per block *)
+  diamond_prob : float;  (** probability a block opens an if/else *)
+  side_exit_prob : float;  (** probability a block branches out of the region *)
+  loop_prob : float;  (** probability of a back edge at a join *)
+  n_regs : int;
+}
+
+val default_params : params
+
+val generate : ?params:params -> seed:int64 -> unit -> Cfg.t
+(** A valid CFG (validated by [Cfg.make]). *)
+
+val superblock_corpus :
+  ?params:params -> ?per_cfg:int -> seed:int64 -> count:int -> unit ->
+  Sb_ir.Superblock.t list
+(** A corpus of scheduling superblocks produced entirely through the
+    compiler pipeline (generate CFGs, form traces, lower) — an
+    alternative to the direct generator in [Sb_workload] with dependence
+    structure that comes from actual register/memory/control analysis.
+    [count] CFGs are generated; each contributes its traces (single-op
+    traces are dropped). *)

@@ -1,0 +1,61 @@
+type reg = int
+
+type address = {
+  base : reg;
+  offset : int;
+}
+
+type t = {
+  op : Sb_ir.Opcode.t;
+  dst : reg option;
+  srcs : reg list;
+  addr : address option;
+}
+
+let is_store_op op = Sb_ir.Opcode.equal op Sb_ir.Opcode.store
+
+let is_memory_op op =
+  is_store_op op || Sb_ir.Opcode.equal op Sb_ir.Opcode.load
+
+let make op ?dst ?addr srcs =
+  if Sb_ir.Opcode.is_branch op then
+    invalid_arg "Instr.make: branches live in block terminators";
+  if List.exists (fun r -> r < 0) srcs then
+    invalid_arg "Instr.make: negative register";
+  (match addr with
+  | Some { base; _ } when base < 0 -> invalid_arg "Instr.make: negative register"
+  | Some _ when not (is_memory_op op) ->
+      invalid_arg "Instr.make: address on a non-memory op"
+  | _ -> ());
+  (match dst with
+  | Some r when r < 0 -> invalid_arg "Instr.make: negative register"
+  | Some _ when is_store_op op -> invalid_arg "Instr.make: store with a dst"
+  | None when not (is_store_op op) ->
+      invalid_arg "Instr.make: non-store without a dst"
+  | _ -> ());
+  { op; dst; srcs; addr }
+
+let is_store t = is_store_op t.op
+
+let is_load t = Sb_ir.Opcode.equal t.op Sb_ir.Opcode.load
+
+let may_alias a b =
+  match (a.addr, b.addr) with
+  | Some x, Some y -> not (x.base = y.base && x.offset <> y.offset)
+  | _ -> true
+
+let pp ppf t =
+  let pp_reg ppf r = Format.fprintf ppf "r%d" r in
+  match t.dst with
+  | Some d ->
+      Format.fprintf ppf "%a = %s %a" pp_reg d t.op.Sb_ir.Opcode.name
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           pp_reg)
+        t.srcs
+  | None ->
+      Format.fprintf ppf "%s %a" t.op.Sb_ir.Opcode.name
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           pp_reg)
+        t.srcs

@@ -1,0 +1,41 @@
+(** Three-address instructions over virtual registers.
+
+    This is the front-end IR that superblock formation consumes: the
+    paper's superblocks come out of a compiler (IMPACT -> Elcor -> LEGO);
+    this substrate stands in for it.  Registers are plain integers;
+    the opcode table is shared with the scheduling IR
+    ({!Sb_ir.Opcode}).  Conditional branches live in the block
+    terminator, not here. *)
+
+type reg = int
+
+type address = {
+  base : reg;
+  offset : int;  (** constant byte offset off [base] *)
+}
+
+type t = {
+  op : Sb_ir.Opcode.t;  (** non-branch opcode *)
+  dst : reg option;  (** [None] for stores *)
+  srcs : reg list;
+  addr : address option;
+      (** memory ops may carry a symbolic address; two accesses with the
+          same base register and different offsets are provably disjoint,
+          which the lowering's disambiguation uses *)
+}
+
+val make : Sb_ir.Opcode.t -> ?dst:reg -> ?addr:address -> reg list -> t
+(** Raises [Invalid_argument] for branch opcodes, negative registers, a
+    store with a destination, a non-store without one, or an address on a
+    non-memory op. *)
+
+val may_alias : t -> t -> bool
+(** Conservative aliasing: memory ops alias unless both carry addresses
+    with the same base register and different offsets.  (Same-base
+    same-offset accesses do alias; different bases may point anywhere.) *)
+
+val is_store : t -> bool
+
+val is_load : t -> bool
+
+val pp : Format.formatter -> t -> unit

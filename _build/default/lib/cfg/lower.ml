@@ -1,0 +1,92 @@
+open Sb_ir
+
+let lower ?name cfg (trace : Trace.trace) =
+  let head = List.hd trace.Trace.blocks in
+  let name =
+    match name with Some n -> n | None -> "sb_" ^ head
+  in
+  let freq = List.assoc head (Cfg.frequencies cfg) in
+  let b = Builder.create ~name ~freq () in
+  (* Dependence state threaded through the walk. *)
+  let last_writer : (Instr.reg, int) Hashtbl.t = Hashtbl.create 32 in
+  let memory_history : (Instr.t * int) list ref = ref [] in
+  let last_branch = ref None in
+  let reach = ref 1.0 in
+  let raw_deps op_id srcs =
+    List.iter
+      (fun r ->
+        match Hashtbl.find_opt last_writer r with
+        | Some producer -> Builder.dep b producer op_id
+        | None -> ())
+      (List.sort_uniq compare srcs)
+  in
+  let add_instr (i : Instr.t) =
+    let id = Builder.add_op b i.Instr.op in
+    raw_deps id i.Instr.srcs;
+    if Instr.is_load i || Instr.is_store i then begin
+      (* Memory ordering with base+offset disambiguation: a load orders
+         after aliasing stores; a store after aliasing stores (output,
+         latency 1) and aliasing loads (anti, latency 0). *)
+      List.iter
+        (fun (earlier, earlier_id) ->
+          if Instr.may_alias earlier i then
+            if Instr.is_store earlier then Builder.dep b earlier_id id
+            else if Instr.is_store i then
+              Builder.dep b ~latency:0 earlier_id id)
+        !memory_history;
+      (* Stores are not speculated above branches. *)
+      if Instr.is_store i then
+        (match !last_branch with
+        | Some br -> Builder.dep b ~latency:0 br id
+        | None -> ());
+      memory_history := (i, id) :: !memory_history
+    end;
+    (match i.Instr.dst with
+    | Some d -> Hashtbl.replace last_writer d id
+    | None -> ())
+  in
+  let add_branch ~prob srcs =
+    let id = Builder.add_branch b ~prob in
+    raw_deps id srcs;
+    last_branch := Some id;
+    id
+  in
+  let rec walk = function
+    | [] -> ()
+    | label :: rest ->
+        let blk = Cfg.block cfg label in
+        List.iter add_instr blk.Block.body;
+        (match (blk.Block.term, rest) with
+        | Block.Cond { srcs; taken; fallthrough; prob; _ }, next :: _ ->
+            (* Leaving the trace happens on whichever side does not
+               continue it (no exit when both sides do). *)
+            let exit_prob =
+              if taken = next && fallthrough = next then 0.
+              else if taken = next then 1. -. prob
+              else prob
+            in
+            ignore (add_branch ~prob:(!reach *. exit_prob) srcs);
+            reach := !reach *. (1. -. exit_prob)
+        | Block.Cond { srcs; prob; _ }, [] ->
+            (* The trace ends on a conditional: the taken side is one
+               exit, the fall-through the final one. *)
+            ignore (add_branch ~prob:(!reach *. prob) srcs);
+            ignore (add_branch ~prob:(!reach *. (1. -. prob)) []);
+            reach := 0.
+        | Block.Jump next_label, next :: _ when next_label = next ->
+            (* Internal unconditional jump: removed by trace layout. *)
+            ()
+        | (Block.Jump _ | Block.Exit), _ :: _ ->
+            (* The trace selector never continues past a jump elsewhere
+               or an exit. *)
+            assert false
+        | (Block.Jump _ | Block.Exit), [] ->
+            ignore (add_branch ~prob:!reach []);
+            reach := 0.);
+        walk rest
+  in
+  walk trace.Trace.blocks;
+  Builder.build b
+
+let superblocks ?threshold ?max_blocks cfg =
+  List.map (lower cfg) (Trace.form ?threshold ?max_blocks cfg)

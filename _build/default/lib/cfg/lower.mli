@@ -1,0 +1,24 @@
+(** Lowering traces to scheduling superblocks.
+
+    The dependence analysis a scheduler needs, over a trace:
+
+    - flow (RAW) dependences through virtual registers, with the
+      producer's result latency (anti and output dependences are assumed
+      renamed away, as in the paper's compilers);
+    - conservative memory ordering: a store orders after every earlier
+      load and store, and every later load orders after it (no alias
+      analysis);
+    - control: each conditional terminator becomes a branch operation
+      whose exit probability is the probability of leaving the trace
+      there (conditioned on having reached it); the trace's fall-through
+      gets the remaining probability as the final exit;
+    - speculation: loads (and all register ops) may move above branches,
+      stores may not — each store is anchored to the latest preceding
+      branch. *)
+
+val lower : ?name:string -> Cfg.t -> Trace.trace -> Sb_ir.Superblock.t
+(** The superblock's [freq] is the trace head's execution frequency. *)
+
+val superblocks :
+  ?threshold:float -> ?max_blocks:int -> Cfg.t -> Sb_ir.Superblock.t list
+(** [Trace.form] + {!lower} for the whole CFG, hottest trace first. *)

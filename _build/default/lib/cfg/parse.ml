@@ -1,0 +1,180 @@
+exception Parse_error of string
+
+let fail lineno msg =
+  raise (Parse_error (Printf.sprintf "line %d: %s" lineno msg))
+
+let split_ws s = String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+
+let reg_of lineno w =
+  if String.length w < 2 || w.[0] <> 'r' then
+    fail lineno (Printf.sprintf "expected a register (rN), got %S" w)
+  else
+    match int_of_string_opt (String.sub w 1 (String.length w - 1)) with
+    | Some r when r >= 0 -> r
+    | _ -> fail lineno (Printf.sprintf "bad register %S" w)
+
+let addr_of lineno w =
+  (* "[rN+K]" or "[rN]" *)
+  let inner = String.sub w 1 (String.length w - 2) in
+  match String.split_on_char '+' inner with
+  | [ base ] -> { Instr.base = reg_of lineno base; offset = 0 }
+  | [ base; off ] -> begin
+      match int_of_string_opt off with
+      | Some offset -> { Instr.base = reg_of lineno base; offset }
+      | None -> fail lineno (Printf.sprintf "bad offset in %S" w)
+    end
+  | _ -> fail lineno (Printf.sprintf "bad address %S" w)
+
+let split_operands lineno words =
+  List.fold_left
+    (fun (srcs, addr) w ->
+      if String.length w >= 3 && w.[0] = '[' && w.[String.length w - 1] = ']'
+      then
+        match addr with
+        | None -> (srcs, Some (addr_of lineno w))
+        | Some _ -> fail lineno "multiple addresses"
+      else (reg_of lineno w :: srcs, addr))
+    ([], None) words
+  |> fun (srcs, addr) -> (List.rev srcs, addr)
+
+let opcode_of lineno w =
+  match Sb_ir.Opcode.by_name w with
+  | Some op when not (Sb_ir.Opcode.is_branch op) -> op
+  | _ -> fail lineno (Printf.sprintf "unknown opcode %S" w)
+
+type pending = {
+  label : string;
+  mutable body_rev : Instr.t list;
+  mutable term : Block.terminator option;
+}
+
+let parse_string text =
+  let lines = String.split_on_char '\n' text in
+  let entry = ref None in
+  let blocks_rev = ref [] in
+  let current = ref None in
+  let finish lineno =
+    match !current with
+    | None -> ()
+    | Some p -> (
+        match p.term with
+        | None -> fail lineno (Printf.sprintf "block %s has no terminator" p.label)
+        | Some term ->
+            blocks_rev :=
+              Block.make ~label:p.label ~body:(List.rev p.body_rev) term
+              :: !blocks_rev;
+            current := None)
+  in
+  let require_block lineno =
+    match !current with
+    | Some p when p.term = None -> p
+    | Some p -> fail lineno (Printf.sprintf "block %s already terminated" p.label)
+    | None -> fail lineno "instruction outside a block"
+  in
+  let parse_line lineno line =
+    let line =
+      match String.index_opt line '#' with
+      | Some i -> String.sub line 0 i
+      | None -> line
+    in
+    match split_ws (String.trim line) with
+    | [] -> ()
+    | [ "cfg"; kv ] -> begin
+        match String.split_on_char '=' kv with
+        | [ "entry"; l ] -> entry := Some l
+        | _ -> fail lineno "expected: cfg entry=LABEL"
+      end
+    | [ "block"; label ] ->
+        finish lineno;
+        current := Some { label; body_rev = []; term = None }
+    | [ "exit" ] -> (require_block lineno).term <- Some Block.Exit
+    | [ "jump"; l ] -> (require_block lineno).term <- Some (Block.Jump l)
+    | "br" :: taken :: prob :: "else" :: fallthrough :: rest -> begin
+        let p = require_block lineno in
+        match float_of_string_opt prob with
+        | Some prob when prob >= 0. && prob <= 1. ->
+            let srcs =
+              match rest with
+              | "uses" :: regs -> List.map (reg_of lineno) regs
+              | [] -> begin
+                  (* Condition registers may be left implicit: default to
+                     the block's last definition. *)
+                  match p.body_rev with
+                  | { Instr.dst = Some d; _ } :: _ -> [ d ]
+                  | _ -> []
+                end
+              | w :: _ -> fail lineno (Printf.sprintf "unexpected %S" w)
+            in
+            p.term <- Some (Block.Cond { srcs; taken; fallthrough; prob })
+        | _ -> fail lineno (Printf.sprintf "bad probability %S" prob)
+      end
+    | dst :: "=" :: opname :: operands ->
+        let p = require_block lineno in
+        let srcs, addr = split_operands lineno operands in
+        let instr =
+          Instr.make (opcode_of lineno opname) ~dst:(reg_of lineno dst) ?addr
+            srcs
+        in
+        p.body_rev <- instr :: p.body_rev
+    | "store" :: operands ->
+        let p = require_block lineno in
+        let srcs, addr = split_operands lineno operands in
+        p.body_rev <- Instr.make Sb_ir.Opcode.store ?addr srcs :: p.body_rev
+    | w :: _ -> fail lineno (Printf.sprintf "unknown directive %S" w)
+  in
+  try
+    List.iteri (fun i l -> parse_line (i + 1) l) lines;
+    finish (List.length lines);
+    match !entry with
+    | None -> Error "missing 'cfg entry=...' line"
+    | Some entry -> (
+        try Ok (Cfg.make ~entry (List.rev !blocks_rev))
+        with Invalid_argument msg -> Error msg)
+  with Parse_error msg -> Error msg
+
+let to_string cfg =
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf "cfg entry=%s\n" (Cfg.entry cfg);
+  List.iter
+    (fun (b : Block.t) ->
+      Printf.bprintf buf "block %s\n" b.Block.label;
+      List.iter
+        (fun (i : Instr.t) ->
+          let srcs =
+            String.concat " " (List.map (Printf.sprintf "r%d") i.Instr.srcs)
+          in
+          let srcs =
+            match i.Instr.addr with
+            | Some { Instr.base; offset } ->
+                Printf.sprintf "%s [r%d+%d]" srcs base offset
+            | None -> srcs
+          in
+          match i.Instr.dst with
+          | Some d ->
+              Printf.bprintf buf "  r%d = %s %s\n" d i.Instr.op.Sb_ir.Opcode.name srcs
+          | None -> Printf.bprintf buf "  store %s\n" srcs)
+        b.Block.body;
+      match b.Block.term with
+      | Block.Exit -> Buffer.add_string buf "  exit\n"
+      | Block.Jump l -> Printf.bprintf buf "  jump %s\n" l
+      | Block.Cond { taken; fallthrough; prob; srcs } ->
+          Printf.bprintf buf "  br %s %.17g else %s%s\n" taken prob fallthrough
+            (match srcs with
+            | [] -> ""
+            | _ ->
+                " uses "
+                ^ String.concat " " (List.map (Printf.sprintf "r%d") srcs)))
+    (Cfg.blocks cfg);
+  Buffer.contents buf
+
+let load_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse_string text
+
+let save_file path cfg =
+  let oc = open_out path in
+  output_string oc (to_string cfg);
+  close_out oc

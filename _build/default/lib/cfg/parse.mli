@@ -1,0 +1,35 @@
+(** Textual interchange format for control-flow graphs.
+
+    Line based; [#] starts a comment.  A file holds one CFG:
+
+    {v
+    cfg entry=head
+    block head
+      r1 = load r0
+      r2 = cmp r1
+      br rare 0.08 else hot
+    block hot
+      r3 = mul r1 r1
+      store r3
+      jump latch
+    block rare
+      jump latch
+    block latch
+      r0 = add r0
+      br head 0.9375 else done
+    block done
+      exit
+    v}
+
+    Instructions are [dst = opcode srcs...] (or [store srcs...]); every
+    block ends with exactly one terminator line ([exit], [jump LABEL], or
+    [br TAKEN PROB else FALLTHROUGH]). *)
+
+val parse_string : string -> (Cfg.t, string) result
+
+val to_string : Cfg.t -> string
+(** Prints in the same format; [parse_string] round-trips it. *)
+
+val load_file : string -> (Cfg.t, string) result
+
+val save_file : string -> Cfg.t -> unit

@@ -1,0 +1,84 @@
+type trace = {
+  blocks : string list;
+  duplicated : int;
+}
+
+let best_successor cfg visited label =
+  match
+    List.sort
+      (fun (_, p1) (_, p2) -> compare p2 p1)
+      (Cfg.successors cfg label)
+  with
+  | (succ, prob) :: _ when not (Hashtbl.mem visited succ) -> Some (succ, prob)
+  | _ -> None
+
+(* The "most likely predecessor" is the one contributing the most flow:
+   its own frequency times the edge probability. *)
+let best_predecessor cfg freq_of label =
+  match
+    List.sort
+      (fun (l1, p1) (l2, p2) ->
+        compare (freq_of l2 *. p2) (freq_of l1 *. p1))
+      (Cfg.predecessors cfg label)
+  with
+  | (pred, _) :: _ -> Some pred
+  | [] -> None
+
+let form ?(threshold = 0.55) ?(max_blocks = 32) cfg =
+  let freqs = Cfg.frequencies cfg in
+  let freq_of l = List.assoc l freqs in
+  let best_predecessor = best_predecessor cfg freq_of in
+  let hottest_first =
+    List.sort (fun (_, f1) (_, f2) -> compare f2 f1) freqs
+  in
+  let visited = Hashtbl.create 32 in
+  let traces = ref [] in
+  List.iter
+    (fun (seed, _) ->
+      if not (Hashtbl.mem visited seed) then begin
+        Hashtbl.replace visited seed ();
+        let rec grow acc label n =
+          if n >= max_blocks then List.rev acc
+          else
+            match best_successor cfg visited label with
+            | Some (succ, prob)
+              when prob >= threshold
+                   && succ <> Cfg.entry cfg
+                   && best_predecessor succ = Some label ->
+                Hashtbl.replace visited succ ();
+                grow (succ :: acc) succ (n + 1)
+            | _ -> List.rev acc
+        in
+        let blocks = grow [ seed ] seed 1 in
+        (* Side entrances: a predecessor outside the trace targeting a
+           non-head trace block forces duplication of that block and the
+           rest of the trace. *)
+        let in_trace = Hashtbl.create 8 in
+        List.iter (fun l -> Hashtbl.replace in_trace l ()) blocks;
+        let duplicated = ref 0 in
+        let rec scan = function
+          | [] -> ()
+          | l :: rest ->
+              let side_entry =
+                List.exists
+                  (fun (pred, _) -> not (Hashtbl.mem in_trace pred))
+                  (Cfg.predecessors cfg l)
+              in
+              if side_entry then duplicated := 1 + List.length rest
+              else scan rest
+        in
+        (match blocks with [] -> () | _ :: tail -> scan tail);
+        traces := { blocks; duplicated = !duplicated } :: !traces
+      end)
+    hottest_first;
+  (* Hottest first: order by the seed's frequency. *)
+  List.sort
+    (fun t1 t2 ->
+      compare (freq_of (List.hd t2.blocks)) (freq_of (List.hd t1.blocks)))
+    (List.rev !traces)
+
+let pp ppf t =
+  Format.fprintf ppf "trace [%s]%s"
+    (String.concat " -> " t.blocks)
+    (if t.duplicated > 0 then Printf.sprintf " (+%d duplicated)" t.duplicated
+     else "")

@@ -1,0 +1,31 @@
+(** Superblock formation: trace selection and tail duplication.
+
+    The classic algorithm (Hwu et al., the paper's reference [3]):
+    traces are grown from the most frequently executed unvisited block,
+    following the {e mutually most likely} successor — the successor must
+    be the block's likeliest target, the block must be the successor's
+    likeliest predecessor, and the edge probability must clear a
+    threshold.  A trace never revisits a block and never crosses the
+    region entry.  Side entrances into the trace are then removed by tail
+    duplication, which is what turns a trace into a single-entry
+    superblock; since the duplicated code is identical for scheduling
+    purposes, we record how many blocks would be duplicated rather than
+    materialising the copies. *)
+
+type trace = {
+  blocks : string list;  (** labels, in control-flow order *)
+  duplicated : int;
+      (** blocks after a side entrance — the tail duplication cost *)
+}
+
+val form :
+  ?threshold:float ->
+  ?max_blocks:int ->
+  Cfg.t ->
+  trace list
+(** Partition the CFG into traces.  [threshold] (default 0.55) is the
+    minimum edge probability followed; [max_blocks] (default 32) caps the
+    trace length.  Every block belongs to exactly one trace; traces are
+    returned hottest first. *)
+
+val pp : Format.formatter -> trace -> unit

@@ -1,0 +1,21 @@
+(** Umbrella module: the public entry point of the library.
+
+    Downstream users depend on the [balance] library and reach every
+    subsystem through one module:
+
+    {[
+      let sb = (* build a superblock with Balance.Ir.Builder *) ... in
+      let schedule =
+        Balance.Sched.Balance.schedule Balance.Machine.Config.fs4 sb
+      in
+      Format.printf "%a@." Balance.Sched.Schedule.pp schedule
+    ]} *)
+
+module Ir = Sb_ir
+module Cfg = Sb_cfg
+module Machine = Sb_machine
+module Bounds = Sb_bounds
+module Sched = Sb_sched
+module Workload = Sb_workload
+module Eval = Sb_eval
+module Sim = Sb_sim

@@ -1,0 +1,1 @@
+lib/eval/experiments.ml: Array Config Float List Metrics Printf Sb_bounds Sb_cfg Sb_ir Sb_machine Sb_sched Sb_workload String Superblock Table Unix

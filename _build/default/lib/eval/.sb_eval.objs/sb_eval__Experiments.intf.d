@@ -1,0 +1,1 @@
+lib/eval/experiments.mli: Sb_machine Sb_workload Table

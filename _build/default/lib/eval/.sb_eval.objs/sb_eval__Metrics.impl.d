@@ -1,0 +1,1 @@
+lib/eval/metrics.ml: Array List Printf Sb_bounds Sb_ir Sb_sched Superblock

@@ -1,0 +1,1 @@
+lib/eval/metrics.mli: Sb_bounds Sb_ir Sb_machine Sb_sched

@@ -1,0 +1,1 @@
+lib/eval/table.ml: Array Buffer List Printf String

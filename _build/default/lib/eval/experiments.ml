@@ -1,0 +1,545 @@
+open Sb_ir
+open Sb_machine
+
+type corpus_kind = Synthetic | Via_cfg
+
+type setup = {
+  scale : float;
+  configs : Config.t list;
+  heavy_configs : Config.t list;
+  with_tw : bool;
+  corpus_kind : corpus_kind;
+  seed_note : string;
+}
+
+let default_setup ?(scale = 0.03) ?(with_tw = true) ?(corpus_kind = Synthetic) () =
+  {
+    scale;
+    configs = Config.all;
+    heavy_configs = [ Config.gp2; Config.fs4 ];
+    with_tw;
+    corpus_kind;
+    seed_note = "deterministic synthetic SPECint95-like corpus";
+  }
+
+type prepared = {
+  setup : setup;
+  corpus : Sb_workload.Corpus.t list;
+  superblocks : Superblock.t list;
+  records : (Config.t * Metrics.record list) list;
+}
+
+let prepare setup =
+  let corpus =
+    match setup.corpus_kind with
+    | Synthetic -> Sb_workload.Corpus.generate ~scale:setup.scale ()
+    | Via_cfg ->
+        (* Roughly three traces per CFG; match the synthetic corpus size. *)
+        let count =
+          max 2
+            (int_of_float
+               (Float.round
+                  (setup.scale
+                  *. float_of_int Sb_workload.Spec_model.total_full_count
+                  /. 3.)))
+        in
+        [
+          {
+            Sb_workload.Corpus.name = "cfg.pipeline";
+            superblocks = Sb_cfg.Gen.superblock_corpus ~seed:0xCF9L ~count ();
+          };
+        ]
+  in
+  let superblocks = Sb_workload.Corpus.all_superblocks corpus in
+  let records =
+    List.map
+      (fun config ->
+        (config, Metrics.evaluate ~with_tw:setup.with_tw config superblocks))
+      setup.configs
+  in
+  { setup; corpus; superblocks; records }
+
+let corpus_of p = p.corpus
+
+let heuristic_shorts =
+  List.map (fun (h : Sb_sched.Registry.heuristic) -> h.short) Sb_sched.Registry.all
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: bound quality                                              *)
+(* ------------------------------------------------------------------ *)
+
+let is_gp (c : Config.t) = Config.n_resources c = 1
+
+let table1 p =
+  let bound_methods =
+    [
+      ("CP", fun (b : Sb_bounds.Superblock_bound.all) -> Some b.cp);
+      ("Hu", fun b -> Some b.hu);
+      ("RJ", fun b -> Some b.rj);
+      ("LC", fun b -> Some b.lc);
+      ("PW", fun b -> Some b.pw);
+      ("TW", fun (b : Sb_bounds.Superblock_bound.all) -> b.tw);
+    ]
+  in
+  let group_stats group_configs extract =
+    let gaps = ref [] and below = ref 0 and total = ref 0 in
+    List.iter
+      (fun (config, records) ->
+        if List.memq config group_configs then
+          List.iter
+            (fun (r : Metrics.record) ->
+              match extract r.Metrics.bounds with
+              | None -> ()
+              | Some v ->
+                  let tight = Metrics.bound r in
+                  if tight > 0. then begin
+                    incr total;
+                    let gap = 100. *. (tight -. v) /. tight in
+                    gaps := gap :: !gaps;
+                    if v < tight -. 1e-6 then incr below
+                  end)
+            records)
+      p.records;
+    match !gaps with
+    | [] -> (0., 0., 0., 0)
+    | l ->
+        ( Metrics.mean l,
+          List.fold_left max 0. l,
+          100. *. float_of_int !below /. float_of_int !total,
+          !total )
+  in
+  let gp = List.filter is_gp p.setup.configs in
+  let fs = List.filter (fun c -> not (is_gp c)) p.setup.configs in
+  let tw_eligible = ref 0 and tw_total = ref 0 in
+  List.iter
+    (fun (_, records) ->
+      List.iter
+        (fun (r : Metrics.record) ->
+          incr tw_total;
+          if r.Metrics.bounds.Sb_bounds.Superblock_bound.tw <> None then
+            incr tw_eligible)
+        records)
+    p.records;
+  let rows =
+    List.map
+      (fun (name, extract) ->
+        let gavg, gmax, gnum, _ = group_stats gp extract in
+        let favg, fmax, fnum, _ = group_stats fs extract in
+        [
+          name;
+          Table.pct gavg;
+          Table.pct gmax;
+          Table.pct gnum;
+          Table.pct favg;
+          Table.pct fmax;
+          Table.pct fnum;
+        ])
+      bound_methods
+  in
+  Table.make ~title:"Table 1: bound quality relative to the tightest lower bound"
+    ~headers:[ "bound"; "GP avg"; "GP max"; "GP num"; "FS avg"; "FS max"; "FS num" ]
+    ~notes:
+      [
+        "avg/max = weighted-completion-time gap to the tightest bound; num = \
+         superblocks strictly below it";
+        Printf.sprintf
+          "TW computed for %d/%d (config,superblock) pairs within its \
+           branch/grid budget; its rows cover that slice"
+          !tw_eligible !tw_total;
+      ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: bound algorithm cost                                       *)
+(* ------------------------------------------------------------------ *)
+
+let table2 p =
+  let measure key f =
+    let samples = ref [] in
+    List.iter
+      (fun config ->
+        List.iter
+          (fun sb ->
+            let (), work = Sb_bounds.Work.with_counter key (fun () -> f config sb) in
+            samples := work :: !samples)
+          p.superblocks)
+      p.setup.heavy_configs;
+    let l = !samples in
+    ( Metrics.mean (List.map float_of_int l),
+      Metrics.median_int l )
+  in
+  let per_branch f config (sb : Superblock.t) =
+    Array.iter (fun b -> ignore (f config sb b : int)) sb.Superblock.branches
+  in
+  let rows_data =
+    [
+      ( "CP",
+        measure "cp" (fun _config sb ->
+            ignore (Sb_bounds.Dep_bounds.cp_bound_per_branch sb : int array)) );
+      ( "Hu",
+        measure "hu"
+          (per_branch (fun config sb b -> Sb_bounds.Hu.branch_bound config sb ~root:b)) );
+      ( "RJ",
+        measure "rj"
+          (per_branch (fun config sb b ->
+               Sb_bounds.Rim_jain.branch_bound config sb ~root:b)) );
+      ( "LC",
+        measure "lc" (fun config sb ->
+            ignore (Sb_bounds.Langevin_cerny.early_rc config sb : int array)) );
+      ( "LC-original",
+        measure "lc_original" (fun config sb ->
+            ignore
+              (Sb_bounds.Langevin_cerny.early_rc ~use_theorem1:false
+                 ~work_key:"lc_original" config sb
+                : int array)) );
+      ( "LC-reverse",
+        measure "lc_reverse" (fun config sb ->
+            Array.iter
+              (fun b ->
+                ignore
+                  (Sb_bounds.Langevin_cerny.reverse_early_rc config sb ~root:b
+                    : int array))
+              sb.Superblock.branches) );
+      ( "PW",
+        measure "pw" (fun config sb ->
+            let erc = Sb_bounds.Langevin_cerny.early_rc ~work_key:"pw" config sb in
+            ignore (Sb_bounds.Pairwise.compute config sb ~early_rc:erc)) );
+      ( "TW",
+        measure "tw" (fun config sb ->
+            let erc = Sb_bounds.Langevin_cerny.early_rc ~work_key:"tw" config sb in
+            let pw = Sb_bounds.Pairwise.compute ~work_key:"tw" config sb ~early_rc:erc in
+            ignore (Sb_bounds.Triplewise.superblock_bound pw : float option)) );
+    ]
+  in
+  let rj_avg = match rows_data with _ :: _ :: (_, (avg, _)) :: _ -> avg | _ -> 1. in
+  let rows =
+    List.map
+      (fun (name, (avg, med)) ->
+        [
+          name;
+          Printf.sprintf "%.1f" avg;
+          string_of_int med;
+          Printf.sprintf "%.2fx" (avg /. rj_avg);
+        ])
+      rows_data
+  in
+  Table.make ~title:"Table 2: cost of the bound algorithms (loop trips per superblock)"
+    ~headers:[ "algorithm"; "average"; "median"; "vs RJ" ]
+    ~notes:
+      [
+        Printf.sprintf "measured over %d superblocks on %s"
+          (List.length p.superblocks)
+          (String.concat ", "
+             (List.map (fun (c : Config.t) -> c.Config.name) p.setup.heavy_configs));
+        "LC-original disables Theorem 1 (the trivial bound recursion); PW/TW \
+         include their private LC passes";
+      ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Tables 3-5: heuristic performance                                   *)
+(* ------------------------------------------------------------------ *)
+
+let table3 p =
+  let rows =
+    List.map
+      (fun ((config : Config.t), records) ->
+        [ config.Config.name ]
+        @ [
+            Printf.sprintf "%.0f" (Metrics.dynamic_bound_cycles records);
+            Table.pct (Metrics.trivial_cycle_fraction records);
+          ]
+        @ List.map
+            (fun h -> Table.pct (Metrics.slowdown_nontrivial records h))
+            heuristic_shorts)
+      p.records
+  in
+  let avg_row =
+    [ "Avg"; ""; "" ]
+    @ List.map
+        (fun h ->
+          Table.pct
+            (Metrics.mean
+               (List.map (fun (_, records) -> Metrics.slowdown_nontrivial records h) p.records)))
+        heuristic_shorts
+  in
+  Table.make
+    ~title:
+      "Table 3: slowdown relative to the tightest lower bound (dynamic \
+       cycles, nontrivial superblocks)"
+    ~headers:([ "config"; "bound cyc"; "trivial" ] @ heuristic_shorts)
+    (rows @ [ avg_row ])
+
+let table4 p =
+  let rows =
+    List.map
+      (fun ((config : Config.t), records) ->
+        [ config.Config.name ]
+        @ List.map
+            (fun h -> Table.pct (Metrics.optimal_nontrivial_pct records h))
+            heuristic_shorts)
+      p.records
+  in
+  Table.make ~title:"Table 4: optimally scheduled nontrivial superblocks"
+    ~headers:([ "config" ] @ heuristic_shorts)
+    rows
+
+(* Reweight for the no-profile experiment: unit weight on side exits,
+   1000 on the last, normalised into probabilities. *)
+let no_profile_weights (sb : Superblock.t) =
+  let nb = Superblock.n_branches sb in
+  let total = 1000. +. float_of_int (nb - 1) in
+  Array.init nb (fun k -> if k = nb - 1 then 1000. /. total else 1. /. total)
+
+let table5 p =
+  let rows =
+    List.map
+      (fun ((config : Config.t), records) ->
+        let slowdowns =
+          List.map
+            (fun (h : Sb_sched.Registry.heuristic) ->
+              if h.name = "best" then
+                (* Best keeps the real profile, as in the paper. *)
+                Metrics.slowdown_nontrivial records h.short
+              else begin
+                let nontrivial =
+                  List.filter (fun r -> not (Metrics.is_trivial r)) records
+                in
+                let bound = Metrics.dynamic_bound_cycles nontrivial in
+                if bound <= 0. then 0.
+                else begin
+                  let achieved =
+                    List.fold_left
+                      (fun acc (r : Metrics.record) ->
+                        let sb = r.Metrics.sb in
+                        let blind =
+                          Superblock.with_weights sb (no_profile_weights sb)
+                        in
+                        let s = h.run config blind in
+                        (* Evaluate against the *true* weights. *)
+                        let wct = ref 0. in
+                        for k = 0 to Superblock.n_branches sb - 1 do
+                          wct :=
+                            !wct
+                            +. Superblock.weight sb k
+                               *. float_of_int
+                                    (s.Sb_sched.Schedule.issue.(Superblock.branch_op sb k)
+                                    + Superblock.branch_latency sb)
+                        done;
+                        acc +. (sb.Superblock.freq *. !wct))
+                      0. nontrivial
+                  in
+                  100. *. (achieved -. bound) /. bound
+                end
+              end)
+            Sb_sched.Registry.all
+        in
+        [ config.Config.name ] @ List.map Table.pct slowdowns)
+      p.records
+  in
+  Table.make
+    ~title:
+      "Table 5: slowdown without profile data (exit weights 1000:1, \
+       evaluated on true weights)"
+    ~headers:([ "config" ] @ heuristic_shorts)
+    ~notes:[ "Best keeps the true profile, as in the paper" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Table 6: heuristic cost                                             *)
+(* ------------------------------------------------------------------ *)
+
+let table6 p =
+  let variants =
+    List.map
+      (fun (h : Sb_sched.Registry.heuristic) -> (h.short, h.run))
+      Sb_sched.Registry.primaries
+    @ [
+        ( "Balance/light",
+          fun config sb ->
+            Sb_sched.Balance.schedule
+              ~options:
+                { Sb_sched.Balance.default_options with
+                  update = Sb_sched.Balance.Light
+                }
+              config sb );
+        ( "Balance/cycle",
+          fun config sb ->
+            Sb_sched.Balance.schedule
+              ~options:
+                { Sb_sched.Balance.default_options with
+                  update = Sb_sched.Balance.Per_cycle
+                }
+              config sb );
+      ]
+  in
+  let rows =
+    List.map
+      (fun (name, run) ->
+        let trips = ref [] and micros = ref [] in
+        List.iter
+          (fun config ->
+            List.iter
+              (fun sb ->
+                let t0 = Unix.gettimeofday () in
+                let (), work =
+                  Sb_bounds.Work.with_counter "sched" (fun () ->
+                      ignore (run config sb : Sb_sched.Schedule.t))
+                in
+                micros := 1e6 *. (Unix.gettimeofday () -. t0) :: !micros;
+                trips := work :: !trips)
+              p.superblocks)
+          p.setup.heavy_configs;
+        [
+          name;
+          Printf.sprintf "%.1f" (Metrics.mean (List.map float_of_int !trips));
+          string_of_int (Metrics.median_int !trips);
+          Printf.sprintf "%.0f" (Metrics.mean !micros);
+        ])
+      variants
+  in
+  Table.make ~title:"Table 6: scheduling cost per heuristic"
+    ~headers:[ "heuristic"; "avg trips"; "median"; "avg us" ]
+    ~notes:
+      [
+        "engine loop trips exclude the static bound computation, as in the \
+         paper";
+        "Balance/cycle updates the dynamic bounds once per cycle instead of \
+         once per scheduled operation";
+      ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Table 7: Balance component ablation                                 *)
+(* ------------------------------------------------------------------ *)
+
+let table7 p =
+  let combos =
+    [
+      ("Help", (false, false, false));
+      ("HlpDel", (false, true, false));
+      ("Help+Bnd", (true, false, false));
+      ("HlpDel+Bnd", (true, true, false));
+      ("+Tradeoff", (true, true, true));
+    ]
+  in
+  let heavy_records =
+    List.filter (fun (c, _) -> List.memq c p.setup.heavy_configs) p.records
+  in
+  let slowdown_of options =
+    Metrics.mean
+      (List.map
+         (fun (config, records) ->
+           let nontrivial =
+             List.filter (fun r -> not (Metrics.is_trivial r)) records
+           in
+           let bound = Metrics.dynamic_bound_cycles nontrivial in
+           if bound <= 0. then 0.
+           else begin
+             let achieved =
+               List.fold_left
+                 (fun acc (r : Metrics.record) ->
+                   let s =
+                     Sb_sched.Balance.schedule ~options
+                       ~precomputed:r.Metrics.bounds config r.Metrics.sb
+                   in
+                   acc
+                   +. (r.Metrics.sb.Superblock.freq
+                      *. Sb_sched.Schedule.weighted_completion_time s))
+                 0. nontrivial
+             in
+             100. *. (achieved -. bound) /. bound
+           end)
+         heavy_records)
+  in
+  let row update label =
+    [ label ]
+    @ List.map
+        (fun (_, (bounds, hlpdel, tradeoff)) ->
+          Table.pct
+            (slowdown_of
+               {
+                 Sb_sched.Balance.use_bounds = bounds;
+                 use_hlpdel = hlpdel;
+                 use_tradeoff = tradeoff;
+                 update;
+               }))
+        combos
+  in
+  Table.make ~title:"Table 7: Balance component ablation (avg slowdown, nontrivial)"
+    ~headers:([ "update" ] @ List.map fst combos)
+    ~notes:
+      [
+        Printf.sprintf "averaged over %s"
+          (String.concat ", "
+             (List.map (fun (c : Config.t) -> c.Config.name) p.setup.heavy_configs));
+      ]
+    [
+      row Sb_sched.Balance.Per_cycle "per cycle";
+      row Sb_sched.Balance.Light "light";
+      row Sb_sched.Balance.Full "per op";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 8: CDF of extra cycles (gcc on FS4)                          *)
+(* ------------------------------------------------------------------ *)
+
+let figure8 p =
+  let config, records =
+    match
+      List.find_opt (fun ((c : Config.t), _) -> c.Config.name = "FS4") p.records
+    with
+    | Some (c, r) -> (c, r)
+    | None -> List.hd p.records
+  in
+  let gcc =
+    List.filter
+      (fun (r : Metrics.record) ->
+        String.length r.Metrics.sb.Superblock.name >= 7
+        && String.sub r.Metrics.sb.Superblock.name 0 7 = "126.gcc")
+      records
+  in
+  let thresholds = [ 0.; 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128.; 1024. ] in
+  let rows =
+    List.map
+      (fun thr ->
+        [ Printf.sprintf "%.0f" thr ]
+        @ List.map
+            (fun h ->
+              let n = List.length gcc in
+              if n = 0 then "-"
+              else begin
+                let ok =
+                  List.filter
+                    (fun (r : Metrics.record) ->
+                      let w = List.assoc h r.Metrics.wct in
+                      r.Metrics.sb.Superblock.freq *. (w -. Metrics.bound r)
+                      <= thr +. 1e-6)
+                    gcc
+                in
+                Table.pct (100. *. float_of_int (List.length ok) /. float_of_int n)
+              end)
+            heuristic_shorts)
+      thresholds
+  in
+  Table.make
+    ~title:
+      (Printf.sprintf
+         "Figure 8: superblocks within X extra dynamic cycles of the bound \
+          (%s on %s)"
+         "126.gcc" config.Config.name)
+    ~headers:([ "extra<=" ] @ heuristic_shorts)
+    ~notes:[ "the first row (0 extra cycles) is the optimally-scheduled fraction" ]
+    rows
+
+let run_all p =
+  [
+    ("table1", table1 p);
+    ("table2", table2 p);
+    ("figure8", figure8 p);
+    ("table3", table3 p);
+    ("table4", table4 p);
+    ("table5", table5 p);
+    ("table6", table6 p);
+    ("table7", table7 p);
+  ]

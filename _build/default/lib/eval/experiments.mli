@@ -1,0 +1,71 @@
+(** Drivers that regenerate every table and figure of the paper's
+    evaluation (Section 6) on the synthetic corpus.
+
+    Absolute numbers differ from the paper (the workload is synthetic and
+    the substrate is ours); the drivers reproduce the paper's {e shape}:
+    which bound/heuristic wins where, and by roughly what kind of margin.
+    See EXPERIMENTS.md for the side-by-side reading. *)
+
+type corpus_kind =
+  | Synthetic  (** the SPECint95-like direct generator (the default) *)
+  | Via_cfg
+      (** superblocks formed through the full compiler pipeline
+          ([Sb_cfg.Gen.superblock_corpus]): a robustness check that the
+          results do not depend on the direct generator's shape *)
+
+type setup = {
+  scale : float;  (** corpus scale; 1.0 = the paper's 6615 superblocks *)
+  configs : Sb_machine.Config.t list;  (** machines for Tables 1, 3, 4, 5 *)
+  heavy_configs : Sb_machine.Config.t list;
+      (** machines for the expensive Tables 6 and 7 *)
+  with_tw : bool;  (** compute the Triplewise bound *)
+  corpus_kind : corpus_kind;
+  seed_note : string;
+}
+
+val default_setup :
+  ?scale:float -> ?with_tw:bool -> ?corpus_kind:corpus_kind -> unit -> setup
+(** [scale] defaults to 0.03 (fast); [sbsched experiments --full] passes
+    1.0. *)
+
+type prepared
+(** Corpus plus per-configuration evaluation records, computed once and
+    shared by the drivers. *)
+
+val prepare : setup -> prepared
+
+val corpus_of : prepared -> Sb_workload.Corpus.t list
+
+val table1 : prepared -> Table.t
+(** Bound quality: avg/max gap to the tightest bound and the fraction of
+    superblocks below it, per bound, for GP and FS machine groups. *)
+
+val table2 : prepared -> Table.t
+(** Work counters of the bound algorithms (incl. LC with and without
+    Theorem 1, and LC-reverse). *)
+
+val table3 : prepared -> Table.t
+(** Dynamic-cycle slowdown vs the tightest bound per heuristic and
+    configuration; trivial-superblock cycle fraction. *)
+
+val table4 : prepared -> Table.t
+(** Percentage of nontrivial superblocks scheduled optimally. *)
+
+val table5 : prepared -> Table.t
+(** Slowdowns when schedulers see no profile data (last exit weight 1000,
+    others 1) but are evaluated against the true weights. *)
+
+val table6 : prepared -> Table.t
+(** Scheduling work per heuristic (engine loop trips, excluding bound
+    computation), plus wall-clock microseconds. *)
+
+val table7 : prepared -> Table.t
+(** Balance component ablation: Help/HlpDel x Bounds x Tradeoff, updated
+    once per cycle vs once per operation. *)
+
+val figure8 : prepared -> Table.t
+(** Cumulative distribution of extra dynamic cycles over the bound for
+    the gcc-like program on FS4 (the paper's Figure 8). *)
+
+val run_all : prepared -> (string * Table.t) list
+(** All of the above, in paper order. *)

@@ -1,0 +1,83 @@
+open Sb_ir
+
+type record = {
+  sb : Superblock.t;
+  bounds : Sb_bounds.Superblock_bound.all;
+  wct : (string * float) list;
+}
+
+let bound r = r.bounds.Sb_bounds.Superblock_bound.tightest
+
+let evaluate ?(heuristics = Sb_sched.Registry.all) ?(with_tw = true) config sbs =
+  List.map
+    (fun sb ->
+      let bounds = Sb_bounds.Superblock_bound.all_bounds ~with_tw config sb in
+      let wct =
+        List.map
+          (fun (h : Sb_sched.Registry.heuristic) ->
+            let s =
+              (* Reuse the bound work for the heuristics that accept it. *)
+              if h.name = "balance" then
+                Sb_sched.Balance.schedule ~precomputed:bounds config sb
+              else if h.name = "best" then
+                Sb_sched.Best.schedule ~precomputed:bounds config sb
+              else h.run config sb
+            in
+            (h.short, Sb_sched.Schedule.weighted_completion_time s))
+          heuristics
+      in
+      { sb; bounds; wct })
+    sbs
+
+let tolerance = 1e-6
+
+let wct_of r name =
+  match List.assoc_opt name r.wct with
+  | Some w -> w
+  | None -> invalid_arg (Printf.sprintf "Metrics: heuristic %S not evaluated" name)
+
+let optimal r name = wct_of r name <= bound r +. tolerance
+
+let is_trivial r = List.for_all (fun (_, w) -> w <= bound r +. tolerance) r.wct
+
+let dynamic_bound_cycles rs =
+  List.fold_left (fun acc r -> acc +. (r.sb.Superblock.freq *. bound r)) 0. rs
+
+let trivial_cycle_fraction rs =
+  let total = dynamic_bound_cycles rs in
+  if total <= 0. then 0.
+  else
+    let trivial = dynamic_bound_cycles (List.filter is_trivial rs) in
+    100. *. trivial /. total
+
+let slowdown_nontrivial rs name =
+  let nontrivial = List.filter (fun r -> not (is_trivial r)) rs in
+  let bound = dynamic_bound_cycles nontrivial in
+  if bound <= 0. then 0.
+  else begin
+    let achieved =
+      List.fold_left
+        (fun acc r -> acc +. (r.sb.Superblock.freq *. wct_of r name))
+        0. nontrivial
+    in
+    100. *. (achieved -. bound) /. bound
+  end
+
+let optimal_nontrivial_pct rs name =
+  let nontrivial = List.filter (fun r -> not (is_trivial r)) rs in
+  match nontrivial with
+  | [] -> 100.
+  | _ ->
+      let opt = List.filter (fun r -> optimal r name) nontrivial in
+      100. *. float_of_int (List.length opt) /. float_of_int (List.length nontrivial)
+
+let mean = function
+  | [] -> 0.
+  | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
+
+let median_int = function
+  | [] -> 0
+  | l ->
+      let a = Array.of_list l in
+      Array.sort compare a;
+      a.(Array.length a / 2)

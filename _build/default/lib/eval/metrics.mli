@@ -1,0 +1,50 @@
+(** Evaluation metrics: per-superblock records and corpus aggregates.
+
+    "Dynamic cycles" weight every superblock by its execution frequency,
+    as the paper's Tables 3–5 do.  A superblock is {e trivial} for a set
+    of heuristics when every one of them meets the tightest lower bound
+    on it; slowdowns are reported over the nontrivial rest. *)
+
+type record = {
+  sb : Sb_ir.Superblock.t;
+  bounds : Sb_bounds.Superblock_bound.all;  (** every bound, shared with the drivers *)
+  wct : (string * float) list;  (** heuristic short-name -> achieved WCT *)
+}
+
+val bound : record -> float
+(** The tightest lower bound on the WCT. *)
+
+val evaluate :
+  ?heuristics:Sb_sched.Registry.heuristic list ->
+  ?with_tw:bool ->
+  Sb_machine.Config.t ->
+  Sb_ir.Superblock.t list ->
+  record list
+(** Computes bounds and schedules for every superblock.  [heuristics]
+    defaults to {!Sb_sched.Registry.all}.  Balance and Best reuse the
+    bound computation via [precomputed]. *)
+
+val optimal : record -> string -> bool
+(** Did the named heuristic meet the bound on this superblock? *)
+
+val is_trivial : record -> bool
+(** Every evaluated heuristic met the bound. *)
+
+val dynamic_bound_cycles : record list -> float
+(** [sum freq * bound]. *)
+
+val trivial_cycle_fraction : record list -> float
+(** Fraction of the dynamic bound cycles spent in trivial superblocks. *)
+
+val slowdown_nontrivial : record list -> string -> float
+(** Percentage slowdown of the named heuristic over the bound, restricted
+    to nontrivial superblocks and weighted by frequency.  0 when there
+    are no nontrivial superblocks. *)
+
+val optimal_nontrivial_pct : record list -> string -> float
+(** Percentage of nontrivial superblocks the heuristic schedules
+    optimally. *)
+
+val mean : float list -> float
+
+val median_int : int list -> int

@@ -1,0 +1,72 @@
+type t = {
+  title : string;
+  headers : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let make ~title ~headers ?(notes = []) rows = { title; headers; rows; notes }
+
+let looks_numeric s =
+  s <> ""
+  && String.for_all
+       (fun c -> (c >= '0' && c <= '9') || List.mem c [ '.'; '-'; '%'; '+'; 'e' ])
+       s
+
+let render t =
+  let ncols =
+    List.fold_left max (List.length t.headers) (List.map List.length t.rows)
+  in
+  let pad = Array.make ncols 0 in
+  let scan row =
+    List.iteri (fun i c -> if String.length c > pad.(i) then pad.(i) <- String.length c) row
+  in
+  scan t.headers;
+  List.iter scan t.rows;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf t.title;
+  Buffer.add_char buf '\n';
+  let render_row row =
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf "  ";
+        let w = pad.(i) in
+        if i > 0 && looks_numeric c then
+          Buffer.add_string buf (Printf.sprintf "%*s" w c)
+        else Buffer.add_string buf (Printf.sprintf "%-*s" w c))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  render_row t.headers;
+  let total_width =
+    Array.fold_left ( + ) 0 pad + (2 * (ncols - 1))
+  in
+  Buffer.add_string buf (String.make (max 4 total_width) '-');
+  Buffer.add_char buf '\n';
+  List.iter render_row t.rows;
+  List.iter
+    (fun n ->
+      Buffer.add_string buf "  note: ";
+      Buffer.add_string buf n;
+      Buffer.add_char buf '\n')
+    t.notes;
+  Buffer.contents buf
+
+let f2 x = Printf.sprintf "%.2f" x
+let f3 x = Printf.sprintf "%.3f" x
+let pct x = Printf.sprintf "%.2f%%" x
+let int_cell = string_of_int
+
+let csv_escape cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let to_csv t =
+  let buf = Buffer.create 512 in
+  Printf.bprintf buf "# %s\n" t.title;
+  let row r = Buffer.add_string buf (String.concat "," (List.map csv_escape r)); Buffer.add_char buf '\n' in
+  row t.headers;
+  List.iter row t.rows;
+  List.iter (fun n -> Printf.bprintf buf "# note: %s\n" n) t.notes;
+  Buffer.contents buf

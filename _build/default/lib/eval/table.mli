@@ -1,0 +1,28 @@
+(** Plain-text table rendering for the experiment drivers. *)
+
+type t = {
+  title : string;
+  headers : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+val make : title:string -> headers:string list -> ?notes:string list -> string list list -> t
+
+val render : t -> string
+(** Fixed-width ASCII rendering: title, header rule, aligned columns
+    (numbers right-aligned heuristically), notes. *)
+
+val f2 : float -> string
+(** Two-decimal float cell. *)
+
+val f3 : float -> string
+
+val pct : float -> string
+(** Percentage with two decimals and a [%] sign. *)
+
+val int_cell : int -> string
+
+val to_csv : t -> string
+(** Comma-separated rendering (headers + rows; the title and notes are
+    emitted as [#]-prefixed comment lines) for downstream plotting. *)

@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Array Dep_graph Hashtbl List Opcode Operation Superblock

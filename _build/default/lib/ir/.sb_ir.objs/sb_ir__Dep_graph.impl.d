@@ -1,0 +1,1 @@
+lib/ir/dep_graph.ml: Array Bitset Format Hashtbl List

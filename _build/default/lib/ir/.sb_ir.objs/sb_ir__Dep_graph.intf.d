@@ -1,0 +1,1 @@
+lib/ir/dep_graph.mli: Bitset Format

@@ -1,0 +1,1 @@
+lib/ir/dot.ml: Array Buffer Dep_graph Hashtbl List Opcode Operation Option Printf String Superblock

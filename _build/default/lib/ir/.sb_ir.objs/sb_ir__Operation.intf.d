@@ -1,0 +1,1 @@
+lib/ir/operation.mli: Format Opcode

@@ -1,0 +1,1 @@
+lib/ir/pipeline.ml: Array Dep_graph List Opcode Operation Superblock

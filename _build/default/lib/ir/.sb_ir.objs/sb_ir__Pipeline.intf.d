@@ -1,0 +1,1 @@
+lib/ir/pipeline.mli: Opcode Superblock

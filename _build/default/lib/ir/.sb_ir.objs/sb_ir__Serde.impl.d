@@ -1,0 +1,1 @@
+lib/ir/serde.ml: Array Buffer Builder Dep_graph List Opcode Operation Printf String Superblock

@@ -1,0 +1,1 @@
+lib/ir/serde.mli: Superblock

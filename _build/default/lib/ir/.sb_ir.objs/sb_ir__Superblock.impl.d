@@ -1,0 +1,1 @@
+lib/ir/superblock.ml: Array Dep_graph Format List Operation Printf

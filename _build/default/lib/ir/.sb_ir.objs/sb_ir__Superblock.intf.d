@@ -1,0 +1,1 @@
+lib/ir/superblock.mli: Dep_graph Format Operation

@@ -1,0 +1,107 @@
+type t = { capacity : int; words : int array }
+
+let bits_per_word = 63
+
+let nwords n = (n + bits_per_word - 1) / bits_per_word
+
+let create capacity =
+  if capacity < 0 then invalid_arg "Bitset.create: negative capacity";
+  { capacity; words = Array.make (max 1 (nwords capacity)) 0 }
+
+let capacity t = t.capacity
+
+let copy t = { capacity = t.capacity; words = Array.copy t.words }
+
+let check t i =
+  if i < 0 || i >= t.capacity then invalid_arg "Bitset: index out of range"
+
+let add t i =
+  check t i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  t.words.(w) <- t.words.(w) lor (1 lsl b)
+
+let remove t i =
+  check t i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  t.words.(w) <- t.words.(w) land lnot (1 lsl b)
+
+let mem t i =
+  check t i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  t.words.(w) land (1 lsl b) <> 0
+
+let same_capacity a b =
+  if a.capacity <> b.capacity then invalid_arg "Bitset: capacity mismatch"
+
+let union_into dst src =
+  same_capacity dst src;
+  for w = 0 to Array.length dst.words - 1 do
+    dst.words.(w) <- dst.words.(w) lor src.words.(w)
+  done
+
+let inter a b =
+  same_capacity a b;
+  let r = create a.capacity in
+  for w = 0 to Array.length r.words - 1 do
+    r.words.(w) <- a.words.(w) land b.words.(w)
+  done;
+  r
+
+let diff a b =
+  same_capacity a b;
+  let r = create a.capacity in
+  for w = 0 to Array.length r.words - 1 do
+    r.words.(w) <- a.words.(w) land lnot b.words.(w)
+  done;
+  r
+
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let popcount w =
+  let rec go w acc = if w = 0 then acc else go (w lsr 1) (acc + (w land 1)) in
+  (* Kernighan's trick is faster for sparse words. *)
+  ignore go;
+  let rec kern w acc = if w = 0 then acc else kern (w land (w - 1)) (acc + 1) in
+  kern w 0
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let equal a b =
+  same_capacity a b;
+  let rec go w = w < 0 || (a.words.(w) = b.words.(w) && go (w - 1)) in
+  go (Array.length a.words - 1)
+
+let subset a b =
+  same_capacity a b;
+  let rec go w =
+    w < 0 || (a.words.(w) land lnot b.words.(w) = 0 && go (w - 1))
+  in
+  go (Array.length a.words - 1)
+
+let iter f t =
+  for w = 0 to Array.length t.words - 1 do
+    let word = t.words.(w) in
+    if word <> 0 then
+      for b = 0 to bits_per_word - 1 do
+        if word land (1 lsl b) <> 0 then f ((w * bits_per_word) + b)
+      done
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let elements t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let of_list n members =
+  let t = create n in
+  List.iter (add t) members;
+  t
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Format.pp_print_int)
+    (elements t)

@@ -1,0 +1,50 @@
+(** Dense fixed-capacity bitsets over the integers [0, capacity).
+
+    Superblocks contain at most a few hundred operations, so per-operation
+    predecessor sets are represented as packed [int] arrays.  All operations
+    are O(capacity/63) or better. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an empty set with capacity [n] (members in [0, n)). *)
+
+val capacity : t -> int
+
+val copy : t -> t
+
+val add : t -> int -> unit
+
+val remove : t -> int -> unit
+
+val mem : t -> int -> bool
+
+val union_into : t -> t -> unit
+(** [union_into dst src] adds every member of [src] to [dst].  The sets must
+    have the same capacity. *)
+
+val inter : t -> t -> t
+
+val diff : t -> t -> t
+
+val is_empty : t -> bool
+
+val cardinal : t -> int
+
+val equal : t -> t -> bool
+
+val subset : t -> t -> bool
+(** [subset a b] is true iff every member of [a] is in [b]. *)
+
+val iter : (int -> unit) -> t -> unit
+(** [iter f s] applies [f] to members in increasing order. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val elements : t -> int list
+(** Members in increasing order. *)
+
+val of_list : int -> int list -> t
+(** [of_list n members]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,84 @@
+type t = {
+  name : string;
+  freq : float;
+  by_id : (int, Operation.t) Hashtbl.t;
+  mutable n : int;
+  mutable edges : Dep_graph.edge list;
+  mutable built : bool;
+}
+
+let create ?(name = "sb") ?(freq = 1.0) () =
+  { name; freq; by_id = Hashtbl.create 64; n = 0; edges = []; built = false }
+
+let check_live t = if t.built then invalid_arg "Builder: already built"
+
+let push t op =
+  Hashtbl.replace t.by_id op.Operation.id op;
+  t.n <- t.n + 1;
+  op.Operation.id
+
+let add_op t opcode =
+  check_live t;
+  if Opcode.is_branch opcode then
+    invalid_arg "Builder.add_op: use add_branch for branches";
+  push t (Operation.make ~id:t.n ~opcode ())
+
+let add_branch t ~prob =
+  check_live t;
+  push t (Operation.make ~id:t.n ~opcode:Opcode.branch ~exit_prob:prob ())
+
+let dep t ?latency src dst =
+  check_live t;
+  if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
+    invalid_arg "Builder.dep: op id out of range";
+  let latency =
+    match latency with
+    | Some l -> l
+    | None -> Operation.latency (Hashtbl.find t.by_id src)
+  in
+  t.edges <- { Dep_graph.src; dst; latency } :: t.edges
+
+let n_ops t = t.n
+
+let build t =
+  check_live t;
+  t.built <- true;
+  let ops = Array.init t.n (fun i -> Hashtbl.find t.by_id i) in
+  let branches =
+    Array.to_list ops
+    |> List.filter_map (fun op ->
+           if Operation.is_branch op then Some op.Operation.id else None)
+  in
+  if branches = [] then invalid_arg "Builder.build: no branch operation";
+  let branch_latency = Opcode.branch.Opcode.latency in
+  (* Control chain between consecutive branches. *)
+  let rec chain = function
+    | b1 :: (b2 :: _ as rest) ->
+        { Dep_graph.src = b1; dst = b2; latency = branch_latency }
+        :: chain rest
+    | [ _ ] | [] -> []
+  in
+  let edges = chain branches @ t.edges in
+  let g = Dep_graph.make ~n:t.n edges in
+  (* Attach dangling ops to the branch terminating their block: the first
+     branch appearing after them in program order. *)
+  let last = List.nth branches (List.length branches - 1) in
+  let extra = ref [] in
+  Array.iter
+    (fun op ->
+      let v = op.Operation.id in
+      if (not (Operation.is_branch op)) && not (Dep_graph.is_pred g v last)
+      then begin
+        let target =
+          match List.find_opt (fun b -> b > v) branches with
+          | Some b -> b
+          | None -> last
+        in
+        if not (Dep_graph.is_pred g v target) then
+          extra := { Dep_graph.src = v; dst = target; latency = 0 } :: !extra
+      end)
+    ops;
+  let g =
+    if !extra = [] then g else Dep_graph.make ~n:t.n (!extra @ edges)
+  in
+  Superblock.make ~name:t.name ~freq:t.freq ~ops ~graph:g ()

@@ -1,0 +1,34 @@
+(** Imperative construction of superblocks.
+
+    The builder assigns dense op ids in insertion order (which is also the
+    program order used to place branches), collects dependence edges, and on
+    {!build} inserts the structural edges a well-formed superblock needs:
+
+    - a control edge between each pair of consecutive branches, with the
+      branch latency;
+    - a latency-0 edge from any operation with no path to its block's
+      branch (so that every operation issues no later than the exit of the
+      superblock it belongs to).
+
+    Dependence edges default to the producer's result latency. *)
+
+type t
+
+val create : ?name:string -> ?freq:float -> unit -> t
+
+val add_op : t -> Opcode.t -> int
+(** Appends a non-branch operation; returns its id.  Raises
+    [Invalid_argument] when given a branch opcode (use {!add_branch}). *)
+
+val add_branch : t -> prob:float -> int
+(** Appends a branch operation with the given exit probability. *)
+
+val dep : t -> ?latency:int -> int -> int -> unit
+(** [dep b src dst] records a dependence edge.  [latency] defaults to the
+    result latency of [src]'s opcode. *)
+
+val n_ops : t -> int
+
+val build : t -> Superblock.t
+(** Finalises the superblock (see the structural edges above).  The builder
+    may not be reused afterwards. *)

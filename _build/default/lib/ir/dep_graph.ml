@@ -1,0 +1,192 @@
+type edge = { src : int; dst : int; latency : int }
+
+exception Cycle
+
+type t = {
+  n : int;
+  succs : (int * int) array array;
+  preds : (int * int) array array;
+  mutable topo : int array option;
+  mutable tpreds : Bitset.t array option;
+  mutable tsuccs : Bitset.t array option;
+}
+
+let n_nodes t = t.n
+
+let n_edges t = Array.fold_left (fun acc a -> acc + Array.length a) 0 t.succs
+
+let succs t v = t.succs.(v)
+
+let preds t v = t.preds.(v)
+
+let edges t =
+  let acc = ref [] in
+  for src = t.n - 1 downto 0 do
+    Array.iter
+      (fun (dst, latency) -> acc := { src; dst; latency } :: !acc)
+      t.succs.(src)
+  done;
+  !acc
+
+(* Kahn's algorithm; also the acyclicity check used by [make]. *)
+let compute_topo n succs preds =
+  let indeg = Array.make n 0 in
+  for v = 0 to n - 1 do
+    indeg.(v) <- Array.length preds.(v)
+  done;
+  let order = Array.make n 0 in
+  let head = ref 0 and tail = ref 0 in
+  for v = 0 to n - 1 do
+    if indeg.(v) = 0 then begin
+      order.(!tail) <- v;
+      incr tail
+    end
+  done;
+  while !head < !tail do
+    let v = order.(!head) in
+    incr head;
+    Array.iter
+      (fun (w, _) ->
+        indeg.(w) <- indeg.(w) - 1;
+        if indeg.(w) = 0 then begin
+          order.(!tail) <- w;
+          incr tail
+        end)
+      succs.(v)
+  done;
+  if !tail <> n then raise Cycle;
+  order
+
+let make ~n edge_list =
+  if n < 0 then invalid_arg "Dep_graph.make: negative n";
+  (* Merge duplicates keeping the largest latency. *)
+  let tbl = Hashtbl.create (List.length edge_list * 2) in
+  List.iter
+    (fun { src; dst; latency } ->
+      if src < 0 || src >= n || dst < 0 || dst >= n then
+        invalid_arg "Dep_graph.make: edge endpoint out of range";
+      if src = dst then invalid_arg "Dep_graph.make: self edge";
+      if latency < 0 then invalid_arg "Dep_graph.make: negative latency";
+      let key = (src, dst) in
+      match Hashtbl.find_opt tbl key with
+      | Some l when l >= latency -> ()
+      | _ -> Hashtbl.replace tbl key latency)
+    edge_list;
+  let out_count = Array.make n 0 and in_count = Array.make n 0 in
+  Hashtbl.iter
+    (fun (src, dst) _ ->
+      out_count.(src) <- out_count.(src) + 1;
+      in_count.(dst) <- in_count.(dst) + 1)
+    tbl;
+  let succs = Array.init n (fun v -> Array.make out_count.(v) (0, 0)) in
+  let preds = Array.init n (fun v -> Array.make in_count.(v) (0, 0)) in
+  let out_fill = Array.make n 0 and in_fill = Array.make n 0 in
+  Hashtbl.iter
+    (fun (src, dst) latency ->
+      succs.(src).(out_fill.(src)) <- (dst, latency);
+      out_fill.(src) <- out_fill.(src) + 1;
+      preds.(dst).(in_fill.(dst)) <- (src, latency);
+      in_fill.(dst) <- in_fill.(dst) + 1)
+    tbl;
+  let topo = compute_topo n succs preds in
+  { n; succs; preds; topo = Some topo; tpreds = None; tsuccs = None }
+
+let topo_order t =
+  match t.topo with
+  | Some o -> o
+  | None ->
+      let o = compute_topo t.n t.succs t.preds in
+      t.topo <- Some o;
+      o
+
+let compute_closure t ~order ~neighbours =
+  let sets = Array.init t.n (fun _ -> Bitset.create t.n) in
+  Array.iter
+    (fun v ->
+      Array.iter
+        (fun (w, _) ->
+          (* [w]'s set gains [v] and all of [v]'s members. *)
+          Bitset.union_into sets.(w) sets.(v);
+          Bitset.add sets.(w) v)
+        neighbours.(v))
+    order;
+  sets
+
+let transitive_preds t v =
+  let sets =
+    match t.tpreds with
+    | Some s -> s
+    | None ->
+        let s = compute_closure t ~order:(topo_order t) ~neighbours:t.succs in
+        t.tpreds <- Some s;
+        s
+  in
+  sets.(v)
+
+let transitive_succs t v =
+  let sets =
+    match t.tsuccs with
+    | Some s -> s
+    | None ->
+        let rev_order =
+          let o = Array.copy (topo_order t) in
+          let n = Array.length o in
+          for i = 0 to (n / 2) - 1 do
+            let tmp = o.(i) in
+            o.(i) <- o.(n - 1 - i);
+            o.(n - 1 - i) <- tmp
+          done;
+          o
+        in
+        let s = compute_closure t ~order:rev_order ~neighbours:t.preds in
+        t.tsuccs <- Some s;
+        s
+  in
+  sets.(v)
+
+let is_pred t u v = Bitset.mem (transitive_preds t v) u
+
+let reverse t =
+  let succs = Array.map Array.copy t.preds in
+  let preds = Array.map Array.copy t.succs in
+  { n = t.n; succs; preds; topo = None; tpreds = None; tsuccs = None }
+
+let longest_from_sources t =
+  let early = Array.make t.n 0 in
+  Array.iter
+    (fun v ->
+      Array.iter
+        (fun (w, lat) ->
+          if early.(v) + lat > early.(w) then early.(w) <- early.(v) + lat)
+        t.succs.(v))
+    (topo_order t);
+  early
+
+let longest_to t root =
+  let dist = Array.make t.n min_int in
+  dist.(root) <- 0;
+  let order = topo_order t in
+  for i = Array.length order - 1 downto 0 do
+    let v = order.(i) in
+    Array.iter
+      (fun (w, lat) ->
+        if dist.(w) <> min_int && dist.(w) + lat > dist.(v) then
+          dist.(v) <- dist.(w) + lat)
+      t.succs.(v)
+  done;
+  dist
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>graph with %d nodes:@," t.n;
+  for v = 0 to t.n - 1 do
+    if Array.length t.succs.(v) > 0 then begin
+      Format.fprintf ppf "  %d ->" v;
+      Array.iter
+        (fun (w, lat) ->
+          if lat = 1 then Format.fprintf ppf " %d" w
+          else Format.fprintf ppf " %d(l=%d)" w lat)
+        t.succs.(v);
+      Format.pp_print_cut ppf ()
+    end
+  done;
+  Format.fprintf ppf "@]"

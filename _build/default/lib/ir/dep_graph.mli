@@ -1,0 +1,66 @@
+(** Dependence graphs.
+
+    A dependence graph is a DAG over operation ids [0 .. n-1].  Each edge
+    [src -> dst] carries a latency: [dst] may issue no earlier than
+    [latency] cycles after [src] issues.  Latencies are at least 0; the
+    graph must be acyclic (checked at construction).
+
+    Several algorithms in the bounds library operate on the subgraph of
+    predecessors of a branch; to avoid materialising subgraphs they take a
+    membership predicate.  The graph itself precomputes transitive
+    predecessor/successor bitsets for this purpose. *)
+
+type edge = { src : int; dst : int; latency : int }
+
+exception Cycle
+(** Raised by {!make} when the edge set contains a cycle. *)
+
+type t
+
+val make : n:int -> edge list -> t
+(** [make ~n edges] builds a graph with [n] nodes.  Duplicate edges are
+    merged keeping the largest latency.  Raises {!Cycle} if cyclic, and
+    [Invalid_argument] on out-of-range endpoints, negative latencies or
+    self-edges. *)
+
+val n_nodes : t -> int
+
+val n_edges : t -> int
+
+val succs : t -> int -> (int * int) array
+(** [succs g v] is the array of [(dst, latency)] pairs leaving [v]. *)
+
+val preds : t -> int -> (int * int) array
+(** [preds g v] is the array of [(src, latency)] pairs entering [v]. *)
+
+val edges : t -> edge list
+(** All edges, in unspecified order. *)
+
+val topo_order : t -> int array
+(** Node ids in a topological order (cached). *)
+
+val transitive_preds : t -> int -> Bitset.t
+(** [transitive_preds g v] is the set of strict transitive predecessors of
+    [v] (cached; do not mutate the result). *)
+
+val transitive_succs : t -> int -> Bitset.t
+(** Strict transitive successors (cached; do not mutate the result). *)
+
+val is_pred : t -> int -> int -> bool
+(** [is_pred g u v] is true iff [u] is a strict transitive predecessor of
+    [v]. *)
+
+val reverse : t -> t
+(** Same nodes, every edge flipped (latencies preserved). *)
+
+val longest_from_sources : t -> int array
+(** [longest_from_sources g] returns, for every node [v], the length of the
+    longest latency-weighted path from any source to [v] — i.e. the
+    dependence-only earliest issue cycle EarlyDC. *)
+
+val longest_to : t -> int -> int array
+(** [longest_to g root] returns for every node [v] the length of the
+    longest latency-weighted path from [v] to [root]; [min_int] when [v]
+    does not precede [root] (and 0 for [root] itself). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,43 @@
+let superblock ?issue (sb : Superblock.t) =
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf "digraph %S {\n" sb.Superblock.name;
+  Buffer.add_string buf "  rankdir=TB;\n  node [fontname=\"monospace\"];\n";
+  Array.iter
+    (fun (op : Operation.t) ->
+      let id = op.Operation.id in
+      if Operation.is_branch op then
+        Printf.bprintf buf
+          "  n%d [label=\"%d: br p=%.3f\", shape=doubleoctagon];\n" id id
+          op.Operation.exit_prob
+      else
+        Printf.bprintf buf "  n%d [label=\"%d: %s\"];\n" id id
+          op.Operation.opcode.Opcode.name)
+    sb.Superblock.ops;
+  List.iter
+    (fun { Dep_graph.src; dst; latency } ->
+      if latency = 1 then Printf.bprintf buf "  n%d -> n%d;\n" src dst
+      else Printf.bprintf buf "  n%d -> n%d [label=\"%d\"];\n" src dst latency)
+    (Dep_graph.edges sb.Superblock.graph);
+  (match issue with
+  | None -> ()
+  | Some issue ->
+      (* Group ops issued in the same cycle on one rank. *)
+      let by_cycle = Hashtbl.create 16 in
+      Array.iteri
+        (fun v t ->
+          Hashtbl.replace by_cycle t
+            (v :: Option.value ~default:[] (Hashtbl.find_opt by_cycle t)))
+        issue;
+      Hashtbl.fold (fun c ops acc -> (c, ops) :: acc) by_cycle []
+      |> List.sort compare
+      |> List.iter (fun (c, ops) ->
+             Printf.bprintf buf "  { rank=same; /* cycle %d */ %s }\n" c
+               (String.concat " "
+                  (List.map (fun v -> Printf.sprintf "n%d;" v) ops))));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let save path dot =
+  let oc = open_out path in
+  output_string oc dot;
+  close_out oc

@@ -1,0 +1,13 @@
+(** Graphviz export of dependence graphs.
+
+    Renders a superblock as a DOT digraph: branches as doubled ellipses
+    labelled with their exit probability, non-unit latencies on edge
+    labels, and — when a schedule is supplied — nodes grouped into
+    same-rank rows by issue cycle. *)
+
+val superblock : ?issue:int array -> Superblock.t -> string
+(** [superblock ?issue sb] is the DOT source.  [issue] must assign a
+    cycle to every op (e.g. [Schedule.issue]). *)
+
+val save : string -> string -> unit
+(** [save path dot] writes the source to a file. *)

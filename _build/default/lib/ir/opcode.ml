@@ -1,0 +1,51 @@
+type op_class = Int_alu | Memory | Float | Branch
+
+let all_classes = [ Int_alu; Memory; Float; Branch ]
+
+let class_name = function
+  | Int_alu -> "int"
+  | Memory -> "mem"
+  | Float -> "float"
+  | Branch -> "branch"
+
+let class_of_name = function
+  | "int" -> Some Int_alu
+  | "mem" -> Some Memory
+  | "float" -> Some Float
+  | "branch" -> Some Branch
+  | _ -> None
+
+type t = { name : string; cls : op_class; latency : int }
+
+let mk name cls latency = { name; cls; latency }
+
+let add = mk "add" Int_alu 1
+let sub = mk "sub" Int_alu 1
+let and_ = mk "and" Int_alu 1
+let or_ = mk "or" Int_alu 1
+let xor = mk "xor" Int_alu 1
+let shift = mk "shift" Int_alu 1
+let cmp = mk "cmp" Int_alu 1
+let mul = mk "mul" Int_alu 1
+let load = mk "load" Memory 2
+let store = mk "store" Memory 1
+let fadd = mk "fadd" Float 1
+let fsub = mk "fsub" Float 1
+let fmul = mk "fmul" Float 3
+let fdiv = mk "fdiv" Float 9
+let branch = mk "br" Branch 1
+
+let all =
+  [
+    add; sub; and_; or_; xor; shift; cmp; mul; load; store; fadd; fsub; fmul;
+    fdiv; branch;
+  ]
+
+let by_name name = List.find_opt (fun op -> String.equal op.name name) all
+
+let is_branch op = op.cls = Branch
+
+let pp ppf op = Format.pp_print_string ppf op.name
+
+let equal a b =
+  String.equal a.name b.name && a.cls = b.cls && a.latency = b.latency

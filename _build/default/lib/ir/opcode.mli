@@ -1,0 +1,51 @@
+(** Operation classes and opcodes.
+
+    The paper's machine model distinguishes four classes of operations —
+    integer, memory, floating point and branch — and assigns every operation
+    a result latency: one cycle for everything except loads (2), floating
+    multiplies (3) and floating divides (9).  All units are fully
+    pipelined. *)
+
+type op_class = Int_alu | Memory | Float | Branch
+
+val all_classes : op_class list
+
+val class_name : op_class -> string
+
+val class_of_name : string -> op_class option
+
+type t = {
+  name : string;  (** mnemonic, e.g. ["add"], ["load"], ["br"] *)
+  cls : op_class;
+  latency : int;  (** result latency of this operation, in cycles *)
+}
+
+(** {1 The standard opcode table used by the generator and parser} *)
+
+val add : t
+val sub : t
+val and_ : t
+val or_ : t
+val xor : t
+val shift : t
+val cmp : t
+val mul : t
+val load : t
+val store : t
+val fadd : t
+val fsub : t
+val fmul : t
+val fdiv : t
+val branch : t
+
+val all : t list
+(** Every standard opcode, including [branch]. *)
+
+val by_name : string -> t option
+(** Lookup in {!all} by mnemonic. *)
+
+val is_branch : t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool

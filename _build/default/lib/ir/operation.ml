@@ -1,0 +1,23 @@
+type t = { id : int; opcode : Opcode.t; exit_prob : float }
+
+let make ~id ~opcode ?(exit_prob = 0.) () =
+  if id < 0 then invalid_arg "Operation.make: negative id";
+  if exit_prob < 0. || exit_prob > 1. then
+    invalid_arg "Operation.make: exit_prob outside [0, 1]";
+  if exit_prob > 0. && not (Opcode.is_branch opcode) then
+    invalid_arg "Operation.make: exit_prob on a non-branch operation";
+  { id; opcode; exit_prob }
+
+let is_branch t = Opcode.is_branch t.opcode
+
+let latency t = t.opcode.Opcode.latency
+
+let op_class t = t.opcode.Opcode.cls
+
+let pp ppf t =
+  if is_branch t then
+    Format.fprintf ppf "%d:%a(p=%.3f)" t.id Opcode.pp t.opcode t.exit_prob
+  else Format.fprintf ppf "%d:%a" t.id Opcode.pp t.opcode
+
+let equal a b =
+  a.id = b.id && Opcode.equal a.opcode b.opcode && a.exit_prob = b.exit_prob

@@ -1,0 +1,27 @@
+(** A single operation of a superblock.
+
+    Operations are identified by a dense index [id] within their superblock.
+    Branch operations additionally carry the probability that the exit they
+    control is taken. *)
+
+type t = {
+  id : int;  (** dense index in the owning superblock, [0 .. n-1] *)
+  opcode : Opcode.t;
+  exit_prob : float;  (** taken probability; [0.] for non-branches *)
+}
+
+val make : id:int -> opcode:Opcode.t -> ?exit_prob:float -> unit -> t
+(** Raises [Invalid_argument] if [exit_prob] is supplied for a non-branch,
+    is missing semantics for a branch (defaults to [0.]), or lies outside
+    [[0, 1]]. *)
+
+val is_branch : t -> bool
+
+val latency : t -> int
+(** Result latency of the operation's opcode. *)
+
+val op_class : t -> Opcode.op_class
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool

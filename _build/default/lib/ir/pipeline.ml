@@ -1,0 +1,83 @@
+let stage_opcode (op : Opcode.t) =
+  { op with Opcode.name = op.Opcode.name ^ ".stage"; latency = 1 }
+
+let classic_occupancy (op : Opcode.t) =
+  if Opcode.equal op Opcode.fdiv then 9
+  else if Opcode.equal op Opcode.fmul then 2
+  else 1
+
+let expand ~occupancy (sb : Superblock.t) =
+  let n = Superblock.n_ops sb in
+  (* New ids: stages are inserted right after their operation, keeping
+     program order (and thus branch order). *)
+  let occ =
+    Array.map
+      (fun op ->
+        let k = occupancy op.Operation.opcode in
+        if k < 1 then invalid_arg "Pipeline.expand: occupancy < 1";
+        if k > 1 && Operation.is_branch op then
+          invalid_arg "Pipeline.expand: multi-cycle branch";
+        k)
+      sb.Superblock.ops
+  in
+  let first_stage = Array.make n 0 in
+  let total = ref 0 in
+  Array.iteri
+    (fun v k ->
+      first_stage.(v) <- !total;
+      total := !total + k)
+    occ;
+  let n' = !total in
+  let map = Array.make n' 0 in
+  let ops' = Array.make n' sb.Superblock.ops.(0) in
+  Array.iteri
+    (fun v op ->
+      let base = first_stage.(v) in
+      ops'.(base) <-
+        Operation.make ~id:base ~opcode:op.Operation.opcode
+          ~exit_prob:op.Operation.exit_prob ();
+      map.(base) <- v;
+      for s = 1 to occ.(v) - 1 do
+        ops'.(base + s) <-
+          Operation.make ~id:(base + s)
+            ~opcode:(stage_opcode op.Operation.opcode)
+            ();
+        map.(base + s) <- v
+      done)
+    sb.Superblock.ops;
+  let edges = ref [] in
+  let add src dst latency = edges := { Dep_graph.src; dst; latency } :: !edges in
+  (* Original dependences: from/to the first stage, latencies kept. *)
+  List.iter
+    (fun { Dep_graph.src; dst; latency } ->
+      add first_stage.(src) first_stage.(dst) latency)
+    (Dep_graph.edges sb.Superblock.graph);
+  (* Stage chains, and an anchor so trailing stages still precede the
+     superblock's last exit. *)
+  let last_branch =
+    first_stage.(sb.Superblock.branches.(Array.length sb.Superblock.branches - 1))
+  in
+  Array.iteri
+    (fun v k ->
+      let base = first_stage.(v) in
+      for s = 0 to k - 2 do
+        add (base + s) (base + s + 1) 1
+      done;
+      if k > 1 && base + k - 1 <> last_branch then
+        add (base + k - 1) last_branch 0)
+    occ;
+  let graph = Dep_graph.make ~n:n' !edges in
+  let sb' =
+    Superblock.make ~name:(sb.Superblock.name ^ "+np") ~freq:sb.Superblock.freq
+      ~ops:ops' ~graph ()
+  in
+  (sb', map)
+
+let project_issue issue ~map ~n_original =
+  let out = Array.make n_original max_int in
+  Array.iteri
+    (fun v' t ->
+      let v = map.(v') in
+      if t < out.(v) then out.(v) <- t)
+    issue;
+  out

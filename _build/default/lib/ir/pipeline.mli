@@ -1,0 +1,30 @@
+(** Modeling non-fully-pipelined units (paper Sections 4.1 and 5).
+
+    The paper handles units that are not fully pipelined with Rim &
+    Jain's transformation: an operation that occupies its unit for [k]
+    cycles is replaced by a chain of [k] single-cycle stage operations of
+    the same class, linked by unit-latency edges; the original result
+    latency is kept on the first stage's outgoing edges.  Bounds and
+    schedulers then run unchanged on the expanded superblock.
+
+    As in the paper, this is a relaxation: the stages are forced to be at
+    least one cycle apart (and each consumes the unit for one cycle), not
+    exactly consecutive. *)
+
+val expand :
+  occupancy:(Opcode.t -> int) -> Superblock.t -> Superblock.t * int array
+(** [expand ~occupancy sb] returns the expanded superblock and a map from
+    new op ids to the original op id they belong to (stages map to their
+    original operation).  Ops with occupancy 1 are kept as-is; branches
+    must have occupancy 1.  Raises [Invalid_argument] on occupancy < 1
+    or a multi-cycle branch. *)
+
+val classic_occupancy : Opcode.t -> int
+(** A typical partially-pipelined machine: floating divide blocks its
+    unit for its full 9-cycle latency, floating multiply for 2 cycles,
+    everything else is fully pipelined. *)
+
+val project_issue : int array -> map:int array -> n_original:int -> int array
+(** [project_issue issue ~map ~n_original] recovers per-original-op issue
+    cycles from a schedule of the expanded superblock (the first stage's
+    issue cycle). *)

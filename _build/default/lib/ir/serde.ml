@@ -1,0 +1,169 @@
+let superblock_to_buffer buf (sb : Superblock.t) =
+  Printf.bprintf buf "superblock %s freq=%.17g\n" sb.Superblock.name
+    sb.Superblock.freq;
+  Array.iter
+    (fun op ->
+      if Operation.is_branch op then
+        Printf.bprintf buf "op %d %s prob=%.17g\n" op.Operation.id
+          op.Operation.opcode.Opcode.name op.Operation.exit_prob
+      else
+        Printf.bprintf buf "op %d %s\n" op.Operation.id
+          op.Operation.opcode.Opcode.name)
+    sb.Superblock.ops;
+  List.iter
+    (fun { Dep_graph.src; dst; latency } ->
+      Printf.bprintf buf "edge %d %d lat=%d\n" src dst latency)
+    (Dep_graph.edges sb.Superblock.graph);
+  Buffer.add_string buf "end\n"
+
+let superblock_to_string sb =
+  let buf = Buffer.create 256 in
+  superblock_to_buffer buf sb;
+  Buffer.contents buf
+
+let superblocks_to_string sbs =
+  let buf = Buffer.create 1024 in
+  List.iter (superblock_to_buffer buf) sbs;
+  Buffer.contents buf
+
+exception Parse_error of string
+
+let fail lineno msg = raise (Parse_error (Printf.sprintf "line %d: %s" lineno msg))
+
+let split_ws s =
+  String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+
+let key_value lineno word =
+  match String.index_opt word '=' with
+  | None -> fail lineno (Printf.sprintf "expected key=value, got %S" word)
+  | Some i ->
+      ( String.sub word 0 i,
+        String.sub word (i + 1) (String.length word - i - 1) )
+
+let float_value lineno v =
+  match float_of_string_opt v with
+  | Some f -> f
+  | None -> fail lineno (Printf.sprintf "bad float %S" v)
+
+let int_value lineno v =
+  match int_of_string_opt v with
+  | Some i -> i
+  | None -> fail lineno (Printf.sprintf "bad int %S" v)
+
+type pending = {
+  name : string;
+  freq : float;
+  mutable ops : (int * Opcode.t * float option) list;  (* reversed *)
+  mutable edges : (int * int * int option) list;
+}
+
+let finish lineno p =
+  let ops = List.rev p.ops in
+  let b = Builder.create ~name:p.name ~freq:p.freq () in
+  List.iteri
+    (fun expected (id, opcode, prob) ->
+      if id <> expected then
+        fail lineno
+          (Printf.sprintf "superblock %s: op ids must be dense, got %d" p.name
+             id);
+      match prob with
+      | Some prob when Opcode.is_branch opcode ->
+          ignore (Builder.add_branch b ~prob)
+      | None when Opcode.is_branch opcode -> ignore (Builder.add_branch b ~prob:0.)
+      | None -> ignore (Builder.add_op b opcode)
+      | Some _ -> fail lineno "prob= on a non-branch op")
+    ops;
+  List.iter
+    (fun (src, dst, lat) ->
+      match lat with
+      | Some latency -> Builder.dep b ~latency src dst
+      | None -> Builder.dep b src dst)
+    p.edges;
+  try Builder.build b
+  with Invalid_argument msg | Failure msg ->
+    fail lineno (Printf.sprintf "superblock %s: %s" p.name msg)
+
+let parse_string text =
+  let lines = String.split_on_char '\n' text in
+  let sbs = ref [] in
+  let current = ref None in
+  let parse_line lineno line =
+    let line =
+      match String.index_opt line '#' with
+      | Some i -> String.sub line 0 i
+      | None -> line
+    in
+    match split_ws (String.trim line) with
+    | [] -> ()
+    | "superblock" :: name :: rest ->
+        if !current <> None then fail lineno "missing 'end' before superblock";
+        let freq =
+          List.fold_left
+            (fun _acc w ->
+              match key_value lineno w with
+              | "freq", v -> float_value lineno v
+              | k, _ -> fail lineno (Printf.sprintf "unknown key %S" k))
+            1.0 rest
+        in
+        current := Some { name; freq; ops = []; edges = [] }
+    | "op" :: id :: opname :: rest -> begin
+        match !current with
+        | None -> fail lineno "op outside superblock"
+        | Some p ->
+            let id = int_value lineno id in
+            let opcode =
+              match Opcode.by_name opname with
+              | Some o -> o
+              | None -> fail lineno (Printf.sprintf "unknown opcode %S" opname)
+            in
+            let prob =
+              List.fold_left
+                (fun _acc w ->
+                  match key_value lineno w with
+                  | "prob", v -> Some (float_value lineno v)
+                  | k, _ -> fail lineno (Printf.sprintf "unknown key %S" k))
+                None rest
+            in
+            p.ops <- (id, opcode, prob) :: p.ops
+      end
+    | "edge" :: src :: dst :: rest -> begin
+        match !current with
+        | None -> fail lineno "edge outside superblock"
+        | Some p ->
+            let src = int_value lineno src and dst = int_value lineno dst in
+            let lat =
+              List.fold_left
+                (fun _acc w ->
+                  match key_value lineno w with
+                  | "lat", v -> Some (int_value lineno v)
+                  | k, _ -> fail lineno (Printf.sprintf "unknown key %S" k))
+                None rest
+            in
+            p.edges <- (src, dst, lat) :: p.edges
+      end
+    | [ "end" ] -> begin
+        match !current with
+        | None -> fail lineno "'end' without superblock"
+        | Some p ->
+            sbs := finish lineno p :: !sbs;
+            current := None
+      end
+    | w :: _ -> fail lineno (Printf.sprintf "unknown directive %S" w)
+  in
+  try
+    List.iteri (fun i line -> parse_line (i + 1) line) lines;
+    if !current <> None then fail (List.length lines) "missing final 'end'";
+    Ok (List.rev !sbs)
+  with Parse_error msg -> Error msg
+
+let load_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse_string text
+
+let save_file path sbs =
+  let oc = open_out path in
+  output_string oc (superblocks_to_string sbs);
+  close_out oc

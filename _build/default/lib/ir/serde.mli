@@ -1,0 +1,34 @@
+(** Textual interchange format for superblocks.
+
+    The format is line based; [#] starts a comment.  A file holds any
+    number of superblocks:
+
+    {v
+    superblock loop_head freq=120.5
+    op 0 load
+    op 1 add
+    op 2 br prob=0.3
+    op 3 cmp
+    op 4 br prob=0.7
+    edge 0 1
+    edge 1 2 lat=1
+    edge 1 3
+    edge 3 4
+    end
+    v}
+
+    Ops must be listed with dense ids in order.  Structural edges (the
+    branch control chain, dangling-op attachments) are re-inserted on load
+    via {!Builder}, so files may omit them. *)
+
+val superblock_to_string : Superblock.t -> string
+
+val superblocks_to_string : Superblock.t list -> string
+
+val parse_string : string -> (Superblock.t list, string) result
+(** Parses the textual format; on failure returns a message naming the
+    offending line. *)
+
+val load_file : string -> (Superblock.t list, string) result
+
+val save_file : string -> Superblock.t list -> unit

@@ -1,0 +1,120 @@
+type t = {
+  name : string;
+  ops : Operation.t array;
+  graph : Dep_graph.t;
+  branches : int array;
+  weights : float array;
+  freq : float;
+}
+
+let weight_tolerance = 1e-6
+
+let make ?(name = "sb") ?(freq = 1.0) ~ops ~graph () =
+  let n = Array.length ops in
+  if n = 0 then invalid_arg "Superblock.make: no operations";
+  if Dep_graph.n_nodes graph <> n then
+    invalid_arg "Superblock.make: graph size does not match op count";
+  Array.iteri
+    (fun i op ->
+      if op.Operation.id <> i then
+        invalid_arg "Superblock.make: op ids must be dense and in order")
+    ops;
+  if freq < 0. then invalid_arg "Superblock.make: negative frequency";
+  let branches =
+    Array.of_list
+      (List.filter_map
+         (fun op -> if Operation.is_branch op then Some op.Operation.id else None)
+         (Array.to_list ops))
+  in
+  let b = Array.length branches in
+  if b = 0 then invalid_arg "Superblock.make: superblock has no branch";
+  (* Branches must form a control-dependence chain in program order. *)
+  for k = 0 to b - 2 do
+    if not (Dep_graph.is_pred graph branches.(k) branches.(k + 1)) then
+      invalid_arg
+        (Printf.sprintf
+           "Superblock.make: branch %d does not precede branch %d"
+           branches.(k)
+           branches.(k + 1))
+  done;
+  let last = branches.(b - 1) in
+  Array.iter
+    (fun op ->
+      let v = op.Operation.id in
+      if (not (Operation.is_branch op)) && v <> last
+         && not (Dep_graph.is_pred graph v last)
+      then
+        invalid_arg
+          (Printf.sprintf
+             "Superblock.make: operation %d does not precede the last exit" v))
+    ops;
+  let weights = Array.map (fun bid -> ops.(bid).Operation.exit_prob) branches in
+  let total = Array.fold_left ( +. ) 0. weights in
+  if total > 1. +. weight_tolerance then
+    invalid_arg "Superblock.make: exit probabilities sum to more than 1";
+  { name; ops; graph; branches; weights; freq }
+
+let n_ops t = Array.length t.ops
+
+let n_branches t = Array.length t.branches
+
+let branch_op t k = t.branches.(k)
+
+let branch_index t v =
+  let rec go k =
+    if k >= Array.length t.branches then None
+    else if t.branches.(k) = v then Some k
+    else go (k + 1)
+  in
+  go 0
+
+let weight t k = t.weights.(k)
+
+let total_weight t = Array.fold_left ( +. ) 0. t.weights
+
+let branch_latency t =
+  Operation.latency t.ops.(t.branches.(0))
+
+let block_of t v =
+  match branch_index t v with
+  | Some k -> k
+  | None ->
+      let rec go k =
+        if k >= Array.length t.branches - 1 then Array.length t.branches - 1
+        else if Dep_graph.is_pred t.graph v t.branches.(k) then k
+        else go (k + 1)
+      in
+      go 0
+
+let preceding_branches t v =
+  let acc = ref [] in
+  for k = Array.length t.branches - 1 downto 0 do
+    let b = t.branches.(k) in
+    if b = v || Dep_graph.is_pred t.graph v b then acc := k :: !acc
+  done;
+  !acc
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>superblock %s (freq=%.1f)@," t.name t.freq;
+  Array.iter (fun op -> Format.fprintf ppf "  %a@," Operation.pp op) t.ops;
+  Format.fprintf ppf "%a@]" Dep_graph.pp t.graph
+
+let stats t =
+  Printf.sprintf "%s: %d ops, %d branches, %d edges" t.name (n_ops t)
+    (n_branches t)
+    (Dep_graph.n_edges t.graph)
+
+let with_weights t w =
+  if Array.length w <> Array.length t.branches then
+    invalid_arg "Superblock.with_weights: weight count mismatch";
+  let ops =
+    Array.map
+      (fun op ->
+        match branch_index t op.Operation.id with
+        | Some k ->
+            Operation.make ~id:op.Operation.id ~opcode:op.Operation.opcode
+              ~exit_prob:w.(k) ()
+        | None -> op)
+      t.ops
+  in
+  make ~name:t.name ~freq:t.freq ~ops ~graph:t.graph ()

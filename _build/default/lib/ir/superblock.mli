@@ -1,0 +1,76 @@
+(** Superblocks.
+
+    A superblock is a single-entry, multiple-exit scheduling unit: a
+    dependence graph over operations together with the list of its branch
+    operations in program order.  Branch [k] terminates block [k]; its
+    [exit_prob] is the probability that the superblock is exited there.
+    The scheduling objective is the weighted completion time
+    [sum_k w_k * (issue_k + branch_latency)].
+
+    Invariants enforced at construction:
+    - there is at least one branch, and the branch array lists exactly the
+      branch operations of the graph, in program order;
+    - each branch is a transitive predecessor of the next one (the control
+      dependence the paper relies on);
+    - every non-branch operation is a transitive predecessor of the last
+      branch (every operation must issue before the superblock completes);
+    - exit probabilities lie in [0, 1] and sum to at most 1 (within a small
+      tolerance). *)
+
+type t = private {
+  name : string;
+  ops : Operation.t array;
+  graph : Dep_graph.t;
+  branches : int array;  (** op ids of the branches, program order *)
+  weights : float array;  (** [weights.(k)] = exit probability of branch k *)
+  freq : float;  (** execution frequency, used for dynamic cycle counts *)
+}
+
+val make :
+  ?name:string ->
+  ?freq:float ->
+  ops:Operation.t array ->
+  graph:Dep_graph.t ->
+  unit ->
+  t
+(** Builds and validates a superblock.  The branch list and weights are
+    derived from the operations.  Raises [Invalid_argument] when an
+    invariant fails. *)
+
+val n_ops : t -> int
+
+val n_branches : t -> int
+
+val branch_op : t -> int -> int
+(** [branch_op sb k] is the op id of branch [k]. *)
+
+val branch_index : t -> int -> int option
+(** [branch_index sb v] is [Some k] when op [v] is branch [k]. *)
+
+val weight : t -> int -> float
+(** [weight sb k] is the exit probability of branch [k]. *)
+
+val total_weight : t -> float
+
+val branch_latency : t -> int
+(** Latency of the branch opcode (uniform across the superblock). *)
+
+val block_of : t -> int -> int
+(** [block_of sb v] is the index of the block operation [v] belongs to: the
+    smallest [k] such that [v] is (a transitive predecessor of) branch [k].
+    Used by Successive Retirement. *)
+
+val preceding_branches : t -> int -> int list
+(** [preceding_branches sb v] lists the indices [k] of branches that [v]
+    precedes (or equals), in program order.  For a non-branch op this is
+    the set of exits it can affect. *)
+
+val pp : Format.formatter -> t -> unit
+
+val stats : t -> string
+(** One-line summary: name, ops, branches, edges. *)
+
+val with_weights : t -> float array -> t
+(** [with_weights sb w] is [sb] with branch [k]'s exit probability replaced
+    by [w.(k)] (used by the no-profile-data experiments).  Raises
+    [Invalid_argument] on size mismatch or invalid probabilities. *)

@@ -1,0 +1,1 @@
+lib/machine/config.ml: Array Format List Sb_ir String

@@ -1,0 +1,1 @@
+lib/machine/reservation.mli: Config Sb_ir

@@ -1,0 +1,52 @@
+type t = {
+  name : string;
+  capacity : int array;
+  resource_of_class : int array;
+}
+
+let class_index (cls : Sb_ir.Opcode.op_class) =
+  match cls with
+  | Sb_ir.Opcode.Int_alu -> 0
+  | Sb_ir.Opcode.Memory -> 1
+  | Sb_ir.Opcode.Float -> 2
+  | Sb_ir.Opcode.Branch -> 3
+
+let general_purpose ~name ~width =
+  if width <= 0 then invalid_arg "Config.general_purpose: width must be > 0";
+  { name; capacity = [| width |]; resource_of_class = [| 0; 0; 0; 0 |] }
+
+let specialized ~name ~int_ ~mem ~float_ ~branch =
+  if int_ <= 0 || mem <= 0 || float_ <= 0 || branch <= 0 then
+    invalid_arg "Config.specialized: all unit counts must be > 0";
+  {
+    name;
+    capacity = [| int_; mem; float_; branch |];
+    resource_of_class = [| 0; 1; 2; 3 |];
+  }
+
+let gp1 = general_purpose ~name:"GP1" ~width:1
+let gp2 = general_purpose ~name:"GP2" ~width:2
+let gp4 = general_purpose ~name:"GP4" ~width:4
+let fs4 = specialized ~name:"FS4" ~int_:1 ~mem:1 ~float_:1 ~branch:1
+let fs6 = specialized ~name:"FS6" ~int_:2 ~mem:2 ~float_:1 ~branch:1
+let fs8 = specialized ~name:"FS8" ~int_:3 ~mem:2 ~float_:2 ~branch:1
+
+let all = [ gp1; gp2; gp4; fs4; fs6; fs8 ]
+
+let by_name name =
+  List.find_opt (fun c -> String.lowercase_ascii c.name = String.lowercase_ascii name) all
+
+let n_resources t = Array.length t.capacity
+
+let width t = Array.fold_left ( + ) 0 t.capacity
+
+let resource_of t cls = t.resource_of_class.(class_index cls)
+
+let capacity_of t r = t.capacity.(r)
+
+let pp ppf t =
+  Format.fprintf ppf "%s[%a]" t.name
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Format.pp_print_int)
+    (Array.to_list t.capacity)

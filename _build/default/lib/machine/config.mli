@@ -1,0 +1,50 @@
+(** VLIW machine configurations.
+
+    A machine has one or more {e resource types}; each type has a number of
+    identical, fully pipelined functional units.  An operation occupies one
+    unit of its resource type for the issue cycle only (the Rim & Jain
+    resource model).  The paper's configurations:
+
+    - GP1, GP2, GP4: 1, 2 and 4 general-purpose units (a single resource
+      type usable by every operation class);
+    - FS4 = (1 int, 1 mem, 1 float, 1 branch), FS6 = (2,2,1,1),
+      FS8 = (3,2,2,1): fully specialized units. *)
+
+type t = private {
+  name : string;
+  capacity : int array;  (** units per resource type *)
+  resource_of_class : int array;
+      (** resource type index for each {!Sb_ir.Opcode.op_class}, in the
+          order of [Opcode.all_classes] *)
+}
+
+val general_purpose : name:string -> width:int -> t
+(** A single resource type of [width] units shared by all classes. *)
+
+val specialized : name:string -> int_:int -> mem:int -> float_:int -> branch:int -> t
+(** One resource type per operation class. *)
+
+val gp1 : t
+val gp2 : t
+val gp4 : t
+val fs4 : t
+val fs6 : t
+val fs8 : t
+
+val all : t list
+(** The six configurations evaluated in the paper, in paper order. *)
+
+val by_name : string -> t option
+
+val n_resources : t -> int
+
+val width : t -> int
+(** Total issue width (sum of unit counts). *)
+
+val resource_of : t -> Sb_ir.Opcode.op_class -> int
+(** Resource type index used by an operation class. *)
+
+val capacity_of : t -> int -> int
+(** Units of resource type [r]. *)
+
+val pp : Format.formatter -> t -> unit

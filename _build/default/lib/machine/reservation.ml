@@ -1,0 +1,68 @@
+type t = {
+  config : Config.t;
+  mutable table : int array array;  (* table.(r).(cycle) = units used *)
+}
+
+let initial_cycles = 64
+
+let create config =
+  {
+    config;
+    table =
+      Array.init (Config.n_resources config) (fun _ ->
+          Array.make initial_cycles 0);
+  }
+
+let config t = t.config
+
+let ensure t cycle =
+  let cur = Array.length t.table.(0) in
+  if cycle >= cur then begin
+    let len = max (cycle + 1) (2 * cur) in
+    t.table <-
+      Array.map
+        (fun row ->
+          let row' = Array.make len 0 in
+          Array.blit row 0 row' 0 (Array.length row);
+          row')
+        t.table
+  end
+
+let check_cycle cycle =
+  if cycle < 0 then invalid_arg "Reservation: negative cycle"
+
+let used t ~cycle ~r =
+  check_cycle cycle;
+  if cycle >= Array.length t.table.(r) then 0 else t.table.(r).(cycle)
+
+let available t ~cycle ~r = Config.capacity_of t.config r - used t ~cycle ~r
+
+let can_issue t ~cycle ~cls =
+  let r = Config.resource_of t.config cls in
+  available t ~cycle ~r > 0
+
+let issue t ~cycle ~cls =
+  check_cycle cycle;
+  ensure t cycle;
+  let r = Config.resource_of t.config cls in
+  if t.table.(r).(cycle) >= Config.capacity_of t.config r then
+    invalid_arg "Reservation.issue: resource exhausted";
+  t.table.(r).(cycle) <- t.table.(r).(cycle) + 1
+
+let undo_issue t ~cycle ~cls =
+  check_cycle cycle;
+  let r = Config.resource_of t.config cls in
+  if cycle >= Array.length t.table.(r) || t.table.(r).(cycle) <= 0 then
+    invalid_arg "Reservation.undo_issue: nothing issued";
+  t.table.(r).(cycle) <- t.table.(r).(cycle) - 1
+
+let first_free t ~from ~r =
+  check_cycle from;
+  let cap = Config.capacity_of t.config r in
+  let rec go c =
+    if c >= Array.length t.table.(r) || t.table.(r).(c) < cap then c
+    else go (c + 1)
+  in
+  go from
+
+let clear t = Array.iter (fun row -> Array.fill row 0 (Array.length row) 0) t.table

@@ -1,0 +1,30 @@
+(** Growable reservation tables.
+
+    Tracks, per cycle and per resource type, how many units are in use.
+    With the fully pipelined Rim & Jain model an operation consumes one
+    unit of its class's resource type during its issue cycle only. *)
+
+type t
+
+val create : Config.t -> t
+
+val config : t -> Config.t
+
+val used : t -> cycle:int -> r:int -> int
+
+val available : t -> cycle:int -> r:int -> int
+(** Free units of resource type [r] in [cycle]. *)
+
+val can_issue : t -> cycle:int -> cls:Sb_ir.Opcode.op_class -> bool
+
+val issue : t -> cycle:int -> cls:Sb_ir.Opcode.op_class -> unit
+(** Consumes one unit.  Raises [Invalid_argument] when the resource is
+    exhausted in that cycle. *)
+
+val undo_issue : t -> cycle:int -> cls:Sb_ir.Opcode.op_class -> unit
+(** Returns one unit (used by schedulers that tentatively place ops). *)
+
+val first_free : t -> from:int -> r:int -> int
+(** First cycle at or after [from] with a free unit of type [r]. *)
+
+val clear : t -> unit

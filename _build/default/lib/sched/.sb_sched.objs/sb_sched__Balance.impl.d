@@ -1,0 +1,1 @@
+lib/sched/balance.ml: Array Config Dep_graph Dyn_bounds Hashtbl List Printf Sb_bounds Sb_ir Sb_machine Scheduler_core String Superblock Sys

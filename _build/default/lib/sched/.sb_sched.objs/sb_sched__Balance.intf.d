@@ -1,0 +1,1 @@
+lib/sched/balance.mli: Sb_bounds Sb_ir Sb_machine Schedule

@@ -1,0 +1,1 @@
+lib/sched/best.ml: Array Balance Critical_path Dhasy Gstar Help List Priorities Schedule Scheduler_core Successive_retirement

@@ -1,0 +1,1 @@
+lib/sched/critical_path.ml: Array Priorities Scheduler_core

@@ -1,0 +1,1 @@
+lib/sched/critical_path.mli: Sb_ir Sb_machine Schedule

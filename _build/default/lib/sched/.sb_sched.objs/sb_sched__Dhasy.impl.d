@@ -1,0 +1,1 @@
+lib/sched/dhasy.ml: Array Priorities Scheduler_core

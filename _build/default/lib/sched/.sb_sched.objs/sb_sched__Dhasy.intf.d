@@ -1,0 +1,1 @@
+lib/sched/dhasy.mli: Sb_ir Sb_machine Schedule

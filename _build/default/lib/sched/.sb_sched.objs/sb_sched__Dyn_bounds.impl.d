@@ -1,0 +1,1 @@
+lib/sched/dyn_bounds.ml: Array Bitset Config Dep_graph Hashtbl List Operation Sb_ir Sb_machine Scheduler_core Superblock

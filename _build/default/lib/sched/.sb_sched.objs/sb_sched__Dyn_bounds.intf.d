@@ -1,0 +1,1 @@
+lib/sched/dyn_bounds.mli: Scheduler_core

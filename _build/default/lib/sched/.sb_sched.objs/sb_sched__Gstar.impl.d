@@ -1,0 +1,1 @@
+lib/sched/gstar.ml: Array Bitset Dep_graph List Priorities Sb_ir Scheduler_core Superblock

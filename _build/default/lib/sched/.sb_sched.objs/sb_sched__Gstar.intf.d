@@ -1,0 +1,1 @@
+lib/sched/gstar.mli: Sb_ir Sb_machine Schedule

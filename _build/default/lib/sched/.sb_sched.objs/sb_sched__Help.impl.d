@@ -1,0 +1,1 @@
+lib/sched/help.ml: Array Dep_graph Dyn_bounds List Sb_ir Scheduler_core Superblock

@@ -1,0 +1,1 @@
+lib/sched/help.mli: Sb_ir Sb_machine Schedule

@@ -1,0 +1,1 @@
+lib/sched/optimal.ml: Array Best Config Dep_graph Operation Sb_ir Sb_machine Schedule Superblock

@@ -1,0 +1,1 @@
+lib/sched/optimal.mli: Sb_ir Sb_machine Schedule

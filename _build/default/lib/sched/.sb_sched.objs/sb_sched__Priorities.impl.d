@@ -1,0 +1,1 @@
+lib/sched/priorities.ml: Array Dep_graph Sb_ir Superblock

@@ -1,0 +1,1 @@
+lib/sched/priorities.mli: Sb_ir

@@ -1,0 +1,1 @@
+lib/sched/registry.ml: Balance Best Critical_path Dhasy Gstar Help List Printf Sb_ir Sb_machine Schedule String Successive_retirement

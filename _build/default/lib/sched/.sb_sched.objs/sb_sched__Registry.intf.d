@@ -1,0 +1,1 @@
+lib/sched/registry.mli: Balance Sb_ir Sb_machine Schedule

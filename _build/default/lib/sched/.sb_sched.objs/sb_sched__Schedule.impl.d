@@ -1,0 +1,1 @@
+lib/sched/schedule.ml: Array Config Dep_graph Format List Operation Printf Sb_ir Sb_machine Superblock

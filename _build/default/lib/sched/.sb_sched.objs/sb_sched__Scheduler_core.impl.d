@@ -1,0 +1,1 @@
+lib/sched/scheduler_core.ml: Array Bitset Config Dep_graph List Operation Printf Reservation Sb_bounds Sb_ir Sb_machine Schedule Superblock

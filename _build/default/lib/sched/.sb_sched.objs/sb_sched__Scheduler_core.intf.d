@@ -1,0 +1,1 @@
+lib/sched/scheduler_core.mli: Sb_ir Sb_machine Schedule

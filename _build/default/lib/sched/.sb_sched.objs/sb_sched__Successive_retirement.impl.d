@@ -1,0 +1,1 @@
+lib/sched/successive_retirement.ml: Array Priorities Scheduler_core

@@ -1,0 +1,1 @@
+lib/sched/successive_retirement.mli: Sb_ir Sb_machine Schedule

@@ -1,0 +1,414 @@
+open Sb_ir
+open Sb_machine
+
+type update_mode = Per_cycle | Light | Full
+
+type options = {
+  use_bounds : bool;
+  use_hlpdel : bool;
+  use_tradeoff : bool;
+  update : update_mode;
+}
+
+let default_options =
+  { use_bounds = true; use_hlpdel = true; use_tradeoff = true; update = Full }
+
+type outcome = Selected | DelayedOk | Delayed | Ignored
+
+type selection = {
+  outcomes : outcome array;  (* per branch index *)
+  take_each : int list;
+  take_one : (int * int list) list;  (* per resource *)
+  rank : float;
+}
+
+(* One pass of the compatible-branch selection of Section 5.3, processing
+   branches in [order].  [placeable] restricts needs to ops that can
+   actually issue now. *)
+let select_branches st (sb : Superblock.t) infos order ~placeable =
+  let config = Scheduler_core.config st in
+  let g = sb.Superblock.graph in
+  let cycle = Scheduler_core.cycle st in
+  let nr = Config.n_resources config in
+  let nb = Superblock.n_branches sb in
+  let outcomes = Array.make nb Ignored in
+  let te = ref [] in
+  let te_mem = Hashtbl.create 16 in
+  let te_res = Array.make nr 0 in
+  let take_one = Array.make nr None in
+  let avail r = Scheduler_core.available_in_current_cycle st ~r in
+  List.iter
+    (fun k ->
+      match infos.(k) with
+      | None -> ()
+      | Some (info : Dyn_bounds.info) ->
+          (* Drop ops scheduled since the info was computed (the
+             once-per-cycle update mode leaves infos stale within a
+             cycle). *)
+          let unsched v = not (Scheduler_core.is_scheduled st v) in
+          let need_each = List.filter unsched info.Dyn_bounds.need_each in
+          let need_one =
+            List.filter_map
+              (fun (r, ops) ->
+                if List.exists (fun v -> not (unsched v)) ops then
+                  (* One of the needed ops was just scheduled: satisfied. *)
+                  None
+                else Some (r, ops))
+              (Dyn_bounds.need_one info)
+          in
+          let has_needs = need_each <> [] || need_one <> [] in
+          if not has_needs then outcomes.(k) <- Ignored
+          else begin
+            (* Tentatively extend TakeEach with this branch's NeedEach. *)
+            let new_ops =
+              List.filter (fun v -> not (Hashtbl.mem te_mem v)) need_each
+            in
+            (* A NeedEach op may legitimately depend on another TakeEach op
+               through a latency-0 edge (e.g. a store feeding its block's
+               branch): both can still issue in this cycle, in order. *)
+            let in_new_te v = Hashtbl.mem te_mem v || List.memq v new_ops in
+            let chain_ok v =
+              (not (Scheduler_core.is_scheduled st v))
+              && Scheduler_core.data_ready_at st v <= cycle
+              && Array.for_all
+                   (fun (p, lat) ->
+                     Scheduler_core.is_scheduled st p
+                     || (lat = 0 && in_new_te p))
+                   (Dep_graph.preds g v)
+            in
+            let feasible = ref (List.for_all chain_ok new_ops) in
+            let new_te_res = Array.copy te_res in
+            if !feasible then
+              List.iter
+                (fun v ->
+                  let r = Scheduler_core.resource_of st v in
+                  new_te_res.(r) <- new_te_res.(r) + 1)
+                new_ops;
+            if !feasible then
+              for r = 0 to nr - 1 do
+                if new_te_res.(r) > avail r then feasible := false
+              done;
+            (* Tentatively narrow TakeOne with this branch's NeedOne. *)
+            let new_to = Array.copy take_one in
+            if !feasible then
+              List.iter
+                (fun (r, ops) ->
+                  if !feasible then begin
+                    if List.exists in_new_te ops then
+                      (* Already satisfied by a TakeEach op. *)
+                      ()
+                    else begin
+                      let ops = List.filter placeable ops in
+                      let narrowed =
+                        match new_to.(r) with
+                        | None -> ops
+                        | Some cur ->
+                            let cur_set = Hashtbl.create 16 in
+                            List.iter (fun v -> Hashtbl.replace cur_set v ()) cur;
+                            List.filter (fun v -> Hashtbl.mem cur_set v) ops
+                      in
+                      if narrowed = [] then feasible := false
+                      else new_to.(r) <- Some narrowed
+                    end
+                  end)
+                need_one;
+            (* Capacity: TakeEach plus one slot per live TakeOne set. *)
+            if !feasible then
+              for r = 0 to nr - 1 do
+                let extra = match new_to.(r) with Some _ -> 1 | None -> 0 in
+                if new_te_res.(r) + extra > avail r then feasible := false
+              done;
+            if !feasible then begin
+              outcomes.(k) <- Selected;
+              List.iter
+                (fun v ->
+                  Hashtbl.replace te_mem v ();
+                  te := v :: !te)
+                new_ops;
+              Array.blit new_te_res 0 te_res 0 nr;
+              Array.blit new_to 0 take_one 0 nr
+            end
+            else outcomes.(k) <- Delayed
+          end)
+    order;
+  let take_one_list =
+    List.filter_map
+      (fun r -> match take_one.(r) with Some ops -> Some (r, ops) | None -> None)
+      (List.init nr (fun r -> r))
+  in
+  let rank = ref 0. in
+  Array.iteri
+    (fun k o ->
+      match o with
+      | Selected | DelayedOk -> rank := !rank +. Superblock.weight sb k
+      | Delayed -> rank := !rank -. Superblock.weight sb k
+      | Ignored -> ())
+    outcomes;
+  { outcomes; take_each = List.rev !te; take_one = take_one_list; rank = !rank }
+
+(* Section 5.4: use the pairwise bounds to accept profitable delays
+   (Delayed -> DelayedOk) and to propose order swaps. *)
+let apply_tradeoffs sb pw erc sel order =
+  let nb = Superblock.n_branches sb in
+  let value_for a other =
+    (* Pairwise-optimal issue-cycle bound for branch [a] in pair
+       {a, other}. *)
+    let i = min a other and j = max a other in
+    let p = Sb_bounds.Pairwise.get pw i j in
+    if a = i then p.Sb_bounds.Pairwise.x else p.Sb_bounds.Pairwise.y
+  in
+  let swap = ref None in
+  let pos = Array.make nb (-1) in
+  List.iteri (fun idx k -> pos.(k) <- idx) order;
+  for i = 0 to nb - 1 do
+    if sel.outcomes.(i) = Delayed then
+      for j = 0 to nb - 1 do
+        if i <> j && sel.outcomes.(j) = Selected then begin
+          let ei = erc.(Superblock.branch_op sb i) in
+          let ej = erc.(Superblock.branch_op sb j) in
+          if value_for i j > ei then
+            (* The bound itself delays i when the pair is optimised:
+               accept the delay. *)
+            sel.outcomes.(i) <- DelayedOk
+          else if value_for j i > ej && !swap = None && pos.(j) < pos.(i) then
+            swap := Some (i, j)
+        end
+      done
+  done;
+  let rank = ref 0. in
+  Array.iteri
+    (fun k o ->
+      match o with
+      | Selected | DelayedOk -> rank := !rank +. Superblock.weight sb k
+      | Delayed -> rank := !rank -. Superblock.weight sb k
+      | Ignored -> ())
+    sel.outcomes;
+  ({ sel with rank = !rank }, !swap)
+
+let swap_order order (i, j) =
+  List.map (fun k -> if k = i then j else if k = j then i else k) order
+
+(* Section 5.5: Hedge-style operation choice among the committed needs,
+   extended with the HlpDel penalty. *)
+let pick_op st (sb : Superblock.t) infos ~use_hlpdel candidates =
+  let n = Superblock.n_ops sb in
+  let g = sb.Superblock.graph in
+  let cycle = Scheduler_core.cycle st in
+  let score = Array.make n 0. in
+  let nhelp = Array.make n 0 in
+  let minlate = Array.make n max_int in
+  Array.iteri
+    (fun k info ->
+      match info with
+      | None -> ()
+      | Some (info : Dyn_bounds.info) ->
+          let w = Superblock.weight sb k in
+          let b = info.Dyn_bounds.b_op in
+          let critical = Dyn_bounds.resource_critical st info in
+          let needs = Dyn_bounds.need_one info in
+          (* Index the needed ops and resources once per branch rather
+             than scanning the (possibly long) ERC op lists per
+             candidate. *)
+          let need_ops = Hashtbl.create 32 in
+          let need_res = Hashtbl.create 4 in
+          List.iter
+            (fun (r, ops) ->
+              Hashtbl.replace need_res r ();
+              List.iter (fun v -> Hashtbl.replace need_ops v ()) ops)
+            needs;
+          List.iter
+            (fun v ->
+              let is_member = v = b || Dep_graph.is_pred g v b in
+              let dep_help = is_member && info.Dyn_bounds.late.(v) <= cycle in
+              let res_help =
+                is_member
+                && List.mem (Scheduler_core.resource_of st v) critical
+              in
+              let in_need_one = Hashtbl.mem need_ops v in
+              if dep_help || res_help || in_need_one then begin
+                score.(v) <- score.(v) +. w;
+                nhelp.(v) <- nhelp.(v) + 1;
+                if is_member && info.Dyn_bounds.late.(v) < minlate.(v) then
+                  minlate.(v) <- info.Dyn_bounds.late.(v)
+              end
+              else if use_hlpdel then begin
+                (* v neither helps b nor belongs to b's zero-slack ERC: if
+                   it consumes that ERC's resource it indirectly delays
+                   b (Observation 1). *)
+                if Hashtbl.mem need_res (Scheduler_core.resource_of st v) then
+                  score.(v) <- score.(v) -. w
+              end)
+            candidates)
+    infos;
+  let better a b =
+    if score.(a) <> score.(b) then score.(a) > score.(b)
+    else if nhelp.(a) <> nhelp.(b) then nhelp.(a) > nhelp.(b)
+    else if minlate.(a) <> minlate.(b) then minlate.(a) < minlate.(b)
+    else a < b
+  in
+  List.fold_left (fun acc v -> if acc < 0 || better v acc then v else acc) (-1)
+    candidates
+
+let schedule ?(options = default_options) ?precomputed config (sb : Superblock.t) =
+  let nb = Superblock.n_branches sb in
+  let erc =
+    match precomputed with
+    | Some (all : Sb_bounds.Superblock_bound.all) ->
+        all.Sb_bounds.Superblock_bound.early_rc
+    | None -> Sb_bounds.Langevin_cerny.early_rc config sb
+  in
+  let pw =
+    if options.use_tradeoff then
+      match precomputed with
+      | Some all -> Some all.Sb_bounds.Superblock_bound.pairwise_ctx
+      | None -> Some (Sb_bounds.Pairwise.compute config sb ~early_rc:erc)
+    else None
+  in
+  let late_floors =
+    if options.use_bounds then
+      Array.init nb (fun k ->
+          let b = Superblock.branch_op sb k in
+          let floor =
+            match (pw, precomputed) with
+            (* The pairwise context already holds the reverse-LC arrays. *)
+            | Some ctx, _ | None, Some { Sb_bounds.Superblock_bound.pairwise_ctx = ctx; _ }
+              ->
+                Array.map
+                  (fun rev -> if rev = min_int then max_int else erc.(b) - rev)
+                  (Sb_bounds.Pairwise.reverse_rc ctx k)
+            | None, None ->
+                Sb_bounds.Langevin_cerny.late_rc config sb ~root:b
+                  ~target:erc.(b)
+          in
+          Some (floor, erc.(b)))
+    else Array.make nb None
+  in
+  let early_floor = if options.use_bounds then Some erc else None in
+  let st = Scheduler_core.create config sb in
+  let infos : Dyn_bounds.info option array = Array.make nb None in
+  let recompute_one k =
+    if Scheduler_core.is_scheduled st (Superblock.branch_op sb k) then
+      infos.(k) <- None
+    else
+      infos.(k) <-
+        Some
+          (Dyn_bounds.analyze ?early_floor ?late_floor:late_floors.(k)
+             ~with_erc:true st ~branch_index:k)
+  in
+  let recompute () =
+    for k = 0 to nb - 1 do
+      recompute_one k
+    done
+  in
+  let weight_order () =
+    List.init nb (fun k -> k)
+    |> List.filter (fun k -> infos.(k) <> None)
+    |> List.stable_sort (fun a b ->
+           compare (Superblock.weight sb b) (Superblock.weight sb a))
+  in
+  recompute ();
+  let dirty = ref false in
+  while not (Scheduler_core.finished st) do
+    let candidates0 =
+      List.filter (Scheduler_core.is_placeable st) (Scheduler_core.ready_ops st)
+    in
+    if candidates0 = [] then begin
+      Scheduler_core.advance st;
+      recompute ();
+      dirty := false
+    end
+    else begin
+      if !dirty && options.update = Full then begin
+        recompute ();
+        dirty := false
+      end;
+      let placeable v = Scheduler_core.is_placeable st v in
+      (* Branch selection with up to a few tradeoff-driven reorderings. *)
+      let rec refine order best iters =
+        let sel = select_branches st sb infos order ~placeable in
+        let sel, swap =
+          match pw with
+          | Some pw when options.use_tradeoff ->
+              apply_tradeoffs sb pw erc sel order
+          | _ -> (sel, None)
+        in
+        let best =
+          match best with
+          | Some b when b.rank >= sel.rank -> Some b
+          | _ -> Some sel
+        in
+        match swap with
+        | Some s when iters > 0 -> refine (swap_order order s) best (iters - 1)
+        | _ -> best
+      in
+      let sel = refine (weight_order ()) None 3 in
+      let sel = match sel with Some s -> s | None -> assert false in
+      let need_candidates =
+        let from_needs =
+          sel.take_each @ List.concat_map (fun (_, ops) -> ops) sel.take_one
+        in
+        List.sort_uniq compare (List.filter placeable from_needs)
+      in
+      let candidates =
+        if need_candidates = [] then candidates0 else need_candidates
+      in
+      let v = pick_op st sb infos ~use_hlpdel:options.use_hlpdel candidates in
+      if Sys.getenv_opt "BALANCE_TRACE" = Some "2" then
+        Array.iter
+          (fun info ->
+            match info with
+            | None -> ()
+            | Some (i : Dyn_bounds.info) ->
+                Printf.eprintf
+                  "  b%d(op%d) early=%d need_each=[%s] need_one=[%s]\n"
+                  i.Dyn_bounds.branch_index i.Dyn_bounds.b_op i.Dyn_bounds.early
+                  (String.concat ","
+                     (List.map string_of_int i.Dyn_bounds.need_each))
+                  (String.concat ";"
+                     (List.map
+                        (fun (r, ops) ->
+                          Printf.sprintf "r%d:%s" r
+                            (String.concat ","
+                               (List.map string_of_int ops)))
+                        (Dyn_bounds.need_one i))))
+          infos;
+      if Sys.getenv_opt "BALANCE_TRACE" <> None then begin
+        Printf.eprintf "cycle=%d pick=%d cands=[%s] te=[%s] to=[%s] outcomes=[%s]\n"
+          (Scheduler_core.cycle st) v
+          (String.concat "," (List.map string_of_int candidates))
+          (String.concat "," (List.map string_of_int sel.take_each))
+          (String.concat ";"
+             (List.map
+                (fun (r, ops) ->
+                  Printf.sprintf "r%d:%s" r
+                    (String.concat "," (List.map string_of_int ops)))
+                sel.take_one))
+          (String.concat ","
+             (Array.to_list
+                (Array.mapi
+                   (fun k o ->
+                     Printf.sprintf "b%d=%s" k
+                       (match o with
+                       | Selected -> "S"
+                       | DelayedOk -> "dOK"
+                       | Delayed -> "D"
+                       | Ignored -> "i"))
+                   sel.outcomes)))
+      end;
+      Scheduler_core.place st v;
+      (match options.update with
+      | Light ->
+          (* Patch every cached branch info in place; fall back to a full
+             per-branch recomputation only when a patch fails. *)
+          for k = 0 to nb - 1 do
+            match infos.(k) with
+            | None -> ()
+            | Some info ->
+                if v = info.Dyn_bounds.b_op then infos.(k) <- None
+                else if not (Dyn_bounds.light_update st info ~placed:v) then
+                  recompute_one k
+          done
+      | Full | Per_cycle -> dirty := true)
+    end
+  done;
+  Scheduler_core.to_schedule st

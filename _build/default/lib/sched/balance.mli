@@ -1,0 +1,58 @@
+(** The Balance scheduling heuristic (paper Section 5).
+
+    Before every placement, Balance maintains per-branch dynamic
+    Early/Late bounds (floored by the static EarlyRC/LateRC) and the
+    Elementary Resource Constraints; derives the sets of operations each
+    branch needs ([NeedEach]/[NeedOne]); selects a maximal-rank set of
+    branches whose needs are jointly satisfiable in the current cycle
+    (Section 5.3), revising the selection order when the Pairwise bounds
+    say a branch tradeoff is profitable (Section 5.4); and finally picks
+    one operation out of the committed needs with a Speculative-Hedge
+    style priority (Section 5.5), extended to also penalise operations
+    that waste a resource critical to a branch with an unsatisfied
+    zero-slack ERC ("HlpDel", Observation 1).
+
+    The [options] switches reproduce the paper's Table 7 ablation. *)
+
+type update_mode =
+  | Per_cycle  (** recompute the dynamic bounds once per cycle *)
+  | Light
+      (** recompute once per cycle, and patch the ERC empty-slot counts
+          after every placement (the paper's Section 5.1 light update);
+          falls back to a full per-branch recomputation when a patch
+          cannot keep the cached info valid *)
+  | Full  (** recompute everything before every placement *)
+
+type options = {
+  use_bounds : bool;
+      (** floor the dynamic bounds with EarlyRC/LateRC (Observation 2) *)
+  use_hlpdel : bool;
+      (** track indirect delays, not just helps (Observation 1) *)
+  use_tradeoff : bool;
+      (** pairwise branch tradeoffs in the selection (Observation 3) *)
+  update : update_mode;
+}
+
+val default_options : options
+(** Everything on, with full per-operation updates — the full Balance
+    heuristic. *)
+
+type outcome = Selected | DelayedOk | Delayed | Ignored
+(** Outcome of a branch in the final branch selection of a decision
+    (exposed for tests). *)
+
+val schedule :
+  ?options:options ->
+  ?precomputed:Sb_bounds.Superblock_bound.all ->
+  Sb_machine.Config.t ->
+  Sb_ir.Superblock.t ->
+  Schedule.t
+(** Schedules a superblock.  [precomputed] reuses bound work (EarlyRC and
+    the pairwise context) from an {!Sb_bounds.Superblock_bound.all_bounds}
+    call on the same superblock and machine. *)
+
+(** Setting the environment variable [BALANCE_TRACE] (to any value, or to
+    ["2"] for per-branch detail) makes {!schedule} print one line per
+    scheduling decision on stderr — the branch selection outcomes, the
+    TakeEach/TakeOne sets and the chosen operation.  Intended for
+    debugging heuristic decisions on small superblocks. *)

@@ -1,0 +1,42 @@
+let grid = [| 0.0; 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9; 1.0 |]
+
+let min_schedule a b =
+  if
+    Schedule.weighted_completion_time b < Schedule.weighted_completion_time a
+  then b
+  else a
+
+let cross_product_only config sb =
+  let cp = Priorities.normalize (Array.map float_of_int (Priorities.height sb)) in
+  let dh = Priorities.normalize (Priorities.dhasy sb) in
+  (* SR's priority as a single comparable scalar: earlier blocks first. *)
+  let blk = Priorities.block_index sb in
+  let nb = float_of_int (1 + Array.fold_left max 0 blk) in
+  let sr =
+    Priorities.normalize
+      (Array.map (fun b -> nb -. float_of_int b) blk)
+  in
+  let best = ref None in
+  Array.iter
+    (fun a ->
+      Array.iter
+        (fun b ->
+          let prio v = dh.(v) +. (a *. cp.(v)) +. (b *. sr.(v) *. nb) in
+          let s = Scheduler_core.schedule_with config sb ~priority:prio in
+          best := Some (match !best with None -> s | Some cur -> min_schedule cur s))
+        grid)
+    grid;
+  match !best with Some s -> s | None -> assert false
+
+let schedule ?precomputed config sb =
+  let primaries =
+    [
+      Successive_retirement.schedule config sb;
+      Critical_path.schedule config sb;
+      Gstar.schedule config sb;
+      Dhasy.schedule config sb;
+      Help.schedule config sb;
+      Balance.schedule ?precomputed config sb;
+    ]
+  in
+  List.fold_left min_schedule (cross_product_only config sb) primaries

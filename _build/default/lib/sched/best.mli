@@ -1,0 +1,16 @@
+(** The Best meta-heuristic of the paper's evaluation: the cheapest
+    schedule among the six primary heuristics (SR, CP, G*, DHASY, Help,
+    Balance) and a three-dimensional cross product of the CP, SR and
+    DHASY priority functions — an 11x11 grid of normalized CP/SR
+    admixtures into the DHASY priority — for 121 extra list-scheduler
+    runs, 127 schedules in total. *)
+
+val schedule :
+  ?precomputed:Sb_bounds.Superblock_bound.all ->
+  Sb_machine.Config.t ->
+  Sb_ir.Superblock.t ->
+  Schedule.t
+
+val cross_product_only :
+  Sb_machine.Config.t -> Sb_ir.Superblock.t -> Schedule.t
+(** Just the 121-schedule grid (exposed for tests and ablations). *)

@@ -1,0 +1,4 @@
+let schedule config sb =
+  let h = Priorities.height sb in
+  Scheduler_core.schedule_with config sb ~priority:(fun v ->
+      float_of_int h.(v))

@@ -1,0 +1,5 @@
+(** The Critical Path heuristic: list scheduling with the longest
+    dependence chain below each op as its priority.  Performs best on
+    wide machines where resources rarely bind. *)
+
+val schedule : Sb_machine.Config.t -> Sb_ir.Superblock.t -> Schedule.t

@@ -1,0 +1,3 @@
+let schedule config sb =
+  let p = Priorities.dhasy sb in
+  Scheduler_core.schedule_with config sb ~priority:(fun v -> p.(v))

@@ -1,0 +1,5 @@
+(** Dependence Height and Speculative Yield (DHASY): Critical Path
+    extended to superblocks by weighting each branch's critical path with
+    its exit probability. *)
+
+val schedule : Sb_machine.Config.t -> Sb_ir.Superblock.t -> Schedule.t

@@ -1,0 +1,260 @@
+open Sb_ir
+open Sb_machine
+
+type erc = {
+  resource : int;
+  deadline : int;
+  mutable ops : int list;
+  mutable empty : int;
+}
+
+type info = {
+  branch_index : int;
+  b_op : int;
+  early : int;
+  late : int array;
+  mutable need_each : int list;
+  mutable ercs : erc list;
+}
+
+(* Most constraining zero-empty ERC per resource (smallest deadline);
+   larger deadlines are implied by it (footnote 1 of the paper). *)
+let need_one info =
+  let seen = Hashtbl.create 4 in
+  List.filter_map
+    (fun e ->
+      if e.empty <= 0 && e.ops <> [] && not (Hashtbl.mem seen e.resource)
+      then begin
+        Hashtbl.replace seen e.resource ();
+        Some (e.resource, e.ops)
+      end
+      else None)
+    info.ercs
+
+let analyze ?early_floor ?late_floor ?(with_erc = true) st ~branch_index =
+  let sb = Scheduler_core.superblock st in
+  let config = Scheduler_core.config st in
+  let g = sb.Superblock.graph in
+  let n = Superblock.n_ops sb in
+  let cycle = Scheduler_core.cycle st in
+  let b = Superblock.branch_op sb branch_index in
+  let preds_of_b = Dep_graph.transitive_preds g b in
+  let is_member v = v = b || Bitset.mem preds_of_b v in
+  let order = Dep_graph.topo_order g in
+  Scheduler_core.add_work st (Bitset.cardinal preds_of_b + 1);
+  (* Forward pass: dynamic earliest issue cycles over the partial
+     schedule, clamped to the current cycle and the static floor. *)
+  let early = Array.make n min_int in
+  Array.iter
+    (fun v ->
+      if is_member v then
+        if Scheduler_core.is_scheduled st v then
+          early.(v) <- Scheduler_core.issue_time st v
+        else begin
+          let e = ref cycle in
+          (match early_floor with
+          | Some f -> if f.(v) > !e then e := f.(v)
+          | None -> ());
+          Array.iter
+            (fun (p, lat) ->
+              if early.(p) <> min_int && early.(p) + lat > !e then
+                e := early.(p) + lat)
+            (Dep_graph.preds g v);
+          early.(v) <- !e
+        end)
+    order;
+  let e_b = ref early.(b) in
+  (* Backward pass: dynamic latest issue cycles that keep [b] at [e_b],
+     tightened by the (shifted) static LateRC floor. *)
+  let late = Array.make n max_int in
+  let compute_late () =
+    late.(b) <- !e_b;
+    for i = Array.length order - 1 downto 0 do
+      let v = order.(i) in
+      if v <> b && is_member v && not (Scheduler_core.is_scheduled st v) then begin
+        let lt = ref max_int in
+        Array.iter
+          (fun (w, lat) ->
+            if is_member w && late.(w) <> max_int && late.(w) - lat < !lt then
+              lt := late.(w) - lat)
+          (Dep_graph.succs g v);
+        (match late_floor with
+        | Some (floor, erc_b) ->
+            if floor.(v) <> max_int then begin
+              let shifted = floor.(v) + (!e_b - erc_b) in
+              if shifted < !lt then lt := shifted
+            end
+        | None -> ());
+        late.(v) <- !lt
+      end
+      else if not (is_member v) then late.(v) <- max_int
+    done
+  in
+  compute_late ();
+  (* A static floor can already be unmeetable: ops forced before the
+     current cycle delay [b] outright. *)
+  let missed = ref 0 in
+  Array.iteri
+    (fun v lt ->
+      if
+        lt <> max_int && is_member v
+        && not (Scheduler_core.is_scheduled st v)
+        && cycle - lt > !missed
+      then missed := cycle - lt)
+    late;
+  if !missed > 0 then begin
+    e_b := !e_b + !missed;
+    compute_late ()
+  end;
+  let ercs = ref [] in
+  if with_erc then begin
+    (* Elementary Resource Constraints: for every deadline [c], the
+       unscheduled predecessors due by [c] must fit in the slots left
+       between now and [c]. *)
+    let nr = Config.n_resources config in
+    let lates_by_r = Array.make nr [] in
+    Array.iteri
+      (fun v lt ->
+        if
+          lt <> max_int && is_member v
+          && not (Scheduler_core.is_scheduled st v)
+        then begin
+          let r =
+            Config.resource_of config (Operation.op_class sb.Superblock.ops.(v))
+          in
+          lates_by_r.(r) <- lt :: lates_by_r.(r)
+        end)
+      late;
+    let delay = ref 0 in
+    for r = 0 to nr - 1 do
+      let cap = Config.capacity_of config r in
+      let used_now = Scheduler_core.used_in_current_cycle st ~r in
+      let lates = List.sort compare lates_by_r.(r) in
+      let count = ref 0 in
+      let rec sweep = function
+        | [] -> ()
+        | c :: rest ->
+            incr count;
+            (match rest with
+            | c' :: _ when c' = c -> ()
+            | _ ->
+                Scheduler_core.add_work st 1;
+                let avail = ((c - cycle + 1) * cap) - used_now in
+                if !count > avail then begin
+                  let d = (!count - avail + cap - 1) / cap in
+                  if d > !delay then delay := d
+                end);
+            sweep rest
+      in
+      sweep lates
+    done;
+    if !delay > 0 then begin
+      e_b := !e_b + !delay;
+      compute_late ()
+    end;
+    (* Materialise every ERC with its empty-slot count (Step 4 of the
+       paper); the light update patches these in place. *)
+    for r = nr - 1 downto 0 do
+      let cap = Config.capacity_of config r in
+      let used_now = Scheduler_core.used_in_current_cycle st ~r in
+      let members_r =
+        List.sort compare
+          (Array.to_list (Array.init n (fun v -> v))
+          |> List.filter_map (fun v ->
+                 if
+                   late.(v) <> max_int && is_member v
+                   && (not (Scheduler_core.is_scheduled st v))
+                   && Config.resource_of config
+                        (Operation.op_class sb.Superblock.ops.(v))
+                      = r
+                 then Some (late.(v), v)
+                 else None))
+      in
+      let r_ercs = ref [] in
+      let rec build count acc = function
+        | [] -> ()
+        | (c, v) :: rest ->
+            let count = count + 1 and acc = v :: acc in
+            (match rest with
+            | (c', _) :: _ when c' = c -> ()
+            | _ ->
+                let avail = ((c - cycle + 1) * cap) - used_now in
+                r_ercs :=
+                  { resource = r; deadline = c; ops = List.rev acc;
+                    empty = avail - count }
+                  :: !r_ercs);
+            build count acc rest
+      in
+      build 0 [] members_r;
+      ercs := List.rev !r_ercs @ !ercs
+    done
+  end;
+  let need_each = ref [] in
+  Array.iteri
+    (fun v lt ->
+      if
+        lt <> max_int && lt <= cycle && is_member v
+        && not (Scheduler_core.is_scheduled st v)
+      then need_each := v :: !need_each)
+    late;
+  {
+    branch_index;
+    b_op = b;
+    early = !e_b;
+    late;
+    need_each = List.rev !need_each;
+    ercs = !ercs;
+  }
+
+let resource_critical st info =
+  let sb = Scheduler_core.superblock st in
+  let config = Scheduler_core.config st in
+  let g = sb.Superblock.graph in
+  let cycle = Scheduler_core.cycle st in
+  let nr = Config.n_resources config in
+  let demand = Array.make nr 0 in
+  Bitset.iter
+    (fun v ->
+      if not (Scheduler_core.is_scheduled st v) then begin
+        let r =
+          Config.resource_of config (Operation.op_class sb.Superblock.ops.(v))
+        in
+        demand.(r) <- demand.(r) + 1
+      end)
+    (Dep_graph.transitive_preds g info.b_op);
+  let critical = ref [] in
+  for r = nr - 1 downto 0 do
+    if demand.(r) > 0 then begin
+      let cap = Config.capacity_of config r in
+      let avail =
+        ((info.early - cycle) * cap) - Scheduler_core.used_in_current_cycle st ~r
+      in
+      if demand.(r) >= avail then critical := r :: !critical
+    end
+  done;
+  !critical
+
+let light_update st info ~placed =
+  if placed = info.b_op then false
+  else begin
+    let r_placed = Scheduler_core.resource_of st placed in
+    let ok = ref true in
+    List.iter
+      (fun e ->
+        if !ok && e.resource = r_placed then begin
+          if List.mem placed e.ops then
+            (* The op consumed a slot it was counted for: need and avail
+               both drop by one; the remaining ops keep their slack. *)
+            e.ops <- List.filter (fun v -> v <> placed) e.ops
+          else begin
+            (* A slot inside the window went to an op this ERC does not
+               count: one fewer empty slot. *)
+            e.empty <- e.empty - 1;
+            if e.empty < 0 then ok := false
+          end
+        end)
+      info.ercs;
+    if !ok then
+      info.need_each <- List.filter (fun v -> v <> placed) info.need_each;
+    !ok
+  end

@@ -1,0 +1,69 @@
+(** Per-branch dynamic bounds and needs (paper Sections 5.1–5.2).
+
+    During scheduling, every unscheduled branch [b] has a dynamic earliest
+    issue cycle [early] (dependences over the partial schedule, optionally
+    floored by the static EarlyRC, plus ERC resource delays) and, for each
+    unscheduled predecessor [v], a dynamic latest cycle [late v] that
+    keeps [b] at [early].
+
+    From these, the needs:
+    - [need_each]: ops with [late v <= current cycle] — every one of them
+      must issue {e in this cycle} or [b] slips;
+    - [need_one]: per resource type, the ops of the most constraining
+      Elementary Resource Constraint with no empty slot — one of them must
+      be picked {e by the next scheduling decision} or [b] slips. *)
+
+type erc = {
+  resource : int;
+  deadline : int;  (** the ERC's cycle [c] *)
+  mutable ops : int list;  (** unscheduled predecessors due by [deadline] *)
+  mutable empty : int;  (** AvailSlot - NeedSlot; 0 means one of [ops] must
+                            be taken by the next decision *)
+}
+
+type info = {
+  branch_index : int;
+  b_op : int;
+  early : int;  (** dynamic lower bound on the branch's issue cycle *)
+  late : int array;  (** per op; [max_int] for non-predecessors *)
+  mutable need_each : int list;  (** unscheduled ops needed in the current cycle *)
+  mutable ercs : erc list;  (** all Elementary Resource Constraints, by resource
+                        then increasing deadline *)
+}
+
+val need_one : info -> (int * int list) list
+(** [(resource, ops)] for each resource whose most constraining ERC has
+    no empty slots: one of [ops] must be scheduled by the next decision
+    or the branch slips (paper Section 5.2). *)
+
+val light_update : Scheduler_core.t -> info -> placed:int -> bool
+(** The paper's Section 5.1 light update: account for the resources the
+    just-[placed] op consumed by decrementing the empty-slot counts of
+    the ERCs it does not help (and removing it from those it does).
+    Returns [false] when the cached info can no longer be patched (the
+    branch's late times changed — an ERC went negative or a needed op
+    was missed) and a full {!analyze} is required. *)
+
+val analyze :
+  ?early_floor:int array ->
+  ?late_floor:(int array * int) ->
+  ?with_erc:bool ->
+  Scheduler_core.t ->
+  branch_index:int ->
+  info
+(** [analyze st ~branch_index] recomputes the dynamic info for one branch
+    against the engine's current partial schedule.
+
+    [early_floor] is the static EarlyRC array; [late_floor] is the static
+    [LateRC] array for this branch together with the EarlyRC of the branch
+    it was computed against (the pair lets the floor shift with the
+    dynamic early time).  [with_erc] (default true) enables the
+    ERC resource bound and [need_one]; switching it off leaves the simple
+    dependence-only late times (the Help heuristic's resource model is
+    separate, see {!resource_critical}). *)
+
+val resource_critical : Scheduler_core.t -> info -> int list
+(** Speculative-Hedge-style resource criticality: resource types whose
+    remaining demand from the branch's unscheduled predecessors fills the
+    entire window before [info.early].  Any predecessor using such a
+    resource helps the branch. *)

@@ -1,0 +1,81 @@
+open Sb_ir
+
+type secondary = Critical_path | Dhasy_secondary
+
+(* Completion cycle of [root] when the member subgraph is list-scheduled
+   in isolation with the secondary heuristic's priority. *)
+let subschedule_completion config sb ~members ~root ~priority =
+  let t = Scheduler_core.run_static ~members config sb ~priority in
+  Scheduler_core.issue_time t root
+
+let schedule ?(secondary = Critical_path) config (sb : Superblock.t) =
+  let g = sb.Superblock.graph in
+  let n = Superblock.n_ops sb in
+  let nb = Superblock.n_branches sb in
+  let height = Priorities.height sb in
+  let secondary_priority =
+    match secondary with
+    | Critical_path -> fun v -> float_of_int height.(v)
+    | Dhasy_secondary ->
+        let p = Priorities.dhasy sb in
+        fun v -> p.(v)
+  in
+  let remaining = Bitset.of_list n (List.init n (fun i -> i)) in
+  let tier = Array.make n nb in
+  let branch_left = Array.make nb true in
+  let current_tier = ref 0 in
+  let branches_left = ref nb in
+  while !branches_left > 0 do
+    (* Rank every remaining branch by its isolated completion over the
+       cumulative probability of the exits at or before it. *)
+    let best_k = ref (-1) and best_rank = ref infinity in
+    let cum = ref 0. in
+    for k = 0 to nb - 1 do
+      if branch_left.(k) then begin
+        let b = Superblock.branch_op sb k in
+        cum := !cum +. Superblock.weight sb k;
+        let members =
+          Bitset.inter remaining
+            (let s = Bitset.copy (Dep_graph.transitive_preds g b) in
+             Bitset.add s b;
+             s)
+        in
+        let c =
+          subschedule_completion config sb ~members ~root:b
+            ~priority:secondary_priority
+        in
+        let rank =
+          if !cum > 0. then float_of_int c /. !cum else float_of_int c *. 1e9
+        in
+        if rank < !best_rank then begin
+          best_rank := rank;
+          best_k := k
+        end
+      end
+    done;
+    (* Retire the critical branch and everything it needs. *)
+    let bk = !best_k in
+    let b = Superblock.branch_op sb bk in
+    let retired =
+      Bitset.inter remaining
+        (let s = Bitset.copy (Dep_graph.transitive_preds g b) in
+         Bitset.add s b;
+         s)
+    in
+    Bitset.iter
+      (fun v ->
+        tier.(v) <- !current_tier;
+        Bitset.remove remaining v;
+        match Superblock.branch_index sb v with
+        | Some k ->
+            branch_left.(k) <- false;
+            decr branches_left
+        | None -> ())
+      retired;
+    incr current_tier
+  done;
+  (* Lower tier = retire earlier = higher priority; Critical Path breaks
+     ties within a tier. *)
+  let big = float_of_int (1 + Array.fold_left max 0 height) in
+  Scheduler_core.schedule_with config sb ~priority:(fun v ->
+      (-.big *. float_of_int tier.(v)) +. float_of_int height.(v))

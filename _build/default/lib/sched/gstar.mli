@@ -1,0 +1,17 @@
+(** The G* heuristic (paper Section 2).
+
+    G* repeatedly identifies the {e critical branch}: for every remaining
+    branch [b], it schedules the remaining subgraph rooted at [b] with a
+    secondary heuristic (Critical Path here) and ranks [b] by that
+    completion cycle divided by the cumulative exit probability up to [b].
+    The branch with the smallest rank, together with its predecessors, is
+    retired first (as in Successive Retirement); the process recurses on
+    the rest. *)
+
+type secondary = Critical_path | Dhasy_secondary
+(** The heuristic used to schedule each branch's subgraph when ranking
+    (the paper uses Critical Path; DHASY is offered as an ablation). *)
+
+val schedule :
+  ?secondary:secondary -> Sb_machine.Config.t -> Sb_ir.Superblock.t -> Schedule.t
+(** [secondary] defaults to [Critical_path], as in the paper. *)

@@ -1,0 +1,58 @@
+open Sb_ir
+
+let schedule config (sb : Superblock.t) =
+  let st = Scheduler_core.create config sb in
+  let nb = Superblock.n_branches sb in
+  let n = Superblock.n_ops sb in
+  let g = sb.Superblock.graph in
+  while not (Scheduler_core.finished st) do
+    let candidates =
+      List.filter (Scheduler_core.is_placeable st) (Scheduler_core.ready_ops st)
+    in
+    if candidates = [] then Scheduler_core.advance st
+    else begin
+      let help = Array.make n 0. in
+      let nhelp = Array.make n 0 in
+      let minlate = Array.make n max_int in
+      let cycle = Scheduler_core.cycle st in
+      for k = 0 to nb - 1 do
+        let b = Superblock.branch_op sb k in
+        if not (Scheduler_core.is_scheduled st b) then begin
+          let info =
+            Dyn_bounds.analyze ~with_erc:false st ~branch_index:k
+          in
+          let critical = Dyn_bounds.resource_critical st info in
+          let w = Superblock.weight sb k in
+          List.iter
+            (fun v ->
+              let is_member = v = b || Dep_graph.is_pred g v b in
+              let dep_help = is_member && info.Dyn_bounds.late.(v) <= cycle in
+              let res_help =
+                is_member && List.mem (Scheduler_core.resource_of st v) critical
+              in
+              if dep_help || res_help then begin
+                help.(v) <- help.(v) +. w;
+                nhelp.(v) <- nhelp.(v) + 1;
+                if is_member && info.Dyn_bounds.late.(v) < minlate.(v) then
+                  minlate.(v) <- info.Dyn_bounds.late.(v)
+              end)
+            candidates
+        end
+      done;
+      (* Highest total helped probability; ties to more helped branches,
+         then to the smallest late time, then to the smaller id. *)
+      let better a b =
+        if help.(a) <> help.(b) then help.(a) > help.(b)
+        else if nhelp.(a) <> nhelp.(b) then nhelp.(a) > nhelp.(b)
+        else if minlate.(a) <> minlate.(b) then minlate.(a) < minlate.(b)
+        else a < b
+      in
+      let best =
+        List.fold_left
+          (fun acc v -> if acc < 0 || better v acc then v else acc)
+          (-1) candidates
+      in
+      Scheduler_core.place st best
+    end
+  done;
+  Scheduler_core.to_schedule st

@@ -1,0 +1,12 @@
+(** The Help heuristic: the paper's reconstruction of Speculative Hedge.
+
+    Before every placement, each data-ready operation is scored by the
+    total exit probability of the unscheduled branches it {e helps}: a
+    branch is helped when the op sits on its dynamic critical path
+    ([late <= current cycle]) or consumes a resource type that is critical
+    to the branch (remaining demand fills the window before the branch's
+    dynamic early time).  Ties break to the op helping more branches,
+    then to the smallest late time.  No EarlyRC/LateRC/Pairwise bounds and
+    no compatible-branch selection are used. *)
+
+val schedule : Sb_machine.Config.t -> Sb_ir.Superblock.t -> Schedule.t

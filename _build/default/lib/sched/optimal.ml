@@ -1,0 +1,96 @@
+open Sb_ir
+open Sb_machine
+
+exception Budget_exhausted
+
+let schedule ?(node_budget = 200_000) config (sb : Superblock.t) =
+  let n = Superblock.n_ops sb in
+  let g = sb.Superblock.graph in
+  let nb = Superblock.n_branches sb in
+  let l_br = Superblock.branch_latency sb in
+  (* Generous horizon: everything serialized plus the worst latency. *)
+  let horizon = (n * 10) + 16 in
+  let nr = Config.n_resources config in
+  let used = Array.make_matrix nr horizon 0 in
+  let issue = Array.make n (-1) in
+  let unsched_preds =
+    Array.init n (fun v -> Array.length (Dep_graph.preds g v))
+  in
+  let cls v = Operation.op_class sb.Superblock.ops.(v) in
+  let res v = Config.resource_of config (cls v) in
+  (* Incumbent: the Best heuristic. *)
+  let incumbent = ref (Best.schedule config sb) in
+  let best_wct = ref (Schedule.weighted_completion_time !incumbent) in
+  let nodes = ref 0 in
+  (* Dependence-only lower bound on the remaining exits, from the current
+     partial schedule. *)
+  let remaining_bound cycle =
+    let e = Array.make n 0 in
+    let bound = ref 0. in
+    Array.iter
+      (fun v ->
+        if issue.(v) >= 0 then e.(v) <- issue.(v)
+        else begin
+          e.(v) <- cycle;
+          Array.iter
+            (fun (p, lat) -> if e.(p) + lat > e.(v) then e.(v) <- e.(p) + lat)
+            (Dep_graph.preds g v)
+        end)
+      (Dep_graph.topo_order g);
+    for k = 0 to nb - 1 do
+      let b = Superblock.branch_op sb k in
+      bound := !bound +. (Superblock.weight sb k *. float_of_int (e.(b) + l_br))
+    done;
+    !bound
+  in
+  let ready cycle v =
+    issue.(v) < 0
+    && unsched_preds.(v) = 0
+    && Array.for_all
+         (fun (p, lat) -> issue.(p) + lat <= cycle)
+         (Dep_graph.preds g v)
+  in
+  let place cycle v =
+    issue.(v) <- cycle;
+    used.(res v).(cycle) <- used.(res v).(cycle) + 1;
+    Array.iter
+      (fun (w, _) -> unsched_preds.(w) <- unsched_preds.(w) - 1)
+      (Dep_graph.succs g v)
+  in
+  let unplace cycle v =
+    issue.(v) <- -1;
+    used.(res v).(cycle) <- used.(res v).(cycle) - 1;
+    Array.iter
+      (fun (w, _) -> unsched_preds.(w) <- unsched_preds.(w) + 1)
+      (Dep_graph.succs g v)
+  in
+  (* [min_id] enforces increasing op ids within a cycle (placement order
+     inside a cycle is irrelevant, so explore only one). *)
+  let rec explore cycle min_id remaining =
+    incr nodes;
+    if !nodes > node_budget then raise Budget_exhausted;
+    if remaining = 0 then begin
+      let wct = remaining_bound cycle in
+      if wct < !best_wct -. 1e-12 then begin
+        best_wct := wct;
+        incumbent := Schedule.make config sb ~issue
+      end
+    end
+    else if remaining_bound cycle < !best_wct -. 1e-12 then begin
+      (* Try placing each eligible op in this cycle. *)
+      for v = min_id to n - 1 do
+        if ready cycle v && used.(res v).(cycle) < Config.capacity_of config (res v)
+        then begin
+          place cycle v;
+          explore cycle (v + 1) (remaining - 1);
+          unplace cycle v
+        end
+      done;
+      (* Or close the cycle.  (No schedule needs to run past the fully
+         serialized horizon, so the cut below is loss-free.) *)
+      if cycle + 1 < horizon then explore (cycle + 1) 0 remaining
+    end
+  in
+  match explore 0 0 n with
+  | () -> Some !incumbent
+  | exception Budget_exhausted -> None

@@ -1,0 +1,17 @@
+(** Exact (exponential) superblock scheduling by branch and bound.
+
+    A depth-first search over issue decisions, cycle by cycle, pruned
+    with the weighted-completion-time lower bound of the already-fixed
+    exits plus the naive LC bound of the open ones.  Only practical for
+    small superblocks; the evaluation uses it to verify that the
+    Pairwise/Triplewise bounds and the Best heuristic actually reach the
+    optimum on tiny instances.  Not part of the paper — a testing oracle. *)
+
+val schedule :
+  ?node_budget:int ->
+  Sb_machine.Config.t ->
+  Sb_ir.Superblock.t ->
+  Schedule.t option
+(** [schedule config sb] is an optimal schedule, or [None] when the
+    search exceeds [node_budget] (default 200_000 explored states) —
+    callers must treat [None] as "too big", not as failure. *)

@@ -1,0 +1,40 @@
+open Sb_ir
+
+let height (sb : Superblock.t) =
+  let g = sb.Superblock.graph in
+  let n = Dep_graph.n_nodes g in
+  let h = Array.make n 0 in
+  let order = Dep_graph.topo_order g in
+  for i = Array.length order - 1 downto 0 do
+    let v = order.(i) in
+    Array.iter
+      (fun (w, lat) -> if h.(w) + lat > h.(v) then h.(v) <- h.(w) + lat)
+      (Dep_graph.succs g v)
+  done;
+  h
+
+let block_index (sb : Superblock.t) =
+  Array.init (Superblock.n_ops sb) (fun v -> Superblock.block_of sb v)
+
+let dhasy (sb : Superblock.t) =
+  let g = sb.Superblock.graph in
+  let n = Superblock.n_ops sb in
+  let early = Dep_graph.longest_from_sources g in
+  let cp = Array.fold_left max 0 early in
+  let prio = Array.make n 0. in
+  for k = 0 to Superblock.n_branches sb - 1 do
+    let b = Superblock.branch_op sb k in
+    let w = Superblock.weight sb k in
+    let to_b = Dep_graph.longest_to g b in
+    for v = 0 to n - 1 do
+      if to_b.(v) <> min_int then begin
+        let late = early.(b) - to_b.(v) in
+        prio.(v) <- prio.(v) +. (w *. float_of_int (cp + 1 - late))
+      end
+    done
+  done;
+  prio
+
+let normalize a =
+  let m = Array.fold_left max 0. a in
+  if m <= 0. then Array.copy a else Array.map (fun x -> x /. m) a

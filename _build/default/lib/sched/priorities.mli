@@ -1,0 +1,16 @@
+(** Shared priority functions for the static list-scheduling heuristics. *)
+
+val height : Sb_ir.Superblock.t -> int array
+(** [height v]: longest latency-weighted path from [v] to any sink — the
+    classic critical-path priority. *)
+
+val block_index : Sb_ir.Superblock.t -> int array
+(** The block each op belongs to (Successive Retirement's major key). *)
+
+val dhasy : Sb_ir.Superblock.t -> float array
+(** DHASY's priority: [sum over succeeding branches b of
+    w_b * (CP + 1 - LateDC_b v)] (paper Section 2). *)
+
+val normalize : float array -> float array
+(** Scales into [0, 1] (max maps to 1; an all-zero array is unchanged).
+    Used by Best's priority cross products. *)

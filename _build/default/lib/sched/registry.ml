@@ -1,0 +1,51 @@
+type heuristic = {
+  name : string;
+  short : string;
+  run : Sb_machine.Config.t -> Sb_ir.Superblock.t -> Schedule.t;
+}
+
+let sr =
+  { name = "successive-retirement"; short = "SR"; run = Successive_retirement.schedule }
+
+let cp = { name = "critical-path"; short = "CP"; run = Critical_path.schedule }
+
+let gstar = { name = "gstar"; short = "G*"; run = Gstar.schedule }
+
+let dhasy = { name = "dhasy"; short = "DHASY"; run = Dhasy.schedule }
+
+let help = { name = "help"; short = "Help"; run = Help.schedule }
+
+let balance =
+  {
+    name = "balance";
+    short = "Balance";
+    run = (fun config sb -> Balance.schedule config sb);
+  }
+
+let best =
+  { name = "best"; short = "Best"; run = (fun config sb -> Best.schedule config sb) }
+
+let primaries = [ sr; cp; gstar; dhasy; help; balance ]
+
+let all = primaries @ [ best ]
+
+let by_name n =
+  let n = String.lowercase_ascii n in
+  List.find_opt
+    (fun h ->
+      String.lowercase_ascii h.name = n || String.lowercase_ascii h.short = n)
+    all
+
+let balance_variant options =
+  let flag b = if b then "+" else "-" in
+  let name =
+    Printf.sprintf "balance[%sbounds%shlpdel%stradeoff/%s]"
+      (flag options.Balance.use_bounds)
+      (flag options.Balance.use_hlpdel)
+      (flag options.Balance.use_tradeoff)
+      (match options.Balance.update with
+      | Balance.Per_cycle -> "cycle"
+      | Balance.Light -> "light"
+      | Balance.Full -> "full")
+  in
+  { name; short = name; run = (fun c sb -> Balance.schedule ~options c sb) }

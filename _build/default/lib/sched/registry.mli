@@ -1,0 +1,28 @@
+(** Heuristics by name, for the CLI and the experiment drivers. *)
+
+type heuristic = {
+  name : string;
+  short : string;  (** table column label, e.g. ["G*"] *)
+  run : Sb_machine.Config.t -> Sb_ir.Superblock.t -> Schedule.t;
+}
+
+val sr : heuristic
+val cp : heuristic
+val gstar : heuristic
+val dhasy : heuristic
+val help : heuristic
+val balance : heuristic
+val best : heuristic
+
+val primaries : heuristic list
+(** SR, CP, G*, DHASY, Help, Balance — the paper's primary heuristics in
+    its table order. *)
+
+val all : heuristic list
+(** [primaries] plus Best. *)
+
+val by_name : string -> heuristic option
+(** Case-insensitive lookup by [name] or [short]. *)
+
+val balance_variant : Balance.options -> heuristic
+(** A named Balance ablation (used by the Table 7 driver). *)

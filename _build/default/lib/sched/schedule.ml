@@ -1,0 +1,78 @@
+open Sb_ir
+open Sb_machine
+
+type t = {
+  sb : Superblock.t;
+  config : Config.t;
+  issue : int array;
+  length : int;
+}
+
+let validate config (sb : Superblock.t) ~issue =
+  let n = Superblock.n_ops sb in
+  if Array.length issue <> n then Error "issue array size mismatch"
+  else begin
+    let err = ref None in
+    let set_err msg = if !err = None then err := Some msg in
+    Array.iteri
+      (fun v t -> if t < 0 then set_err (Printf.sprintf "op %d unscheduled" v))
+      issue;
+    if !err = None then begin
+      List.iter
+        (fun { Dep_graph.src; dst; latency } ->
+          if issue.(dst) < issue.(src) + latency then
+            set_err
+              (Printf.sprintf "dependence %d->%d (lat %d) violated" src dst
+                 latency))
+        (Dep_graph.edges sb.Superblock.graph);
+      (* Resource usage per (cycle, resource). *)
+      let horizon = 1 + Array.fold_left max 0 issue in
+      let nr = Config.n_resources config in
+      let used = Array.make_matrix nr horizon 0 in
+      Array.iteri
+        (fun v t ->
+          let r =
+            Config.resource_of config (Operation.op_class sb.Superblock.ops.(v))
+          in
+          used.(r).(t) <- used.(r).(t) + 1;
+          if used.(r).(t) > Config.capacity_of config r then
+            set_err
+              (Printf.sprintf "resource %d oversubscribed in cycle %d" r t))
+        issue
+    end;
+    match !err with None -> Ok () | Some msg -> Error msg
+  end
+
+let make config sb ~issue =
+  match validate config sb ~issue with
+  | Ok () ->
+      let length = 1 + Array.fold_left max 0 issue in
+      { sb; config; issue = Array.copy issue; length }
+  | Error msg -> invalid_arg ("Schedule.make: " ^ msg)
+
+let branch_completion t k =
+  t.issue.(Superblock.branch_op t.sb k) + Superblock.branch_latency t.sb
+
+let weighted_completion_time t =
+  let acc = ref 0. in
+  for k = 0 to Superblock.n_branches t.sb - 1 do
+    acc :=
+      !acc +. (Superblock.weight t.sb k *. float_of_int (branch_completion t k))
+  done;
+  !acc
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>schedule of %s on %s (wct=%.3f):@,"
+    t.sb.Superblock.name t.config.Config.name (weighted_completion_time t);
+  for c = 0 to t.length - 1 do
+    let here =
+      Array.to_list t.sb.Superblock.ops
+      |> List.filter (fun op -> t.issue.(op.Operation.id) = c)
+    in
+    Format.fprintf ppf "  %3d: %a@," c
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "  ")
+         Operation.pp)
+      here
+  done;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,27 @@
+(** Concrete schedules and the weighted-completion-time objective. *)
+
+type t = {
+  sb : Sb_ir.Superblock.t;
+  config : Sb_machine.Config.t;
+  issue : int array;  (** issue cycle of every operation *)
+  length : int;  (** last issue cycle + 1 *)
+}
+
+val make : Sb_machine.Config.t -> Sb_ir.Superblock.t -> issue:int array -> t
+(** Wraps an issue-cycle assignment; raises [Invalid_argument] when
+    {!validate} fails. *)
+
+val validate :
+  Sb_machine.Config.t -> Sb_ir.Superblock.t -> issue:int array -> (unit, string) result
+(** Checks that every op is scheduled, every dependence latency is
+    honoured and no cycle oversubscribes a resource type. *)
+
+val branch_completion : t -> int -> int
+(** [branch_completion t k] = issue cycle of branch [k] + branch latency. *)
+
+val weighted_completion_time : t -> float
+(** [sum_k w_k * branch_completion k] — the objective the paper
+    minimises. *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders the schedule cycle by cycle. *)

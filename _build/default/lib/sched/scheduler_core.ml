@@ -1,0 +1,140 @@
+open Sb_ir
+open Sb_machine
+
+type t = {
+  config : Config.t;
+  sb : Superblock.t;
+  members : Bitset.t;
+  issue : int array;  (* -1 while unscheduled *)
+  data_ready : int array;  (* max over scheduled preds of issue + latency *)
+  unsched_preds : int array;  (* member predecessors not yet scheduled *)
+  mutable cycle : int;
+  resv : Reservation.t;
+  mutable remaining : int;
+  mutable last : int;
+  mutable work : int;
+}
+
+let create ?members config (sb : Superblock.t) =
+  let n = Superblock.n_ops sb in
+  let members =
+    match members with
+    | Some m -> m
+    | None -> Bitset.of_list n (List.init n (fun i -> i))
+  in
+  let unsched_preds = Array.make n 0 in
+  let g = sb.Superblock.graph in
+  Bitset.iter
+    (fun v ->
+      Array.iter
+        (fun (p, _) ->
+          if Bitset.mem members p then
+            unsched_preds.(v) <- unsched_preds.(v) + 1)
+        (Dep_graph.preds g v))
+    members;
+  {
+    config;
+    sb;
+    members;
+    issue = Array.make n (-1);
+    data_ready = Array.make n 0;
+    unsched_preds;
+    cycle = 0;
+    resv = Reservation.create config;
+    remaining = Bitset.cardinal members;
+    last = -1;
+    work = 0;
+  }
+
+let config t = t.config
+let superblock t = t.sb
+let cycle t = t.cycle
+let issue_time t v = t.issue.(v)
+let is_scheduled t v = t.issue.(v) >= 0
+let is_member t v = Bitset.mem t.members v
+let n_remaining t = t.remaining
+let finished t = t.remaining = 0
+let data_ready_at t v = t.data_ready.(v)
+
+let is_ready t v =
+  Bitset.mem t.members v
+  && t.issue.(v) < 0
+  && t.unsched_preds.(v) = 0
+  && t.data_ready.(v) <= t.cycle
+
+let cls_of t v = Operation.op_class t.sb.Superblock.ops.(v)
+
+let is_placeable t v =
+  is_ready t v && Reservation.can_issue t.resv ~cycle:t.cycle ~cls:(cls_of t v)
+
+let ready_ops t =
+  Bitset.fold (fun v acc -> if is_ready t v then v :: acc else acc) t.members []
+  |> List.rev
+
+let resource_of t v = Config.resource_of t.config (cls_of t v)
+
+let used_in_current_cycle t ~r =
+  Reservation.used t.resv ~cycle:t.cycle ~r
+
+let available_in_current_cycle t ~r =
+  Reservation.available t.resv ~cycle:t.cycle ~r
+
+let place t v =
+  if not (is_ready t v) then
+    invalid_arg (Printf.sprintf "Scheduler_core.place: op %d not ready" v);
+  Reservation.issue t.resv ~cycle:t.cycle ~cls:(cls_of t v);
+  t.issue.(v) <- t.cycle;
+  t.remaining <- t.remaining - 1;
+  t.last <- v;
+  t.work <- t.work + 1;
+  Sb_bounds.Work.add "sched" 1;
+  Array.iter
+    (fun (w, lat) ->
+      if Bitset.mem t.members w then begin
+        t.unsched_preds.(w) <- t.unsched_preds.(w) - 1;
+        if t.cycle + lat > t.data_ready.(w) then
+          t.data_ready.(w) <- t.cycle + lat
+      end)
+    (Dep_graph.succs t.sb.Superblock.graph v)
+
+let advance t =
+  t.cycle <- t.cycle + 1;
+  t.work <- t.work + 1;
+  Sb_bounds.Work.add "sched" 1
+
+let last_placed t = t.last
+let work t = t.work
+let add_work t n =
+  t.work <- t.work + n;
+  Sb_bounds.Work.add "sched" n
+
+let to_schedule t =
+  if not (finished t) then
+    invalid_arg "Scheduler_core.to_schedule: scheduling not finished";
+  Schedule.make t.config t.sb ~issue:t.issue
+
+let issue_array t = Array.copy t.issue
+
+let run_static ?members config sb ~priority =
+  let t = create ?members config sb in
+  while not (finished t) do
+    (* Highest-priority placeable ready op; ties to the smaller id. *)
+    let best = ref (-1) and best_p = ref neg_infinity in
+    List.iter
+      (fun v ->
+        t.work <- t.work + 1;
+        Sb_bounds.Work.add "sched" 1;
+        if is_placeable t v then begin
+          let p = priority v in
+          if p > !best_p then begin
+            best := v;
+            best_p := p
+          end
+        end)
+      (ready_ops t);
+    if !best >= 0 then place t !best else advance t
+  done;
+  t
+
+let schedule_with config sb ~priority =
+  to_schedule (run_static config sb ~priority)

@@ -1,0 +1,96 @@
+(** The cycle-driven list-scheduling engine.
+
+    The engine owns the partial schedule: issue times, the reservation
+    table for the current machine, the data-ready bookkeeping and the
+    current cycle.  Static heuristics drive it through {!run_static} with
+    a fixed priority; dynamic heuristics (Help, Balance) inspect the state
+    and call {!place}/{!advance} themselves.
+
+    An operation is {e ready} when all its predecessors are scheduled and
+    their latencies are satisfied at the current cycle; it is {e placeable}
+    when additionally a unit of its resource type is free in the current
+    cycle. *)
+
+type t
+
+val create :
+  ?members:Sb_ir.Bitset.t -> Sb_machine.Config.t -> Sb_ir.Superblock.t -> t
+(** A fresh engine at cycle 0.  When [members] is given, only those ops
+    are scheduled (used by G* to schedule branch subgraphs in
+    isolation). *)
+
+val config : t -> Sb_machine.Config.t
+
+val superblock : t -> Sb_ir.Superblock.t
+
+val cycle : t -> int
+
+val issue_time : t -> int -> int
+(** Issue cycle of an op, or [-1] while unscheduled. *)
+
+val is_scheduled : t -> int -> bool
+
+val is_member : t -> int -> bool
+
+val n_remaining : t -> int
+
+val finished : t -> bool
+
+val data_ready_at : t -> int -> int
+(** Earliest cycle permitted by the already-scheduled predecessors
+    (meaningful once all predecessors are scheduled). *)
+
+val is_ready : t -> int -> bool
+
+val is_placeable : t -> int -> bool
+
+val ready_ops : t -> int list
+(** Ready member ops in increasing id order. *)
+
+val resource_of : t -> int -> int
+(** Resource type index of an op's class on this machine. *)
+
+val used_in_current_cycle : t -> r:int -> int
+
+val available_in_current_cycle : t -> r:int -> int
+
+val place : t -> int -> unit
+(** Schedules the op in the current cycle.  Raises [Invalid_argument] if
+    the op is not ready or no unit is free. *)
+
+val advance : t -> unit
+(** Moves to the next cycle. *)
+
+val last_placed : t -> int
+(** The op placed by the most recent {!place}, or [-1]. *)
+
+val work : t -> int
+(** Abstract work counter (incremented by the engine and by heuristics via
+    {!add_work}); feeds the Table 6 measurements. *)
+
+val add_work : t -> int -> unit
+
+val to_schedule : t -> Schedule.t
+(** Raises [Invalid_argument] unless {!finished} (full-superblock engines
+    only). *)
+
+val issue_array : t -> int array
+(** Copy of the raw issue times ([-1] = unscheduled). *)
+
+val run_static :
+  ?members:Sb_ir.Bitset.t ->
+  Sb_machine.Config.t ->
+  Sb_ir.Superblock.t ->
+  priority:(int -> float) ->
+  t
+(** Greedy list scheduling: repeatedly place the highest-priority
+    placeable ready op (ties to the smaller id), advancing cycles as
+    needed, until every member is scheduled.  Returns the finished
+    engine. *)
+
+val schedule_with :
+  Sb_machine.Config.t ->
+  Sb_ir.Superblock.t ->
+  priority:(int -> float) ->
+  Schedule.t
+(** [run_static] over the whole superblock, wrapped into a schedule. *)

@@ -1,0 +1,8 @@
+(* Block index is the major key; the factor dominating any height keeps
+   the two keys from interfering. *)
+let schedule config sb =
+  let h = Priorities.height sb in
+  let blk = Priorities.block_index sb in
+  let big = float_of_int (1 + Array.fold_left max 0 h) in
+  Scheduler_core.schedule_with config sb ~priority:(fun v ->
+      (-.big *. float_of_int blk.(v)) +. float_of_int h.(v))

@@ -1,0 +1,5 @@
+(** Successive Retirement: ops of earlier blocks first (Critical Path
+    breaks ties inside a block).  Performs best on narrow machines where
+    retiring early exits quickly is everything. *)
+
+val schedule : Sb_machine.Config.t -> Sb_ir.Superblock.t -> Schedule.t

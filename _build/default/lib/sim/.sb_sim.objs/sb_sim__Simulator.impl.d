@@ -1,0 +1,1 @@
+lib/sim/simulator.ml: Array Config Float Format List Operation Sb_ir Sb_machine Sb_sched Sb_workload Superblock

@@ -1,0 +1,103 @@
+open Sb_ir
+open Sb_machine
+
+type execution = {
+  exit_branch : int;
+  cycles : int;
+  wasted_ops : int;
+}
+
+let execute (s : Sb_sched.Schedule.t) ~taken =
+  let sb = s.Sb_sched.Schedule.sb in
+  let nb = Superblock.n_branches sb in
+  (* Branches issue in program order (the control chain guarantees
+     strictly increasing issue cycles); find the first taken exit. *)
+  let rec first_taken k =
+    if k = nb - 1 || taken k then k else first_taken (k + 1)
+  in
+  let exit_branch = first_taken 0 in
+  let exit_issue = s.Sb_sched.Schedule.issue.(Superblock.branch_op sb exit_branch) in
+  let cycles = exit_issue + Superblock.branch_latency sb in
+  (* Everything issued after the exit resolves was wasted speculation;
+     ops in the exit's own cycle count as committed (they issued with
+     it). *)
+  let wasted_ops =
+    Array.fold_left
+      (fun acc t -> if t > exit_issue then acc + 1 else acc)
+      0 s.Sb_sched.Schedule.issue
+  in
+  { exit_branch; cycles; wasted_ops }
+
+let sample ?(runs = 1000) ~seed (s : Sb_sched.Schedule.t) =
+  let sb = s.Sb_sched.Schedule.sb in
+  let nb = Superblock.n_branches sb in
+  let rng = Sb_workload.Rng.create seed in
+  (* Conditional taken probability of exit k given control reached it. *)
+  let cond = Array.make nb 1.0 in
+  let reach = ref 1.0 in
+  for k = 0 to nb - 1 do
+    let w = Superblock.weight sb k in
+    cond.(k) <- (if !reach > 1e-12 then Float.min 1.0 (w /. !reach) else 1.0);
+    reach := !reach -. w
+  done;
+  List.init runs (fun _ ->
+      execute s ~taken:(fun k -> Sb_workload.Rng.bool rng cond.(k)))
+
+type stats = {
+  mean_cycles : float;
+  exit_counts : int array;
+  mean_wasted : float;
+}
+
+let stats_of (s : Sb_sched.Schedule.t) executions =
+  let nb = Superblock.n_branches s.Sb_sched.Schedule.sb in
+  let exit_counts = Array.make nb 0 in
+  let cycles = ref 0 and wasted = ref 0 and n = ref 0 in
+  List.iter
+    (fun e ->
+      incr n;
+      exit_counts.(e.exit_branch) <- exit_counts.(e.exit_branch) + 1;
+      cycles := !cycles + e.cycles;
+      wasted := !wasted + e.wasted_ops)
+    executions;
+  let n = float_of_int (max 1 !n) in
+  {
+    mean_cycles = float_of_int !cycles /. n;
+    exit_counts;
+    mean_wasted = float_of_int !wasted /. n;
+  }
+
+let utilization (s : Sb_sched.Schedule.t) =
+  let config = s.Sb_sched.Schedule.config in
+  let nr = Config.n_resources config in
+  let counts = Array.make nr 0 in
+  Array.iter
+    (fun (op : Operation.t) ->
+      let r = Config.resource_of config (Operation.op_class op) in
+      counts.(r) <- counts.(r) + 1)
+    s.Sb_sched.Schedule.sb.Superblock.ops;
+  Array.mapi
+    (fun r c ->
+      float_of_int c
+      /. float_of_int (Config.capacity_of config r * s.Sb_sched.Schedule.length))
+    counts
+
+let pp_execution (s : Sb_sched.Schedule.t) ppf e =
+  let sb = s.Sb_sched.Schedule.sb in
+  let exit_issue = s.Sb_sched.Schedule.issue.(Superblock.branch_op sb e.exit_branch) in
+  Format.fprintf ppf "@[<v>execution: exit %d at cycle %d (%d wasted ops)@,"
+    e.exit_branch e.cycles e.wasted_ops;
+  for c = 0 to exit_issue do
+    let here =
+      Array.to_list sb.Superblock.ops
+      |> List.filter (fun (op : Operation.t) ->
+             s.Sb_sched.Schedule.issue.(op.Operation.id) = c)
+    in
+    Format.fprintf ppf "  %3d: %a%s@," c
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "  ")
+         Operation.pp)
+      here
+      (if c = exit_issue then "   <- exit taken" else "")
+  done;
+  Format.fprintf ppf "@]"

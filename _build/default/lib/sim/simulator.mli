@@ -1,0 +1,42 @@
+(** Cycle-level execution of scheduled superblocks.
+
+    The evaluation objective — the exit-probability-weighted completion
+    time — is an expectation; this module grounds it by actually
+    executing schedules.  An execution walks the schedule cycle by cycle;
+    when a branch issues, the run exits through it (after the branch
+    latency) with the branch's outcome; operations issued beyond the
+    taken exit are speculation waste.  The Monte-Carlo mean of executed
+    cycles converges to {!Sb_sched.Schedule.weighted_completion_time},
+    which the test suite checks statistically. *)
+
+type execution = {
+  exit_branch : int;  (** branch index the run left through *)
+  cycles : int;  (** completion cycle of that exit *)
+  wasted_ops : int;  (** ops issued at or after the exit decision *)
+}
+
+val execute : Sb_sched.Schedule.t -> taken:(int -> bool) -> execution
+(** [execute s ~taken] runs the schedule once; [taken k] decides whether
+    exit [k] is taken when control reaches it (the last exit always
+    is). *)
+
+val sample :
+  ?runs:int -> seed:int64 -> Sb_sched.Schedule.t -> execution list
+(** [runs] (default 1000) Monte-Carlo executions: exit [k] is taken when
+    reached with probability [w_k / (1 - sum of earlier weights)]. *)
+
+type stats = {
+  mean_cycles : float;
+  exit_counts : int array;  (** executions leaving through each exit *)
+  mean_wasted : float;  (** average speculatively wasted ops *)
+}
+
+val stats_of : Sb_sched.Schedule.t -> execution list -> stats
+
+val utilization : Sb_sched.Schedule.t -> float array
+(** Per-resource-type occupancy over the whole schedule: issued ops of
+    the type divided by [capacity * schedule length]. *)
+
+val pp_execution :
+  Sb_sched.Schedule.t -> Format.formatter -> execution -> unit
+(** Cycle-by-cycle rendering of one run, marking the taken exit. *)

@@ -1,0 +1,1 @@
+lib/workload/corpus.ml: Array Buffer Float Generator List Printf Sb_ir Spec_model Superblock

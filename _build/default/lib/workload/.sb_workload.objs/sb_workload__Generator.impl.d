@@ -1,0 +1,1 @@
+lib/workload/generator.ml: Array Builder Float List Opcode Printf Rng Sb_ir

@@ -1,0 +1,1 @@
+lib/workload/spec_model.ml: Generator List String

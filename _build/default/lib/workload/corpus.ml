@@ -1,0 +1,57 @@
+open Sb_ir
+
+type t = {
+  name : string;
+  superblocks : Superblock.t list;
+}
+
+let generate ?(scale = 0.05) () =
+  List.map
+    (fun (p : Spec_model.program) ->
+      let count =
+        max 1 (int_of_float (Float.round (scale *. float_of_int p.full_count)))
+      in
+      {
+        name = p.profile.Generator.name;
+        superblocks = Generator.generate_many ~seed:p.seed p.profile count;
+      })
+    Spec_model.programs
+
+let program ?(count = 150) name =
+  match Spec_model.by_name name with
+  | None -> invalid_arg (Printf.sprintf "Corpus.program: unknown program %S" name)
+  | Some p ->
+      {
+        name = p.profile.Generator.name;
+        superblocks = Generator.generate_many ~seed:p.seed p.profile count;
+      }
+
+let all_superblocks ts = List.concat_map (fun t -> t.superblocks) ts
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0
+  else sorted.(min (n - 1) (int_of_float (q *. float_of_int (n - 1))))
+
+let stats ts =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun t ->
+      let ops =
+        Array.of_list (List.map Superblock.n_ops t.superblocks)
+      and brs =
+        Array.of_list (List.map Superblock.n_branches t.superblocks)
+      in
+      Array.sort compare ops;
+      Array.sort compare brs;
+      Printf.bprintf buf
+        "%-14s %5d superblocks; ops p50=%d p90=%d max=%d; branches p50=%d max=%d\n"
+        t.name (List.length t.superblocks) (percentile ops 0.5)
+        (percentile ops 0.9)
+        (percentile ops 1.0)
+        (percentile brs 0.5) (percentile brs 1.0))
+    ts;
+  let all = all_superblocks ts in
+  Printf.bprintf buf "total: %d superblocks, %d operations\n" (List.length all)
+    (List.fold_left (fun acc sb -> acc + Superblock.n_ops sb) 0 all);
+  Buffer.contents buf

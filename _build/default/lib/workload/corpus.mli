@@ -1,0 +1,22 @@
+(** Corpus construction: the full synthetic SPECint95 stand-in, or scaled
+    slices of it for fast tests and benches. *)
+
+type t = {
+  name : string;  (** e.g. ["126.gcc"] *)
+  superblocks : Sb_ir.Superblock.t list;
+}
+
+val generate : ?scale:float -> unit -> t list
+(** One entry per program.  [scale] multiplies each program's superblock
+    count ([1.0] = the paper's 6615 superblocks total; default [0.05]).
+    At least one superblock per program is always generated.
+    Deterministic for a given scale. *)
+
+val program : ?count:int -> string -> t
+(** A single program's slice ([count] defaults to 150).  Raises
+    [Invalid_argument] for unknown names; accepts "126.gcc" or "gcc". *)
+
+val all_superblocks : t list -> Sb_ir.Superblock.t list
+
+val stats : t list -> string
+(** Multi-line summary (count, op/branch percentiles) used by the CLI. *)

@@ -1,0 +1,142 @@
+open Sb_ir
+
+type profile = {
+  name : string;
+  blocks_mean : float;
+  big_block_prob : float;
+  block_ops_mean : float;
+  mem_frac : float;
+  float_frac : float;
+  unique_pred_frac : float;
+  dep_density : float;
+  locality : float;
+  taken_mean : float;
+  max_ops : int;
+}
+
+let default_profile =
+  {
+    name = "default";
+    blocks_mean = 1.6;
+    big_block_prob = 0.015;
+    block_ops_mean = 5.5;
+    mem_frac = 0.28;
+    float_frac = 0.03;
+    unique_pred_frac = 0.30;
+    dep_density = 0.9;
+    locality = 4.0;
+    taken_mean = 0.22;
+    max_ops = 360;
+  }
+
+let int_opcodes =
+  [|
+    Opcode.add; Opcode.sub; Opcode.and_; Opcode.or_; Opcode.xor; Opcode.shift;
+    Opcode.cmp; Opcode.mul;
+  |]
+
+let float_opcodes = [| Opcode.fadd; Opcode.fsub; Opcode.fmul; Opcode.fdiv |]
+
+let choose_opcode rng p =
+  let u = Rng.float rng 1.0 in
+  if u < p.mem_frac then if Rng.bool rng 0.72 then Opcode.load else Opcode.store
+  else if u < p.mem_frac +. p.float_frac then begin
+    (* fmul/fdiv are long-latency and rarer. *)
+    let v = Rng.float rng 1.0 in
+    if v < 0.55 then float_opcodes.(Rng.int rng 2)
+    else if v < 0.9 then Opcode.fmul
+    else Opcode.fdiv
+  end
+  else Rng.pick rng int_opcodes
+
+(* Taken probability of a side exit: mostly small, occasionally heavy. *)
+let taken_prob rng p =
+  let base =
+    if Rng.bool rng 0.18 then 0.45 +. Rng.float rng 0.5
+    else Rng.float rng (2. *. p.taken_mean)
+  in
+  Float.min 0.98 (Float.max 0.01 base)
+
+let generate rng p ~index =
+  let freq =
+    (* Zipf-flavoured execution frequency with a deterministic tail. *)
+    1000. /. (1. +. float_of_int (index mod 97))
+  in
+  let b = Builder.create ~name:(Printf.sprintf "%s_%04d" p.name index) ~freq () in
+  let n_blocks =
+    if Rng.bool rng p.big_block_prob then 8 + Rng.geometric rng ~mean:20.
+    else 1 + Rng.geometric rng ~mean:p.blocks_mean
+  in
+  let n_blocks = min n_blocks 60 in
+  (* Branch taken probabilities -> exit weights: the probability of
+     reaching exit k is the product of falling through the earlier ones. *)
+  let taken = Array.init n_blocks (fun _ -> taken_prob rng p) in
+  let reach = ref 1.0 in
+  let weights =
+    Array.init n_blocks (fun k ->
+        if k = n_blocks - 1 then !reach
+        else begin
+          let w = !reach *. taken.(k) in
+          reach := !reach *. (1. -. taken.(k));
+          w
+        end)
+  in
+  let total_ops = ref 0 in
+  let all_prev = ref [] in
+  (* track (id, opcode) of non-branch ops so far, most recent first *)
+  for blk = 0 to n_blocks - 1 do
+    let n_ops =
+      let mean =
+        if Rng.bool rng p.big_block_prob then p.block_ops_mean *. 6.
+        else p.block_ops_mean
+      in
+      1 + Rng.geometric rng ~mean
+    in
+    let n_ops = min n_ops (max 1 (p.max_ops - !total_ops - (n_blocks - blk))) in
+    let block_ops = ref [] in
+    for _ = 1 to n_ops do
+      let opcode = choose_opcode rng p in
+      let id = Builder.add_op b opcode in
+      total_ops := !total_ops + 1;
+      (* Dependences: most ops read 1-2 earlier results, biased to recent
+         producers; [unique_pred_frac] of them get exactly one. *)
+      let prev = !all_prev in
+      let n_prev = List.length prev in
+      if n_prev > 0 then begin
+        let n_deps =
+          if Rng.bool rng p.unique_pred_frac then 1
+          else 2 + Rng.geometric rng ~mean:(Float.max 0. (p.dep_density -. 0.5))
+        in
+        let n_deps = min n_deps (min 3 n_prev) in
+        (* Draw distinct sources (duplicate edges would be merged and
+           turn the op into a unique-pred one). *)
+        let chosen = ref [] in
+        let attempts = ref 0 in
+        while List.length !chosen < n_deps && !attempts < 4 * n_deps do
+          incr attempts;
+          let back = min (Rng.geometric rng ~mean:p.locality) (n_prev - 1) in
+          let src = List.nth prev back in
+          if src <> id && not (List.mem src !chosen) then
+            chosen := src :: !chosen
+        done;
+        List.iter (fun src -> Builder.dep b src id) !chosen
+      end;
+      all_prev := id :: !all_prev;
+      block_ops := id :: !block_ops
+    done;
+    let br = Builder.add_branch b ~prob:weights.(blk) in
+    (* The branch tests a condition computed in its own block. *)
+    (match !block_ops with
+    | src :: _ -> Builder.dep b src br
+    | [] -> ());
+    if Rng.bool rng 0.5 then begin
+      match !block_ops with
+      | _ :: src2 :: _ -> Builder.dep b src2 br
+      | _ -> ()
+    end
+  done;
+  Builder.build b
+
+let generate_many ~seed p n =
+  let rng = Rng.create seed in
+  List.init n (fun index -> generate (Rng.split rng) p ~index)

@@ -1,0 +1,32 @@
+(** Synthetic superblock generation.
+
+    SPECint95 superblocks are not redistributable, so the corpus is
+    synthesized from per-program profiles that control the DAG shape.
+    The knobs are chosen to match what the paper's algorithms are
+    sensitive to: number of blocks (exits), ops per block, operation
+    class mix (integer-dominated for SPECint), dependence density and
+    chain bias (roughly 30% of ops have a unique input dependence, which
+    is what makes Theorem 1 save ~30% of the LC work), branch taken
+    probabilities and a heavy-tailed execution frequency. *)
+
+type profile = {
+  name : string;
+  blocks_mean : float;  (** mean number of blocks beyond the first *)
+  big_block_prob : float;  (** probability of a pathological large superblock *)
+  block_ops_mean : float;  (** mean non-branch ops per block *)
+  mem_frac : float;  (** fraction of memory ops *)
+  float_frac : float;  (** fraction of floating-point ops *)
+  unique_pred_frac : float;  (** ops with exactly one (register) input *)
+  dep_density : float;  (** mean extra predecessors beyond the chain *)
+  locality : float;  (** how close dependence sources are (op index distance mean) *)
+  taken_mean : float;  (** mean side-exit taken probability *)
+  max_ops : int;  (** hard cap on superblock size *)
+}
+
+val default_profile : profile
+
+val generate : Rng.t -> profile -> index:int -> Sb_ir.Superblock.t
+(** One superblock.  [index] feeds the name and the Zipf execution
+    frequency. *)
+
+val generate_many : seed:int64 -> profile -> int -> Sb_ir.Superblock.t list

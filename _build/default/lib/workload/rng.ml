@@ -1,0 +1,52 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = create (next64 t)
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: n must be > 0";
+  (* Keep 62 bits so the conversion to OCaml's 63-bit int stays
+     non-negative. *)
+  let v = Int64.to_int (Int64.logand (next64 t) 0x3FFFFFFFFFFFFFFFL) in
+  v mod n
+
+let float t x =
+  let v = Int64.to_float (Int64.shift_right_logical (next64 t) 11) in
+  x *. (v /. 9007199254740992.0 (* 2^53 *))
+
+let bool t p = float t 1.0 < p
+
+let geometric t ~mean =
+  if mean <= 0. then 0
+  else begin
+    (* P(success) = 1 / (mean + 1) gives expectation [mean]. *)
+    let p = 1. /. (mean +. 1.) in
+    let u = float t 1.0 in
+    let u = if u <= 0. then epsilon_float else u in
+    int_of_float (Float.floor (log u /. log (1. -. p)))
+  end
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(int t (Array.length a))
+
+let weighted_pick t choices =
+  let total = List.fold_left (fun acc (w, _) -> acc +. w) 0. choices in
+  if total <= 0. then invalid_arg "Rng.weighted_pick: no positive weight";
+  let target = float t total in
+  let rec go acc = function
+    | [] -> invalid_arg "Rng.weighted_pick: empty"
+    | [ (_, x) ] -> x
+    | (w, x) :: rest -> if acc +. w > target then x else go (acc +. w) rest
+  in
+  go 0. choices

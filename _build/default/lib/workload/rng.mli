@@ -1,0 +1,32 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    All corpus generation flows from explicit seeds so that every test,
+    experiment and bench is reproducible; the OCaml stdlib [Random] is
+    deliberately not used anywhere in the library. *)
+
+type t
+
+val create : int64 -> t
+
+val split : t -> t
+(** An independent stream derived from (and advancing) [t]. *)
+
+val next64 : t -> int64
+
+val int : t -> int -> int
+(** Uniform in [[0, n)]; requires [n > 0]. *)
+
+val float : t -> float -> float
+(** Uniform in [[0, x)]. *)
+
+val bool : t -> float -> bool
+(** [true] with probability [p]. *)
+
+val geometric : t -> mean:float -> int
+(** Geometric on [{0, 1, ...}] with the given mean (0 when [mean <= 0]). *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val weighted_pick : t -> (float * 'a) list -> 'a
+(** Picks proportionally to the (positive) weights. *)

@@ -1,0 +1,123 @@
+type program = {
+  profile : Generator.profile;
+  full_count : int;
+  seed : int64;
+}
+
+let base = Generator.default_profile
+
+let programs =
+  [
+    {
+      profile =
+        { base with
+          name = "099.go";
+          blocks_mean = 2.2;
+          block_ops_mean = 6.0;
+          taken_mean = 0.30;
+          dep_density = 0.8;
+        };
+      full_count = 697;
+      seed = 0x0099L;
+    };
+    {
+      profile =
+        { base with
+          name = "124.m88ksim";
+          blocks_mean = 1.5;
+          block_ops_mean = 5.0;
+          mem_frac = 0.30;
+          taken_mean = 0.18;
+        };
+      full_count = 461;
+      seed = 0x0124L;
+    };
+    {
+      profile =
+        { base with
+          name = "126.gcc";
+          blocks_mean = 2.6;
+          big_block_prob = 0.03;
+          block_ops_mean = 6.5;
+          taken_mean = 0.26;
+          dep_density = 1.0;
+          max_ops = 600;
+        };
+      full_count = 2029;
+      seed = 0x0126L;
+    };
+    {
+      profile =
+        { base with
+          name = "129.compress";
+          blocks_mean = 1.2;
+          block_ops_mean = 4.5;
+          mem_frac = 0.34;
+          taken_mean = 0.15;
+        };
+      full_count = 119;
+      seed = 0x0129L;
+    };
+    {
+      profile =
+        { base with
+          name = "130.li";
+          blocks_mean = 1.8;
+          block_ops_mean = 4.0;
+          mem_frac = 0.32;
+          taken_mean = 0.24;
+        };
+      full_count = 374;
+      seed = 0x0130L;
+    };
+    {
+      profile =
+        { base with
+          name = "132.ijpeg";
+          blocks_mean = 1.3;
+          block_ops_mean = 9.0;
+          mem_frac = 0.26;
+          float_frac = 0.06;
+          dep_density = 1.2;
+          locality = 6.0;
+          taken_mean = 0.12;
+        };
+      full_count = 623;
+      seed = 0x0132L;
+    };
+    {
+      profile =
+        { base with
+          name = "134.perl";
+          blocks_mean = 2.0;
+          block_ops_mean = 5.5;
+          taken_mean = 0.28;
+        };
+      full_count = 1026;
+      seed = 0x0134L;
+    };
+    {
+      profile =
+        { base with
+          name = "147.vortex";
+          blocks_mean = 1.9;
+          block_ops_mean = 6.0;
+          mem_frac = 0.33;
+          taken_mean = 0.20;
+        };
+      full_count = 1286;
+      seed = 0x0147L;
+    };
+  ]
+
+let by_name name =
+  List.find_opt
+    (fun p ->
+      let n = p.profile.Generator.name in
+      String.lowercase_ascii n = String.lowercase_ascii name
+      || String.lowercase_ascii (String.sub n 4 (String.length n - 4))
+         = String.lowercase_ascii name)
+    programs
+
+let total_full_count =
+  List.fold_left (fun acc p -> acc + p.full_count) 0 programs

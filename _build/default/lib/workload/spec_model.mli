@@ -1,0 +1,22 @@
+(** SPECint95-like program profiles.
+
+    Eight synthetic programs stand in for the paper's benchmark suite;
+    their superblock counts sum to the paper's 6615 at scale 1.0, and
+    their shape parameters vary the way the real programs do (gcc: many
+    large, branchy superblocks; compress: few, small, loop-dominated;
+    ijpeg: longer straight-line blocks; etc.). *)
+
+type program = {
+  profile : Generator.profile;
+  full_count : int;  (** superblocks at paper scale *)
+  seed : int64;
+}
+
+val programs : program list
+(** The eight programs, in SPEC numbering order (go, m88ksim, gcc,
+    compress, li, ijpeg, perl, vortex). *)
+
+val by_name : string -> program option
+
+val total_full_count : int
+(** 6615, matching the paper. *)

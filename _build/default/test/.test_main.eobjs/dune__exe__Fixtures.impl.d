@@ -1,0 +1,1 @@
+test/fixtures.ml: Array Builder List Opcode Printf Sb_ir Sb_workload

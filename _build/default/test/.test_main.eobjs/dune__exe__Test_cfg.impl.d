@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Array Block Cfg Format Gen Instr List Lower Parse Printf Sb_bounds Sb_cfg Sb_ir Sb_machine Sb_sched String Trace

@@ -1,0 +1,1 @@
+test/test_dyn.ml: Alcotest Array Config Fixtures Hashtbl List Option Printf Sb_bounds Sb_ir Sb_machine Sb_sched

@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Config Fixtures Lazy List Printf Sb_eval Sb_machine Sb_sched String

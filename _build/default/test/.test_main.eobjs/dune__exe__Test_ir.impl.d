@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Bitset Builder Dep_graph List Opcode Operation Sb_ir Serde Superblock

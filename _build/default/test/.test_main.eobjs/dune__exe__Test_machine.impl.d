@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Config List Reservation Sb_ir Sb_machine

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_bounds Test_cfg Test_dyn Test_eval Test_ir Test_kwise Test_machine Test_misc Test_pipeline Test_props Test_sched Test_sim Test_workload

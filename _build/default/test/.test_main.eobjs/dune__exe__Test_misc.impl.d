@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Config Filename Fixtures Format List Sb_bounds Sb_ir Sb_machine Sb_sched String Sys

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Array Builder Config Fixtures List Opcode Operation Pipeline Printf Sb_bounds Sb_ir Sb_machine Sb_sched Superblock

@@ -1,0 +1,1 @@
+test/test_props.ml: Array Bitset Dep_graph Int64 List Operation Pipeline QCheck QCheck_alcotest Sb_bounds Sb_ir Sb_machine Sb_sched Sb_workload Serde Superblock

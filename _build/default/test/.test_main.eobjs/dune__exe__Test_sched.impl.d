@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Config Fixtures List Printf Sb_bounds Sb_ir Sb_machine Sb_sched Sb_workload

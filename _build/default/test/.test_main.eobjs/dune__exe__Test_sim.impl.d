@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Config Fixtures Format List Printf Sb_ir Sb_machine Sb_sched Sb_sim String

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Dep_graph Hashtbl List Opcode Operation Option Printf Sb_ir Sb_workload Serde String Superblock

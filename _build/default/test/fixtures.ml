@@ -1,0 +1,118 @@
+(* Shared hand-built superblocks modelled on the paper's running examples
+   (Figures 1 and 4) plus small generators used across the suites. *)
+
+open Sb_ir
+
+(* Figure-1-like: a first block of three independent ops feeding a side
+   exit, and a second block of four 3-op chains feeding the final exit.
+   On GP2 the final exit is resource bound (16 predecessors -> cycle 8)
+   and both exits can be scheduled optimally at once; Critical Path gets
+   the side exit wrong because the chain ops dominate its priority. *)
+let fig1 ?(p = 0.2) () =
+  let b = Builder.create ~name:"fig1" () in
+  let a = Array.init 3 (fun _ -> Builder.add_op b Opcode.add) in
+  let br3 = Builder.add_branch b ~prob:p in
+  Array.iter (fun v -> Builder.dep b v br3) a;
+  let tails = ref [] in
+  for _chain = 1 to 4 do
+    let u1 = Builder.add_op b Opcode.add in
+    let u2 = Builder.add_op b Opcode.add in
+    let u3 = Builder.add_op b Opcode.add in
+    Builder.dep b u1 u2;
+    Builder.dep b u2 u3;
+    tails := u3 :: !tails
+  done;
+  let br16 = Builder.add_branch b ~prob:(1. -. p) in
+  List.iter (fun t -> Builder.dep b t br16) !tails;
+  Builder.build b
+
+(* Figure-4-like: the first block is a dependence chain (so the side exit
+   is pinned to the early cycles), and the second block is two 6-op
+   chains whose release windows collide with it on a 2-wide machine.
+   Scheduling the final exit at its resource bound forces the side exit
+   late and vice versa; the optimal tradeoff depends on [p]. *)
+let fig4 ?(p = 0.26) () =
+  let b = Builder.create ~name:"fig4" () in
+  let a1 = Builder.add_op b Opcode.add in
+  let a2 = Builder.add_op b Opcode.add in
+  let a3 = Builder.add_op b Opcode.add in
+  Builder.dep b a1 a2;
+  Builder.dep b a2 a3;
+  let br3 = Builder.add_branch b ~prob:p in
+  Builder.dep b a3 br3;
+  let chain n =
+    let first = Builder.add_op b Opcode.add in
+    let rec go prev k =
+      if k = 0 then prev
+      else begin
+        let v = Builder.add_op b Opcode.add in
+        Builder.dep b prev v;
+        go v (k - 1)
+      end
+    in
+    go first (n - 1)
+  in
+  let t1 = chain 6 in
+  let t2 = chain 6 in
+  let br16 = Builder.add_branch b ~prob:(1. -. p) in
+  Builder.dep b t1 br16;
+  Builder.dep b t2 br16;
+  Builder.build b
+
+(* A star: [n] independent ops of one class feeding a single exit; the
+   classic resource-bound case. *)
+let star ?(opcode = Opcode.add) n =
+  let b = Builder.create ~name:(Printf.sprintf "star%d" n) () in
+  let ops = List.init n (fun _ -> Builder.add_op b opcode) in
+  let br = Builder.add_branch b ~prob:1.0 in
+  List.iter (fun v -> Builder.dep b v br) ops;
+  Builder.build b
+
+(* A chain of [n] ops ending in the exit. *)
+let chain ?(opcode = Opcode.add) n =
+  let b = Builder.create ~name:(Printf.sprintf "chain%d" n) () in
+  let first = Builder.add_op b opcode in
+  let last = ref first in
+  for _ = 2 to n do
+    let v = Builder.add_op b opcode in
+    Builder.dep b !last v;
+    last := v
+  done;
+  let br = Builder.add_branch b ~prob:1.0 in
+  Builder.dep b !last br;
+  Builder.build b
+
+(* Small random superblocks for property tests (distinct from the
+   workload profiles so the suites do not just retest the generator). *)
+let random_superblocks ?(n = 40) ?(seed = 0xBEEFL) () =
+  let profile =
+    {
+      Sb_workload.Generator.default_profile with
+      name = "prop";
+      blocks_mean = 1.8;
+      block_ops_mean = 4.5;
+      max_ops = 60;
+    }
+  in
+  Sb_workload.Generator.generate_many ~seed profile n
+
+(* A five-op GP1 instance with a genuine branch tradeoff (the essence of
+   the paper's Figure 4, small enough to verify by hand):
+
+     a -> br_i(p)        load -> x -> br_j(1-p)
+
+   On a 1-wide machine either the side exit issues at 1 and the final
+   exit slips to 5, or the side exit slips to 2 and the final exit makes
+   its bound of 4.  The optimum flips at p = 0.5; the Pairwise bound is
+   exactly the optimum for every p, strictly above the naive LC bound. *)
+let tradeoff ?(p = 0.26) () =
+  let b = Builder.create ~name:"tradeoff" () in
+  let a = Builder.add_op b Opcode.add in
+  let br_i = Builder.add_branch b ~prob:p in
+  Builder.dep b a br_i;
+  let load = Builder.add_op b Opcode.load in
+  let x = Builder.add_op b Opcode.add in
+  Builder.dep b load x;
+  let br_j = Builder.add_branch b ~prob:(1. -. p) in
+  Builder.dep b x br_j;
+  Builder.build b

@@ -1,0 +1,309 @@
+(* Unit tests for the bound algorithms: dependence bounds, Rim & Jain,
+   Hu, Langevin & Cerny (and Theorem 1), LateRC, Pairwise and Triplewise,
+   validated against hand-computed values on the fixtures. *)
+
+open Sb_machine
+
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* chain5: a -> b -> c -> d -> exit. *)
+let test_early_dc_chain () =
+  let sb = Fixtures.chain 4 in
+  let early = Sb_bounds.Dep_bounds.early_dc sb in
+  Alcotest.(check (array int)) "chain EarlyDC" [| 0; 1; 2; 3; 4 |] early;
+  check_int "critical path" 4 (Sb_bounds.Dep_bounds.critical_path sb)
+
+let test_late_dc () =
+  let sb = Fixtures.fig1 () in
+  (* Final exit is op 15; the three independent ops of block 1 (0,1,2)
+     have LateDC = early(br16) - 2 (through br3). *)
+  let early = Sb_bounds.Dep_bounds.early_dc sb in
+  let br16 = Sb_ir.Superblock.branch_op sb 1 in
+  let late = Sb_bounds.Dep_bounds.late_dc sb ~root:br16 in
+  check_int "late of root is its early" early.(br16) late.(br16);
+  check_int "late of block-1 op" (early.(br16) - 2) late.(0);
+  (* Ops not preceding the side exit cannot delay it. *)
+  let br3 = Sb_ir.Superblock.branch_op sb 0 in
+  let late3 = Sb_bounds.Dep_bounds.late_dc sb ~root:br3 in
+  check_int "unrelated op unconstrained" max_int late3.(4)
+
+(* A star of 8 int ops on GP2: dependence bound 1, resource bound 4. *)
+let test_rj_star () =
+  let sb = Fixtures.star 8 in
+  let br = Sb_ir.Superblock.branch_op sb 0 in
+  check_int "EarlyDC is 1" 1 (Sb_bounds.Dep_bounds.early_dc sb).(br);
+  check_int "RJ sees the resource bound" 4
+    (Sb_bounds.Rim_jain.branch_bound Config.gp2 sb ~root:br);
+  check_int "Hu sees the resource bound" 4
+    (Sb_bounds.Hu.branch_bound Config.gp2 sb ~root:br);
+  check_int "RJ on GP4" 2 (Sb_bounds.Rim_jain.branch_bound Config.gp4 sb ~root:br);
+  (* On FS4 the star ops all need the single int unit. *)
+  check_int "RJ on FS4" 8 (Sb_bounds.Rim_jain.branch_bound Config.fs4 sb ~root:br)
+
+let test_rj_chain_is_dep_bound () =
+  let sb = Fixtures.chain 6 in
+  let br = Sb_ir.Superblock.branch_op sb 0 in
+  check_int "chain: RJ equals dependence bound" 6
+    (Sb_bounds.Rim_jain.branch_bound Config.gp1 sb ~root:br)
+
+let test_lc_theorem1_equivalence () =
+  (* Theorem 1 is a pure optimization: EarlyRC must be identical with and
+     without it, on every machine, for every random superblock. *)
+  List.iter
+    (fun sb ->
+      List.iter
+        (fun config ->
+          let with_t1 = Sb_bounds.Langevin_cerny.early_rc config sb in
+          let without =
+            Sb_bounds.Langevin_cerny.early_rc ~use_theorem1:false config sb
+          in
+          Alcotest.(check (array int))
+            (Printf.sprintf "%s on %s" sb.Sb_ir.Superblock.name
+               config.Config.name)
+            without with_t1)
+        [ Config.gp1; Config.gp2; Config.fs4; Config.fs8 ])
+    (Fixtures.random_superblocks ~n:25 ())
+
+let test_lc_dominates_dep () =
+  List.iter
+    (fun sb ->
+      let early = Sb_bounds.Dep_bounds.early_dc sb in
+      let erc = Sb_bounds.Langevin_cerny.early_rc Config.gp2 sb in
+      Array.iteri
+        (fun v e ->
+          Alcotest.(check bool)
+            (Printf.sprintf "erc >= early_dc at op %d" v)
+            true (erc.(v) >= e))
+        early)
+    (Fixtures.random_superblocks ~n:15 ())
+
+let test_lc_dominates_rj () =
+  (* LC is recursive RJ: per branch it can never be below the plain RJ
+     bound (regression test for the root-release-time bug). *)
+  List.iter
+    (fun sb ->
+      List.iter
+        (fun config ->
+          let erc = Sb_bounds.Langevin_cerny.early_rc config sb in
+          Array.iter
+            (fun b ->
+              let rj = Sb_bounds.Rim_jain.branch_bound config sb ~root:b in
+              Alcotest.(check bool)
+                (Printf.sprintf "lc >= rj at branch op %d of %s on %s" b
+                   sb.Sb_ir.Superblock.name config.Config.name)
+                true (erc.(b) >= rj))
+            sb.Sb_ir.Superblock.branches)
+        [ Config.gp1; Config.gp2; Config.fs4 ])
+    (Fixtures.random_superblocks ~n:20 ~seed:0x5EEDL ())
+
+let test_lc_theorem1_work_savings () =
+  (* The point of Theorem 1: less work on chain-heavy graphs. *)
+  let sb = Fixtures.chain 30 in
+  Sb_bounds.Work.reset ();
+  let (_ : int array), w1 =
+    Sb_bounds.Work.with_counter "lc" (fun () ->
+        Sb_bounds.Langevin_cerny.early_rc Config.gp2 sb)
+  in
+  let (_ : int array), w2 =
+    Sb_bounds.Work.with_counter "lc_original" (fun () ->
+        Sb_bounds.Langevin_cerny.early_rc ~use_theorem1:false
+          ~work_key:"lc_original" Config.gp2 sb)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "theorem 1 saves work (%d < %d)" w1 w2)
+    true
+    (w1 < w2)
+
+let test_late_rc_star () =
+  let sb = Fixtures.star 8 in
+  let br = Sb_ir.Superblock.branch_op sb 0 in
+  let erc = Sb_bounds.Langevin_cerny.early_rc Config.gp2 sb in
+  check_int "star erc" 4 erc.(br);
+  let rev = Sb_bounds.Langevin_cerny.reverse_early_rc Config.gp2 sb ~root:br in
+  check_int "reverse distance of the root" 0 rev.(br);
+  (* LateRC is a per-op bound: each star op, taken alone, can sit one
+     cycle before the exit, so every reverse distance is exactly 1. *)
+  Array.iteri (fun v r -> if v < 8 then check_int "reverse distance" 1 r) rev;
+  let late = Sb_bounds.Langevin_cerny.late_rc Config.gp2 sb ~root:br ~target:4 in
+  check_int "late of root" 4 late.(br);
+  Array.iteri (fun v l -> if v < 8 then check_int "late of a star op" 3 l) late
+
+(* The hand-verified tradeoff fixture (see Fixtures.tradeoff). *)
+let test_pairwise_tradeoff_bounds () =
+  List.iter
+    (fun (p, expected_lc, expected_pw) ->
+      let sb = Fixtures.tradeoff ~p () in
+      let all = Sb_bounds.Superblock_bound.all_bounds Config.gp1 sb in
+      check_float (Printf.sprintf "lc at p=%.2f" p) expected_lc all.lc;
+      check_float (Printf.sprintf "pw at p=%.2f" p) expected_pw all.pw;
+      Alcotest.(check bool) "pw strictly tighter" true (all.pw > all.lc))
+    [
+      (* naive = 2p + 5(1-p) + ... completion times: i in {2,3}, j in
+         {5,6}; bounds computed by hand in the fixture comment. *)
+      (0.10, 4.70, 4.80);
+      (0.26, 4.22, 4.48);
+      (0.50, 3.50, 4.00);
+      (0.90, 2.30, 2.40);
+    ]
+
+let test_pairwise_pair_values () =
+  let sb = Fixtures.tradeoff ~p:0.26 () in
+  let erc = Sb_bounds.Langevin_cerny.early_rc Config.gp1 sb in
+  check_int "erc of side exit" 1 erc.(1);
+  check_int "erc of final exit" 4 erc.(4);
+  let pw = Sb_bounds.Pairwise.compute Config.gp1 sb ~early_rc:erc in
+  (* Hand-computed relaxation values per gap. *)
+  let p2 = Sb_bounds.Pairwise.eval pw ~i:0 ~j:1 ~l:2 in
+  check_int "gap 2: x" 2 p2.Sb_bounds.Pairwise.x;
+  check_int "gap 2: y" 4 p2.Sb_bounds.Pairwise.y;
+  let p4 = Sb_bounds.Pairwise.eval pw ~i:0 ~j:1 ~l:4 in
+  check_int "gap 4: x" 1 p4.Sb_bounds.Pairwise.x;
+  check_int "gap 4: y" 5 p4.Sb_bounds.Pairwise.y;
+  (* At p = 0.26 the optimum pair is the gap-2 one. *)
+  let best = Sb_bounds.Pairwise.get pw 0 1 in
+  check_int "optimal pair x" 2 best.Sb_bounds.Pairwise.x;
+  check_int "optimal pair y" 4 best.Sb_bounds.Pairwise.y
+
+let test_pairwise_dominates_naive () =
+  (* With per-pair clamping, Theorem 3 can never fall below the naive LC
+     combination. *)
+  List.iter
+    (fun sb ->
+      List.iter
+        (fun config ->
+          let all =
+            Sb_bounds.Superblock_bound.all_bounds ~with_tw:false config sb
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "pw >= lc on %s/%s" sb.Sb_ir.Superblock.name
+               config.Config.name)
+            true
+            (all.pw >= all.lc -. 1e-9))
+        [ Config.gp2; Config.fs4 ])
+    (Fixtures.random_superblocks ~n:20 ())
+
+let test_bounds_below_schedules () =
+  (* Master validity check: every bound is a lower bound on every
+     heuristic's schedule. *)
+  List.iter
+    (fun sb ->
+      List.iter
+        (fun config ->
+          let all = Sb_bounds.Superblock_bound.all_bounds config sb in
+          List.iter
+            (fun (h : Sb_sched.Registry.heuristic) ->
+              let wct =
+                Sb_sched.Schedule.weighted_completion_time (h.run config sb)
+              in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s bound <= %s on %s" config.Config.name
+                   h.short sb.Sb_ir.Superblock.name)
+                true
+                (all.tightest <= wct +. 1e-6))
+            [ Sb_sched.Registry.sr; Sb_sched.Registry.dhasy; Sb_sched.Registry.balance ])
+        [ Config.gp1; Config.fs4 ])
+    (Fixtures.random_superblocks ~n:15 ())
+
+let test_triplewise () =
+  (* Three stacked resource-bound blocks: TW must be valid and at least
+     defined for small superblocks. *)
+  let b = Sb_ir.Builder.create ~name:"triple" () in
+  let mk_block n prob =
+    let ops = List.init n (fun _ -> Sb_ir.Builder.add_op b Sb_ir.Opcode.add) in
+    let br = Sb_ir.Builder.add_branch b ~prob in
+    List.iter (fun v -> Sb_ir.Builder.dep b v br) ops;
+    br
+  in
+  let _ = mk_block 4 0.3 in
+  let _ = mk_block 4 0.3 in
+  let _ = mk_block 4 0.4 in
+  let sb = Sb_ir.Builder.build b in
+  let all = Sb_bounds.Superblock_bound.all_bounds Config.gp2 sb in
+  (match all.tw with
+  | None -> Alcotest.fail "TW should be defined for a 3-branch superblock"
+  | Some tw ->
+      Alcotest.(check bool) "tw >= lc" true (tw >= all.lc -. 1e-9);
+      let best = Sb_sched.Best.schedule Config.gp2 sb in
+      Alcotest.(check bool) "tw valid vs Best" true
+        (tw <= Sb_sched.Schedule.weighted_completion_time best +. 1e-6));
+  (* Branch-count gate. *)
+  let sb2 = Fixtures.tradeoff () in
+  Alcotest.(check bool) "needs >= 3 branches" true
+    ((Sb_bounds.Superblock_bound.all_bounds Config.gp1 sb2).tw = None)
+
+let test_triplewise_validity_random () =
+  List.iter
+    (fun sb ->
+      if Sb_ir.Superblock.n_branches sb >= 3 then begin
+        let all = Sb_bounds.Superblock_bound.all_bounds Config.fs4 sb in
+        match all.tw with
+        | None -> ()
+        | Some tw ->
+            let best = Sb_sched.Best.schedule ~precomputed:all Config.fs4 sb in
+            Alcotest.(check bool)
+              (Printf.sprintf "tw valid on %s" sb.Sb_ir.Superblock.name)
+              true
+              (tw <= Sb_sched.Schedule.weighted_completion_time best +. 1e-6)
+      end)
+    (Fixtures.random_superblocks ~n:25 ~seed:0x7EA5L ())
+
+let test_tightest_is_max () =
+  let sb = Fixtures.fig1 () in
+  let all = Sb_bounds.Superblock_bound.all_bounds Config.gp2 sb in
+  let expect =
+    List.fold_left max all.cp [ all.hu; all.rj; all.lc; all.pw ]
+    |> fun t -> match all.tw with Some v -> max t v | None -> t
+  in
+  check_float "tightest = max of all" expect all.tightest
+
+let test_fig1_bounds () =
+  let sb = Fixtures.fig1 () in
+  let erc = Sb_bounds.Langevin_cerny.early_rc Config.gp2 sb in
+  check_int "side exit erc" 2 erc.(Sb_ir.Superblock.branch_op sb 0);
+  check_int "final exit erc (resource bound)" 8
+    erc.(Sb_ir.Superblock.branch_op sb 1);
+  (* Dependence-only: the final exit looks reachable at cycle 3. *)
+  check_int "final exit EarlyDC" 3
+    (Sb_bounds.Dep_bounds.early_dc sb).(Sb_ir.Superblock.branch_op sb 1)
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suites =
+  [
+    ( "bounds.dep",
+      [
+        tc "EarlyDC on a chain" test_early_dc_chain;
+        tc "LateDC" test_late_dc;
+      ] );
+    ( "bounds.rj_hu",
+      [
+        tc "star resource bound" test_rj_star;
+        tc "chain dependence bound" test_rj_chain_is_dep_bound;
+      ] );
+    ( "bounds.lc",
+      [
+        tc "Theorem 1 equivalence" test_lc_theorem1_equivalence;
+        tc "EarlyRC dominates EarlyDC" test_lc_dominates_dep;
+        tc "EarlyRC dominates plain RJ" test_lc_dominates_rj;
+        tc "Theorem 1 saves work" test_lc_theorem1_work_savings;
+        tc "LateRC on a star" test_late_rc_star;
+      ] );
+    ( "bounds.pairwise",
+      [
+        tc "tradeoff fixture bounds" test_pairwise_tradeoff_bounds;
+        tc "hand-computed pair values" test_pairwise_pair_values;
+        tc "PW dominates naive LC" test_pairwise_dominates_naive;
+        tc "all bounds below schedules" test_bounds_below_schedules;
+      ] );
+    ( "bounds.triplewise",
+      [
+        tc "three-block superblock" test_triplewise;
+        tc "validity on random superblocks" test_triplewise_validity_random;
+      ] );
+    ( "bounds.superblock",
+      [
+        tc "tightest is the max" test_tightest_is_max;
+        tc "figure 1 bounds" test_fig1_bounds;
+      ] );
+  ]

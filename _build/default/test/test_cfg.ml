@@ -1,0 +1,460 @@
+(* Tests for the superblock-formation substrate: CFG construction,
+   profiles, trace selection, tail-duplication accounting and the
+   lowering's dependence analysis. *)
+
+open Sb_cfg
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-6))
+
+let instr ?dst op srcs = Instr.make op ?dst srcs
+
+(* A hot path A -> B -> D with a cold side block C:
+     A: cond -> C (p=0.2) else B
+     B: jump D
+     C: jump D
+     D: exit *)
+let diamond_cfg () =
+  Cfg.make ~entry:"A"
+    [
+      Block.make ~label:"A"
+        ~body:[ instr ~dst:1 Sb_ir.Opcode.cmp [ 0 ] ]
+        (Block.Cond { srcs = [ 1 ]; taken = "C"; fallthrough = "B"; prob = 0.2 });
+      Block.make ~label:"B"
+        ~body:[ instr ~dst:2 Sb_ir.Opcode.add [ 1 ] ]
+        (Block.Jump "D");
+      Block.make ~label:"C" ~body:[] (Block.Jump "D");
+      Block.make ~label:"D" ~body:[ instr Sb_ir.Opcode.store [ 2 ] ] Block.Exit;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* CFG basics                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_cfg_validation () =
+  Alcotest.check_raises "unknown entry"
+    (Invalid_argument "Cfg.make: entry \"X\" not found") (fun () ->
+      ignore (Cfg.make ~entry:"X" [ Block.make ~label:"A" Block.Exit ]));
+  Alcotest.check_raises "dangling target"
+    (Invalid_argument "Cfg.make: \"A\" branches to unknown label \"B\"")
+    (fun () ->
+      ignore (Cfg.make ~entry:"A" [ Block.make ~label:"A" (Block.Jump "B") ]));
+  Alcotest.check_raises "duplicate label"
+    (Invalid_argument "Cfg.make: duplicate label \"A\"") (fun () ->
+      ignore
+        (Cfg.make ~entry:"A"
+           [ Block.make ~label:"A" Block.Exit; Block.make ~label:"A" Block.Exit ]));
+  Alcotest.check_raises "bad probability"
+    (Invalid_argument "Block.make: branch probability outside [0, 1]")
+    (fun () ->
+      ignore
+        (Block.make ~label:"A"
+           (Block.Cond { srcs = []; taken = "A"; fallthrough = "A"; prob = 1.5 })))
+
+let test_cfg_edges () =
+  let cfg = diamond_cfg () in
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "A's successors"
+    [ ("C", 0.2); ("B", 0.8) ]
+    (Cfg.successors cfg "A");
+  let preds = Cfg.predecessors cfg "D" |> List.sort compare in
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "D's predecessors"
+    [ ("B", 1.0); ("C", 1.0) ]
+    preds;
+  check_bool "instr printer" true
+    (String.length (Format.asprintf "%a" Cfg.pp cfg) > 40)
+
+let test_frequencies_dag () =
+  let cfg = diamond_cfg () in
+  let f = Cfg.frequencies cfg in
+  check_float "entry" 1.0 (List.assoc "A" f);
+  check_float "hot side" 0.8 (List.assoc "B" f);
+  check_float "cold side" 0.2 (List.assoc "C" f);
+  check_float "join" 1.0 (List.assoc "D" f)
+
+let test_frequencies_loop () =
+  (* head -> body -> head (p=0.75 back): body executes 1/(1-0.75) = 4x. *)
+  let cfg =
+    Cfg.make ~entry:"head"
+      [
+        Block.make ~label:"head" (Block.Jump "body");
+        Block.make ~label:"body"
+          (Block.Cond
+             { srcs = []; taken = "head"; fallthrough = "out"; prob = 0.75 });
+        Block.make ~label:"out" Block.Exit;
+      ]
+  in
+  let f = Cfg.frequencies ~iterations:200 cfg in
+  check_bool "loop body ~4x" true
+    (abs_float (List.assoc "body" f -. 4.0) < 0.05);
+  check_bool "exit ~1x" true (abs_float (List.assoc "out" f -. 1.0) < 0.05)
+
+(* ------------------------------------------------------------------ *)
+(* Trace formation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_follows_hot_path () =
+  let cfg = diamond_cfg () in
+  let traces = Trace.form cfg in
+  (match traces with
+  | first :: _ ->
+      Alcotest.(check (list string)) "hot trace" [ "A"; "B"; "D" ]
+        first.Trace.blocks
+  | [] -> Alcotest.fail "no traces");
+  (* Every block in exactly one trace. *)
+  let all = List.concat_map (fun t -> t.Trace.blocks) traces in
+  check_int "partition" 4 (List.length (List.sort_uniq compare all));
+  check_int "no duplicates" 4 (List.length all)
+
+let test_trace_tail_duplication () =
+  let cfg = diamond_cfg () in
+  let traces = Trace.form cfg in
+  let hot = List.hd traces in
+  (* D has a side entrance from C: one block to duplicate. *)
+  check_int "duplication cost" 1 hot.Trace.duplicated
+
+let test_trace_threshold () =
+  let cfg = diamond_cfg () in
+  (* With a threshold above 0.8, the hot edge A->B is not followed. *)
+  let traces = Trace.form ~threshold:0.9 cfg in
+  let hot = List.hd traces in
+  Alcotest.(check (list string)) "trace stops at A" [ "A" ] hot.Trace.blocks
+
+let test_trace_mutual_most_likely () =
+  (* B is A's best successor, but B's best predecessor is the hotter X;
+     the A-trace must not capture B. *)
+  let cfg =
+    Cfg.make ~entry:"A"
+      [
+        Block.make ~label:"A"
+          (Block.Cond
+             { srcs = []; taken = "X"; fallthrough = "B"; prob = 0.6 });
+        Block.make ~label:"X" (Block.Jump "B");
+        Block.make ~label:"B" Block.Exit;
+      ]
+  in
+  let traces = Trace.form cfg in
+  let trace_of l =
+    List.find (fun t -> List.mem l t.Trace.blocks) traces
+  in
+  Alcotest.(check (list string)) "A's trace excludes B"
+    [ "A"; "X"; "B" ]
+    (* A's best successor is X (0.6); X's best pred is A; B's best pred
+       is X (1.0 edge beats A's 0.4): the trace runs A -> X -> B. *)
+    (trace_of "A").Trace.blocks
+
+let test_trace_never_loops () =
+  let cfg =
+    Cfg.make ~entry:"head"
+      [
+        Block.make ~label:"head" (Block.Jump "body");
+        Block.make ~label:"body"
+          (Block.Cond
+             { srcs = []; taken = "head"; fallthrough = "out"; prob = 0.9 });
+        Block.make ~label:"out" Block.Exit;
+      ]
+  in
+  List.iter
+    (fun t ->
+      let sorted = List.sort_uniq compare t.Trace.blocks in
+      check_int "no block repeats" (List.length t.Trace.blocks)
+        (List.length sorted))
+    (Trace.form cfg)
+
+(* ------------------------------------------------------------------ *)
+(* Lowering                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_lower_diamond () =
+  let cfg = diamond_cfg () in
+  let hot = List.hd (Trace.form cfg) in
+  let sb = Lower.lower cfg hot in
+  (* ops: cmp, br(0.2), add, store, final br(0.8). *)
+  check_int "op count" 5 (Sb_ir.Superblock.n_ops sb);
+  check_int "two exits" 2 (Sb_ir.Superblock.n_branches sb);
+  check_float "side exit probability" 0.2 (Sb_ir.Superblock.weight sb 0);
+  check_float "fall-through probability" 0.8 (Sb_ir.Superblock.weight sb 1);
+  (* RAW: cmp (op 0) feeds the branch (op 1). *)
+  check_bool "cond reads the cmp" true
+    (Sb_ir.Dep_graph.is_pred sb.Sb_ir.Superblock.graph 0 1);
+  (* The store (op 3) must not be speculated above the side exit. *)
+  check_bool "store anchored to the branch" true
+    (Sb_ir.Dep_graph.is_pred sb.Sb_ir.Superblock.graph 1 3)
+
+let test_lower_raw_chain () =
+  let cfg =
+    Cfg.make ~entry:"A"
+      [
+        Block.make ~label:"A"
+          ~body:
+            [
+              instr ~dst:1 Sb_ir.Opcode.load [ 0 ];
+              instr ~dst:2 Sb_ir.Opcode.add [ 1 ];
+              instr ~dst:1 Sb_ir.Opcode.sub [ 2 ];
+              (* rewrites r1 *)
+              instr ~dst:3 Sb_ir.Opcode.mul [ 1 ];
+              (* must read the sub, not the load *)
+            ]
+          Block.Exit;
+      ]
+  in
+  let sb = Lower.lower cfg { Trace.blocks = [ "A" ]; duplicated = 0 } in
+  let g = sb.Sb_ir.Superblock.graph in
+  check_bool "load -> add" true (Sb_ir.Dep_graph.is_pred g 0 1);
+  (* load latency 2 must be on that edge *)
+  check_int "load latency" 2
+    (Array.to_list (Sb_ir.Dep_graph.succs g 0) |> List.assoc 1);
+  check_bool "mul reads the redefinition" true (Sb_ir.Dep_graph.is_pred g 2 3);
+  check_bool "mul does not read the dead load" true
+    (not (Array.exists (fun (d, _) -> d = 3) (Sb_ir.Dep_graph.succs g 0)))
+
+let test_lower_memory_ordering () =
+  let cfg =
+    Cfg.make ~entry:"A"
+      [
+        Block.make ~label:"A"
+          ~body:
+            [
+              instr ~dst:1 Sb_ir.Opcode.load [ 0 ];
+              instr Sb_ir.Opcode.store [ 1 ];
+              instr ~dst:2 Sb_ir.Opcode.load [ 0 ];
+              instr Sb_ir.Opcode.store [ 2 ];
+            ]
+          Block.Exit;
+      ]
+  in
+  let sb = Lower.lower cfg { Trace.blocks = [ "A" ]; duplicated = 0 } in
+  let g = sb.Sb_ir.Superblock.graph in
+  check_bool "load before store (anti)" true (Sb_ir.Dep_graph.is_pred g 0 1);
+  check_bool "store before later load" true (Sb_ir.Dep_graph.is_pred g 1 2);
+  check_bool "stores stay ordered" true (Sb_ir.Dep_graph.is_pred g 1 3)
+
+let test_memory_disambiguation () =
+  (* Same base, different offsets: provably disjoint, no ordering edges;
+     unknown addresses stay conservative. *)
+  let addr base offset = { Instr.base; offset } in
+  let cfg =
+    Cfg.make ~entry:"A"
+      [
+        Block.make ~label:"A"
+          ~body:
+            [
+              Instr.make Sb_ir.Opcode.store ~addr:(addr 0 0) [ 1 ];
+              Instr.make Sb_ir.Opcode.load ~dst:2 ~addr:(addr 0 8) [ 0 ];
+              (* disjoint from the store *)
+              Instr.make Sb_ir.Opcode.load ~dst:3 ~addr:(addr 0 0) [ 0 ];
+              (* same slot: must order after the store *)
+              Instr.make Sb_ir.Opcode.load ~dst:4 [ 0 ];
+              (* unknown address: conservative *)
+            ]
+          Block.Exit;
+      ]
+  in
+  let sb = Lower.lower cfg { Trace.blocks = [ "A" ]; duplicated = 0 } in
+  let g = sb.Sb_ir.Superblock.graph in
+  check_bool "disjoint load floats free" true
+    (not (Sb_ir.Dep_graph.is_pred g 0 1));
+  check_bool "same-slot load ordered" true (Sb_ir.Dep_graph.is_pred g 0 2);
+  check_bool "unknown load ordered" true (Sb_ir.Dep_graph.is_pred g 0 3)
+
+let test_may_alias () =
+  let addr base offset = { Instr.base; offset } in
+  let store a = Instr.make Sb_ir.Opcode.store ?addr:a [ 1 ] in
+  check_bool "same base, different offsets: disjoint" false
+    (Instr.may_alias (store (Some (addr 0 0))) (store (Some (addr 0 8))));
+  check_bool "same base, same offset: alias" true
+    (Instr.may_alias (store (Some (addr 0 0))) (store (Some (addr 0 0))));
+  check_bool "different bases: conservative" true
+    (Instr.may_alias (store (Some (addr 0 0))) (store (Some (addr 1 8))));
+  check_bool "missing address: conservative" true
+    (Instr.may_alias (store None) (store (Some (addr 0 8))))
+
+let test_parse_addresses () =
+  let text =
+    "cfg entry=A\nblock A\n  r1 = load [r0+8]\n  store r1 [r0+16]\n  exit\n"
+  in
+  match Parse.parse_string text with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok cfg ->
+      let body = (Cfg.block cfg "A").Block.body in
+      (match body with
+      | [ l; s ] ->
+          check_bool "load address" true
+            (l.Instr.addr = Some { Instr.base = 0; offset = 8 });
+          check_bool "store address" true
+            (s.Instr.addr = Some { Instr.base = 0; offset = 16 })
+      | _ -> Alcotest.fail "expected two instructions");
+      (* and it roundtrips *)
+      Alcotest.(check string) "roundtrip" (Parse.to_string cfg)
+        (match Parse.parse_string (Parse.to_string cfg) with
+        | Ok cfg' -> Parse.to_string cfg'
+        | Error m -> m)
+
+let test_lower_trace_ending_on_cond () =
+  (* Trace ends at a conditional: two exits, probabilities split. *)
+  let cfg =
+    Cfg.make ~entry:"A"
+      [
+        Block.make ~label:"A"
+          (Block.Cond { srcs = []; taken = "B"; fallthrough = "C"; prob = 0.7 });
+        Block.make ~label:"B" Block.Exit;
+        Block.make ~label:"C" Block.Exit;
+      ]
+  in
+  let sb = Lower.lower cfg { Trace.blocks = [ "A" ]; duplicated = 0 } in
+  check_int "two exits" 2 (Sb_ir.Superblock.n_branches sb);
+  check_float "taken exit" 0.7 (Sb_ir.Superblock.weight sb 0);
+  check_float "fall-through exit" 0.3 (Sb_ir.Superblock.weight sb 1)
+
+let test_lower_weights_sum () =
+  (* Multi-block traces: the exit probabilities always form a
+     distribution. *)
+  List.iter
+    (fun seed ->
+      let cfg = Gen.generate ~seed () in
+      List.iter
+        (fun sb ->
+          check_bool "distribution" true
+            (abs_float (Sb_ir.Superblock.total_weight sb -. 1.0) < 1e-9))
+        (Lower.superblocks cfg))
+    [ 1L; 2L; 3L; 4L; 5L ]
+
+(* ------------------------------------------------------------------ *)
+(* Generator + end to end                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_gen_deterministic () =
+  let a = Gen.generate ~seed:9L () and b = Gen.generate ~seed:9L () in
+  Alcotest.(check string) "same rendering"
+    (Format.asprintf "%a" Cfg.pp a)
+    (Format.asprintf "%a" Cfg.pp b)
+
+let test_end_to_end () =
+  (* CFG -> traces -> superblocks -> bounds & Balance, for several
+     seeds: bounds must stay below the schedules. *)
+  List.iter
+    (fun seed ->
+      let cfg = Gen.generate ~seed () in
+      List.iter
+        (fun sb ->
+          let config = Sb_machine.Config.fs4 in
+          let bound = Sb_bounds.Superblock_bound.tightest config sb in
+          let s = Sb_sched.Balance.schedule config sb in
+          check_bool "bound below Balance" true
+            (bound <= Sb_sched.Schedule.weighted_completion_time s +. 1e-6))
+        (Lower.superblocks cfg))
+    [ 11L; 12L; 13L ]
+
+let test_parse_roundtrip () =
+  let cfg = diamond_cfg () in
+  let text = Parse.to_string cfg in
+  (match Parse.parse_string text with
+  | Error msg -> Alcotest.failf "roundtrip failed: %s" msg
+  | Ok cfg' ->
+      Alcotest.(check string) "roundtrip is exact" text (Parse.to_string cfg'));
+  (* Generated CFGs roundtrip too. *)
+  List.iter
+    (fun seed ->
+      let cfg = Gen.generate ~seed () in
+      match Parse.parse_string (Parse.to_string cfg) with
+      | Error msg -> Alcotest.failf "seed %Ld roundtrip failed: %s" seed msg
+      | Ok cfg' ->
+          Alcotest.(check string)
+            (Printf.sprintf "seed %Ld exact" seed)
+            (Parse.to_string cfg) (Parse.to_string cfg'))
+    [ 21L; 22L; 23L ]
+
+let test_parse_hand_written () =
+  let text =
+    "# a loop\n\
+     cfg entry=head\n\
+     block head\n\
+     \  r1 = load r0\n\
+     \  r2 = cmp r1\n\
+     \  br out 0.1 else body uses r2\n\
+     block body\n\
+     \  store r1\n\
+     \  jump head\n\
+     block out\n\
+     \  exit\n"
+  in
+  match Parse.parse_string text with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok cfg ->
+      check_int "three blocks" 3 (List.length (Cfg.blocks cfg));
+      Alcotest.(check string) "entry" "head" (Cfg.entry cfg);
+      (match (Cfg.block cfg "head").Block.term with
+      | Block.Cond { srcs; prob; _ } ->
+          Alcotest.(check (list int)) "explicit uses" [ 2 ] srcs;
+          check_float "probability" 0.1 prob
+      | _ -> Alcotest.fail "expected a conditional")
+
+let test_parse_errors () =
+  let expect_error text =
+    match Parse.parse_string text with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "expected a parse error for %S" text
+  in
+  expect_error "block a\n  exit\n";                      (* no entry *)
+  expect_error "cfg entry=a\nblock a\n";                 (* no terminator *)
+  expect_error "cfg entry=a\nblock a\n  r1 = zorp r0\n  exit\n";
+  expect_error "cfg entry=a\nblock a\n  br b 1.5 else c\n";
+  expect_error "cfg entry=a\n  r1 = add r0\n";           (* instr outside block *)
+  expect_error "cfg entry=a\nblock a\n  exit\n  exit\n" (* double terminator *)
+
+let test_instr_validation () =
+  Alcotest.check_raises "branch opcode rejected"
+    (Invalid_argument "Instr.make: branches live in block terminators")
+    (fun () -> ignore (Instr.make Sb_ir.Opcode.branch [ 0 ]));
+  Alcotest.check_raises "store with dst"
+    (Invalid_argument "Instr.make: store with a dst") (fun () ->
+      ignore (Instr.make Sb_ir.Opcode.store ~dst:1 [ 0 ]));
+  Alcotest.check_raises "op without dst"
+    (Invalid_argument "Instr.make: non-store without a dst") (fun () ->
+      ignore (Instr.make Sb_ir.Opcode.add [ 0 ]))
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suites =
+  [
+    ( "cfg.graph",
+      [
+        tc "validation" test_cfg_validation;
+        tc "edges" test_cfg_edges;
+        tc "frequencies (dag)" test_frequencies_dag;
+        tc "frequencies (loop)" test_frequencies_loop;
+        tc "instr validation" test_instr_validation;
+      ] );
+    ( "cfg.trace",
+      [
+        tc "follows the hot path" test_trace_follows_hot_path;
+        tc "tail duplication cost" test_trace_tail_duplication;
+        tc "threshold" test_trace_threshold;
+        tc "mutual most likely" test_trace_mutual_most_likely;
+        tc "never loops" test_trace_never_loops;
+      ] );
+    ( "cfg.lower",
+      [
+        tc "diamond trace" test_lower_diamond;
+        tc "RAW chains and redefinition" test_lower_raw_chain;
+        tc "memory ordering" test_lower_memory_ordering;
+        tc "memory disambiguation" test_memory_disambiguation;
+        tc "may_alias" test_may_alias;
+        tc "address syntax" test_parse_addresses;
+        tc "trace ending on a conditional" test_lower_trace_ending_on_cond;
+        tc "exit weights are a distribution" test_lower_weights_sum;
+      ] );
+    ( "cfg.parse",
+      [
+        tc "roundtrip" test_parse_roundtrip;
+        tc "hand-written file" test_parse_hand_written;
+        tc "parse errors" test_parse_errors;
+      ] );
+    ( "cfg.end_to_end",
+      [
+        tc "generator determinism" test_gen_deterministic;
+        tc "cfg to schedule" test_end_to_end;
+      ] );
+  ]

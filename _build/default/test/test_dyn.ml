@@ -1,0 +1,234 @@
+(* Unit tests for the dynamic per-branch analysis (Dyn_bounds) and the
+   static priority functions — the machinery behind Help and Balance. *)
+
+open Sb_machine
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Priorities                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_height () =
+  let sb = Fixtures.chain 4 in
+  (* chain of 4 ops + exit: heights 4,3,2,1,0. *)
+  Alcotest.(check (array int)) "heights" [| 4; 3; 2; 1; 0 |]
+    (Sb_sched.Priorities.height sb)
+
+let test_block_index () =
+  let sb = Fixtures.tradeoff () in
+  (* ops: a, br_i, load, x, br_j *)
+  let blk = Sb_sched.Priorities.block_index sb in
+  Alcotest.(check (array int)) "blocks" [| 0; 0; 1; 1; 1 |] blk
+
+let test_dhasy_priority () =
+  let sb = Fixtures.tradeoff ~p:0.5 () in
+  let prio = Sb_sched.Priorities.dhasy sb in
+  (* op 0 (a) precedes both exits; op 2 (load) only the final one; with
+     equal weights the shared op must rank at least as high as any
+     single-exit op of the same depth. *)
+  check_bool "shared op ranks high" true (prio.(0) > prio.(3));
+  (* every op preceding an exit has positive priority *)
+  Array.iter (fun p -> check_bool "positive" true (p > 0.)) prio
+
+let test_normalize () =
+  let n = Sb_sched.Priorities.normalize [| 2.; 4.; 0. |] in
+  Alcotest.(check (array (float 1e-9))) "normalized" [| 0.5; 1.; 0. |] n;
+  let z = Sb_sched.Priorities.normalize [| 0.; 0. |] in
+  Alcotest.(check (array (float 1e-9))) "all-zero unchanged" [| 0.; 0. |] z
+
+(* ------------------------------------------------------------------ *)
+(* Dyn_bounds.analyze                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The fig1 fixture at cycle 0, nothing scheduled, on GP2: the final
+   exit's resource ERC (16 ops in 8 cycles) has zero empty slots, so
+   NeedOne must contain every predecessor; the side exit has slack. *)
+let test_analyze_initial () =
+  let sb = Fixtures.fig1 () in
+  let st = Sb_sched.Scheduler_core.create Config.gp2 sb in
+  let info1 = Sb_sched.Dyn_bounds.analyze st ~branch_index:1 in
+  check_int "final exit dynamic early" 8 info1.Sb_sched.Dyn_bounds.early;
+  (match Sb_sched.Dyn_bounds.need_one info1 with
+  | [ (r, ops) ] ->
+      check_int "GP resource" 0 r;
+      check_int "all 16 predecessors needed" 16 (List.length ops)
+  | l -> Alcotest.failf "expected one zero-slack ERC, got %d" (List.length l));
+  check_bool "nothing due this very cycle" true
+    (info1.Sb_sched.Dyn_bounds.need_each = []);
+  let info0 = Sb_sched.Dyn_bounds.analyze st ~branch_index:0 in
+  check_int "side exit dynamic early" 2 info0.Sb_sched.Dyn_bounds.early
+
+(* After wasting cycle 0 entirely, the final exit must slip. *)
+let test_analyze_after_wasted_cycle () =
+  let sb = Fixtures.fig1 () in
+  let st = Sb_sched.Scheduler_core.create Config.gp2 sb in
+  Sb_sched.Scheduler_core.advance st;
+  let info1 = Sb_sched.Dyn_bounds.analyze st ~branch_index:1 in
+  check_int "final exit delayed by the empty cycle" 9
+    info1.Sb_sched.Dyn_bounds.early
+
+(* Scheduling two chain heads in cycle 0 keeps the exit on time. *)
+let test_analyze_after_progress () =
+  let sb = Fixtures.fig1 () in
+  let st = Sb_sched.Scheduler_core.create Config.gp2 sb in
+  (* ops 4 and 7 are heads of two chains (see the fixture). *)
+  Sb_sched.Scheduler_core.place st 4;
+  Sb_sched.Scheduler_core.place st 7;
+  Sb_sched.Scheduler_core.advance st;
+  let info1 = Sb_sched.Dyn_bounds.analyze st ~branch_index:1 in
+  check_int "final exit still on time" 8 info1.Sb_sched.Dyn_bounds.early
+
+let test_analyze_need_each () =
+  (* chain: every unscheduled op is on the critical path, so the head is
+     needed in the current cycle. *)
+  let sb = Fixtures.chain 4 in
+  let st = Sb_sched.Scheduler_core.create Config.gp1 sb in
+  let info = Sb_sched.Dyn_bounds.analyze st ~branch_index:0 in
+  check_int "chain early" 4 info.Sb_sched.Dyn_bounds.early;
+  Alcotest.(check (list int)) "head due now" [ 0 ]
+    info.Sb_sched.Dyn_bounds.need_each
+
+let test_analyze_scheduled_branch_excluded () =
+  let sb = Fixtures.chain 2 in
+  let st = Sb_sched.Scheduler_core.create Config.gp2 sb in
+  Sb_sched.Scheduler_core.place st 0;
+  Sb_sched.Scheduler_core.advance st;
+  Sb_sched.Scheduler_core.place st 1;
+  Sb_sched.Scheduler_core.advance st;
+  Sb_sched.Scheduler_core.place st 2;
+  check_bool "finished" true (Sb_sched.Scheduler_core.finished st)
+
+let test_analyze_with_floors () =
+  (* Static EarlyRC floors must propagate: on FS4 the star is serialized
+     by the single int unit even though dependences allow cycle 1. *)
+  let sb = Fixtures.star 6 in
+  let config = Config.fs4 in
+  let erc = Sb_bounds.Langevin_cerny.early_rc config sb in
+  let st = Sb_sched.Scheduler_core.create config sb in
+  let no_floor = Sb_sched.Dyn_bounds.analyze st ~branch_index:0 in
+  let floored =
+    Sb_sched.Dyn_bounds.analyze ~early_floor:erc st ~branch_index:0
+  in
+  (* The dynamic ERC alone already finds the serialization, and floors
+     can only tighten. *)
+  check_bool "floors never loosen" true
+    (floored.Sb_sched.Dyn_bounds.early >= no_floor.Sb_sched.Dyn_bounds.early);
+  check_int "serialized exit" 6 floored.Sb_sched.Dyn_bounds.early
+
+let test_resource_critical () =
+  let sb = Fixtures.star 8 in
+  let st = Sb_sched.Scheduler_core.create Config.gp2 sb in
+  let info = Sb_sched.Dyn_bounds.analyze st ~branch_index:0 in
+  (* 8 ops, window of 4 cycles x 2 slots: exactly full -> critical. *)
+  Alcotest.(check (list int)) "GP resource critical" [ 0 ]
+    (Sb_sched.Dyn_bounds.resource_critical st info)
+
+let test_resource_not_critical_when_slack () =
+  let sb = Fixtures.star 3 in
+  let st = Sb_sched.Scheduler_core.create Config.gp4 sb in
+  let info = Sb_sched.Dyn_bounds.analyze st ~branch_index:0 in
+  (* 3 ops in a 4-wide cycle: slack remains. *)
+  Alcotest.(check (list int)) "nothing critical" []
+    (Sb_sched.Dyn_bounds.resource_critical st info)
+
+(* Dynamic bounds must stay consistent with what the engine eventually
+   achieves: early is a true lower bound at every decision point of a
+   real scheduling run. *)
+let test_analyze_monotone_consistency () =
+  List.iter
+    (fun sb ->
+      let config = Config.fs4 in
+      let st = Sb_sched.Scheduler_core.create config sb in
+      let final = Sb_sched.Registry.balance.run config sb in
+      (* replay the balance schedule cycle by cycle, checking the
+         analysis against the final issue times *)
+      let by_cycle = Hashtbl.create 16 in
+      Array.iteri
+        (fun v t ->
+          Hashtbl.replace by_cycle t
+            (v :: Option.value ~default:[] (Hashtbl.find_opt by_cycle t)))
+        final.Sb_sched.Schedule.issue;
+      for c = 0 to final.Sb_sched.Schedule.length - 1 do
+        (* check each unscheduled branch's dynamic early against its
+           actual issue time in the replayed schedule *)
+        for k = 0 to Sb_ir.Superblock.n_branches sb - 1 do
+          let b = Sb_ir.Superblock.branch_op sb k in
+          if not (Sb_sched.Scheduler_core.is_scheduled st b) then begin
+            let info = Sb_sched.Dyn_bounds.analyze st ~branch_index:k in
+            check_bool
+              (Printf.sprintf "dyn early <= actual issue (branch %d, cycle %d)"
+                 k c)
+              true
+              (info.Sb_sched.Dyn_bounds.early <= final.Sb_sched.Schedule.issue.(b))
+          end
+        done;
+        (match Hashtbl.find_opt by_cycle c with
+        | Some ops -> List.iter (Sb_sched.Scheduler_core.place st) (List.sort compare ops)
+        | None -> ());
+        Sb_sched.Scheduler_core.advance st
+      done)
+    (Fixtures.random_superblocks ~n:5 ~seed:0xD14L ())
+
+(* Light update (paper Section 5.1): patching the cached ERC state after
+   a placement. *)
+let test_light_update () =
+  let sb = Fixtures.fig1 () in
+  let st = Sb_sched.Scheduler_core.create Config.gp2 sb in
+  let info1 = Sb_sched.Dyn_bounds.analyze st ~branch_index:1 in
+  let info0 = Sb_sched.Dyn_bounds.analyze st ~branch_index:0 in
+  (* Place a chain head (op 4): a predecessor of the final exit but not
+     of the side exit. *)
+  Sb_sched.Scheduler_core.place st 4;
+  (* For the final exit the op was counted: patch succeeds, slack keeps. *)
+  check_bool "patch ok for the final exit" true
+    (Sb_sched.Dyn_bounds.light_update st info1 ~placed:4);
+  check_bool "op removed from the ERC" true
+    (List.for_all
+       (fun e -> not (List.mem 4 e.Sb_sched.Dyn_bounds.ops))
+       info1.Sb_sched.Dyn_bounds.ercs);
+  (* For the side exit the slot was wasted: its block-1 ERC loses an
+     empty slot (3 ops in 2x2 slots had one spare). *)
+  check_bool "patch ok for the side exit" true
+    (Sb_sched.Dyn_bounds.light_update st info0 ~placed:4);
+  (* The block-1 ERC (3 ops due by cycle 1, in 2x2 slots) had exactly one
+     spare slot; a second wasted slot sends it negative and the patch
+     must demand a full recomputation. *)
+  Sb_sched.Scheduler_core.place st 7;
+  check_bool "second waste rejected" false
+    (Sb_sched.Dyn_bounds.light_update st info0 ~placed:7)
+
+let test_light_update_branch_placed () =
+  let sb = Fixtures.chain 2 in
+  let st = Sb_sched.Scheduler_core.create Config.gp2 sb in
+  let info = Sb_sched.Dyn_bounds.analyze st ~branch_index:0 in
+  check_bool "placing the branch itself invalidates" false
+    (Sb_sched.Dyn_bounds.light_update st info ~placed:info.Sb_sched.Dyn_bounds.b_op)
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suites =
+  [
+    ( "sched.priorities",
+      [
+        tc "height" test_height;
+        tc "block index" test_block_index;
+        tc "dhasy" test_dhasy_priority;
+        tc "normalize" test_normalize;
+      ] );
+    ( "sched.dyn_bounds",
+      [
+        tc "initial analysis (fig1)" test_analyze_initial;
+        tc "wasted cycle delays the exit" test_analyze_after_wasted_cycle;
+        tc "progress keeps the exit on time" test_analyze_after_progress;
+        tc "need_each on a chain" test_analyze_need_each;
+        tc "engine completion" test_analyze_scheduled_branch_excluded;
+        tc "static floors" test_analyze_with_floors;
+        tc "resource criticality" test_resource_critical;
+        tc "criticality needs pressure" test_resource_not_critical_when_slack;
+        tc "dyn early is a true lower bound" test_analyze_monotone_consistency;
+        tc "light update patches ERCs" test_light_update;
+        tc "light update on the branch itself" test_light_update_branch_placed;
+      ] );
+  ]

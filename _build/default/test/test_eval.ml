@@ -1,0 +1,173 @@
+(* Unit tests for the evaluation layer: table rendering, metrics and the
+   experiment drivers on a miniature corpus. *)
+
+open Sb_machine
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Table rendering                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_table_render () =
+  let t =
+    Sb_eval.Table.make ~title:"T" ~headers:[ "a"; "b" ]
+      ~notes:[ "n1" ]
+      [ [ "x"; "1.00" ]; [ "yy"; "22.00" ] ]
+  in
+  let s = Sb_eval.Table.render t in
+  check_bool "has title" true (String.length s > 0 && s.[0] = 'T');
+  check_bool "has note" true (contains ~needle:"note: n1" s);
+  check_bool "has header" true (contains ~needle:"a" s)
+
+let test_table_cells () =
+  Alcotest.(check string) "f2" "1.23" (Sb_eval.Table.f2 1.2345);
+  Alcotest.(check string) "f3" "1.234" (Sb_eval.Table.f3 1.2341);
+  Alcotest.(check string) "pct" "12.35%" (Sb_eval.Table.pct 12.345);
+  Alcotest.(check string) "int" "7" (Sb_eval.Table.int_cell 7)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let mini_records () =
+  let sbs = Fixtures.random_superblocks ~n:6 ~seed:0xE7A1L () in
+  Sb_eval.Metrics.evaluate ~with_tw:false Config.fs4 sbs
+
+let test_metrics_evaluate () =
+  let records = mini_records () in
+  check_int "one record per superblock" 6 (List.length records);
+  List.iter
+    (fun (r : Sb_eval.Metrics.record) ->
+      check_int "all heuristics evaluated"
+        (List.length Sb_sched.Registry.all)
+        (List.length r.Sb_eval.Metrics.wct);
+      List.iter
+        (fun (_, w) ->
+          check_bool "wct above bound" true
+            (w >= Sb_eval.Metrics.bound r -. 1e-6))
+        r.Sb_eval.Metrics.wct)
+    records
+
+let test_metrics_trivial_and_slowdown () =
+  let records = mini_records () in
+  (* Best is by construction <= every other heuristic, so its slowdown
+     cannot exceed any other heuristic's. *)
+  let sd name = Sb_eval.Metrics.slowdown_nontrivial records name in
+  List.iter
+    (fun (h : Sb_sched.Registry.heuristic) ->
+      check_bool
+        (Printf.sprintf "Best slowdown <= %s" h.short)
+        true
+        (sd "Best" <= sd h.short +. 1e-9))
+    Sb_sched.Registry.primaries;
+  check_bool "slowdowns nonnegative" true (sd "Best" >= 0.);
+  let frac = Sb_eval.Metrics.trivial_cycle_fraction records in
+  check_bool "trivial fraction in [0,100]" true (frac >= 0. && frac <= 100.);
+  (* A trivial record is optimal for everyone. *)
+  List.iter
+    (fun (r : Sb_eval.Metrics.record) ->
+      if Sb_eval.Metrics.is_trivial r then
+        List.iter
+          (fun (h : Sb_sched.Registry.heuristic) ->
+            check_bool "trivial => optimal" true
+              (Sb_eval.Metrics.optimal r h.short))
+          Sb_sched.Registry.all)
+    records
+
+let test_metrics_helpers () =
+  check_float "mean" 2.5 (Sb_eval.Metrics.mean [ 1.; 2.; 3.; 4. ]);
+  check_float "mean empty" 0. (Sb_eval.Metrics.mean []);
+  check_int "median" 3 (Sb_eval.Metrics.median_int [ 5; 1; 3; 2; 9 ]);
+  check_int "median empty" 0 (Sb_eval.Metrics.median_int [])
+
+let test_metrics_unknown_heuristic () =
+  let records = mini_records () in
+  Alcotest.check_raises "unknown heuristic"
+    (Invalid_argument "Metrics: heuristic \"Zorp\" not evaluated") (fun () ->
+      ignore (Sb_eval.Metrics.slowdown_nontrivial records "Zorp"))
+
+(* ------------------------------------------------------------------ *)
+(* Experiment drivers on a miniature corpus                            *)
+(* ------------------------------------------------------------------ *)
+
+let tiny_prepared =
+  lazy
+    (let setup =
+       {
+         (Sb_eval.Experiments.default_setup ~scale:0.002 ()) with
+         Sb_eval.Experiments.configs = [ Config.gp2; Config.fs4 ];
+         heavy_configs = [ Config.fs4 ];
+       }
+     in
+     Sb_eval.Experiments.prepare setup)
+
+let nonempty_table name t =
+  let rendered = Sb_eval.Table.render t in
+  check_bool (name ^ " renders") true (String.length rendered > 40);
+  check_bool (name ^ " has rows") true (List.length t.Sb_eval.Table.rows > 0)
+
+let test_experiments_all () =
+  let p = Lazy.force tiny_prepared in
+  let all = Sb_eval.Experiments.run_all p in
+  check_int "eight experiments" 8 (List.length all);
+  List.iter (fun (name, t) -> nonempty_table name t) all
+
+let test_experiment_table_shapes () =
+  let p = Lazy.force tiny_prepared in
+  let t1 = Sb_eval.Experiments.table1 p in
+  check_int "table1: six bounds" 6 (List.length t1.Sb_eval.Table.rows);
+  let t3 = Sb_eval.Experiments.table3 p in
+  (* one row per config plus the average row *)
+  check_int "table3 rows" 3 (List.length t3.Sb_eval.Table.rows);
+  let t7 = Sb_eval.Experiments.table7 p in
+  check_int "table7: three update modes" 3 (List.length t7.Sb_eval.Table.rows);
+  let f8 = Sb_eval.Experiments.figure8 p in
+  check_bool "figure8 thresholds" true (List.length f8.Sb_eval.Table.rows >= 8)
+
+let test_via_cfg_corpus () =
+  let setup =
+    {
+      (Sb_eval.Experiments.default_setup ~scale:0.003
+         ~corpus_kind:Sb_eval.Experiments.Via_cfg ()) with
+      Sb_eval.Experiments.configs = [ Config.fs4 ];
+      heavy_configs = [ Config.fs4 ];
+    }
+  in
+  let p = Sb_eval.Experiments.prepare setup in
+  check_int "single pipeline program" 1
+    (List.length (Sb_eval.Experiments.corpus_of p));
+  nonempty_table "table3 via cfg" (Sb_eval.Experiments.table3 p)
+
+let test_corpus_of () =
+  let p = Lazy.force tiny_prepared in
+  check_int "eight programs" 8 (List.length (Sb_eval.Experiments.corpus_of p))
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suites =
+  [
+    ( "eval.table",
+      [ tc "render" test_table_render; tc "cell formatting" test_table_cells ] );
+    ( "eval.metrics",
+      [
+        tc "evaluate" test_metrics_evaluate;
+        tc "trivial/slowdown" test_metrics_trivial_and_slowdown;
+        tc "helpers" test_metrics_helpers;
+        tc "unknown heuristic" test_metrics_unknown_heuristic;
+      ] );
+    ( "eval.experiments",
+      [
+        tc "all drivers run" test_experiments_all;
+        tc "table shapes" test_experiment_table_shapes;
+        tc "corpus accessor" test_corpus_of;
+        tc "via-cfg corpus" test_via_cfg_corpus;
+      ] );
+  ]

@@ -1,0 +1,281 @@
+(* Unit tests for the IR substrate: bitsets, dependence graphs, builder,
+   superblock invariants and the textual serde. *)
+
+open Sb_ir
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Bitset                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_bitset_basic () =
+  let s = Bitset.create 100 in
+  check_bool "fresh set empty" true (Bitset.is_empty s);
+  Bitset.add s 0;
+  Bitset.add s 63;
+  Bitset.add s 64;
+  Bitset.add s 99;
+  check_int "cardinal" 4 (Bitset.cardinal s);
+  check_bool "mem 63" true (Bitset.mem s 63);
+  check_bool "mem 62" false (Bitset.mem s 62);
+  Bitset.remove s 63;
+  check_bool "removed" false (Bitset.mem s 63);
+  Alcotest.(check (list int)) "elements sorted" [ 0; 64; 99 ] (Bitset.elements s)
+
+let test_bitset_set_ops () =
+  let a = Bitset.of_list 10 [ 1; 3; 5; 7 ] in
+  let b = Bitset.of_list 10 [ 3; 4; 5 ] in
+  Alcotest.(check (list int)) "inter" [ 3; 5 ] (Bitset.elements (Bitset.inter a b));
+  Alcotest.(check (list int)) "diff" [ 1; 7 ] (Bitset.elements (Bitset.diff a b));
+  let c = Bitset.copy a in
+  Bitset.union_into c b;
+  Alcotest.(check (list int)) "union" [ 1; 3; 4; 5; 7 ] (Bitset.elements c);
+  check_bool "subset yes" true (Bitset.subset (Bitset.inter a b) a);
+  check_bool "subset no" false (Bitset.subset a b);
+  check_bool "equal self" true (Bitset.equal a (Bitset.copy a))
+
+let test_bitset_bounds () =
+  let s = Bitset.create 5 in
+  Alcotest.check_raises "add out of range" (Invalid_argument "Bitset: index out of range")
+    (fun () -> Bitset.add s 5);
+  Alcotest.check_raises "mem negative" (Invalid_argument "Bitset: index out of range")
+    (fun () -> ignore (Bitset.mem s (-1)))
+
+(* ------------------------------------------------------------------ *)
+(* Dep_graph                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let edge src dst latency = { Dep_graph.src; dst; latency }
+
+(* A diamond: 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3 (latency 1) plus a long
+   latency edge 0 -> 3. *)
+let diamond () =
+  Dep_graph.make ~n:4
+    [ edge 0 1 1; edge 0 2 1; edge 1 3 1; edge 2 3 1; edge 0 3 3 ]
+
+let test_graph_topo () =
+  let g = diamond () in
+  let order = Dep_graph.topo_order g in
+  check_int "all nodes" 4 (Array.length order);
+  let pos = Array.make 4 0 in
+  Array.iteri (fun i v -> pos.(v) <- i) order;
+  List.iter
+    (fun { Dep_graph.src; dst; _ } ->
+      check_bool "topo respects edges" true (pos.(src) < pos.(dst)))
+    (Dep_graph.edges g)
+
+let test_graph_cycle () =
+  Alcotest.check_raises "cycle detected" Dep_graph.Cycle (fun () ->
+      ignore (Dep_graph.make ~n:3 [ edge 0 1 1; edge 1 2 1; edge 2 0 1 ]))
+
+let test_graph_validation () =
+  Alcotest.check_raises "self edge" (Invalid_argument "Dep_graph.make: self edge")
+    (fun () -> ignore (Dep_graph.make ~n:2 [ edge 1 1 1 ]));
+  Alcotest.check_raises "negative latency"
+    (Invalid_argument "Dep_graph.make: negative latency") (fun () ->
+      ignore (Dep_graph.make ~n:2 [ edge 0 1 (-1) ]));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Dep_graph.make: edge endpoint out of range") (fun () ->
+      ignore (Dep_graph.make ~n:2 [ edge 0 2 1 ]))
+
+let test_graph_duplicate_edges () =
+  let g = Dep_graph.make ~n:2 [ edge 0 1 1; edge 0 1 4; edge 0 1 2 ] in
+  check_int "merged to one edge" 1 (Dep_graph.n_edges g);
+  let early = Dep_graph.longest_from_sources g in
+  check_int "keeps max latency" 4 early.(1)
+
+let test_graph_closure () =
+  let g = diamond () in
+  Alcotest.(check (list int)) "tpreds of 3" [ 0; 1; 2 ]
+    (Bitset.elements (Dep_graph.transitive_preds g 3));
+  Alcotest.(check (list int)) "tsuccs of 0" [ 1; 2; 3 ]
+    (Bitset.elements (Dep_graph.transitive_succs g 0));
+  check_bool "is_pred 0 3" true (Dep_graph.is_pred g 0 3);
+  check_bool "is_pred 3 0" false (Dep_graph.is_pred g 3 0);
+  check_bool "is_pred not reflexive" false (Dep_graph.is_pred g 1 1)
+
+let test_graph_longest_paths () =
+  let g = diamond () in
+  let early = Dep_graph.longest_from_sources g in
+  Alcotest.(check (array int)) "EarlyDC" [| 0; 1; 1; 3 |] early;
+  let to3 = Dep_graph.longest_to g 3 in
+  check_int "0 to 3 via latency edge" 3 to3.(0);
+  check_int "1 to 3" 1 to3.(1);
+  check_int "3 to itself" 0 to3.(3);
+  let to1 = Dep_graph.longest_to g 1 in
+  check_bool "2 does not precede 1" true (to1.(2) = min_int)
+
+let test_graph_reverse () =
+  let g = diamond () in
+  let r = Dep_graph.reverse g in
+  check_int "same edges" (Dep_graph.n_edges g) (Dep_graph.n_edges r);
+  check_bool "reversed pred" true (Dep_graph.is_pred r 3 0);
+  let early = Dep_graph.longest_from_sources r in
+  check_int "reverse EarlyDC of node 0" 3 early.(0)
+
+(* ------------------------------------------------------------------ *)
+(* Builder / Superblock                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Two blocks: three int ops feeding a side branch (p=0.3), then two more
+   ops feeding the final branch. *)
+let two_block_sb () =
+  let b = Builder.create ~name:"two_block" ~freq:10. () in
+  let o0 = Builder.add_op b Opcode.add in
+  let o1 = Builder.add_op b Opcode.sub in
+  let o2 = Builder.add_op b Opcode.cmp in
+  let br1 = Builder.add_branch b ~prob:0.3 in
+  let o4 = Builder.add_op b Opcode.load in
+  let o5 = Builder.add_op b Opcode.add in
+  let br2 = Builder.add_branch b ~prob:0.7 in
+  Builder.dep b o0 o1;
+  Builder.dep b o1 o2;
+  Builder.dep b o2 br1;
+  Builder.dep b o4 o5;
+  Builder.dep b o5 br2;
+  Builder.build b
+
+let test_builder_structure () =
+  let sb = two_block_sb () in
+  check_int "ops" 7 (Superblock.n_ops sb);
+  check_int "branches" 2 (Superblock.n_branches sb);
+  check_int "branch 0 id" 3 (Superblock.branch_op sb 0);
+  check_int "branch 1 id" 6 (Superblock.branch_op sb 1);
+  Alcotest.(check (float 1e-9)) "weight 0" 0.3 (Superblock.weight sb 0);
+  check_bool "control chain added" true
+    (Dep_graph.is_pred sb.Superblock.graph 3 6);
+  check_int "branch latency" 1 (Superblock.branch_latency sb)
+
+let test_builder_load_latency () =
+  let sb = two_block_sb () in
+  (* op 4 is a load: its edge to op 5 must default to latency 2. *)
+  let lat =
+    Array.to_list (Dep_graph.succs sb.Superblock.graph 4) |> List.assoc 5
+  in
+  check_int "load latency" 2 lat
+
+let test_builder_dangling_attach () =
+  let b = Builder.create () in
+  let o0 = Builder.add_op b Opcode.store in
+  (* store has no consumer: must be attached to the only branch. *)
+  let _ = Builder.add_branch b ~prob:1.0 in
+  ignore o0;
+  let sb = Builder.build b in
+  check_bool "store precedes exit" true
+    (Dep_graph.is_pred sb.Superblock.graph 0 1)
+
+let test_block_of () =
+  let sb = two_block_sb () in
+  check_int "op 0 in block 0" 0 (Superblock.block_of sb 0);
+  check_int "op 4 in block 1" 1 (Superblock.block_of sb 4);
+  check_int "branch 0 is block 0" 0 (Superblock.block_of sb 3);
+  Alcotest.(check (list int)) "op0 precedes both exits" [ 0; 1 ]
+    (Superblock.preceding_branches sb 0);
+  Alcotest.(check (list int)) "op4 precedes last only" [ 1 ]
+    (Superblock.preceding_branches sb 4)
+
+let test_superblock_rejects_no_branch () =
+  let ops = [| Operation.make ~id:0 ~opcode:Opcode.add () |] in
+  let g = Dep_graph.make ~n:1 [] in
+  Alcotest.check_raises "no branch"
+    (Invalid_argument "Superblock.make: superblock has no branch") (fun () ->
+      ignore (Superblock.make ~ops ~graph:g ()))
+
+let test_superblock_rejects_overweight () =
+  let b = Builder.create () in
+  let _ = Builder.add_branch b ~prob:0.8 in
+  let _ = Builder.add_branch b ~prob:0.8 in
+  Alcotest.check_raises "weights > 1"
+    (Invalid_argument "Superblock.make: exit probabilities sum to more than 1")
+    (fun () -> ignore (Builder.build b))
+
+let test_operation_validation () =
+  Alcotest.check_raises "prob on non-branch"
+    (Invalid_argument "Operation.make: exit_prob on a non-branch operation")
+    (fun () ->
+      ignore (Operation.make ~id:0 ~opcode:Opcode.add ~exit_prob:0.5 ()));
+  Alcotest.check_raises "prob out of range"
+    (Invalid_argument "Operation.make: exit_prob outside [0, 1]") (fun () ->
+      ignore (Operation.make ~id:0 ~opcode:Opcode.branch ~exit_prob:1.5 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Serde                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_serde_roundtrip () =
+  let sb = two_block_sb () in
+  let text = Serde.superblock_to_string sb in
+  match Serde.parse_string text with
+  | Error msg -> Alcotest.failf "parse error: %s" msg
+  | Ok [ sb' ] ->
+      check_int "ops" (Superblock.n_ops sb) (Superblock.n_ops sb');
+      check_int "branches" (Superblock.n_branches sb) (Superblock.n_branches sb');
+      check_int "edges"
+        (Dep_graph.n_edges sb.Superblock.graph)
+        (Dep_graph.n_edges sb'.Superblock.graph);
+      Alcotest.(check string) "name" sb.Superblock.name sb'.Superblock.name;
+      Alcotest.(check (float 1e-9)) "freq" sb.Superblock.freq sb'.Superblock.freq
+  | Ok l -> Alcotest.failf "expected 1 superblock, got %d" (List.length l)
+
+let test_serde_parse_errors () =
+  let expect_error text =
+    match Serde.parse_string text with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "expected parse error for %S" text
+  in
+  expect_error "op 0 add\n";
+  expect_error "superblock a\nop 0 zorp\nend\n";
+  expect_error "superblock a\nop 0 add\n";
+  expect_error "superblock a\nop 1 add\nop 0 br prob=1\nend\n";
+  expect_error "superblock a\nfoo\nend\n"
+
+let test_serde_comments_and_defaults () =
+  let text =
+    "# a comment\nsuperblock s\nop 0 add # trailing\nop 1 br prob=1.0\nedge 0 1\nend\n"
+  in
+  match Serde.parse_string text with
+  | Error msg -> Alcotest.failf "parse error: %s" msg
+  | Ok [ sb ] ->
+      check_int "ops" 2 (Superblock.n_ops sb);
+      Alcotest.(check (float 1e-9)) "default freq" 1.0 sb.Superblock.freq
+  | Ok _ -> Alcotest.fail "expected exactly one superblock"
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suites =
+  [
+    ( "ir.bitset",
+      [
+        tc "basic" test_bitset_basic;
+        tc "set ops" test_bitset_set_ops;
+        tc "bounds checking" test_bitset_bounds;
+      ] );
+    ( "ir.dep_graph",
+      [
+        tc "topological order" test_graph_topo;
+        tc "cycle detection" test_graph_cycle;
+        tc "validation" test_graph_validation;
+        tc "duplicate edges merged" test_graph_duplicate_edges;
+        tc "transitive closure" test_graph_closure;
+        tc "longest paths" test_graph_longest_paths;
+        tc "reverse" test_graph_reverse;
+      ] );
+    ( "ir.superblock",
+      [
+        tc "builder structure" test_builder_structure;
+        tc "load latency default" test_builder_load_latency;
+        tc "dangling op attached" test_builder_dangling_attach;
+        tc "block_of / preceding_branches" test_block_of;
+        tc "rejects branchless" test_superblock_rejects_no_branch;
+        tc "rejects overweight exits" test_superblock_rejects_overweight;
+        tc "operation validation" test_operation_validation;
+      ] );
+    ( "ir.serde",
+      [
+        tc "roundtrip" test_serde_roundtrip;
+        tc "parse errors" test_serde_parse_errors;
+        tc "comments and defaults" test_serde_comments_and_defaults;
+      ] );
+  ]

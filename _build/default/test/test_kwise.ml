@@ -1,0 +1,120 @@
+(* Tests for the K-wise higher-order bounds. *)
+
+open Sb_machine
+
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+let pairwise_ctx config sb =
+  let erc = Sb_bounds.Langevin_cerny.early_rc config sb in
+  Sb_bounds.Pairwise.compute config sb ~early_rc:erc
+
+let test_singleton_tuple () =
+  let sb = Fixtures.tradeoff () in
+  let pw = pairwise_ctx Config.gp1 sb in
+  match Sb_bounds.Kwise.compute_tuple pw [ 0 ] with
+  | Some t ->
+      check_float "singleton = EarlyRC" 1.0 t.Sb_bounds.Kwise.values.(0)
+  | None -> Alcotest.fail "singleton must always compute"
+
+let test_pair_matches_hand_values () =
+  (* On the hand-verified fixture at p=0.26, the k=2 tuple bound must
+     reproduce the (2, 4) optimum of the Pairwise analysis. *)
+  let sb = Fixtures.tradeoff ~p:0.26 () in
+  let pw = pairwise_ctx Config.gp1 sb in
+  match Sb_bounds.Kwise.compute_tuple pw [ 0; 1 ] with
+  | Some t ->
+      check_float "x" 2.0 t.Sb_bounds.Kwise.values.(0);
+      check_float "y" 4.0 t.Sb_bounds.Kwise.values.(1)
+  | None -> Alcotest.fail "5-op tuple over budget?"
+
+let test_k2_bound_close_to_pairwise () =
+  (* The k=2 combination uses weaker overflow candidates than the
+     dedicated Pairwise bound, but must stay within it and above the
+     naive LC combination. *)
+  List.iter
+    (fun sb ->
+      if Sb_ir.Superblock.n_branches sb >= 2
+         && Sb_ir.Superblock.n_branches sb <= 8
+      then begin
+        let config = Config.fs4 in
+        let all = Sb_bounds.Superblock_bound.all_bounds ~with_tw:false config sb in
+        match
+          Sb_bounds.Kwise.superblock_bound ~k:2 all.Sb_bounds.Superblock_bound.pairwise_ctx
+        with
+        | None -> ()
+        | Some k2 ->
+            check_bool
+              (Printf.sprintf "lc <= k2 <= pw on %s (lc=%.3f k2=%.3f pw=%.3f)"
+                 sb.Sb_ir.Superblock.name all.lc k2 all.pw)
+              true
+              (k2 >= all.lc -. 1e-6 && k2 <= all.pw +. 1e-6)
+      end)
+    (Fixtures.random_superblocks ~n:15 ~seed:0x2222L ())
+
+let test_kwise_validity () =
+  (* k = 2, 3, 4 bounds must all stay below the Best schedule. *)
+  List.iter
+    (fun sb ->
+      let nb = Sb_ir.Superblock.n_branches sb in
+      if nb >= 2 && nb <= 8 then begin
+        let config = Config.gp2 in
+        let pw = pairwise_ctx config sb in
+        let best =
+          Sb_sched.Schedule.weighted_completion_time
+            (Sb_sched.Best.schedule config sb)
+        in
+        List.iter
+          (fun k ->
+            match Sb_bounds.Kwise.superblock_bound ~k pw with
+            | None -> ()
+            | Some b ->
+                check_bool
+                  (Printf.sprintf "k=%d bound %.3f <= best %.3f on %s" k b
+                     best sb.Sb_ir.Superblock.name)
+                  true
+                  (b <= best +. 1e-6))
+          [ 2; 3; 4 ]
+      end)
+    (Fixtures.random_superblocks ~n:12 ~seed:0x3333L ())
+
+let test_kwise_gates () =
+  let sb = Fixtures.tradeoff () in
+  let pw = pairwise_ctx Config.gp1 sb in
+  check_bool "k larger than branch count" true
+    (Sb_bounds.Kwise.superblock_bound ~k:3 pw = None);
+  check_bool "k < 2 rejected" true
+    (Sb_bounds.Kwise.superblock_bound ~k:1 pw = None);
+  (* A tiny budget forces the overflow recursion to give up. *)
+  check_bool "budget gate" true
+    (Sb_bounds.Kwise.compute_tuple ~grid_budget:1 pw [ 0; 1 ] = None)
+
+let test_kwise_exact_on_tradeoff () =
+  (* The k=2 superblock bound equals the (tight) Pairwise bound on the
+     tradeoff fixture for every probability. *)
+  List.iter
+    (fun p ->
+      let sb = Fixtures.tradeoff ~p () in
+      let config = Config.gp1 in
+      let all = Sb_bounds.Superblock_bound.all_bounds config sb in
+      match
+        Sb_bounds.Kwise.superblock_bound ~k:2 all.Sb_bounds.Superblock_bound.pairwise_ctx
+      with
+      | Some k2 -> check_float (Printf.sprintf "k2 = pw at p=%.2f" p) all.pw k2
+      | None -> Alcotest.fail "tradeoff tuple over budget")
+    [ 0.1; 0.26; 0.5; 0.9 ]
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suites =
+  [
+    ( "bounds.kwise",
+      [
+        tc "singleton tuple" test_singleton_tuple;
+        tc "pair matches hand values" test_pair_matches_hand_values;
+        tc "k=2 between LC and PW" test_k2_bound_close_to_pairwise;
+        tc "validity for k=2..4" test_kwise_validity;
+        tc "gates" test_kwise_gates;
+        tc "exact on the tradeoff fixture" test_kwise_exact_on_tradeoff;
+      ] );
+  ]

@@ -1,0 +1,96 @@
+(* Unit tests for the machine model: configurations and reservation
+   tables. *)
+
+open Sb_machine
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_config_widths () =
+  check_int "GP1 width" 1 (Config.width Config.gp1);
+  check_int "GP2 width" 2 (Config.width Config.gp2);
+  check_int "GP4 width" 4 (Config.width Config.gp4);
+  check_int "FS4 width" 4 (Config.width Config.fs4);
+  check_int "FS6 width" 6 (Config.width Config.fs6);
+  check_int "FS8 width" 8 (Config.width Config.fs8)
+
+let test_config_resources () =
+  check_int "GP has one resource" 1 (Config.n_resources Config.gp4);
+  check_int "FS has four resources" 4 (Config.n_resources Config.fs6);
+  (* All classes share the single GP resource. *)
+  List.iter
+    (fun cls ->
+      check_int "GP resource index" 0 (Config.resource_of Config.gp2 cls))
+    Sb_ir.Opcode.all_classes;
+  (* FS6 = (2 int, 2 mem, 1 float, 1 branch). *)
+  check_int "FS6 int units" 2
+    (Config.capacity_of Config.fs6 (Config.resource_of Config.fs6 Sb_ir.Opcode.Int_alu));
+  check_int "FS6 mem units" 2
+    (Config.capacity_of Config.fs6 (Config.resource_of Config.fs6 Sb_ir.Opcode.Memory));
+  check_int "FS6 float units" 1
+    (Config.capacity_of Config.fs6 (Config.resource_of Config.fs6 Sb_ir.Opcode.Float));
+  check_int "FS6 branch units" 1
+    (Config.capacity_of Config.fs6 (Config.resource_of Config.fs6 Sb_ir.Opcode.Branch))
+
+let test_config_by_name () =
+  (match Config.by_name "fs8" with
+  | Some c -> Alcotest.(check string) "case-insensitive lookup" "FS8" c.Config.name
+  | None -> Alcotest.fail "FS8 not found");
+  check_bool "unknown config" true (Config.by_name "XYZ" = None);
+  check_int "paper configs" 6 (List.length Config.all)
+
+let test_reservation_issue () =
+  let t = Reservation.create Config.gp2 in
+  check_bool "can issue" true (Reservation.can_issue t ~cycle:0 ~cls:Sb_ir.Opcode.Int_alu);
+  Reservation.issue t ~cycle:0 ~cls:Sb_ir.Opcode.Int_alu;
+  Reservation.issue t ~cycle:0 ~cls:Sb_ir.Opcode.Memory;
+  check_bool "cycle full" false (Reservation.can_issue t ~cycle:0 ~cls:Sb_ir.Opcode.Branch);
+  check_int "available in empty cycle" 2 (Reservation.available t ~cycle:5 ~r:0);
+  Alcotest.check_raises "over-issue"
+    (Invalid_argument "Reservation.issue: resource exhausted") (fun () ->
+      Reservation.issue t ~cycle:0 ~cls:Sb_ir.Opcode.Branch)
+
+let test_reservation_undo () =
+  let t = Reservation.create Config.fs4 in
+  Reservation.issue t ~cycle:3 ~cls:Sb_ir.Opcode.Float;
+  check_bool "float unit busy" false
+    (Reservation.can_issue t ~cycle:3 ~cls:Sb_ir.Opcode.Float);
+  check_bool "int unit free" true
+    (Reservation.can_issue t ~cycle:3 ~cls:Sb_ir.Opcode.Int_alu);
+  Reservation.undo_issue t ~cycle:3 ~cls:Sb_ir.Opcode.Float;
+  check_bool "float unit free again" true
+    (Reservation.can_issue t ~cycle:3 ~cls:Sb_ir.Opcode.Float);
+  Alcotest.check_raises "undo on empty"
+    (Invalid_argument "Reservation.undo_issue: nothing issued") (fun () ->
+      Reservation.undo_issue t ~cycle:3 ~cls:Sb_ir.Opcode.Float)
+
+let test_reservation_growth_and_first_free () =
+  let t = Reservation.create Config.gp1 in
+  (* Push past the initial table size to exercise growth. *)
+  for c = 0 to 199 do
+    Reservation.issue t ~cycle:c ~cls:Sb_ir.Opcode.Int_alu
+  done;
+  check_int "first free after long prefix" 200
+    (Reservation.first_free t ~from:0 ~r:0);
+  Reservation.undo_issue t ~cycle:77 ~cls:Sb_ir.Opcode.Memory;
+  check_int "hole found" 77 (Reservation.first_free t ~from:0 ~r:0);
+  Reservation.clear t;
+  check_int "cleared" 0 (Reservation.first_free t ~from:0 ~r:0)
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suites =
+  [
+    ( "machine.config",
+      [
+        tc "widths" test_config_widths;
+        tc "resource mapping" test_config_resources;
+        tc "by_name" test_config_by_name;
+      ] );
+    ( "machine.reservation",
+      [
+        tc "issue/can_issue" test_reservation_issue;
+        tc "undo" test_reservation_undo;
+        tc "growth and first_free" test_reservation_growth_and_first_free;
+      ] );
+  ]

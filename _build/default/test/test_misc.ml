@@ -1,0 +1,217 @@
+(* Remaining API surface: opcodes, printers, work counters, the optimal
+   oracle's edge cases, Best's cross product, G* internals. *)
+
+open Sb_machine
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let wct = Sb_sched.Schedule.weighted_completion_time
+
+(* ------------------------------ opcode ----------------------------- *)
+
+let test_opcode_table () =
+  check_int "fifteen opcodes" 15 (List.length Sb_ir.Opcode.all);
+  List.iter
+    (fun (op : Sb_ir.Opcode.t) ->
+      match Sb_ir.Opcode.by_name op.Sb_ir.Opcode.name with
+      | Some op' -> check_bool "lookup roundtrip" true (Sb_ir.Opcode.equal op op')
+      | None -> Alcotest.failf "lookup failed for %s" op.Sb_ir.Opcode.name)
+    Sb_ir.Opcode.all;
+  check_bool "unknown opcode" true (Sb_ir.Opcode.by_name "zorp" = None);
+  check_int "load latency" 2 Sb_ir.Opcode.load.Sb_ir.Opcode.latency;
+  check_int "fmul latency" 3 Sb_ir.Opcode.fmul.Sb_ir.Opcode.latency;
+  check_int "fdiv latency" 9 Sb_ir.Opcode.fdiv.Sb_ir.Opcode.latency;
+  check_bool "only br is a branch" true
+    (List.for_all
+       (fun (op : Sb_ir.Opcode.t) ->
+         Sb_ir.Opcode.is_branch op = (op.Sb_ir.Opcode.name = "br"))
+       Sb_ir.Opcode.all)
+
+let test_opcode_classes () =
+  List.iter
+    (fun cls ->
+      match Sb_ir.Opcode.class_of_name (Sb_ir.Opcode.class_name cls) with
+      | Some cls' -> check_bool "class roundtrip" true (cls = cls')
+      | None -> Alcotest.fail "class_of_name failed")
+    Sb_ir.Opcode.all_classes;
+  check_bool "unknown class" true (Sb_ir.Opcode.class_of_name "???" = None)
+
+(* ----------------------------- printers ---------------------------- *)
+
+let test_printers_smoke () =
+  let sb = Fixtures.fig1 () in
+  let s = Sb_sched.Dhasy.schedule Config.gp2 sb in
+  let rendered = Format.asprintf "%a" Sb_sched.Schedule.pp s in
+  check_bool "schedule pp mentions wct" true (String.length rendered > 50);
+  let sb_str = Format.asprintf "%a" Sb_ir.Superblock.pp sb in
+  check_bool "superblock pp" true (String.length sb_str > 50);
+  let g_str = Format.asprintf "%a" Sb_ir.Dep_graph.pp sb.Sb_ir.Superblock.graph in
+  check_bool "graph pp" true (String.length g_str > 20);
+  let bs = Format.asprintf "%a" Sb_ir.Bitset.pp (Sb_ir.Bitset.of_list 8 [ 1; 5 ]) in
+  Alcotest.(check string) "bitset pp" "{1, 5}" bs;
+  let cfg = Format.asprintf "%a" Config.pp Config.fs6 in
+  Alcotest.(check string) "config pp" "FS6[2,2,1,1]" cfg
+
+(* ---------------------------- work counters ------------------------ *)
+
+let test_work_counters () =
+  Sb_bounds.Work.reset ();
+  Sb_bounds.Work.add "x" 3;
+  Sb_bounds.Work.add "x" 4;
+  Sb_bounds.Work.add "y" 1;
+  check_int "accumulates" 7 (Sb_bounds.Work.get "x");
+  check_int "missing key" 0 (Sb_bounds.Work.get "zzz");
+  Alcotest.(check (list string)) "keys sorted" [ "x"; "y" ] (Sb_bounds.Work.keys ());
+  let r, w = Sb_bounds.Work.with_counter "x" (fun () -> Sb_bounds.Work.add "x" 5; 42) in
+  check_int "scoped delta" 5 w;
+  check_int "result passthrough" 42 r;
+  Sb_bounds.Work.enabled := false;
+  Sb_bounds.Work.add "x" 100;
+  check_int "disabled" 12 (Sb_bounds.Work.get "x");
+  Sb_bounds.Work.enabled := true;
+  Sb_bounds.Work.reset ();
+  check_int "reset" 0 (Sb_bounds.Work.get "x")
+
+(* ------------------------------ optimal ---------------------------- *)
+
+let test_optimal_tiny_budget () =
+  let sb = Fixtures.fig1 () in
+  (* A 2-node budget cannot finish a 16-op search. *)
+  check_bool "budget exhaustion reported" true
+    (Sb_sched.Optimal.schedule ~node_budget:2 Config.gp2 sb = None)
+
+let test_optimal_single_op () =
+  let b = Sb_ir.Builder.create () in
+  let _ = Sb_ir.Builder.add_branch b ~prob:1.0 in
+  let sb = Sb_ir.Builder.build b in
+  match Sb_sched.Optimal.schedule Config.gp1 sb with
+  | Some s -> Alcotest.(check (float 1e-9)) "single branch" 1.0 (wct s)
+  | None -> Alcotest.fail "trivial search exceeded budget"
+
+let test_optimal_matches_mini_fig () =
+  (* An 8-op figure-1 shape small enough for the exact search. *)
+  let b = Sb_ir.Builder.create ~name:"mini_fig" () in
+  let a1 = Sb_ir.Builder.add_op b Sb_ir.Opcode.add in
+  let a2 = Sb_ir.Builder.add_op b Sb_ir.Opcode.add in
+  let side = Sb_ir.Builder.add_branch b ~prob:0.2 in
+  Sb_ir.Builder.dep b a1 side;
+  Sb_ir.Builder.dep b a2 side;
+  let tails = ref [] in
+  for _ = 1 to 2 do
+    let u1 = Sb_ir.Builder.add_op b Sb_ir.Opcode.add in
+    let u2 = Sb_ir.Builder.add_op b Sb_ir.Opcode.add in
+    Sb_ir.Builder.dep b u1 u2;
+    tails := u2 :: !tails
+  done;
+  let final = Sb_ir.Builder.add_branch b ~prob:0.8 in
+  List.iter (fun t -> Sb_ir.Builder.dep b t final) !tails;
+  let sb = Sb_ir.Builder.build b in
+  match Sb_sched.Optimal.schedule ~node_budget:2_000_000 Config.gp2 sb with
+  | Some s ->
+      let bound = Sb_bounds.Superblock_bound.tightest Config.gp2 sb in
+      check_bool "optimum >= bound" true (wct s >= bound -. 1e-9);
+      Alcotest.(check (float 1e-9)) "mini-fig optimum equals the bound" bound
+        (wct s)
+  | None -> Alcotest.fail "mini-fig search exceeded budget"
+
+(* ------------------------------- best ------------------------------ *)
+
+let test_best_cross_product () =
+  (* The grid alone must already beat plain CP on the figure-1 instance
+     (some mixes reproduce SR-like behaviour). *)
+  let sb = Fixtures.fig1 () in
+  let grid = Sb_sched.Best.cross_product_only Config.gp2 sb in
+  let cp = Sb_sched.Critical_path.schedule Config.gp2 sb in
+  check_bool "grid <= CP" true (wct grid <= wct cp +. 1e-9)
+
+let test_balance_variant_names () =
+  let v =
+    Sb_sched.Registry.balance_variant
+      {
+        Sb_sched.Balance.use_bounds = true;
+        use_hlpdel = false;
+        use_tradeoff = true;
+        update = Sb_sched.Balance.Per_cycle;
+      }
+  in
+  Alcotest.(check string) "variant name encodes flags"
+    "balance[+bounds-hlpdel+tradeoff/cycle]" v.Sb_sched.Registry.name;
+  let s = v.Sb_sched.Registry.run Config.fs4 (Fixtures.fig1 ()) in
+  check_bool "variant schedules" true (wct s > 0.)
+
+(* ------------------------------ gstar ------------------------------ *)
+
+let test_gstar_retires_heavy_side_exit () =
+  (* When the side exit carries almost all the weight, G* must select it
+     as critical and retire it first. *)
+  let sb = Fixtures.tradeoff ~p:0.9 () in
+  let s = Sb_sched.Gstar.schedule Config.gp1 sb in
+  check_int "side exit first" 1
+    s.Sb_sched.Schedule.issue.(Sb_ir.Superblock.branch_op sb 0)
+
+(* ------------------------------- dot -------------------------------- *)
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_dot_export () =
+  let sb = Fixtures.tradeoff () in
+  let dot = Sb_ir.Dot.superblock sb in
+  check_bool "digraph header" true (contains ~needle:"digraph" dot);
+  check_bool "branch prob label" true (contains ~needle:"br p=0.260" dot);
+  check_bool "load latency label" true (contains ~needle:"[label=\"2\"]" dot);
+  check_bool "no ranks without a schedule" true
+    (not (contains ~needle:"rank=same" dot));
+  let s = Sb_sched.Balance.schedule Config.gp1 sb in
+  let dot = Sb_ir.Dot.superblock ~issue:s.Sb_sched.Schedule.issue sb in
+  check_bool "ranks with a schedule" true (contains ~needle:"rank=same" dot);
+  let path = Filename.temp_file "sbdot" ".dot" in
+  Sb_ir.Dot.save path dot;
+  check_bool "file written" true (Sys.file_exists path);
+  Sys.remove path
+
+let test_gstar_secondary () =
+  (* Both secondary heuristics must produce valid schedules; on fig1 the
+     choice does not change the critical-branch selection. *)
+  let sb = Fixtures.fig1 () in
+  let cp = Sb_sched.Gstar.schedule ~secondary:Sb_sched.Gstar.Critical_path Config.gp2 sb in
+  let dh = Sb_sched.Gstar.schedule ~secondary:Sb_sched.Gstar.Dhasy_secondary Config.gp2 sb in
+  check_bool "both valid" true (wct cp > 0. && wct dh > 0.)
+
+(* --------------------------- serde files --------------------------- *)
+
+let test_serde_files () =
+  let sbs = Fixtures.random_superblocks ~n:4 ~seed:0xF11EL () in
+  let path = Filename.temp_file "sbsched" ".sb" in
+  Sb_ir.Serde.save_file path sbs;
+  (match Sb_ir.Serde.load_file path with
+  | Ok sbs' -> check_int "file roundtrip" (List.length sbs) (List.length sbs')
+  | Error msg -> Alcotest.failf "load failed: %s" msg);
+  Sys.remove path
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suites =
+  [
+    ( "misc.opcode",
+      [ tc "table" test_opcode_table; tc "classes" test_opcode_classes ] );
+    ("misc.printers", [ tc "smoke" test_printers_smoke ]);
+    ("misc.work", [ tc "counters" test_work_counters ]);
+    ( "misc.optimal",
+      [
+        tc "budget exhaustion" test_optimal_tiny_budget;
+        tc "single op" test_optimal_single_op;
+        tc "mini-fig optimum" test_optimal_matches_mini_fig;
+      ] );
+    ( "misc.heuristics",
+      [
+        tc "best cross product" test_best_cross_product;
+        tc "balance variant naming" test_balance_variant_names;
+        tc "gstar retires heavy exit" test_gstar_retires_heavy_side_exit;
+        tc "gstar secondary heuristics" test_gstar_secondary;
+      ] );
+    ("misc.dot", [ tc "graphviz export" test_dot_export ]);
+    ("misc.serde", [ tc "file save/load" test_serde_files ]);
+  ]

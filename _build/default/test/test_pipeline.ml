@@ -1,0 +1,109 @@
+(* Tests for the non-fully-pipelined modeling (Rim & Jain expansion). *)
+
+open Sb_ir
+open Sb_machine
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* One fdiv feeding the exit; classic occupancy makes it 9 stages. *)
+let fdiv_block () =
+  let b = Builder.create ~name:"np" () in
+  let d = Builder.add_op b Opcode.fdiv in
+  let br = Builder.add_branch b ~prob:1.0 in
+  Builder.dep b d br;
+  Builder.build b
+
+let test_expand_structure () =
+  let sb = fdiv_block () in
+  let sb', map = Pipeline.expand ~occupancy:Pipeline.classic_occupancy sb in
+  (* 1 fdiv -> 9 stage ops, plus the branch. *)
+  check_int "expanded size" 10 (Superblock.n_ops sb');
+  check_int "branch count preserved" 1 (Superblock.n_branches sb');
+  check_int "stage 0 maps to fdiv" 0 map.(0);
+  check_int "stage 8 maps to fdiv" 0 map.(8);
+  check_int "branch maps to branch" 1 map.(9);
+  (* The first stage keeps the fdiv opcode and result latency. *)
+  check_bool "first stage keeps opcode" true
+    (Opcode.equal sb'.Superblock.ops.(0).Operation.opcode Opcode.fdiv);
+  check_int "stages are single-latency" 1
+    (Operation.latency sb'.Superblock.ops.(1))
+
+let test_expand_identity_when_pipelined () =
+  let sb = Fixtures.fig1 () in
+  let sb', map = Pipeline.expand ~occupancy:(fun _ -> 1) sb in
+  check_int "same size" (Superblock.n_ops sb) (Superblock.n_ops sb');
+  Array.iteri (fun i v -> check_int "identity map" i v) map
+
+let test_expand_rejects_bad_occupancy () =
+  let sb = fdiv_block () in
+  Alcotest.check_raises "occupancy 0"
+    (Invalid_argument "Pipeline.expand: occupancy < 1") (fun () ->
+      ignore (Pipeline.expand ~occupancy:(fun _ -> 0) sb));
+  Alcotest.check_raises "multi-cycle branch"
+    (Invalid_argument "Pipeline.expand: multi-cycle branch") (fun () ->
+      ignore
+        (Pipeline.expand
+           ~occupancy:(fun op -> if Opcode.is_branch op then 2 else 1)
+           sb))
+
+let test_blocking_divider_bound () =
+  (* Two independent fdivs on FS4's single float unit: fully pipelined
+     they overlap (second starts at cycle 1); blocking, the second must
+     wait for all 9 stages of the first to issue. *)
+  let b = Builder.create ~name:"np2" () in
+  let d1 = Builder.add_op b Opcode.fdiv in
+  let d2 = Builder.add_op b Opcode.fdiv in
+  let br = Builder.add_branch b ~prob:1.0 in
+  Builder.dep b d1 br;
+  Builder.dep b d2 br;
+  let sb = Builder.build b in
+  let pipelined = Sb_bounds.Superblock_bound.tightest Config.fs4 sb in
+  let sb', _ = Pipeline.expand ~occupancy:Pipeline.classic_occupancy sb in
+  let blocking = Sb_bounds.Superblock_bound.tightest Config.fs4 sb' in
+  (* pipelined: d1@0, d2@1, exit at 1+9=10 -> wct 11. *)
+  Alcotest.(check (float 1e-9)) "pipelined bound" 11. pipelined;
+  check_bool
+    (Printf.sprintf "blocking bound is larger (%.1f > %.1f)" blocking pipelined)
+    true
+    (blocking > pipelined +. 1e-9)
+
+let test_schedule_expanded () =
+  (* The whole tool chain runs on expanded superblocks. *)
+  let sb = fdiv_block () in
+  let sb', map = Pipeline.expand ~occupancy:Pipeline.classic_occupancy sb in
+  let s = Sb_sched.Balance.schedule Config.fs4 sb' in
+  let issue =
+    Pipeline.project_issue s.Sb_sched.Schedule.issue ~map
+      ~n_original:(Superblock.n_ops sb)
+  in
+  check_int "fdiv issues at 0" 0 issue.(0);
+  check_bool "exit after the divide latency" true (issue.(1) >= 9)
+
+let test_expand_random () =
+  (* Expansion preserves superblock invariants on random inputs (make
+     re-validates), and bounds stay valid. *)
+  List.iter
+    (fun sb ->
+      let sb', map = Pipeline.expand ~occupancy:Pipeline.classic_occupancy sb in
+      check_int "map size" (Superblock.n_ops sb') (Array.length map);
+      let bound = Sb_bounds.Superblock_bound.tightest Config.fs6 sb' in
+      let s = Sb_sched.Dhasy.schedule Config.fs6 sb' in
+      check_bool "bound below schedule" true
+        (bound <= Sb_sched.Schedule.weighted_completion_time s +. 1e-6))
+    (Fixtures.random_superblocks ~n:10 ~seed:0xF10AL ())
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suites =
+  [
+    ( "ir.pipeline",
+      [
+        tc "expansion structure" test_expand_structure;
+        tc "identity when pipelined" test_expand_identity_when_pipelined;
+        tc "rejects bad occupancy" test_expand_rejects_bad_occupancy;
+        tc "blocking divider tightens the bound" test_blocking_divider_bound;
+        tc "scheduling expanded blocks" test_schedule_expanded;
+        tc "random expansion" test_expand_random;
+      ] );
+  ]

@@ -1,0 +1,309 @@
+(* Property-based tests (qcheck, registered as alcotest cases).
+
+   The heavyweight invariants of the system:
+   - set algebra of Bitset against a list model;
+   - structural soundness of random dependence graphs;
+   - serde roundtrips on generated superblocks;
+   - every bound is below every schedule, for arbitrary seeds and
+     machines;
+   - Theorem 2 (pairwise) validity against concrete schedules. *)
+
+open Sb_ir
+
+let count n = n
+
+(* -------------------------- generators ---------------------------- *)
+
+let seed_gen = QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 100_000)
+
+let config_of_seed seed =
+  List.nth Sb_machine.Config.all (seed mod List.length Sb_machine.Config.all)
+
+let superblock_of_seed ?(max_ops = 50) seed =
+  let profile =
+    {
+      Sb_workload.Generator.default_profile with
+      name = "qc";
+      max_ops;
+      blocks_mean = 2.0;
+    }
+  in
+  Sb_workload.Generator.generate
+    (Sb_workload.Rng.create (Int64.of_int (seed * 2654435761 + 17)))
+    profile ~index:seed
+
+let small_int_list =
+  QCheck.list_of_size QCheck.Gen.(int_bound 30) (QCheck.int_bound 199)
+
+(* ---------------------------- bitsets ----------------------------- *)
+
+let prop_bitset_model =
+  QCheck.Test.make ~name:"bitset agrees with a list model" ~count:(count 200)
+    (QCheck.pair small_int_list small_int_list)
+    (fun (xs, ys) ->
+      let a = Bitset.of_list 200 xs and b = Bitset.of_list 200 ys in
+      let xs' = List.sort_uniq compare xs and ys' = List.sort_uniq compare ys in
+      let model_inter = List.filter (fun x -> List.mem x ys') xs' in
+      let model_diff = List.filter (fun x -> not (List.mem x ys')) xs' in
+      let model_union = List.sort_uniq compare (xs' @ ys') in
+      let u = Bitset.copy a in
+      Bitset.union_into u b;
+      Bitset.elements (Bitset.inter a b) = model_inter
+      && Bitset.elements (Bitset.diff a b) = model_diff
+      && Bitset.elements u = model_union
+      && Bitset.cardinal a = List.length xs'
+      && Bitset.subset (Bitset.inter a b) a
+      && Bitset.is_empty (Bitset.diff a a))
+
+(* -------------------------- dep graphs ---------------------------- *)
+
+let prop_graph_topo_and_closure =
+  QCheck.Test.make ~name:"random DAG: topo order and closure agree"
+    ~count:(count 100) seed_gen (fun seed ->
+      let rng = Sb_workload.Rng.create (Int64.of_int (seed + 1)) in
+      let n = 2 + Sb_workload.Rng.int rng 40 in
+      let edges = ref [] in
+      for dst = 1 to n - 1 do
+        for _ = 1 to Sb_workload.Rng.int rng 3 do
+          let src = Sb_workload.Rng.int rng dst in
+          edges :=
+            { Dep_graph.src; dst; latency = Sb_workload.Rng.int rng 3 }
+            :: !edges
+        done
+      done;
+      let g = Dep_graph.make ~n !edges in
+      let order = Dep_graph.topo_order g in
+      let pos = Array.make n 0 in
+      Array.iteri (fun i v -> pos.(v) <- i) order;
+      List.for_all
+        (fun { Dep_graph.src; dst; _ } ->
+          pos.(src) < pos.(dst)
+          && Dep_graph.is_pred g src dst
+          && Bitset.mem (Dep_graph.transitive_succs g src) dst)
+        (Dep_graph.edges g))
+
+let prop_longest_path_triangle =
+  QCheck.Test.make ~name:"longest paths satisfy the edge inequality"
+    ~count:(count 100) seed_gen (fun seed ->
+      let sb = superblock_of_seed seed in
+      let g = sb.Superblock.graph in
+      let early = Dep_graph.longest_from_sources g in
+      List.for_all
+        (fun { Dep_graph.src; dst; latency } ->
+          early.(dst) >= early.(src) + latency)
+        (Dep_graph.edges g))
+
+(* ----------------------------- serde ------------------------------ *)
+
+let prop_serde_roundtrip =
+  QCheck.Test.make ~name:"serde roundtrips generated superblocks"
+    ~count:(count 60) seed_gen (fun seed ->
+      let sb = superblock_of_seed seed in
+      match Serde.parse_string (Serde.superblock_to_string sb) with
+      | Error _ -> false
+      | Ok [ sb' ] ->
+          Superblock.n_ops sb = Superblock.n_ops sb'
+          && Superblock.n_branches sb = Superblock.n_branches sb'
+          && Dep_graph.n_edges sb.Superblock.graph
+             = Dep_graph.n_edges sb'.Superblock.graph
+          && Array.for_all2 Operation.equal sb.Superblock.ops
+               sb'.Superblock.ops
+      | Ok _ -> false)
+
+(* ----------------------------- bounds ----------------------------- *)
+
+let prop_bounds_valid =
+  QCheck.Test.make ~name:"every bound is below every schedule"
+    ~count:(count 40) seed_gen (fun seed ->
+      let sb = superblock_of_seed ~max_ops:35 seed in
+      let config = config_of_seed seed in
+      let all = Sb_bounds.Superblock_bound.all_bounds config sb in
+      let schedules =
+        [
+          Sb_sched.Dhasy.schedule config sb;
+          Sb_sched.Successive_retirement.schedule config sb;
+          Sb_sched.Balance.schedule ~precomputed:all config sb;
+        ]
+      in
+      List.for_all
+        (fun s ->
+          let wct = Sb_sched.Schedule.weighted_completion_time s in
+          List.for_all
+            (fun b -> b <= wct +. 1e-6)
+            ([ all.cp; all.hu; all.rj; all.lc; all.pw; all.tightest ]
+            @ match all.tw with Some v -> [ v ] | None -> []))
+        schedules)
+
+let prop_bound_ordering =
+  QCheck.Test.make ~name:"bound dominance: CP<=RJ, Hu<=tightest, LC<=PW"
+    ~count:(count 40) seed_gen (fun seed ->
+      let sb = superblock_of_seed ~max_ops:35 seed in
+      let config = config_of_seed seed in
+      let all = Sb_bounds.Superblock_bound.all_bounds ~with_tw:false config sb in
+      all.cp <= all.rj +. 1e-9
+      && all.hu <= all.tightest +. 1e-9
+      && all.rj <= all.lc +. 1e-9
+      && all.lc <= all.pw +. 1e-9)
+
+let prop_pairwise_theorem2 =
+  QCheck.Test.make
+    ~name:"Theorem 2: pair bounds hold in concrete schedules"
+    ~count:(count 30) seed_gen (fun seed ->
+      let sb = superblock_of_seed ~max_ops:30 seed in
+      let config = config_of_seed seed in
+      let erc = Sb_bounds.Langevin_cerny.early_rc config sb in
+      let pw = Sb_bounds.Pairwise.compute config sb ~early_rc:erc in
+      let check_schedule (s : Sb_sched.Schedule.t) =
+        let nb = Superblock.n_branches sb in
+        let ok = ref true in
+        for i = 0 to nb - 1 do
+          for j = i + 1 to nb - 1 do
+            let p = Sb_bounds.Pairwise.get pw i j in
+            let wi = Superblock.weight sb i and wj = Superblock.weight sb j in
+            let ti = s.Sb_sched.Schedule.issue.(Superblock.branch_op sb i) in
+            let tj = s.Sb_sched.Schedule.issue.(Superblock.branch_op sb j) in
+            if
+              (wi *. float_of_int ti) +. (wj *. float_of_int tj)
+              < (wi *. float_of_int p.Sb_bounds.Pairwise.x)
+                +. (wj *. float_of_int p.Sb_bounds.Pairwise.y)
+                -. 1e-9
+            then ok := false
+          done
+        done;
+        !ok
+      in
+      check_schedule (Sb_sched.Successive_retirement.schedule config sb)
+      && check_schedule (Sb_sched.Critical_path.schedule config sb)
+      && check_schedule (Sb_sched.Help.schedule config sb))
+
+(* --------------------------- relaxations --------------------------- *)
+
+let prop_rj_monotone =
+  QCheck.Test.make
+    ~name:"RJ tardiness: looser deadlines / wider machines never hurt"
+    ~count:(count 50) seed_gen (fun seed ->
+      let sb = superblock_of_seed ~max_ops:25 seed in
+      let g = sb.Superblock.graph in
+      let root = Superblock.branch_op sb (Superblock.n_branches sb - 1) in
+      let early = Dep_graph.longest_from_sources g in
+      let to_root = Dep_graph.longest_to g root in
+      let members =
+        Array.of_list
+          (root :: Bitset.elements (Dep_graph.transitive_preds g root))
+      in
+      let late slack v =
+        if to_root.(v) = min_int then max_int
+        else early.(root) - to_root.(v) + slack
+      in
+      let cls v = Operation.op_class sb.Superblock.ops.(v) in
+      let tardiness config slack =
+        Sb_bounds.Rim_jain.max_tardiness config ~members
+          ~early:(fun v -> early.(v))
+          ~late:(late slack) ~cls
+      in
+      let d0 = tardiness Sb_machine.Config.gp2 0 in
+      let d_loose = tardiness Sb_machine.Config.gp2 2 in
+      let d_wide = tardiness Sb_machine.Config.gp4 0 in
+      d_loose <= d0 - 2 + 2 && d_loose <= d0 && d_wide <= d0)
+
+let prop_reservation_roundtrip =
+  QCheck.Test.make ~name:"reservation issue/undo roundtrips"
+    ~count:(count 100)
+    (QCheck.list_of_size QCheck.Gen.(int_bound 40)
+       (QCheck.pair (QCheck.int_bound 20) (QCheck.int_bound 3)))
+    (fun moves ->
+      let config = Sb_machine.Config.fs8 in
+      let t = Sb_machine.Reservation.create config in
+      let classes =
+        [| Sb_ir.Opcode.Int_alu; Sb_ir.Opcode.Memory; Sb_ir.Opcode.Float;
+           Sb_ir.Opcode.Branch |]
+      in
+      let done_moves =
+        List.filter
+          (fun (cycle, ci) ->
+            let cls = classes.(ci) in
+            if Sb_machine.Reservation.can_issue t ~cycle ~cls then begin
+              Sb_machine.Reservation.issue t ~cycle ~cls;
+              true
+            end
+            else false)
+          moves
+      in
+      List.iter
+        (fun (cycle, ci) ->
+          Sb_machine.Reservation.undo_issue t ~cycle ~cls:classes.(ci))
+        done_moves;
+      List.for_all
+        (fun r ->
+          Sb_machine.Reservation.first_free t ~from:0 ~r = 0)
+        [ 0; 1; 2; 3 ])
+
+let prop_pipeline_preserves_exits =
+  QCheck.Test.make ~name:"pipeline expansion preserves exits and weights"
+    ~count:(count 40) seed_gen (fun seed ->
+      let sb = superblock_of_seed ~max_ops:30 seed in
+      let sb', map =
+        Pipeline.expand ~occupancy:Pipeline.classic_occupancy sb
+      in
+      Superblock.n_branches sb' = Superblock.n_branches sb
+      && Array.length map = Superblock.n_ops sb'
+      && Array.for_all2 ( = ) sb'.Superblock.weights sb.Superblock.weights)
+
+(* --------------------------- schedules ---------------------------- *)
+
+let prop_schedules_valid =
+  QCheck.Test.make ~name:"all heuristics produce validated schedules"
+    ~count:(count 25) seed_gen (fun seed ->
+      let sb = superblock_of_seed ~max_ops:30 seed in
+      let config = config_of_seed (seed + 1) in
+      List.for_all
+        (fun (h : Sb_sched.Registry.heuristic) ->
+          (* Schedule.make raises if dependences or resources are
+             violated. *)
+          let s = h.run config sb in
+          Array.for_all (fun t -> t >= 0) s.Sb_sched.Schedule.issue)
+        Sb_sched.Registry.primaries)
+
+let prop_branch_order_preserved =
+  QCheck.Test.make ~name:"branches issue in program order" ~count:(count 25)
+    seed_gen (fun seed ->
+      let sb = superblock_of_seed ~max_ops:30 seed in
+      let config = config_of_seed seed in
+      let s = Sb_sched.Balance.schedule config sb in
+      let ok = ref true in
+      for k = 0 to Superblock.n_branches sb - 2 do
+        if
+          s.Sb_sched.Schedule.issue.(Superblock.branch_op sb k)
+          >= s.Sb_sched.Schedule.issue.(Superblock.branch_op sb (k + 1))
+        then ok := false
+      done;
+      !ok)
+
+let prop_generated_weights =
+  QCheck.Test.make ~name:"generated exit weights form a distribution"
+    ~count:(count 80) seed_gen (fun seed ->
+      let sb = superblock_of_seed seed in
+      let total = Superblock.total_weight sb in
+      total > 0.999 && total <= 1. +. 1e-6
+      && Array.for_all (fun w -> w >= 0.) sb.Superblock.weights)
+
+let suites =
+  [
+    ( "props",
+      List.map QCheck_alcotest.to_alcotest
+        [
+          prop_bitset_model;
+          prop_graph_topo_and_closure;
+          prop_longest_path_triangle;
+          prop_serde_roundtrip;
+          prop_bounds_valid;
+          prop_bound_ordering;
+          prop_pairwise_theorem2;
+          prop_rj_monotone;
+          prop_reservation_roundtrip;
+          prop_pipeline_preserves_exits;
+          prop_schedules_valid;
+          prop_branch_order_preserved;
+          prop_generated_weights;
+        ] );
+  ]

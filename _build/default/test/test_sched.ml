@@ -1,0 +1,343 @@
+(* Unit tests for the scheduling engine and the heuristics, including the
+   paper's worked examples. *)
+
+open Sb_machine
+
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+let check_bool = Alcotest.(check bool)
+
+let wct = Sb_sched.Schedule.weighted_completion_time
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_engine_basic () =
+  let sb = Fixtures.chain 3 in
+  let st = Sb_sched.Scheduler_core.create Config.gp2 sb in
+  check_bool "op 0 ready" true (Sb_sched.Scheduler_core.is_ready st 0);
+  check_bool "op 1 not ready" false (Sb_sched.Scheduler_core.is_ready st 1);
+  Sb_sched.Scheduler_core.place st 0;
+  check_bool "op 1 still not ready (latency)" false
+    (Sb_sched.Scheduler_core.is_ready st 1);
+  Sb_sched.Scheduler_core.advance st;
+  check_bool "op 1 ready next cycle" true (Sb_sched.Scheduler_core.is_ready st 1);
+  Alcotest.check_raises "placing unready op"
+    (Invalid_argument "Scheduler_core.place: op 2 not ready") (fun () ->
+      Sb_sched.Scheduler_core.place st 2)
+
+let test_engine_resources () =
+  let sb = Fixtures.star 4 in
+  let st = Sb_sched.Scheduler_core.create Config.gp2 sb in
+  Sb_sched.Scheduler_core.place st 0;
+  Sb_sched.Scheduler_core.place st 1;
+  (* Two-wide machine: third op must wait. *)
+  check_bool "ready but not placeable" true
+    (Sb_sched.Scheduler_core.is_ready st 2
+    && not (Sb_sched.Scheduler_core.is_placeable st 2));
+  Sb_sched.Scheduler_core.advance st;
+  check_bool "placeable next cycle" true (Sb_sched.Scheduler_core.is_placeable st 2)
+
+let test_engine_members () =
+  (* Restricting to a member set schedules only those ops (G*'s use). *)
+  let sb = Fixtures.fig1 () in
+  let br3 = Sb_ir.Superblock.branch_op sb 0 in
+  let members =
+    let s = Sb_ir.Bitset.copy (Sb_ir.Dep_graph.transitive_preds sb.Sb_ir.Superblock.graph br3) in
+    Sb_ir.Bitset.add s br3;
+    s
+  in
+  let t =
+    Sb_sched.Scheduler_core.run_static ~members Config.gp2 sb
+      ~priority:(fun _ -> 0.)
+  in
+  check_int "side exit alone finishes at its bound" 2
+    (Sb_sched.Scheduler_core.issue_time t br3);
+  check_bool "non-members untouched" true
+    (Sb_sched.Scheduler_core.issue_time t (br3 + 1) < 0)
+
+let test_schedule_validation () =
+  let sb = Fixtures.chain 3 in
+  (match Sb_sched.Schedule.validate Config.gp2 sb ~issue:[| 0; 1; 2; 3 |] with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "valid schedule rejected: %s" e);
+  (match Sb_sched.Schedule.validate Config.gp2 sb ~issue:[| 0; 0; 1; 2 |] with
+  | Ok () -> Alcotest.fail "latency violation accepted"
+  | Error _ -> ());
+  (match Sb_sched.Schedule.validate Config.gp1 sb ~issue:[| 0; 1; 2; -1 |] with
+  | Ok () -> Alcotest.fail "unscheduled op accepted"
+  | Error _ -> ());
+  let star = Fixtures.star 3 in
+  match Sb_sched.Schedule.validate Config.gp2 star ~issue:[| 0; 0; 0; 1 |] with
+  | Ok () -> Alcotest.fail "resource violation accepted"
+  | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Heuristics on the paper's examples                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Figure 1: SR/Help/Balance schedule both exits at their bounds; CP
+   (and friends) delay the side exit. *)
+let test_fig1_heuristics () =
+  let sb = Fixtures.fig1 () in
+  let config = Config.gp2 in
+  let issue_of h k =
+    let s = (h : Sb_sched.Registry.heuristic).run config sb in
+    s.Sb_sched.Schedule.issue.(Sb_ir.Superblock.branch_op sb k)
+  in
+  check_int "SR: side exit at bound" 2 (issue_of Sb_sched.Registry.sr 0);
+  check_int "SR: final exit at bound" 8 (issue_of Sb_sched.Registry.sr 1);
+  check_int "Balance: side exit at bound" 2 (issue_of Sb_sched.Registry.balance 0);
+  check_int "Balance: final exit at bound" 8 (issue_of Sb_sched.Registry.balance 1);
+  check_int "Help: side exit at bound" 2 (issue_of Sb_sched.Registry.help 0);
+  check_bool "CP delays the side exit" true (issue_of Sb_sched.Registry.cp 0 > 2);
+  check_int "CP: final exit still at bound" 8 (issue_of Sb_sched.Registry.cp 1)
+
+(* The hand-verified tradeoff fixture: Balance matches the (tight)
+   Pairwise bound at every probability; fixed-bias heuristics each fail
+   somewhere. *)
+let test_tradeoff_heuristics () =
+  let config = Config.gp1 in
+  List.iter
+    (fun p ->
+      let sb = Fixtures.tradeoff ~p () in
+      let bound = Sb_bounds.Superblock_bound.tightest config sb in
+      let balance = wct (Sb_sched.Registry.balance.run config sb) in
+      check_float
+        (Printf.sprintf "Balance optimal at p=%.2f" p)
+        bound balance)
+    [ 0.1; 0.26; 0.5; 0.9 ];
+  (* SR always favours the side exit; at p=0.1 that is wrong. *)
+  let sb = Fixtures.tradeoff ~p:0.1 () in
+  let bound = Sb_bounds.Superblock_bound.tightest config sb in
+  check_bool "SR suboptimal at p=0.1" true
+    (wct (Sb_sched.Registry.sr.run config sb) > bound +. 1e-9);
+  (* CP always favours the final exit; at p=0.9 that is wrong. *)
+  let sb = Fixtures.tradeoff ~p:0.9 () in
+  let bound = Sb_bounds.Superblock_bound.tightest config sb in
+  check_bool "CP suboptimal at p=0.9" true
+    (wct (Sb_sched.Registry.cp.run config sb) > bound +. 1e-9)
+
+let test_tradeoff_flips_with_probability () =
+  let config = Config.gp1 in
+  let side_issue p =
+    let sb = Fixtures.tradeoff ~p () in
+    let s = Sb_sched.Registry.balance.run config sb in
+    s.Sb_sched.Schedule.issue.(Sb_ir.Superblock.branch_op sb 0)
+  in
+  (* Unlikely side exit: delayed for the final exit's benefit. *)
+  check_int "p=0.1: side exit sacrificed" 2 (side_issue 0.1);
+  (* Dominant side exit: taken early even though the final exit slips. *)
+  check_int "p=0.9: side exit first" 1 (side_issue 0.9)
+
+let test_all_heuristics_produce_valid_schedules () =
+  List.iter
+    (fun sb ->
+      List.iter
+        (fun config ->
+          List.iter
+            (fun (h : Sb_sched.Registry.heuristic) ->
+              (* Schedule.make validates dependences and resources;
+                 reaching here without an exception is the test. *)
+              let s = h.run config sb in
+              check_bool
+                (Printf.sprintf "%s/%s/%s wct positive" h.short
+                   config.Config.name sb.Sb_ir.Superblock.name)
+                true (wct s > 0.))
+            Sb_sched.Registry.all)
+        [ Config.gp1; Config.gp4; Config.fs6 ])
+    (Fixtures.random_superblocks ~n:8 ())
+
+let test_determinism () =
+  let sb = List.hd (Fixtures.random_superblocks ~n:1 ~seed:42L ()) in
+  List.iter
+    (fun (h : Sb_sched.Registry.heuristic) ->
+      let a = h.run Config.fs4 sb and b = h.run Config.fs4 sb in
+      Alcotest.(check (array int))
+        (h.short ^ " deterministic") a.Sb_sched.Schedule.issue
+        b.Sb_sched.Schedule.issue)
+    Sb_sched.Registry.all
+
+let test_best_not_worse_than_primaries () =
+  List.iter
+    (fun sb ->
+      let best = wct (Sb_sched.Registry.best.run Config.fs4 sb) in
+      List.iter
+        (fun (h : Sb_sched.Registry.heuristic) ->
+          check_bool
+            (Printf.sprintf "Best <= %s on %s" h.short sb.Sb_ir.Superblock.name)
+            true
+            (best <= wct (h.run Config.fs4 sb) +. 1e-9))
+        Sb_sched.Registry.primaries)
+    (Fixtures.random_superblocks ~n:6 ~seed:0xF00DL ())
+
+let test_gstar_between_sr_and_cp () =
+  (* On the figure-1 instance G* selects the last branch as critical and
+     behaves like CP, as the paper notes. *)
+  let sb = Fixtures.fig1 () in
+  let g = Sb_sched.Registry.gstar.run Config.gp2 sb in
+  let c = Sb_sched.Registry.cp.run Config.gp2 sb in
+  check_float "G* = CP here" (wct c) (wct g)
+
+let test_balance_options_all_valid () =
+  let sb = List.hd (Fixtures.random_superblocks ~n:1 ~seed:7L ()) in
+  List.iter
+    (fun use_bounds ->
+      List.iter
+        (fun use_hlpdel ->
+          List.iter
+            (fun use_tradeoff ->
+              List.iter
+                (fun update ->
+                  let options =
+                    {
+                      Sb_sched.Balance.use_bounds;
+                      use_hlpdel;
+                      use_tradeoff;
+                      update;
+                    }
+                  in
+                  let s = Sb_sched.Balance.schedule ~options Config.fs4 sb in
+                  check_bool "valid schedule" true (wct s > 0.))
+                [ Sb_sched.Balance.Full; Sb_sched.Balance.Light;
+                  Sb_sched.Balance.Per_cycle ])
+            [ true; false ])
+        [ true; false ])
+    [ true; false ]
+
+let test_balance_precomputed_identical () =
+  let sb = List.hd (Fixtures.random_superblocks ~n:1 ~seed:99L ()) in
+  let all = Sb_bounds.Superblock_bound.all_bounds Config.fs4 sb in
+  let a = Sb_sched.Balance.schedule Config.fs4 sb in
+  let b = Sb_sched.Balance.schedule ~precomputed:all Config.fs4 sb in
+  Alcotest.(check (array int))
+    "precomputed bounds do not change the schedule" a.Sb_sched.Schedule.issue
+    b.Sb_sched.Schedule.issue
+
+let test_narrow_wide_shape () =
+  (* The paper's qualitative claim: SR beats CP on narrow machines, CP
+     catches up on wide ones.  Check on the aggregate of a random set. *)
+  let sbs = Fixtures.random_superblocks ~n:30 ~seed:0xABCL () in
+  let total h config =
+    List.fold_left (fun acc sb -> acc +. wct ((h : Sb_sched.Registry.heuristic).run config sb)) 0. sbs
+  in
+  check_bool "SR <= CP on GP1" true
+    (total Sb_sched.Registry.sr Config.gp1 <= total Sb_sched.Registry.cp Config.gp1);
+  check_bool "Balance <= SR on GP1" true
+    (total Sb_sched.Registry.balance Config.gp1
+    <= total Sb_sched.Registry.sr Config.gp1 +. 1e-6);
+  check_bool "Balance <= CP on GP4" true
+    (total Sb_sched.Registry.balance Config.gp4
+    <= total Sb_sched.Registry.cp Config.gp4 +. 1e-6)
+
+let test_optimal_oracle_fixture () =
+  (* The exact scheduler certifies the hand analysis: the Pairwise bound
+     IS the optimum of the tradeoff fixture at every probability. *)
+  List.iter
+    (fun p ->
+      let sb = Fixtures.tradeoff ~p () in
+      match Sb_sched.Optimal.schedule Config.gp1 sb with
+      | None -> Alcotest.fail "budget exceeded on a 5-op superblock"
+      | Some s ->
+          check_float
+            (Printf.sprintf "optimal = tightest bound at p=%.2f" p)
+            (Sb_bounds.Superblock_bound.tightest Config.gp1 sb)
+            (wct s))
+    [ 0.1; 0.26; 0.5; 0.9 ]
+
+let test_optimal_oracle_random () =
+  (* On tiny random superblocks: bound <= optimum <= Best, and the
+     tightest bound is the optimum most of the time. *)
+  let profile =
+    {
+      Sb_workload.Generator.default_profile with
+      Sb_workload.Generator.max_ops = 11;
+      block_ops_mean = 3.0;
+    }
+  in
+  let sbs = Sb_workload.Generator.generate_many ~seed:77L profile 12 in
+  let tight = ref 0 and total = ref 0 in
+  List.iter
+    (fun sb ->
+      List.iter
+        (fun config ->
+          match Sb_sched.Optimal.schedule ~node_budget:400_000 config sb with
+          | None -> ()
+          | Some s ->
+              incr total;
+              let opt = wct s in
+              let bound = Sb_bounds.Superblock_bound.tightest config sb in
+              check_bool "bound <= optimum" true (bound <= opt +. 1e-9);
+              check_bool "optimum <= Best" true
+                (opt <= wct (Sb_sched.Registry.best.run config sb) +. 1e-9);
+              if opt <= bound +. 1e-9 then incr tight)
+        [ Config.gp2; Config.fs4 ])
+    sbs;
+  check_bool
+    (Printf.sprintf "bound tight on most tiny instances (%d/%d)" !tight !total)
+    true
+    (!tight * 10 >= !total * 8)
+
+let test_light_update_quality () =
+  (* The light update must not cost schedule quality: on a corpus slice
+     its aggregate WCT stays within a whisker of full recomputation (it
+     was exactly equal on every corpus we measured). *)
+  let sbs = Fixtures.random_superblocks ~n:20 ~seed:0x11E4L () in
+  let total update =
+    List.fold_left
+      (fun acc sb ->
+        acc
+        +. wct
+             (Sb_sched.Balance.schedule
+                ~options:{ Sb_sched.Balance.default_options with update }
+                Config.fs4 sb))
+      0. sbs
+  in
+  let full = total Sb_sched.Balance.Full in
+  let light = total Sb_sched.Balance.Light in
+  check_bool
+    (Printf.sprintf "light within 2%% of full (%.2f vs %.2f)" light full)
+    true
+    (light <= full *. 1.02 +. 1e-9)
+
+let test_registry () =
+  check_int "seven heuristics" 7 (List.length Sb_sched.Registry.all);
+  check_bool "lookup by short name" true
+    (Sb_sched.Registry.by_name "g*" <> None);
+  check_bool "lookup by long name" true
+    (Sb_sched.Registry.by_name "successive-retirement" <> None);
+  check_bool "unknown name" true (Sb_sched.Registry.by_name "zorp" = None)
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suites =
+  [
+    ( "sched.engine",
+      [
+        tc "readiness and latency" test_engine_basic;
+        tc "resource limits" test_engine_resources;
+        tc "member subsets" test_engine_members;
+        tc "schedule validation" test_schedule_validation;
+      ] );
+    ( "sched.paper_examples",
+      [
+        tc "figure 1" test_fig1_heuristics;
+        tc "tradeoff fixture" test_tradeoff_heuristics;
+        tc "tradeoff flips with probability" test_tradeoff_flips_with_probability;
+        tc "G* equals CP on figure 1" test_gstar_between_sr_and_cp;
+      ] );
+    ( "sched.heuristics",
+      [
+        tc "all produce valid schedules" test_all_heuristics_produce_valid_schedules;
+        tc "determinism" test_determinism;
+        tc "Best dominates primaries" test_best_not_worse_than_primaries;
+        tc "Balance ablation options" test_balance_options_all_valid;
+        tc "Balance precomputed reuse" test_balance_precomputed_identical;
+        tc "narrow/wide machine shape" test_narrow_wide_shape;
+        tc "exact oracle: tradeoff fixture" test_optimal_oracle_fixture;
+        tc "exact oracle: tiny random blocks" test_optimal_oracle_random;
+        tc "light update quality" test_light_update_quality;
+        tc "registry" test_registry;
+      ] );
+  ]

@@ -1,0 +1,103 @@
+(* Tests for the execution simulator: single runs, the Monte-Carlo
+   convergence to the analytic weighted completion time, and the
+   utilization accounting. *)
+
+open Sb_machine
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_execute_deterministic_exits () =
+  let sb = Fixtures.tradeoff ~p:0.26 () in
+  let s = Sb_sched.Balance.schedule Config.gp1 sb in
+  (* Force the side exit. *)
+  let e = Sb_sim.Simulator.execute s ~taken:(fun _ -> true) in
+  check_int "exits at the side branch" 0 e.Sb_sim.Simulator.exit_branch;
+  check_int "side exit completion" (Sb_sched.Schedule.branch_completion s 0)
+    e.Sb_sim.Simulator.cycles;
+  (* Never take side exits: must leave through the last branch. *)
+  let e = Sb_sim.Simulator.execute s ~taken:(fun _ -> false) in
+  check_int "falls through to the final exit" 1 e.Sb_sim.Simulator.exit_branch;
+  check_int "no wasted ops at the last exit" 0 e.Sb_sim.Simulator.wasted_ops
+
+let test_execute_waste_accounting () =
+  let sb = Fixtures.fig1 () in
+  let s = Sb_sched.Successive_retirement.schedule Config.gp2 sb in
+  let e = Sb_sim.Simulator.execute s ~taken:(fun _ -> true) in
+  (* Side exit at cycle 2: the 12 chain ops mostly issue later. *)
+  check_int "exit 0 taken" 0 e.Sb_sim.Simulator.exit_branch;
+  check_bool "speculation wasted" true (e.Sb_sim.Simulator.wasted_ops >= 8)
+
+let test_monte_carlo_converges_to_wct () =
+  (* The statistical core: mean simulated cycles ~ WCT. *)
+  List.iter
+    (fun sb ->
+      let s = Sb_sched.Dhasy.schedule Config.fs4 sb in
+      let wct = Sb_sched.Schedule.weighted_completion_time s in
+      let runs = Sb_sim.Simulator.sample ~runs:20000 ~seed:0x51AL s in
+      let stats = Sb_sim.Simulator.stats_of s runs in
+      let err = abs_float (stats.Sb_sim.Simulator.mean_cycles -. wct) /. wct in
+      check_bool
+        (Printf.sprintf "%s: simulated %.3f vs wct %.3f (err %.3f)"
+           sb.Sb_ir.Superblock.name stats.Sb_sim.Simulator.mean_cycles wct err)
+        true (err < 0.03))
+    (Fixtures.random_superblocks ~n:5 ~seed:0x41EL ())
+
+let test_exit_distribution () =
+  let sb = Fixtures.tradeoff ~p:0.3 () in
+  let s = Sb_sched.Balance.schedule Config.gp1 sb in
+  let runs = Sb_sim.Simulator.sample ~runs:20000 ~seed:7L s in
+  let stats = Sb_sim.Simulator.stats_of s runs in
+  let frac0 =
+    float_of_int stats.Sb_sim.Simulator.exit_counts.(0) /. 20000.
+  in
+  check_bool
+    (Printf.sprintf "side exit frequency ~0.3 (got %.3f)" frac0)
+    true
+    (abs_float (frac0 -. 0.3) < 0.02);
+  check_int "all runs counted" 20000
+    (Array.fold_left ( + ) 0 stats.Sb_sim.Simulator.exit_counts)
+
+let test_sample_determinism () =
+  let sb = Fixtures.fig1 () in
+  let s = Sb_sched.Balance.schedule Config.gp2 sb in
+  let a = Sb_sim.Simulator.sample ~runs:50 ~seed:3L s in
+  let b = Sb_sim.Simulator.sample ~runs:50 ~seed:3L s in
+  check_bool "same seed, same executions" true (a = b);
+  let c = Sb_sim.Simulator.sample ~runs:50 ~seed:4L s in
+  check_bool "different seed differs" true (a <> c)
+
+let test_utilization () =
+  (* 8 int ops + branch on GP2 over 5 cycles: (8+1)/(2*5). *)
+  let sb = Fixtures.star 8 in
+  let s = Sb_sched.Critical_path.schedule Config.gp2 sb in
+  check_int "schedule length" 5 s.Sb_sched.Schedule.length;
+  let u = Sb_sim.Simulator.utilization s in
+  Alcotest.(check (float 1e-9)) "GP occupancy" 0.9 u.(0);
+  (* On FS4 the star saturates the int unit. *)
+  let s4 = Sb_sched.Critical_path.schedule Config.fs4 sb in
+  let u4 = Sb_sim.Simulator.utilization s4 in
+  check_bool "int unit nearly full" true (u4.(0) >= 8. /. 9. -. 1e-9)
+
+let test_pp_execution () =
+  let sb = Fixtures.tradeoff () in
+  let s = Sb_sched.Balance.schedule Config.gp1 sb in
+  let e = Sb_sim.Simulator.execute s ~taken:(fun _ -> true) in
+  let out = Format.asprintf "%a" (Sb_sim.Simulator.pp_execution s) e in
+  check_bool "prints the taken exit" true (String.length out > 30)
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suites =
+  [
+    ( "sim",
+      [
+        tc "deterministic exits" test_execute_deterministic_exits;
+        tc "speculation waste" test_execute_waste_accounting;
+        tc "Monte-Carlo converges to the WCT" test_monte_carlo_converges_to_wct;
+        tc "exit distribution" test_exit_distribution;
+        tc "sampling determinism" test_sample_determinism;
+        tc "utilization" test_utilization;
+        tc "execution printer" test_pp_execution;
+      ] );
+  ]

@@ -1,0 +1,187 @@
+(* Unit tests for the synthetic workload: RNG determinism and
+   distribution sanity, generator structure, SPEC profiles, corpus. *)
+
+open Sb_ir
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_rng_determinism () =
+  let a = Sb_workload.Rng.create 42L and b = Sb_workload.Rng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Sb_workload.Rng.next64 a)
+      (Sb_workload.Rng.next64 b)
+  done
+
+let test_rng_ranges () =
+  let rng = Sb_workload.Rng.create 7L in
+  for _ = 1 to 1000 do
+    let v = Sb_workload.Rng.int rng 10 in
+    check_bool "int in range" true (v >= 0 && v < 10);
+    let f = Sb_workload.Rng.float rng 2.5 in
+    check_bool "float in range" true (f >= 0. && f < 2.5)
+  done;
+  Alcotest.check_raises "n = 0 rejected" (Invalid_argument "Rng.int: n must be > 0")
+    (fun () -> ignore (Sb_workload.Rng.int rng 0))
+
+let test_rng_geometric_mean () =
+  let rng = Sb_workload.Rng.create 11L in
+  let n = 20000 in
+  let sum = ref 0 in
+  for _ = 1 to n do
+    sum := !sum + Sb_workload.Rng.geometric rng ~mean:3.0
+  done;
+  let mean = float_of_int !sum /. float_of_int n in
+  check_bool
+    (Printf.sprintf "geometric mean ~3 (got %.2f)" mean)
+    true
+    (mean > 2.6 && mean < 3.4);
+  check_int "mean 0" 0 (Sb_workload.Rng.geometric rng ~mean:0.)
+
+let test_rng_weighted_pick () =
+  let rng = Sb_workload.Rng.create 3L in
+  let counts = Hashtbl.create 4 in
+  for _ = 1 to 10000 do
+    let x = Sb_workload.Rng.weighted_pick rng [ (9., "a"); (1., "b") ] in
+    Hashtbl.replace counts x (1 + Option.value ~default:0 (Hashtbl.find_opt counts x))
+  done;
+  let a = Hashtbl.find counts "a" and b = Hashtbl.find counts "b" in
+  check_bool
+    (Printf.sprintf "9:1 split (got %d:%d)" a b)
+    true
+    (a > 8 * b / 2)
+
+let test_generator_determinism () =
+  let p = Sb_workload.Generator.default_profile in
+  let a = Sb_workload.Generator.generate_many ~seed:5L p 10 in
+  let b = Sb_workload.Generator.generate_many ~seed:5L p 10 in
+  List.iter2
+    (fun x y ->
+      Alcotest.(check string) "same serialization"
+        (Serde.superblock_to_string x) (Serde.superblock_to_string y))
+    a b
+
+let test_generator_structure () =
+  let p = Sb_workload.Generator.default_profile in
+  List.iter
+    (fun sb ->
+      (* Superblock.make validated all the structural invariants; check
+         distributional facts here. *)
+      check_bool "at least one branch" true (Superblock.n_branches sb >= 1);
+      check_bool "weights sum to <= 1" true (Superblock.total_weight sb <= 1. +. 1e-6);
+      check_bool "weights sum to ~1" true (Superblock.total_weight sb >= 0.999);
+      check_bool "within size cap" true
+        (Superblock.n_ops sb <= p.Sb_workload.Generator.max_ops + 61))
+    (Sb_workload.Generator.generate_many ~seed:9L p 50)
+
+let test_generator_op_mix () =
+  let p = Sb_workload.Generator.default_profile in
+  let sbs = Sb_workload.Generator.generate_many ~seed:13L p 60 in
+  let count cls =
+    List.fold_left
+      (fun acc sb ->
+        acc
+        + Array.fold_left
+            (fun acc op -> if Operation.op_class op = cls then acc + 1 else acc)
+            0 sb.Superblock.ops)
+      0 sbs
+  in
+  let ints = count Opcode.Int_alu
+  and mems = count Opcode.Memory
+  and floats = count Opcode.Float in
+  check_bool "integer-dominated" true (ints > mems && ints > 10 * floats);
+  check_bool "some memory ops" true (mems > 0);
+  (* SPECint: very little float. *)
+  let total = ints + mems + floats in
+  check_bool "float under 10%" true (10 * floats < total)
+
+let test_unique_pred_fraction () =
+  (* Theorem 1's ~30% claim needs a meaningful share of single-input,
+     positive-latency ops. *)
+  let p = Sb_workload.Generator.default_profile in
+  let sbs = Sb_workload.Generator.generate_many ~seed:17L p 40 in
+  let unique = ref 0 and total = ref 0 in
+  List.iter
+    (fun sb ->
+      let g = sb.Superblock.graph in
+      for v = 0 to Superblock.n_ops sb - 1 do
+        incr total;
+        match Dep_graph.preds g v with
+        | [| (_, lat) |] when lat > 0 -> incr unique
+        | _ -> ()
+      done)
+    sbs;
+  let frac = float_of_int !unique /. float_of_int !total in
+  check_bool
+    (Printf.sprintf "unique-pred fraction ~0.2-0.5 (got %.2f)" frac)
+    true
+    (frac > 0.15 && frac < 0.55)
+
+let test_spec_model () =
+  check_int "paper corpus size" 6615 Sb_workload.Spec_model.total_full_count;
+  check_int "eight programs" 8 (List.length Sb_workload.Spec_model.programs);
+  check_bool "lookup short name" true (Sb_workload.Spec_model.by_name "gcc" <> None);
+  check_bool "lookup full name" true
+    (Sb_workload.Spec_model.by_name "126.gcc" <> None);
+  check_bool "unknown program" true (Sb_workload.Spec_model.by_name "nope" = None)
+
+let test_corpus () =
+  let c = Sb_workload.Corpus.generate ~scale:0.01 () in
+  check_int "eight programs" 8 (List.length c);
+  let all = Sb_workload.Corpus.all_superblocks c in
+  check_bool "at least one per program" true (List.length all >= 8);
+  (* Scale 1.0 would produce the paper's 6615; the counts must round
+     proportionally. *)
+  let gcc = List.find (fun (t : Sb_workload.Corpus.t) -> t.name = "126.gcc") c in
+  check_int "gcc slice" 20 (List.length gcc.superblocks);
+  let stats = Sb_workload.Corpus.stats c in
+  check_bool "stats mentions total" true
+    (String.length stats > 0
+    && String.sub stats (String.length stats - 1) 1 = "\n");
+  Alcotest.check_raises "unknown program"
+    (Invalid_argument "Corpus.program: unknown program \"zorp\"") (fun () ->
+      ignore (Sb_workload.Corpus.program "zorp"))
+
+let test_corpus_roundtrip () =
+  (* The whole corpus survives serialization. *)
+  let sbs =
+    (Sb_workload.Corpus.program ~count:12 "compress").Sb_workload.Corpus.superblocks
+  in
+  let text = Serde.superblocks_to_string sbs in
+  match Serde.parse_string text with
+  | Error msg -> Alcotest.failf "roundtrip parse error: %s" msg
+  | Ok sbs' ->
+      check_int "same count" (List.length sbs) (List.length sbs');
+      List.iter2
+        (fun a b ->
+          check_int "same ops" (Superblock.n_ops a) (Superblock.n_ops b);
+          check_int "same edges"
+            (Dep_graph.n_edges a.Superblock.graph)
+            (Dep_graph.n_edges b.Superblock.graph))
+        sbs sbs'
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suites =
+  [
+    ( "workload.rng",
+      [
+        tc "determinism" test_rng_determinism;
+        tc "ranges" test_rng_ranges;
+        tc "geometric mean" test_rng_geometric_mean;
+        tc "weighted pick" test_rng_weighted_pick;
+      ] );
+    ( "workload.generator",
+      [
+        tc "determinism" test_generator_determinism;
+        tc "structure" test_generator_structure;
+        tc "op class mix" test_generator_op_mix;
+        tc "unique-pred fraction" test_unique_pred_fraction;
+      ] );
+    ( "workload.corpus",
+      [
+        tc "spec model" test_spec_model;
+        tc "corpus generation" test_corpus;
+        tc "serde roundtrip" test_corpus_roundtrip;
+      ] );
+  ]
