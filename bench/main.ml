@@ -265,6 +265,45 @@ let run_timing () =
         (List.sort compare rows))
     all_tests
 
+(* parallel-speedup: serial vs N-domain wall clock of the corpus
+   evaluation (the `sbsched experiments` hot path) on the default
+   corpus slice, verifying along the way that the parallel records
+   match the sequential ones exactly. *)
+let run_speedup scale =
+  Printf.printf
+    "== parallel-speedup (corpus evaluation wall clock, scale %.3f) ==\n%!"
+    scale;
+  let sbs =
+    Sb_workload.Corpus.all_superblocks (Sb_workload.Corpus.generate ~scale ())
+  in
+  Printf.printf "  %d superblocks on %s, %d cores available\n%!"
+    (List.length sbs) bench_machine.Sb_machine.Config.name
+    (Sb_eval.Parpool.default_jobs ());
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let seq, t_seq = time (fun () -> Sb_eval.Metrics.evaluate bench_machine sbs) in
+  Printf.printf "  %-12s %8.3f s\n%!" "serial" t_seq;
+  List.iter
+    (fun jobs ->
+      let par, t_par =
+        time (fun () -> Sb_eval.Metrics.evaluate ~jobs bench_machine sbs)
+      in
+      let identical =
+        List.for_all2
+          (fun (a : Sb_eval.Metrics.record) (b : Sb_eval.Metrics.record) ->
+            a.Sb_eval.Metrics.wct = b.Sb_eval.Metrics.wct)
+          seq par
+      in
+      Printf.printf "  %-12s %8.3f s   speedup %5.2fx   identical=%b\n%!"
+        (Printf.sprintf "%d domains" jobs)
+        t_par
+        (t_seq /. t_par)
+        identical)
+    [ 2; 4 ]
+
 let run_tables scale =
   Printf.printf
     "== Paper tables and figures (synthetic corpus, scale %.3f) ==\n%!" scale;
@@ -277,25 +316,35 @@ let run_tables scale =
 
 let () =
   let scale = ref 0.02 in
-  let tables = ref true and timing = ref true in
+  let tables = ref true and timing = ref true and speedup = ref true in
+  let only what =
+    tables := false;
+    timing := false;
+    speedup := false;
+    what := true
+  in
   let rec parse = function
     | [] -> ()
     | "--scale" :: v :: rest ->
         scale := float_of_string v;
         parse rest
     | "--tables-only" :: rest ->
-        timing := false;
+        only tables;
         parse rest
     | "--timing-only" :: rest ->
-        tables := false;
+        only timing;
+        parse rest
+    | "--speedup-only" :: rest ->
+        only speedup;
         parse rest
     | arg :: _ ->
         Printf.eprintf
           "unknown argument %S (expected --scale S, --tables-only, \
-           --timing-only)\n"
+           --timing-only, --speedup-only)\n"
           arg;
         exit 1
   in
   parse (List.tl (Array.to_list Sys.argv));
   if !tables then run_tables !scale;
+  if !speedup then run_speedup !scale;
   if !timing then run_timing ()

@@ -331,14 +331,30 @@ let experiments_cmd =
             "Use superblocks formed through the CFG pipeline instead of \
              the direct generator (robustness check).")
   in
-  let run scale full via_cfg id csv =
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Evaluate the corpus over N domains (1 = sequential, 0 = one \
+             per core).  Tables are identical to the sequential run.")
+  in
+  let run scale full via_cfg jobs id csv =
     let scale = if full then 1.0 else scale in
+    let jobs =
+      if jobs < 0 then begin
+        Printf.eprintf "error: --jobs must be >= 0\n";
+        exit 1
+      end
+      else if jobs = 0 then Sb_eval.Parpool.default_jobs ()
+      else jobs
+    in
     let corpus_kind =
       if via_cfg then Sb_eval.Experiments.Via_cfg
       else Sb_eval.Experiments.Synthetic
     in
     let setup = Sb_eval.Experiments.default_setup ~scale ~corpus_kind () in
-    let p = Sb_eval.Experiments.prepare setup in
+    let p = Sb_eval.Experiments.prepare ~jobs setup in
     let all = Sb_eval.Experiments.run_all p in
     let selected =
       if id = "all" then all
@@ -364,7 +380,9 @@ let experiments_cmd =
   in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Regenerate the paper's tables and figures")
-    Term.(const run $ scale_arg $ full_arg $ via_cfg_arg $ id_arg $ csv_arg)
+    Term.(
+      const run $ scale_arg $ full_arg $ via_cfg_arg $ jobs_arg $ id_arg
+      $ csv_arg)
 
 let () =
   let info =

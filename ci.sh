@@ -1,0 +1,16 @@
+#!/bin/sh
+# Tier-1 checks plus a smoke run of the parallel evaluation path.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== dune build =="
+dune build @all
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== smoke: parallel experiments (2 domains) =="
+dune exec bin/sbsched.exe -- experiments --scale 0.01 --jobs 2 --id table3
+
+echo "ci.sh: all checks passed"

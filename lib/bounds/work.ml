@@ -1,8 +1,41 @@
+(* Domain-safe work counters.
+
+   The old implementation was a single global [Hashtbl] of [int ref]s.
+   That races as soon as two domains count concurrently: parallel
+   [r := !r + n] loses increments, and a concurrent first-touch
+   [Hashtbl.add] of the same key can corrupt the table outright.
+
+   The rewrite keeps every hot-path increment entirely domain-local: each
+   domain owns a private table reached through [Domain.DLS], so [add]
+   never synchronises and never contends a cache line with another
+   domain.  Every per-domain table is registered (under a mutex, once per
+   domain) in a global list; the read-side operations ([get], [keys],
+   [reset], [with_counter]) aggregate over that list.  Reads are meant
+   for quiescent points — after the worker domains have finished their
+   batch (Parpool joins or drains its workers before returning, which
+   also publishes their writes) — exactly how the experiment drivers use
+   them. *)
+
 let enabled = ref true
 
-let table : (string, int ref) Hashtbl.t = Hashtbl.create 16
+(* All per-domain tables ever created, newest first.  Tables of finished
+   domains stay registered so their counts keep contributing to the
+   aggregate; the list length is bounded by the number of domains ever
+   spawned, which a fixed-size pool keeps small. *)
+let registry : (string, int ref) Hashtbl.t list ref = ref []
+let registry_lock = Mutex.create ()
 
-let cell key =
+let dls_table : (string, int ref) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let t = Hashtbl.create 16 in
+      Mutex.protect registry_lock (fun () -> registry := t :: !registry);
+      t)
+
+let local_table () = Domain.DLS.get dls_table
+
+let tables () = Mutex.protect registry_lock (fun () -> !registry)
+
+let cell table key =
   match Hashtbl.find_opt table key with
   | Some r -> r
   | None ->
@@ -10,14 +43,28 @@ let cell key =
       Hashtbl.add table key r;
       r
 
-let add key n = if !enabled then (cell key) := !(cell key) + n
+let add key n =
+  if !enabled then begin
+    let r = cell (local_table ()) key in
+    r := !r + n
+  end
 
-let reset () = Hashtbl.reset table
+let reset () = List.iter Hashtbl.reset (tables ())
 
-let get key = match Hashtbl.find_opt table key with Some r -> !r | None -> 0
+let get key =
+  List.fold_left
+    (fun acc t ->
+      match Hashtbl.find_opt t key with Some r -> acc + !r | None -> acc)
+    0 (tables ())
 
 let keys () =
-  Hashtbl.fold (fun k _ acc -> k :: acc) table [] |> List.sort compare
+  List.fold_left
+    (fun acc t ->
+      Hashtbl.fold
+        (fun k _ acc -> if List.mem k acc then acc else k :: acc)
+        t acc)
+    [] (tables ())
+  |> List.sort compare
 
 let with_counter key f =
   let before = get key in

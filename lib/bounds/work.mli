@@ -4,7 +4,15 @@
     experiment drivers reset the counters, run an algorithm over a corpus
     and read the totals.  Counting is best effort and documented per
     algorithm; it is meant to reproduce the *relative* costs the paper
-    reports (e.g. LC ≈ 1.4× RJ, Pairwise ≈ 2 orders of magnitude more). *)
+    reports (e.g. LC ≈ 1.4× RJ, Pairwise ≈ 2 orders of magnitude more).
+
+    Counters are domain-safe: every increment lands in the calling
+    domain's private table ([Domain.DLS]), so kernels running on
+    concurrent domains never contend or lose counts.  [get], [keys],
+    [reset] and [with_counter] aggregate over all domains; call them at
+    quiescent points (no domain concurrently counting), which is how the
+    experiment drivers use them — [Sb_eval.Parpool] drains its workers
+    before returning, publishing their counts. *)
 
 val enabled : bool ref
 (** Counting is on by default; benches may switch it off. *)

@@ -29,7 +29,7 @@ type prepared = {
   records : (Config.t * Metrics.record list) list;
 }
 
-let prepare setup =
+let prepare ?(jobs = 1) setup =
   let corpus =
     match setup.corpus_kind with
     | Synthetic -> Sb_workload.Corpus.generate ~scale:setup.scale ()
@@ -51,11 +51,18 @@ let prepare setup =
         ]
   in
   let superblocks = Sb_workload.Corpus.all_superblocks corpus in
-  let records =
+  (* One pool for the whole preparation: the per-config evaluations run
+     back to back over the same workers instead of respawning domains
+     per machine configuration. *)
+  let eval_all pool =
     List.map
       (fun config ->
-        (config, Metrics.evaluate ~with_tw:setup.with_tw config superblocks))
+        (config, Metrics.evaluate ~with_tw:setup.with_tw ?pool config superblocks))
       setup.configs
+  in
+  let records =
+    if jobs <= 1 then eval_all None
+    else Parpool.with_pool ~jobs (fun pool -> eval_all (Some pool))
   in
   { setup; corpus; superblocks; records }
 
@@ -233,6 +240,8 @@ let table2 p =
              (List.map (fun (c : Config.t) -> c.Config.name) p.setup.heavy_configs));
         "LC-original disables Theorem 1 (the trivial bound recursion); PW/TW \
          include their private LC passes";
+        "median = lower median (lower of the two middle samples on even \
+         counts)";
       ]
     rows
 
@@ -406,6 +415,8 @@ let table6 p =
          paper";
         "Balance/cycle updates the dynamic bounds once per cycle instead of \
          once per scheduled operation";
+        "median = lower median (lower of the two middle samples on even \
+         counts)";
       ]
     rows
 

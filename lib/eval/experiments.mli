@@ -32,7 +32,12 @@ type prepared
 (** Corpus plus per-configuration evaluation records, computed once and
     shared by the drivers. *)
 
-val prepare : setup -> prepared
+val prepare : ?jobs:int -> setup -> prepared
+(** Generate the corpus and evaluate every configuration.  [jobs]
+    (default 1) distributes the per-superblock evaluation over that many
+    domains with {!Parpool}; results are merged in corpus order, so the
+    prepared records — and every table below — are identical to the
+    sequential run. *)
 
 val corpus_of : prepared -> Sb_workload.Corpus.t list
 

@@ -8,26 +8,32 @@ type record = {
 
 let bound r = r.bounds.Sb_bounds.Superblock_bound.tightest
 
-let evaluate ?(heuristics = Sb_sched.Registry.all) ?(with_tw = true) config sbs =
-  List.map
-    (fun sb ->
-      let bounds = Sb_bounds.Superblock_bound.all_bounds ~with_tw config sb in
-      let wct =
-        List.map
-          (fun (h : Sb_sched.Registry.heuristic) ->
-            let s =
-              (* Reuse the bound work for the heuristics that accept it. *)
-              if h.name = "balance" then
-                Sb_sched.Balance.schedule ~precomputed:bounds config sb
-              else if h.name = "best" then
-                Sb_sched.Best.schedule ~precomputed:bounds config sb
-              else h.run config sb
-            in
-            (h.short, Sb_sched.Schedule.weighted_completion_time s))
-          heuristics
-      in
-      { sb; bounds; wct })
-    sbs
+let evaluate ?(heuristics = Sb_sched.Registry.all) ?(with_tw = true) ?(jobs = 1)
+    ?pool config sbs =
+  let eval_one sb =
+    let bounds = Sb_bounds.Superblock_bound.all_bounds ~with_tw config sb in
+    let wct =
+      List.map
+        (fun (h : Sb_sched.Registry.heuristic) ->
+          let s =
+            (* Reuse the bound work for the heuristics that accept it. *)
+            if h.name = "balance" then
+              Sb_sched.Balance.schedule ~precomputed:bounds config sb
+            else if h.name = "best" then
+              Sb_sched.Best.schedule ~precomputed:bounds config sb
+            else h.run config sb
+          in
+          (h.short, Sb_sched.Schedule.weighted_completion_time s))
+        heuristics
+    in
+    { sb; bounds; wct }
+  in
+  (* Each superblock's record depends only on that superblock, so the
+     fan-out is safe; Parpool.map preserves corpus order, making the
+     parallel result identical to the sequential List.map. *)
+  match pool with
+  | Some pool -> Parpool.map pool eval_one sbs
+  | None -> Parpool.parallel_map ~jobs eval_one sbs
 
 let tolerance = 1e-6
 
@@ -75,9 +81,12 @@ let mean = function
   | [] -> 0.
   | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
 
+(* Lower median: for even lengths return the lower of the two middle
+   elements (an actual sample) rather than the upper one the old code
+   picked. *)
 let median_int = function
   | [] -> 0
   | l ->
       let a = Array.of_list l in
       Array.sort compare a;
-      a.(Array.length a / 2)
+      a.((Array.length a - 1) / 2)

@@ -17,12 +17,19 @@ val bound : record -> float
 val evaluate :
   ?heuristics:Sb_sched.Registry.heuristic list ->
   ?with_tw:bool ->
+  ?jobs:int ->
+  ?pool:Parpool.t ->
   Sb_machine.Config.t ->
   Sb_ir.Superblock.t list ->
   record list
 (** Computes bounds and schedules for every superblock.  [heuristics]
     defaults to {!Sb_sched.Registry.all}.  Balance and Best reuse the
-    bound computation via [precomputed]. *)
+    bound computation via [precomputed].
+
+    [jobs] (default 1: sequential) fans the superblocks out over that
+    many domains via {!Parpool}; the record list comes back in corpus
+    order, identical to the sequential result.  Pass [pool] instead to
+    reuse an existing pool across calls ([jobs] is then ignored). *)
 
 val optimal : record -> string -> bool
 (** Did the named heuristic meet the bound on this superblock? *)
@@ -48,3 +55,6 @@ val optimal_nontrivial_pct : record list -> string -> float
 val mean : float list -> float
 
 val median_int : int list -> int
+(** Lower median: the element at index [(n-1)/2] after sorting, so
+    even-length lists yield the lower of the two middle samples (the old
+    behaviour returned the upper one).  [0] on the empty list. *)

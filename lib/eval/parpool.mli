@@ -1,0 +1,45 @@
+(** A small fixed-size pool of OCaml 5 domains for corpus-parallel work.
+
+    Evaluation over a superblock corpus is embarrassingly parallel per
+    instance; this pool fans a [map] over its worker domains with
+    dynamic chunked distribution (uneven per-item cost balances itself)
+    and merges results back in input order, so a parallel run is
+    bit-identical to the sequential one for any per-item-pure [f].
+
+    No external dependencies — plain [Domain]/[Mutex]/[Condition]/
+    [Atomic]. *)
+
+type t
+(** A pool of [jobs - 1] spawned worker domains; the calling domain is
+    the [jobs]-th participant of every batch. *)
+
+val create : jobs:int -> t
+(** Spawn a pool of [jobs] total workers.  Raises [Invalid_argument]
+    when [jobs < 1].  [jobs = 1] spawns nothing and makes {!map} run
+    sequentially. *)
+
+val jobs : t -> int
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map pool f xs] applies [f] to every element, in parallel across the
+    pool, returning results in input order.  If any application raises,
+    the first exception (with its backtrace) is re-raised in the caller
+    after the batch drains; remaining items may be skipped.  [map]
+    returns only once every participant has finished, so the pool is
+    quiescent afterwards (safe to read {!Sb_bounds.Work} aggregates).
+    Not re-entrant: run one batch per pool at a time. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains.  Only call once no batch is in
+    flight. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [create], run, and always [shutdown]. *)
+
+val parallel_map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** One-shot convenience: [with_pool ~jobs (fun p -> map p f xs)];
+    plain [List.map] when [jobs <= 1]. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — what [--jobs 0] resolves
+    to. *)

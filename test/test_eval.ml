@@ -86,6 +86,8 @@ let test_metrics_helpers () =
   check_float "mean" 2.5 (Sb_eval.Metrics.mean [ 1.; 2.; 3.; 4. ]);
   check_float "mean empty" 0. (Sb_eval.Metrics.mean []);
   check_int "median" 3 (Sb_eval.Metrics.median_int [ 5; 1; 3; 2; 9 ]);
+  check_int "median even = lower middle" 2
+    (Sb_eval.Metrics.median_int [ 4; 1; 3; 2 ]);
   check_int "median empty" 0 (Sb_eval.Metrics.median_int [])
 
 let test_metrics_unknown_heuristic () =

@@ -1,0 +1,154 @@
+(* Parallel evaluation: the Parpool domain pool, the identical-results
+   guarantee of `evaluate ~jobs`, and the domain-safety of the Work
+   counters. *)
+
+open Sb_machine
+
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Parpool mechanics                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_map_order () =
+  let xs = List.init 101 Fun.id in
+  Alcotest.(check (list int))
+    "order preserved" (List.map (fun x -> x * 3) xs)
+    (Sb_eval.Parpool.parallel_map ~jobs:4 (fun x -> x * 3) xs);
+  Alcotest.(check (list int))
+    "empty" []
+    (Sb_eval.Parpool.parallel_map ~jobs:4 Fun.id []);
+  Alcotest.(check (list int))
+    "singleton" [ 7 ]
+    (Sb_eval.Parpool.parallel_map ~jobs:4 Fun.id [ 7 ]);
+  Alcotest.(check (list int))
+    "jobs=1 sequential" [ 1; 2; 3 ]
+    (Sb_eval.Parpool.parallel_map ~jobs:1 Fun.id [ 1; 2; 3 ])
+
+let test_pool_reuse () =
+  Sb_eval.Parpool.with_pool ~jobs:3 (fun pool ->
+      check_int "jobs" 3 (Sb_eval.Parpool.jobs pool);
+      let xs = List.init 50 Fun.id in
+      Alcotest.(check (list int))
+        "first batch" (List.map succ xs)
+        (Sb_eval.Parpool.map pool succ xs);
+      Alcotest.(check (list int))
+        "second batch on the same pool" (List.map (fun x -> x * x) xs)
+        (Sb_eval.Parpool.map pool (fun x -> x * x) xs))
+
+let test_exception_propagates () =
+  Alcotest.check_raises "worker exception reaches the caller"
+    (Failure "boom") (fun () ->
+      ignore
+        (Sb_eval.Parpool.parallel_map ~jobs:4
+           (fun i -> if i = 17 then failwith "boom" else i)
+           (List.init 40 Fun.id)));
+  (* The pool survives a failed batch. *)
+  Sb_eval.Parpool.with_pool ~jobs:2 (fun pool ->
+      Alcotest.check_raises "raises on the pool" (Failure "bang") (fun () ->
+          ignore
+            (Sb_eval.Parpool.map pool
+               (fun i -> if i = 3 then failwith "bang" else i)
+               (List.init 10 Fun.id)));
+      Alcotest.(check (list int))
+        "pool usable afterwards" [ 0; 1; 2 ]
+        (Sb_eval.Parpool.map pool Fun.id [ 0; 1; 2 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Work counters under parallelism                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_work_concurrent_adds () =
+  Sb_bounds.Work.reset ();
+  ignore
+    (Sb_eval.Parpool.parallel_map ~jobs:4
+       (fun i ->
+         Sb_bounds.Work.add "par.race" 1;
+         Sb_bounds.Work.add "par.bulk" i;
+         i)
+       (List.init 400 Fun.id));
+  check_int "no lost increments" 400 (Sb_bounds.Work.get "par.race");
+  check_int "summed across domains" (400 * 399 / 2)
+    (Sb_bounds.Work.get "par.bulk");
+  Sb_bounds.Work.reset ();
+  check_int "reset clears every domain" 0 (Sb_bounds.Work.get "par.race")
+
+(* ------------------------------------------------------------------ *)
+(* evaluate ~jobs: identical records and identical Work totals         *)
+(* ------------------------------------------------------------------ *)
+
+let corpus = lazy (Fixtures.random_superblocks ~n:10 ~seed:0xD0A1L ())
+
+let test_identical_records () =
+  let sbs = Lazy.force corpus in
+  let seq = Sb_eval.Metrics.evaluate ~with_tw:false Config.fs4 sbs in
+  let par = Sb_eval.Metrics.evaluate ~with_tw:false ~jobs:4 Config.fs4 sbs in
+  check_int "same count" (List.length seq) (List.length par);
+  List.iter2
+    (fun (a : Sb_eval.Metrics.record) (b : Sb_eval.Metrics.record) ->
+      Alcotest.(check (list (pair string (float 0.))))
+        "identical wct assoc list" a.Sb_eval.Metrics.wct b.Sb_eval.Metrics.wct;
+      Alcotest.(check (float 0.))
+        "identical tightest bound"
+        (Sb_eval.Metrics.bound a) (Sb_eval.Metrics.bound b))
+    seq par
+
+let test_work_totals_match_sequential () =
+  let sbs = Lazy.force corpus in
+  Sb_bounds.Work.reset ();
+  ignore (Sb_eval.Metrics.evaluate ~with_tw:false Config.fs4 sbs);
+  let keys = Sb_bounds.Work.keys () in
+  Alcotest.(check bool) "sequential run counted something" true (keys <> []);
+  let seq_totals = List.map (fun k -> (k, Sb_bounds.Work.get k)) keys in
+  Sb_bounds.Work.reset ();
+  ignore (Sb_eval.Metrics.evaluate ~with_tw:false ~jobs:3 Config.fs4 sbs);
+  Alcotest.(check (list string)) "same keys" keys (Sb_bounds.Work.keys ());
+  List.iter
+    (fun (k, total) -> check_int ("total for " ^ k) total (Sb_bounds.Work.get k))
+    seq_totals;
+  Sb_bounds.Work.reset ()
+
+let test_identical_tables () =
+  let setup =
+    {
+      (Sb_eval.Experiments.default_setup ~scale:0.002 ~with_tw:false ()) with
+      Sb_eval.Experiments.configs = [ Config.gp2; Config.fs4 ];
+      heavy_configs = [ Config.fs4 ];
+    }
+  in
+  let seq = Sb_eval.Experiments.prepare setup in
+  let par = Sb_eval.Experiments.prepare ~jobs:4 setup in
+  List.iter
+    (fun table ->
+      Alcotest.(check string)
+        "identical rendered table"
+        (Sb_eval.Table.render (table seq))
+        (Sb_eval.Table.render (table par)))
+    [
+      Sb_eval.Experiments.table1;
+      Sb_eval.Experiments.table3;
+      Sb_eval.Experiments.table4;
+      Sb_eval.Experiments.figure8;
+    ]
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suites =
+  [
+    ( "parallel.pool",
+      [
+        tc "map order" test_map_order;
+        tc "pool reuse" test_pool_reuse;
+        tc "exception propagation" test_exception_propagates;
+      ] );
+    ( "parallel.work",
+      [
+        tc "concurrent adds" test_work_concurrent_adds;
+        tc "totals match sequential" test_work_totals_match_sequential;
+      ] );
+    ( "parallel.evaluate",
+      [
+        tc "identical records" test_identical_records;
+        tc "identical tables" test_identical_tables;
+      ] );
+  ]
