@@ -304,6 +304,116 @@ let run_speedup scale =
         identical)
     [ 2; 4 ]
 
+(* incremental-speedup: from-scratch vs incremental/memoized bound
+   machinery, per component and end to end, serial and 4-domain.  Every
+   timed pair also checks that the two paths return identical results —
+   the differential suite's claim, re-asserted on the bench corpus. *)
+let run_incremental scale =
+  Printf.printf
+    "== incremental-speedup (from-scratch vs incremental, scale %.3f) ==\n%!"
+    scale;
+  let sbs =
+    Sb_workload.Corpus.all_superblocks (Sb_workload.Corpus.generate ~scale ())
+  in
+  Printf.printf "  %d superblocks on %s\n%!" (List.length sbs)
+    bench_machine.Sb_machine.Config.name;
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let pair name ~scratch ~incr ~same =
+    let a, t_scratch = time scratch in
+    let b, t_incr = time incr in
+    Printf.printf
+      "  %-22s scratch %8.3f s   incremental %8.3f s   speedup %5.2fx   \
+       identical=%b\n%!"
+      name t_scratch t_incr
+      (t_scratch /. t_incr)
+      (same a b)
+  in
+  let sched_wcts run () =
+    List.map
+      (fun sb -> Sb_sched.Schedule.weighted_completion_time (run sb))
+      sbs
+  in
+  pair "bounds (PW+TW)"
+    ~scratch:(fun () ->
+      List.map
+        (fun sb ->
+          (Sb_bounds.Superblock_bound.all_bounds ~memoize:false bench_machine
+             sb)
+            .Sb_bounds.Superblock_bound.tightest)
+        sbs)
+    ~incr:(fun () ->
+      List.map
+        (fun sb ->
+          (Sb_bounds.Superblock_bound.all_bounds ~memoize:true bench_machine
+             sb)
+            .Sb_bounds.Superblock_bound.tightest)
+        sbs)
+    ~same:( = );
+  pair "balance"
+    ~scratch:
+      (sched_wcts (Sb_sched.Balance.schedule ~incremental:false bench_machine))
+    ~incr:
+      (sched_wcts (Sb_sched.Balance.schedule ~incremental:true bench_machine))
+    ~same:( = );
+  pair "help"
+    ~scratch:
+      (sched_wcts (Sb_sched.Help.schedule ~incremental:false bench_machine))
+    ~incr:(sched_wcts (Sb_sched.Help.schedule ~incremental:true bench_machine))
+    ~same:( = );
+  pair "best (127 schedules)"
+    ~scratch:
+      (sched_wcts (Sb_sched.Best.schedule ~incremental:false bench_machine))
+    ~incr:(sched_wcts (Sb_sched.Best.schedule ~incremental:true bench_machine))
+    ~same:( = );
+  let records ~incremental ?jobs () =
+    List.map
+      (fun (r : Sb_eval.Metrics.record) -> r.Sb_eval.Metrics.wct)
+      (Sb_eval.Metrics.evaluate ~incremental ?jobs bench_machine sbs)
+  in
+  pair "evaluate (serial)"
+    ~scratch:(records ~incremental:false)
+    ~incr:(records ~incremental:true)
+    ~same:( = );
+  pair "evaluate (4 domains)"
+    ~scratch:(records ~incremental:false ~jobs:4)
+    ~incr:(records ~incremental:true ~jobs:4)
+    ~same:( = );
+  (* End to end: everything `sbsched experiments` does (corpus
+     generation, bound + heuristic evaluation, Tables 1-7 + Figure 8),
+     serial.  The rendered tables must be byte-identical — except
+     table6's wall-clock column, the single legitimate run-to-run
+     difference, which is dropped before comparing (as in the
+     differential suite). *)
+  let experiments ~incremental () =
+    let setup = Sb_eval.Experiments.default_setup ~scale ~incremental () in
+    let p = Sb_eval.Experiments.prepare setup in
+    List.map
+      (fun (name, t) ->
+        let t =
+          if name <> "table6" then t
+          else begin
+            let drop_last row =
+              List.filteri (fun i _ -> i < List.length row - 1) row
+            in
+            {
+              t with
+              Sb_eval.Table.headers = drop_last t.Sb_eval.Table.headers;
+              rows = List.map drop_last t.Sb_eval.Table.rows;
+            }
+          end
+        in
+        (name, Sb_eval.Table.render t))
+      (Sb_eval.Experiments.run_all p)
+  in
+  pair "experiments (serial)"
+    ~scratch:(experiments ~incremental:false)
+    ~incr:(experiments ~incremental:true)
+    ~same:( = )
+
 let run_tables scale =
   Printf.printf
     "== Paper tables and figures (synthetic corpus, scale %.3f) ==\n%!" scale;
@@ -316,11 +426,15 @@ let run_tables scale =
 
 let () =
   let scale = ref 0.02 in
-  let tables = ref true and timing = ref true and speedup = ref true in
+  let tables = ref true
+  and timing = ref true
+  and speedup = ref true
+  and incremental = ref true in
   let only what =
     tables := false;
     timing := false;
     speedup := false;
+    incremental := false;
     what := true
   in
   let rec parse = function
@@ -337,14 +451,18 @@ let () =
     | "--speedup-only" :: rest ->
         only speedup;
         parse rest
+    | "--incremental-only" :: rest ->
+        only incremental;
+        parse rest
     | arg :: _ ->
         Printf.eprintf
           "unknown argument %S (expected --scale S, --tables-only, \
-           --timing-only, --speedup-only)\n"
+           --timing-only, --speedup-only, --incremental-only)\n"
           arg;
         exit 1
   in
   parse (List.tl (Array.to_list Sys.argv));
   if !tables then run_tables !scale;
   if !speedup then run_speedup !scale;
+  if !incremental then run_incremental !scale;
   if !timing then run_timing ()

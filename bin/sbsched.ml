@@ -339,7 +339,26 @@ let experiments_cmd =
             "Evaluate the corpus over N domains (1 = sequential, 0 = one \
              per core).  Tables are identical to the sequential run.")
   in
-  let run scale full via_cfg jobs id csv =
+  let profile_arg =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "After the run, print every work counter, including the \
+             cache.dyn.* / cache.rj.* hit, miss and invalidation counters \
+             of the incremental bound machinery.")
+  in
+  let no_incremental_arg =
+    Arg.(
+      value & flag
+      & info [ "no-incremental" ]
+          ~doc:
+            "Use the from-scratch bound machinery instead of the \
+             memoized/incremental one.  Tables are identical either way; \
+             only wall clock (and the cache.* counters under --profile) \
+             differ.")
+  in
+  let run scale full via_cfg jobs profile no_incremental id csv =
     let scale = if full then 1.0 else scale in
     let jobs =
       if jobs < 0 then begin
@@ -353,8 +372,14 @@ let experiments_cmd =
       if via_cfg then Sb_eval.Experiments.Via_cfg
       else Sb_eval.Experiments.Synthetic
     in
-    let setup = Sb_eval.Experiments.default_setup ~scale ~corpus_kind () in
+    let setup =
+      Sb_eval.Experiments.default_setup ~scale ~corpus_kind
+        ~incremental:(not no_incremental) ()
+    in
+    Sb_bounds.Work.reset ();
+    let t0 = Unix.gettimeofday () in
     let p = Sb_eval.Experiments.prepare ~jobs setup in
+    let prepare_s = Unix.gettimeofday () -. t0 in
     let all = Sb_eval.Experiments.run_all p in
     let selected =
       if id = "all" then all
@@ -376,13 +401,24 @@ let experiments_cmd =
             output_string oc (Sb_eval.Table.to_csv t);
             close_out oc
         | None -> ())
-      selected
+      selected;
+    if profile then begin
+      Printf.printf "== timings ==\n";
+      Printf.printf "%-10s %.3f s\n" "prepare" prepare_s;
+      List.iter
+        (fun (name, s) -> Printf.printf "%-10s %.3f s\n" name s)
+        (Sb_eval.Experiments.timings ());
+      Printf.printf "== profile ==\n";
+      List.iter
+        (fun (k, n) -> Printf.printf "%-24s %d\n" k n)
+        (Sb_bounds.Work.report ())
+    end
   in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Regenerate the paper's tables and figures")
     Term.(
-      const run $ scale_arg $ full_arg $ via_cfg_arg $ jobs_arg $ id_arg
-      $ csv_arg)
+      const run $ scale_arg $ full_arg $ via_cfg_arg $ jobs_arg $ profile_arg
+      $ no_incremental_arg $ id_arg $ csv_arg)
 
 let () =
   let info =

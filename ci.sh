@@ -13,4 +13,17 @@ dune runtest
 echo "== smoke: parallel experiments (2 domains) =="
 dune exec bin/sbsched.exe -- experiments --scale 0.01 --jobs 2 --id table3
 
+echo "== differential: incremental vs from-scratch =="
+dune exec test/test_main.exe -- test incremental
+
+echo "== smoke: --profile reports cache hits on the default corpus =="
+out=$(dune exec bin/sbsched.exe -- experiments --scale 0.01 --profile --id table6)
+echo "$out" | sed -n '/== profile ==/,$p'
+hits=$(echo "$out" | awk '$1 == "cache.dyn.hit" { print $2 }')
+if [ -z "$hits" ] || [ "$hits" -eq 0 ]; then
+  echo "ci.sh: FAIL — incremental path reported no cache.dyn.hit (cache silently disabled?)" >&2
+  exit 1
+fi
+echo "cache.dyn.hit = $hits"
+
 echo "ci.sh: all checks passed"

@@ -1,0 +1,142 @@
+open Sb_ir
+open Sb_machine
+
+(* The memo is keyed on packed relaxation descriptors (see {!pw_key} /
+   {!tw_key}): within one context the descriptor determines the whole
+   early/late vector pair, so an int key replaces the vector fingerprint
+   the memo used to hash — no allocation on either hits or misses. *)
+module ITbl = Hashtbl.Make (struct
+  type t = int
+
+  let equal (a : int) b = a = b
+  let hash (a : int) = Hashtbl.hash a
+end)
+
+type t = {
+  config : Config.t;
+  sb : Superblock.t;
+  early_rc : int array;
+  memoize : bool;
+  cls : int -> Opcode.op_class;
+  to_branch : int array array;  (* per branch index: longest_to the branch op *)
+  rev_rc : int array array;  (* per branch index: reverse_early_rc *)
+  members : int array array;  (* per branch index: tpreds + self *)
+  late_floors : (int array * int) option array;  (* per branch, on demand *)
+  rj_memo : (int * int) ITbl.t;  (* packed key -> (tardiness, work charged) *)
+  creation_work : int;  (* work a fresh build charges under its key *)
+  erc_work : int;  (* work the matching EarlyRC pass charged under "lc" *)
+}
+
+let create ?(work_key = "pw") ?(memoize = true) ?(erc_work = 0) config
+    (sb : Superblock.t) ~early_rc =
+  let g = sb.Superblock.graph in
+  let nb = Superblock.n_branches sb in
+  let (to_branch, rev_rc, members), creation_work =
+    Work.with_local_counter work_key (fun () ->
+        let to_branch =
+          Array.init nb (fun k ->
+              Dep_graph.longest_to g (Superblock.branch_op sb k))
+        in
+        let rev_rc =
+          Array.init nb (fun k ->
+              Langevin_cerny.reverse_early_rc ~work_key config sb
+                ~root:(Superblock.branch_op sb k))
+        in
+        let members =
+          Array.init nb (fun k ->
+              let b = Superblock.branch_op sb k in
+              Array.of_list
+                (b :: Bitset.elements (Dep_graph.transitive_preds g b)))
+        in
+        (to_branch, rev_rc, members))
+  in
+  {
+    config;
+    sb;
+    early_rc;
+    memoize;
+    cls = (fun v -> Operation.op_class sb.Superblock.ops.(v));
+    to_branch;
+    rev_rc;
+    members;
+    late_floors = Array.make nb None;
+    rj_memo = ITbl.create 64;
+    creation_work;
+    erc_work;
+  }
+
+(* Packed relaxation keys.  The Pairwise relaxation is determined by
+   (i, j, l) and the Triplewise one by (i, j, k, l1, l2) — everything
+   else in their early/late vectors comes from the context's own arrays.
+   Branch indices get 8 bits and gaps 18 (Pairwise: 36); bit 60 tags the
+   Pairwise keyspace so the two never collide.  Out-of-range operands
+   (negative gaps, > 255 branches) return -1: not memoizable. *)
+let pw_key ~i ~j ~l =
+  if i land -256 = 0 && j land -256 = 0 && l >= 0 && l < 1 lsl 36 then
+    (1 lsl 60) lor (i lsl 50) lor (j lsl 42) lor l
+  else -1
+
+let tw_key ~i ~j ~k ~l1 ~l2 =
+  if
+    i land -256 = 0 && j land -256 = 0 && k land -256 = 0
+    && l1 >= 0
+    && l1 < 1 lsl 18
+    && l2 >= 0
+    && l2 < 1 lsl 18
+  then (i lsl 52) lor (j lsl 44) lor (k lsl 36) lor (l1 lsl 18) lor l2
+  else -1
+
+let recharge ?(with_early_rc = false) t ~work_key =
+  Work.add work_key t.creation_work;
+  if with_early_rc then Work.add "lc" t.erc_work;
+  Work.add "cache.analysis.hit" 1
+
+let config t = t.config
+let superblock t = t.sb
+let early_rc t = t.early_rc
+let memoize t = t.memoize
+let to_branch t k = t.to_branch.(k)
+let reverse_rc t k = t.rev_rc.(k)
+let members t k = t.members.(k)
+
+let late_floor t k =
+  match t.late_floors.(k) with
+  | Some f -> f
+  | None ->
+      let b = Superblock.branch_op t.sb k in
+      let erc_b = t.early_rc.(b) in
+      let floor =
+        Array.map
+          (fun rev -> if rev = min_int then max_int else erc_b - rev)
+          t.rev_rc.(k)
+      in
+      t.late_floors.(k) <- Some (floor, erc_b);
+      (floor, erc_b)
+
+(* Drop the memo's entries (the context itself stays usable: later
+   kernel calls just recompute and re-fill).  Callers use this once the
+   bound-computing phase is over, so the retained tables stop taxing
+   every subsequent major GC. *)
+let clear_memo t = ITbl.reset t.rj_memo
+
+let rj_tardiness t ~work_key ~key ~branch ~early ~late =
+  let members = t.members.(branch) in
+  if not (t.memoize && key >= 0) then
+    Rim_jain.max_tardiness ~work_key t.config ~members ~early ~late ~cls:t.cls
+  else begin
+    match ITbl.find_opt t.rj_memo key with
+    | Some (d, w) ->
+        (* Re-charge what the skipped kernel run would have cost so the
+           work counters stay identical to the unmemoized path. *)
+        Work.add work_key w;
+        Work.add "cache.rj.hit" 1;
+        d
+    | None ->
+        let d, w =
+          Rim_jain.max_tardiness_counted ~work_key t.config ~members ~early
+            ~late ~cls:t.cls
+        in
+        ITbl.add t.rj_memo key (d, w);
+        Work.add "cache.rj.miss" 1;
+        d
+  end

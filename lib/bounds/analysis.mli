@@ -1,0 +1,106 @@
+(** Shared static analysis for one (machine config, superblock) pair.
+
+    The Pairwise and Triplewise bounds, and the Balance/Best schedulers
+    through them, all need the same per-branch data: the member array
+    (transitive predecessors plus the branch op), the longest-path table
+    to the branch, the reverse Langevin & Cerny array and the LateRC
+    floor derived from it.  Each used to materialise its own copies; this
+    context computes them once and hands out the shared arrays.
+
+    It also memoizes the Rim & Jain kernel: within one context a
+    relaxation is fully determined by its gap descriptor — [(i, j, l)]
+    for the Pairwise bound, [(i, j, k, l1, l2)] for the Triplewise grid
+    — so {!rj_tardiness} keys the memo on those few small ints packed
+    into one word ({!pw_key} / {!tw_key}), never hashing the early/late
+    vectors themselves.  Repeated relaxations — the Triplewise boundary
+    candidates that re-evaluate the same pairwise gap for every third
+    branch, and every consumer that re-walks a gap scan the context has
+    already seen (Table 2's re-measures, Table 5's reweighted runs) —
+    return instantly.  A hit re-charges the recorded work of the skipped
+    run to the caller's work key, keeping every Table 2/6 counter
+    identical to the unmemoized path; only wall clock changes.  Hits and
+    misses are counted under [cache.rj.hit] / [cache.rj.miss].
+
+    A context must stay within one domain: the memo table is unsynchronised
+    (each parallel evaluation record builds its own, as
+    {!Superblock_bound.all_bounds} does). *)
+
+type t
+
+val create :
+  ?work_key:string ->
+  ?memoize:bool ->
+  ?erc_work:int ->
+  Sb_machine.Config.t ->
+  Sb_ir.Superblock.t ->
+  early_rc:int array ->
+  t
+(** Builds the per-branch arrays eagerly (charging reverse-LC work to
+    [work_key], default ["pw"], exactly as [Pairwise.compute] always
+    has).  [memoize] (default true) enables the Rim & Jain memo;
+    disabling it makes {!rj_tardiness} a plain pass-through — the
+    from-scratch reference path for the differential tests.  [erc_work]
+    records what the matching [Langevin_cerny.early_rc] pass charged
+    under ["lc"], so {!recharge} can replay it for consumers that skip
+    that pass too. *)
+
+val recharge : ?with_early_rc:bool -> t -> work_key:string -> unit
+(** Replays, under [work_key], the work a fresh {!create} would have
+    charged there — call it when reusing a shared context in a code path
+    whose from-scratch variant builds a private one, so the work
+    counters stay identical between the two paths.  [with_early_rc]
+    additionally replays the EarlyRC pass under ["lc"] (for consumers
+    like [Balance] that also skip their own [early_rc] call).  Counted
+    under [cache.analysis.hit]. *)
+
+val config : t -> Sb_machine.Config.t
+val superblock : t -> Sb_ir.Superblock.t
+
+val early_rc : t -> int array
+(** The forward Langevin & Cerny array the context was built with. *)
+
+val memoize : t -> bool
+
+val to_branch : t -> int -> int array
+(** Longest dependence path from each op to branch [k]'s op. *)
+
+val reverse_rc : t -> int -> int array
+(** [Langevin_cerny.reverse_early_rc] for branch index [k]. *)
+
+val members : t -> int -> int array
+(** Branch [k]'s op followed by its transitive predecessors. *)
+
+val late_floor : t -> int -> int array * int
+(** The static LateRC floor for branch [k] paired with the EarlyRC of the
+    branch it was computed against — the [late_floor] argument of
+    [Dyn_bounds.analyze].  Computed once per branch and shared. *)
+
+val pw_key : i:int -> j:int -> l:int -> int
+(** Packed memo key for the Pairwise relaxation of branch pair [(i, j)]
+    at gap [l].  [-1] (not memoizable) when a field is out of range. *)
+
+val tw_key : i:int -> j:int -> k:int -> l1:int -> l2:int -> int
+(** Packed memo key for the Triplewise relaxation of [(i, j, k)] at gaps
+    [(l1, l2)]; never collides with a {!pw_key}.  [-1] when out of
+    range. *)
+
+val clear_memo : t -> unit
+(** Drop the Rim–Jain memo's entries.  The context stays fully usable —
+    later kernel calls recompute and re-fill — but the retained tables
+    stop taxing every subsequent major collection.  The experiment
+    driver calls this between its bound-recomputing tables (2, 5) and
+    its scheduling-heavy ones (6, 7). *)
+
+val rj_tardiness :
+  t ->
+  work_key:string ->
+  key:int ->
+  branch:int ->
+  early:(int -> int) ->
+  late:(int -> int) ->
+  int
+(** [Rim_jain.max_tardiness] over branch [branch]'s member array, served
+    from the memo when the same relaxation — identified by [key], a
+    {!pw_key}/{!tw_key} the caller derived from the arguments that
+    shaped [early]/[late] — already ran.  [key = -1] bypasses the
+    memo. *)

@@ -8,9 +8,7 @@ type t = {
   sb : Superblock.t;
   early_rc : int array;
   work_key : string;
-  to_branch : int array array;  (* per branch index: longest_to the branch op *)
-  rev_rc : int array array;  (* per branch index: reverse_early_rc *)
-  members : int array array;  (* per branch index: tpreds + self *)
+  analysis : Analysis.t;  (* shared per-branch arrays + the RJ memo *)
   pairs : pair array array;  (* pairs.(i).(j) valid for i < j *)
 }
 
@@ -18,7 +16,8 @@ let eval_raw ctx ~i ~j ~l =
   let sb = ctx.sb in
   let bi = Superblock.branch_op sb i and bj = Superblock.branch_op sb j in
   let erc = ctx.early_rc in
-  let to_i = ctx.to_branch.(i) and rev_j = ctx.rev_rc.(j) in
+  let to_i = Analysis.to_branch ctx.analysis i
+  and rev_j = Analysis.reverse_rc ctx.analysis j in
   let cp = max erc.(bj) (erc.(bi) + l) in
   let late v =
     let via_rev = if rev_j.(v) = min_int then min_int else rev_j.(v) in
@@ -26,7 +25,6 @@ let eval_raw ctx ~i ~j ~l =
     let lp = max via_rev via_i in
     if lp = min_int then max_int else cp - lp
   in
-  let cls v = Operation.op_class sb.Superblock.ops.(v) in
   (* The augmented edge also raises release times: with gap exactly [l],
      [t_j >= max(erc_j, erc_i + l)] and [t_i = t_j - l >= erc_j - l]. *)
   let early v =
@@ -35,8 +33,8 @@ let eval_raw ctx ~i ~j ~l =
     else erc.(v)
   in
   let d =
-    Rim_jain.max_tardiness ~work_key:ctx.work_key ctx.config
-      ~members:ctx.members.(j) ~early ~late ~cls
+    Analysis.rj_tardiness ctx.analysis ~work_key:ctx.work_key
+      ~key:(Analysis.pw_key ~i ~j ~l) ~branch:j ~early ~late
   in
   let y = cp + max 0 d in
   let x = max (y - l) erc.(bi) in
@@ -87,21 +85,13 @@ let compute_pair ctx ~wi ~wj i j =
   done;
   match !best with Some p -> p | None -> { x = ei; y = ej }
 
-let compute ?(work_key = "pw") config (sb : Superblock.t) ~early_rc =
-  let g = sb.Superblock.graph in
+let compute ?(work_key = "pw") ?(memoize = true) ?analysis config
+    (sb : Superblock.t) ~early_rc =
   let nb = Superblock.n_branches sb in
-  let to_branch =
-    Array.init nb (fun k -> Dep_graph.longest_to g (Superblock.branch_op sb k))
-  in
-  let rev_rc =
-    Array.init nb (fun k ->
-        Langevin_cerny.reverse_early_rc ~work_key config sb
-          ~root:(Superblock.branch_op sb k))
-  in
-  let members =
-    Array.init nb (fun k ->
-        let b = Superblock.branch_op sb k in
-        Array.of_list (b :: Bitset.elements (Dep_graph.transitive_preds g b)))
+  let analysis =
+    match analysis with
+    | Some a -> a
+    | None -> Analysis.create ~work_key ~memoize config sb ~early_rc
   in
   let ctx =
     {
@@ -109,9 +99,7 @@ let compute ?(work_key = "pw") config (sb : Superblock.t) ~early_rc =
       sb;
       early_rc;
       work_key;
-      to_branch;
-      rev_rc;
-      members;
+      analysis;
       pairs = Array.make_matrix nb nb { x = 0; y = 0 };
     }
   in
@@ -156,7 +144,8 @@ let superblock_bound t =
 let config t = t.config
 let superblock t = t.sb
 let early_rc_array t = t.early_rc
-let longest_to_branch t k = t.to_branch.(k)
-let reverse_rc t k = t.rev_rc.(k)
-let members_of t k = t.members.(k)
+let longest_to_branch t k = Analysis.to_branch t.analysis k
+let reverse_rc t k = Analysis.reverse_rc t.analysis k
+let members_of t k = Analysis.members t.analysis k
 let work_key t = t.work_key
+let analysis t = t.analysis

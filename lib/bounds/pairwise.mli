@@ -22,12 +22,18 @@ type t
 
 val compute :
   ?work_key:string ->
+  ?memoize:bool ->
+  ?analysis:Analysis.t ->
   Sb_machine.Config.t ->
   Sb_ir.Superblock.t ->
   early_rc:int array ->
   t
 (** Builds the context and the full pair matrix.  [early_rc] is the
-    forward Langevin & Cerny array for the same machine. *)
+    forward Langevin & Cerny array for the same machine.  [analysis]
+    supplies a shared {!Analysis} context (per-branch arrays and the
+    Rim & Jain memo); when absent a private one is created under
+    [work_key], with the Rim & Jain memo enabled iff [memoize]
+    (default [true] — results are identical either way). *)
 
 val get : t -> int -> int -> pair
 (** [get t i j] is the Theorem-2 optimal pair for branch indices [i < j].
@@ -61,3 +67,6 @@ val members_of : t -> int -> int array
 (** Transitive predecessors (plus self) of branch index [k]'s op. *)
 
 val work_key : t -> string
+
+val analysis : t -> Analysis.t
+(** The shared static-analysis context behind the accessors above. *)

@@ -1,9 +1,9 @@
 open Sb_ir
 open Sb_machine
 
-let max_tardiness ?(work_key = "rj") config ~members ~early ~late ~cls =
+let max_tardiness_counted ?(work_key = "rj") config ~members ~early ~late ~cls =
   let m = Array.length members in
-  if m = 0 then 0
+  if m = 0 then (0, 0)
   else begin
     let order = Array.copy members in
     Array.sort
@@ -35,8 +35,11 @@ let max_tardiness ?(work_key = "rj") config ~members ~early ~late ~cls =
           worst := !t - deadline)
       order;
     Work.add work_key !work;
-    if !worst = min_int then 0 else !worst
+    ((if !worst = min_int then 0 else !worst), !work)
   end
+
+let max_tardiness ?work_key config ~members ~early ~late ~cls =
+  fst (max_tardiness_counted ?work_key config ~members ~early ~late ~cls)
 
 let branch_bound ?(work_key = "rj") config (sb : Superblock.t) ~root =
   let g = sb.Superblock.graph in

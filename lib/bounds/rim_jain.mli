@@ -25,6 +25,20 @@ val max_tardiness :
     to [work_key] (default ["rj"]): one unit per member plus one per
     scanned cycle. *)
 
+val max_tardiness_counted :
+  ?work_key:string ->
+  Sb_machine.Config.t ->
+  members:int array ->
+  early:(int -> int) ->
+  late:(int -> int) ->
+  cls:(int -> Sb_ir.Opcode.op_class) ->
+  int * int
+(** Like {!max_tardiness} but also returns the work charged by this call.
+    {!Work.with_counter} cannot recover a per-call figure when other
+    domains charge the same key concurrently; the memoized callers
+    ({!Analysis}) need the exact amount so a cache hit can re-charge it
+    and keep the Table 2/6 counters identical to the unmemoized path. *)
+
 val branch_bound :
   ?work_key:string -> Sb_machine.Config.t -> Sb_ir.Superblock.t -> root:int -> int
 (** The plain Rim & Jain lower bound on the issue cycle of op [root]

@@ -43,19 +43,23 @@ type all = {
   tightest : float;
   pairwise_ctx : Pairwise.t;
   early_rc : int array;
+  analysis : Analysis.t;
 }
 
-let all_bounds ?tw_grid_budget ?tw_max_branches ?(with_tw = true) config
-    (sb : Superblock.t) =
+let all_bounds ?tw_grid_budget ?tw_max_branches ?(with_tw = true)
+    ?(memoize = true) config (sb : Superblock.t) =
   let cp = naive Cp config sb in
   let hu = naive Hu_bound config sb in
   let rj = naive Rj config sb in
-  let early_rc = Langevin_cerny.early_rc config sb in
+  let early_rc, erc_work =
+    Work.with_local_counter "lc" (fun () -> Langevin_cerny.early_rc config sb)
+  in
   let lc =
     weighted_of_issue_bounds sb
       (Array.map (fun b -> early_rc.(b)) sb.Superblock.branches)
   in
-  let pw_ctx = Pairwise.compute config sb ~early_rc in
+  let analysis = Analysis.create ~memoize ~erc_work config sb ~early_rc in
+  let pw_ctx = Pairwise.compute ~analysis config sb ~early_rc in
   let pw = Pairwise.superblock_bound pw_ctx in
   let tw =
     if with_tw then
@@ -67,6 +71,6 @@ let all_bounds ?tw_grid_budget ?tw_max_branches ?(with_tw = true) config
     List.fold_left max cp [ hu; rj; lc; pw ]
     |> fun t -> match tw with Some v -> max t v | None -> t
   in
-  { cp; hu; rj; lc; pw; tw; tightest; pairwise_ctx = pw_ctx; early_rc }
+  { cp; hu; rj; lc; pw; tw; tightest; pairwise_ctx = pw_ctx; early_rc; analysis }
 
 let tightest config sb = (all_bounds config sb).tightest

@@ -30,17 +30,22 @@ type all = {
   tightest : float;
   pairwise_ctx : Pairwise.t;  (** reusable by the Balance scheduler *)
   early_rc : int array;
+  analysis : Analysis.t;  (** shared per-branch arrays and the RJ memo *)
 }
 
 val all_bounds :
   ?tw_grid_budget:int ->
   ?tw_max_branches:int ->
   ?with_tw:bool ->
+  ?memoize:bool ->
   Sb_machine.Config.t ->
   Sb_ir.Superblock.t ->
   all
-(** Computes every bound once, sharing the LC array and the pairwise
-    context.  [with_tw] defaults to [true]. *)
+(** Computes every bound once, sharing the LC array, the {!Analysis}
+    context and the pairwise context.  [with_tw] defaults to [true].
+    [memoize] (default [true]) enables the Rim & Jain memo inside the
+    shared context; the memo is work-counter neutral, so switching it
+    off only serves the differential tests. *)
 
 val tightest : Sb_machine.Config.t -> Sb_ir.Superblock.t -> float
 (** Convenience wrapper around {!all_bounds}. *)

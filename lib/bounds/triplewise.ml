@@ -6,7 +6,6 @@ type triple = { x : int; y : int; z : int }
    and j->k (latency l2); valid for schedules with those exact gaps. *)
 let eval_triple pw ~i ~j ~k ~l1 ~l2 =
   let sb = Pairwise.superblock pw in
-  let config = Pairwise.config pw in
   let erc = Pairwise.early_rc_array pw in
   let bi = Superblock.branch_op sb i
   and bj = Superblock.branch_op sb j
@@ -31,11 +30,9 @@ let eval_triple pw ~i ~j ~k ~l1 ~l2 =
     else if v = bi then max erc.(bi) (max (ej' - l1) (erc.(bk) - l2 - l1))
     else erc.(v)
   in
-  let cls v = Operation.op_class sb.Superblock.ops.(v) in
   let d =
-    Rim_jain.max_tardiness ~work_key:"tw" config
-      ~members:(Pairwise.members_of pw k)
-      ~early ~late ~cls
+    Analysis.rj_tardiness (Pairwise.analysis pw) ~work_key:"tw"
+      ~key:(Analysis.tw_key ~i ~j ~k ~l1 ~l2) ~branch:k ~early ~late
   in
   let z = cp + max 0 d in
   let y = max (z - l2) erc.(bj) in

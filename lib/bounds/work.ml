@@ -70,3 +70,28 @@ let with_counter key f =
   let before = get key in
   let result = f () in
   (result, get key - before)
+
+let report () = List.map (fun k -> (k, get k)) (keys ())
+
+(* Domain-local deltas: unlike [get]/[with_counter] these read only the
+   calling domain's table, so they stay exact while other domains count
+   concurrently — what the evaluation uses to record one computation's
+   work for later re-charging. *)
+
+let local_get key =
+  match Hashtbl.find_opt (local_table ()) key with Some r -> !r | None -> 0
+
+let with_local_counter key f =
+  let before = local_get key in
+  let result = f () in
+  (result, local_get key - before)
+
+let local_snapshot () =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) (local_table ()) []
+
+let local_delta snap =
+  Hashtbl.fold
+    (fun k r acc ->
+      let before = match List.assoc_opt k snap with Some v -> v | None -> 0 in
+      if !r <> before then (k, !r - before) :: acc else acc)
+    (local_table ()) []

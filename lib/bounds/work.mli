@@ -28,3 +28,28 @@ val keys : unit -> string list
 val with_counter : string -> (unit -> 'a) -> 'a * int
 (** [with_counter key f] runs [f] and returns the work charged to [key]
     during the call (other keys unaffected). *)
+
+val report : unit -> (string * int) list
+(** Every key with its aggregate count, sorted by key — the
+    [sbsched experiments --profile] dump.  Includes the cache
+    observability counters ([cache.dyn.hit]/[cache.dyn.miss]/
+    [cache.dyn.inval] for the incremental dynamic bounds,
+    [cache.rj.hit]/[cache.rj.miss] for the Rim & Jain memo).  Read at a
+    quiescent point, like {!get}. *)
+
+val with_local_counter : string -> (unit -> 'a) -> 'a * int
+(** Like {!with_counter}, but reads only the calling domain's table, so
+    the delta is exact even while other domains count the same key
+    concurrently.  Use this to {e record} one computation's work for
+    later re-charging; the wrapped computation must not itself spawn
+    domains.  ({!with_counter}'s aggregate read is for the serial
+    measurement windows of the table drivers.) *)
+
+val local_snapshot : unit -> (string * int) list
+(** The calling domain's own counters, verbatim.  Pair with
+    {!local_delta} to record the work one computation charged without
+    seeing other domains' concurrent counting. *)
+
+val local_delta : (string * int) list -> (string * int) list
+(** [local_delta snap] is the per-key work this domain charged since
+    [local_snapshot] returned [snap] (keys with no change omitted). *)

@@ -19,12 +19,21 @@ type setup = {
   heavy_configs : Sb_machine.Config.t list;
       (** machines for the expensive Tables 6 and 7 *)
   with_tw : bool;  (** compute the Triplewise bound *)
+  incremental : bool;
+      (** use the memoized/incremental bound machinery (the default);
+          [false] is the from-scratch reference path — tables are
+          identical either way, only wall clock differs *)
   corpus_kind : corpus_kind;
   seed_note : string;
 }
 
 val default_setup :
-  ?scale:float -> ?with_tw:bool -> ?corpus_kind:corpus_kind -> unit -> setup
+  ?scale:float ->
+  ?with_tw:bool ->
+  ?incremental:bool ->
+  ?corpus_kind:corpus_kind ->
+  unit ->
+  setup
 (** [scale] defaults to 0.03 (fast); [sbsched experiments --full] passes
     1.0. *)
 
@@ -74,3 +83,8 @@ val figure8 : prepared -> Table.t
 
 val run_all : prepared -> (string * Table.t) list
 (** All of the above, in paper order. *)
+
+val timings : unit -> (string * float) list
+(** Wall-clock seconds each table of the last {!run_all} took, in run
+    order — what [sbsched experiments --profile] prints, to show where
+    the incremental machinery saves its time. *)

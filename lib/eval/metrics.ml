@@ -8,21 +8,66 @@ type record = {
 
 let bound r = r.bounds.Sb_bounds.Superblock_bound.tightest
 
-let evaluate ?(heuristics = Sb_sched.Registry.all) ?(with_tw = true) ?(jobs = 1)
-    ?pool config sbs =
+let evaluate ?(heuristics = Sb_sched.Registry.all) ?(with_tw = true)
+    ?(incremental = true) ?(jobs = 1) ?pool config sbs =
   let eval_one sb =
-    let bounds = Sb_bounds.Superblock_bound.all_bounds ~with_tw config sb in
+    let bounds =
+      Sb_bounds.Superblock_bound.all_bounds ~with_tw ~memoize:incremental
+        config sb
+    in
+    (* On the incremental path, remember each primary's schedule (and
+       the work all of them charged, via a domain-local snapshot) so
+       Best can reuse the runs instead of repeating them — the heuristic
+       list runs the primaries before [best].  Schedules are pure
+       functions of (config, sb, bounds), so reuse is exact; Best
+       re-charges the recorded work to keep counters identical to the
+       re-running (from-scratch) path. *)
+    let snap = if incremental then Some (Sb_bounds.Work.local_snapshot ()) else None in
+    let ran : (string * Sb_sched.Schedule.t) list ref = ref [] in
+    let primaries_for_best () =
+      match snap with
+      | None -> None
+      | Some snap -> (
+          let order =
+            [ "successive-retirement"; "critical-path"; "gstar"; "dhasy";
+              "help"; "balance" ]
+          in
+          match
+            List.map
+              (fun n ->
+                match List.assoc_opt n !ran with
+                | Some s -> s
+                | None -> raise Exit)
+              order
+          with
+          | ss ->
+              let work =
+                List.filter
+                  (fun (k, _) ->
+                    not (String.length k >= 6 && String.sub k 0 6 = "cache."))
+                  (Sb_bounds.Work.local_delta snap)
+              in
+              Some (ss, work)
+          | exception Exit -> None)
+    in
     let wct =
       List.map
         (fun (h : Sb_sched.Registry.heuristic) ->
           let s =
-            (* Reuse the bound work for the heuristics that accept it. *)
+            (* Reuse the bound work for the heuristics that accept it,
+               and pin the incremental/from-scratch path for the ones
+               that cache dynamic bounds. *)
             if h.name = "balance" then
-              Sb_sched.Balance.schedule ~precomputed:bounds config sb
+              Sb_sched.Balance.schedule ~incremental ~precomputed:bounds
+                config sb
             else if h.name = "best" then
-              Sb_sched.Best.schedule ~precomputed:bounds config sb
+              Sb_sched.Best.schedule ~incremental ~precomputed:bounds
+                ?primaries:(primaries_for_best ()) config sb
+            else if h.name = "help" then
+              Sb_sched.Help.schedule ~incremental config sb
             else h.run config sb
           in
+          if incremental && h.name <> "best" then ran := (h.name, s) :: !ran;
           (h.short, Sb_sched.Schedule.weighted_completion_time s))
         heuristics
     in

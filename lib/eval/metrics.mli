@@ -17,6 +17,7 @@ val bound : record -> float
 val evaluate :
   ?heuristics:Sb_sched.Registry.heuristic list ->
   ?with_tw:bool ->
+  ?incremental:bool ->
   ?jobs:int ->
   ?pool:Parpool.t ->
   Sb_machine.Config.t ->
@@ -25,6 +26,12 @@ val evaluate :
 (** Computes bounds and schedules for every superblock.  [heuristics]
     defaults to {!Sb_sched.Registry.all}.  Balance and Best reuse the
     bound computation via [precomputed].
+
+    [incremental] (default [true]) selects the memoized/incremental
+    bound machinery everywhere it exists (the Rim & Jain memo inside
+    [all_bounds], the dynamic-bound cache in Balance/Help/Best); results
+    and work counters are identical either way — [false] is the
+    from-scratch reference the differential suite diffs against.
 
     [jobs] (default 1: sequential) fans the superblocks out over that
     many domains via {!Parpool}; the record list comes back in corpus

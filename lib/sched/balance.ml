@@ -249,51 +249,81 @@ let pick_op st (sb : Superblock.t) infos ~use_hlpdel candidates =
   List.fold_left (fun acc v -> if acc < 0 || better v acc then v else acc) (-1)
     candidates
 
-let schedule ?(options = default_options) ?precomputed config (sb : Superblock.t) =
+let schedule ?(options = default_options) ?(incremental = true) ?precomputed
+    ?analysis config (sb : Superblock.t) =
   let nb = Superblock.n_branches sb in
   let erc =
-    match precomputed with
-    | Some (all : Sb_bounds.Superblock_bound.all) ->
+    match (precomputed, analysis) with
+    | Some (all : Sb_bounds.Superblock_bound.all), _ ->
         all.Sb_bounds.Superblock_bound.early_rc
-    | None -> Sb_bounds.Langevin_cerny.early_rc config sb
+    | None, Some a ->
+        (* Reusing a shared analysis skips the EarlyRC pass and the
+           context build a from-scratch run pays for; replay their work
+           so the counters stay identical between the paths. *)
+        Sb_bounds.Analysis.recharge ~with_early_rc:true a ~work_key:"pw";
+        Sb_bounds.Analysis.early_rc a
+    | None, None -> Sb_bounds.Langevin_cerny.early_rc config sb
   in
   let pw =
     if options.use_tradeoff then
       match precomputed with
       | Some all -> Some all.Sb_bounds.Superblock_bound.pairwise_ctx
-      | None -> Some (Sb_bounds.Pairwise.compute config sb ~early_rc:erc)
+      | None ->
+          Some
+            (Sb_bounds.Pairwise.compute ~memoize:incremental ?analysis config
+               sb ~early_rc:erc)
     else None
   in
   let late_floors =
     if options.use_bounds then
       Array.init nb (fun k ->
-          let b = Superblock.branch_op sb k in
-          let floor =
-            match (pw, precomputed) with
-            (* The pairwise context already holds the reverse-LC arrays. *)
-            | Some ctx, _ | None, Some { Sb_bounds.Superblock_bound.pairwise_ctx = ctx; _ }
-              ->
-                Array.map
-                  (fun rev -> if rev = min_int then max_int else erc.(b) - rev)
-                  (Sb_bounds.Pairwise.reverse_rc ctx k)
-            | None, None ->
-                Sb_bounds.Langevin_cerny.late_rc config sb ~root:b
-                  ~target:erc.(b)
-          in
-          Some (floor, erc.(b)))
+          match (pw, precomputed) with
+          (* The shared analysis context already holds (and caches) the
+             floors derived from its reverse-LC arrays. *)
+          | Some ctx, _ ->
+              Some (Sb_bounds.Analysis.late_floor (Sb_bounds.Pairwise.analysis ctx) k)
+          | None, Some all ->
+              Some
+                (Sb_bounds.Analysis.late_floor
+                   all.Sb_bounds.Superblock_bound.analysis k)
+          | None, None -> (
+              match analysis with
+              | Some a -> Some (Sb_bounds.Analysis.late_floor a k)
+              | None ->
+                  let b = Superblock.branch_op sb k in
+                  Some
+                    ( Sb_bounds.Langevin_cerny.late_rc config sb ~root:b
+                        ~target:erc.(b),
+                      erc.(b) )))
     else Array.make nb None
   in
   let early_floor = if options.use_bounds then Some erc else None in
   let st = Scheduler_core.create config sb in
   let infos : Dyn_bounds.info option array = Array.make nb None in
+  (* The incremental cache only serves the Full update mode: Light and
+     Per_cycle deliberately run on stale info within a cycle (the paper's
+     cheaper variants), so handing them exact patched info would change
+     their semantics.  It also wants the static floors: without them the
+     dynamic values drift with every cycle, the patch preconditions
+     almost never hold, and the cache degenerates into pure bookkeeping
+     overhead — the unfloored Table-7 ablations run from scratch. *)
+  let cache =
+    if incremental && options.update = Full && options.use_bounds then
+      Some
+        (Dyn_bounds.Cache.create ?early_floor ~late_floors ~with_erc:true st)
+    else None
+  in
   let recompute_one k =
-    if Scheduler_core.is_scheduled st (Superblock.branch_op sb k) then
-      infos.(k) <- None
-    else
-      infos.(k) <-
-        Some
-          (Dyn_bounds.analyze ?early_floor ?late_floor:late_floors.(k)
-             ~with_erc:true st ~branch_index:k)
+    match cache with
+    | Some cache -> infos.(k) <- Dyn_bounds.Cache.refresh cache ~branch_index:k
+    | None ->
+        if Scheduler_core.is_scheduled st (Superblock.branch_op sb k) then
+          infos.(k) <- None
+        else
+          infos.(k) <-
+            Some
+              (Dyn_bounds.analyze ?early_floor ?late_floor:late_floors.(k)
+                 ~with_erc:true st ~branch_index:k)
   in
   let recompute () =
     for k = 0 to nb - 1 do

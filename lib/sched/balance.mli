@@ -43,13 +43,34 @@ type outcome = Selected | DelayedOk | Delayed | Ignored
 
 val schedule :
   ?options:options ->
+  ?incremental:bool ->
   ?precomputed:Sb_bounds.Superblock_bound.all ->
+  ?analysis:Sb_bounds.Analysis.t ->
   Sb_machine.Config.t ->
   Sb_ir.Superblock.t ->
   Schedule.t
 (** Schedules a superblock.  [precomputed] reuses bound work (EarlyRC and
     the pairwise context) from an {!Sb_bounds.Superblock_bound.all_bounds}
-    call on the same superblock and machine. *)
+    call on the same superblock and machine.
+
+    [analysis] (used only when [precomputed] is absent) shares the
+    weight-independent static context — EarlyRC, reverse-LC arrays,
+    member sets and the Rim & Jain memo — from an earlier analysis of a
+    superblock with the same graph and machine, even one carrying
+    {e different exit weights} ([Superblock.with_weights]): the pair
+    matrix is still recomputed under [sb]'s own weights, only the kernel
+    work behind it is served from the memo.  Skipped work is re-charged
+    (see {!Sb_bounds.Analysis.recharge}), so schedules and work counters
+    are identical to a from-scratch run.
+
+    [incremental] (default [true]) serves the Full-update dynamic bounds
+    from a {!Dyn_bounds.Cache} patched after every placement/advance
+    instead of re-running the full analysis per branch per decision.  The
+    cache is exact, so the schedule — and, by virtual work accounting,
+    every work counter — is identical either way; [~incremental:false]
+    is the from-scratch reference path the differential tests compare
+    against.  Light/Per_cycle updates ignore the flag (their
+    deliberately-stale semantics are the paper's own ablations). *)
 
 (** Setting the environment variable [BALANCE_TRACE] (to any value, or to
     ["2"] for per-branch detail) makes {!schedule} print one line per

@@ -6,7 +6,41 @@ let min_schedule a b =
   then b
   else a
 
-let cross_product_only config sb =
+(* The static list scheduler only ever compares priorities ([p > best_p],
+   ties to the earlier ready op), so its run is fully determined by the
+   priority {e preorder} over the ops: the descending ranking plus which
+   neighbours tie.  Many of the 121 grid admixtures induce the same
+   preorder, and those runs are identical — the incremental path keys a
+   memo on the encoded preorder and replays the recorded engine work for
+   duplicates, keeping the [sched] counter identical to running them. *)
+module RankTbl = Hashtbl.Make (struct
+  type t = int array
+
+  let equal (a : int array) b = a = b
+  let hash a = Hashtbl.hash_param 256 256 a
+end)
+
+(* Encode the preorder of [prio] into [key] (same length), using [ord]
+   as sort scratch.  Monomorphic comparisons and caller-owned buffers:
+   this runs once per grid point, so a polymorphic-compare sort would
+   eat a good share of the dedup's savings. *)
+let rank_key_into prio ~ord ~key =
+  let n = Array.length prio in
+  for v = 0 to n - 1 do
+    ord.(v) <- v
+  done;
+  Array.sort
+    (fun a b ->
+      let c = Float.compare prio.(b) prio.(a) in
+      if c <> 0 then c else Int.compare a b)
+    ord;
+  for pos = 0 to n - 1 do
+    let v = ord.(pos) in
+    let tied = pos > 0 && prio.(v) = prio.(ord.(pos - 1)) in
+    key.(pos) <- (v lsl 1) lor (if tied then 1 else 0)
+  done
+
+let cross_product_only ?(incremental = false) config sb =
   let cp = Priorities.normalize (Array.map float_of_int (Priorities.height sb)) in
   let dh = Priorities.normalize (Priorities.dhasy sb) in
   (* SR's priority as a single comparable scalar: earlier blocks first. *)
@@ -16,27 +50,64 @@ let cross_product_only config sb =
     Priorities.normalize
       (Array.map (fun b -> nb -. float_of_int b) blk)
   in
+  let n = Array.length cp in
+  let seen = RankTbl.create 64 in
+  let parr = Array.make n 0. in
+  let ord = Array.make n 0 in
+  let key = Array.make n 0 in
+  let priority v = parr.(v) in
   let best = ref None in
   Array.iter
     (fun a ->
       Array.iter
         (fun b ->
-          let prio v = dh.(v) +. (a *. cp.(v)) +. (b *. sr.(v) *. nb) in
-          let s = Scheduler_core.schedule_with config sb ~priority:prio in
+          for v = 0 to n - 1 do
+            parr.(v) <- dh.(v) +. (a *. cp.(v)) +. (b *. sr.(v) *. nb)
+          done;
+          let s =
+            if not incremental then
+              Scheduler_core.schedule_with config sb ~priority
+            else begin
+              rank_key_into parr ~ord ~key;
+              match RankTbl.find_opt seen key with
+              | Some (s, w) ->
+                  Sb_bounds.Work.add "sched" w;
+                  Sb_bounds.Work.add "cache.rank.hit" 1;
+                  s
+              | None ->
+                  let s, w =
+                    Sb_bounds.Work.with_local_counter "sched" (fun () ->
+                        Scheduler_core.schedule_with config sb ~priority)
+                  in
+                  RankTbl.add seen (Array.copy key) (s, w);
+                  Sb_bounds.Work.add "cache.rank.miss" 1;
+                  s
+            end
+          in
           best := Some (match !best with None -> s | Some cur -> min_schedule cur s))
         grid)
     grid;
   match !best with Some s -> s | None -> assert false
 
-let schedule ?precomputed config sb =
+let schedule ?(incremental = true) ?precomputed ?primaries config sb =
   let primaries =
-    [
-      Successive_retirement.schedule config sb;
-      Critical_path.schedule config sb;
-      Gstar.schedule config sb;
-      Dhasy.schedule config sb;
-      Help.schedule config sb;
-      Balance.schedule ?precomputed config sb;
-    ]
+    match primaries with
+    | Some ((ss : Schedule.t list), work) when List.length ss = 6 ->
+        (* The caller already ran the six primaries on this exact
+           (config, sb, precomputed) — reuse their schedules and
+           re-charge the work those runs cost, so the counters read as
+           if we had re-run them (the from-scratch path does). *)
+        List.iter (fun (k, n) -> Sb_bounds.Work.add k n) work;
+        Sb_bounds.Work.add "cache.best.hit" 1;
+        ss
+    | _ ->
+        [
+          Successive_retirement.schedule config sb;
+          Critical_path.schedule config sb;
+          Gstar.schedule config sb;
+          Dhasy.schedule config sb;
+          Help.schedule ~incremental config sb;
+          Balance.schedule ~incremental ?precomputed config sb;
+        ]
   in
-  List.fold_left min_schedule (cross_product_only config sb) primaries
+  List.fold_left min_schedule (cross_product_only ~incremental config sb) primaries

@@ -6,11 +6,26 @@
     runs, 127 schedules in total. *)
 
 val schedule :
+  ?incremental:bool ->
   ?precomputed:Sb_bounds.Superblock_bound.all ->
+  ?primaries:Schedule.t list * (string * int) list ->
   Sb_machine.Config.t ->
   Sb_ir.Superblock.t ->
   Schedule.t
+(** [incremental] (default [true]) is forwarded to the Help and Balance
+    runs; see {!Balance.schedule}.  [primaries] hands over the six
+    primary heuristics' schedules (SR, CP, G*, DHASY, Help, Balance —
+    in that order, for the same [config]/[sb]/[precomputed]) together
+    with the work those runs charged; Best then skips re-running them,
+    re-charges the recorded work so all counters match the re-running
+    path, and counts one [cache.best.hit].  Anything but exactly six
+    schedules falls back to running them. *)
 
 val cross_product_only :
-  Sb_machine.Config.t -> Sb_ir.Superblock.t -> Schedule.t
-(** Just the 121-schedule grid (exposed for tests and ablations). *)
+  ?incremental:bool -> Sb_machine.Config.t -> Sb_ir.Superblock.t -> Schedule.t
+(** Just the 121-schedule grid (exposed for tests and ablations).
+    [incremental] (default [false]) deduplicates grid points that induce
+    the same priority preorder — the list scheduler's run is a function
+    of that preorder alone, so the duplicates' schedules are served from
+    a memo with their engine work re-charged ([cache.rank.hit] /
+    [cache.rank.miss]); results and work counters are identical. *)

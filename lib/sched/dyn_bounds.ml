@@ -12,18 +12,41 @@ type info = {
   branch_index : int;
   b_op : int;
   early : int;
+  mutable frontier : int;
+  earlies : int array;
+      (* forward-pass values: issue time for scheduled members, dynamic
+         early for unscheduled members, [min_int] for non-members *)
+  adjust : int;
+      (* total missed + ERC-delay bump folded into [early]; the cache
+         only patches slots with [adjust = 0], where the final [late]
+         array coincides with the pass the delay sweep ran on *)
   late : int array;
   mutable need_each : int list;
   mutable ercs : erc list;
 }
 
 (* Most constraining zero-empty ERC per resource (smallest deadline);
-   larger deadlines are implied by it (footnote 1 of the paper). *)
+   larger deadlines are implied by it (footnote 1 of the paper).  The
+   smallest deadline is found explicitly rather than taken from the list
+   order: [analyze] happens to build [ercs] deadline-ascending per
+   resource, but callers patch and tests build these lists by hand, and
+   picking a larger-deadline ERC would under-constrain the branch. *)
 let need_one info =
+  let best = Hashtbl.create 4 in
+  List.iter
+    (fun e ->
+      if e.empty <= 0 && e.ops <> [] then
+        match Hashtbl.find_opt best e.resource with
+        | Some d when d <= e.deadline -> ()
+        | _ -> Hashtbl.replace best e.resource e.deadline)
+    info.ercs;
   let seen = Hashtbl.create 4 in
   List.filter_map
     (fun e ->
-      if e.empty <= 0 && e.ops <> [] && not (Hashtbl.mem seen e.resource)
+      if
+        e.empty <= 0 && e.ops <> []
+        && (not (Hashtbl.mem seen e.resource))
+        && Hashtbl.find_opt best e.resource = Some e.deadline
       then begin
         Hashtbl.replace seen e.resource ();
         Some (e.resource, e.ops)
@@ -45,6 +68,7 @@ let analyze ?early_floor ?late_floor ?(with_erc = true) st ~branch_index =
   (* Forward pass: dynamic earliest issue cycles over the partial
      schedule, clamped to the current cycle and the static floor. *)
   let early = Array.make n min_int in
+  let frontier = ref max_int in
   Array.iter
     (fun v ->
       if is_member v then
@@ -60,7 +84,8 @@ let analyze ?early_floor ?late_floor ?(with_erc = true) st ~branch_index =
               if early.(p) <> min_int && early.(p) + lat > !e then
                 e := early.(p) + lat)
             (Dep_graph.preds g v);
-          early.(v) <- !e
+          early.(v) <- !e;
+          if !e < !frontier then frontier := !e
         end)
     order;
   let e_b = ref early.(b) in
@@ -201,6 +226,9 @@ let analyze ?early_floor ?late_floor ?(with_erc = true) st ~branch_index =
     branch_index;
     b_op = b;
     early = !e_b;
+    frontier = !frontier;
+    earlies = early;
+    adjust = !e_b - early.(b);
     late;
     need_each = List.rev !need_each;
     ercs = !ercs;
@@ -233,6 +261,269 @@ let resource_critical st info =
     end
   done;
   !critical
+
+module Cache = struct
+  type slot = {
+    mutable info : info option;
+    mutable valid : bool;
+    mutable frontier_dirty : bool;
+        (* a member placement shrank the unscheduled set; [info.frontier]
+           must be re-minimised over [earlies] before it is trusted *)
+  }
+
+  type t = {
+    st : Scheduler_core.t;
+    early_floor : int array option;
+    late_floors : (int array * int) option array option;
+    with_erc : bool;
+    slots : slot array;
+    preds : Bitset.t array;  (* transitive predecessors per branch op *)
+    caps : int array;  (* capacity per resource *)
+    cone_work : int array;  (* |preds| + 1 per branch: the hit re-charge *)
+  }
+
+  let invalidate slot =
+    if slot.valid then begin
+      slot.valid <- false;
+      Sb_bounds.Work.add "cache.dyn.inval" 1
+    end
+
+  let fix_frontier t slot info =
+    if slot.frontier_dirty then begin
+      (* A live slot means the branch op itself is unscheduled, so the
+         minimum is never vacuous. *)
+      let f = ref info.earlies.(info.b_op) in
+      Bitset.iter
+        (fun w ->
+          if
+            (not (Scheduler_core.is_scheduled t.st w))
+            && info.earlies.(w) < !f
+          then f := info.earlies.(w))
+        t.preds.(info.branch_index);
+      info.frontier <- !f;
+      slot.frontier_dirty <- false
+    end
+
+  (* A placement in the current cycle [c].
+
+     A {e member} of the branch's cone does not move the forward pass at
+     all: every predecessor of the placed op is scheduled and the static
+     floor is a sound lower bound, so its cached pass value was already
+     exactly [max (clamp = c) (floor <= c) (preds <= c)] = [c] — the very
+     cycle it was just issued in.  A fresh [analyze] would therefore
+     reproduce [earlies] verbatim, set the op's [late] to [max_int]
+     (scheduled members are skipped by the backward pass), and rebuild
+     the same ERCs minus the op: on its resource, windows reaching the
+     op's deadline lose one unit of need {e and} one slot of avail (empty
+     unchanged), shorter windows just lose the slot (empty - 1), and the
+     window at exactly its deadline disappears when no other unscheduled
+     member witnesses that deadline.  Only the frontier must be
+     re-minimised, which we defer ([frontier_dirty]).  All of this holds
+     only while [adjust = 0] — with a missed/delay bump active the final
+     [late] array is shifted away from the pass the sweep ran on, so the
+     empty counts no longer track the sweep's slack and the slot dies.
+
+     A {e non-member} only consumes a reservation slot, which a fresh
+     [analyze] would see as one more [used_now] for its resource —
+     exactly one fewer empty slot in every ERC of that resource.
+
+     Either way, an empty count going negative means the fresh run's
+     delay sweep would fire and push the branch's early bound: the
+     cached info is dead.  Otherwise the patched info {e is} the fresh
+     one. *)
+  let on_place t v =
+    Array.iter
+      (fun slot ->
+        match slot.info with
+        | Some info when slot.valid ->
+            if v = info.b_op then begin
+              (* The branch itself retired; the slot is simply done. *)
+              slot.info <- None;
+              slot.valid <- false
+            end
+            else if Bitset.mem t.preds.(info.branch_index) v then begin
+              if info.adjust > 0 then invalidate slot
+              else begin
+                let lv = info.late.(v) in
+                let ok = ref true in
+                if t.with_erc then begin
+                  let r = Scheduler_core.resource_of t.st v in
+                  let ercs' =
+                    List.filter_map
+                      (fun e ->
+                        if e.resource <> r then Some e
+                        else if e.deadline >= lv then begin
+                          (* The op was counted: need and avail both drop
+                             by one, the slack is untouched. *)
+                          e.ops <- List.filter (fun w -> w <> v) e.ops;
+                          if
+                            e.deadline = lv
+                            && not
+                                 (List.exists
+                                    (fun w -> info.late.(w) = lv)
+                                    e.ops)
+                          then None  (* no witness left for this window *)
+                          else Some e
+                        end
+                        else begin
+                          e.empty <- e.empty - 1;
+                          if e.empty < 0 then ok := false;
+                          Some e
+                        end)
+                      info.ercs
+                  in
+                  if !ok then info.ercs <- ercs'
+                end;
+                if !ok then begin
+                  info.late.(v) <- max_int;
+                  info.need_each <-
+                    List.filter (fun w -> w <> v) info.need_each;
+                  (* Removing [v] from the unscheduled set can only move
+                     the frontier if [v] sat exactly on it; when the flag
+                     is clean [info.frontier] is the true minimum and
+                     [earlies.(v) >= frontier] always holds, so the
+                     equality test is exact.  A stale (already-dirty)
+                     frontier keeps its flag either way. *)
+                  if info.earlies.(v) = info.frontier then
+                    slot.frontier_dirty <- true
+                end
+                else invalidate slot
+              end
+            end
+            else if t.with_erc then begin
+              if info.adjust > 0 then invalidate slot
+              else begin
+                let r = Scheduler_core.resource_of t.st v in
+                let ok = ref true in
+                List.iter
+                  (fun e ->
+                    if e.resource = r then begin
+                      e.empty <- e.empty - 1;
+                      if e.empty < 0 then ok := false
+                    end)
+                  info.ercs;
+                if not !ok then invalidate slot
+              end
+            end
+        | _ -> ())
+      t.slots
+
+  (* A cycle advance.  Reuse is sound only when the fresh forward pass
+     would be unchanged: no unscheduled member sat below the new clamp
+     ([frontier] above the old cycle) and nothing was due in the old
+     cycle ([need_each] empty — a missed op would shift the early bound).
+     Each ERC window then shrinks by the slots the closed cycle did not
+     spend on it: [capacity - used].  A negative empty count again means
+     the fresh delay sweep would fire; otherwise only [need_each] must be
+     refreshed for the new cycle, picking up ops whose late time equals
+     it. *)
+  let on_advance t =
+    let cycle = Scheduler_core.cycle t.st in
+    Array.iter
+      (fun slot ->
+        match slot.info with
+        | Some info when slot.valid ->
+            fix_frontier t slot info;
+            if info.adjust > 0 || info.need_each <> [] || info.frontier <= cycle
+            then invalidate slot
+            else begin
+              let ok = ref true in
+              if t.with_erc then
+                List.iter
+                  (fun e ->
+                    let free =
+                      t.caps.(e.resource)
+                      - Scheduler_core.used_in_current_cycle t.st ~r:e.resource
+                    in
+                    e.empty <- e.empty - free;
+                    if e.empty < 0 then ok := false)
+                  info.ercs;
+              if not !ok then invalidate slot
+              else begin
+                let nc = cycle + 1 in
+                let ne = ref [] in
+                Array.iteri
+                  (fun v lt ->
+                    if
+                      lt <> max_int && lt <= nc
+                      && not (Scheduler_core.is_scheduled t.st v)
+                    then ne := v :: !ne)
+                  info.late;
+                info.need_each <- List.rev !ne
+              end
+            end
+        | _ -> ())
+      t.slots
+
+  let create ?early_floor ?late_floors ?(with_erc = true) st =
+    let sb = Scheduler_core.superblock st in
+    let config = Scheduler_core.config st in
+    let g = sb.Superblock.graph in
+    let nb = Superblock.n_branches sb in
+    let nr = Config.n_resources config in
+    let t =
+      {
+        st;
+        early_floor;
+        late_floors;
+        with_erc;
+        slots =
+          Array.init nb (fun _ ->
+              { info = None; valid = false; frontier_dirty = false });
+        preds =
+          Array.init nb (fun k ->
+              Dep_graph.transitive_preds g (Superblock.branch_op sb k));
+        caps = Array.init nr (fun r -> Config.capacity_of config r);
+        cone_work = Array.make nb 0;
+      }
+    in
+    Array.iteri
+      (fun k preds -> t.cone_work.(k) <- Bitset.cardinal preds + 1)
+      t.preds;
+    Scheduler_core.set_hooks st
+      ~on_place:(fun v -> on_place t v)
+      ~on_advance:(fun () -> on_advance t);
+    t
+
+  let force_invalidate t ~branch_index = invalidate t.slots.(branch_index)
+
+  let refresh t ~branch_index =
+    let sb = Scheduler_core.superblock t.st in
+    let slot = t.slots.(branch_index) in
+    if Scheduler_core.is_scheduled t.st (Superblock.branch_op sb branch_index)
+    then begin
+      slot.info <- None;
+      slot.valid <- false;
+      None
+    end
+    else
+      match slot.info with
+      | Some info when slot.valid ->
+          fix_frontier t slot info;
+          (* Charge what the skipped [analyze] would have: its up-front
+             cone charge plus one unit per ERC deadline sweep step, so
+             the Table 6 trip counts cannot tell the paths apart. *)
+          Scheduler_core.add_work t.st t.cone_work.(branch_index);
+          if t.with_erc then
+            Scheduler_core.add_work t.st (List.length info.ercs);
+          Sb_bounds.Work.add "cache.dyn.hit" 1;
+          Some info
+      | _ ->
+          let late_floor =
+            match t.late_floors with
+            | Some floors -> floors.(branch_index)
+            | None -> None
+          in
+          let info =
+            analyze ?early_floor:t.early_floor ?late_floor
+              ~with_erc:t.with_erc t.st ~branch_index
+          in
+          slot.info <- Some info;
+          slot.valid <- true;
+          slot.frontier_dirty <- false;
+          Sb_bounds.Work.add "cache.dyn.miss" 1;
+          Some info
+end
 
 let light_update st info ~placed =
   if placed = info.b_op then false

@@ -25,6 +25,19 @@ type info = {
   branch_index : int;
   b_op : int;
   early : int;  (** dynamic lower bound on the branch's issue cycle *)
+  mutable frontier : int;
+      (** smallest forward-pass early time over the unscheduled members
+          ([max_int] if none): the cycle clamp binds somewhere iff the
+          current cycle reaches this, which is what {!Cache} tests to
+          decide whether an advance invalidates the info *)
+  earlies : int array;
+      (** the forward pass itself: issue time for scheduled members,
+          dynamic earliest issue cycle for unscheduled members, [min_int]
+          for non-members *)
+  adjust : int;
+      (** how far the missed-op and ERC-delay steps pushed [early] past
+          the raw forward-pass value [earlies.(b_op)]; {!Cache} only
+          patches slots with [adjust = 0] (see DESIGN.md) *)
   late : int array;  (** per op; [max_int] for non-predecessors *)
   mutable need_each : int list;  (** unscheduled ops needed in the current cycle *)
   mutable ercs : erc list;  (** all Elementary Resource Constraints, by resource
@@ -67,3 +80,60 @@ val resource_critical : Scheduler_core.t -> info -> int list
     remaining demand from the branch's unscheduled predecessors fills the
     entire window before [info.early].  Any predecessor using such a
     resource helps the branch. *)
+
+(** Incremental per-branch info, exact by construction.
+
+    The cache observes the engine through {!Scheduler_core.set_hooks} and
+    patches each cached {!info} after every event instead of re-running
+    {!analyze}:
+
+    - placing a {e member} of a branch's cone leaves the forward pass
+      untouched (the op's cached early was exactly the current cycle:
+      all its predecessors were scheduled and the static floor is a
+      sound lower bound), so the slot is patched — the op's [late]
+      becomes [max_int], it leaves [need_each] and the ERC op lists
+      (need and avail drop together on windows that counted it; shorter
+      windows on its resource lose one empty slot), and the frontier is
+      lazily re-minimised;
+    - placing a non-member only decrements the empty-slot count of the
+      ERCs on its resource;
+    - advancing the cycle invalidates when the clamp would change the
+      forward pass ([frontier <= old cycle]) or an op was due
+      ([need_each] nonempty); otherwise each ERC loses the slots the
+      closed cycle left unused ([capacity - used]) and [need_each] is
+      refreshed for the new cycle.
+
+    Any empty-slot count going negative, and any event on a slot whose
+    [adjust] is nonzero, invalidates it.
+
+    Under these rules a surviving slot is byte-identical to what a fresh
+    {!analyze} would return (see DESIGN.md for the argument), so
+    {!refresh} can hand it back directly — charging the work the skipped
+    recomputation would have cost, which keeps the Table 2/6 counters
+    independent of the caching.  Hits, misses and invalidations are
+    counted under [cache.dyn.hit] / [cache.dyn.miss] /
+    [cache.dyn.inval]. *)
+module Cache : sig
+  type t
+
+  val create :
+    ?early_floor:int array ->
+    ?late_floors:(int array * int) option array ->
+    ?with_erc:bool ->
+    Scheduler_core.t ->
+    t
+  (** Attaches a cache to the engine (replacing its hooks).  The floors
+      mirror {!analyze}'s parameters; [late_floors] is indexed by branch.
+      The engine must be driven through {!Scheduler_core.place} and
+      {!Scheduler_core.advance} from here on. *)
+
+  val refresh : t -> branch_index:int -> info option
+  (** The branch's current info: [None] once the branch op is scheduled,
+      the cached info when still valid, a fresh {!analyze} otherwise. *)
+
+  val force_invalidate : t -> branch_index:int -> unit
+  (** Drops the cached slot so the next {!refresh} recomputes from
+      scratch.  Results must not depend on it — invalidation is always
+      conservative — which is exactly what the property tests assert by
+      invalidating at random points. *)
+end

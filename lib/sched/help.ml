@@ -1,10 +1,17 @@
 open Sb_ir
 
-let schedule config (sb : Superblock.t) =
+let schedule ?(incremental = true) config (sb : Superblock.t) =
   let st = Scheduler_core.create config sb in
   let nb = Superblock.n_branches sb in
   let n = Superblock.n_ops sb in
   let g = sb.Superblock.graph in
+  (* Help's analysis runs without ERCs, so non-member placements leave a
+     cached branch info untouched entirely — the cache pays off even
+     though Help re-scores before every placement. *)
+  let cache =
+    if incremental then Some (Dyn_bounds.Cache.create ~with_erc:false st)
+    else None
+  in
   while not (Scheduler_core.finished st) do
     let candidates =
       List.filter (Scheduler_core.is_placeable st) (Scheduler_core.ready_ops st)
@@ -19,7 +26,12 @@ let schedule config (sb : Superblock.t) =
         let b = Superblock.branch_op sb k in
         if not (Scheduler_core.is_scheduled st b) then begin
           let info =
-            Dyn_bounds.analyze ~with_erc:false st ~branch_index:k
+            match cache with
+            | Some cache -> (
+                match Dyn_bounds.Cache.refresh cache ~branch_index:k with
+                | Some info -> info
+                | None -> assert false (* the branch is unscheduled *))
+            | None -> Dyn_bounds.analyze ~with_erc:false st ~branch_index:k
           in
           let critical = Dyn_bounds.resource_critical st info in
           let w = Superblock.weight sb k in

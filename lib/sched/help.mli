@@ -9,4 +9,9 @@
     then to the smallest late time.  No EarlyRC/LateRC/Pairwise bounds and
     no compatible-branch selection are used. *)
 
-val schedule : Sb_machine.Config.t -> Sb_ir.Superblock.t -> Schedule.t
+val schedule :
+  ?incremental:bool -> Sb_machine.Config.t -> Sb_ir.Superblock.t -> Schedule.t
+(** [incremental] (default [true]) caches the per-branch dynamic info in
+    a {!Dyn_bounds.Cache} between decisions; exact, so the schedule and
+    work counters are unchanged.  [~incremental:false] is the
+    from-scratch reference path. *)

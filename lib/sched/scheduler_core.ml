@@ -13,6 +13,8 @@ type t = {
   mutable remaining : int;
   mutable last : int;
   mutable work : int;
+  mutable on_place : int -> unit;
+  mutable on_advance : unit -> unit;
 }
 
 let create ?members config (sb : Superblock.t) =
@@ -44,7 +46,13 @@ let create ?members config (sb : Superblock.t) =
     remaining = Bitset.cardinal members;
     last = -1;
     work = 0;
+    on_place = (fun _ -> ());
+    on_advance = (fun () -> ());
   }
+
+let set_hooks t ~on_place ~on_advance =
+  t.on_place <- on_place;
+  t.on_advance <- on_advance
 
 let config t = t.config
 let superblock t = t.sb
@@ -95,9 +103,13 @@ let place t v =
         if t.cycle + lat > t.data_ready.(w) then
           t.data_ready.(w) <- t.cycle + lat
       end)
-    (Dep_graph.succs t.sb.Superblock.graph v)
+    (Dep_graph.succs t.sb.Superblock.graph v);
+  t.on_place v
 
 let advance t =
+  (* The hook fires before the cycle moves so an observer can still read
+     the reservation row of the cycle being left behind. *)
+  t.on_advance ();
   t.cycle <- t.cycle + 1;
   t.work <- t.work + 1;
   Sb_bounds.Work.add "sched" 1

@@ -61,6 +61,14 @@ val place : t -> int -> unit
 val advance : t -> unit
 (** Moves to the next cycle. *)
 
+val set_hooks : t -> on_place:(int -> unit) -> on_advance:(unit -> unit) -> unit
+(** Observer hooks for incremental analyses ([Dyn_bounds.Cache]).
+    [on_place v] fires after {!place} finishes its bookkeeping for [v];
+    [on_advance] fires at the start of {!advance}, {e before} the cycle
+    increments, so the observer can still read
+    {!used_in_current_cycle} for the cycle being closed.  Defaults are
+    no-ops; setting replaces the previous hooks. *)
+
 val last_placed : t -> int
 (** The op placed by the most recent {!place}, or [-1]. *)
 

@@ -206,6 +206,48 @@ let test_light_update_branch_placed () =
   check_bool "placing the branch itself invalidates" false
     (Sb_sched.Dyn_bounds.light_update st info ~placed:info.Sb_sched.Dyn_bounds.b_op)
 
+(* Regression: NeedOne must pick the *smallest-deadline* zero-empty ERC
+   of each resource no matter where it sits in the [ercs] list.  analyze
+   happens to build the list deadline-ascending, but patched caches and
+   hand-built fixtures need not; an implementation that trusted list
+   order would report the deadline-5 window here and under-constrain the
+   branch. *)
+let test_need_one_ordering () =
+  let mk resource deadline ops empty =
+    { Sb_sched.Dyn_bounds.resource; deadline; ops; empty }
+  in
+  let info deadline_order =
+    {
+      Sb_sched.Dyn_bounds.branch_index = 0;
+      b_op = 0;
+      early = 0;
+      frontier = 0;
+      earlies = [| 0 |];
+      adjust = 0;
+      late = [| 0 |];
+      need_each = [];
+      ercs = deadline_order;
+    }
+  in
+  (* The larger-deadline zero-empty ERC precedes the smaller one, with a
+     slack window in between; resource 1 has slack everywhere. *)
+  let ercs =
+    [
+      mk 0 5 [ 1; 2 ] 0;
+      mk 0 3 [ 4 ] 2;
+      mk 0 2 [ 3 ] 0;
+      mk 1 1 [ 5 ] 1;
+    ]
+  in
+  Alcotest.(check (list (pair int (list int))))
+    "smallest deadline wins regardless of order"
+    [ (0, [ 3 ]) ]
+    (Sb_sched.Dyn_bounds.need_one (info ercs));
+  Alcotest.(check (list (pair int (list int))))
+    "reversed list gives the same answer"
+    [ (0, [ 3 ]) ]
+    (Sb_sched.Dyn_bounds.need_one (info (List.rev ercs)))
+
 let tc name f = Alcotest.test_case name `Quick f
 
 let suites =
@@ -230,5 +272,6 @@ let suites =
         tc "dyn early is a true lower bound" test_analyze_monotone_consistency;
         tc "light update patches ERCs" test_light_update;
         tc "light update on the branch itself" test_light_update_branch_placed;
+        tc "need_one ignores ERC list order" test_need_one_ordering;
       ] );
   ]

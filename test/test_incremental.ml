@@ -1,0 +1,301 @@
+(* Differential lockdown of the incremental dynamic-bound machinery.
+
+   The cache in Dyn_bounds.Cache claims to be *exact*: a surviving slot
+   is byte-identical to what a fresh [analyze] would return against the
+   same partial schedule.  These tests replay real Balance schedules
+   event by event and diff every field of every branch's info after
+   every placement and every cycle advance, then check that the
+   end-to-end artifacts — schedules, evaluation records, rendered
+   experiment tables — cannot tell [~incremental:true] from
+   [~incremental:false]. *)
+
+open Sb_ir
+open Sb_machine
+module Core = Sb_sched.Scheduler_core
+module Dyn = Sb_sched.Dyn_bounds
+
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Blocks and configs under test                                       *)
+(* ------------------------------------------------------------------ *)
+
+let fixture_blocks () =
+  [
+    ("fig1", Fixtures.fig1 ());
+    ("fig4", Fixtures.fig4 ());
+    ("star8", Fixtures.star 8);
+    ("chain12", Fixtures.chain 12);
+    ("tradeoff", Fixtures.tradeoff ());
+  ]
+
+let random_blocks =
+  lazy
+    (List.mapi
+       (fun i sb -> (Printf.sprintf "rand%d" i, sb))
+       (Fixtures.random_superblocks ~n:25 ~seed:0xACEDL ()))
+
+let all_blocks () = fixture_blocks () @ Lazy.force random_blocks
+
+(* ------------------------------------------------------------------ *)
+(* Info equality                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let erc_repr (e : Dyn.erc) = (e.resource, e.deadline, e.ops, e.empty)
+
+let check_same_info ctx (fresh : Dyn.info) (cached : Dyn.info) =
+  let chk what t a b = Alcotest.check t (ctx ^ " " ^ what) a b in
+  chk "early" Alcotest.int fresh.early cached.early;
+  chk "frontier" Alcotest.int fresh.frontier cached.frontier;
+  chk "adjust" Alcotest.int fresh.adjust cached.adjust;
+  chk "earlies" Alcotest.(array int) fresh.earlies cached.earlies;
+  chk "late" Alcotest.(array int) fresh.late cached.late;
+  chk "need_each" Alcotest.(list int) fresh.need_each cached.need_each;
+  chk "ercs"
+    Alcotest.(list (pair (pair int int) (pair (list int) int)))
+    (List.map erc_repr fresh.ercs |> List.map (fun (a, b, c, d) -> ((a, b), (c, d))))
+    (List.map erc_repr cached.ercs |> List.map (fun (a, b, c, d) -> ((a, b), (c, d))));
+  chk "need_one"
+    Alcotest.(list (pair int (list int)))
+    (Dyn.need_one fresh) (Dyn.need_one cached)
+
+(* ------------------------------------------------------------------ *)
+(* Event-by-event replay: Cache.refresh vs a fresh analyze             *)
+(* ------------------------------------------------------------------ *)
+
+(* Replays the from-scratch Balance schedule of [sb] on a fresh engine
+   with a cache attached (same floors as Balance's defaults) and, after
+   every event, compares the cached info of every live branch with a
+   from-scratch [analyze].  [chaos] randomly force-invalidates slots
+   between events, asserting that dropping cache state never changes a
+   result. *)
+let replay_check ?(chaos = false) name config sb =
+  let reference = Sb_sched.Balance.schedule ~incremental:false config sb in
+  let issue = reference.Sb_sched.Schedule.issue in
+  let g = sb.Superblock.graph in
+  let n = Superblock.n_ops sb in
+  let nb = Superblock.n_branches sb in
+  let erc = Sb_bounds.Langevin_cerny.early_rc config sb in
+  let analysis =
+    Sb_bounds.Analysis.create ~memoize:false config sb ~early_rc:erc
+  in
+  let late_floors =
+    Array.init nb (fun k -> Some (Sb_bounds.Analysis.late_floor analysis k))
+  in
+  let st = Core.create config sb in
+  let cache =
+    Dyn.Cache.create ~early_floor:erc ~late_floors ~with_erc:true st
+  in
+  let rng = Random.State.make [| 0x5EED; Superblock.n_ops sb |] in
+  let check ctx =
+    if chaos && Random.State.int rng 4 = 0 then
+      Dyn.Cache.force_invalidate cache
+        ~branch_index:(Random.State.int rng nb);
+    for k = 0 to nb - 1 do
+      if not (Core.is_scheduled st (Superblock.branch_op sb k)) then begin
+        let cached =
+          match Dyn.Cache.refresh cache ~branch_index:k with
+          | Some info -> info
+          | None -> Alcotest.failf "%s: live branch %d had no info" ctx k
+        in
+        let fresh =
+          Dyn.analyze ~early_floor:erc ?late_floor:late_floors.(k)
+            ~with_erc:true st ~branch_index:k
+        in
+        check_same_info (Printf.sprintf "%s branch %d" ctx k) fresh cached
+      end
+    done
+  in
+  let pos = Array.make n 0 in
+  Array.iteri (fun i v -> pos.(v) <- i) (Dep_graph.topo_order g);
+  let by_cycle = Array.make reference.Sb_sched.Schedule.length [] in
+  Array.iteri (fun v c -> by_cycle.(c) <- v :: by_cycle.(c)) issue;
+  check (Printf.sprintf "%s/%s initial" name config.Config.name);
+  Array.iteri
+    (fun c ops ->
+      List.iter
+        (fun v ->
+          if not (Core.is_placeable st v) then
+            Alcotest.failf "%s/%s: replay op %d not placeable at cycle %d"
+              name config.Config.name v c;
+          Core.place st v;
+          check
+            (Printf.sprintf "%s/%s after placing %d @%d" name
+               config.Config.name v c))
+        (List.sort (fun a b -> compare pos.(a) pos.(b)) ops);
+      if not (Core.finished st) then begin
+        Core.advance st;
+        check
+          (Printf.sprintf "%s/%s after advance to %d" name config.Config.name
+             (Core.cycle st))
+      end)
+    by_cycle
+
+let test_replay () =
+  List.iter
+    (fun config ->
+      List.iter
+        (fun (name, sb) -> replay_check name config sb)
+        (all_blocks ()))
+    Config.all
+
+let test_replay_chaos () =
+  List.iter
+    (fun config ->
+      List.iter
+        (fun (name, sb) -> replay_check ~chaos:true name config sb)
+        (fixture_blocks () @ [ List.nth (Lazy.force random_blocks) 0 ]))
+    [ Config.gp2; Config.fs4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Final schedules identical                                           *)
+(* ------------------------------------------------------------------ *)
+
+let check_same_schedule what (a : Sb_sched.Schedule.t)
+    (b : Sb_sched.Schedule.t) =
+  Alcotest.(check (array int)) (what ^ " issue cycles") a.issue b.issue
+
+let test_schedules name run =
+  List.iter
+    (fun config ->
+      List.iter
+        (fun (bname, sb) ->
+          check_same_schedule
+            (Printf.sprintf "%s %s/%s" name bname config.Config.name)
+            (run ~incremental:false config sb)
+            (run ~incremental:true config sb))
+        (all_blocks ()))
+    Config.all
+
+let test_balance_identical () =
+  test_schedules "balance" (fun ~incremental config sb ->
+      Sb_sched.Balance.schedule ~incremental config sb)
+
+let test_help_identical () =
+  test_schedules "help" (fun ~incremental config sb ->
+      Sb_sched.Help.schedule ~incremental config sb)
+
+let test_best_identical () =
+  (* Best runs 127 schedules per call; keep the grid small. *)
+  let blocks =
+    fixture_blocks ()
+    @ (List.filteri (fun i _ -> i < 6) (Lazy.force random_blocks))
+  in
+  List.iter
+    (fun config ->
+      List.iter
+        (fun (bname, sb) ->
+          check_same_schedule
+            (Printf.sprintf "best %s/%s" bname config.Config.name)
+            (Sb_sched.Best.schedule ~incremental:false config sb)
+            (Sb_sched.Best.schedule ~incremental:true config sb))
+        blocks)
+    [ Config.gp1; Config.gp4; Config.fs6 ]
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation records and experiment tables identical                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_records_identical_parallel () =
+  (* 2-domain pool on the incremental side to cover the DLS interaction
+     of the Work counters with the cache counters. *)
+  let sbs = Fixtures.random_superblocks ~n:10 ~seed:0xF00DL () in
+  let scratch =
+    Sb_eval.Metrics.evaluate ~with_tw:false ~incremental:false Config.fs6 sbs
+  in
+  let inc =
+    Sb_eval.Metrics.evaluate ~with_tw:false ~incremental:true ~jobs:2
+      Config.fs6 sbs
+  in
+  check_int "same count" (List.length scratch) (List.length inc);
+  List.iter2
+    (fun (a : Sb_eval.Metrics.record) (b : Sb_eval.Metrics.record) ->
+      Alcotest.(check (list (pair string (float 0.))))
+        "identical wct assoc list" a.Sb_eval.Metrics.wct b.Sb_eval.Metrics.wct;
+      Alcotest.(check (float 0.))
+        "identical tightest bound" (Sb_eval.Metrics.bound a)
+        (Sb_eval.Metrics.bound b))
+    scratch inc
+
+(* Tables 1–7 + Figure 8 string-identical between the paths; table 6's
+   wall-clock column is the single legitimate difference, so it is
+   dropped before comparing.  CI reruns this at corpus scale via
+   INCREMENTAL_DIFF_SCALE. *)
+let test_tables_identical () =
+  let setup ~incremental =
+    match Sys.getenv_opt "INCREMENTAL_DIFF_SCALE" with
+    | Some s ->
+        Sb_eval.Experiments.default_setup ~scale:(float_of_string s)
+          ~incremental ()
+    | None ->
+        {
+          (Sb_eval.Experiments.default_setup ~scale:0.002 ~incremental ()) with
+          Sb_eval.Experiments.configs = [ Config.gp2; Config.fs4 ];
+          heavy_configs = [ Config.fs4 ];
+        }
+  in
+  let inc = Sb_eval.Experiments.prepare (setup ~incremental:true) in
+  let scratch = Sb_eval.Experiments.prepare (setup ~incremental:false) in
+  List.iter
+    (fun (name, table) ->
+      Alcotest.(check string)
+        (name ^ " identical")
+        (Sb_eval.Table.render (table scratch))
+        (Sb_eval.Table.render (table inc)))
+    [
+      ("table1", Sb_eval.Experiments.table1);
+      ("table2", Sb_eval.Experiments.table2);
+      ("table3", Sb_eval.Experiments.table3);
+      ("table4", Sb_eval.Experiments.table4);
+      ("table5", Sb_eval.Experiments.table5);
+      ("table7", Sb_eval.Experiments.table7);
+      ("figure8", Sb_eval.Experiments.figure8);
+    ];
+  let drop_wall_clock (t : Sb_eval.Table.t) =
+    let drop_last row = List.filteri (fun i _ -> i < List.length row - 1) row in
+    {
+      t with
+      Sb_eval.Table.headers = drop_last t.Sb_eval.Table.headers;
+      rows = List.map drop_last t.Sb_eval.Table.rows;
+    }
+  in
+  Alcotest.(check string)
+    "table6 identical up to wall clock"
+    (Sb_eval.Table.render (drop_wall_clock (Sb_eval.Experiments.table6 scratch)))
+    (Sb_eval.Table.render (drop_wall_clock (Sb_eval.Experiments.table6 inc)))
+
+(* The CI guard's counterpart at unit scale: the cache must actually be
+   hitting, otherwise the whole layer is dead weight. *)
+let test_cache_hits_nonzero () =
+  Sb_bounds.Work.reset ();
+  List.iter
+    (fun (_, sb) ->
+      ignore (Sb_sched.Balance.schedule Config.fs6 sb : Sb_sched.Schedule.t))
+    (all_blocks ());
+  Alcotest.(check bool)
+    "cache.dyn.hit > 0" true
+    (Sb_bounds.Work.get "cache.dyn.hit" > 0);
+  Sb_bounds.Work.reset ()
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suites =
+  [
+    ( "incremental.replay",
+      [
+        tc "info identical at every event" test_replay;
+        tc "random invalidation is conservative" test_replay_chaos;
+      ] );
+    ( "incremental.schedules",
+      [
+        tc "balance identical" test_balance_identical;
+        tc "help identical" test_help_identical;
+        tc "best identical" test_best_identical;
+      ] );
+    ( "incremental.evaluation",
+      [
+        tc "records identical (2-domain pool)" test_records_identical_parallel;
+        tc "tables identical" test_tables_identical;
+        tc "cache hits nonzero" test_cache_hits_nonzero;
+      ] );
+  ]

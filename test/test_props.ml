@@ -145,6 +145,127 @@ let prop_bound_ordering =
       && all.rj <= all.lc +. 1e-9
       && all.lc <= all.pw +. 1e-9)
 
+let prop_all_heuristics_above_bounds =
+  QCheck.Test.make
+    ~name:"every registered heuristic sits above every lower bound"
+    ~count:(count 30) seed_gen (fun seed ->
+      let sb = superblock_of_seed ~max_ops:30 seed in
+      let config = config_of_seed (seed + 3) in
+      let all = Sb_bounds.Superblock_bound.all_bounds config sb in
+      let bounds =
+        [ all.cp; all.hu; all.rj; all.lc; all.pw; all.tightest ]
+        @ match all.tw with Some v -> [ v ] | None -> []
+      in
+      List.for_all
+        (fun (h : Sb_sched.Registry.heuristic) ->
+          let wct =
+            Sb_sched.Schedule.weighted_completion_time (h.run config sb)
+          in
+          List.for_all (fun b -> b <= wct +. 1e-6) bounds)
+        Sb_sched.Registry.all)
+
+let prop_optimal_below_heuristics =
+  QCheck.Test.make
+    ~name:"Optimal is below every heuristic (and above the bounds)"
+    ~count:(count 25) seed_gen (fun seed ->
+      let sb = superblock_of_seed ~max_ops:14 seed in
+      let config = config_of_seed (seed + 7) in
+      match Sb_sched.Optimal.schedule config sb with
+      | None -> QCheck.assume_fail () (* too big for the budget: skip *)
+      | Some opt ->
+          let owct = Sb_sched.Schedule.weighted_completion_time opt in
+          let all = Sb_bounds.Superblock_bound.all_bounds config sb in
+          all.tightest <= owct +. 1e-6
+          && List.for_all
+               (fun (h : Sb_sched.Registry.heuristic) ->
+                 owct
+                 <= Sb_sched.Schedule.weighted_completion_time
+                      (h.run config sb)
+                    +. 1e-6)
+               Sb_sched.Registry.all)
+
+(* Random force-invalidation mid-run must be invisible: the cache's
+   refresh after dropped slots still matches a from-scratch [analyze]
+   at every event of a replayed Balance schedule. *)
+let prop_invalidation_conservative =
+  QCheck.Test.make
+    ~name:"random cache invalidation never changes dynamic infos"
+    ~count:(count 20) seed_gen (fun seed ->
+      let sb = superblock_of_seed ~max_ops:25 seed in
+      let config = config_of_seed (seed + 11) in
+      let module Core = Sb_sched.Scheduler_core in
+      let module Dyn = Sb_sched.Dyn_bounds in
+      let reference =
+        Sb_sched.Balance.schedule ~incremental:false config sb
+      in
+      let issue = reference.Sb_sched.Schedule.issue in
+      let nb = Superblock.n_branches sb in
+      let erc = Sb_bounds.Langevin_cerny.early_rc config sb in
+      let analysis =
+        Sb_bounds.Analysis.create ~memoize:false config sb ~early_rc:erc
+      in
+      let late_floors =
+        Array.init nb (fun k ->
+            Some (Sb_bounds.Analysis.late_floor analysis k))
+      in
+      let st = Core.create config sb in
+      let cache =
+        Dyn.Cache.create ~early_floor:erc ~late_floors ~with_erc:true st
+      in
+      let rng = Random.State.make [| seed; 0xCAFE |] in
+      let ok = ref true in
+      let erc_repr (e : Dyn.erc) = (e.resource, e.deadline, e.ops, e.empty) in
+      let check () =
+        if Random.State.int rng 3 = 0 then
+          Dyn.Cache.force_invalidate cache
+            ~branch_index:(Random.State.int rng nb);
+        for k = 0 to nb - 1 do
+          if not (Core.is_scheduled st (Superblock.branch_op sb k)) then begin
+            let cached =
+              match Dyn.Cache.refresh cache ~branch_index:k with
+              | Some info -> info
+              | None -> raise Exit
+            in
+            let fresh =
+              Dyn.analyze ~early_floor:erc ?late_floor:late_floors.(k)
+                ~with_erc:true st ~branch_index:k
+            in
+            if
+              not
+                (fresh.early = cached.early
+                && fresh.earlies = cached.earlies
+                && fresh.late = cached.late
+                && fresh.adjust = cached.adjust
+                && fresh.need_each = cached.need_each
+                && List.map erc_repr fresh.ercs
+                   = List.map erc_repr cached.ercs
+                && Dyn.need_one fresh = Dyn.need_one cached)
+            then ok := false
+          end
+        done
+      in
+      let by_cycle = Array.make reference.Sb_sched.Schedule.length [] in
+      Array.iteri (fun v c -> by_cycle.(c) <- v :: by_cycle.(c)) issue;
+      let pos = Array.make (Superblock.n_ops sb) 0 in
+      Array.iteri (fun i v -> pos.(v) <- i)
+        (Dep_graph.topo_order sb.Superblock.graph);
+      (try
+         check ();
+         Array.iter
+           (fun ops ->
+             List.iter
+               (fun v ->
+                 Core.place st v;
+                 check ())
+               (List.sort (fun a b -> compare pos.(a) pos.(b)) ops);
+             if not (Core.finished st) then begin
+               Core.advance st;
+               check ()
+             end)
+           by_cycle
+       with Exit -> ok := false);
+      !ok)
+
 let prop_pairwise_theorem2 =
   QCheck.Test.make
     ~name:"Theorem 2: pair bounds hold in concrete schedules"
@@ -298,6 +419,9 @@ let suites =
           prop_serde_roundtrip;
           prop_bounds_valid;
           prop_bound_ordering;
+          prop_all_heuristics_above_bounds;
+          prop_optimal_below_heuristics;
+          prop_invalidation_conservative;
           prop_pairwise_theorem2;
           prop_rj_monotone;
           prop_reservation_roundtrip;
