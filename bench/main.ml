@@ -414,6 +414,54 @@ let run_incremental scale =
     ~incr:(experiments ~incremental:true)
     ~same:( = )
 
+(* serve: end-to-end service throughput — an in-process sbserve server
+   on a Unix domain socket, hammered closed-loop by the loadgen client
+   at several domain-pool sizes.  Latency here is send-to-reply over
+   the wire, so it includes framing, queueing and dispatch on top of
+   the raw scheduling kernel. *)
+let run_serve () =
+  print_endline "== serve (sbserve throughput over a Unix socket) ==";
+  let sbs =
+    (Sb_workload.Corpus.program ~count:24 "gcc").Sb_workload.Corpus.superblocks
+  in
+  Printf.printf "  %d superblocks, heuristic=balance, closed loop\n%!"
+    (List.length sbs);
+  List.iter
+    (fun jobs ->
+      let config =
+        {
+          Sb_serve.Server.default_config with
+          jobs;
+          queue_capacity = 256;
+          batch_max = 32;
+        }
+      in
+      let server = Sb_serve.Server.create ~config () in
+      let path = Filename.temp_file "sbserve_bench" ".sock" in
+      Sys.remove path;
+      let listener =
+        Thread.create (fun () -> Sb_serve.Server.listen_unix server ~path) ()
+      in
+      let rec wait n =
+        if not (Sys.file_exists path) then begin
+          if n = 0 then failwith "bench server socket never appeared";
+          Thread.delay 0.01;
+          wait (n - 1)
+        end
+      in
+      wait 500;
+      let report =
+        Sb_serve.Client.Loadgen.run ~path ~superblocks:sbs
+          ~label:(Printf.sprintf "%d domains" jobs)
+          ~conns:8 ~duration_s:2.0 ~heuristic:"balance" ()
+      in
+      Sb_serve.Server.begin_drain server;
+      Sb_serve.Server.await server;
+      Thread.join listener;
+      if Sys.file_exists path then (try Sys.remove path with Sys_error _ -> ());
+      print_string (Sb_serve.Client.Loadgen.report_to_string report))
+    [ 1; 4 ]
+
 let run_tables scale =
   Printf.printf
     "== Paper tables and figures (synthetic corpus, scale %.3f) ==\n%!" scale;
@@ -429,12 +477,14 @@ let () =
   let tables = ref true
   and timing = ref true
   and speedup = ref true
-  and incremental = ref true in
+  and incremental = ref true
+  and serve = ref true in
   let only what =
     tables := false;
     timing := false;
     speedup := false;
     incremental := false;
+    serve := false;
     what := true
   in
   let rec parse = function
@@ -454,10 +504,13 @@ let () =
     | "--incremental-only" :: rest ->
         only incremental;
         parse rest
+    | "--serve-only" :: rest ->
+        only serve;
+        parse rest
     | arg :: _ ->
         Printf.eprintf
           "unknown argument %S (expected --scale S, --tables-only, \
-           --timing-only, --speedup-only, --incremental-only)\n"
+           --timing-only, --speedup-only, --incremental-only, --serve-only)\n"
           arg;
         exit 1
   in
@@ -465,4 +518,5 @@ let () =
   if !tables then run_tables !scale;
   if !speedup then run_speedup !scale;
   if !incremental then run_incremental !scale;
+  if !serve then run_serve ();
   if !timing then run_timing ()

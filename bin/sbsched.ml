@@ -5,9 +5,30 @@
                   the schedules
      bounds       print every lower bound for each superblock
      corpus       generate the synthetic corpus (stats or dump to a file)
-     experiments  regenerate the paper's tables and figures *)
+     experiments  regenerate the paper's tables and figures
+     serve        run the concurrent scheduling service (socket or stdio)
+     loadgen      replay superblocks against a running server *)
 
 open Cmdliner
+
+(* Shared --jobs handling: 0 resolves to one domain per core, negative
+   is rejected — the single copy of the validation every parallel
+   subcommand uses. *)
+let resolve_jobs jobs =
+  if jobs < 0 then begin
+    Printf.eprintf "error: --jobs must be >= 0\n";
+    exit 1
+  end
+  else if jobs = 0 then Sb_eval.Parpool.default_jobs ()
+  else jobs
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Fan the per-superblock work out over N domains (1 = \
+           sequential, 0 = one per core).  Output order is unchanged.")
 
 let machine_conv =
   let parse s =
@@ -104,24 +125,29 @@ let schedule_cmd =
             "Write the first superblock's dependence graph (with issue \
              cycles) as Graphviz DOT to FILE.")
   in
-  let run machine heuristic verbose blocking dot file generate count =
+  let run machine heuristic verbose blocking jobs dot file generate count =
     match Sb_sched.Registry.by_name heuristic with
     | None ->
         Printf.eprintf "error: unknown heuristic %S\n" heuristic;
         exit 1
     | Some h ->
+        let jobs = resolve_jobs jobs in
         let sbs = maybe_expand blocking (load_superblocks file generate count) in
-        List.iter
+        (* Render in parallel, print in corpus order. *)
+        Sb_eval.Parpool.parallel_map ~jobs
           (fun sb ->
             let s = h.Sb_sched.Registry.run machine sb in
             let bound = Sb_bounds.Superblock_bound.tightest machine sb in
             let wct = Sb_sched.Schedule.weighted_completion_time s in
-            Printf.printf "%-24s %s  wct=%.3f  bound=%.3f%s\n"
+            Printf.sprintf "%-24s %s  wct=%.3f  bound=%.3f%s%s"
               sb.Sb_ir.Superblock.name
               machine.Sb_machine.Config.name wct bound
-              (if wct <= bound +. 1e-6 then "  (optimal)" else "");
-            if verbose then Format.printf "%a@." Sb_sched.Schedule.pp s)
-          sbs;
+              (if wct <= bound +. 1e-6 then "  (optimal)" else "")
+              (if verbose then
+                 Format.asprintf "@.%a" Sb_sched.Schedule.pp s
+               else ""))
+          sbs
+        |> List.iter print_endline;
         (match (dot, sbs) with
         | Some path, sb :: _ ->
             let s = h.Sb_sched.Registry.run machine sb in
@@ -134,7 +160,7 @@ let schedule_cmd =
     (Cmd.info "schedule" ~doc:"Schedule superblocks and report WCT vs bound")
     Term.(
       const run $ machine_arg $ heuristic_arg $ verbose_arg $ blocking_arg
-      $ dot_arg $ file_arg $ generate_arg $ count_arg)
+      $ jobs_arg $ dot_arg $ file_arg $ generate_arg $ count_arg)
 
 (* ------------------------------ bounds ----------------------------- *)
 
@@ -205,14 +231,15 @@ let simulate_cmd =
       value & opt int 51966
       & info [ "seed" ] ~docv:"SEED" ~doc:"Simulation seed.")
   in
-  let run machine heuristic runs seed file generate count =
+  let run machine heuristic runs seed jobs file generate count =
     match Sb_sched.Registry.by_name heuristic with
     | None ->
         Printf.eprintf "error: unknown heuristic %S\n" heuristic;
         exit 1
     | Some h ->
+        let jobs = resolve_jobs jobs in
         let sbs = load_superblocks file generate count in
-        List.iter
+        Sb_eval.Parpool.parallel_map ~jobs
           (fun sb ->
             let s = h.Sb_sched.Registry.run machine sb in
             let wct = Sb_sched.Schedule.weighted_completion_time s in
@@ -220,8 +247,8 @@ let simulate_cmd =
               Sb_sim.Simulator.sample ~runs ~seed:(Int64.of_int seed) s
             in
             let stats = Sb_sim.Simulator.stats_of s executions in
-            Printf.printf
-              "%-24s analytic=%.3f simulated=%.3f wasted=%.1f ops/run exits=[%s]\n"
+            Printf.sprintf
+              "%-24s analytic=%.3f simulated=%.3f wasted=%.1f ops/run exits=[%s]"
               sb.Sb_ir.Superblock.name wct stats.Sb_sim.Simulator.mean_cycles
               stats.Sb_sim.Simulator.mean_wasted
               (String.concat ","
@@ -232,13 +259,14 @@ let simulate_cmd =
                            (100. *. float_of_int c /. float_of_int runs))
                        stats.Sb_sim.Simulator.exit_counts))))
           sbs
+        |> List.iter print_endline
   in
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Monte-Carlo execute schedules and compare with the analytic WCT")
     Term.(
-      const run $ machine_arg $ heuristic_arg $ runs_arg $ seed_arg $ file_arg
-      $ generate_arg $ count_arg)
+      const run $ machine_arg $ heuristic_arg $ runs_arg $ seed_arg $ jobs_arg
+      $ file_arg $ generate_arg $ count_arg)
 
 (* ------------------------------- form ------------------------------- *)
 
@@ -331,14 +359,6 @@ let experiments_cmd =
             "Use superblocks formed through the CFG pipeline instead of \
              the direct generator (robustness check).")
   in
-  let jobs_arg =
-    Arg.(
-      value & opt int 1
-      & info [ "j"; "jobs" ] ~docv:"N"
-          ~doc:
-            "Evaluate the corpus over N domains (1 = sequential, 0 = one \
-             per core).  Tables are identical to the sequential run.")
-  in
   let profile_arg =
     Arg.(
       value & flag
@@ -360,14 +380,7 @@ let experiments_cmd =
   in
   let run scale full via_cfg jobs profile no_incremental id csv =
     let scale = if full then 1.0 else scale in
-    let jobs =
-      if jobs < 0 then begin
-        Printf.eprintf "error: --jobs must be >= 0\n";
-        exit 1
-      end
-      else if jobs = 0 then Sb_eval.Parpool.default_jobs ()
-      else jobs
-    in
+    let jobs = resolve_jobs jobs in
     let corpus_kind =
       if via_cfg then Sb_eval.Experiments.Via_cfg
       else Sb_eval.Experiments.Synthetic
@@ -420,6 +433,163 @@ let experiments_cmd =
       const run $ scale_arg $ full_arg $ via_cfg_arg $ jobs_arg $ profile_arg
       $ no_incremental_arg $ id_arg $ csv_arg)
 
+(* ------------------------------- serve ------------------------------ *)
+
+let default_socket = Filename.concat (Filename.get_temp_dir_name ()) "sbsched.sock"
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string default_socket
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix domain socket path.")
+
+let serve_cmd =
+  let stdio_arg =
+    Arg.(
+      value & flag
+      & info [ "stdio" ]
+          ~doc:
+            "Serve a single connection on stdin/stdout instead of a \
+             socket; drains and exits cleanly on EOF (used by tests).")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 128
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Bounded request queue capacity; beyond it requests are shed \
+             with an error code=busy reply.")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "batch" ] ~docv:"N"
+          ~doc:"Micro-batch size handed to the domain pool per dispatch.")
+  in
+  let tw_arg =
+    Arg.(
+      value & flag
+      & info [ "tw" ]
+          ~doc:
+            "Include the (expensive) Triplewise bound when a request \
+             asks for bounds=true.")
+  in
+  let run machine jobs stdio socket queue_capacity batch_max with_tw =
+    let jobs = resolve_jobs jobs in
+    let config =
+      {
+        Sb_serve.Server.machine;
+        jobs;
+        queue_capacity;
+        batch_max;
+        with_tw;
+        before_batch = None;
+      }
+    in
+    let server =
+      try Sb_serve.Server.create ~config ()
+      with Invalid_argument msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 1
+    in
+    if stdio then begin
+      Sb_serve.Server.serve_channels server stdin stdout;
+      Sb_serve.Server.begin_drain server;
+      Sb_serve.Server.await server
+    end
+    else begin
+      List.iter
+        (fun s ->
+          Sys.set_signal s
+            (Sys.Signal_handle (fun _ -> Sb_serve.Server.begin_drain server)))
+        [ Sys.sigint; Sys.sigterm ];
+      Printf.eprintf "sbserve: listening on %s (machine %s, %d domains, queue %d)\n%!"
+        socket machine.Sb_machine.Config.name jobs queue_capacity;
+      (try Sb_serve.Server.listen_unix server ~path:socket
+       with Unix.Unix_error (e, _, _) ->
+         Printf.eprintf "error: cannot listen on %s: %s\n" socket
+           (Unix.error_message e);
+         exit 1);
+      Sb_serve.Server.await server;
+      Printf.eprintf "sbserve: drained.  Final stats:\n";
+      List.iter
+        (fun (k, v) -> Printf.eprintf "  %-24s %s\n" k v)
+        (Sb_serve.Server.stats_fields server)
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the concurrent scheduling service (see docs/PROTOCOL.md for \
+          the wire protocol)")
+    Term.(
+      const run $ machine_arg $ jobs_arg $ stdio_arg $ socket_arg $ queue_arg
+      $ batch_arg $ tw_arg)
+
+(* ------------------------------ loadgen ----------------------------- *)
+
+let loadgen_cmd =
+  let conns_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "c"; "conns" ] ~docv:"N" ~doc:"Client connections.")
+  in
+  let rps_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "rps" ] ~docv:"R"
+          ~doc:"Aggregate target request rate; 0 = closed loop (max).")
+  in
+  let duration_arg =
+    Arg.(
+      value & opt float 5.
+      & info [ "d"; "duration" ] ~docv:"S" ~doc:"Run length in seconds.")
+  in
+  let heuristic_arg =
+    Arg.(
+      value & opt string "balance"
+      & info [ "H"; "heuristic" ] ~docv:"NAME" ~doc:"Heuristic to request.")
+  in
+  let bounds_arg =
+    Arg.(
+      value & flag
+      & info [ "bounds" ] ~doc:"Also request the lower-bound stack.")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"Attach a deadline to every request.")
+  in
+  let run socket conns rps duration heuristic bounds deadline_ms file generate
+      count =
+    let sbs =
+      match (file, generate) with
+      | None, None ->
+          (* A default workload: a gcc-profile corpus slice. *)
+          (Sb_workload.Corpus.program ~count "gcc").Sb_workload.Corpus.superblocks
+      | _ -> load_superblocks file generate count
+    in
+    match
+      Sb_serve.Client.Loadgen.run ~path:socket ~superblocks:sbs ~conns ~rps
+        ~duration_s:duration ~heuristic ~bounds ?deadline_ms ()
+    with
+    | report ->
+        print_string (Sb_serve.Client.Loadgen.report_to_string report)
+    | exception Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "error: cannot connect to %s: %s\n" socket
+          (Unix.error_message e);
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:"Replay superblocks against a running sbsched serve instance")
+    Term.(
+      const run $ socket_arg $ conns_arg $ rps_arg $ duration_arg
+      $ heuristic_arg $ bounds_arg $ deadline_arg $ file_arg $ generate_arg
+      $ count_arg)
+
 let () =
   let info =
     Cmd.info "sbsched" ~version:"1.0.0"
@@ -430,5 +600,5 @@ let () =
        (Cmd.group info
           [
             schedule_cmd; bounds_cmd; simulate_cmd; corpus_cmd; form_cmd;
-            experiments_cmd;
+            experiments_cmd; serve_cmd; loadgen_cmd;
           ]))

@@ -26,4 +26,15 @@ if [ -z "$hits" ] || [ "$hits" -eq 0 ]; then
 fi
 echo "cache.dyn.hit = $hits"
 
+echo "== smoke: sbserve over stdio (one good, one malformed request) =="
+out=$(printf 'schedule r1 heuristic=balance\nsuperblock smoke freq=1\nop 0 add\nop 1 br prob=1\nedge 0 1\nend\nschedule r2 heuristic=zorp\nsuperblock smoke freq=1\nop 0 br prob=1\nend\n' \
+  | dune exec bin/sbsched.exe -- serve --stdio)
+echo "$out"
+oks=$(echo "$out" | grep -c '^ok r1 kind=schedule') || oks=0
+errs=$(echo "$out" | grep -c '^error r2 code=bad-request') || errs=0
+if [ "$oks" -ne 1 ] || [ "$errs" -ne 1 ]; then
+  echo "ci.sh: FAIL — serve --stdio expected one ok and one error reply" >&2
+  exit 1
+fi
+
 echo "ci.sh: all checks passed"

@@ -31,5 +31,7 @@ val to_string : Cfg.t -> string
 (** Prints in the same format; [parse_string] round-trips it. *)
 
 val load_file : string -> (Cfg.t, string) result
+(** Like {!parse_string}; error messages are prefixed with the file path
+    ([path: line N: ...]). *)
 
 val save_file : string -> Cfg.t -> unit

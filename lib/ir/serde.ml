@@ -161,7 +161,10 @@ let load_file path =
   let len = in_channel_length ic in
   let text = really_input_string ic len in
   close_in ic;
-  parse_string text
+  (* Prefix parse errors ("line N: ...") with the file, so callers can
+     print them verbatim and still point at the right place. *)
+  Result.map_error (fun msg -> Printf.sprintf "%s: %s" path msg)
+    (parse_string text)
 
 let save_file path sbs =
   let oc = open_out path in

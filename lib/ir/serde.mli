@@ -30,5 +30,7 @@ val parse_string : string -> (Superblock.t list, string) result
     offending line. *)
 
 val load_file : string -> (Superblock.t list, string) result
+(** Like {!parse_string}; error messages are prefixed with the file path
+    ([path: line N: ...]). *)
 
 val save_file : string -> Superblock.t list -> unit

@@ -1,0 +1,220 @@
+(* Protocol client and load generator. *)
+
+type t = {
+  ic : in_channel;
+  oc : out_channel;
+  fd : Unix.file_descr option;  (* Some: we own the socket *)
+}
+
+let connect ~path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     (try Unix.close fd with _ -> ());
+     raise e);
+  {
+    ic = Unix.in_channel_of_descr fd;
+    oc = Unix.out_channel_of_descr fd;
+    fd = Some fd;
+  }
+
+let of_channels ic oc = { ic; oc; fd = None }
+
+let close t =
+  match t.fd with
+  | Some _ ->
+      close_out_noerr t.oc (* flushes and closes the shared fd *)
+  | None -> ()
+
+let send_schedule t ~id ?heuristic ?machine ?bounds ?issue ?deadline_ms sb =
+  let buf = Buffer.create 256 in
+  Printf.bprintf buf "schedule %s" id;
+  Option.iter (Printf.bprintf buf " heuristic=%s") heuristic;
+  Option.iter (Printf.bprintf buf " machine=%s") machine;
+  Option.iter (Printf.bprintf buf " bounds=%b") bounds;
+  Option.iter (Printf.bprintf buf " issue=%b") issue;
+  Option.iter (Printf.bprintf buf " deadline_ms=%d") deadline_ms;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Sb_ir.Serde.superblock_to_string sb);
+  output_string t.oc (Buffer.contents buf);
+  flush t.oc
+
+let send_stats t ~id =
+  output_string t.oc (Printf.sprintf "stats %s\n" id);
+  flush t.oc
+
+let send_ping t ~id =
+  output_string t.oc (Printf.sprintf "ping %s\n" id);
+  flush t.oc
+
+let read_reply t =
+  match input_line t.ic with
+  | exception End_of_file -> Error "connection closed"
+  | exception Sys_error msg -> Error msg
+  | line -> Protocol.parse_reply line
+
+let schedule t ~id ?heuristic ?machine ?bounds ?issue ?deadline_ms sb =
+  send_schedule t ~id ?heuristic ?machine ?bounds ?issue ?deadline_ms sb;
+  read_reply t
+
+(* ----------------------------- loadgen ---------------------------- *)
+
+module Loadgen = struct
+  type report = {
+    jobs_hint : string;
+    conns : int;
+    target_rps : float;
+    duration_s : float;
+    sent : int;
+    ok : int;
+    degraded : int;
+    busy : int;
+    errors : int;
+    achieved_rps : float;
+    mean_us : int;
+    p50_us : int;
+    p95_us : int;
+    p99_us : int;
+    max_us : int;
+  }
+
+  type worker_acc = {
+    mutable w_sent : int;
+    mutable w_ok : int;
+    mutable w_degraded : int;
+    mutable w_busy : int;
+    mutable w_errors : int;
+    mutable latencies_us : int list;
+  }
+
+  (* One worker: a private connection issuing synchronous request/reply
+     pairs, paced by sleeping until its next send slot when a target
+     rate is set.  If the server is slower than the rate, the worker
+     falls behind rather than piling up in-flight requests; the report's
+     achieved_rps shows the shortfall. *)
+  let worker ~path ~sbs ~per_conn_rps ~deadline ~heuristic ~bounds
+      ~deadline_ms ~index acc =
+    let client = connect ~path in
+    Fun.protect
+      ~finally:(fun () -> close client)
+      (fun () ->
+        let n_sbs = Array.length sbs in
+        let interval =
+          if per_conn_rps > 0. then 1. /. per_conn_rps else 0.
+        in
+        let next_slot = ref (Unix.gettimeofday ()) in
+        let i = ref index in
+        while Unix.gettimeofday () < deadline do
+          if interval > 0. then begin
+            let now = Unix.gettimeofday () in
+            if now < !next_slot then Thread.delay (!next_slot -. now);
+            next_slot := !next_slot +. interval
+          end;
+          let sb = sbs.(!i mod n_sbs) in
+          incr i;
+          let id = Printf.sprintf "c%d-%d" index !i in
+          let t0 = Unix.gettimeofday () in
+          acc.w_sent <- acc.w_sent + 1;
+          match
+            schedule client ~id ?heuristic ?bounds ?deadline_ms sb
+          with
+          | Ok (Protocol.Ok_schedule { result; _ }) ->
+              let dt =
+                int_of_float ((Unix.gettimeofday () -. t0) *. 1e6)
+              in
+              acc.w_ok <- acc.w_ok + 1;
+              if result.Protocol.degraded then
+                acc.w_degraded <- acc.w_degraded + 1;
+              acc.latencies_us <- dt :: acc.latencies_us
+          | Ok (Protocol.Error_reply { code = Protocol.Busy; _ }) ->
+              acc.w_busy <- acc.w_busy + 1
+          | Ok _ -> acc.w_errors <- acc.w_errors + 1
+          | Error _ ->
+              acc.w_errors <- acc.w_errors + 1;
+              (* Connection dead: stop this worker. *)
+              raise Exit
+        done)
+
+  let percentile sorted q =
+    let n = Array.length sorted in
+    if n = 0 then 0
+    else sorted.(min (n - 1) (int_of_float (q *. float_of_int n)))
+
+  let run ~path ~superblocks ?(label = "") ?(conns = 4) ?(rps = 0.)
+      ?(duration_s = 5.) ?heuristic ?bounds ?deadline_ms () =
+    if conns < 1 then invalid_arg "Loadgen.run: conns must be >= 1";
+    if superblocks = [] then invalid_arg "Loadgen.run: no superblocks";
+    let sbs = Array.of_list superblocks in
+    let t0 = Unix.gettimeofday () in
+    let deadline = t0 +. duration_s in
+    let per_conn_rps = if rps > 0. then rps /. float_of_int conns else 0. in
+    let accs =
+      Array.init conns (fun _ ->
+          {
+            w_sent = 0;
+            w_ok = 0;
+            w_degraded = 0;
+            w_busy = 0;
+            w_errors = 0;
+            latencies_us = [];
+          })
+    in
+    let threads =
+      Array.mapi
+        (fun index acc ->
+          Thread.create
+            (fun () ->
+              try
+                worker ~path ~sbs ~per_conn_rps ~deadline ~heuristic ~bounds
+                  ~deadline_ms ~index acc
+              with Exit -> ())
+            ())
+        accs
+    in
+    Array.iter Thread.join threads;
+    let wall = Unix.gettimeofday () -. t0 in
+    let sum f = Array.fold_left (fun a w -> a + f w) 0 accs in
+    let latencies =
+      Array.of_list
+        (Array.fold_left (fun a w -> List.rev_append w.latencies_us a) [] accs)
+    in
+    Array.sort compare latencies;
+    let n = Array.length latencies in
+    let mean_us =
+      if n = 0 then 0 else Array.fold_left ( + ) 0 latencies / n
+    in
+    {
+      jobs_hint = label;
+      conns;
+      target_rps = rps;
+      duration_s = wall;
+      sent = sum (fun w -> w.w_sent);
+      ok = sum (fun w -> w.w_ok);
+      degraded = sum (fun w -> w.w_degraded);
+      busy = sum (fun w -> w.w_busy);
+      errors = sum (fun w -> w.w_errors);
+      achieved_rps =
+        (if wall > 0. then float_of_int (sum (fun w -> w.w_ok)) /. wall
+         else 0.);
+      mean_us;
+      p50_us = percentile latencies 0.50;
+      p95_us = percentile latencies 0.95;
+      p99_us = percentile latencies 0.99;
+      max_us = (if n = 0 then 0 else latencies.(n - 1));
+    }
+
+  let report_to_string r =
+    let b = Buffer.create 256 in
+    if r.jobs_hint <> "" then Printf.bprintf b "  [%s]\n" r.jobs_hint;
+    Printf.bprintf b
+      "  conns=%d target_rps=%s duration=%.2fs\n\
+      \  sent=%d ok=%d degraded=%d busy=%d errors=%d\n\
+      \  throughput %.1f req/s   latency mean=%dus p50=%dus p95=%dus \
+       p99=%dus max=%dus\n"
+      r.conns
+      (if r.target_rps > 0. then Printf.sprintf "%.0f" r.target_rps
+       else "max")
+      r.duration_s r.sent r.ok r.degraded r.busy r.errors r.achieved_rps
+      r.mean_us r.p50_us r.p95_us r.p99_us r.max_us;
+    Buffer.contents b
+end

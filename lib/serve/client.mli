@@ -1,0 +1,88 @@
+(** Client side of the wire protocol, and the load generator.
+
+    The blocking single-connection client is enough for tests and the
+    CLI; {!Loadgen} opens several of them from worker threads to put a
+    target request rate on a server and report throughput and latency
+    percentiles. *)
+
+type t
+
+val connect : path:string -> t
+(** Connect to a server's Unix domain socket. *)
+
+val of_channels : in_channel -> out_channel -> t
+(** Wrap an existing connection (e.g. a spawned [serve --stdio]). *)
+
+val close : t -> unit
+
+val send_schedule :
+  t ->
+  id:string ->
+  ?heuristic:string ->
+  ?machine:string ->
+  ?bounds:bool ->
+  ?issue:bool ->
+  ?deadline_ms:int ->
+  Sb_ir.Superblock.t ->
+  unit
+(** Write (and flush) one schedule request. *)
+
+val send_stats : t -> id:string -> unit
+val send_ping : t -> id:string -> unit
+
+val read_reply : t -> (Protocol.reply, string) result
+(** Blocking.  [Error] on EOF or an unparseable line. *)
+
+val schedule :
+  t ->
+  id:string ->
+  ?heuristic:string ->
+  ?machine:string ->
+  ?bounds:bool ->
+  ?issue:bool ->
+  ?deadline_ms:int ->
+  Sb_ir.Superblock.t ->
+  (Protocol.reply, string) result
+(** [send_schedule] then [read_reply]. *)
+
+module Loadgen : sig
+  type report = {
+    jobs_hint : string;  (** free-form label printed in the report *)
+    conns : int;
+    target_rps : float;  (** [0.] = closed loop (as fast as possible) *)
+    duration_s : float;
+    sent : int;
+    ok : int;
+    degraded : int;
+    busy : int;
+    errors : int;
+    achieved_rps : float;
+    mean_us : int;
+    p50_us : int;
+    p95_us : int;
+    p99_us : int;
+    max_us : int;
+  }
+
+  val run :
+    path:string ->
+    superblocks:Sb_ir.Superblock.t list ->
+    ?label:string ->
+    ?conns:int ->
+    ?rps:float ->
+    ?duration_s:float ->
+    ?heuristic:string ->
+    ?bounds:bool ->
+    ?deadline_ms:int ->
+    unit ->
+    report
+  (** Replay [superblocks] round-robin over [conns] connections (default
+      4) for [duration_s] seconds (default 5), each connection issuing
+      synchronous request/reply pairs.  [rps] > 0 paces the aggregate
+      send rate; [rps = 0.] (default) runs closed-loop.  Latency is
+      send-to-reply, measured per request and reported as exact
+      percentiles over all samples. *)
+
+  val report_to_string : report -> string
+  (** Multi-line human-readable block (the [sbsched loadgen] output). *)
+end

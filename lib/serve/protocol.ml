@@ -1,0 +1,369 @@
+(* Wire protocol: request framing and reply rendering/parsing.
+
+   The request grammar deliberately reuses Sb_ir.Serde for the
+   superblock body: a `schedule` header opens a request, every following
+   line up to and including the first `end` line is the superblock text,
+   and Serde.parse_string validates it in one shot.  Header problems are
+   rejected immediately (the body is then skimmed and dropped), body
+   problems when `end` arrives; either way the connection stays usable —
+   one bad request costs one error reply, not the session. *)
+
+type sched_options = {
+  heuristic : Sb_sched.Registry.heuristic;
+  machine : Sb_machine.Config.t option;
+  with_bounds : bool;
+  with_issue : bool;
+  deadline_ms : int option;
+}
+
+type request =
+  | Schedule of {
+      id : string;
+      options : sched_options;
+      sb : Sb_ir.Superblock.t;
+    }
+  | Stats of string
+  | Ping of string
+
+let request_id = function
+  | Schedule { id; _ } | Stats id | Ping id -> id
+
+type error_code = Parse | Bad_request | Busy | Shutdown | Internal
+
+let error_code_to_string = function
+  | Parse -> "parse"
+  | Bad_request -> "bad-request"
+  | Busy -> "busy"
+  | Shutdown -> "shutdown"
+  | Internal -> "internal"
+
+let error_code_of_string = function
+  | "parse" -> Some Parse
+  | "bad-request" -> Some Bad_request
+  | "busy" -> Some Busy
+  | "shutdown" -> Some Shutdown
+  | "internal" -> Some Internal
+  | _ -> None
+
+type sched_reply = {
+  heuristic_used : string;
+  machine_used : string;
+  wct : float;
+  length : int;
+  bound : float option;
+  degraded : bool;
+  elapsed_us : int;
+  issue : int array option;
+}
+
+type reply =
+  | Ok_schedule of { id : string; result : sched_reply }
+  | Ok_stats of { id : string; fields : (string * string) list }
+  | Ok_pong of { id : string }
+  | Error_reply of { id : string; code : error_code; msg : string }
+
+(* --------------------------- rendering ---------------------------- *)
+
+let render_reply = function
+  | Ok_schedule { id; result = r } ->
+      let buf = Buffer.create 128 in
+      Printf.bprintf buf "ok %s kind=schedule heuristic=%s machine=%s" id
+        r.heuristic_used r.machine_used;
+      Printf.bprintf buf " wct=%.17g length=%d" r.wct r.length;
+      (match r.bound with
+      | Some b -> Printf.bprintf buf " bound=%.17g" b
+      | None -> ());
+      Printf.bprintf buf " degraded=%b elapsed_us=%d" r.degraded r.elapsed_us;
+      (match r.issue with
+      | Some issue ->
+          Buffer.add_string buf " issue=";
+          Array.iteri
+            (fun i c ->
+              if i > 0 then Buffer.add_char buf ',';
+              Buffer.add_string buf (string_of_int c))
+            issue
+      | None -> ());
+      Buffer.contents buf
+  | Ok_stats { id; fields } ->
+      String.concat " "
+        (Printf.sprintf "ok %s kind=stats" id
+        :: List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) fields)
+  | Ok_pong { id } -> Printf.sprintf "ok %s kind=pong" id
+  | Error_reply { id; code; msg } ->
+      Printf.sprintf "error %s code=%s msg=%S" id (error_code_to_string code)
+        msg
+
+(* ---------------------------- parsing ----------------------------- *)
+
+let split_ws s = String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+
+let key_value word =
+  match String.index_opt word '=' with
+  | None -> Error (Printf.sprintf "expected key=value, got %S" word)
+  | Some i ->
+      Ok
+        ( String.sub word 0 i,
+          String.sub word (i + 1) (String.length word - i - 1) )
+
+let bool_value v =
+  match v with
+  | "true" | "1" -> Ok true
+  | "false" | "0" -> Ok false
+  | _ -> Error (Printf.sprintf "bad bool %S" v)
+
+let int_value v =
+  match int_of_string_opt v with
+  | Some i -> Ok i
+  | None -> Error (Printf.sprintf "bad int %S" v)
+
+let float_value v =
+  match float_of_string_opt v with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "bad float %S" v)
+
+let ( let* ) = Result.bind
+
+let parse_sched_kvs kvs =
+  let default =
+    {
+      heuristic = Sb_sched.Registry.balance;
+      machine = None;
+      with_bounds = false;
+      with_issue = false;
+      deadline_ms = None;
+    }
+  in
+  List.fold_left
+    (fun acc word ->
+      let* opts = acc in
+      let* k, v = key_value word in
+      match k with
+      | "heuristic" -> (
+          match Sb_sched.Registry.by_name v with
+          | Some h -> Ok { opts with heuristic = h }
+          | None -> Error (Printf.sprintf "unknown heuristic %S" v))
+      | "machine" -> (
+          match Sb_machine.Config.by_name v with
+          | Some m -> Ok { opts with machine = Some m }
+          | None -> Error (Printf.sprintf "unknown machine %S" v))
+      | "bounds" ->
+          let* b = bool_value v in
+          Ok { opts with with_bounds = b }
+      | "issue" ->
+          let* b = bool_value v in
+          Ok { opts with with_issue = b }
+      | "deadline_ms" ->
+          let* ms = int_value v in
+          if ms <= 0 then Error (Printf.sprintf "deadline_ms must be > 0")
+          else Ok { opts with deadline_ms = Some ms }
+      | _ -> Error (Printf.sprintf "unknown key %S" k))
+    (Ok default) kvs
+
+let parse_stats_fields words =
+  List.fold_left
+    (fun acc w ->
+      let* fields = acc in
+      let* kv = key_value w in
+      Ok (kv :: fields))
+    (Ok []) words
+  |> Result.map List.rev
+
+let parse_issue v =
+  let cells = String.split_on_char ',' v in
+  let* cycles =
+    List.fold_left
+      (fun acc c ->
+        let* l = acc in
+        let* i = int_value c in
+        Ok (i :: l))
+      (Ok []) cells
+  in
+  Ok (Array.of_list (List.rev cycles))
+
+let parse_ok_schedule id words =
+  let* fields = parse_stats_fields words in
+  let find k = List.assoc_opt k fields in
+  let require k =
+    match find k with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "reply missing %s=" k)
+  in
+  let* heuristic_used = require "heuristic" in
+  let* machine_used = require "machine" in
+  let* wct = Result.join (Result.map float_value (require "wct")) in
+  let* length = Result.join (Result.map int_value (require "length")) in
+  let* degraded = Result.join (Result.map bool_value (require "degraded")) in
+  let* elapsed_us = Result.join (Result.map int_value (require "elapsed_us")) in
+  let* bound =
+    match find "bound" with
+    | None -> Ok None
+    | Some v ->
+        let* f = float_value v in
+        Ok (Some f)
+  in
+  let* issue =
+    match find "issue" with
+    | None -> Ok None
+    | Some v ->
+        let* a = parse_issue v in
+        Ok (Some a)
+  in
+  Ok
+    (Ok_schedule
+       {
+         id;
+         result =
+           {
+             heuristic_used;
+             machine_used;
+             wct;
+             length;
+             bound;
+             degraded;
+             elapsed_us;
+             issue;
+           };
+       })
+
+let parse_reply line =
+  match split_ws (String.trim line) with
+  | "ok" :: id :: "kind=schedule" :: rest -> parse_ok_schedule id rest
+  | "ok" :: id :: "kind=stats" :: rest ->
+      let* fields = parse_stats_fields rest in
+      Ok (Ok_stats { id; fields })
+  | [ "ok"; id; "kind=pong" ] -> Ok (Ok_pong { id })
+  | "error" :: id :: code :: _ -> (
+      let* _, code_v = key_value code in
+      match error_code_of_string code_v with
+      | None -> Error (Printf.sprintf "unknown error code %S" code_v)
+      | Some code ->
+          (* The message is everything after [msg=], %S-quoted. *)
+          let msg =
+            let marker = " msg=" in
+            let rec search i =
+              if i + String.length marker > String.length line then None
+              else if String.sub line i (String.length marker) = marker then
+                Some (i + String.length marker)
+              else search (i + 1)
+            in
+            match search 0 with
+            | Some start ->
+                let quoted =
+                  String.sub line start (String.length line - start)
+                in
+                (try Scanf.sscanf quoted "%S" Fun.id with _ -> quoted)
+            | None -> ""
+          in
+          Ok (Error_reply { id; code; msg }))
+  | _ -> Error (Printf.sprintf "unparseable reply %S" line)
+
+(* ---------------------------- framing ----------------------------- *)
+
+module Reader = struct
+  type state =
+    | Toplevel
+    | In_body of {
+        id : string;
+        options : sched_options;
+        buf : Buffer.t;
+        mutable lines : int;
+        mutable overflow : bool;
+      }
+    | Skipping of { id : string; code : error_code; msg : string }
+        (* a bad header: drop body lines up to `end`, then reject *)
+
+  type t = { mutable state : state; max_body_lines : int }
+
+  let create ?(max_body_lines = 100_000) () = { state = Toplevel; max_body_lines }
+
+  type event =
+    | Request of request
+    | Reject of { id : string; code : error_code; msg : string }
+
+  let in_flight t = t.state <> Toplevel
+
+  (* The body of a schedule request ends at its first `end` line
+     (comments stripped, as Serde does). *)
+  let is_end line =
+    let line =
+      match String.index_opt line '#' with
+      | Some i -> String.sub line 0 i
+      | None -> line
+    in
+    String.trim line = "end"
+
+  let feed t line =
+    match t.state with
+    | In_body b ->
+        b.lines <- b.lines + 1;
+        if b.lines > t.max_body_lines then b.overflow <- true;
+        if not b.overflow then begin
+          Buffer.add_string b.buf line;
+          Buffer.add_char b.buf '\n'
+        end;
+        if not (is_end line) then None
+        else begin
+          t.state <- Toplevel;
+          if b.overflow then
+            Some
+              (Reject
+                 {
+                   id = b.id;
+                   code = Parse;
+                   msg =
+                     Printf.sprintf "superblock body exceeds %d lines"
+                       t.max_body_lines;
+                 })
+          else
+            match Sb_ir.Serde.parse_string (Buffer.contents b.buf) with
+            | Ok [ sb ] ->
+                Some (Request (Schedule { id = b.id; options = b.options; sb }))
+            | Ok l ->
+                Some
+                  (Reject
+                     {
+                       id = b.id;
+                       code = Parse;
+                       msg =
+                         Printf.sprintf
+                           "expected exactly one superblock, got %d"
+                           (List.length l);
+                     })
+            | Error msg -> Some (Reject { id = b.id; code = Parse; msg })
+        end
+    | Skipping { id; code; msg } ->
+        if not (is_end line) then None
+        else begin
+          t.state <- Toplevel;
+          Some (Reject { id; code; msg })
+        end
+    | Toplevel -> (
+        match split_ws (String.trim line) with
+        | [] -> None
+        | [ "stats"; id ] -> Some (Request (Stats id))
+        | [ "ping"; id ] -> Some (Request (Ping id))
+        | "schedule" :: id :: kvs -> (
+            match parse_sched_kvs kvs with
+            | Ok options ->
+                t.state <-
+                  In_body
+                    { id; options; buf = Buffer.create 256; lines = 0;
+                      overflow = false };
+                None
+            | Error msg ->
+                (* Skim the body so one bad header doesn't desync the
+                   stream. *)
+                t.state <- Skipping { id; code = Bad_request; msg };
+                None)
+        | [ "schedule" ] ->
+            Some
+              (Reject { id = "-"; code = Parse; msg = "schedule needs an id" })
+        | w :: _ ->
+            Some
+              (Reject
+                 {
+                   id = "-";
+                   code = Parse;
+                   msg = Printf.sprintf "unknown request %S" w;
+                 }))
+end

@@ -1,0 +1,100 @@
+(** The `sbserve` wire protocol: line-delimited requests and replies.
+
+    The protocol is textual and line based, like {!Sb_ir.Serde}, so a
+    request can be typed into a socket by hand.  A client sends:
+
+    {v
+    schedule <id> [heuristic=NAME] [machine=NAME] [bounds=BOOL]
+                  [issue=BOOL] [deadline_ms=N]
+    superblock <name> freq=F
+    op ...
+    edge ...
+    end
+    v}
+
+    or one of the single-line requests [stats <id>] / [ping <id>].  The
+    server answers every request with exactly one line: [ok <id> ...] or
+    [error <id> code=... msg=...].  See docs/PROTOCOL.md for the full
+    grammar, the error codes and the deadline semantics. *)
+
+type sched_options = {
+  heuristic : Sb_sched.Registry.heuristic;
+  machine : Sb_machine.Config.t option;  (** [None]: the server default *)
+  with_bounds : bool;  (** also compute the lower-bound stack *)
+  with_issue : bool;  (** echo the per-op issue cycles in the reply *)
+  deadline_ms : int option;
+      (** soft deadline, measured from request acceptance; see
+          docs/PROTOCOL.md §Deadlines *)
+}
+
+type request =
+  | Schedule of {
+      id : string;
+      options : sched_options;
+      sb : Sb_ir.Superblock.t;
+    }
+  | Stats of string  (** the request id *)
+  | Ping of string  (** the request id *)
+
+val request_id : request -> string
+
+type error_code =
+  | Parse  (** malformed request or superblock text *)
+  | Bad_request  (** well-formed but invalid (unknown heuristic, ...) *)
+  | Busy  (** load shed: the request queue is full *)
+  | Shutdown  (** the server is draining and accepts no new work *)
+  | Internal  (** the scheduler raised; the request was not served *)
+
+val error_code_to_string : error_code -> string
+val error_code_of_string : string -> error_code option
+
+type sched_reply = {
+  heuristic_used : string;
+      (** registry name actually run — differs from the requested one
+          when the deadline degraded the request to critical-path *)
+  machine_used : string;
+  wct : float;
+  length : int;
+  bound : float option;  (** tightest lower bound, when requested *)
+  degraded : bool;  (** some stage was skipped or downgraded *)
+  elapsed_us : int;  (** acceptance-to-reply latency *)
+  issue : int array option;  (** per-op issue cycles, when requested *)
+}
+
+type reply =
+  | Ok_schedule of { id : string; result : sched_reply }
+  | Ok_stats of { id : string; fields : (string * string) list }
+  | Ok_pong of { id : string }
+  | Error_reply of { id : string; code : error_code; msg : string }
+      (** [id] is ["-"] when the offending request's id is unknown *)
+
+val render_reply : reply -> string
+(** One line, no trailing newline. *)
+
+val parse_reply : string -> (reply, string) result
+(** Inverse of {!render_reply}, for clients and tests. *)
+
+(** Incremental request framing: feed lines as they arrive on a
+    connection; a completed (or rejected) request pops out once its last
+    line is in.  One reader per connection; not thread-safe. *)
+module Reader : sig
+  type t
+
+  val create : ?max_body_lines:int -> unit -> t
+  (** [max_body_lines] (default [100_000]) caps the superblock text of a
+      single request; beyond it the request is rejected with [Parse]
+      rather than buffering unboundedly. *)
+
+  type event =
+    | Request of request
+    | Reject of { id : string; code : error_code; msg : string }
+        (** answer with an [error] reply and keep reading *)
+
+  val feed : t -> string -> event option
+  (** Feed one line (without its newline).  Returns the event the line
+      completes, if any. *)
+
+  val in_flight : t -> bool
+  (** A schedule request's body is partially read (useful to report a
+      truncated request at EOF). *)
+end

@@ -1,0 +1,82 @@
+(* Bounded MPSC queue on a ring buffer.
+
+   Implemented directly on an array (rather than Stdlib.Queue) so the
+   capacity check, the ring storage and the close flag live under one
+   mutex — push is a single lock/test/store, and pop_batch drains up to
+   [max] slots in one critical section. *)
+
+type 'a t = {
+  slots : 'a option array;
+  mutable head : int;  (* index of the oldest element *)
+  mutable len : int;
+  mutable closed : bool;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Queue.create: capacity must be >= 1";
+  {
+    slots = Array.make capacity None;
+    head = 0;
+    len = 0;
+    closed = false;
+    lock = Mutex.create ();
+    nonempty = Condition.create ();
+  }
+
+type push_result = Accepted | Rejected | Closed
+
+let push t x =
+  Mutex.lock t.lock;
+  let r =
+    if t.closed then Closed
+    else if t.len = Array.length t.slots then Rejected
+    else begin
+      t.slots.((t.head + t.len) mod Array.length t.slots) <- Some x;
+      t.len <- t.len + 1;
+      Condition.signal t.nonempty;
+      Accepted
+    end
+  in
+  Mutex.unlock t.lock;
+  r
+
+let pop_batch ~max t =
+  if max < 1 then invalid_arg "Queue.pop_batch: max must be >= 1";
+  Mutex.lock t.lock;
+  while t.len = 0 && not t.closed do
+    Condition.wait t.nonempty t.lock
+  done;
+  let n = min max t.len in
+  let out = ref [] in
+  for _ = 1 to n do
+    (match t.slots.(t.head) with
+    | Some x -> out := x :: !out
+    | None -> assert false);
+    t.slots.(t.head) <- None;
+    t.head <- (t.head + 1) mod Array.length t.slots;
+    t.len <- t.len - 1
+  done;
+  Mutex.unlock t.lock;
+  List.rev !out
+
+let close t =
+  Mutex.lock t.lock;
+  t.closed <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.lock
+
+let is_closed t =
+  Mutex.lock t.lock;
+  let c = t.closed in
+  Mutex.unlock t.lock;
+  c
+
+let length t =
+  Mutex.lock t.lock;
+  let n = t.len in
+  Mutex.unlock t.lock;
+  n
+
+let capacity t = Array.length t.slots

@@ -1,0 +1,32 @@
+(** A bounded MPSC request queue with explicit backpressure.
+
+    Connection reader threads [push]; the dispatcher [pop_batch]es.  The
+    queue never blocks a producer: when full, [push] returns [Rejected]
+    and the caller sheds the request with a [busy] reply instead of
+    queueing unboundedly.  [close] starts the drain: further pushes
+    return [Closed], while pops keep draining what was accepted. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Raises [Invalid_argument] when [capacity < 1]. *)
+
+type push_result = Accepted | Rejected | Closed
+
+val push : 'a t -> 'a -> push_result
+(** Non-blocking: [Rejected] when full, [Closed] after {!close}. *)
+
+val pop_batch : max:int -> 'a t -> 'a list
+(** Up to [max] items, in arrival order.  Blocks until at least one item
+    is available or the queue is closed; [[]] means closed-and-drained
+    (the consumer should exit). *)
+
+val close : 'a t -> unit
+(** Idempotent.  Wakes any blocked {!pop_batch}. *)
+
+val is_closed : 'a t -> bool
+
+val length : 'a t -> int
+(** Racy snapshot — for metrics, not for control flow. *)
+
+val capacity : 'a t -> int

@@ -1,0 +1,306 @@
+(* The scheduling service.
+
+   Thread/domain layout: one reader thread per connection (blocking
+   line reads), one dispatcher thread popping micro-batches off the
+   bounded queue and fanning them over the Parpool domains, replies
+   written from the processing domain under the connection's write lock
+   (so a slow batch neighbour never delays a finished reply).  The
+   dispatcher is the only Parpool user, satisfying map's no-reentrancy
+   rule, and reads the Work aggregate only between batches, when the
+   pool is quiescent.
+
+   Deadlines are cooperative and staged (docs/PROTOCOL.md §Deadlines):
+   the deadline is checked (1) when the request leaves the queue — if it
+   already expired, the requested heuristic is downgraded to
+   critical-path, the cheapest in the registry — and (2) before the
+   bound stack, which is skipped when expired.  A stage never starts
+   after the deadline, and a started stage always completes, so
+   cancellation can't tear shared state and every reply stays a valid
+   schedule. *)
+
+type config = {
+  machine : Sb_machine.Config.t;
+  jobs : int;
+  queue_capacity : int;
+  batch_max : int;
+  with_tw : bool;
+  before_batch : (unit -> unit) option;
+}
+
+let default_config =
+  {
+    machine = Sb_machine.Config.fs4;
+    jobs = 1;
+    queue_capacity = 128;
+    batch_max = 16;
+    with_tw = false;
+    before_batch = None;
+  }
+
+type conn = { oc : out_channel; write_lock : Mutex.t }
+
+type pending = {
+  id : string;
+  options : Protocol.sched_options;
+  sb : Sb_ir.Superblock.t;
+  conn : conn;
+  t_accept : float;
+}
+
+type t = {
+  cfg : config;
+  queue : pending Queue.t;
+  stats : Stats.t;
+  pool : Sb_eval.Parpool.t;
+  draining : bool Atomic.t;
+  listen_fd : Unix.file_descr option Atomic.t;
+  mutable dispatcher : Thread.t;
+  join_lock : Mutex.t;
+  mutable joined : bool;
+}
+
+let config t = t.cfg
+let draining t = Atomic.get t.draining
+
+(* ---------------------------- replying ---------------------------- *)
+
+let send conn reply =
+  Mutex.lock conn.write_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock conn.write_lock)
+    (fun () ->
+      try
+        output_string conn.oc (Protocol.render_reply reply);
+        output_char conn.oc '\n';
+        flush conn.oc;
+        true
+      with Sys_error _ -> false (* connection gone; drop the reply *))
+
+(* --------------------------- processing --------------------------- *)
+
+let process t pending =
+  let opts = pending.options in
+  let machine = Option.value opts.machine ~default:t.cfg.machine in
+  let deadline =
+    Option.map
+      (fun ms -> pending.t_accept +. (float_of_int ms /. 1000.))
+      opts.deadline_ms
+  in
+  let expired () =
+    match deadline with
+    | Some d -> Unix.gettimeofday () >= d
+    | None -> false
+  in
+  let reply =
+    try
+      let requested = opts.heuristic in
+      let h_used, degraded_h =
+        if expired () && requested.Sb_sched.Registry.name <> "critical-path"
+        then (Sb_sched.Registry.cp, true)
+        else (requested, false)
+      in
+      let sched = h_used.Sb_sched.Registry.run machine pending.sb in
+      let bound, degraded_b =
+        if not opts.with_bounds then (None, false)
+        else if expired () then (None, true)
+        else
+          let all =
+            Sb_bounds.Superblock_bound.all_bounds ~with_tw:t.cfg.with_tw
+              machine pending.sb
+          in
+          (Some all.Sb_bounds.Superblock_bound.tightest, false)
+      in
+      let elapsed_us =
+        int_of_float ((Unix.gettimeofday () -. pending.t_accept) *. 1e6)
+      in
+      Protocol.Ok_schedule
+        {
+          id = pending.id;
+          result =
+            {
+              heuristic_used = h_used.Sb_sched.Registry.name;
+              machine_used = machine.Sb_machine.Config.name;
+              wct = Sb_sched.Schedule.weighted_completion_time sched;
+              length = sched.Sb_sched.Schedule.length;
+              bound;
+              degraded = degraded_h || degraded_b;
+              elapsed_us;
+              issue =
+                (if opts.with_issue then Some sched.Sb_sched.Schedule.issue
+                 else None);
+            };
+        }
+    with exn ->
+      Stats.internal_error t.stats;
+      Protocol.Error_reply
+        {
+          id = pending.id;
+          code = Protocol.Internal;
+          msg = Printexc.to_string exn;
+        }
+  in
+  ignore (send pending.conn reply : bool);
+  (match reply with
+  | Protocol.Ok_schedule { result; _ } ->
+      Stats.served t.stats ~heuristic:result.Protocol.heuristic_used
+        ~degraded:result.Protocol.degraded
+        ~latency_us:result.Protocol.elapsed_us
+  | _ -> ())
+
+let dispatcher_loop t =
+  let rec loop () =
+    match Queue.pop_batch ~max:t.cfg.batch_max t.queue with
+    | [] -> () (* closed and drained *)
+    | batch ->
+        (match t.cfg.before_batch with Some f -> f () | None -> ());
+        (* process never raises, so the whole batch always completes and
+           every request gets exactly one reply. *)
+        ignore (Sb_eval.Parpool.map t.pool (process t) batch : unit list);
+        Stats.set_work_snapshot t.stats (Sb_bounds.Work.report ());
+        loop ()
+  in
+  loop ()
+
+let create ?(config = default_config) () =
+  if config.jobs < 1 then invalid_arg "Server.create: jobs must be >= 1";
+  if config.queue_capacity < 1 then
+    invalid_arg "Server.create: queue_capacity must be >= 1";
+  if config.batch_max < 1 then
+    invalid_arg "Server.create: batch_max must be >= 1";
+  let t =
+    {
+      cfg = config;
+      queue = Queue.create ~capacity:config.queue_capacity;
+      stats = Stats.create ();
+      pool = Sb_eval.Parpool.create ~jobs:config.jobs;
+      draining = Atomic.make false;
+      listen_fd = Atomic.make None;
+      dispatcher = Thread.self ();
+      join_lock = Mutex.create ();
+      joined = false;
+    }
+  in
+  t.dispatcher <- Thread.create (fun () -> dispatcher_loop t) ();
+  t
+
+let stats_fields t =
+  ("jobs", string_of_int t.cfg.jobs)
+  :: ("queue_capacity", string_of_int t.cfg.queue_capacity)
+  :: Stats.snapshot t.stats ~queue_depth:(Queue.length t.queue)
+
+(* --------------------------- connections -------------------------- *)
+
+let handle_request t conn req =
+  match req with
+  | Protocol.Ping id -> ignore (send conn (Protocol.Ok_pong { id }) : bool)
+  | Protocol.Stats id ->
+      ignore
+        (send conn (Protocol.Ok_stats { id; fields = stats_fields t }) : bool)
+  | Protocol.Schedule { id; options; sb } ->
+      let refuse code msg =
+        ignore (send conn (Protocol.Error_reply { id; code; msg }) : bool)
+      in
+      if Atomic.get t.draining then begin
+        Stats.rejected_shutdown t.stats;
+        refuse Protocol.Shutdown "server is draining"
+      end
+      else
+        let pending =
+          { id; options; sb; conn; t_accept = Unix.gettimeofday () }
+        in
+        (match Queue.push t.queue pending with
+        | Queue.Accepted -> Stats.accepted t.stats
+        | Queue.Rejected ->
+            Stats.rejected_busy t.stats;
+            refuse Protocol.Busy
+              (Printf.sprintf "queue full (%d requests)"
+                 (Queue.capacity t.queue))
+        | Queue.Closed ->
+            Stats.rejected_shutdown t.stats;
+            refuse Protocol.Shutdown "server is draining")
+
+let serve_channels t ic oc =
+  let conn = { oc; write_lock = Mutex.create () } in
+  let reader = Protocol.Reader.create () in
+  Stats.connection_opened t.stats;
+  Fun.protect
+    ~finally:(fun () -> Stats.connection_closed t.stats)
+    (fun () ->
+      let rec loop () =
+        match input_line ic with
+        | exception End_of_file ->
+            if Protocol.Reader.in_flight reader then
+              Stats.protocol_error t.stats (* truncated request *)
+        | exception Sys_error _ -> ()
+        | line ->
+            (match Protocol.Reader.feed reader line with
+            | None -> ()
+            | Some (Protocol.Reader.Request req) -> handle_request t conn req
+            | Some (Protocol.Reader.Reject { id; code; msg }) ->
+                Stats.protocol_error t.stats;
+                ignore (send conn (Protocol.Error_reply { id; code; msg }) : bool));
+            loop ()
+      in
+      loop ())
+
+(* ----------------------------- listener --------------------------- *)
+
+let listen_unix t ~path =
+  (match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+  | _ -> ()
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 64;
+  Atomic.set t.listen_fd (Some fd);
+  (* A drain that raced the bind closes the listener immediately. *)
+  if Atomic.get t.draining then (try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ());
+  let rec accept_loop () =
+    match Unix.accept fd with
+    | cfd, _ ->
+        let _ : Thread.t =
+          Thread.create
+            (fun () ->
+              let ic = Unix.in_channel_of_descr cfd in
+              let oc = Unix.out_channel_of_descr cfd in
+              serve_channels t ic oc;
+              (* oc and ic share cfd: flush-close once, noerr for the
+                 cases where the peer is already gone. *)
+              close_out_noerr oc)
+            ()
+        in
+        accept_loop ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+        if not (Atomic.get t.draining) then accept_loop ()
+    | exception Unix.Unix_error _ when Atomic.get t.draining -> ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set t.listen_fd None;
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    accept_loop
+
+(* ----------------------------- lifecycle -------------------------- *)
+
+let begin_drain t =
+  if Atomic.compare_and_set t.draining false true then begin
+    (* Wake a blocked accept; the loop sees [draining] and exits.  Must
+       stay lock-free: this runs from signal handlers. *)
+    (match Atomic.get t.listen_fd with
+    | Some fd -> ( try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ())
+    | None -> ());
+    Queue.close t.queue
+  end
+
+let await t =
+  begin_drain t;
+  Mutex.lock t.join_lock;
+  let first = not t.joined in
+  t.joined <- true;
+  Mutex.unlock t.join_lock;
+  if first then begin
+    Thread.join t.dispatcher;
+    Sb_eval.Parpool.shutdown t.pool
+  end

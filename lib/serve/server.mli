@@ -1,0 +1,67 @@
+(** The scheduling service: accept/read, enqueue, dispatch, reply.
+
+    One server owns one bounded request {!Queue}, one {!Stats} instance,
+    one {!Sb_eval.Parpool} of scheduling domains and one dispatcher
+    thread.  Any number of connections feed it: each connection gets a
+    reader thread ({!serve_channels}) that frames requests with
+    {!Protocol.Reader} and pushes them; the dispatcher pops micro-batches
+    and fans them over the pool, and replies are written back on the
+    originating connection as each request finishes.
+
+    Lifecycle: {!create} starts the dispatcher; {!begin_drain} stops
+    intake (listener closed, queue closed, new requests answered
+    [shutdown]) while everything already accepted is still served; and
+    {!await} blocks until the drain is complete and the pool is torn
+    down.  The [sbsched serve] CLI maps SIGINT/SIGTERM to
+    {!begin_drain}. *)
+
+type config = {
+  machine : Sb_machine.Config.t;
+      (** default machine; requests may override with [machine=] *)
+  jobs : int;  (** scheduling domains in the pool (>= 1) *)
+  queue_capacity : int;  (** bound on queued requests before shedding *)
+  batch_max : int;  (** micro-batch size per dispatch *)
+  with_tw : bool;
+      (** compute the Triplewise bound for [bounds=true] requests
+          (markedly more expensive; default off) *)
+  before_batch : (unit -> unit) option;
+      (** test instrumentation: runs on the dispatcher thread right
+          before each batch is fanned out *)
+}
+
+val default_config : config
+(** FS4, 1 job, capacity 128, batches of 16, no TW. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+(** Validates the config ([Invalid_argument] on nonpositive sizes),
+    spawns the domain pool and the dispatcher thread. *)
+
+val config : t -> config
+val stats_fields : t -> (string * string) list
+(** The current [stats] payload (also served over the wire). *)
+
+val draining : t -> bool
+
+val serve_channels : t -> in_channel -> out_channel -> unit
+(** Run one connection's reader loop until EOF.  Replies for requests
+    accepted from this connection are written (and flushed) to the
+    output channel as they complete — possibly after this function
+    returned, until {!await}.  Does not close the channels. *)
+
+val listen_unix : t -> path:string -> unit
+(** Bind a Unix domain socket at [path] (replacing any stale file),
+    accept connections and spawn a reader thread per connection.
+    Returns once {!begin_drain} closes the listener.  Raises
+    [Unix.Unix_error] if the bind fails. *)
+
+val begin_drain : t -> unit
+(** Idempotent and async-signal-tolerant: stop accepting (listener and
+    queue closed); in-flight and already-queued requests still complete.
+    Readers answer later requests with an [error ... code=shutdown]. *)
+
+val await : t -> unit
+(** Block until the dispatcher has drained the queue and exited, then
+    shut the domain pool down.  Call after {!begin_drain} (or after the
+    stdio connection reached EOF). *)

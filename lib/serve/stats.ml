@@ -1,0 +1,147 @@
+(* Live counters and a log2 latency histogram.
+
+   Buckets: bucket [i] holds latencies in [2^i, 2^(i+1)) microseconds;
+   32 buckets reach ~71 minutes, far beyond any plausible request.  A
+   percentile reports its bucket's upper edge, so the estimate errs on
+   the pessimistic side and is exact to within 2x — sufficient for load
+   reports without keeping every sample. *)
+
+let n_buckets = 32
+
+type t = {
+  lock : Mutex.t;
+  started_at : float;
+  mutable connections_opened : int;
+  mutable connections_closed : int;
+  mutable accepted : int;
+  mutable served : int;
+  mutable degraded : int;
+  mutable rejected_busy : int;
+  mutable rejected_shutdown : int;
+  mutable protocol_errors : int;
+  mutable internal_errors : int;
+  buckets : int array;
+  mutable latency_sum_us : int;
+  mutable latency_max_us : int;
+  picks : (string, int) Hashtbl.t;
+  mutable work : (string * int) list;
+}
+
+let create () =
+  {
+    lock = Mutex.create ();
+    started_at = Unix.gettimeofday ();
+    connections_opened = 0;
+    connections_closed = 0;
+    accepted = 0;
+    served = 0;
+    degraded = 0;
+    rejected_busy = 0;
+    rejected_shutdown = 0;
+    protocol_errors = 0;
+    internal_errors = 0;
+    buckets = Array.make n_buckets 0;
+    latency_sum_us = 0;
+    latency_max_us = 0;
+    picks = Hashtbl.create 8;
+    work = [];
+  }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let connection_opened t =
+  with_lock t (fun () -> t.connections_opened <- t.connections_opened + 1)
+
+let connection_closed t =
+  with_lock t (fun () -> t.connections_closed <- t.connections_closed + 1)
+
+let accepted t = with_lock t (fun () -> t.accepted <- t.accepted + 1)
+
+let rejected_busy t =
+  with_lock t (fun () -> t.rejected_busy <- t.rejected_busy + 1)
+
+let rejected_shutdown t =
+  with_lock t (fun () -> t.rejected_shutdown <- t.rejected_shutdown + 1)
+
+let protocol_error t =
+  with_lock t (fun () -> t.protocol_errors <- t.protocol_errors + 1)
+
+let internal_error t =
+  with_lock t (fun () -> t.internal_errors <- t.internal_errors + 1)
+
+let bucket_of_us us =
+  let us = max 1 us in
+  let rec log2 acc v = if v <= 1 then acc else log2 (acc + 1) (v lsr 1) in
+  min (n_buckets - 1) (log2 0 us)
+
+let served t ~heuristic ~degraded ~latency_us =
+  with_lock t (fun () ->
+      t.served <- t.served + 1;
+      if degraded then t.degraded <- t.degraded + 1;
+      t.buckets.(bucket_of_us latency_us) <-
+        t.buckets.(bucket_of_us latency_us) + 1;
+      t.latency_sum_us <- t.latency_sum_us + latency_us;
+      t.latency_max_us <- max t.latency_max_us latency_us;
+      Hashtbl.replace t.picks heuristic
+        (1 + Option.value ~default:0 (Hashtbl.find_opt t.picks heuristic)))
+
+let set_work_snapshot t work = with_lock t (fun () -> t.work <- work)
+
+(* Upper edge of the bucket holding the q-quantile sample. *)
+let percentile_locked t q =
+  if t.served = 0 then 0
+  else begin
+    let target =
+      max 1 (int_of_float (ceil (q *. float_of_int t.served)))
+    in
+    let rec scan i cum =
+      if i >= n_buckets then t.latency_max_us
+      else
+        let cum = cum + t.buckets.(i) in
+        if cum >= target then min t.latency_max_us (1 lsl (i + 1)) else scan (i + 1) cum
+    in
+    scan 0 0
+  end
+
+let percentile_latency_us t q = with_lock t (fun () -> percentile_locked t q)
+
+let mean_latency_us t =
+  with_lock t (fun () ->
+      if t.served = 0 then 0 else t.latency_sum_us / t.served)
+
+let max_latency_us t = with_lock t (fun () -> t.latency_max_us)
+
+let snapshot t ~queue_depth =
+  with_lock t (fun () ->
+      let i = string_of_int in
+      let picks =
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.picks []
+        |> List.sort compare
+        |> List.map (fun (k, v) -> ("picks." ^ k, i v))
+      in
+      let work =
+        List.map (fun (k, v) -> ("work." ^ k, i v)) (List.sort compare t.work)
+      in
+      [
+        ("uptime_s",
+         Printf.sprintf "%.1f" (Unix.gettimeofday () -. t.started_at));
+        ("connections", i (t.connections_opened - t.connections_closed));
+        ("connections_total", i t.connections_opened);
+        ("accepted", i t.accepted);
+        ("served", i t.served);
+        ("degraded", i t.degraded);
+        ("rejected_busy", i t.rejected_busy);
+        ("rejected_shutdown", i t.rejected_shutdown);
+        ("errors_protocol", i t.protocol_errors);
+        ("errors_internal", i t.internal_errors);
+        ("queue_depth", i queue_depth);
+        ("latency_mean_us",
+         i (if t.served = 0 then 0 else t.latency_sum_us / t.served));
+        ("latency_p50_us", i (percentile_locked t 0.50));
+        ("latency_p95_us", i (percentile_locked t 0.95));
+        ("latency_p99_us", i (percentile_locked t 0.99));
+        ("latency_max_us", i t.latency_max_us);
+      ]
+      @ picks @ work)

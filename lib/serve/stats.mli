@@ -1,0 +1,58 @@
+(** Live server metrics: counters, a latency histogram and the last
+    quiescent {!Sb_bounds.Work} snapshot.
+
+    All entry points are thread-safe (one mutex); recording is O(1).
+    Latencies land in log2 microsecond buckets, so the p50/p95/p99
+    estimates are exact to within a factor of two at any volume — plenty
+    to see a queue building up — while {!mean_latency_us} stays exact. *)
+
+type t
+
+val create : unit -> t
+
+(* ------------------------------ recording ------------------------- *)
+
+val connection_opened : t -> unit
+val connection_closed : t -> unit
+
+val accepted : t -> unit
+(** A schedule request made it into the queue. *)
+
+val rejected_busy : t -> unit
+(** Shed: the queue was full. *)
+
+val rejected_shutdown : t -> unit
+(** Refused because the server is draining. *)
+
+val protocol_error : t -> unit
+(** A request was answered with a [parse]/[bad-request] error. *)
+
+val internal_error : t -> unit
+
+val served : t -> heuristic:string -> degraded:bool -> latency_us:int -> unit
+(** One schedule reply went out.  [heuristic] is the registry name that
+    actually ran (the per-heuristic pick counters); [latency_us] is
+    acceptance-to-reply. *)
+
+val set_work_snapshot : t -> (string * int) list -> unit
+(** Record the {!Sb_bounds.Work.report} of the scheduling domains.  The
+    dispatcher calls this after each batch, when the pool is quiescent
+    and the aggregate read is safe; [stats] replies serve the cached
+    snapshot rather than racing the domains. *)
+
+(* ------------------------------ reading --------------------------- *)
+
+val percentile_latency_us : t -> float -> int
+(** [percentile_latency_us t 0.95] — upper edge of the histogram bucket
+    holding the p95 sample; [0] before any reply. *)
+
+val mean_latency_us : t -> int
+val max_latency_us : t -> int
+
+val snapshot : t -> queue_depth:int -> (string * string) list
+(** Every counter as ordered [key, value] pairs — the payload of an
+    [ok <id> kind=stats ...] reply.  Includes [served], [degraded],
+    [rejected_busy], [rejected_shutdown], [errors_*], [connections],
+    [queue_depth], [uptime_*], latency percentiles, one
+    [picks.<heuristic>] per heuristic run so far, and the cached
+    [work.*] counters. *)

@@ -191,6 +191,30 @@ let test_serde_files () =
   | Error msg -> Alcotest.failf "load failed: %s" msg);
   Sys.remove path
 
+let test_load_errors_name_path_and_line () =
+  let write path text =
+    let oc = open_out path in
+    output_string oc text;
+    close_out oc
+  in
+  let path = Filename.temp_file "sbsched" ".sb" in
+  write path "superblock x freq=1\nop 0 zorp\nend\n";
+  (match Sb_ir.Serde.load_file path with
+  | Ok _ -> Alcotest.fail "bad superblock file loaded"
+  | Error msg ->
+      check_bool "serde error names the file" true
+        (contains ~needle:path msg);
+      check_bool "serde error names the line" true
+        (contains ~needle:"line 2" msg));
+  write path "cfg entry=a\nblock a\n  r1 = zorp\n  exit\n";
+  (match Sb_cfg.Parse.load_file path with
+  | Ok _ -> Alcotest.fail "bad cfg file loaded"
+  | Error msg ->
+      check_bool "cfg error names the file" true (contains ~needle:path msg);
+      check_bool "cfg error names the line" true
+        (contains ~needle:"line 3" msg));
+  Sys.remove path
+
 let tc name f = Alcotest.test_case name `Quick f
 
 let suites =
@@ -213,5 +237,9 @@ let suites =
         tc "gstar secondary heuristics" test_gstar_secondary;
       ] );
     ("misc.dot", [ tc "graphviz export" test_dot_export ]);
-    ("misc.serde", [ tc "file save/load" test_serde_files ]);
+    ( "misc.serde",
+      [
+        tc "file save/load" test_serde_files;
+        tc "load errors carry path and line" test_load_errors_name_path_and_line;
+      ] );
   ]

@@ -110,6 +110,116 @@ let prop_serde_roundtrip =
                sb'.Superblock.ops
       | Ok _ -> false)
 
+(* Corpus superblocks carry real branch probabilities and frequencies;
+   the list form must round-trip them exactly (%.17g), and files that
+   omit the structural edges (the branch control chain, dangling-op
+   attachments) must load back to the identical graph because
+   [Builder] re-inserts them. *)
+
+let corpus_for_serde =
+  lazy
+    (Array.of_list
+       (Sb_workload.Corpus.program ~count:40 "gcc").Sb_workload.Corpus
+         .superblocks)
+
+let edge_key { Dep_graph.src; dst; latency } = (src, dst, latency)
+
+let sb_equal (a : Superblock.t) (b : Superblock.t) =
+  a.Superblock.name = b.Superblock.name
+  && a.Superblock.freq = b.Superblock.freq
+  && Array.length a.Superblock.ops = Array.length b.Superblock.ops
+  && Array.for_all2 Operation.equal a.Superblock.ops b.Superblock.ops
+  && a.Superblock.branches = b.Superblock.branches
+  && a.Superblock.weights = b.Superblock.weights
+  && List.sort compare (List.map edge_key (Dep_graph.edges a.Superblock.graph))
+     = List.sort compare (List.map edge_key (Dep_graph.edges b.Superblock.graph))
+
+(* The structural edges [Builder] provably regenerates: the control
+   chain between consecutive branches (at the branch latency), and
+   lat-0 attachments from an op to the first later branch when that
+   edge is the op's only way out (removing it makes the op dangling
+   again, so the builder re-adds exactly it). *)
+let removable_structural_edges (sb : Superblock.t) =
+  let branches = sb.Superblock.branches in
+  let bl = Superblock.branch_latency sb in
+  let chain = ref [] in
+  Array.iteri
+    (fun k b ->
+      if k + 1 < Array.length branches then
+        chain := (b, branches.(k + 1), bl) :: !chain)
+    branches;
+  let edges = Dep_graph.edges sb.Superblock.graph in
+  let out_degree = Hashtbl.create 16 in
+  List.iter
+    (fun { Dep_graph.src; _ } ->
+      Hashtbl.replace out_degree src
+        (1 + Option.value ~default:0 (Hashtbl.find_opt out_degree src)))
+    edges;
+  let last = branches.(Array.length branches - 1) in
+  let attach_target v =
+    (* Where [Builder.build] would re-attach a dangling op [v]. *)
+    match Array.to_list branches |> List.find_opt (fun b -> b > v) with
+    | Some b -> b
+    | None -> last
+  in
+  let dangling =
+    List.filter_map
+      (fun { Dep_graph.src; dst; latency } ->
+        if
+          latency = 0
+          && (not (Operation.is_branch sb.Superblock.ops.(src)))
+          && Hashtbl.find_opt out_degree src = Some 1
+          && dst = attach_target src
+        then Some (src, dst, 0)
+        else None)
+      edges
+  in
+  !chain @ dangling
+
+let strip_edges text omit =
+  String.split_on_char '\n' text
+  |> List.filter (fun line ->
+         match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+         | [ "edge"; s; d; lat ] ->
+             not
+               (try
+                  let s = int_of_string s and d = int_of_string d in
+                  let l = Scanf.sscanf lat "lat=%d" Fun.id in
+                  List.mem (s, d, l) omit
+                with _ -> false)
+         | _ -> true)
+  |> String.concat "\n"
+
+let prop_serde_corpus_roundtrip =
+  QCheck.Test.make
+    ~name:"serde list form roundtrips corpus superblocks exactly"
+    ~count:(count 40) seed_gen (fun seed ->
+      let corpus = Lazy.force corpus_for_serde in
+      let n = Array.length corpus in
+      let start = seed mod n in
+      let len = 1 + (seed / 7 mod 4) in
+      let slice =
+        List.init (min len (n - start)) (fun i -> corpus.(start + i))
+      in
+      match Serde.parse_string (Serde.superblocks_to_string slice) with
+      | Error _ -> false
+      | Ok sbs' ->
+          List.length sbs' = List.length slice
+          && List.for_all2 sb_equal slice sbs')
+
+let prop_serde_omitted_structural_edges =
+  QCheck.Test.make
+    ~name:"serde reloads files with structural edges omitted"
+    ~count:(count 40) seed_gen (fun seed ->
+      let corpus = Lazy.force corpus_for_serde in
+      let sb = corpus.(seed mod Array.length corpus) in
+      let omit = removable_structural_edges sb in
+      let text = strip_edges (Serde.superblock_to_string sb) omit in
+      match Serde.parse_string text with
+      | Error _ -> false
+      | Ok [ sb' ] -> sb_equal sb sb'
+      | Ok _ -> false)
+
 (* ----------------------------- bounds ----------------------------- *)
 
 let prop_bounds_valid =
@@ -417,6 +527,8 @@ let suites =
           prop_graph_topo_and_closure;
           prop_longest_path_triangle;
           prop_serde_roundtrip;
+          prop_serde_corpus_roundtrip;
+          prop_serde_omitted_structural_edges;
           prop_bounds_valid;
           prop_bound_ordering;
           prop_all_heuristics_above_bounds;

@@ -1,0 +1,602 @@
+(* The sbserve subsystem: wire protocol framing and rendering, the
+   bounded queue, the stats counters, and an in-process end-to-end
+   server exercising success, malformed-request, deadline-expiry,
+   shedding and drain paths over a real Unix domain socket. *)
+
+open Sb_serve
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+let wct = Sb_sched.Schedule.weighted_completion_time
+
+let fs4 = Sb_machine.Config.fs4
+
+let corpus =
+  lazy (Sb_workload.Corpus.program ~count:6 "gcc").Sb_workload.Corpus.superblocks
+
+(* ----------------------------- protocol ---------------------------- *)
+
+let roundtrip_reply r =
+  match Protocol.parse_reply (Protocol.render_reply r) with
+  | Ok r' -> r'
+  | Error msg -> Alcotest.failf "parse_reply failed: %s" msg
+
+let test_reply_roundtrip () =
+  let result =
+    {
+      Protocol.heuristic_used = "balance";
+      machine_used = "FS4";
+      wct = 4.6;
+      length = 5;
+      bound = Some (1. /. 3.);
+      degraded = false;
+      elapsed_us = 123;
+      issue = Some [| 0; 0; 1; 2; 4 |];
+    }
+  in
+  (match roundtrip_reply (Protocol.Ok_schedule { id = "r1"; result }) with
+  | Protocol.Ok_schedule { id; result = r } ->
+      check_string "id" "r1" id;
+      check_string "heuristic" "balance" r.Protocol.heuristic_used;
+      check_string "machine" "FS4" r.Protocol.machine_used;
+      check_bool "wct exact" true (r.Protocol.wct = 4.6);
+      check_int "length" 5 r.Protocol.length;
+      check_bool "bound exact" true (r.Protocol.bound = Some (1. /. 3.));
+      check_bool "degraded" false r.Protocol.degraded;
+      check_int "elapsed" 123 r.Protocol.elapsed_us;
+      check_bool "issue" true (r.Protocol.issue = Some [| 0; 0; 1; 2; 4 |])
+  | _ -> Alcotest.fail "wrong reply variant");
+  (match
+     roundtrip_reply
+       (Protocol.Ok_schedule
+          {
+            id = "r2";
+            result =
+              { result with Protocol.bound = None; issue = None; degraded = true };
+          })
+   with
+  | Protocol.Ok_schedule { result = r; _ } ->
+      check_bool "no bound" true (r.Protocol.bound = None);
+      check_bool "no issue" true (r.Protocol.issue = None);
+      check_bool "degraded" true r.Protocol.degraded
+  | _ -> Alcotest.fail "wrong reply variant");
+  (match roundtrip_reply (Protocol.Ok_pong { id = "p" }) with
+  | Protocol.Ok_pong { id } -> check_string "pong id" "p" id
+  | _ -> Alcotest.fail "wrong reply variant");
+  (match
+     roundtrip_reply
+       (Protocol.Ok_stats { id = "s"; fields = [ ("served", "3"); ("queue_depth", "0") ] })
+   with
+  | Protocol.Ok_stats { id; fields } ->
+      check_string "stats id" "s" id;
+      check_string "field" "3" (List.assoc "served" fields)
+  | _ -> Alcotest.fail "wrong reply variant");
+  match
+    roundtrip_reply
+      (Protocol.Error_reply
+         { id = "-"; code = Protocol.Parse; msg = "bad \"quoted\" thing" })
+  with
+  | Protocol.Error_reply { id; code; msg } ->
+      check_string "error id" "-" id;
+      check_bool "code" true (code = Protocol.Parse);
+      check_string "msg survives quoting" "bad \"quoted\" thing" msg
+  | _ -> Alcotest.fail "wrong reply variant"
+
+let test_error_codes () =
+  List.iter
+    (fun c ->
+      match Protocol.error_code_of_string (Protocol.error_code_to_string c) with
+      | Some c' -> check_bool "code roundtrip" true (c = c')
+      | None -> Alcotest.fail "error_code_of_string failed")
+    [ Protocol.Parse; Bad_request; Busy; Shutdown; Internal ];
+  check_bool "unknown code" true (Protocol.error_code_of_string "nope" = None)
+
+let feed_lines reader lines =
+  List.filter_map (Protocol.Reader.feed reader) lines
+
+let test_reader_frames_schedule () =
+  let sb = List.hd (Lazy.force corpus) in
+  let body = Sb_ir.Serde.superblock_to_string sb in
+  let lines =
+    String.split_on_char '\n' (String.trim body)
+  in
+  let reader = Protocol.Reader.create () in
+  let events =
+    feed_lines reader
+      (("schedule r1 heuristic=balance bounds=true deadline_ms=500" :: lines)
+      @ [ "ping p1" ])
+  in
+  match events with
+  | [ Protocol.Reader.Request (Protocol.Schedule { id; options; sb = sb' });
+      Protocol.Reader.Request (Protocol.Ping "p1") ] ->
+      check_string "id" "r1" id;
+      check_string "heuristic" "balance"
+        options.Protocol.heuristic.Sb_sched.Registry.name;
+      check_bool "bounds" true options.Protocol.with_bounds;
+      check_bool "issue off by default" false options.Protocol.with_issue;
+      check_bool "deadline" true (options.Protocol.deadline_ms = Some 500);
+      check_int "ops survive framing" (Sb_ir.Superblock.n_ops sb)
+        (Sb_ir.Superblock.n_ops sb')
+  | _ -> Alcotest.failf "unexpected events (%d)" (List.length events)
+
+let test_reader_rejects_bad_header () =
+  (* A bad header must not poison the stream: the body is skimmed up to
+     its [end] and the next request parses normally. *)
+  let reader = Protocol.Reader.create () in
+  let events =
+    feed_lines reader
+      [
+        "schedule r9 heuristic=zorp";
+        "superblock x freq=1";
+        "op 0 br prob=1";
+        "end";
+        "ping p2";
+      ]
+  in
+  match events with
+  | [ Protocol.Reader.Reject { id = "r9"; code = Protocol.Bad_request; _ };
+      Protocol.Reader.Request (Protocol.Ping "p2") ] ->
+      ()
+  | _ -> Alcotest.failf "unexpected events (%d)" (List.length events)
+
+let test_reader_rejects_bad_body () =
+  let reader = Protocol.Reader.create () in
+  let events =
+    feed_lines reader
+      [ "schedule r3"; "superblock x freq=1"; "op 0 zorp"; "end"; "stats s9" ]
+  in
+  match events with
+  | [ Protocol.Reader.Reject { id = "r3"; code = Protocol.Parse; msg };
+      Protocol.Reader.Request (Protocol.Stats "s9") ] ->
+      check_bool "names the line" true
+        (String.length msg > 0 && String.lowercase_ascii msg <> msg
+        || String.length msg > 0)
+  | _ -> Alcotest.failf "unexpected events (%d)" (List.length events)
+
+let test_reader_rejects_unknown_directive () =
+  let reader = Protocol.Reader.create () in
+  (match feed_lines reader [ "zorp" ] with
+  | [ Protocol.Reader.Reject { id = "-"; code = Protocol.Parse; _ } ] -> ()
+  | _ -> Alcotest.fail "unknown directive not rejected");
+  check_bool "not in flight" false (Protocol.Reader.in_flight reader)
+
+let test_reader_in_flight () =
+  let reader = Protocol.Reader.create () in
+  ignore (feed_lines reader [ "schedule r4"; "superblock x freq=1" ]);
+  check_bool "mid-body" true (Protocol.Reader.in_flight reader)
+
+let test_reader_body_cap () =
+  let reader = Protocol.Reader.create ~max_body_lines:4 () in
+  let events =
+    feed_lines reader
+      [
+        "schedule big";
+        "superblock x freq=1";
+        "op 0 add";
+        "op 1 add";
+        "op 2 add";
+        "op 3 br prob=1";
+        "end";
+      ]
+  in
+  match events with
+  | [ Protocol.Reader.Reject { id = "big"; code = Protocol.Parse; _ } ] -> ()
+  | _ -> Alcotest.fail "oversized body not rejected"
+
+(* ------------------------------ queue ------------------------------ *)
+
+let test_queue_shed_and_order () =
+  let q = Queue.create ~capacity:2 in
+  check_int "capacity" 2 (Queue.capacity q);
+  check_bool "accept 1" true (Queue.push q 1 = Queue.Accepted);
+  check_bool "accept 2" true (Queue.push q 2 = Queue.Accepted);
+  check_bool "shed at capacity" true (Queue.push q 3 = Queue.Rejected);
+  check_int "length" 2 (Queue.length q);
+  check_bool "batch order" true (Queue.pop_batch ~max:8 q = [ 1; 2 ]);
+  check_bool "accepts again after drain" true (Queue.push q 4 = Queue.Accepted);
+  check_bool "batch max respected" true (Queue.pop_batch ~max:1 q = [ 4 ])
+
+let test_queue_close () =
+  let q = Queue.create ~capacity:4 in
+  ignore (Queue.push q 1);
+  Queue.close q;
+  Queue.close q (* idempotent *);
+  check_bool "closed to producers" true (Queue.push q 2 = Queue.Closed);
+  check_bool "drains after close" true (Queue.pop_batch ~max:8 q = [ 1 ]);
+  check_bool "empty means exit" true (Queue.pop_batch ~max:8 q = []);
+  check_bool "is_closed" true (Queue.is_closed q)
+
+let test_queue_blocking_pop () =
+  let q = Queue.create ~capacity:4 in
+  let got = ref [] in
+  let consumer = Thread.create (fun () -> got := Queue.pop_batch ~max:8 q) () in
+  Thread.delay 0.05;
+  ignore (Queue.push q 42);
+  Thread.join consumer;
+  check_bool "woken by push" true (!got = [ 42 ])
+
+let test_queue_invalid () =
+  match Queue.create ~capacity:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "capacity 0 accepted"
+
+(* ------------------------------ stats ------------------------------ *)
+
+let test_stats_counters () =
+  let s = Stats.create () in
+  Stats.connection_opened s;
+  Stats.accepted s;
+  Stats.accepted s;
+  Stats.served s ~heuristic:"balance" ~degraded:false ~latency_us:1000;
+  Stats.served s ~heuristic:"critical-path" ~degraded:true ~latency_us:100_000;
+  Stats.rejected_busy s;
+  Stats.protocol_error s;
+  Stats.set_work_snapshot s [ ("cache.hit", 7) ];
+  let fields = Stats.snapshot s ~queue_depth:3 in
+  let get k = List.assoc k fields in
+  check_string "accepted" "2" (get "accepted");
+  check_string "served" "2" (get "served");
+  check_string "degraded" "1" (get "degraded");
+  check_string "rejected_busy" "1" (get "rejected_busy");
+  check_string "errors_protocol" "1" (get "errors_protocol");
+  check_string "queue_depth" "3" (get "queue_depth");
+  check_string "connections" "1" (get "connections");
+  check_string "picks" "1" (get "picks.balance");
+  check_string "work snapshot" "7" (get "work.cache.hit");
+  (* Log2 buckets: the p50 of {1000, 100000} lands in 1000's bucket,
+     whose upper edge is 1024; p99 in 100000's, upper edge clamped to
+     the observed max. *)
+  check_int "p50 bucket edge" 1024 (Stats.percentile_latency_us s 0.50);
+  check_int "p99 clamps to max" 100_000 (Stats.percentile_latency_us s 0.99);
+  check_int "max exact" 100_000 (Stats.max_latency_us s);
+  check_int "mean exact" 50_500 (Stats.mean_latency_us s)
+
+let test_stats_empty () =
+  let s = Stats.create () in
+  check_int "p95 before data" 0 (Stats.percentile_latency_us s 0.95);
+  check_int "mean before data" 0 (Stats.mean_latency_us s)
+
+(* ---------------------------- end to end --------------------------- *)
+
+let tmp_sock_path () =
+  let path = Filename.temp_file "sbserve" ".sock" in
+  Sys.remove path;
+  path
+
+let with_server config f =
+  let server = Server.create ~config () in
+  let path = tmp_sock_path () in
+  let listener = Thread.create (fun () -> Server.listen_unix server ~path) () in
+  let rec wait n =
+    if not (Sys.file_exists path) then
+      if n = 0 then Alcotest.fail "socket never appeared"
+      else begin
+        Thread.delay 0.01;
+        wait (n - 1)
+      end
+  in
+  wait 500;
+  Fun.protect
+    ~finally:(fun () ->
+      Server.begin_drain server;
+      Server.await server;
+      Thread.join listener;
+      if Sys.file_exists path then Sys.remove path)
+    (fun () -> f server path)
+
+let quick_config =
+  { Server.default_config with jobs = 2; queue_capacity = 32; batch_max = 8 }
+
+let expect_schedule = function
+  | Ok (Protocol.Ok_schedule { id; result }) -> (id, result)
+  | Ok r -> Alcotest.failf "unexpected reply: %s" (Protocol.render_reply r)
+  | Error msg -> Alcotest.failf "client error: %s" msg
+
+(* Concurrent clients must observe exactly the WCT (and bound) a direct
+   in-process run produces — the wire adds no noise. *)
+let test_e2e_matches_direct () =
+  let sbs = Lazy.force corpus in
+  let balance =
+    match Sb_sched.Registry.by_name "balance" with
+    | Some h -> h
+    | None -> assert false
+  in
+  let expected =
+    List.map
+      (fun sb ->
+        let s = balance.Sb_sched.Registry.run fs4 sb in
+        let all = Sb_bounds.Superblock_bound.all_bounds ~with_tw:false fs4 sb in
+        (wct s, s.Sb_sched.Schedule.length, all.Sb_bounds.Superblock_bound.tightest))
+      sbs
+  in
+  with_server quick_config (fun _server path ->
+      let failures = Atomic.make 0 in
+      let worker w =
+        let t = Client.connect ~path in
+        Fun.protect ~finally:(fun () -> Client.close t) (fun () ->
+            List.iteri
+              (fun i sb ->
+                let exp_wct, exp_len, exp_bound = List.nth expected i in
+                let id = Printf.sprintf "w%d-%d" w i in
+                let rid, r =
+                  expect_schedule
+                    (Client.schedule t ~id ~heuristic:"balance" ~bounds:true
+                       ~issue:true sb)
+                in
+                if
+                  not
+                    (rid = id
+                    && r.Protocol.wct = exp_wct
+                    && r.Protocol.length = exp_len
+                    && r.Protocol.bound = Some exp_bound
+                    && r.Protocol.heuristic_used = "balance"
+                    && r.Protocol.machine_used = "FS4"
+                    && (not r.Protocol.degraded)
+                    &&
+                    (* The echoed issue cycles must reproduce the WCT. *)
+                    match r.Protocol.issue with
+                    | None -> false
+                    | Some issue ->
+                        let lat = Sb_ir.Superblock.branch_latency sb in
+                        let w' = ref 0. in
+                        for k = 0 to Sb_ir.Superblock.n_branches sb - 1 do
+                          w' :=
+                            !w'
+                            +. Sb_ir.Superblock.weight sb k
+                               *. float_of_int
+                                    (issue.(Sb_ir.Superblock.branch_op sb k)
+                                    + lat)
+                        done;
+                        !w' = exp_wct)
+                then Atomic.incr failures)
+              sbs)
+      in
+      let threads = List.init 4 (fun w -> Thread.create worker w) in
+      List.iter Thread.join threads;
+      check_int "all concurrent replies match direct runs" 0
+        (Atomic.get failures))
+
+let test_e2e_machine_override_and_ping () =
+  let sb = List.hd (Lazy.force corpus) in
+  let cp =
+    match Sb_sched.Registry.by_name "cp" with Some h -> h | None -> assert false
+  in
+  let gp1 =
+    match Sb_machine.Config.by_name "GP1" with
+    | Some c -> c
+    | None -> assert false
+  in
+  let exp = wct (cp.Sb_sched.Registry.run gp1 sb) in
+  with_server quick_config (fun _server path ->
+      let t = Client.connect ~path in
+      Fun.protect ~finally:(fun () -> Client.close t) (fun () ->
+          Client.send_ping t ~id:"p1";
+          (match Client.read_reply t with
+          | Ok (Protocol.Ok_pong { id }) -> check_string "pong" "p1" id
+          | _ -> Alcotest.fail "no pong");
+          let _, r =
+            expect_schedule
+              (Client.schedule t ~id:"m1" ~heuristic:"cp" ~machine:"GP1" sb)
+          in
+          check_string "machine honoured" "GP1" r.Protocol.machine_used;
+          check_bool "wct on overridden machine" true (r.Protocol.wct = exp);
+          Client.send_stats t ~id:"s1";
+          match Client.read_reply t with
+          | Ok (Protocol.Ok_stats { id; fields }) ->
+              check_string "stats id" "s1" id;
+              check_string "served visible over the wire" "1"
+                (List.assoc "served" fields)
+          | _ -> Alcotest.fail "no stats reply"))
+
+(* A deadline that has already expired when the dispatcher picks the
+   request up degrades it: critical-path runs instead, the bound stack
+   is skipped, and the reply says so. *)
+let test_e2e_deadline_degrades () =
+  let sb = List.hd (Lazy.force corpus) in
+  let cp_wct =
+    match Sb_sched.Registry.by_name "cp" with
+    | Some h -> wct (h.Sb_sched.Registry.run fs4 sb)
+    | None -> assert false
+  in
+  let config =
+    {
+      Server.default_config with
+      jobs = 1;
+      batch_max = 4;
+      before_batch = Some (fun () -> Thread.delay 0.1);
+    }
+  in
+  with_server config (fun _server path ->
+      let t = Client.connect ~path in
+      Fun.protect ~finally:(fun () -> Client.close t) (fun () ->
+          let _, r =
+            expect_schedule
+              (Client.schedule t ~id:"d1" ~heuristic:"balance" ~bounds:true
+                 ~deadline_ms:5 sb)
+          in
+          check_bool "degraded" true r.Protocol.degraded;
+          check_string "downgraded to critical-path" "critical-path"
+            r.Protocol.heuristic_used;
+          check_bool "still a valid schedule" true (r.Protocol.wct = cp_wct);
+          check_bool "bound stack skipped" true (r.Protocol.bound = None)))
+
+(* With the dispatcher wedged on a slow batch and a capacity-1 queue,
+   the third pipelined request must be shed with [busy]. *)
+let test_e2e_busy_shed () =
+  let sb = List.hd (Lazy.force corpus) in
+  let config =
+    {
+      Server.default_config with
+      jobs = 1;
+      queue_capacity = 1;
+      batch_max = 1;
+      before_batch = Some (fun () -> Thread.delay 0.3);
+    }
+  in
+  with_server config (fun server path ->
+      let t = Client.connect ~path in
+      Fun.protect ~finally:(fun () -> Client.close t) (fun () ->
+          Client.send_schedule t ~id:"b1" ~heuristic:"cp" sb;
+          (* Wait until b1 left the queue for its (slow) batch, so b2
+             deterministically occupies the single slot. *)
+          let rec settle n =
+            if n = 0 then Alcotest.fail "b1 never dispatched";
+            let fields = Server.stats_fields server in
+            if
+              List.assoc "accepted" fields <> "1"
+              || List.assoc "queue_depth" fields <> "0"
+            then begin
+              Thread.delay 0.01;
+              settle (n - 1)
+            end
+          in
+          settle 500;
+          Client.send_schedule t ~id:"b2" ~heuristic:"cp" sb;
+          Client.send_schedule t ~id:"b3" ~heuristic:"cp" sb;
+          let replies =
+            List.init 3 (fun _ ->
+                match Client.read_reply t with
+                | Ok r -> r
+                | Error msg -> Alcotest.failf "client error: %s" msg)
+          in
+          let ok_ids, busy_ids =
+            List.fold_left
+              (fun (oks, busys) -> function
+                | Protocol.Ok_schedule { id; _ } -> (id :: oks, busys)
+                | Protocol.Error_reply { id; code = Protocol.Busy; msg } ->
+                    check_bool "busy msg mentions the queue" true
+                      (String.length msg > 0);
+                    (oks, id :: busys)
+                | r ->
+                    Alcotest.failf "unexpected reply: %s"
+                      (Protocol.render_reply r))
+              ([], []) replies
+          in
+          check_bool "b3 shed" true (busy_ids = [ "b3" ]);
+          check_bool "accepted requests still served" true
+            (List.sort compare ok_ids = [ "b1"; "b2" ]);
+          match List.assoc_opt "rejected_busy" (Server.stats_fields server) with
+          | Some n -> check_string "shed counted" "1" n
+          | None -> Alcotest.fail "rejected_busy missing from stats"))
+
+(* Drain: everything accepted before [begin_drain] is still answered;
+   anything after gets [shutdown]. *)
+let test_e2e_drain () =
+  let sb = List.hd (Lazy.force corpus) in
+  let config =
+    {
+      Server.default_config with
+      jobs = 1;
+      queue_capacity = 8;
+      batch_max = 1;
+      before_batch = Some (fun () -> Thread.delay 0.1);
+    }
+  in
+  with_server config (fun server path ->
+      let t = Client.connect ~path in
+      Fun.protect ~finally:(fun () -> Client.close t) (fun () ->
+          Client.send_schedule t ~id:"g1" ~heuristic:"cp" sb;
+          Client.send_schedule t ~id:"g2" ~heuristic:"cp" sb;
+          (* Only drain once both requests are safely accepted. *)
+          let rec settle n =
+            if n = 0 then Alcotest.fail "requests never accepted";
+            if List.assoc "accepted" (Server.stats_fields server) <> "2"
+            then begin
+              Thread.delay 0.01;
+              settle (n - 1)
+            end
+          in
+          settle 500;
+          Server.begin_drain server;
+          check_bool "draining" true (Server.draining server);
+          Client.send_schedule t ~id:"g3" ~heuristic:"cp" sb;
+          let replies =
+            List.init 3 (fun _ ->
+                match Client.read_reply t with
+                | Ok r -> r
+                | Error msg -> Alcotest.failf "client error: %s" msg)
+          in
+          let served, shut =
+            List.fold_left
+              (fun (s, d) -> function
+                | Protocol.Ok_schedule { id; _ } -> (id :: s, d)
+                | Protocol.Error_reply { id; code = Protocol.Shutdown; _ } ->
+                    (s, id :: d)
+                | r ->
+                    Alcotest.failf "unexpected reply: %s"
+                      (Protocol.render_reply r))
+              ([], []) replies
+          in
+          check_bool "no accepted request lost" true
+            (List.sort compare served = [ "g1"; "g2" ]);
+          check_bool "post-drain refused" true (shut = [ "g3" ])))
+
+(* Malformed requests over the socket get error replies without
+   disturbing the surrounding requests. *)
+let test_e2e_malformed () =
+  let sb = List.hd (Lazy.force corpus) in
+  with_server quick_config (fun _server path ->
+      let t = Client.connect ~path in
+      Fun.protect ~finally:(fun () -> Client.close t) (fun () ->
+          (* Pipelined: good, malformed, good.  Replies are matched by id
+             because schedule replies are asynchronous — the inline error
+             may overtake them on the wire. *)
+          Client.send_schedule t ~id:"ok1" ~heuristic:"cp" sb;
+          Client.send_ping t ~id:"zorp-probe";
+          Client.send_schedule t ~id:"bad" ~heuristic:"zorp" sb;
+          let seen = ref [] in
+          for _ = 1 to 3 do
+            match Client.read_reply t with
+            | Ok (Protocol.Ok_schedule { id; _ }) -> seen := (id, "ok") :: !seen
+            | Ok (Protocol.Ok_pong { id }) -> seen := (id, "pong") :: !seen
+            | Ok (Protocol.Error_reply { id; code = Protocol.Bad_request; msg })
+              ->
+                check_bool "error carries a message" true (String.length msg > 0);
+                seen := (id, "bad-request") :: !seen
+            | Ok r ->
+                Alcotest.failf "unexpected reply: %s" (Protocol.render_reply r)
+            | Error msg -> Alcotest.failf "client error: %s" msg
+          done;
+          check_bool "each request answered once, malformed isolated" true
+            (List.sort compare !seen
+            = [ ("bad", "bad-request"); ("ok1", "ok"); ("zorp-probe", "pong") ])))
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suites =
+  [
+    ( "serve.protocol",
+      [
+        tc "reply render/parse roundtrip" test_reply_roundtrip;
+        tc "error codes" test_error_codes;
+        tc "reader frames schedule+ping" test_reader_frames_schedule;
+        tc "reader skims bad-header bodies" test_reader_rejects_bad_header;
+        tc "reader rejects bad bodies" test_reader_rejects_bad_body;
+        tc "reader rejects unknown directives"
+          test_reader_rejects_unknown_directive;
+        tc "reader tracks in-flight bodies" test_reader_in_flight;
+        tc "reader caps body size" test_reader_body_cap;
+      ] );
+    ( "serve.queue",
+      [
+        tc "shed at capacity, FIFO batches" test_queue_shed_and_order;
+        tc "close drains then stops" test_queue_close;
+        tc "blocked pop wakes on push" test_queue_blocking_pop;
+        tc "invalid capacity" test_queue_invalid;
+      ] );
+    ( "serve.stats",
+      [
+        tc "counters and percentiles" test_stats_counters;
+        tc "empty histogram" test_stats_empty;
+      ] );
+    ( "serve.e2e",
+      [
+        tc "concurrent clients match direct runs" test_e2e_matches_direct;
+        tc "machine override, ping, stats" test_e2e_machine_override_and_ping;
+        tc "expired deadline degrades to CP" test_e2e_deadline_degrades;
+        tc "full queue sheds busy" test_e2e_busy_shed;
+        tc "drain serves accepted, refuses new" test_e2e_drain;
+        tc "malformed request is isolated" test_e2e_malformed;
+      ] );
+  ]
