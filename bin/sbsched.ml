@@ -435,7 +435,16 @@ let experiments_cmd =
 
 (* ------------------------------- serve ------------------------------ *)
 
-let default_socket = Filename.concat (Filename.get_temp_dir_name ()) "sbsched.sock"
+(* Prefer the user-owned runtime dir; in a shared temp dir, suffix the
+   uid so users don't collide on (or squat) a predictable name.  The
+   server additionally chmods the socket 0600 after bind. *)
+let default_socket =
+  match Sys.getenv_opt "XDG_RUNTIME_DIR" with
+  | Some dir when dir <> "" -> Filename.concat dir "sbsched.sock"
+  | _ ->
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "sbsched-%d.sock" (Unix.getuid ()))
 
 let socket_arg =
   Arg.(
@@ -474,8 +483,24 @@ let serve_cmd =
             "Include the (expensive) Triplewise bound when a request \
              asks for bounds=true.")
   in
-  let run machine jobs stdio socket queue_capacity batch_max with_tw =
+  let force_arg =
+    Arg.(
+      value & flag
+      & info [ "force" ]
+          ~doc:
+            "Take over the socket path even if a live server appears to \
+             be listening on it.")
+  in
+  let run machine jobs stdio socket force queue_capacity batch_max with_tw =
     let jobs = resolve_jobs jobs in
+    let drain_signals = [ Sys.sigint; Sys.sigterm ] in
+    (* Server.begin_drain takes the queue lock, so it must never run in
+       signal-handler context (a handler firing inside the queue's
+       critical section would self-deadlock).  Instead, block the
+       signals before any server thread is spawned — threads inherit
+       the mask — and service them on a dedicated thread below. *)
+    if not stdio then
+      ignore (Thread.sigmask Unix.SIG_BLOCK drain_signals : int list);
     let config =
       {
         Sb_serve.Server.machine;
@@ -498,18 +523,29 @@ let serve_cmd =
       Sb_serve.Server.await server
     end
     else begin
-      List.iter
-        (fun s ->
-          Sys.set_signal s
-            (Sys.Signal_handle (fun _ -> Sb_serve.Server.begin_drain server)))
-        [ Sys.sigint; Sys.sigterm ];
+      let _ : Thread.t =
+        Thread.create
+          (fun () ->
+            ignore (Thread.wait_signal drain_signals : int);
+            Sb_serve.Server.begin_drain server;
+            (* A second signal forces exit instead of waiting for the
+               drain to finish. *)
+            ignore (Thread.wait_signal drain_signals : int);
+            prerr_endline "sbserve: forced shutdown before drain completed";
+            exit 130)
+          ()
+      in
       Printf.eprintf "sbserve: listening on %s (machine %s, %d domains, queue %d)\n%!"
         socket machine.Sb_machine.Config.name jobs queue_capacity;
-      (try Sb_serve.Server.listen_unix server ~path:socket
-       with Unix.Unix_error (e, _, _) ->
-         Printf.eprintf "error: cannot listen on %s: %s\n" socket
-           (Unix.error_message e);
-         exit 1);
+      (try Sb_serve.Server.listen_unix server ~force ~path:socket
+       with
+      | Unix.Unix_error (e, _, _) ->
+          Printf.eprintf "error: cannot listen on %s: %s\n" socket
+            (Unix.error_message e);
+          exit 1
+      | Failure msg ->
+          Printf.eprintf "error: %s (pass --force to take it over)\n" msg;
+          exit 1);
       Sb_serve.Server.await server;
       Printf.eprintf "sbserve: drained.  Final stats:\n";
       List.iter
@@ -523,8 +559,8 @@ let serve_cmd =
          "Run the concurrent scheduling service (see docs/PROTOCOL.md for \
           the wire protocol)")
     Term.(
-      const run $ machine_arg $ jobs_arg $ stdio_arg $ socket_arg $ queue_arg
-      $ batch_arg $ tw_arg)
+      const run $ machine_arg $ jobs_arg $ stdio_arg $ socket_arg $ force_arg
+      $ queue_arg $ batch_arg $ tw_arg)
 
 (* ------------------------------ loadgen ----------------------------- *)
 

@@ -26,6 +26,13 @@ let close t =
       close_out_noerr t.oc (* flushes and closes the shared fd *)
   | None -> ()
 
+let shutdown_send t =
+  match t.fd with
+  | Some fd ->
+      flush t.oc;
+      (try Unix.shutdown fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ())
+  | None -> ()
+
 let send_schedule t ~id ?heuristic ?machine ?bounds ?issue ?deadline_ms sb =
   let buf = Buffer.create 256 in
   Printf.bprintf buf "schedule %s" id;

@@ -15,6 +15,12 @@ val of_channels : in_channel -> out_channel -> t
 
 val close : t -> unit
 
+val shutdown_send : t -> unit
+(** Half-close: flush and shut down the write side, signalling EOF to
+    the server's reader while keeping the read side open — replies for
+    requests already sent still arrive.  No-op on {!of_channels}
+    clients. *)
+
 val send_schedule :
   t ->
   id:string ->

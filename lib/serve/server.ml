@@ -37,7 +37,49 @@ let default_config =
     before_batch = None;
   }
 
-type conn = { oc : out_channel; write_lock : Mutex.t }
+(* A connection stays open until its reader has seen EOF *and* every
+   request accepted from it has been answered: [pending] counts queued
+   or mid-process requests, and whoever drops the count to zero after
+   [eof] runs [on_close] (exactly once).  Closing as soon as the reader
+   sees EOF would silently drop replies for pipelined requests still in
+   the queue, breaking the every-accepted-request-is-answered
+   guarantee. *)
+type conn = {
+  oc : out_channel;
+  write_lock : Mutex.t;
+  mutable pending : int;  (* requests accepted but not yet replied to *)
+  mutable eof : bool;  (* reader loop has exited *)
+  mutable closed : bool;  (* on_close has run *)
+  on_close : unit -> unit;
+}
+
+let conn_retain conn =
+  Mutex.lock conn.write_lock;
+  conn.pending <- conn.pending + 1;
+  Mutex.unlock conn.write_lock
+
+(* Called with [write_lock] held; true iff the caller must run
+   [on_close] (after unlocking — it flushes the channel). *)
+let conn_should_close conn =
+  if conn.eof && conn.pending = 0 && not conn.closed then begin
+    conn.closed <- true;
+    true
+  end
+  else false
+
+let conn_release conn =
+  Mutex.lock conn.write_lock;
+  conn.pending <- conn.pending - 1;
+  let close = conn_should_close conn in
+  Mutex.unlock conn.write_lock;
+  if close then conn.on_close ()
+
+let conn_reader_done conn =
+  Mutex.lock conn.write_lock;
+  conn.eof <- true;
+  let close = conn_should_close conn in
+  Mutex.unlock conn.write_lock;
+  if close then conn.on_close ()
 
 type pending = {
   id : string;
@@ -145,7 +187,8 @@ let process t pending =
       Stats.served t.stats ~heuristic:result.Protocol.heuristic_used
         ~degraded:result.Protocol.degraded
         ~latency_us:result.Protocol.elapsed_us
-  | _ -> ())
+  | _ -> ());
+  conn_release pending.conn
 
 let dispatcher_loop t =
   let rec loop () =
@@ -167,6 +210,11 @@ let create ?(config = default_config) () =
     invalid_arg "Server.create: queue_capacity must be >= 1";
   if config.batch_max < 1 then
     invalid_arg "Server.create: batch_max must be >= 1";
+  (* Replies are written to client sockets from pool domains; a peer
+     that disconnects mid-write must surface as EPIPE ([Sys_error],
+     handled in [send]), not as a process-killing SIGPIPE. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
   let t =
     {
       cfg = config;
@@ -208,23 +256,39 @@ let handle_request t conn req =
         let pending =
           { id; options; sb; conn; t_accept = Unix.gettimeofday () }
         in
+        (* Retained before the push so the dispatcher can never reply
+           (and release) before the count covers the request. *)
+        conn_retain conn;
         (match Queue.push t.queue pending with
         | Queue.Accepted -> Stats.accepted t.stats
         | Queue.Rejected ->
+            conn_release conn;
             Stats.rejected_busy t.stats;
             refuse Protocol.Busy
               (Printf.sprintf "queue full (%d requests)"
                  (Queue.capacity t.queue))
         | Queue.Closed ->
+            conn_release conn;
             Stats.rejected_shutdown t.stats;
             refuse Protocol.Shutdown "server is draining")
 
-let serve_channels t ic oc =
-  let conn = { oc; write_lock = Mutex.create () } in
+let serve_channels ?(on_close = fun () -> ()) t ic oc =
+  let conn =
+    {
+      oc;
+      write_lock = Mutex.create ();
+      pending = 0;
+      eof = false;
+      closed = false;
+      on_close;
+    }
+  in
   let reader = Protocol.Reader.create () in
   Stats.connection_opened t.stats;
   Fun.protect
-    ~finally:(fun () -> Stats.connection_closed t.stats)
+    ~finally:(fun () ->
+      conn_reader_done conn;
+      Stats.connection_closed t.stats)
     (fun () ->
       let rec loop () =
         match input_line ic with
@@ -245,13 +309,39 @@ let serve_channels t ic oc =
 
 (* ----------------------------- listener --------------------------- *)
 
-let listen_unix t ~path =
+(* True iff a server is currently accepting on the socket at [path]
+   (a stale file from a dead server refuses the probe connection). *)
+let socket_in_use path =
+  match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error _ -> false
+  | probe ->
+      Fun.protect
+        ~finally:(fun () ->
+          try Unix.close probe with Unix.Unix_error _ -> ())
+        (fun () ->
+          match Unix.connect probe (Unix.ADDR_UNIX path) with
+          | () -> true
+          | exception
+              Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) ->
+              false
+          | exception Unix.Unix_error _ ->
+              (* EACCES, EPERM, ...: somebody owns it; don't steal it. *)
+              true)
+
+let listen_unix ?(force = false) t ~path =
   (match Unix.lstat path with
-  | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+  | { Unix.st_kind = Unix.S_SOCK; _ } ->
+      if (not force) && socket_in_use path then
+        failwith
+          (Printf.sprintf "%s: another server is listening on this socket"
+             path);
+      Unix.unlink path
   | _ -> ()
   | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind fd (Unix.ADDR_UNIX path);
+  (* Only the owning user may talk to the scheduler. *)
+  (try Unix.chmod path 0o600 with Unix.Unix_error _ -> ());
   Unix.listen fd 64;
   Atomic.set t.listen_fd (Some fd);
   (* A drain that raced the bind closes the listener immediately. *)
@@ -264,15 +354,22 @@ let listen_unix t ~path =
             (fun () ->
               let ic = Unix.in_channel_of_descr cfd in
               let oc = Unix.out_channel_of_descr cfd in
-              serve_channels t ic oc;
-              (* oc and ic share cfd: flush-close once, noerr for the
-                 cases where the peer is already gone. *)
-              close_out_noerr oc)
+              (* oc and ic share cfd: the deferred close flushes and
+                 closes once, after the last reply for this connection
+                 went out; noerr for peers already gone. *)
+              serve_channels ~on_close:(fun () -> close_out_noerr oc) t ic oc)
             ()
         in
         accept_loop ()
-    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+    | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
+        (* Transient per-connection failures must not kill the listener. *)
         if not (Atomic.get t.draining) then accept_loop ()
+    | exception Unix.Unix_error ((Unix.EMFILE | Unix.ENFILE), _, _)
+      when not (Atomic.get t.draining) ->
+        (* fd exhaustion: back off and let in-flight connections finish
+           rather than shutting the whole server down. *)
+        Thread.delay 0.05;
+        accept_loop ()
     | exception Unix.Unix_error _ when Atomic.get t.draining -> ()
   in
   Fun.protect
@@ -284,10 +381,13 @@ let listen_unix t ~path =
 
 (* ----------------------------- lifecycle -------------------------- *)
 
+(* Takes the queue mutex (via [Queue.close]), so it must run in normal
+   thread context, never inside a [Sys.Signal_handle] — the CLI keeps a
+   dedicated thread blocked in [Thread.wait_signal] for SIGINT/SIGTERM
+   and calls this from there. *)
 let begin_drain t =
   if Atomic.compare_and_set t.draining false true then begin
-    (* Wake a blocked accept; the loop sees [draining] and exits.  Must
-       stay lock-free: this runs from signal handlers. *)
+    (* Wake a blocked accept; the loop sees [draining] and exits. *)
     (match Atomic.get t.listen_fd with
     | Some fd -> ( try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ())
     | None -> ());

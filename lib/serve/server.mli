@@ -36,7 +36,10 @@ type t
 
 val create : ?config:config -> unit -> t
 (** Validates the config ([Invalid_argument] on nonpositive sizes),
-    spawns the domain pool and the dispatcher thread. *)
+    spawns the domain pool and the dispatcher thread.  Also sets
+    SIGPIPE to ignore process-wide, so a peer disconnecting mid-reply
+    surfaces as [EPIPE]/[Sys_error] (dropped reply) instead of killing
+    the process. *)
 
 val config : t -> config
 val stats_fields : t -> (string * string) list
@@ -44,22 +47,33 @@ val stats_fields : t -> (string * string) list
 
 val draining : t -> bool
 
-val serve_channels : t -> in_channel -> out_channel -> unit
+val serve_channels :
+  ?on_close:(unit -> unit) -> t -> in_channel -> out_channel -> unit
 (** Run one connection's reader loop until EOF.  Replies for requests
     accepted from this connection are written (and flushed) to the
     output channel as they complete — possibly after this function
-    returned, until {!await}.  Does not close the channels. *)
+    returned, until {!await}.  Does not close the channels itself;
+    [on_close] (default: nothing) runs exactly once when the reader has
+    hit EOF {e and} the last outstanding reply has been sent, which is
+    where a caller owning the channels should close them. *)
 
-val listen_unix : t -> path:string -> unit
-(** Bind a Unix domain socket at [path] (replacing any stale file),
-    accept connections and spawn a reader thread per connection.
-    Returns once {!begin_drain} closes the listener.  Raises
-    [Unix.Unix_error] if the bind fails. *)
+val listen_unix : ?force:bool -> t -> path:string -> unit
+(** Bind a Unix domain socket at [path], [chmod] it [0o600], accept
+    connections and spawn a reader thread per connection.  A stale
+    socket file (no server accepting on it) is replaced; if a live
+    server is listening there, raises [Failure] unless [force] is true
+    (default false).  Returns once {!begin_drain} closes the listener;
+    transient accept failures ([EINTR], [ECONNABORTED]) are retried and
+    fd exhaustion ([EMFILE]/[ENFILE]) backs off briefly rather than
+    killing the listener.  Raises [Unix.Unix_error] if the bind fails. *)
 
 val begin_drain : t -> unit
-(** Idempotent and async-signal-tolerant: stop accepting (listener and
-    queue closed); in-flight and already-queued requests still complete.
-    Readers answer later requests with an [error ... code=shutdown]. *)
+(** Idempotent: stop accepting (listener and queue closed); in-flight
+    and already-queued requests still complete.  Readers answer later
+    requests with an [error ... code=shutdown].  Takes the queue lock,
+    so it must be called from ordinary thread context — never from a
+    [Sys.Signal_handle] handler; dedicate a {!Thread.wait_signal}
+    thread to it instead (as [sbsched serve] does). *)
 
 val await : t -> unit
 (** Block until the dispatcher has drained the queue and exited, then

@@ -562,6 +562,93 @@ let test_e2e_malformed () =
             (List.sort compare !seen
             = [ ("bad", "bad-request"); ("ok1", "ok"); ("zorp-probe", "pong") ])))
 
+(* A pipelined client that half-closes its write side after sending
+   must still get every accepted reply: the server defers the
+   connection close until the last outstanding reply is sent, rather
+   than closing as soon as the reader sees EOF. *)
+let test_e2e_half_close () =
+  let sb = List.hd (Lazy.force corpus) in
+  let config =
+    {
+      Server.default_config with
+      jobs = 1;
+      batch_max = 1;
+      (* Slow batches so EOF reaches the reader well before any reply. *)
+      before_batch = Some (fun () -> Thread.delay 0.1);
+    }
+  in
+  with_server config (fun _server path ->
+      let t = Client.connect ~path in
+      Fun.protect ~finally:(fun () -> Client.close t) (fun () ->
+          Client.send_schedule t ~id:"h1" ~heuristic:"cp" sb;
+          Client.send_schedule t ~id:"h2" ~heuristic:"cp" sb;
+          Client.shutdown_send t;
+          let ids =
+            List.init 2 (fun _ ->
+                match Client.read_reply t with
+                | Ok (Protocol.Ok_schedule { id; _ }) -> id
+                | Ok r ->
+                    Alcotest.failf "unexpected reply: %s"
+                      (Protocol.render_reply r)
+                | Error msg -> Alcotest.failf "client error: %s" msg)
+          in
+          check_bool "both replies delivered after half-close" true
+            (List.sort compare ids = [ "h1"; "h2" ]);
+          (* ... and only then does the server close the connection. *)
+          match Client.read_reply t with
+          | Error _ -> ()
+          | Ok r ->
+              Alcotest.failf "expected EOF, got: %s" (Protocol.render_reply r)))
+
+(* Socket hygiene: the bound socket is 0600; a path with a live server
+   is refused (no silent takeover); a stale socket file is replaced. *)
+let test_socket_takeover () =
+  with_server quick_config (fun _server path ->
+      check_int "socket is private to the owner" 0o600
+        (Unix.stat path).Unix.st_perm;
+      let second =
+        Server.create ~config:{ quick_config with jobs = 1 } ()
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          Server.begin_drain second;
+          Server.await second)
+        (fun () ->
+          match Server.listen_unix second ~path with
+          | () -> Alcotest.fail "takeover of a live socket not refused"
+          | exception Failure _ -> ()));
+  (* Stale file: bind-then-close leaves a socket nobody accepts on;
+     the next server replaces it. *)
+  let path = tmp_sock_path () in
+  let dead = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind dead (Unix.ADDR_UNIX path);
+  Unix.close dead;
+  let server = Server.create ~config:quick_config () in
+  let listener = Thread.create (fun () -> Server.listen_unix server ~path) () in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.begin_drain server;
+      Server.await server;
+      Thread.join listener;
+      if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let rec ping n =
+        if n = 0 then Alcotest.fail "stale socket never replaced"
+        else
+          match Client.connect ~path with
+          | exception Unix.Unix_error _ ->
+              Thread.delay 0.01;
+              ping (n - 1)
+          | t -> (
+              Fun.protect ~finally:(fun () -> Client.close t) @@ fun () ->
+              Client.send_ping t ~id:"stale";
+              match Client.read_reply t with
+              | Ok (Protocol.Ok_pong { id }) ->
+                  check_string "pong over replaced socket" "stale" id
+              | _ -> Alcotest.fail "no pong over replaced socket")
+      in
+      ping 500)
+
 let tc name f = Alcotest.test_case name `Quick f
 
 let suites =
@@ -598,5 +685,7 @@ let suites =
         tc "full queue sheds busy" test_e2e_busy_shed;
         tc "drain serves accepted, refuses new" test_e2e_drain;
         tc "malformed request is isolated" test_e2e_malformed;
+        tc "half-close keeps replies" test_e2e_half_close;
+        tc "socket perms, takeover, stale file" test_socket_takeover;
       ] );
   ]
