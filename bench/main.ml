@@ -462,6 +462,63 @@ let run_serve () =
       print_string (Sb_serve.Client.Loadgen.report_to_string report))
     [ 1; 4 ]
 
+(* fault-overhead: the robustness machinery must be free when no fault
+   plan is active.  Two probes: a microbenchmark of the per-site cost
+   (Fault.decide + Watchdog.check, the two calls sprinkled on the hot
+   paths), and the full evaluate path timed with no plan, with a plan
+   on unmatched points, and again after clearing it. *)
+let run_fault scale =
+  Printf.printf "== fault-overhead (injection sites, scale %.3f) ==\n%!" scale;
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let iters = 50_000_000 in
+  let site () =
+    for _ = 1 to iters do
+      (match Sb_fault.Fault.decide "bench.site" with
+      | Sb_fault.Fault.Pass -> ()
+      | Sb_fault.Fault.Act _ -> ());
+      Sb_fault.Watchdog.check "bench.site"
+    done
+  in
+  let per_call label =
+    let (), t = time site in
+    Printf.printf "  %-28s %6.2f ns/site (%d sites)\n%!" label
+      (t /. float_of_int iters *. 1e9)
+      iters
+  in
+  per_call "decide+check, no plan";
+  Sb_fault.Fault.install
+    (Result.get_ok (Sb_fault.Fault.parse "other.point:raise@0.5,seed=1"));
+  per_call "decide+check, unmatched plan";
+  Sb_fault.Fault.clear ();
+  per_call "decide+check, cleared";
+  let sbs =
+    Sb_workload.Corpus.all_superblocks (Sb_workload.Corpus.generate ~scale ())
+  in
+  Printf.printf "  evaluate path, %d superblocks:\n%!" (List.length sbs);
+  let eval label =
+    let r, t = time (fun () -> Sb_eval.Metrics.evaluate bench_machine sbs) in
+    Printf.printf "    %-26s %8.3f s\n%!" label t;
+    r
+  in
+  let base = eval "no plan" in
+  Sb_fault.Fault.install
+    (Result.get_ok (Sb_fault.Fault.parse "other.point:raise@0.5,seed=1"));
+  let unmatched = eval "unmatched plan installed" in
+  Sb_fault.Fault.clear ();
+  let cleared = eval "plan cleared" in
+  let identical a b =
+    List.for_all2
+      (fun (x : Sb_eval.Metrics.record) (y : Sb_eval.Metrics.record) ->
+        x.Sb_eval.Metrics.wct = y.Sb_eval.Metrics.wct)
+      a b
+  in
+  Printf.printf "    identical results: %b\n%!"
+    (identical base unmatched && identical base cleared)
+
 let run_tables scale =
   Printf.printf
     "== Paper tables and figures (synthetic corpus, scale %.3f) ==\n%!" scale;
@@ -478,13 +535,15 @@ let () =
   and timing = ref true
   and speedup = ref true
   and incremental = ref true
-  and serve = ref true in
+  and serve = ref true
+  and fault = ref true in
   let only what =
     tables := false;
     timing := false;
     speedup := false;
     incremental := false;
     serve := false;
+    fault := false;
     what := true
   in
   let rec parse = function
@@ -507,10 +566,14 @@ let () =
     | "--serve-only" :: rest ->
         only serve;
         parse rest
+    | "--fault-only" :: rest ->
+        only fault;
+        parse rest
     | arg :: _ ->
         Printf.eprintf
           "unknown argument %S (expected --scale S, --tables-only, \
-           --timing-only, --speedup-only, --incremental-only, --serve-only)\n"
+           --timing-only, --speedup-only, --incremental-only, --serve-only, \
+           --fault-only)\n"
           arg;
         exit 1
   in
@@ -519,4 +582,5 @@ let () =
   if !speedup then run_speedup !scale;
   if !incremental then run_incremental !scale;
   if !serve then run_serve ();
+  if !fault then run_fault !scale;
   if !timing then run_timing ()

@@ -324,6 +324,36 @@ let form_cmd =
        ~doc:"Form superblocks from a control-flow graph and schedule them")
     Term.(const run $ machine_arg $ cfg_file_arg $ dump_arg $ threshold_arg)
 
+(* ------------------------------ faults ------------------------------ *)
+
+let fault_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "fault" ] ~docv:"PLAN"
+        ~doc:
+          "Install a deterministic fault-injection plan, e.g. \
+           'parpool.worker:die@0.01,serve.write:epipe@0.05,eval.item:5ms@0.02,seed=7' \
+           (see docs/ROBUSTNESS.md).  Overrides \\$SBSCHED_FAULT.")
+
+(* --fault wins; otherwise $SBSCHED_FAULT applies, so chaos smokes can
+   inject into a server spawned by a script without touching its
+   argv. *)
+let install_fault_plan flag =
+  match flag with
+  | Some plan -> (
+      match Sb_fault.Fault.parse plan with
+      | Ok p -> Sb_fault.Fault.install p
+      | Error e ->
+          Printf.eprintf "error: --fault: %s\n" e;
+          exit 1)
+  | None -> (
+      match Sb_fault.Fault.install_from_env () with
+      | Ok () -> ()
+      | Error e ->
+          Printf.eprintf "error: %s\n" e;
+          exit 1)
+
 (* ---------------------------- experiments --------------------------- *)
 
 let experiments_cmd =
@@ -378,9 +408,35 @@ let experiments_cmd =
              only wall clock (and the cache.* counters under --profile) \
              differ.")
   in
-  let run scale full via_cfg jobs profile no_incremental id csv =
+  let checkpoint_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Journal every completed (config, superblock) record to FILE \
+             (append + fsync) so a killed run can be continued with \
+             --resume.")
+  in
+  let resume_arg =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Replay the --checkpoint journal's completed records (after \
+             validating it against this corpus and configuration) and \
+             compute only what is missing.  Tables are byte-identical to \
+             an uninterrupted run.")
+  in
+  let run scale full via_cfg jobs profile no_incremental id csv checkpoint
+      resume fault =
+    install_fault_plan fault;
     let scale = if full then 1.0 else scale in
     let jobs = resolve_jobs jobs in
+    if resume && checkpoint = None then begin
+      Printf.eprintf "error: --resume needs --checkpoint FILE\n";
+      exit 1
+    end;
     let corpus_kind =
       if via_cfg then Sb_eval.Experiments.Via_cfg
       else Sb_eval.Experiments.Synthetic
@@ -391,7 +447,12 @@ let experiments_cmd =
     in
     Sb_bounds.Work.reset ();
     let t0 = Unix.gettimeofday () in
-    let p = Sb_eval.Experiments.prepare ~jobs setup in
+    let p =
+      try Sb_eval.Experiments.prepare ~jobs ?checkpoint ~resume setup
+      with Failure msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 1
+    in
     let prepare_s = Unix.gettimeofday () -. t0 in
     let all = Sb_eval.Experiments.run_all p in
     let selected =
@@ -431,7 +492,8 @@ let experiments_cmd =
     (Cmd.info "experiments" ~doc:"Regenerate the paper's tables and figures")
     Term.(
       const run $ scale_arg $ full_arg $ via_cfg_arg $ jobs_arg $ profile_arg
-      $ no_incremental_arg $ id_arg $ csv_arg)
+      $ no_incremental_arg $ id_arg $ csv_arg $ checkpoint_arg $ resume_arg
+      $ fault_arg)
 
 (* ------------------------------- serve ------------------------------ *)
 
@@ -491,7 +553,17 @@ let serve_cmd =
             "Take over the socket path even if a live server appears to \
              be listening on it.")
   in
-  let run machine jobs stdio socket force queue_capacity batch_max with_tw =
+  let idle_timeout_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "idle-timeout" ] ~docv:"SEC"
+          ~doc:
+            "Evict socket connections that stay silent this many seconds \
+             (in-flight replies are still delivered); 0 disables.")
+  in
+  let run machine jobs stdio socket force queue_capacity batch_max with_tw
+      idle_timeout fault =
+    install_fault_plan fault;
     let jobs = resolve_jobs jobs in
     let drain_signals = [ Sys.sigint; Sys.sigterm ] in
     (* Server.begin_drain takes the queue lock, so it must never run in
@@ -509,6 +581,7 @@ let serve_cmd =
         batch_max;
         with_tw;
         before_batch = None;
+        idle_timeout_s = (if idle_timeout > 0. then Some idle_timeout else None);
       }
     in
     let server =
@@ -560,7 +633,7 @@ let serve_cmd =
           the wire protocol)")
     Term.(
       const run $ machine_arg $ jobs_arg $ stdio_arg $ socket_arg $ force_arg
-      $ queue_arg $ batch_arg $ tw_arg)
+      $ queue_arg $ batch_arg $ tw_arg $ idle_timeout_arg $ fault_arg)
 
 (* ------------------------------ loadgen ----------------------------- *)
 
@@ -598,8 +671,26 @@ let loadgen_cmd =
       & info [ "deadline-ms" ] ~docv:"MS"
           ~doc:"Attach a deadline to every request.")
   in
-  let run socket conns rps duration heuristic bounds deadline_ms file generate
-      count =
+  let retries_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Attempts per request (>= 1).  Above 1, busy replies and \
+             transport failures back off with decorrelated jitter, \
+             reconnect and retry; the report counts the retries.")
+  in
+  let read_timeout_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "read-timeout" ] ~docv:"SEC"
+          ~doc:
+            "Give up on a reply after this long (a lost reply then counts \
+             as a transport failure, retried under --retries); 0 waits \
+             forever.")
+  in
+  let run socket conns rps duration heuristic bounds deadline_ms attempts
+      read_timeout file generate count =
     let sbs =
       match (file, generate) with
       | None, None ->
@@ -607,9 +698,11 @@ let loadgen_cmd =
           (Sb_workload.Corpus.program ~count "gcc").Sb_workload.Corpus.superblocks
       | _ -> load_superblocks file generate count
     in
+    let read_timeout_s = if read_timeout > 0. then Some read_timeout else None in
     match
       Sb_serve.Client.Loadgen.run ~path:socket ~superblocks:sbs ~conns ~rps
-        ~duration_s:duration ~heuristic ~bounds ?deadline_ms ()
+        ~duration_s:duration ~heuristic ~bounds ?deadline_ms ~attempts
+        ?read_timeout_s ()
     with
     | report ->
         print_string (Sb_serve.Client.Loadgen.report_to_string report)
@@ -623,8 +716,8 @@ let loadgen_cmd =
        ~doc:"Replay superblocks against a running sbsched serve instance")
     Term.(
       const run $ socket_arg $ conns_arg $ rps_arg $ duration_arg
-      $ heuristic_arg $ bounds_arg $ deadline_arg $ file_arg $ generate_arg
-      $ count_arg)
+      $ heuristic_arg $ bounds_arg $ deadline_arg $ retries_arg
+      $ read_timeout_arg $ file_arg $ generate_arg $ count_arg)
 
 let () =
   let info =

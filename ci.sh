@@ -37,4 +37,59 @@ if [ "$oks" -ne 1 ] || [ "$errs" -ne 1 ]; then
   exit 1
 fi
 
+echo "== chaos: fault layer — quarantine, respawn, checkpoint, watchdog =="
+dune exec test/test_main.exe -- test 'fault.*'
+
+echo "== chaos: checkpointed run killed mid-flight, resume is byte-identical =="
+# Use the built binary directly: kill -9 on a `dune exec` wrapper would
+# orphan the real process instead of killing it.
+SB=_build/default/bin/sbsched.exe
+tmpd=$(mktemp -d)
+trap 'rm -rf "$tmpd"' EXIT
+"$SB" experiments --scale 0.01 --id table3 > "$tmpd/clean.out"
+"$SB" experiments --scale 0.01 --id table3 --jobs 2 \
+  --checkpoint "$tmpd/journal" \
+  --fault 'eval.item:5ms@0.3,parpool.worker:die@0.05,seed=3' \
+  > /dev/null 2>&1 &
+victim=$!
+sleep 1
+kill -9 "$victim" 2>/dev/null || true
+wait "$victim" 2>/dev/null || true
+if [ -f "$tmpd/journal" ]; then
+  recs=$(grep -c '^rec' "$tmpd/journal") || recs=0
+  echo "journal survived the kill with $recs records"
+fi
+"$SB" experiments --scale 0.01 --id table3 \
+  --checkpoint "$tmpd/journal" --resume > "$tmpd/resumed.out"
+if ! diff -u "$tmpd/clean.out" "$tmpd/resumed.out"; then
+  echo "ci.sh: FAIL — resumed tables differ from the clean run" >&2
+  exit 1
+fi
+echo "resumed tables byte-identical to the clean run"
+
+echo "== chaos: serve under injected write faults, client retry wins =="
+sock="$tmpd/chaos.sock"
+SBSCHED_FAULT='serve.write:epipe@0.2,seed=5' "$SB" serve --socket "$sock" --jobs 2 &
+server=$!
+i=0
+while [ ! -S "$sock" ] && [ "$i" -lt 100 ]; do sleep 0.1; i=$((i+1)); done
+if [ ! -S "$sock" ]; then
+  echo "ci.sh: FAIL — chaos server socket never appeared" >&2
+  exit 1
+fi
+out=$("$SB" loadgen --socket "$sock" --generate gcc -n 8 --conns 2 \
+  --duration 2 --retries 8 --read-timeout 2)
+kill "$server" 2>/dev/null || true
+wait "$server" 2>/dev/null || true
+echo "$out"
+counts=$(echo "$out" | grep 'sent=')
+ok=$(echo "$counts" | sed 's/.*[[:space:]]ok=\([0-9]*\).*/\1/')
+errors=$(echo "$counts" | sed 's/.*errors=\([0-9]*\).*/\1/')
+retried=$(echo "$counts" | sed 's/.*retried=\([0-9]*\).*/\1/')
+if [ "$ok" -eq 0 ] || [ "$errors" -ne 0 ] || [ "$retried" -eq 0 ]; then
+  echo "ci.sh: FAIL — want ok>0, errors=0, retried>0 under write faults (got ok=$ok errors=$errors retried=$retried)" >&2
+  exit 1
+fi
+echo "retries recovered every dropped reply (retried=$retried, errors=0)"
+
 echo "ci.sh: all checks passed"

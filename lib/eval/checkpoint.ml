@@ -1,0 +1,198 @@
+(* Crash-resumable evaluation journal.  See checkpoint.mli. *)
+
+type entry = {
+  config : string;
+  index : int;
+  sb_name : string;
+  cp : float;
+  hu : float;
+  rj : float;
+  lc : float;
+  pw : float;
+  tw : float option;
+  tightest : float;
+  wct : (string * float) list;
+}
+
+type t = { fd : Unix.file_descr; lock : Mutex.t; mutable closed : bool }
+
+let magic = "sbckpt 1"
+
+let render_meta meta =
+  "meta\t" ^ String.concat "\t" (List.map (fun (k, v) -> k ^ "=" ^ v) meta)
+
+(* Hex float literals round-trip every double bit-exactly. *)
+let h = Printf.sprintf "%h"
+
+let checked_name what s =
+  String.iter
+    (fun c ->
+      if c = '\t' || c = '\n' || c = ',' || c = ':' then
+        invalid_arg (Printf.sprintf "Checkpoint: %s %S has reserved chars" what s))
+    s;
+  s
+
+let render_entry e =
+  Printf.sprintf "rec\t%s\t%d\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s"
+    (checked_name "config" e.config)
+    e.index
+    (checked_name "superblock" e.sb_name)
+    (h e.cp) (h e.hu) (h e.rj) (h e.lc) (h e.pw)
+    (match e.tw with None -> "-" | Some v -> h v)
+    (h e.tightest)
+    (String.concat ","
+       (List.map
+          (fun (k, v) -> checked_name "heuristic" k ^ ":" ^ h v)
+          e.wct))
+
+let parse_entry line =
+  match String.split_on_char '\t' line with
+  | [ "rec"; config; index; sb_name; cp; hu; rj; lc; pw; tw; tightest; wct ]
+    -> (
+      let f = float_of_string_opt in
+      let wct_pairs =
+        try
+          Some
+            (List.map
+               (fun pair ->
+                 match String.index_opt pair ':' with
+                 | None -> raise Exit
+                 | Some i -> (
+                     let name = String.sub pair 0 i in
+                     let v =
+                       String.sub pair (i + 1) (String.length pair - i - 1)
+                     in
+                     match f v with
+                     | Some v -> (name, v)
+                     | None -> raise Exit))
+               (String.split_on_char ',' wct))
+        with Exit -> None
+      in
+      match
+        ( int_of_string_opt index,
+          f cp, f hu, f rj, f lc, f pw,
+          (if tw = "-" then Some None else Option.map Option.some (f tw)),
+          f tightest, wct_pairs )
+      with
+      | ( Some index,
+          Some cp, Some hu, Some rj, Some lc, Some pw,
+          Some tw, Some tightest, Some wct ) ->
+          Some
+            { config; index; sb_name; cp; hu; rj; lc; pw; tw; tightest; wct }
+      | _ -> None)
+  | _ -> None
+
+let read_lines path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let load path ~meta_line =
+  match read_lines path with
+  | m :: meta :: records when m = magic ->
+      if meta <> meta_line then
+        failwith
+          (Printf.sprintf
+             "%s: checkpoint is for a different experiment\n\
+             \  journal: %s\n\
+             \  this run: %s" path meta meta_line);
+      let n = List.length records in
+      List.filteri
+        (fun i line ->
+          match parse_entry line with
+          | Some _ -> true
+          | None ->
+              (* Only the final line may be torn (the process was killed
+                 mid-append); garbage earlier means a corrupt file. *)
+              if i < n - 1 then
+                failwith
+                  (Printf.sprintf "%s: corrupt checkpoint line %d" path (i + 3));
+              false)
+        records
+      |> List.filter_map parse_entry
+  | _ -> failwith (Printf.sprintf "%s: not a checkpoint journal" path)
+
+let open_append path =
+  {
+    fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644;
+    lock = Mutex.create ();
+    closed = false;
+  }
+
+let write_header path ~meta_line =
+  let tmp = path ^ ".tmp" in
+  let fd =
+    Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  let line = magic ^ "\n" ^ meta_line ^ "\n" in
+  let bytes = Bytes.of_string line in
+  ignore (Unix.write fd bytes 0 (Bytes.length bytes) : int);
+  Unix.fsync fd;
+  Unix.close fd;
+  Unix.rename tmp path
+
+let start ~path ~resume ~meta =
+  let meta_line = render_meta meta in
+  if Sys.file_exists path then begin
+    if not resume then
+      failwith
+        (Printf.sprintf
+           "%s: checkpoint exists; pass --resume to continue it or remove \
+            the file" path);
+    let entries = load path ~meta_line in
+    (open_append path, entries)
+  end
+  else begin
+    write_header path ~meta_line;
+    (open_append path, [])
+  end
+
+let append t e =
+  let line = Bytes.of_string (render_entry e ^ "\n") in
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      if t.closed then invalid_arg "Checkpoint.append: closed";
+      (* One write syscall per record: O_APPEND keeps writers ordered,
+         and a kill can tear at most the in-flight line. *)
+      ignore (Unix.write t.fd line 0 (Bytes.length line) : int);
+      Unix.fsync t.fd)
+
+let close t =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      if not t.closed then begin
+        t.closed <- true;
+        Unix.close t.fd
+      end)
+
+let entry_of_record ~config ~index (r : Metrics.record) =
+  let b = r.Metrics.bounds in
+  {
+    config;
+    index;
+    sb_name = r.Metrics.sb.Sb_ir.Superblock.name;
+    cp = b.Sb_bounds.Superblock_bound.cp;
+    hu = b.hu;
+    rj = b.rj;
+    lc = b.lc;
+    pw = b.pw;
+    tw = b.tw;
+    tightest = b.tightest;
+    wct = r.Metrics.wct;
+  }
+
+let entry_table entries =
+  let tbl = Hashtbl.create (max 16 (List.length entries)) in
+  List.iter (fun e -> Hashtbl.replace tbl (e.config, e.index) e) entries;
+  tbl

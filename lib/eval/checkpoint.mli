@@ -1,0 +1,57 @@
+(** Crash-resumable journal of per-superblock evaluation records.
+
+    A checkpoint is a line-oriented text file: a magic line, one
+    [meta] line fingerprinting the experiment (corpus digest, configs,
+    heuristics, flags — a resume against a different experiment must
+    fail loudly, not silently mix results), then one [rec] line per
+    completed (config, superblock) evaluation.  The header is written
+    via temp-file + atomic rename, records via append + flush + fsync,
+    so a journal killed at any instant is a valid prefix — except
+    possibly a torn final line, which loading ignores.
+
+    Floats are serialized as hex float literals ([%h]), so every value
+    round-trips bit-exactly: a resumed run reproduces byte-identical
+    tables.  Record values (the expensive heuristic WCTs) are replayed
+    from the journal; bounds are recomputed on load by the caller
+    (they are cheap, and carry closures that cannot be serialized) and
+    cross-checked against the journaled values. *)
+
+type entry = {
+  config : string;  (** machine config name *)
+  index : int;  (** superblock position in the corpus *)
+  sb_name : string;
+  cp : float;
+  hu : float;
+  rj : float;
+  lc : float;
+  pw : float;
+  tw : float option;
+  tightest : float;
+  wct : (string * float) list;  (** heuristic short-name -> WCT *)
+}
+
+type t
+
+val start :
+  path:string -> resume:bool -> meta:(string * string) list -> t * entry list
+(** Open the journal at [path] for appending.
+
+    Fresh start ([resume = false]): writes the header atomically;
+    raises [Failure] if [path] already exists (refusing to clobber a
+    journal silently).  Returns no entries.
+
+    Resume ([resume = true]): loads and validates the existing journal
+    — [Failure] if the magic or the [meta] fingerprint does not match —
+    and returns its completed entries (a torn final line is dropped).
+    A missing file under [resume] degrades to a fresh start. *)
+
+val append : t -> entry -> unit
+(** Journal one completed record: append + flush + fsync.  Safe to
+    call concurrently from pool worker domains. *)
+
+val close : t -> unit
+
+val entry_of_record : config:string -> index:int -> Metrics.record -> entry
+
+val entry_table : entry list -> (string * int, entry) Hashtbl.t
+(** Index entries by (config name, superblock index). *)

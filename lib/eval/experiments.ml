@@ -32,7 +32,62 @@ type prepared = {
   records : (Config.t * Metrics.record list) list;
 }
 
-let prepare ?(jobs = 1) setup =
+let heuristic_shorts =
+  List.map (fun (h : Sb_sched.Registry.heuristic) -> h.short) Sb_sched.Registry.all
+
+(* Fingerprint of everything a checkpoint's records depend on.  The
+   corpus digest covers every superblock byte-for-byte (via its serde
+   form), so resuming against a different corpus — or a differently
+   flagged run — fails loudly instead of mixing results. *)
+let checkpoint_meta setup superblocks =
+  let digest =
+    Digest.to_hex
+      (Digest.string
+         (String.concat "\x00"
+            (List.map Sb_ir.Serde.superblock_to_string superblocks)))
+  in
+  [
+    ("scale", Printf.sprintf "%h" setup.scale);
+    ("with_tw", string_of_bool setup.with_tw);
+    ("incremental", string_of_bool setup.incremental);
+    ( "corpus",
+      match setup.corpus_kind with Synthetic -> "synthetic" | Via_cfg -> "via-cfg" );
+    ( "configs",
+      String.concat ","
+        (List.map (fun (c : Config.t) -> c.Config.name) setup.configs) );
+    ("heuristics", String.concat "," heuristic_shorts);
+    ("count", string_of_int (List.length superblocks));
+    ("digest", digest);
+  ]
+
+(* Rebuild a full record from a journaled entry.  The bounds are
+   recomputed — they are cheap next to the ~127 schedules a record
+   costs, and [Superblock_bound.all] carries closures that cannot be
+   serialized — then cross-checked bit-exactly against the journaled
+   values, so a stale journal cannot smuggle in wrong numbers. *)
+let record_of_entry ~with_tw ~incremental config sb (e : Checkpoint.entry) =
+  let open Sb_bounds.Superblock_bound in
+  if e.Checkpoint.sb_name <> sb.Superblock.name then
+    failwith
+      (Printf.sprintf
+         "checkpoint: entry %d is for superblock %S, corpus has %S"
+         e.Checkpoint.index e.Checkpoint.sb_name sb.Superblock.name);
+  let bounds = all_bounds ~with_tw ~memoize:incremental config sb in
+  if
+    not
+      (bounds.cp = e.Checkpoint.cp && bounds.hu = e.Checkpoint.hu
+     && bounds.rj = e.Checkpoint.rj && bounds.lc = e.Checkpoint.lc
+     && bounds.pw = e.Checkpoint.pw && bounds.tw = e.Checkpoint.tw
+     && bounds.tightest = e.Checkpoint.tightest)
+  then
+    failwith
+      (Printf.sprintf
+         "checkpoint: recomputed bounds for %S on %s disagree with the \
+          journal (stale or corrupt checkpoint)"
+         sb.Superblock.name e.Checkpoint.config);
+  { Metrics.sb; bounds; wct = e.Checkpoint.wct }
+
+let prepare ?(jobs = 1) ?checkpoint ?(resume = false) setup =
   let corpus =
     match setup.corpus_kind with
     | Synthetic -> Sb_workload.Corpus.generate ~scale:setup.scale ()
@@ -54,27 +109,59 @@ let prepare ?(jobs = 1) setup =
         ]
   in
   let superblocks = Sb_workload.Corpus.all_superblocks corpus in
+  (* When journaling: every computed record is appended (fsync'd) from
+     the domain that computed it, and on resume the journal's entries
+     skip straight past the heuristic runs.  Records are keyed by the
+     canonical [setup.configs] instances, so [aligned_records]'s
+     physical-equality lookup works identically on both paths. *)
+  let journal =
+    Option.map
+      (fun path ->
+        let ck, entries =
+          Checkpoint.start ~path ~resume ~meta:(checkpoint_meta setup superblocks)
+        in
+        (ck, Checkpoint.entry_table entries))
+      checkpoint
+  in
   (* One pool for the whole preparation: the per-config evaluations run
      back to back over the same workers instead of respawning domains
      per machine configuration. *)
   let eval_all pool =
     List.map
       (fun config ->
+        let skip, on_record =
+          match journal with
+          | None -> (None, None)
+          | Some (ck, tbl) ->
+              let cname = config.Config.name in
+              ( Some
+                  (fun i sb ->
+                    Option.map
+                      (record_of_entry ~with_tw:setup.with_tw
+                         ~incremental:setup.incremental config sb)
+                      (Hashtbl.find_opt tbl (cname, i))),
+                Some
+                  (fun i r ->
+                    Checkpoint.append ck
+                      (Checkpoint.entry_of_record ~config:cname ~index:i r)) )
+        in
         ( config,
           Metrics.evaluate ~with_tw:setup.with_tw
-            ~incremental:setup.incremental ?pool config superblocks ))
+            ~incremental:setup.incremental ?pool ?skip ?on_record config
+            superblocks ))
       setup.configs
   in
   let records =
-    if jobs <= 1 then eval_all None
-    else Parpool.with_pool ~jobs (fun pool -> eval_all (Some pool))
+    Fun.protect
+      ~finally:(fun () ->
+        Option.iter (fun (ck, _) -> Checkpoint.close ck) journal)
+      (fun () ->
+        if jobs <= 1 then eval_all None
+        else Parpool.with_pool ~jobs (fun pool -> eval_all (Some pool)))
   in
   { setup; corpus; superblocks; records }
 
 let corpus_of p = p.corpus
-
-let heuristic_shorts =
-  List.map (fun (h : Sb_sched.Registry.heuristic) -> h.short) Sb_sched.Registry.all
 
 (* Standalone heuristic runs that honour the setup's incremental /
    from-scratch selection.  On the incremental path the driver threads

@@ -41,12 +41,21 @@ type prepared
 (** Corpus plus per-configuration evaluation records, computed once and
     shared by the drivers. *)
 
-val prepare : ?jobs:int -> setup -> prepared
+val prepare : ?jobs:int -> ?checkpoint:string -> ?resume:bool -> setup -> prepared
 (** Generate the corpus and evaluate every configuration.  [jobs]
     (default 1) distributes the per-superblock evaluation over that many
     domains with {!Parpool}; results are merged in corpus order, so the
     prepared records — and every table below — are identical to the
-    sequential run. *)
+    sequential run.
+
+    [checkpoint] journals every completed (config, superblock) record
+    to that {!Checkpoint} file as it is computed; with [resume]
+    (default [false]) an existing journal's entries are replayed —
+    after validating its fingerprint against this setup and corpus and
+    cross-checking recomputed bounds bit-exactly — so a killed run
+    continues where it stopped and yields byte-identical tables.
+    Raises [Failure] when the journal belongs to a different
+    experiment, is corrupt, or exists without [resume]. *)
 
 val corpus_of : prepared -> Sb_workload.Corpus.t list
 

@@ -6,15 +6,30 @@ type record = {
   wct : (string * float) list;
 }
 
+type failure = {
+  index : int;
+  sb_name : string;
+  stage : string;
+  exn : string;
+  backtrace : string;
+  timed_out : bool;
+}
+
 let bound r = r.bounds.Sb_bounds.Superblock_bound.tightest
 
-let evaluate ?(heuristics = Sb_sched.Registry.all) ?(with_tw = true)
-    ?(incremental = true) ?(jobs = 1) ?pool config sbs =
-  let eval_one sb =
-    let bounds =
-      Sb_bounds.Superblock_bound.all_bounds ~with_tw ~memoize:incremental
-        config sb
-    in
+(* The per-superblock evaluation core, shared by the fail-fast
+   [evaluate] and the quarantining [evaluate_supervised].  [on_stage]
+   hears which phase is entered ("bounds", then each heuristic name) so
+   a supervisor can attribute a thrown exception; the "eval.item" fault
+   point and the watchdog polls make the whole item fault- and
+   timeout-interruptible. *)
+let eval_record ~heuristics ~with_tw ~incremental ~on_stage config sb =
+  Sb_fault.Fault.point "eval.item";
+  on_stage "bounds";
+  let bounds =
+    Sb_bounds.Superblock_bound.all_bounds ~with_tw ~memoize:incremental
+      config sb
+  in
     (* On the incremental path, remember each primary's schedule (and
        the work all of them charged, via a domain-local snapshot) so
        Best can reuse the runs instead of repeating them — the heuristic
@@ -50,35 +65,91 @@ let evaluate ?(heuristics = Sb_sched.Registry.all) ?(with_tw = true)
               Some (ss, work)
           | exception Exit -> None)
     in
-    let wct =
-      List.map
-        (fun (h : Sb_sched.Registry.heuristic) ->
-          let s =
-            (* Reuse the bound work for the heuristics that accept it,
-               and pin the incremental/from-scratch path for the ones
-               that cache dynamic bounds. *)
-            if h.name = "balance" then
-              Sb_sched.Balance.schedule ~incremental ~precomputed:bounds
-                config sb
-            else if h.name = "best" then
-              Sb_sched.Best.schedule ~incremental ~precomputed:bounds
-                ?primaries:(primaries_for_best ()) config sb
-            else if h.name = "help" then
-              Sb_sched.Help.schedule ~incremental config sb
-            else h.run config sb
-          in
-          if incremental && h.name <> "best" then ran := (h.name, s) :: !ran;
-          (h.short, Sb_sched.Schedule.weighted_completion_time s))
-        heuristics
-    in
-    { sb; bounds; wct }
+  let wct =
+    List.map
+      (fun (h : Sb_sched.Registry.heuristic) ->
+        on_stage h.name;
+        Sb_fault.Watchdog.check "eval.heuristic";
+        let s =
+          (* Reuse the bound work for the heuristics that accept it,
+             and pin the incremental/from-scratch path for the ones
+             that cache dynamic bounds. *)
+          if h.name = "balance" then
+            Sb_sched.Balance.schedule ~incremental ~precomputed:bounds
+              config sb
+          else if h.name = "best" then
+            Sb_sched.Best.schedule ~incremental ~precomputed:bounds
+              ?primaries:(primaries_for_best ()) config sb
+          else if h.name = "help" then
+            Sb_sched.Help.schedule ~incremental config sb
+          else h.run config sb
+        in
+        if incremental && h.name <> "best" then ran := (h.name, s) :: !ran;
+        (h.short, Sb_sched.Schedule.weighted_completion_time s))
+      heuristics
   in
+  { sb; bounds; wct }
+
+let evaluate ?(heuristics = Sb_sched.Registry.all) ?(with_tw = true)
+    ?(incremental = true) ?(jobs = 1) ?pool ?skip ?on_record config sbs =
+  let compute i sb =
+    let r =
+      eval_record ~heuristics ~with_tw ~incremental ~on_stage:ignore config sb
+    in
+    (match on_record with Some f -> f i r | None -> ());
+    r
+  in
+  let eval_one (i, sb) =
+    match skip with
+    | Some f -> (
+        match f i sb with Some r -> r | None -> compute i sb)
+    | None -> compute i sb
+  in
+  let indexed = List.mapi (fun i sb -> (i, sb)) sbs in
   (* Each superblock's record depends only on that superblock, so the
      fan-out is safe; Parpool.map preserves corpus order, making the
      parallel result identical to the sequential List.map. *)
   match pool with
-  | Some pool -> Parpool.map pool eval_one sbs
-  | None -> Parpool.parallel_map ~jobs eval_one sbs
+  | Some pool -> Parpool.map pool eval_one indexed
+  | None -> Parpool.parallel_map ~jobs eval_one indexed
+
+let evaluate_supervised ?(heuristics = Sb_sched.Registry.all)
+    ?(with_tw = true) ?(incremental = true) ?(jobs = 1) ?pool ?timeout_s
+    config sbs =
+  let eval_one (i, sb) =
+    let stage = ref "start" in
+    let on_stage s = stage := s in
+    let run () =
+      eval_record ~heuristics ~with_tw ~incremental ~on_stage config sb
+    in
+    match
+      match timeout_s with
+      | None -> run ()
+      | Some seconds -> Sb_fault.Watchdog.with_deadline ~seconds run
+    with
+    | r -> Either.Left r
+    | exception exn ->
+        let bt = Printexc.get_raw_backtrace () in
+        Either.Right
+          {
+            index = i;
+            sb_name = sb.Superblock.name;
+            stage = !stage;
+            exn = Printexc.to_string exn;
+            backtrace = Printexc.raw_backtrace_to_string bt;
+            timed_out =
+              (match exn with
+              | Sb_fault.Watchdog.Timed_out _ -> true
+              | _ -> false);
+          }
+  in
+  let indexed = List.mapi (fun i sb -> (i, sb)) sbs in
+  let outcomes =
+    match pool with
+    | Some pool -> Parpool.map pool eval_one indexed
+    | None -> Parpool.parallel_map ~jobs eval_one indexed
+  in
+  List.partition_map Fun.id outcomes
 
 let tolerance = 1e-6
 

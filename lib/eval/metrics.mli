@@ -11,6 +11,18 @@ type record = {
   wct : (string * float) list;  (** heuristic short-name -> achieved WCT *)
 }
 
+type failure = {
+  index : int;  (** position of the superblock in the input list *)
+  sb_name : string;
+  stage : string;
+      (** what was running when the exception escaped: ["bounds"] or a
+          heuristic name *)
+  exn : string;
+  backtrace : string;
+  timed_out : bool;  (** the exception was {!Sb_fault.Watchdog.Timed_out} *)
+}
+(** One quarantined superblock from {!evaluate_supervised}. *)
+
 val bound : record -> float
 (** The tightest lower bound on the WCT. *)
 
@@ -20,6 +32,8 @@ val evaluate :
   ?incremental:bool ->
   ?jobs:int ->
   ?pool:Parpool.t ->
+  ?skip:(int -> Sb_ir.Superblock.t -> record option) ->
+  ?on_record:(int -> record -> unit) ->
   Sb_machine.Config.t ->
   Sb_ir.Superblock.t list ->
   record list
@@ -36,7 +50,32 @@ val evaluate :
     [jobs] (default 1: sequential) fans the superblocks out over that
     many domains via {!Parpool}; the record list comes back in corpus
     order, identical to the sequential result.  Pass [pool] instead to
-    reuse an existing pool across calls ([jobs] is then ignored). *)
+    reuse an existing pool across calls ([jobs] is then ignored).
+
+    [skip i sb] (checkpoint resume) may supply a ready-made record for
+    input position [i], bypassing evaluation; [on_record i r] is called
+    from the computing domain right after each {e computed} (not
+    skipped) record, e.g. to journal it.  Exceptions propagate
+    fail-fast with their original backtrace; use
+    {!evaluate_supervised} to quarantine instead. *)
+
+val evaluate_supervised :
+  ?heuristics:Sb_sched.Registry.heuristic list ->
+  ?with_tw:bool ->
+  ?incremental:bool ->
+  ?jobs:int ->
+  ?pool:Parpool.t ->
+  ?timeout_s:float ->
+  Sb_machine.Config.t ->
+  Sb_ir.Superblock.t list ->
+  record list * failure list
+(** Like {!evaluate}, but a superblock whose bounds or heuristic raises
+    is quarantined into the second list (with the stage, the exception
+    and its backtrace) while the rest of the corpus completes.
+    [timeout_s] arms a per-item {!Sb_fault.Watchdog} deadline; a
+    runaway item (Best's grid, Optimal's search and the per-heuristic
+    dispatch all poll) becomes a [failure] with [timed_out = true]
+    instead of a hung run.  Both lists preserve corpus order. *)
 
 val optimal : record -> string -> bool
 (** Did the named heuristic meet the bound on this superblock? *)

@@ -8,7 +8,18 @@
    per-superblock cost (Best alone computes 127 schedules) without any
    coordination beyond one fetch-and-add per chunk.  Results land in a
    slot array indexed by input position, so the merged list is always in
-   corpus order no matter which domain computed what. *)
+   corpus order no matter which domain computed what.
+
+   Supervision: a worker domain whose job lets an exception escape (the
+   batch body only does so for an injected simulated crash — real
+   per-item exceptions are captured in [failure]) marks itself dead and
+   exits its loop.  Batches survive this because every participant
+   checks out through [Fun.protect], so [remaining] still reaches zero
+   and the caller participant finishes whatever the dead worker left
+   unclaimed.  The next [map] joins and respawns dead workers before
+   enqueueing. *)
+
+type worker = { mutable dom : unit Domain.t; dead : bool Atomic.t }
 
 type t = {
   jobs : int;
@@ -16,12 +27,14 @@ type t = {
   lock : Mutex.t;
   nonempty : Condition.t;
   mutable stopping : bool;
-  mutable workers : unit Domain.t list;
+  mutable workers : worker list;
+  respawned : int Atomic.t;
 }
 
 let jobs t = t.jobs
+let respawned t = Atomic.get t.respawned
 
-let worker_loop pool =
+let worker_loop pool dead =
   let rec next () =
     Mutex.lock pool.lock;
     let rec take () =
@@ -40,13 +53,22 @@ let worker_loop pool =
     in
     match take () with
     | None -> ()
-    | Some job ->
-        job ();
-        next ()
+    | Some job -> (
+        match job () with
+        | () -> next ()
+        | exception _ ->
+            (* Simulated (or very real) worker crash: the job already
+               checked out of its batch, so just flag ourselves for the
+               next [ensure_workers] and stop taking work. *)
+            Atomic.set dead true)
   in
   next ()
 
 let default_jobs () = Domain.recommended_domain_count ()
+
+let spawn_worker pool =
+  let dead = Atomic.make false in
+  { dom = Domain.spawn (fun () -> worker_loop pool dead); dead }
 
 let create ~jobs =
   if jobs < 1 then invalid_arg "Parpool.create: jobs must be >= 1";
@@ -58,18 +80,31 @@ let create ~jobs =
       nonempty = Condition.create ();
       stopping = false;
       workers = [];
+      respawned = Atomic.make 0;
     }
   in
-  pool.workers <-
-    List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool.workers <- List.init (jobs - 1) (fun _ -> spawn_worker pool);
   pool
+
+(* Called with no batch in flight (map is not re-entrant), so dead
+   workers are parked and joining them cannot block. *)
+let ensure_workers pool =
+  List.iter
+    (fun w ->
+      if Atomic.get w.dead then begin
+        Domain.join w.dom;
+        Atomic.set w.dead false;
+        Atomic.incr pool.respawned;
+        w.dom <- Domain.spawn (fun () -> worker_loop pool w.dead)
+      end)
+    pool.workers
 
 let shutdown pool =
   Mutex.lock pool.lock;
   pool.stopping <- true;
   Condition.broadcast pool.nonempty;
   Mutex.unlock pool.lock;
-  List.iter Domain.join pool.workers;
+  List.iter (fun w -> Domain.join w.dom) pool.workers;
   pool.workers <- []
 
 let with_pool ~jobs f =
@@ -87,6 +122,7 @@ let map pool f xs =
   | [ x ] -> [ f x ]
   | _ when pool.jobs = 1 -> List.map f xs
   | _ ->
+      ensure_workers pool;
       let input = Array.of_list xs in
       let n = Array.length input in
       let results = Array.make n None in
@@ -100,10 +136,17 @@ let map pool f xs =
          same batch body: claim chunks until the input or an error ends
          the batch, then check out. [map] returns only once all [jobs]
          participants have checked out, so no worker can still be
-         touching [results] — or the Work counters — afterwards. *)
-      let body () =
+         touching [results] — or the Work counters — afterwards.
+
+         Only pool workers are [injectable]: the "parpool.worker" fault
+         point simulates a crashed worker domain, and it fires before
+         the fetch-and-add so a claimed chunk is never dropped.  The
+         caller participant must survive to merge, so it never
+         injects. *)
+      let body ~injectable () =
         let rec run () =
           if Atomic.get failure = None then begin
+            if injectable then Sb_fault.Fault.point "parpool.worker";
             let start = Atomic.fetch_and_add cursor chunk in
             if start < n then begin
               (try
@@ -118,19 +161,21 @@ let map pool f xs =
             end
           end
         in
-        run ();
-        Mutex.lock done_lock;
-        decr remaining;
-        if !remaining = 0 then Condition.broadcast done_cond;
-        Mutex.unlock done_lock
+        Fun.protect
+          ~finally:(fun () ->
+            Mutex.lock done_lock;
+            decr remaining;
+            if !remaining = 0 then Condition.broadcast done_cond;
+            Mutex.unlock done_lock)
+          run
       in
       Mutex.lock pool.lock;
       for _ = 2 to pool.jobs do
-        Queue.add body pool.queue
+        Queue.add (body ~injectable:true) pool.queue
       done;
       Condition.broadcast pool.nonempty;
       Mutex.unlock pool.lock;
-      body ();
+      body ~injectable:false ();
       Mutex.lock done_lock;
       while !remaining > 0 do
         Condition.wait done_cond done_lock

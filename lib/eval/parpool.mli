@@ -27,7 +27,18 @@ val map : t -> ('a -> 'b) -> 'a list -> 'b list
     after the batch drains; remaining items may be skipped.  [map]
     returns only once every participant has finished, so the pool is
     quiescent afterwards (safe to read {!Sb_bounds.Work} aggregates).
-    Not re-entrant: run one batch per pool at a time. *)
+    Not re-entrant: run one batch per pool at a time.
+
+    Supervision: worker domains killed by the ["parpool.worker"]
+    {!Sb_fault.Fault} point (or any exception escaping the batch body
+    itself) check out of the in-flight batch first, so the batch still
+    completes on the surviving participants — the caller at minimum —
+    with full results.  Dead workers are joined and respawned at the
+    start of the next [map]. *)
+
+val respawned : t -> int
+(** Number of crashed worker domains replaced over the pool's
+    lifetime. *)
 
 val shutdown : t -> unit
 (** Stop and join the worker domains.  Only call once no batch is in

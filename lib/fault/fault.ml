@@ -1,0 +1,183 @@
+(* Deterministic fault injection.  See fault.mli for the model. *)
+
+type action = Raise | Die | Epipe | Partial | Sleep of float
+type rule = { point : string; action : action; prob : float }
+type plan = { seed : int; rules : rule list }
+
+exception Injected of string
+exception Worker_death of string
+
+type decision = Pass | Act of action
+
+(* Per-point runtime state: the call index drives the deterministic
+   decision stream; [hits] counts decisions that fired. *)
+type prt = { rule : rule; calls : int Atomic.t; hits : int Atomic.t }
+type state = { seed : int; points : (string * prt) list }
+
+let state : state option Atomic.t = Atomic.make None
+
+(* ------------------------------ parsing --------------------------- *)
+
+let action_to_string = function
+  | Raise -> "raise"
+  | Die -> "die"
+  | Epipe -> "epipe"
+  | Partial -> "partial"
+  | Sleep d ->
+      if d < 0.001 then Printf.sprintf "%gus" (d *. 1e6)
+      else if d < 1.0 then Printf.sprintf "%gms" (d *. 1e3)
+      else Printf.sprintf "%gs" d
+
+let parse_action s =
+  match s with
+  | "raise" -> Ok Raise
+  | "die" -> Ok Die
+  | "epipe" -> Ok Epipe
+  | "partial" -> Ok Partial
+  | _ -> (
+      let dur scale digits =
+        match float_of_string_opt digits with
+        | Some f when f >= 0. -> Ok (Sleep (f *. scale))
+        | _ -> Error (Printf.sprintf "bad duration %S" s)
+      in
+      match
+        List.find_opt
+          (fun (suffix, _) -> Filename.check_suffix s suffix)
+          [ ("us", 1e-6); ("ms", 1e-3); ("s", 1.0) ]
+      with
+      | Some (suffix, scale) -> dur scale (Filename.chop_suffix s suffix)
+      | None ->
+          Error
+            (Printf.sprintf
+               "unknown action %S (want raise|die|epipe|partial|DURATION)" s))
+
+let parse_entry s =
+  match String.index_opt s ':' with
+  | None -> (
+      match String.split_on_char '=' s with
+      | [ "seed"; n ] -> (
+          match int_of_string_opt n with
+          | Some seed -> Ok (`Seed seed)
+          | None -> Error (Printf.sprintf "bad seed %S" n))
+      | _ ->
+          Error
+            (Printf.sprintf "bad entry %S (want point:action[@prob] or seed=N)"
+               s))
+  | Some i ->
+      let point = String.sub s 0 i in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      let action_s, prob_s =
+        match String.index_opt rest '@' with
+        | None -> (rest, "1")
+        | Some j ->
+            ( String.sub rest 0 j,
+              String.sub rest (j + 1) (String.length rest - j - 1) )
+      in
+      if point = "" then Error (Printf.sprintf "empty point name in %S" s)
+      else
+        Result.bind (parse_action action_s) (fun action ->
+            match float_of_string_opt prob_s with
+            | Some p when p >= 0. && p <= 1. ->
+                Ok (`Rule { point; action; prob = p })
+            | _ -> Error (Printf.sprintf "bad probability %S (want [0,1])" s))
+
+let parse s =
+  let entries =
+    String.split_on_char ',' (String.trim s)
+    |> List.map String.trim
+    |> List.filter (fun e -> e <> "")
+  in
+  if entries = [] then Error "empty fault plan"
+  else
+    let rec go seed rules = function
+      | [] -> Ok { seed; rules = List.rev rules }
+      | e :: tl -> (
+          match parse_entry e with
+          | Ok (`Seed n) -> go n rules tl
+          | Ok (`Rule r) ->
+              if List.exists (fun r' -> r'.point = r.point) rules then
+                Error (Printf.sprintf "duplicate rule for point %S" r.point)
+              else go seed (r :: rules) tl
+          | Error _ as e -> e)
+    in
+    go 0 [] entries
+
+let to_string { seed; rules } =
+  let rules =
+    List.map
+      (fun r ->
+        Printf.sprintf "%s:%s@%g" r.point (action_to_string r.action) r.prob)
+      rules
+  in
+  String.concat "," (if seed = 0 then rules else rules @ [ Printf.sprintf "seed=%d" seed ])
+
+(* ----------------------------- decisions -------------------------- *)
+
+(* splitmix64: decisions must be reproducible across runs and
+   independent of OCaml's Random state, which tests reseed freely. *)
+let splitmix64 x =
+  let open Int64 in
+  let x = add x 0x9E3779B97F4A7C15L in
+  let x = mul (logxor x (shift_right_logical x 30)) 0xBF58476D1CE4E5B9L in
+  let x = mul (logxor x (shift_right_logical x 27)) 0x94D049BB133111EBL in
+  logxor x (shift_right_logical x 31)
+
+let unit_float ~seed ~point ~index =
+  let h = ref (splitmix64 (Int64.of_int seed)) in
+  String.iter
+    (fun c -> h := splitmix64 (Int64.logxor !h (Int64.of_int (Char.code c))))
+    point;
+  h := splitmix64 (Int64.logxor !h (Int64.of_int index));
+  (* 53 high-quality bits -> [0,1) *)
+  Int64.to_float (Int64.shift_right_logical !h 11) *. (1.0 /. 9007199254740992.0)
+
+let install plan =
+  let points =
+    List.map
+      (fun rule ->
+        (rule.point, { rule; calls = Atomic.make 0; hits = Atomic.make 0 }))
+      plan.rules
+  in
+  Atomic.set state (Some { seed = plan.seed; points })
+
+let install_from_env () =
+  match Sys.getenv_opt "SBSCHED_FAULT" with
+  | None -> Ok ()
+  | Some s -> (
+      match parse s with
+      | Ok plan ->
+          install plan;
+          Ok ()
+      | Error e -> Error (Printf.sprintf "SBSCHED_FAULT: %s" e))
+
+let clear () = Atomic.set state None
+let active () = Atomic.get state <> None
+
+let decide name =
+  match Atomic.get state with
+  | None -> Pass
+  | Some st -> (
+      match List.assoc_opt name st.points with
+      | None -> Pass
+      | Some p ->
+          let index = Atomic.fetch_and_add p.calls 1 in
+          if unit_float ~seed:st.seed ~point:name ~index < p.rule.prob then (
+            Atomic.incr p.hits;
+            Act p.rule.action)
+          else Pass)
+
+let point name =
+  match decide name with
+  | Pass -> ()
+  | Act (Raise | Epipe | Partial) -> raise (Injected name)
+  | Act Die -> raise (Worker_death name)
+  | Act (Sleep d) -> Unix.sleepf d
+
+let fired () =
+  match Atomic.get state with
+  | None -> []
+  | Some st ->
+      st.points
+      |> List.filter_map (fun (name, p) ->
+             match Atomic.get p.hits with 0 -> None | n -> Some (name, n))
+      |> List.sort compare

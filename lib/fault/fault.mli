@@ -1,0 +1,68 @@
+(** Deterministic, named fault-injection points.
+
+    Long-running paths declare named points ([point "parpool.worker"],
+    [decide "serve.write"]) that are inert — a single [Atomic.get] —
+    unless a fault {i plan} is installed.  A plan is a seeded list of
+    rules mapping point names to actions with firing probabilities;
+    decisions are a pure function of (seed, point name, per-point call
+    index), so a given plan replays the exact same fault sequence on
+    every run regardless of thread/domain interleaving {i per point}
+    (which caller observes the nth decision may vary, but the decision
+    sequence itself does not).
+
+    Plan syntax (CLI [--fault], env [SBSCHED_FAULT]):
+
+    {v point:action[@prob][,point:action[@prob]...][,seed=N] v}
+
+    where [action] is [raise], [die], [epipe], [partial] or a sleep
+    duration ([5ms], [0.2s], [50us]).  [@prob] defaults to [1].
+    Example: [parpool.worker:die@0.01,serve.write:epipe@0.05,eval.item:5ms@0.02] *)
+
+type action =
+  | Raise  (** raise {!Injected} at the point *)
+  | Die  (** raise {!Worker_death} — a simulated crashed domain *)
+  | Epipe
+      (** write points: drop the data and abort the connection, as if
+          the peer vanished *)
+  | Partial  (** write points: emit a prefix of the data, then abort *)
+  | Sleep of float  (** delay this many seconds, then proceed *)
+
+type rule = { point : string; action : action; prob : float }
+type plan = { seed : int; rules : rule list }
+
+exception Injected of string
+(** Raised by {!point} for a [raise] rule; payload is the point name. *)
+
+exception Worker_death of string
+(** Raised by {!point} for a [die] rule.  [Sb_eval.Parpool] treats a
+    worker domain this escapes from as crashed. *)
+
+type decision = Pass | Act of action
+
+val parse : string -> (plan, string) result
+val to_string : plan -> string
+
+val install : plan -> unit
+(** Activate [plan], resetting all per-point counters. *)
+
+val install_from_env : unit -> (unit, string) result
+(** Install the plan in [$SBSCHED_FAULT], if set and well-formed.
+    [Ok ()] when the variable is unset. *)
+
+val clear : unit -> unit
+val active : unit -> bool
+
+val decide : string -> decision
+(** Draw the next decision for a named point.  [Pass] (with no atomic
+    traffic beyond one load) when no plan is active or no rule names
+    the point.  Callers that need action-specific handling (e.g. a
+    socket write emulating [Epipe]/[Partial]) use this directly. *)
+
+val point : string -> unit
+(** [decide] and perform the generic effect: [Raise]/[Epipe]/[Partial]
+    raise {!Injected}, [Die] raises {!Worker_death}, [Sleep d] delays
+    [d] seconds, [Pass] returns. *)
+
+val fired : unit -> (string * int) list
+(** Per-point fired-decision counts since the last {!install}, sorted
+    by point name.  Empty when inactive. *)

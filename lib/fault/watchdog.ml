@@ -1,0 +1,22 @@
+exception Timed_out of string
+
+let key : float option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let with_deadline ~seconds f =
+  let slot = Domain.DLS.get key in
+  let prev = !slot in
+  let d = Unix.gettimeofday () +. seconds in
+  let d = match prev with Some p -> Float.min p d | None -> d in
+  slot := Some d;
+  Fun.protect ~finally:(fun () -> slot := prev) f
+
+let check name =
+  match !(Domain.DLS.get key) with
+  | None -> ()
+  | Some d -> if Unix.gettimeofday () > d then raise (Timed_out name)
+
+let remaining () =
+  match !(Domain.DLS.get key) with
+  | None -> None
+  | Some d -> Some (d -. Unix.gettimeofday ())

@@ -1,0 +1,21 @@
+(** Cooperative per-item wall-clock watchdog.
+
+    [with_deadline ~seconds f] arms a deadline for the calling domain
+    while [f] runs; long loops poll {!check}, which raises
+    {!Timed_out} once the deadline passes.  Deadlines nest (the
+    tighter one wins) and are per-domain (DLS), so pool workers time
+    out independently.  {!check} with no armed deadline is a single
+    DLS read — cheap enough for inner scheduler loops. *)
+
+exception Timed_out of string
+(** Payload is the poll-site name that observed the expiry. *)
+
+val with_deadline : seconds:float -> (unit -> 'a) -> 'a
+
+val check : string -> unit
+(** Raise [Timed_out name] if the calling domain's deadline (if any)
+    has passed. *)
+
+val remaining : unit -> float option
+(** Seconds until the armed deadline ([None] when unarmed); negative
+    once expired.  For tests and diagnostics. *)

@@ -61,6 +61,10 @@ let cross_product_only ?(incremental = false) config sb =
     (fun a ->
       Array.iter
         (fun b ->
+          (* One poll per grid point: Best is the heaviest heuristic
+             (121 schedules), so a watchdog deadline must be able to
+             interrupt it between runs. *)
+          Sb_fault.Watchdog.check "best.grid";
           for v = 0 to n - 1 do
             parr.(v) <- dh.(v) +. (a *. cp.(v)) +. (b *. sr.(v) *. nb)
           done;

@@ -69,6 +69,10 @@ let schedule ?(node_budget = 200_000) config (sb : Superblock.t) =
   let rec explore cycle min_id remaining =
     incr nodes;
     if !nodes > node_budget then raise Budget_exhausted;
+    (* The gettimeofday poll is ~100x a node's bookkeeping, so sample
+       every 64 nodes: cheap against the search itself, yet an armed
+       watchdog still interrupts a runaway search promptly. *)
+    if !nodes land 63 = 0 then Sb_fault.Watchdog.check "optimal.node";
     if remaining = 0 then begin
       let wct = remaining_bound cycle in
       if wct < !best_wct -. 1e-12 then begin

@@ -6,9 +6,15 @@ type t = {
   fd : Unix.file_descr option;  (* Some: we own the socket *)
 }
 
-let connect ~path =
+let connect ?read_timeout_s ~path () =
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd (Unix.ADDR_UNIX path)
+  (try
+     Unix.connect fd (Unix.ADDR_UNIX path);
+     (* A reply the server dropped (or a dead server) must surface as a
+        timed-out read the retry layer can recover from, not a hang. *)
+     match read_timeout_s with
+     | Some s -> Unix.setsockopt_float fd Unix.SO_RCVTIMEO s
+     | None -> ()
    with e ->
      (try Unix.close fd with _ -> ());
      raise e);
@@ -57,12 +63,114 @@ let send_ping t ~id =
 let read_reply t =
   match input_line t.ic with
   | exception End_of_file -> Error "connection closed"
+  | exception Sys_blocked_io -> Error "read timed out"
   | exception Sys_error msg -> Error msg
   | line -> Protocol.parse_reply line
 
 let schedule t ~id ?heuristic ?machine ?bounds ?issue ?deadline_ms sb =
   send_schedule t ~id ?heuristic ?machine ?bounds ?issue ?deadline_ms sb;
   read_reply t
+
+(* ------------------------------ retry ----------------------------- *)
+
+module Retry = struct
+  type policy = { attempts : int; base_s : float; cap_s : float }
+
+  let default = { attempts = 5; base_s = 0.01; cap_s = 0.5 }
+end
+
+(* A reconnecting client.  Busy replies are retried on the same (still
+   healthy) connection; any transport-level failure — EOF, a garbled or
+   truncated reply, a timed-out read, a refused connect — drops the
+   connection and retries on a fresh one, because after a lost reply
+   the old stream can never be re-synchronized. *)
+type session = {
+  s_path : string;
+  policy : Retry.policy;
+  read_timeout_s : float option;
+  rng : Random.State.t;
+  mutable s_conn : t option;
+  mutable prev_sleep : float;
+  mutable s_retries : int;
+}
+
+let session ?(policy = Retry.default) ?read_timeout_s ?(seed = 0) ~path () =
+  if policy.Retry.attempts < 1 then
+    invalid_arg "Client.session: attempts must be >= 1";
+  {
+    s_path = path;
+    policy;
+    read_timeout_s;
+    rng = Random.State.make [| seed; 0x5bc1 |];
+    s_conn = None;
+    prev_sleep = 0.;
+    s_retries = 0;
+  }
+
+let session_retries s = s.s_retries
+
+let session_drop s =
+  match s.s_conn with
+  | Some c ->
+      (try close c with _ -> ());
+      s.s_conn <- None
+  | None -> ()
+
+let session_close = session_drop
+
+let session_conn s =
+  match s.s_conn with
+  | Some c -> c
+  | None ->
+      let c = connect ?read_timeout_s:s.read_timeout_s ~path:s.s_path () in
+      s.s_conn <- Some c;
+      c
+
+(* Exponential backoff with decorrelated jitter: sleep uniformly in
+   [base, 3 * previous sleep], capped.  Retries desynchronize instead
+   of re-colliding in lockstep after a busy burst. *)
+let session_backoff s =
+  let p = s.policy in
+  let hi = Float.max p.Retry.base_s (s.prev_sleep *. 3.) in
+  let sleep =
+    Float.min p.Retry.cap_s
+      (p.Retry.base_s +. Random.State.float s.rng (hi -. p.Retry.base_s))
+  in
+  s.prev_sleep <- sleep;
+  s.s_retries <- s.s_retries + 1;
+  Thread.delay sleep
+
+let session_schedule s ~id ?heuristic ?machine ?bounds ?issue ?deadline_ms sb =
+  let attempts = s.policy.Retry.attempts in
+  let rec attempt n =
+    let retry_or err =
+      if n + 1 >= attempts then err
+      else begin
+        session_backoff s;
+        attempt (n + 1)
+      end
+    in
+    match
+      let c = session_conn s in
+      schedule c ~id ?heuristic ?machine ?bounds ?issue ?deadline_ms sb
+    with
+    | Ok (Protocol.Error_reply { code = Protocol.Busy; _ }) as r ->
+        (* The server shed us; the connection itself is fine. *)
+        retry_or r
+    | Ok _ as r ->
+        s.prev_sleep <- 0.;
+        r
+    | Error msg ->
+        session_drop s;
+        retry_or (Error msg)
+    | exception Sys_error msg ->
+        session_drop s;
+        retry_or (Error msg)
+    | exception Unix.Unix_error (e, fn, _) ->
+        session_drop s;
+        retry_or (Error (Printf.sprintf "%s: %s" fn (Unix.error_message e)))
+  in
+  attempt 0
 
 (* ----------------------------- loadgen ---------------------------- *)
 
@@ -77,6 +185,7 @@ module Loadgen = struct
     degraded : int;
     busy : int;
     errors : int;
+    retried : int;
     achieved_rps : float;
     mean_us : int;
     p50_us : int;
@@ -91,6 +200,7 @@ module Loadgen = struct
     mutable w_degraded : int;
     mutable w_busy : int;
     mutable w_errors : int;
+    mutable w_retried : int;
     mutable latencies_us : int list;
   }
 
@@ -100,10 +210,16 @@ module Loadgen = struct
      falls behind rather than piling up in-flight requests; the report's
      achieved_rps shows the shortfall. *)
   let worker ~path ~sbs ~per_conn_rps ~deadline ~heuristic ~bounds
-      ~deadline_ms ~index acc =
-    let client = connect ~path in
+      ~deadline_ms ~attempts ~read_timeout_s ~index acc =
+    let s =
+      session
+        ~policy:{ Retry.default with Retry.attempts }
+        ?read_timeout_s ~seed:index ~path ()
+    in
     Fun.protect
-      ~finally:(fun () -> close client)
+      ~finally:(fun () ->
+        acc.w_retried <- session_retries s;
+        session_close s)
       (fun () ->
         let n_sbs = Array.length sbs in
         let interval =
@@ -123,7 +239,7 @@ module Loadgen = struct
           let t0 = Unix.gettimeofday () in
           acc.w_sent <- acc.w_sent + 1;
           match
-            schedule client ~id ?heuristic ?bounds ?deadline_ms sb
+            session_schedule s ~id ?heuristic ?bounds ?deadline_ms sb
           with
           | Ok (Protocol.Ok_schedule { result; _ }) ->
               let dt =
@@ -138,8 +254,11 @@ module Loadgen = struct
           | Ok _ -> acc.w_errors <- acc.w_errors + 1
           | Error _ ->
               acc.w_errors <- acc.w_errors + 1;
-              (* Connection dead: stop this worker. *)
-              raise Exit
+              (* Retries (if any) are exhausted.  Without retry keep
+                 the old contract — a dead connection stops the worker;
+                 with retry enabled the session reconnects, so keep
+                 sending. *)
+              if attempts <= 1 then raise Exit
         done)
 
   let percentile sorted q =
@@ -148,8 +267,10 @@ module Loadgen = struct
     else sorted.(min (n - 1) (int_of_float (q *. float_of_int n)))
 
   let run ~path ~superblocks ?(label = "") ?(conns = 4) ?(rps = 0.)
-      ?(duration_s = 5.) ?heuristic ?bounds ?deadline_ms () =
+      ?(duration_s = 5.) ?heuristic ?bounds ?deadline_ms ?(attempts = 1)
+      ?read_timeout_s () =
     if conns < 1 then invalid_arg "Loadgen.run: conns must be >= 1";
+    if attempts < 1 then invalid_arg "Loadgen.run: attempts must be >= 1";
     if superblocks = [] then invalid_arg "Loadgen.run: no superblocks";
     let sbs = Array.of_list superblocks in
     let t0 = Unix.gettimeofday () in
@@ -163,6 +284,7 @@ module Loadgen = struct
             w_degraded = 0;
             w_busy = 0;
             w_errors = 0;
+            w_retried = 0;
             latencies_us = [];
           })
     in
@@ -173,7 +295,7 @@ module Loadgen = struct
             (fun () ->
               try
                 worker ~path ~sbs ~per_conn_rps ~deadline ~heuristic ~bounds
-                  ~deadline_ms ~index acc
+                  ~deadline_ms ~attempts ~read_timeout_s ~index acc
               with Exit -> ())
             ())
         accs
@@ -200,6 +322,7 @@ module Loadgen = struct
       degraded = sum (fun w -> w.w_degraded);
       busy = sum (fun w -> w.w_busy);
       errors = sum (fun w -> w.w_errors);
+      retried = sum (fun w -> w.w_retried);
       achieved_rps =
         (if wall > 0. then float_of_int (sum (fun w -> w.w_ok)) /. wall
          else 0.);
@@ -215,13 +338,13 @@ module Loadgen = struct
     if r.jobs_hint <> "" then Printf.bprintf b "  [%s]\n" r.jobs_hint;
     Printf.bprintf b
       "  conns=%d target_rps=%s duration=%.2fs\n\
-      \  sent=%d ok=%d degraded=%d busy=%d errors=%d\n\
+      \  sent=%d ok=%d degraded=%d busy=%d errors=%d retried=%d\n\
       \  throughput %.1f req/s   latency mean=%dus p50=%dus p95=%dus \
        p99=%dus max=%dus\n"
       r.conns
       (if r.target_rps > 0. then Printf.sprintf "%.0f" r.target_rps
        else "max")
-      r.duration_s r.sent r.ok r.degraded r.busy r.errors r.achieved_rps
-      r.mean_us r.p50_us r.p95_us r.p99_us r.max_us;
+      r.duration_s r.sent r.ok r.degraded r.busy r.errors r.retried
+      r.achieved_rps r.mean_us r.p50_us r.p95_us r.p99_us r.max_us;
     Buffer.contents b
 end

@@ -7,8 +7,10 @@
 
 type t
 
-val connect : path:string -> t
-(** Connect to a server's Unix domain socket. *)
+val connect : ?read_timeout_s:float -> path:string -> unit -> t
+(** Connect to a server's Unix domain socket.  [read_timeout_s] sets
+    [SO_RCVTIMEO], turning a reply that never arrives into an
+    [Error "read timed out"] from {!read_reply} instead of a hang. *)
 
 val of_channels : in_channel -> out_channel -> t
 (** Wrap an existing connection (e.g. a spawned [serve --stdio]). *)
@@ -51,6 +53,57 @@ val schedule :
   (Protocol.reply, string) result
 (** [send_schedule] then [read_reply]. *)
 
+module Retry : sig
+  type policy = {
+    attempts : int;  (** total attempts per request (>= 1; 1 = no retry) *)
+    base_s : float;  (** smallest backoff sleep *)
+    cap_s : float;  (** largest backoff sleep *)
+  }
+
+  val default : policy
+  (** 5 attempts, 10ms base, 500ms cap. *)
+end
+
+type session
+(** A reconnecting client with retry.  [busy] replies are retried on
+    the same connection after an exponential backoff with decorrelated
+    jitter (sleep drawn uniformly from [[base, 3 * previous]], capped);
+    transport failures — EOF, garbled or timed-out replies, refused
+    connects — reconnect first, because a stream that lost a reply can
+    never be re-synchronized.  Not thread-safe; use one session per
+    thread (as {!Loadgen} does). *)
+
+val session :
+  ?policy:Retry.policy ->
+  ?read_timeout_s:float ->
+  ?seed:int ->
+  path:string ->
+  unit ->
+  session
+(** Lazy: connects on first use.  [seed] decorrelates the jitter of
+    concurrent sessions; [read_timeout_s] is applied to every
+    connection the session opens. *)
+
+val session_schedule :
+  session ->
+  id:string ->
+  ?heuristic:string ->
+  ?machine:string ->
+  ?bounds:bool ->
+  ?issue:bool ->
+  ?deadline_ms:int ->
+  Sb_ir.Superblock.t ->
+  (Protocol.reply, string) result
+(** Like {!schedule}, with retry.  Returns the final attempt's outcome:
+    a terminal [Error] only after exhausting the policy's attempts (a
+    still-[busy] reply after the last attempt comes back as that [Ok]
+    busy reply). *)
+
+val session_retries : session -> int
+(** Total retries (extra attempts) this session has performed. *)
+
+val session_close : session -> unit
+
 module Loadgen : sig
   type report = {
     jobs_hint : string;  (** free-form label printed in the report *)
@@ -62,6 +115,7 @@ module Loadgen : sig
     degraded : int;
     busy : int;
     errors : int;
+    retried : int;  (** total retry attempts across all workers *)
     achieved_rps : float;
     mean_us : int;
     p50_us : int;
@@ -80,6 +134,8 @@ module Loadgen : sig
     ?heuristic:string ->
     ?bounds:bool ->
     ?deadline_ms:int ->
+    ?attempts:int ->
+    ?read_timeout_s:float ->
     unit ->
     report
   (** Replay [superblocks] round-robin over [conns] connections (default
@@ -87,7 +143,12 @@ module Loadgen : sig
       synchronous request/reply pairs.  [rps] > 0 paces the aggregate
       send rate; [rps = 0.] (default) runs closed-loop.  Latency is
       send-to-reply, measured per request and reported as exact
-      percentiles over all samples. *)
+      percentiles over all samples.  [attempts] > 1 gives each worker a
+      retrying {!session} (busy/transport failures back off, reconnect
+      and retry; the report counts retries and a worker survives
+      exhausted retries); the default 1 keeps the old
+      fail-worker-on-dead-connection behaviour.  [read_timeout_s]
+      bounds each reply wait. *)
 
   val report_to_string : report -> string
   (** Multi-line human-readable block (the [sbsched loadgen] output). *)

@@ -25,6 +25,7 @@ type config = {
   batch_max : int;
   with_tw : bool;
   before_batch : (unit -> unit) option;
+  idle_timeout_s : float option;
 }
 
 let default_config =
@@ -35,6 +36,7 @@ let default_config =
     batch_max = 16;
     with_tw = false;
     before_batch = None;
+    idle_timeout_s = None;
   }
 
 (* A connection stays open until its reader has seen EOF *and* every
@@ -51,6 +53,11 @@ type conn = {
   mutable eof : bool;  (* reader loop has exited *)
   mutable closed : bool;  (* on_close has run *)
   on_close : unit -> unit;
+  abort : unit -> unit;
+      (* sever the transport now (shutdown both directions on sockets)
+         so the peer sees EOF and our reader unblocks; used by injected
+         epipe/partial-write faults to emulate a vanished peer.  Must
+         not close fds — the refcounted on_close still owns those. *)
 }
 
 let conn_retain conn =
@@ -111,11 +118,35 @@ let send conn reply =
   Fun.protect
     ~finally:(fun () -> Mutex.unlock conn.write_lock)
     (fun () ->
-      try
-        output_string conn.oc (Protocol.render_reply reply);
-        output_char conn.oc '\n';
+      let text = Protocol.render_reply reply ^ "\n" in
+      let write_all () =
+        output_string conn.oc text;
         flush conn.oc;
         true
+      in
+      try
+        (* "serve.write" faults emulate the peer vanishing at reply
+           time: [Raise]/[Die] lose the reply on an otherwise healthy
+           connection (a kernel buffer that never drained), [Epipe]
+           severs the transport, [Partial] leaks half the bytes first
+           — the client must survive all of them. *)
+        match Sb_fault.Fault.decide "serve.write" with
+        | Sb_fault.Fault.Pass -> write_all ()
+        | Act (Sleep d) ->
+            Unix.sleepf d;
+            write_all ()
+        | Act (Raise | Die) -> false
+        | Act Epipe ->
+            conn.abort ();
+            false
+        | Act Partial ->
+            (try
+               output_string conn.oc
+                 (String.sub text 0 (String.length text / 2));
+               flush conn.oc
+             with Sys_error _ -> ());
+            conn.abort ();
+            false
       with Sys_error _ -> false (* connection gone; drop the reply *))
 
 (* --------------------------- processing --------------------------- *)
@@ -235,6 +266,9 @@ let stats_fields t =
   ("jobs", string_of_int t.cfg.jobs)
   :: ("queue_capacity", string_of_int t.cfg.queue_capacity)
   :: Stats.snapshot t.stats ~queue_depth:(Queue.length t.queue)
+  @ List.map
+      (fun (p, n) -> ("fault." ^ p, string_of_int n))
+      (Sb_fault.Fault.fired ())
 
 (* --------------------------- connections -------------------------- *)
 
@@ -272,7 +306,7 @@ let handle_request t conn req =
             Stats.rejected_shutdown t.stats;
             refuse Protocol.Shutdown "server is draining")
 
-let serve_channels ?(on_close = fun () -> ()) t ic oc =
+let serve_channels ?(on_close = fun () -> ()) ?abort t ic oc =
   let conn =
     {
       oc;
@@ -281,6 +315,10 @@ let serve_channels ?(on_close = fun () -> ()) t ic oc =
       eof = false;
       closed = false;
       on_close;
+      abort =
+        (match abort with
+        | Some f -> f
+        | None -> fun () -> close_out_noerr oc);
     }
   in
   let reader = Protocol.Reader.create () in
@@ -295,6 +333,12 @@ let serve_channels ?(on_close = fun () -> ()) t ic oc =
         | exception End_of_file ->
             if Protocol.Reader.in_flight reader then
               Stats.protocol_error t.stats (* truncated request *)
+        | exception Sys_blocked_io ->
+            (* The socket's SO_RCVTIMEO expired with nothing to read:
+               an idle (likely dead) peer.  Stop reading — the
+               refcounted close still delivers any in-flight replies
+               before the fd goes away. *)
+            Stats.idle_evicted t.stats
         | exception Sys_error _ -> ()
         | line ->
             (match Protocol.Reader.feed reader line with
@@ -352,12 +396,25 @@ let listen_unix ?(force = false) t ~path =
         let _ : Thread.t =
           Thread.create
             (fun () ->
+              (* An idle peer holds a reader thread and an fd forever;
+                 with a timeout configured, a read that sits this long
+                 with no bytes raises Sys_blocked_io and evicts it. *)
+              (match t.cfg.idle_timeout_s with
+              | Some s -> (
+                  try Unix.setsockopt_float cfd Unix.SO_RCVTIMEO s
+                  with Unix.Unix_error _ -> ())
+              | None -> ());
               let ic = Unix.in_channel_of_descr cfd in
               let oc = Unix.out_channel_of_descr cfd in
               (* oc and ic share cfd: the deferred close flushes and
                  closes once, after the last reply for this connection
                  went out; noerr for peers already gone. *)
-              serve_channels ~on_close:(fun () -> close_out_noerr oc) t ic oc)
+              serve_channels
+                ~on_close:(fun () -> close_out_noerr oc)
+                ~abort:(fun () ->
+                  try Unix.shutdown cfd Unix.SHUTDOWN_ALL
+                  with Unix.Unix_error _ -> ())
+                t ic oc)
             ()
         in
         accept_loop ()

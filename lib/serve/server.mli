@@ -27,10 +27,15 @@ type config = {
   before_batch : (unit -> unit) option;
       (** test instrumentation: runs on the dispatcher thread right
           before each batch is fanned out *)
+  idle_timeout_s : float option;
+      (** evict a connection whose socket stays silent this long
+          ([SO_RCVTIMEO] on accepted fds); in-flight replies are still
+          delivered.  [None] (default) never evicts.  Socket
+          connections only — stdio reads have no timeout. *)
 }
 
 val default_config : config
-(** FS4, 1 job, capacity 128, batches of 16, no TW. *)
+(** FS4, 1 job, capacity 128, batches of 16, no TW, no idle timeout. *)
 
 type t
 
@@ -48,14 +53,22 @@ val stats_fields : t -> (string * string) list
 val draining : t -> bool
 
 val serve_channels :
-  ?on_close:(unit -> unit) -> t -> in_channel -> out_channel -> unit
+  ?on_close:(unit -> unit) ->
+  ?abort:(unit -> unit) ->
+  t ->
+  in_channel ->
+  out_channel ->
+  unit
 (** Run one connection's reader loop until EOF.  Replies for requests
     accepted from this connection are written (and flushed) to the
     output channel as they complete — possibly after this function
     returned, until {!await}.  Does not close the channels itself;
     [on_close] (default: nothing) runs exactly once when the reader has
     hit EOF {e and} the last outstanding reply has been sent, which is
-    where a caller owning the channels should close them. *)
+    where a caller owning the channels should close them.  [abort]
+    severs the transport immediately (default: [close_out_noerr] on the
+    output channel) — only injected [serve.write] faults call it, to
+    emulate a vanished peer; it must not close fds [on_close] owns. *)
 
 val listen_unix : ?force:bool -> t -> path:string -> unit
 (** Bind a Unix domain socket at [path], [chmod] it [0o600], accept

@@ -4,22 +4,31 @@
    32 buckets reach ~71 minutes, far beyond any plausible request.  A
    percentile reports its bucket's upper edge, so the estimate errs on
    the pessimistic side and is exact to within 2x — sufficient for load
-   reports without keeping every sample. *)
+   reports without keeping every sample.
+
+   Concurrency: the independent event counters are [Atomic.t] — they
+   are bumped from per-connection reader threads *and* pool worker
+   domains, where a plain [mutable int] would lose increments (a
+   mutable field is not even atomic across domains).  The compound
+   served/histogram/picks update and the snapshot keep the mutex, so a
+   reader never sees a half-applied reply (served bumped, bucket not
+   yet). *)
 
 let n_buckets = 32
 
 type t = {
   lock : Mutex.t;
   started_at : float;
-  mutable connections_opened : int;
-  mutable connections_closed : int;
-  mutable accepted : int;
+  connections_opened : int Atomic.t;
+  connections_closed : int Atomic.t;
+  accepted : int Atomic.t;
+  rejected_busy : int Atomic.t;
+  rejected_shutdown : int Atomic.t;
+  protocol_errors : int Atomic.t;
+  internal_errors : int Atomic.t;
+  idle_evicted : int Atomic.t;
   mutable served : int;
   mutable degraded : int;
-  mutable rejected_busy : int;
-  mutable rejected_shutdown : int;
-  mutable protocol_errors : int;
-  mutable internal_errors : int;
   buckets : int array;
   mutable latency_sum_us : int;
   mutable latency_max_us : int;
@@ -31,15 +40,16 @@ let create () =
   {
     lock = Mutex.create ();
     started_at = Unix.gettimeofday ();
-    connections_opened = 0;
-    connections_closed = 0;
-    accepted = 0;
+    connections_opened = Atomic.make 0;
+    connections_closed = Atomic.make 0;
+    accepted = Atomic.make 0;
+    rejected_busy = Atomic.make 0;
+    rejected_shutdown = Atomic.make 0;
+    protocol_errors = Atomic.make 0;
+    internal_errors = Atomic.make 0;
+    idle_evicted = Atomic.make 0;
     served = 0;
     degraded = 0;
-    rejected_busy = 0;
-    rejected_shutdown = 0;
-    protocol_errors = 0;
-    internal_errors = 0;
     buckets = Array.make n_buckets 0;
     latency_sum_us = 0;
     latency_max_us = 0;
@@ -51,25 +61,14 @@ let with_lock t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
-let connection_opened t =
-  with_lock t (fun () -> t.connections_opened <- t.connections_opened + 1)
-
-let connection_closed t =
-  with_lock t (fun () -> t.connections_closed <- t.connections_closed + 1)
-
-let accepted t = with_lock t (fun () -> t.accepted <- t.accepted + 1)
-
-let rejected_busy t =
-  with_lock t (fun () -> t.rejected_busy <- t.rejected_busy + 1)
-
-let rejected_shutdown t =
-  with_lock t (fun () -> t.rejected_shutdown <- t.rejected_shutdown + 1)
-
-let protocol_error t =
-  with_lock t (fun () -> t.protocol_errors <- t.protocol_errors + 1)
-
-let internal_error t =
-  with_lock t (fun () -> t.internal_errors <- t.internal_errors + 1)
+let connection_opened t = Atomic.incr t.connections_opened
+let connection_closed t = Atomic.incr t.connections_closed
+let accepted t = Atomic.incr t.accepted
+let rejected_busy t = Atomic.incr t.rejected_busy
+let rejected_shutdown t = Atomic.incr t.rejected_shutdown
+let protocol_error t = Atomic.incr t.protocol_errors
+let internal_error t = Atomic.incr t.internal_errors
+let idle_evicted t = Atomic.incr t.idle_evicted
 
 let bucket_of_us us =
   let us = max 1 us in
@@ -116,6 +115,7 @@ let max_latency_us t = with_lock t (fun () -> t.latency_max_us)
 let snapshot t ~queue_depth =
   with_lock t (fun () ->
       let i = string_of_int in
+      let a c = i (Atomic.get c) in
       let picks =
         Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.picks []
         |> List.sort compare
@@ -127,15 +127,17 @@ let snapshot t ~queue_depth =
       [
         ("uptime_s",
          Printf.sprintf "%.1f" (Unix.gettimeofday () -. t.started_at));
-        ("connections", i (t.connections_opened - t.connections_closed));
-        ("connections_total", i t.connections_opened);
-        ("accepted", i t.accepted);
+        ("connections",
+         i (Atomic.get t.connections_opened - Atomic.get t.connections_closed));
+        ("connections_total", a t.connections_opened);
+        ("accepted", a t.accepted);
         ("served", i t.served);
         ("degraded", i t.degraded);
-        ("rejected_busy", i t.rejected_busy);
-        ("rejected_shutdown", i t.rejected_shutdown);
-        ("errors_protocol", i t.protocol_errors);
-        ("errors_internal", i t.internal_errors);
+        ("rejected_busy", a t.rejected_busy);
+        ("rejected_shutdown", a t.rejected_shutdown);
+        ("errors_protocol", a t.protocol_errors);
+        ("errors_internal", a t.internal_errors);
+        ("idle_evicted", a t.idle_evicted);
         ("queue_depth", i queue_depth);
         ("latency_mean_us",
          i (if t.served = 0 then 0 else t.latency_sum_us / t.served));

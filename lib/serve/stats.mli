@@ -1,7 +1,10 @@
 (** Live server metrics: counters, a latency histogram and the last
     quiescent {!Sb_bounds.Work} snapshot.
 
-    All entry points are thread-safe (one mutex); recording is O(1).
+    All entry points are thread- and domain-safe: independent event
+    counters are atomics (they are bumped from reader threads and pool
+    worker domains alike), the compound served/histogram update and
+    snapshots share one mutex.  Recording is O(1).
     Latencies land in log2 microsecond buckets, so the p50/p95/p99
     estimates are exact to within a factor of two at any volume — plenty
     to see a queue building up — while {!mean_latency_us} stays exact. *)
@@ -28,6 +31,9 @@ val protocol_error : t -> unit
 (** A request was answered with a [parse]/[bad-request] error. *)
 
 val internal_error : t -> unit
+
+val idle_evicted : t -> unit
+(** A connection was closed by the per-connection idle read timeout. *)
 
 val served : t -> heuristic:string -> degraded:bool -> latency_us:int -> unit
 (** One schedule reply went out.  [heuristic] is the registry name that

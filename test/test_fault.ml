@@ -1,0 +1,556 @@
+(* Robustness machinery: deterministic fault injection, the cooperative
+   watchdog, pool supervision (worker death and respawn), quarantining
+   supervised evaluation, and the crash-resumable checkpoint journal. *)
+
+open Sb_machine
+module Fault = Sb_fault.Fault
+module Watchdog = Sb_fault.Watchdog
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+let () = Printexc.record_backtrace true
+
+let plan s =
+  match Fault.parse s with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "parse %S failed: %s" s e
+
+(* Every test that installs a plan clears it on the way out — the
+   global is process-wide and alcotest runs cases sequentially. *)
+let with_plan s f =
+  Fault.install (plan s);
+  Fun.protect ~finally:Fault.clear f
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Fault plans: parsing, determinism, counters                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_plan_parse () =
+  let p =
+    plan "parpool.worker:raise@0.01,serve.write:epipe@0.05,eval.item:5ms@0.02,seed=7"
+  in
+  check_int "seed" 7 p.Fault.seed;
+  check_int "rules" 3 (List.length p.Fault.rules);
+  (match p.Fault.rules with
+  | [ r1; r2; r3 ] ->
+      check_string "point 1" "parpool.worker" r1.Fault.point;
+      check_bool "raise" true (r1.Fault.action = Fault.Raise);
+      check_bool "prob 1" true (r1.Fault.prob = 0.01);
+      check_bool "epipe" true (r2.Fault.action = Fault.Epipe);
+      check_bool "sleep 5ms" true (r3.Fault.action = Fault.Sleep 0.005)
+  | _ -> Alcotest.fail "wrong rule count");
+  (* to_string is parseable and reproduces the plan. *)
+  (match Fault.parse (Fault.to_string p) with
+  | Ok p' -> check_bool "to_string roundtrip" true (p = p')
+  | Error e -> Alcotest.failf "to_string not parseable: %s" e);
+  (* @prob defaults to 1, seed to 0; durations in us and s work. *)
+  let q = plan "a:die,b:50us,c:partial@0.5,d:1.5s" in
+  check_int "default seed" 0 q.Fault.seed;
+  check_bool "default prob" true
+    ((List.hd q.Fault.rules).Fault.prob = 1.0);
+  check_bool "us duration" true
+    ((List.nth q.Fault.rules 1).Fault.action = Fault.Sleep (50. *. 1e-6));
+  check_bool "s duration" true
+    ((List.nth q.Fault.rules 3).Fault.action = Fault.Sleep 1.5)
+
+let test_plan_parse_errors () =
+  List.iter
+    (fun s ->
+      check_bool (Printf.sprintf "%S rejected" s) true
+        (Result.is_error (Fault.parse s)))
+    [
+      "";
+      "noaction";
+      "p:wat";
+      "p:raise@2";
+      "p:raise@-0.5";
+      "p:raise@x";
+      "p:-5ms";
+      ":raise";
+      "seed=x";
+      "p:raise,p:die";
+    ]
+
+let test_decide_deterministic () =
+  let draw () =
+    with_plan "p:raise@0.5,seed=1" (fun () ->
+        List.init 200 (fun _ -> Fault.decide "p" = Fault.Pass))
+  in
+  let a = draw () in
+  let b = draw () in
+  check_bool "same seed, same decision stream" true (a = b);
+  let c =
+    with_plan "p:raise@0.5,seed=2" (fun () ->
+        List.init 200 (fun _ -> Fault.decide "p" = Fault.Pass))
+  in
+  check_bool "different seed, different stream" true (a <> c);
+  check_bool "roughly half fire" true
+    (let fired = List.length (List.filter not a) in
+     fired > 50 && fired < 150)
+
+let test_decide_inactive_and_unmatched () =
+  Fault.clear ();
+  check_bool "inactive" false (Fault.active ());
+  check_bool "inactive decide is Pass" true (Fault.decide "p" = Fault.Pass);
+  check_bool "inactive fired empty" true (Fault.fired () = []);
+  with_plan "p:raise@1,seed=0" (fun () ->
+      check_bool "active" true (Fault.active ());
+      check_bool "unmatched point is Pass" true
+        (Fault.decide "other" = Fault.Pass);
+      check_bool "unmatched leaves no hits" true (Fault.fired () = []))
+
+let test_fired_counts () =
+  with_plan "p:raise@1,q:die@0,seed=0" (fun () ->
+      for _ = 1 to 5 do
+        ignore (Fault.decide "p")
+      done;
+      for _ = 1 to 9 do
+        ignore (Fault.decide "q")
+      done;
+      Alcotest.(check (list (pair string int)))
+        "only firing points counted" [ ("p", 5) ] (Fault.fired ()));
+  (* install resets the counters *)
+  with_plan "p:raise@1,seed=0" (fun () ->
+      check_bool "counters reset on install" true (Fault.fired () = []))
+
+let test_point_effects () =
+  with_plan "p:raise@1,seed=0" (fun () ->
+      Alcotest.check_raises "raise" (Fault.Injected "p") (fun () ->
+          Fault.point "p"));
+  with_plan "p:die@1,seed=0" (fun () ->
+      Alcotest.check_raises "die" (Fault.Worker_death "p") (fun () ->
+          Fault.point "p"));
+  with_plan "p:epipe@1,seed=0" (fun () ->
+      Alcotest.check_raises "epipe at a generic point" (Fault.Injected "p")
+        (fun () -> Fault.point "p"));
+  with_plan "p:1ms@1,seed=0" (fun () -> Fault.point "p" (* returns *));
+  Fault.clear ();
+  Fault.point "p" (* inactive: no-op *)
+
+let test_install_from_env () =
+  Unix.putenv "SBSCHED_FAULT" "p:raise@1,seed=3";
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "SBSCHED_FAULT" "";
+      Fault.clear ())
+    (fun () ->
+      check_bool "well-formed env installs" true
+        (Fault.install_from_env () = Ok ());
+      check_bool "plan active" true (Fault.active ());
+      Unix.putenv "SBSCHED_FAULT" "p:wat";
+      check_bool "malformed env errors" true
+        (Result.is_error (Fault.install_from_env ())))
+
+(* ------------------------------------------------------------------ *)
+(* Watchdog                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_watchdog_basic () =
+  Watchdog.check "free" (* unarmed: no-op *);
+  check_bool "unarmed remaining" true (Watchdog.remaining () = None);
+  Alcotest.check_raises "expired deadline" (Watchdog.Timed_out "x") (fun () ->
+      Watchdog.with_deadline ~seconds:(-1.) (fun () -> Watchdog.check "x"));
+  check_bool "deadline restored after raise" true
+    (Watchdog.remaining () = None);
+  let r =
+    Watchdog.with_deadline ~seconds:60. (fun () ->
+        Watchdog.check "fine";
+        Watchdog.remaining ())
+  in
+  check_bool "armed remaining positive" true
+    (match r with Some s -> s > 0. && s <= 60. | None -> false)
+
+let test_watchdog_nesting () =
+  Watchdog.with_deadline ~seconds:60. (fun () ->
+      (* The tighter inner deadline wins while it is armed... *)
+      (try
+         Watchdog.with_deadline ~seconds:(-1.) (fun () ->
+             Watchdog.check "inner";
+             Alcotest.fail "inner deadline did not fire")
+       with Watchdog.Timed_out "inner" -> ());
+      (* ...and the outer one is restored afterwards. *)
+      Watchdog.check "outer";
+      (* An inner deadline cannot loosen an expired outer one. *)
+      Alcotest.check_raises "outer wins" (Watchdog.Timed_out "still")
+        (fun () ->
+          Watchdog.with_deadline ~seconds:(-1.) (fun () ->
+              ignore
+                (Watchdog.with_deadline ~seconds:60. (fun () ->
+                     Watchdog.check "still")))))
+
+let test_watchdog_best_grid () =
+  let sb = Fixtures.fig4 () in
+  Alcotest.check_raises "Best polls its grid" (Watchdog.Timed_out "best.grid")
+    (fun () ->
+      ignore
+        (Watchdog.with_deadline ~seconds:(-1.) (fun () ->
+             Sb_sched.Registry.best.Sb_sched.Registry.run Config.gp2 sb)))
+
+let test_watchdog_optimal () =
+  (* Optimal seeds its incumbent with Best, so an already-expired
+     deadline would fire at best.grid.  Arm a deadline Best finishes
+     within, on a superblock whose unbounded branch-and-bound search
+     outlives it: the expiry is then observed by the search's own poll
+     site. *)
+  let sb =
+    List.fold_left
+      (fun a b ->
+        if Sb_ir.Superblock.n_ops b > Sb_ir.Superblock.n_ops a then b else a)
+      (Fixtures.fig4 ())
+      (Fixtures.random_superblocks ~n:30 ~seed:0xFEEDL ())
+  in
+  check_bool "search space is large enough" true
+    (Sb_ir.Superblock.n_ops sb >= 18);
+  Alcotest.check_raises "Optimal polls its search"
+    (Watchdog.Timed_out "optimal.node") (fun () ->
+      ignore
+        (Watchdog.with_deadline ~seconds:0.2 (fun () ->
+             Sb_sched.Optimal.schedule ~node_budget:max_int Config.gp2 sb)))
+
+(* ------------------------------------------------------------------ *)
+(* Parpool supervision: worker death, completion, respawn              *)
+(* ------------------------------------------------------------------ *)
+
+let test_parpool_survives_worker_death () =
+  let xs = List.init 200 Fun.id in
+  Sb_eval.Parpool.with_pool ~jobs:4 (fun pool ->
+      with_plan "parpool.worker:die@1,seed=0" (fun () ->
+          (* Every spawned worker dies on its first chunk claim; the
+             caller (never injectable) finishes the whole batch. *)
+          Alcotest.(check (list int))
+            "batch completes on the caller" (List.map succ xs)
+            (Sb_eval.Parpool.map pool succ xs));
+      check_int "dead workers not yet replaced" 0
+        (Sb_eval.Parpool.respawned pool);
+      (* Plan cleared: the next map respawns the dead workers first. *)
+      Alcotest.(check (list int))
+        "pool healthy again"
+        (List.map (fun x -> x * 2) xs)
+        (Sb_eval.Parpool.map pool (fun x -> x * 2) xs);
+      check_int "all three workers respawned" 3
+        (Sb_eval.Parpool.respawned pool))
+
+(* ------------------------------------------------------------------ *)
+(* Supervised evaluation: quarantine and timeouts                      *)
+(* ------------------------------------------------------------------ *)
+
+let corpus = lazy (Fixtures.random_superblocks ~n:6 ~seed:0xFA17L ())
+
+let test_supervised_quarantines_poison () =
+  let sbs = Lazy.force corpus in
+  let target = (List.nth sbs 3).Sb_ir.Superblock.name in
+  let cp = Sb_sched.Registry.cp in
+  let poison =
+    {
+      Sb_sched.Registry.name = "poison";
+      short = "PX";
+      run =
+        (fun config sb ->
+          if sb.Sb_ir.Superblock.name = target then failwith "poison pill"
+          else cp.Sb_sched.Registry.run config sb);
+    }
+  in
+  List.iter
+    (fun jobs ->
+      let recs, fails =
+        Sb_eval.Metrics.evaluate_supervised ~heuristics:[ cp; poison ]
+          ~with_tw:false ~jobs Config.fs4 sbs
+      in
+      check_int "one quarantined" 1 (List.length fails);
+      let f = List.hd fails in
+      check_int "failure index" 3 f.Sb_eval.Metrics.index;
+      check_string "failure superblock" target f.Sb_eval.Metrics.sb_name;
+      check_string "failure stage" "poison" f.Sb_eval.Metrics.stage;
+      check_bool "exception captured" true
+        (contains f.Sb_eval.Metrics.exn "poison pill");
+      check_bool "not a timeout" false f.Sb_eval.Metrics.timed_out;
+      check_bool "backtrace captured" true
+        (String.length f.Sb_eval.Metrics.backtrace > 0);
+      (* The rest of the corpus completed, in order. *)
+      Alcotest.(check (list string))
+        "surviving records in corpus order"
+        (List.filter_map
+           (fun sb ->
+             let n = sb.Sb_ir.Superblock.name in
+             if n = target then None else Some n)
+           sbs)
+        (List.map
+           (fun (r : Sb_eval.Metrics.record) -> r.Sb_eval.Metrics.sb.Sb_ir.Superblock.name)
+           recs))
+    [ 1; 3 ]
+
+let test_supervised_fault_point () =
+  let sbs = Lazy.force corpus in
+  with_plan "eval.item:raise@1,seed=0" (fun () ->
+      let recs, fails =
+        Sb_eval.Metrics.evaluate_supervised
+          ~heuristics:[ Sb_sched.Registry.cp ] ~with_tw:false Config.fs4 sbs
+      in
+      check_int "all quarantined" (List.length sbs) (List.length fails);
+      check_int "no records" 0 (List.length recs);
+      List.iteri
+        (fun i f ->
+          check_int "index order" i f.Sb_eval.Metrics.index;
+          check_bool "injected exn" true
+            (contains f.Sb_eval.Metrics.exn "eval.item"))
+        fails)
+
+let test_supervised_timeout () =
+  let sbs = Lazy.force corpus in
+  let recs, fails =
+    Sb_eval.Metrics.evaluate_supervised ~heuristics:[ Sb_sched.Registry.cp ]
+      ~with_tw:false ~timeout_s:(-1.) Config.fs4 sbs
+  in
+  check_int "all timed out" (List.length sbs) (List.length fails);
+  check_int "no records" 0 (List.length recs);
+  List.iter
+    (fun f ->
+      check_bool "flagged as timeout" true f.Sb_eval.Metrics.timed_out;
+      check_string "stage is the running heuristic"
+        Sb_sched.Registry.cp.Sb_sched.Registry.name f.Sb_eval.Metrics.stage)
+    fails
+
+let test_supervised_matches_evaluate () =
+  (* With nothing injected, supervised evaluation is plain evaluation. *)
+  let sbs = Lazy.force corpus in
+  let plain = Sb_eval.Metrics.evaluate ~with_tw:false Config.fs4 sbs in
+  let recs, fails =
+    Sb_eval.Metrics.evaluate_supervised ~with_tw:false Config.fs4 sbs
+  in
+  check_int "no failures" 0 (List.length fails);
+  List.iter2
+    (fun (a : Sb_eval.Metrics.record) (b : Sb_eval.Metrics.record) ->
+      Alcotest.(check (list (pair string (float 0.))))
+        "identical wct" a.Sb_eval.Metrics.wct b.Sb_eval.Metrics.wct)
+    plain recs
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint journal                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let tmp_journal () =
+  let path = Filename.temp_file "sbckpt_test" ".journal" in
+  Sys.remove path;
+  path
+
+let meta = [ ("corpus", "t"); ("count", "2") ]
+
+let e1 =
+  {
+    Sb_eval.Checkpoint.config = "FS4";
+    index = 0;
+    sb_name = "sb0";
+    cp = 1. /. 3.;
+    hu = 0.1;
+    rj = 4.000000000000001;
+    lc = 7.;
+    pw = 1e-300;
+    tw = None;
+    tightest = 7.;
+    wct = [ ("CP", 0.30000000000000004); ("G*", 5.5) ];
+  }
+
+let e2 =
+  {
+    e1 with
+    Sb_eval.Checkpoint.index = 1;
+    sb_name = "sb1";
+    tw = Some 2.25;
+    wct = [ ("CP", Float.pi) ];
+  }
+
+let with_journal f =
+  let path = tmp_journal () in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+let test_checkpoint_roundtrip () =
+  with_journal (fun path ->
+      let t, prev = Sb_eval.Checkpoint.start ~path ~resume:false ~meta in
+      check_int "fresh start is empty" 0 (List.length prev);
+      Sb_eval.Checkpoint.append t e1;
+      Sb_eval.Checkpoint.append t e2;
+      Sb_eval.Checkpoint.close t;
+      let t2, loaded = Sb_eval.Checkpoint.start ~path ~resume:true ~meta in
+      Sb_eval.Checkpoint.close t2;
+      check_bool "entries round-trip bit-exactly" true (loaded = [ e1; e2 ]))
+
+let test_checkpoint_torn_tail () =
+  with_journal (fun path ->
+      let t, _ = Sb_eval.Checkpoint.start ~path ~resume:false ~meta in
+      Sb_eval.Checkpoint.append t e1;
+      Sb_eval.Checkpoint.close t;
+      (* A kill mid-append leaves a torn final line; loading drops it. *)
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc "rec\tFS4\t1\tsb1\t0x1p+0";
+      close_out oc;
+      let t2, loaded = Sb_eval.Checkpoint.start ~path ~resume:true ~meta in
+      Sb_eval.Checkpoint.close t2;
+      check_bool "torn tail dropped" true (loaded = [ e1 ]))
+
+let test_checkpoint_corrupt_middle () =
+  with_journal (fun path ->
+      let t, _ = Sb_eval.Checkpoint.start ~path ~resume:false ~meta in
+      Sb_eval.Checkpoint.append t e1;
+      Sb_eval.Checkpoint.append t e2;
+      Sb_eval.Checkpoint.close t;
+      (* Corrupt a line that is *not* the last: that can never come from
+         a crash, so the load must refuse the file. *)
+      let lines =
+        In_channel.with_open_text path In_channel.input_lines
+      in
+      let mangled =
+        List.mapi (fun i l -> if i = 2 then "garbage" else l) lines
+      in
+      Out_channel.with_open_text path (fun oc ->
+          List.iter (fun l -> Out_channel.output_string oc (l ^ "\n")) mangled);
+      match Sb_eval.Checkpoint.start ~path ~resume:true ~meta with
+      | _ -> Alcotest.fail "corrupt journal accepted"
+      | exception Failure msg ->
+          check_bool "names the corrupt line" true (contains msg "corrupt"))
+
+let test_checkpoint_meta_mismatch () =
+  with_journal (fun path ->
+      let t, _ = Sb_eval.Checkpoint.start ~path ~resume:false ~meta in
+      Sb_eval.Checkpoint.append t e1;
+      Sb_eval.Checkpoint.close t;
+      (match
+         Sb_eval.Checkpoint.start ~path ~resume:true
+           ~meta:[ ("corpus", "other"); ("count", "9") ]
+       with
+      | _ -> Alcotest.fail "mismatched journal accepted"
+      | exception Failure msg ->
+          check_bool "names the mismatch" true
+            (contains msg "different experiment"));
+      (* Not a journal at all. *)
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc "something else entirely\n");
+      match Sb_eval.Checkpoint.start ~path ~resume:true ~meta with
+      | _ -> Alcotest.fail "non-journal accepted"
+      | exception Failure msg ->
+          check_bool "rejected as non-journal" true
+            (contains msg "not a checkpoint"))
+
+let test_checkpoint_clobber_and_missing () =
+  with_journal (fun path ->
+      let t, _ = Sb_eval.Checkpoint.start ~path ~resume:false ~meta in
+      Sb_eval.Checkpoint.close t;
+      (* Existing journal without resume: refuse, don't clobber. *)
+      (match Sb_eval.Checkpoint.start ~path ~resume:false ~meta with
+      | _ -> Alcotest.fail "clobbered an existing journal"
+      | exception Failure msg ->
+          check_bool "suggests --resume" true (contains msg "resume"));
+      (* Missing file under resume degrades to a fresh start. *)
+      Sys.remove path;
+      let t2, prev = Sb_eval.Checkpoint.start ~path ~resume:true ~meta in
+      Sb_eval.Checkpoint.close t2;
+      check_int "fresh after missing" 0 (List.length prev))
+
+(* ------------------------------------------------------------------ *)
+(* Experiments: kill-and-resume yields byte-identical tables           *)
+(* ------------------------------------------------------------------ *)
+
+let test_resume_identical_tables () =
+  let setup =
+    {
+      (Sb_eval.Experiments.default_setup ~scale:0.002 ~with_tw:false ()) with
+      Sb_eval.Experiments.configs = [ Config.gp2; Config.fs4 ];
+      heavy_configs = [ Config.fs4 ];
+    }
+  in
+  let render p =
+    String.concat "\n"
+      (List.map
+         (fun table -> Sb_eval.Table.render (table p))
+         [
+           Sb_eval.Experiments.table1;
+           Sb_eval.Experiments.table3;
+           Sb_eval.Experiments.table4;
+           Sb_eval.Experiments.figure8;
+         ])
+  in
+  let reference = render (Sb_eval.Experiments.prepare setup) in
+  with_journal (fun path ->
+      check_string "checkpointing changes nothing" reference
+        (render (Sb_eval.Experiments.prepare ~checkpoint:path setup));
+      (* Simulate a kill: truncate the journal to the header plus half
+         the records, then resume.  The resumed run replays the journal
+         (validating recomputed bounds bit-exactly) and computes only
+         the remainder — the tables must come out byte-identical. *)
+      let lines = In_channel.with_open_text path In_channel.input_lines in
+      let n = List.length lines in
+      check_bool "journal has records to lose" true (n > 6);
+      let keep = 2 + ((n - 2) / 2) in
+      Out_channel.with_open_text path (fun oc ->
+          List.iteri
+            (fun i l -> if i < keep then Out_channel.output_string oc (l ^ "\n"))
+            lines);
+      check_string "resume after a kill is byte-identical" reference
+        (render
+           (Sb_eval.Experiments.prepare ~jobs:2 ~checkpoint:path ~resume:true
+              setup));
+      (* Resuming a complete journal recomputes nothing and still
+         renders the same tables. *)
+      check_string "resume of a complete journal" reference
+        (render
+           (Sb_eval.Experiments.prepare ~checkpoint:path ~resume:true setup));
+      (* A journal from a different experiment is refused. *)
+      match
+        Sb_eval.Experiments.prepare ~checkpoint:path ~resume:true
+          { setup with Sb_eval.Experiments.scale = 0.004 }
+      with
+      | _ -> Alcotest.fail "foreign journal accepted"
+      | exception Failure msg ->
+          check_bool "fingerprint mismatch reported" true
+            (contains msg "different experiment"))
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suites =
+  [
+    ( "fault.plan",
+      [
+        tc "parse and to_string" test_plan_parse;
+        tc "parse errors" test_plan_parse_errors;
+        tc "deterministic decisions" test_decide_deterministic;
+        tc "inactive and unmatched points" test_decide_inactive_and_unmatched;
+        tc "fired counters" test_fired_counts;
+        tc "point effects" test_point_effects;
+        tc "install from env" test_install_from_env;
+      ] );
+    ( "fault.watchdog",
+      [
+        tc "arm, expire, restore" test_watchdog_basic;
+        tc "nesting takes the tighter deadline" test_watchdog_nesting;
+        tc "Best grid polls" test_watchdog_best_grid;
+        tc "Optimal search polls" test_watchdog_optimal;
+      ] );
+    ( "fault.parpool",
+      [ tc "worker death, completion, respawn" test_parpool_survives_worker_death ] );
+    ( "fault.supervised",
+      [
+        tc "poison heuristic quarantined" test_supervised_quarantines_poison;
+        tc "eval.item faults quarantined" test_supervised_fault_point;
+        tc "watchdog timeout quarantines" test_supervised_timeout;
+        tc "no faults: matches evaluate" test_supervised_matches_evaluate;
+      ] );
+    ( "fault.checkpoint",
+      [
+        tc "entry round-trip" test_checkpoint_roundtrip;
+        tc "torn tail tolerated" test_checkpoint_torn_tail;
+        tc "corrupt middle refused" test_checkpoint_corrupt_middle;
+        tc "meta mismatch refused" test_checkpoint_meta_mismatch;
+        tc "clobber refused, missing resumes fresh"
+          test_checkpoint_clobber_and_missing;
+      ] );
+    ( "fault.resume",
+      [ tc "kill-and-resume tables byte-identical" test_resume_identical_tables ]
+    );
+  ]

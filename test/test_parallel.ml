@@ -54,6 +54,34 @@ let test_exception_propagates () =
         "pool usable afterwards" [ 0; 1; 2 ]
         (Sb_eval.Parpool.map pool Fun.id [ 0; 1; 2 ]))
 
+(* A worker exception must cross the domain boundary with its original
+   backtrace: the merge re-raises with [Printexc.raise_with_backtrace],
+   so the frames of the raising function — defined in this file — are
+   still on the trace the caller observes. *)
+let rec deep_boom n =
+  if n = 0 then failwith "deep boom" else 1 + deep_boom (n - 1)
+
+let test_backtrace_preserved () =
+  Printexc.record_backtrace true;
+  match
+    Sb_eval.Parpool.parallel_map ~jobs:4
+      (fun i -> if i = 29 then deep_boom 5 else i)
+      (List.init 40 Fun.id)
+  with
+  | _ -> Alcotest.fail "expected the worker exception"
+  | exception Failure msg ->
+      Alcotest.(check string) "original message" "deep boom" msg;
+      let bt = Printexc.get_backtrace () in
+      let contains sub =
+        let n = String.length bt and m = String.length sub in
+        let rec go i = i + m <= n && (String.sub bt i m = sub || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool)
+        ("backtrace crosses the domain boundary: " ^ bt)
+        true
+        (contains "test_parallel")
+
 (* ------------------------------------------------------------------ *)
 (* Work counters under parallelism                                     *)
 (* ------------------------------------------------------------------ *)
@@ -140,6 +168,7 @@ let suites =
         tc "map order" test_map_order;
         tc "pool reuse" test_pool_reuse;
         tc "exception propagation" test_exception_propagates;
+        tc "backtrace preserved across domains" test_backtrace_preserved;
       ] );
     ( "parallel.work",
       [

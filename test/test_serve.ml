@@ -257,6 +257,98 @@ let test_stats_empty () =
   check_int "p95 before data" 0 (Stats.percentile_latency_us s 0.95);
   check_int "mean before data" 0 (Stats.mean_latency_us s)
 
+(* The independent event counters are atomics precisely because reader
+   threads and pool worker domains bump them concurrently: hammering
+   from both kinds of context must lose no increments. *)
+let test_stats_concurrent_counters () =
+  let s = Stats.create () in
+  let per = 20_000 in
+  let hammer () =
+    for _ = 1 to per do
+      Stats.connection_opened s;
+      Stats.connection_closed s;
+      Stats.accepted s;
+      Stats.rejected_busy s;
+      Stats.rejected_shutdown s;
+      Stats.protocol_error s;
+      Stats.internal_error s;
+      Stats.idle_evicted s
+    done
+  in
+  let domains = List.init 3 (fun _ -> Domain.spawn hammer) in
+  let threads = List.init 3 (fun _ -> Thread.create hammer ()) in
+  hammer ();
+  List.iter Thread.join threads;
+  List.iter Domain.join domains;
+  let total = 7 * per in
+  let fields = Stats.snapshot s ~queue_depth:0 in
+  let get k = int_of_string (List.assoc k fields) in
+  check_int "connections balance to zero" 0 (get "connections");
+  check_int "connections_total" total (get "connections_total");
+  check_int "accepted" total (get "accepted");
+  check_int "rejected_busy" total (get "rejected_busy");
+  check_int "rejected_shutdown" total (get "rejected_shutdown");
+  check_int "errors_protocol" total (get "errors_protocol");
+  check_int "errors_internal" total (get "errors_internal");
+  check_int "idle_evicted" total (get "idle_evicted")
+
+(* --------------------------- reader fuzz --------------------------- *)
+
+(* Arbitrary single lines thrown at the framing reader: it must never
+   raise, and must never desync — after flushing any partially-read
+   body, the next well-formed request still parses. *)
+let reader_line_gen =
+  let open QCheck.Gen in
+  let garbage =
+    map
+      (fun cs -> String.concat "" (List.map (String.make 1) cs))
+      (list_size (int_bound 30)
+         (frequency
+            [ (6, char_range 'a' 'z'); (2, oneofl [ ' '; '='; ':'; '\t' ]);
+              (1, char_range '\000' '\255') ]))
+  in
+  let body_line =
+    lazy
+      (String.split_on_char '\n'
+         (String.trim
+            (Sb_ir.Serde.superblock_to_string (List.hd (Lazy.force corpus)))))
+  in
+  frequency
+    [
+      (4, garbage);
+      (2, map (fun s -> "schedule " ^ s) garbage);
+      (2, map (fun s -> "superblock " ^ s) garbage);
+      (2, oneofl [ "ping a"; "stats b"; "schedule s1"; "end"; "" ]);
+      (2, (fun st -> List.nth (Lazy.force body_line)
+                       (int_bound (List.length (Lazy.force body_line) - 1) st)));
+    ]
+
+let prop_reader_never_desyncs =
+  QCheck.Test.make ~name:"reader survives garbage and stays in sync"
+    ~count:300
+    (QCheck.make
+       ~print:(fun ls -> String.concat "\\n" ls)
+       QCheck.Gen.(list_size (int_bound 40) reader_line_gen))
+    (fun lines ->
+      let no_newline l = not (String.contains l '\n') in
+      QCheck.assume (List.for_all no_newline lines);
+      let reader = Protocol.Reader.create () in
+      List.iter (fun l -> ignore (Protocol.Reader.feed reader l)) lines;
+      (* Terminate any half-read schedule body, then prove the framing
+         recovered: a fresh request must parse. *)
+      if Protocol.Reader.in_flight reader then
+        ignore (Protocol.Reader.feed reader "end");
+      match Protocol.Reader.feed reader "ping liveness" with
+      | Some (Protocol.Reader.Request (Protocol.Ping "liveness")) -> true
+      | _ -> false)
+
+let prop_parse_reply_total =
+  QCheck.Test.make ~name:"parse_reply never raises on garbage" ~count:500
+    QCheck.(string_of_size (Gen.int_bound 60))
+    (fun s ->
+      QCheck.assume (not (String.contains s '\n'));
+      match Protocol.parse_reply s with Ok _ | Error _ -> true)
+
 (* ---------------------------- end to end --------------------------- *)
 
 let tmp_sock_path () =
@@ -313,7 +405,7 @@ let test_e2e_matches_direct () =
   with_server quick_config (fun _server path ->
       let failures = Atomic.make 0 in
       let worker w =
-        let t = Client.connect ~path in
+        let t = Client.connect ~path () in
         Fun.protect ~finally:(fun () -> Client.close t) (fun () ->
             List.iteri
               (fun i sb ->
@@ -369,7 +461,7 @@ let test_e2e_machine_override_and_ping () =
   in
   let exp = wct (cp.Sb_sched.Registry.run gp1 sb) in
   with_server quick_config (fun _server path ->
-      let t = Client.connect ~path in
+      let t = Client.connect ~path () in
       Fun.protect ~finally:(fun () -> Client.close t) (fun () ->
           Client.send_ping t ~id:"p1";
           (match Client.read_reply t with
@@ -408,7 +500,7 @@ let test_e2e_deadline_degrades () =
     }
   in
   with_server config (fun _server path ->
-      let t = Client.connect ~path in
+      let t = Client.connect ~path () in
       Fun.protect ~finally:(fun () -> Client.close t) (fun () ->
           let _, r =
             expect_schedule
@@ -435,7 +527,7 @@ let test_e2e_busy_shed () =
     }
   in
   with_server config (fun server path ->
-      let t = Client.connect ~path in
+      let t = Client.connect ~path () in
       Fun.protect ~finally:(fun () -> Client.close t) (fun () ->
           Client.send_schedule t ~id:"b1" ~heuristic:"cp" sb;
           (* Wait until b1 left the queue for its (slow) batch, so b2
@@ -494,7 +586,7 @@ let test_e2e_drain () =
     }
   in
   with_server config (fun server path ->
-      let t = Client.connect ~path in
+      let t = Client.connect ~path () in
       Fun.protect ~finally:(fun () -> Client.close t) (fun () ->
           Client.send_schedule t ~id:"g1" ~heuristic:"cp" sb;
           Client.send_schedule t ~id:"g2" ~heuristic:"cp" sb;
@@ -537,7 +629,7 @@ let test_e2e_drain () =
 let test_e2e_malformed () =
   let sb = List.hd (Lazy.force corpus) in
   with_server quick_config (fun _server path ->
-      let t = Client.connect ~path in
+      let t = Client.connect ~path () in
       Fun.protect ~finally:(fun () -> Client.close t) (fun () ->
           (* Pipelined: good, malformed, good.  Replies are matched by id
              because schedule replies are asynchronous — the inline error
@@ -578,7 +670,7 @@ let test_e2e_half_close () =
     }
   in
   with_server config (fun _server path ->
-      let t = Client.connect ~path in
+      let t = Client.connect ~path () in
       Fun.protect ~finally:(fun () -> Client.close t) (fun () ->
           Client.send_schedule t ~id:"h1" ~heuristic:"cp" sb;
           Client.send_schedule t ~id:"h2" ~heuristic:"cp" sb;
@@ -635,7 +727,7 @@ let test_socket_takeover () =
       let rec ping n =
         if n = 0 then Alcotest.fail "stale socket never replaced"
         else
-          match Client.connect ~path with
+          match Client.connect ~path () with
           | exception Unix.Unix_error _ ->
               Thread.delay 0.01;
               ping (n - 1)
@@ -648,6 +740,88 @@ let test_socket_takeover () =
               | _ -> Alcotest.fail "no pong over replaced socket")
       in
       ping 500)
+
+(* --------------------- fault tolerance e2e ------------------------- *)
+
+(* Injected serve.write faults drop replies and abort connections; a
+   retrying session must reconnect and eventually get every answer.
+   The decision stream is a pure function of the seed and the client is
+   single and synchronous, so the run is reproducible. *)
+let test_e2e_retry_under_write_faults () =
+  let sbs = Lazy.force corpus in
+  (match Sb_fault.Fault.parse "serve.write:epipe@0.4,seed=11" with
+  | Ok p -> Sb_fault.Fault.install p
+  | Error e -> Alcotest.failf "bad plan: %s" e);
+  Fun.protect ~finally:Sb_fault.Fault.clear (fun () ->
+      with_server quick_config (fun server path ->
+          let s =
+            Client.session
+              ~policy:
+                { Client.Retry.attempts = 10; base_s = 0.002; cap_s = 0.02 }
+              ~read_timeout_s:5. ~seed:1 ~path ()
+          in
+          Fun.protect
+            ~finally:(fun () -> Client.session_close s)
+            (fun () ->
+              List.iteri
+                (fun i sb ->
+                  let id = Printf.sprintf "f%d" i in
+                  match
+                    Client.session_schedule s ~id ~heuristic:"critical-path" sb
+                  with
+                  | Ok (Protocol.Ok_schedule { id = rid; _ }) ->
+                      check_string "reply id" id rid
+                  | Ok r ->
+                      Alcotest.failf "unexpected reply: %s"
+                        (Protocol.render_reply r)
+                  | Error msg -> Alcotest.failf "retries exhausted: %s" msg)
+                sbs;
+              check_bool "faults actually fired" true
+                (List.mem_assoc "fault.serve.write" (Server.stats_fields server));
+              check_bool "client retried" true (Client.session_retries s > 0))))
+
+(* An idle connection is evicted by the read timeout; a connection
+   whose reply is merely slow keeps it. *)
+let test_e2e_idle_timeout () =
+  let config = { quick_config with Server.idle_timeout_s = Some 0.15 } in
+  with_server config (fun server path ->
+      let c = Client.connect ~read_timeout_s:5. ~path () in
+      Thread.delay 0.5;
+      (* The server's reader timed out long ago; this ping is never
+         read, and the eviction path closes the connection under us. *)
+      (try Client.send_ping c ~id:"late" with Sys_error _ -> ());
+      (match Client.read_reply c with
+      | Error _ -> ()
+      | Ok r ->
+          Alcotest.failf "evicted connection answered: %s"
+            (Protocol.render_reply r));
+      Client.close c;
+      let evicted =
+        int_of_string (List.assoc "idle_evicted" (Server.stats_fields server))
+      in
+      check_bool "eviction counted" true (evicted >= 1));
+  (* In-flight replies survive the eviction of their connection: the
+     dispatcher is slower than the idle timeout, so the reader has
+     already been evicted by the time the reply is ready — it must
+     still be delivered before the connection is torn down. *)
+  let slow =
+    {
+      quick_config with
+      Server.idle_timeout_s = Some 0.15;
+      before_batch = Some (fun () -> Thread.delay 0.4);
+    }
+  in
+  with_server slow (fun _server path ->
+      let c = Client.connect ~read_timeout_s:5. ~path () in
+      let sb = List.hd (Lazy.force corpus) in
+      Client.send_schedule c ~id:"slow" ~heuristic:"critical-path" sb;
+      (match Client.read_reply c with
+      | Ok (Protocol.Ok_schedule { id; _ }) ->
+          check_string "in-flight reply delivered" "slow" id
+      | Ok r ->
+          Alcotest.failf "unexpected reply: %s" (Protocol.render_reply r)
+      | Error msg -> Alcotest.failf "in-flight reply lost: %s" msg);
+      Client.close c)
 
 let tc name f = Alcotest.test_case name `Quick f
 
@@ -676,7 +850,11 @@ let suites =
       [
         tc "counters and percentiles" test_stats_counters;
         tc "empty histogram" test_stats_empty;
+        tc "concurrent increments lose nothing" test_stats_concurrent_counters;
       ] );
+    ( "serve.fuzz",
+      List.map QCheck_alcotest.to_alcotest
+        [ prop_reader_never_desyncs; prop_parse_reply_total ] );
     ( "serve.e2e",
       [
         tc "concurrent clients match direct runs" test_e2e_matches_direct;
@@ -687,5 +865,11 @@ let suites =
         tc "malformed request is isolated" test_e2e_malformed;
         tc "half-close keeps replies" test_e2e_half_close;
         tc "socket perms, takeover, stale file" test_socket_takeover;
+      ] );
+    ( "serve.faults",
+      [
+        tc "retry wins over injected write faults"
+          test_e2e_retry_under_write_faults;
+        tc "idle eviction spares in-flight replies" test_e2e_idle_timeout;
       ] );
   ]
