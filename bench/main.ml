@@ -519,6 +519,84 @@ let run_fault scale =
   Printf.printf "    identical results: %b\n%!"
     (identical base unmatched && identical base cleared)
 
+(* obs-overhead: the telemetry layer must be free when disabled.  Four
+   probes: the disabled per-site cost of [Span.with_] around a named
+   no-op (the pattern used on every hot path) against the 15 ns/site
+   budget, a zero-allocation check of the same loop, the cost of a
+   counter bump, and the full evaluate path timed with tracing off, on
+   (into a wrapping ring), and off again — the last two runs must
+   return results identical to the first. *)
+let run_obs scale =
+  Printf.printf "== obs-overhead (tracing sites, scale %.3f) ==\n%!" scale;
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let iters = 50_000_000 in
+  let nop () = () in
+  let site n =
+    for _ = 1 to n do
+      Sb_obs.Obs.Span.with_ "bench.site" nop
+    done
+  in
+  let per_call label n =
+    let (), t = time (fun () -> site n) in
+    Printf.printf "  %-28s %6.2f ns/site (%d sites, budget 15)\n%!" label
+      (t /. float_of_int n *. 1e9)
+      n
+  in
+  per_call "span, disabled" iters;
+  let words0 = Gc.minor_words () in
+  site 1_000;
+  let words = Gc.minor_words () -. words0 in
+  Printf.printf "  %-28s %6.0f minor words / 1000 sites\n%!"
+    "span, disabled alloc" words;
+  let c =
+    Sb_obs.Obs.Metrics.counter ~help:"bench-only counter" "bench_obs_total"
+  in
+  let (), t =
+    time (fun () ->
+        for _ = 1 to iters do
+          Sb_obs.Obs.Metrics.incr c
+        done)
+  in
+  Printf.printf "  %-28s %6.2f ns/site (%d sites)\n%!" "counter incr"
+    (t /. float_of_int iters *. 1e9)
+    iters;
+  Sb_obs.Obs.Trace.start ~capacity:65536 ();
+  let on_iters = 2_000_000 in
+  let (), t = time (fun () -> site on_iters) in
+  Printf.printf "  %-28s %6.2f ns/site (%d sites, ring wraps)\n%!"
+    "span, enabled"
+    (t /. float_of_int on_iters *. 1e9)
+    on_iters;
+  Sb_obs.Obs.Trace.stop ();
+  Sb_obs.Obs.Trace.reset ();
+  let sbs =
+    Sb_workload.Corpus.all_superblocks (Sb_workload.Corpus.generate ~scale ())
+  in
+  Printf.printf "  evaluate path, %d superblocks:\n%!" (List.length sbs);
+  let eval label =
+    let r, t = time (fun () -> Sb_eval.Metrics.evaluate bench_machine sbs) in
+    Printf.printf "    %-26s %8.3f s\n%!" label t;
+    r
+  in
+  let base = eval "tracing off" in
+  Sb_obs.Obs.Trace.start ~capacity:65536 ();
+  let traced = eval "tracing on" in
+  Sb_obs.Obs.Trace.stop ();
+  Sb_obs.Obs.Trace.reset ();
+  let off_again = eval "tracing off again" in
+  let identical a b =
+    List.for_all2
+      (fun (x : Sb_eval.Metrics.record) (y : Sb_eval.Metrics.record) ->
+        x.Sb_eval.Metrics.wct = y.Sb_eval.Metrics.wct)
+      a b
+  in
+  Printf.printf "    identical results: %b\n%!"
+    (identical base traced && identical base off_again)
+
 let run_tables scale =
   Printf.printf
     "== Paper tables and figures (synthetic corpus, scale %.3f) ==\n%!" scale;
@@ -536,7 +614,8 @@ let () =
   and speedup = ref true
   and incremental = ref true
   and serve = ref true
-  and fault = ref true in
+  and fault = ref true
+  and obs = ref true in
   let only what =
     tables := false;
     timing := false;
@@ -544,6 +623,7 @@ let () =
     incremental := false;
     serve := false;
     fault := false;
+    obs := false;
     what := true
   in
   let rec parse = function
@@ -569,11 +649,14 @@ let () =
     | "--fault-only" :: rest ->
         only fault;
         parse rest
+    | "--obs-only" :: rest ->
+        only obs;
+        parse rest
     | arg :: _ ->
         Printf.eprintf
           "unknown argument %S (expected --scale S, --tables-only, \
            --timing-only, --speedup-only, --incremental-only, --serve-only, \
-           --fault-only)\n"
+           --fault-only, --obs-only)\n"
           arg;
         exit 1
   in
@@ -583,4 +666,5 @@ let () =
   if !incremental then run_incremental !scale;
   if !serve then run_serve ();
   if !fault then run_fault !scale;
+  if !obs then run_obs !scale;
   if !timing then run_timing ()

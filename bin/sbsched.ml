@@ -30,6 +30,34 @@ let jobs_arg =
           "Fan the per-superblock work out over N domains (1 = \
            sequential, 0 = one per core).  Output order is unchanged.")
 
+(* Shared --trace handling: enable the span tracer for the command's
+   lifetime and export Chrome trace_event JSON at the end, even when
+   the body raises or exits through cmdliner. *)
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record scheduler/runtime spans while the command runs and \
+           write them to FILE as Chrome trace_event JSON (open in \
+           Perfetto or chrome://tracing; one lane per domain).  See \
+           docs/OBSERVABILITY.md.")
+
+let with_trace trace f =
+  match trace with
+  | None -> f ()
+  | Some path ->
+      Sb_obs.Obs.Trace.start ();
+      Fun.protect
+        ~finally:(fun () ->
+          Sb_obs.Obs.Trace.stop ();
+          Sb_obs.Obs.Trace.write_file path;
+          Printf.eprintf "sbsched: wrote %s (%d events, %d dropped)\n%!" path
+            (Sb_obs.Obs.Trace.emitted ())
+            (Sb_obs.Obs.Trace.dropped ()))
+        f
+
 let machine_conv =
   let parse s =
     match Sb_machine.Config.by_name s with
@@ -125,7 +153,20 @@ let schedule_cmd =
             "Write the first superblock's dependence graph (with issue \
              cycles) as Graphviz DOT to FILE.")
   in
-  let run machine heuristic verbose blocking jobs dot file generate count =
+  let explain_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "explain" ] ~docv:"FILE"
+          ~doc:
+            "Write the Balance decision log to FILE as JSONL: one record \
+             per scheduling decision with the dynamic Early bounds seen, \
+             every pairwise accept/reject with its justifying bound \
+             values, and the Hedge tiebreak winner.  Balance only.  See \
+             docs/OBSERVABILITY.md for the schema.")
+  in
+  let run machine heuristic verbose blocking jobs dot trace explain file
+      generate count =
     match Sb_sched.Registry.by_name heuristic with
     | None ->
         Printf.eprintf "error: unknown heuristic %S\n" heuristic;
@@ -133,10 +174,45 @@ let schedule_cmd =
     | Some h ->
         let jobs = resolve_jobs jobs in
         let sbs = maybe_expand blocking (load_superblocks file generate count) in
+        let explain_sink =
+          match explain with
+          | None -> None
+          | Some _ when h.Sb_sched.Registry.name <> "balance" ->
+              Printf.eprintf
+                "error: --explain only records balance decisions (got \
+                 --heuristic %s)\n"
+                h.Sb_sched.Registry.name;
+              exit 1
+          | Some path ->
+              let oc = open_out path in
+              let lock = Mutex.create () in
+              at_exit (fun () -> close_out_noerr oc);
+              (* One callback per superblock, serializing whole lines
+                 under a lock: schedule runs fan out over domains, and a
+                 JSONL file must never interleave two records. *)
+              Some
+                (fun (sb : Sb_ir.Superblock.t) step ->
+                  let line =
+                    Sb_obs.Json.to_string
+                      (Sb_sched.Explain.step_to_json
+                         ~sb:sb.Sb_ir.Superblock.name
+                         ~machine:machine.Sb_machine.Config.name step)
+                  in
+                  Mutex.lock lock;
+                  output_string oc line;
+                  output_char oc '\n';
+                  Mutex.unlock lock)
+        in
+        let run_sb sb =
+          match explain_sink with
+          | Some log -> Sb_sched.Balance.schedule ~explain:(log sb) machine sb
+          | None -> h.Sb_sched.Registry.run machine sb
+        in
+        with_trace trace @@ fun () ->
         (* Render in parallel, print in corpus order. *)
         Sb_eval.Parpool.parallel_map ~jobs
           (fun sb ->
-            let s = h.Sb_sched.Registry.run machine sb in
+            let s = run_sb sb in
             let bound = Sb_bounds.Superblock_bound.tightest machine sb in
             let wct = Sb_sched.Schedule.weighted_completion_time s in
             Printf.sprintf "%-24s %s  wct=%.3f  bound=%.3f%s%s"
@@ -160,7 +236,8 @@ let schedule_cmd =
     (Cmd.info "schedule" ~doc:"Schedule superblocks and report WCT vs bound")
     Term.(
       const run $ machine_arg $ heuristic_arg $ verbose_arg $ blocking_arg
-      $ jobs_arg $ dot_arg $ file_arg $ generate_arg $ count_arg)
+      $ jobs_arg $ dot_arg $ trace_arg $ explain_arg $ file_arg $ generate_arg
+      $ count_arg)
 
 (* ------------------------------ bounds ----------------------------- *)
 
@@ -428,9 +505,20 @@ let experiments_cmd =
              compute only what is missing.  Tables are byte-identical to \
              an uninterrupted run.")
   in
+  let metrics_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "After the run, write every registered metric (work counters, \
+             fault fire counts, pool respawns, ...) to FILE in Prometheus \
+             text exposition format.")
+  in
   let run scale full via_cfg jobs profile no_incremental id csv checkpoint
-      resume fault =
+      resume trace metrics fault =
     install_fault_plan fault;
+    with_trace trace @@ fun () ->
     let scale = if full then 1.0 else scale in
     let jobs = resolve_jobs jobs in
     if resume && checkpoint = None then begin
@@ -485,15 +573,28 @@ let experiments_cmd =
       Printf.printf "== profile ==\n";
       List.iter
         (fun (k, n) -> Printf.printf "%-24s %d\n" k n)
-        (Sb_bounds.Work.report ())
-    end
+        (Sb_bounds.Work.report ());
+      (* Appended after the work counters so existing parsers of the
+         section keep working. *)
+      Printf.printf "%-24s %d\n" "pool.respawned"
+        (Sb_eval.Parpool.total_respawned ());
+      Printf.printf "%-24s %d\n" "watchdog.timeouts"
+        (Sb_fault.Watchdog.timeouts ())
+    end;
+    match metrics with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Sb_obs.Obs.Metrics.prometheus ());
+        close_out oc;
+        Printf.eprintf "sbsched: wrote %s\n%!" path
   in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Regenerate the paper's tables and figures")
     Term.(
       const run $ scale_arg $ full_arg $ via_cfg_arg $ jobs_arg $ profile_arg
       $ no_incremental_arg $ id_arg $ csv_arg $ checkpoint_arg $ resume_arg
-      $ fault_arg)
+      $ trace_arg $ metrics_arg $ fault_arg)
 
 (* ------------------------------- serve ------------------------------ *)
 
@@ -562,8 +663,9 @@ let serve_cmd =
              (in-flight replies are still delivered); 0 disables.")
   in
   let run machine jobs stdio socket force queue_capacity batch_max with_tw
-      idle_timeout fault =
+      idle_timeout trace fault =
     install_fault_plan fault;
+    with_trace trace @@ fun () ->
     let jobs = resolve_jobs jobs in
     let drain_signals = [ Sys.sigint; Sys.sigterm ] in
     (* Server.begin_drain takes the queue lock, so it must never run in
@@ -633,7 +735,8 @@ let serve_cmd =
           the wire protocol)")
     Term.(
       const run $ machine_arg $ jobs_arg $ stdio_arg $ socket_arg $ force_arg
-      $ queue_arg $ batch_arg $ tw_arg $ idle_timeout_arg $ fault_arg)
+      $ queue_arg $ batch_arg $ tw_arg $ idle_timeout_arg $ trace_arg
+      $ fault_arg)
 
 (* ------------------------------ loadgen ----------------------------- *)
 
@@ -690,7 +793,8 @@ let loadgen_cmd =
              forever.")
   in
   let run socket conns rps duration heuristic bounds deadline_ms attempts
-      read_timeout file generate count =
+      read_timeout trace file generate count =
+    with_trace trace @@ fun () ->
     let sbs =
       match (file, generate) with
       | None, None ->
@@ -717,7 +821,105 @@ let loadgen_cmd =
     Term.(
       const run $ socket_arg $ conns_arg $ rps_arg $ duration_arg
       $ heuristic_arg $ bounds_arg $ deadline_arg $ retries_arg
-      $ read_timeout_arg $ file_arg $ generate_arg $ count_arg)
+      $ read_timeout_arg $ trace_arg $ file_arg $ generate_arg $ count_arg)
+
+(* ----------------------------- trace-lint --------------------------- *)
+
+(* Strict validation of a --trace output file: parses with the strict
+   JSON parser (no trailing garbage, no NaNs), checks the trace_event
+   structure, and checks that B/E events pair up within every lane —
+   what Perfetto needs to render the file without complaint. *)
+let trace_lint_cmd =
+  let trace_file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"A trace file written by --trace.")
+  in
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Printf.eprintf "trace-lint: %s\n" msg;
+        exit 1)
+      fmt
+  in
+  let run path =
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let text = really_input_string ic len in
+    close_in ic;
+    match Sb_obs.Json.parse text with
+    | Error msg -> fail "%s: %s" path msg
+    | Ok json -> (
+        match Sb_obs.Json.member "traceEvents" json with
+        | None -> fail "%s: no traceEvents array" path
+        | Some (Sb_obs.Json.List events) ->
+            (* Per-lane stacks of open B names; X/i are self-contained. *)
+            let stacks : (int, string list ref) Hashtbl.t =
+              Hashtbl.create 8
+            in
+            let stack tid =
+              match Hashtbl.find_opt stacks tid with
+              | Some s -> s
+              | None ->
+                  let s = ref [] in
+                  Hashtbl.add stacks tid s;
+                  s
+            in
+            List.iteri
+              (fun i ev ->
+                let str k =
+                  match Sb_obs.Json.member k ev with
+                  | Some (Sb_obs.Json.String s) -> s
+                  | _ -> fail "event %d: missing string field %S" i k
+                in
+                let num k =
+                  match Sb_obs.Json.member k ev with
+                  | Some (Sb_obs.Json.Int _ | Sb_obs.Json.Float _) -> ()
+                  | _ -> fail "event %d: missing numeric field %S" i k
+                in
+                let int k =
+                  match Sb_obs.Json.member k ev with
+                  | Some (Sb_obs.Json.Int n) -> n
+                  | _ -> fail "event %d: missing int field %S" i k
+                in
+                let name = str "name" in
+                num "ts";
+                ignore (int "pid" : int);
+                let tid = int "tid" in
+                match str "ph" with
+                | "B" -> (
+                    let s = stack tid in
+                    s := name :: !s)
+                | "E" -> (
+                    let s = stack tid in
+                    match !s with
+                    | top :: rest ->
+                        if top <> name then
+                          fail
+                            "event %d: lane %d closes %S but %S is open" i
+                            tid name top;
+                        s := rest
+                    | [] -> fail "event %d: lane %d closes %S with no open span" i tid name)
+                | "X" -> num "dur"
+                | "i" -> ()
+                | ph -> fail "event %d: unknown phase %S" i ph)
+              events;
+            Hashtbl.iter
+              (fun tid s ->
+                match !s with
+                | [] -> ()
+                | top :: _ ->
+                    fail "lane %d ends with unclosed span %S" tid top)
+              stacks;
+            Printf.printf "ok: %d events, %d lanes\n" (List.length events)
+              (Hashtbl.length stacks)
+        | Some _ -> fail "%s: traceEvents is not an array" path)
+  in
+  Cmd.v
+    (Cmd.info "trace-lint"
+       ~doc:"Strictly validate a --trace file (JSON and span balance)")
+    Term.(const run $ trace_file_arg)
 
 let () =
   let info =
@@ -729,5 +931,5 @@ let () =
        (Cmd.group info
           [
             schedule_cmd; bounds_cmd; simulate_cmd; corpus_cmd; form_cmd;
-            experiments_cmd; serve_cmd; loadgen_cmd;
+            experiments_cmd; serve_cmd; loadgen_cmd; trace_lint_cmd;
           ]))

@@ -92,4 +92,30 @@ if [ "$ok" -eq 0 ] || [ "$errors" -ne 0 ] || [ "$retried" -eq 0 ]; then
 fi
 echo "retries recovered every dropped reply (retried=$retried, errors=0)"
 
+echo "== obs: traced experiments run, trace-lint, Prometheus metrics =="
+"$SB" experiments --scale 0.01 --id table3 --jobs 2 \
+  --trace "$tmpd/trace.json" --metrics "$tmpd/metrics.prom" > /dev/null
+"$SB" trace-lint "$tmpd/trace.json"
+for fam in sbsched_bounds_work_total sbsched_eval_respawned_total \
+           sbsched_fault_watchdog_timeouts_total; do
+  if ! grep -q "^# TYPE $fam counter" "$tmpd/metrics.prom"; then
+    echo "ci.sh: FAIL — metrics page is missing family $fam" >&2
+    exit 1
+  fi
+done
+echo "metrics page carries the expected families"
+
+echo "== obs: serve answers the metrics request with a parseable page =="
+out=$(printf 'ping p1\nmetrics m1\n' | "$SB" serve --stdio)
+echo "$out" | head -c 200; echo
+if ! echo "$out" | grep -q '^ok m1 kind=metrics body='; then
+  echo "ci.sh: FAIL — serve --stdio did not answer the metrics request" >&2
+  exit 1
+fi
+if ! echo "$out" | grep -q 'sbsched_serve_'; then
+  echo "ci.sh: FAIL — metrics reply body carries no sbsched_serve_ family" >&2
+  exit 1
+fi
+echo "metrics reply parses and includes the serve families"
+
 echo "ci.sh: all checks passed"

@@ -32,6 +32,7 @@ let create ?(work_key = "pw") ?(memoize = true) ?(erc_work = 0) config
   let g = sb.Superblock.graph in
   let nb = Superblock.n_branches sb in
   let (to_branch, rev_rc, members), creation_work =
+    Sb_obs.Obs.Span.with_ "bounds.analysis" @@ fun () ->
     Work.with_local_counter work_key (fun () ->
         let to_branch =
           Array.init nb (fun k ->

@@ -103,13 +103,14 @@ let compute ?(work_key = "pw") ?(memoize = true) ?analysis config
       pairs = Array.make_matrix nb nb { x = 0; y = 0 };
     }
   in
-  for i = 0 to nb - 1 do
-    for j = i + 1 to nb - 1 do
-      ctx.pairs.(i).(j) <-
-        compute_pair ctx ~wi:(Superblock.weight sb i)
-          ~wj:(Superblock.weight sb j) i j
-    done
-  done;
+  Sb_obs.Obs.Span.with_ "bounds.pairwise" (fun () ->
+      for i = 0 to nb - 1 do
+        for j = i + 1 to nb - 1 do
+          ctx.pairs.(i).(j) <-
+            compute_pair ctx ~wi:(Superblock.weight sb i)
+              ~wj:(Superblock.weight sb j) i j
+        done
+      done);
   ctx
 
 let get t i j =

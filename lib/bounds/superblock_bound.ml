@@ -48,6 +48,7 @@ type all = {
 
 let all_bounds ?tw_grid_budget ?tw_max_branches ?(with_tw = true)
     ?(memoize = true) config (sb : Superblock.t) =
+  Sb_obs.Obs.Span.with_ "bounds.all" @@ fun () ->
   let cp = naive Cp config sb in
   let hu = naive Hu_bound config sb in
   let rj = naive Rj config sb in

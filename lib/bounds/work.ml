@@ -95,3 +95,14 @@ let local_delta snap =
       let before = match List.assoc_opt k snap with Some v -> v | None -> 0 in
       if !r <> before then (k, !r - before) :: acc else acc)
     (local_table ()) []
+
+(* Prometheus bridge: every counter key as one labelled family.  Reads
+   aggregate across domains, so export at a quiescent point like any
+   other read-side operation. *)
+let _prometheus_bridge : Sb_obs.Obs.Metrics.collector =
+  Sb_obs.Obs.Metrics.register_collector (fun () ->
+      [
+        Sb_obs.Obs.Metrics.counter_family ~name:"sbsched_bounds_work_total"
+          ~help:"Virtual work units charged, by counter key" ~label:"key"
+          (List.map (fun (k, v) -> (k, float_of_int v)) (report ()));
+      ])

@@ -88,6 +88,7 @@ let record_of_entry ~with_tw ~incremental config sb (e : Checkpoint.entry) =
   { Metrics.sb; bounds; wct = e.Checkpoint.wct }
 
 let prepare ?(jobs = 1) ?checkpoint ?(resume = false) setup =
+  Sb_obs.Obs.Span.with_ "experiments.prepare" @@ fun () ->
   let corpus =
     match setup.corpus_kind with
     | Synthetic -> Sb_workload.Corpus.generate ~scale:setup.scale ()
@@ -727,7 +728,9 @@ let run_all p =
   last_timings := [];
   let timed name f =
     let t0 = Unix.gettimeofday () in
-    let v = f p in
+    let v =
+      Sb_obs.Obs.Span.with_ ("experiments." ^ name) (fun () -> f p)
+    in
     last_timings := (name, Unix.gettimeofday () -. t0) :: !last_timings;
     (name, v)
   in

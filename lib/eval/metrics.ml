@@ -24,6 +24,7 @@ let bound r = r.bounds.Sb_bounds.Superblock_bound.tightest
    point and the watchdog polls make the whole item fault- and
    timeout-interruptible. *)
 let eval_record ~heuristics ~with_tw ~incremental ~on_stage config sb =
+  Sb_obs.Obs.Span.with_ "eval.record" @@ fun () ->
   Sb_fault.Fault.point "eval.item";
   on_stage "bounds";
   let bounds =

@@ -19,11 +19,16 @@
    unclaimed.  The next [map] joins and respawns dead workers before
    enqueueing. *)
 
+module Obs = Sb_obs.Obs
+
 type worker = { mutable dom : unit Domain.t; dead : bool Atomic.t }
 
 type t = {
   jobs : int;
-  queue : (unit -> unit) Queue.t;
+  queue : (bool Atomic.t -> unit) Queue.t;
+      (* a job receives its worker's [dead] flag, so the batch body can
+         mark an injected crash before its checkout unwinds (see the
+         ordering note in [map]) *)
   lock : Mutex.t;
   nonempty : Condition.t;
   mutable stopping : bool;
@@ -33,6 +38,15 @@ type t = {
 
 let jobs t = t.jobs
 let respawned t = Atomic.get t.respawned
+
+(* Process-wide respawn count across all pools, for the metrics
+   registry and [--profile] (per-pool counts die with their pool). *)
+let respawned_total =
+  Obs.Metrics.counter
+    ~help:"Pool worker domains respawned after a crash"
+    "sbsched_eval_respawned_total"
+
+let total_respawned () = Obs.Metrics.counter_value respawned_total
 
 let worker_loop pool dead =
   let rec next () =
@@ -54,21 +68,32 @@ let worker_loop pool dead =
     match take () with
     | None -> ()
     | Some job -> (
-        match job () with
+        match job dead with
         | () -> next ()
         | exception _ ->
             (* Simulated (or very real) worker crash: the job already
                checked out of its batch, so just flag ourselves for the
-               next [ensure_workers] and stop taking work. *)
+               next [ensure_workers] and stop taking work.  (An injected
+               crash already set the flag at the raise site; this is the
+               backstop for anything else that escapes a job.) *)
             Atomic.set dead true)
   in
   next ()
 
 let default_jobs () = Domain.recommended_domain_count ()
 
+(* Backtrace recording is domain-local in OCaml 5: without this, an
+   exception quarantined on a worker carries an empty backtrace while
+   the same failure on the calling domain carries a full one —
+   whichever domain grabs the item decides (a race the supervision
+   tests caught). *)
+let worker_main pool dead record_bt () =
+  Printexc.record_backtrace record_bt;
+  worker_loop pool dead
+
 let spawn_worker pool =
   let dead = Atomic.make false in
-  { dom = Domain.spawn (fun () -> worker_loop pool dead); dead }
+  { dom = Domain.spawn (worker_main pool dead (Printexc.backtrace_status ())); dead }
 
 let create ~jobs =
   if jobs < 1 then invalid_arg "Parpool.create: jobs must be >= 1";
@@ -95,7 +120,9 @@ let ensure_workers pool =
         Domain.join w.dom;
         Atomic.set w.dead false;
         Atomic.incr pool.respawned;
-        w.dom <- Domain.spawn (fun () -> worker_loop pool w.dead)
+        Obs.Metrics.incr respawned_total;
+        w.dom <-
+          Domain.spawn (worker_main pool w.dead (Printexc.backtrace_status ()))
       end)
     pool.workers
 
@@ -122,6 +149,7 @@ let map pool f xs =
   | [ x ] -> [ f x ]
   | _ when pool.jobs = 1 -> List.map f xs
   | _ ->
+      Obs.Span.with_ "parpool.map" @@ fun () ->
       ensure_workers pool;
       let input = Array.of_list xs in
       let n = Array.length input in
@@ -138,15 +166,24 @@ let map pool f xs =
          participants have checked out, so no worker can still be
          touching [results] — or the Work counters — afterwards.
 
-         Only pool workers are [injectable]: the "parpool.worker" fault
-         point simulates a crashed worker domain, and it fires before
-         the fetch-and-add so a claimed chunk is never dropped.  The
-         caller participant must survive to merge, so it never
-         injects. *)
-      let body ~injectable () =
+         Only pool workers inject: the "parpool.worker" fault point
+         simulates a crashed worker domain, and it fires before the
+         fetch-and-add so a claimed chunk is never dropped.  The caller
+         participant must survive to merge, so it never injects.  A
+         worker marks itself [dead] at the raise site, before the
+         checkout below runs during unwinding — otherwise [map] can
+         return (and the next [ensure_workers] scan the flags) in the
+         window before the dying worker's loop gets to set it. *)
+      let body ?dead () =
         let rec run () =
           if Atomic.get failure = None then begin
-            if injectable then Sb_fault.Fault.point "parpool.worker";
+            (match dead with
+            | None -> ()
+            | Some d -> (
+                try Sb_fault.Fault.point "parpool.worker"
+                with e ->
+                  Atomic.set d true;
+                  raise e));
             let start = Atomic.fetch_and_add cursor chunk in
             if start < n then begin
               (try
@@ -167,15 +204,17 @@ let map pool f xs =
             decr remaining;
             if !remaining = 0 then Condition.broadcast done_cond;
             Mutex.unlock done_lock)
-          run
+          (* The span lands on the participant's own lane, so the trace
+             shows one "parpool.batch" bar per domain that worked. *)
+          (fun () -> Obs.Span.with_ "parpool.batch" run)
       in
       Mutex.lock pool.lock;
       for _ = 2 to pool.jobs do
-        Queue.add (body ~injectable:true) pool.queue
+        Queue.add (fun dead -> body ~dead ()) pool.queue
       done;
       Condition.broadcast pool.nonempty;
       Mutex.unlock pool.lock;
-      body ~injectable:false ();
+      body ();
       Mutex.lock done_lock;
       while !remaining > 0 do
         Condition.wait done_cond done_lock

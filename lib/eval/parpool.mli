@@ -40,6 +40,11 @@ val respawned : t -> int
 (** Number of crashed worker domains replaced over the pool's
     lifetime. *)
 
+val total_respawned : unit -> int
+(** Process-wide respawn count across every pool ever created (also
+    exported as [sbsched_eval_respawned_total]); per-pool counts die
+    with their pool, this one feeds [--profile]. *)
+
 val shutdown : t -> unit
 (** Stop and join the worker domains.  Only call once no batch is in
     flight. *)

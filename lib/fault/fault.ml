@@ -181,3 +181,12 @@ let fired () =
       |> List.filter_map (fun (name, p) ->
              match Atomic.get p.hits with 0 -> None | n -> Some (name, n))
       |> List.sort compare
+
+(* Prometheus bridge: fire counts of the active plan's points. *)
+let _prometheus_bridge : Sb_obs.Obs.Metrics.collector =
+  Sb_obs.Obs.Metrics.register_collector (fun () ->
+      [
+        Sb_obs.Obs.Metrics.counter_family ~name:"sbsched_fault_fired_total"
+          ~help:"Fault-injection decisions that fired, by point" ~label:"point"
+          (List.map (fun (k, v) -> (k, float_of_int v)) (fired ()));
+      ])

@@ -11,10 +11,21 @@ let with_deadline ~seconds f =
   slot := Some d;
   Fun.protect ~finally:(fun () -> slot := prev) f
 
+let timeout_counter =
+  Sb_obs.Obs.Metrics.counter
+    ~help:"Watchdog deadlines observed expired by a poll site"
+    "sbsched_fault_watchdog_timeouts_total"
+
+let timeouts () = Sb_obs.Obs.Metrics.counter_value timeout_counter
+
 let check name =
   match !(Domain.DLS.get key) with
   | None -> ()
-  | Some d -> if Unix.gettimeofday () > d then raise (Timed_out name)
+  | Some d ->
+      if Unix.gettimeofday () > d then begin
+        Sb_obs.Obs.Metrics.incr timeout_counter;
+        raise (Timed_out name)
+      end
 
 let remaining () =
   match !(Domain.DLS.get key) with

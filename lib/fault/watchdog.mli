@@ -19,3 +19,7 @@ val check : string -> unit
 val remaining : unit -> float option
 (** Seconds until the armed deadline ([None] when unarmed); negative
     once expired.  For tests and diagnostics. *)
+
+val timeouts : unit -> int
+(** Process-wide count of {!check} calls that raised {!Timed_out}
+    (also exported as [sbsched_fault_watchdog_timeouts_total]). *)

@@ -1,0 +1,35 @@
+(** A minimal JSON tree, encoder and strict parser.
+
+    The telemetry layer needs JSON twice — Chrome [trace_event] files
+    and the Balance decision log — and the CI smoke needs to prove that
+    an exported trace is valid JSON without external tooling, so the
+    parser is strict: it accepts exactly the RFC 8259 grammar (one
+    top-level value, no trailing garbage, no NaN/Infinity, full string
+    escape handling including surrogate pairs) and reports the byte
+    offset of the first violation. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Assoc of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering (no insignificant whitespace).  Floats always
+    carry a ['.'] or exponent so they re-parse as [Float]; rendering a
+    non-finite float raises [Invalid_argument]. *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+val parse : string -> (t, string) result
+(** Strict parse of one complete JSON value.  Numbers without a
+    fraction or exponent that fit in [int] become [Int]; all others
+    become [Float].  On error the message carries the byte offset. *)
+
+val member : string -> t -> t option
+(** [member k (Assoc ...)] — [None] on missing key or non-object. *)
+
+val equal : t -> t -> bool

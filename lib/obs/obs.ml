@@ -1,0 +1,595 @@
+let now_ns () = Monotonic_clock.now ()
+
+(* ------------------------------ tracing ---------------------------- *)
+
+(* Per-domain event rings, mirroring Sb_bounds.Work's DLS + registry
+   layout: emitting never takes a lock — a ring slot is claimed with one
+   fetch-and-add on the ring's cursor, which also keeps concurrent
+   sys-threads of the same domain (the server's reader threads share
+   domain 0) from clobbering each other's slots.  Export aggregates the
+   registered rings at a quiescent point.
+
+   Timestamps are stored as int nanoseconds: a 63-bit int holds ~292
+   years of monotonic time, and an immediate int keeps the event record
+   free of boxed int64 fields. *)
+
+type ev = {
+  ev_name : string;
+  ph : char;  (* 'B' | 'E' | 'i' | 'X' *)
+  ts : int;  (* ns *)
+  dur : int;  (* ns; X events only *)
+  lane : int;
+  args : (string * string) list;
+}
+
+let dummy_ev = { ev_name = ""; ph = ' '; ts = 0; dur = 0; lane = 0; args = [] }
+
+type ring = { buf : ev array; mask : int; cursor : int Atomic.t }
+
+let tracing = Atomic.make false
+let capacity = Atomic.make 65536
+
+let rings : ring list ref = ref []
+let rings_lock = Mutex.create ()
+
+let make_ring cap =
+  let r =
+    { buf = Array.make cap dummy_ev; mask = cap - 1; cursor = Atomic.make 0 }
+  in
+  Mutex.protect rings_lock (fun () -> rings := r :: !rings);
+  r
+
+let ring_key : ring Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> make_ring (Atomic.get capacity))
+
+let emit ev =
+  let r = Domain.DLS.get ring_key in
+  let i = Atomic.fetch_and_add r.cursor 1 in
+  r.buf.(i land r.mask) <- ev
+
+let lane_of_self () = (Domain.self () :> int)
+
+let ns () = Int64.to_int (now_ns ())
+
+module Span = struct
+  let begin_ name =
+    if Atomic.get tracing then
+      emit
+        { ev_name = name; ph = 'B'; ts = ns (); dur = 0;
+          lane = lane_of_self (); args = [] }
+
+  let end_ name =
+    if Atomic.get tracing then
+      emit
+        { ev_name = name; ph = 'E'; ts = ns (); dur = 0;
+          lane = lane_of_self (); args = [] }
+
+  let instant ?(args = []) name =
+    if Atomic.get tracing then
+      emit
+        { ev_name = name; ph = 'i'; ts = ns (); dur = 0;
+          lane = lane_of_self (); args }
+
+  let with_ name f =
+    if not (Atomic.get tracing) then f ()
+    else begin
+      begin_ name;
+      match f () with
+      | v ->
+          end_ name;
+          v
+      | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          end_ name;
+          Printexc.raise_with_backtrace e bt
+    end
+end
+
+module Trace = struct
+  let enabled () = Atomic.get tracing
+
+  let round_pow2 c =
+    let rec go p = if p >= c then p else go (p * 2) in
+    go 16
+
+  let start ?capacity:(cap = 65536) () =
+    if cap < 1 then invalid_arg "Trace.start: capacity must be >= 1";
+    let cap = round_pow2 cap in
+    Atomic.set capacity cap;
+    (* A ring is sized when its domain first emits; domains that already
+       have one keep it.  The calling domain can resize its own, so a
+       fresh [start ~capacity] takes effect where it is observable. *)
+    let r = Domain.DLS.get ring_key in
+    if r.mask + 1 <> cap then begin
+      Mutex.protect rings_lock (fun () ->
+          rings := List.filter (fun x -> x != r) !rings);
+      Domain.DLS.set ring_key (make_ring cap)
+    end;
+    Atomic.set tracing true
+
+  let stop () = Atomic.set tracing false
+
+  let all_rings () = Mutex.protect rings_lock (fun () -> !rings)
+
+  let reset () =
+    List.iter (fun r -> Atomic.set r.cursor 0) (all_rings ())
+
+  let complete ?lane ?(args = []) ~name ~start_ns ~dur_ns () =
+    if Atomic.get tracing then
+      emit
+        {
+          ev_name = name;
+          ph = 'X';
+          ts = Int64.to_int start_ns;
+          dur = Int64.to_int dur_ns;
+          lane = (match lane with Some l -> l | None -> lane_of_self ());
+          args;
+        }
+
+  let emitted () =
+    List.fold_left (fun acc r -> acc + Atomic.get r.cursor) 0 (all_rings ())
+
+  let dropped () =
+    List.fold_left
+      (fun acc r -> acc + max 0 (Atomic.get r.cursor - (r.mask + 1)))
+      0 (all_rings ())
+
+  (* Collect each ring's surviving window, oldest first. *)
+  let collect () =
+    List.concat_map
+      (fun r ->
+        let cur = Atomic.get r.cursor in
+        let cap = r.mask + 1 in
+        let first = max 0 (cur - cap) in
+        List.init (cur - first) (fun i -> r.buf.((first + i) land r.mask)))
+      (all_rings ())
+
+  (* Per-lane begin/end sanitation: ring overwrites can orphan either
+     half of a pair, and Perfetto rejects unbalanced lanes.  Walking in
+     timestamp order, an end with no open begin on its lane is dropped,
+     and begins still open at the end of the walk get a synthetic end at
+     the latest timestamp — so the exported lanes always balance. *)
+  let sanitize evs =
+    let evs =
+      List.stable_sort (fun a b -> compare (a.ts, a.lane) (b.ts, b.lane)) evs
+    in
+    let depth : (int, int ref) Hashtbl.t = Hashtbl.create 8 in
+    let open_stacks : (int, ev list ref) Hashtbl.t = Hashtbl.create 8 in
+    let get tbl mk lane =
+      match Hashtbl.find_opt tbl lane with
+      | Some v -> v
+      | None ->
+          let v = mk () in
+          Hashtbl.add tbl lane v;
+          v
+    in
+    let last_ts = ref 0 in
+    let kept =
+      List.filter
+        (fun ev ->
+          if ev.ts > !last_ts then last_ts := ev.ts;
+          match ev.ph with
+          | 'B' ->
+              let d = get depth (fun () -> ref 0) ev.lane in
+              incr d;
+              let st = get open_stacks (fun () -> ref []) ev.lane in
+              st := ev :: !st;
+              true
+          | 'E' ->
+              let d = get depth (fun () -> ref 0) ev.lane in
+              if !d > 0 then begin
+                decr d;
+                let st = get open_stacks (fun () -> ref []) ev.lane in
+                (match !st with [] -> () | _ :: tl -> st := tl);
+                true
+              end
+              else false
+          | _ -> true)
+        evs
+    in
+    let closers =
+      Hashtbl.fold
+        (fun lane st acc ->
+          List.fold_left
+            (fun acc (b : ev) ->
+              { b with ph = 'E'; ts = max !last_ts b.ts; lane } :: acc)
+            acc !st)
+        open_stacks []
+    in
+    kept @ closers
+
+  let ev_to_json ev =
+    let us t = float_of_int t /. 1000. in
+    let base =
+      [
+        ("name", Json.String ev.ev_name);
+        ("cat", Json.String "sbsched");
+        ("ph", Json.String (String.make 1 ev.ph));
+        ("ts", Json.Float (us ev.ts));
+        ("pid", Json.Int 1);
+        ("tid", Json.Int ev.lane);
+      ]
+    in
+    let base =
+      if ev.ph = 'X' then base @ [ ("dur", Json.Float (us ev.dur)) ] else base
+    in
+    let base =
+      if ev.ph = 'i' then base @ [ ("s", Json.String "t") ] else base
+    in
+    let base =
+      match ev.args with
+      | [] -> base
+      | args ->
+          base
+          @ [
+              ( "args",
+                Json.Assoc (List.map (fun (k, v) -> (k, Json.String v)) args)
+              );
+            ]
+    in
+    Json.Assoc base
+
+  let export () =
+    let evs = sanitize (collect ()) in
+    Json.Assoc
+      [
+        ("traceEvents", Json.List (List.map ev_to_json evs));
+        ("displayTimeUnit", Json.String "ns");
+      ]
+
+  let write_file path =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        let buf = Buffer.create 4096 in
+        Json.to_buffer buf (export ());
+        Buffer.add_char buf '\n';
+        Buffer.output_buffer oc buf)
+end
+
+(* ------------------------------ metrics ---------------------------- *)
+
+module Metrics = struct
+  type counter = { c_name : string; c_help : string; cell : int Atomic.t }
+  type gauge = { g_name : string; g_help : string; gcell : float Atomic.t }
+
+  module Histo = struct
+    let n_buckets = 32
+
+    type t = {
+      buckets : int Atomic.t array;
+      h_count : int Atomic.t;
+      h_sum : int Atomic.t;
+      h_max : int Atomic.t;
+    }
+
+    let create () =
+      {
+        buckets = Array.init n_buckets (fun _ -> Atomic.make 0);
+        h_count = Atomic.make 0;
+        h_sum = Atomic.make 0;
+        h_max = Atomic.make 0;
+      }
+
+    let bucket_of v =
+      let v = max 1 v in
+      let rec log2 acc v = if v <= 1 then acc else log2 (acc + 1) (v lsr 1) in
+      min (n_buckets - 1) (log2 0 v)
+
+    let observe t v =
+      let v = max 0 v in
+      Atomic.incr t.buckets.(bucket_of v);
+      Atomic.incr t.h_count;
+      ignore (Atomic.fetch_and_add t.h_sum v : int);
+      let rec bump () =
+        let cur = Atomic.get t.h_max in
+        if v > cur && not (Atomic.compare_and_set t.h_max cur v) then bump ()
+      in
+      bump ()
+
+    let count t = Atomic.get t.h_count
+    let sum t = Atomic.get t.h_sum
+    let max_value t = Atomic.get t.h_max
+    let bucket_count t i = Atomic.get t.buckets.(i)
+
+    (* Upper edge of the bucket holding the q-quantile sample, clamped
+       to the exact maximum (same estimator Serve.Stats always used,
+       now with the top bucket clamped too instead of saturating at its
+       edge). *)
+    let percentile t q =
+      let n = count t in
+      if n = 0 then 0
+      else begin
+        let target = max 1 (int_of_float (ceil (q *. float_of_int n))) in
+        let m = max_value t in
+        let rec scan i cum =
+          if i >= n_buckets then m
+          else
+            let cum = cum + bucket_count t i in
+            if cum >= target then
+              (* The last bucket is open-ended: its only honest upper
+                 edge is the exact maximum. *)
+              if i = n_buckets - 1 then m else min m (1 lsl (i + 1))
+            else scan (i + 1) cum
+        in
+        scan 0 0
+      end
+  end
+
+  type histogram = { h_name : string; h_help : string; histo : Histo.t }
+
+  type metric =
+    | M_counter of counter
+    | M_gauge of gauge
+    | M_histogram of histogram
+
+  let registry : (string, metric) Hashtbl.t = Hashtbl.create 16
+  let registry_lock = Mutex.create ()
+
+  let register name mk classify kind_name =
+    Mutex.protect registry_lock (fun () ->
+        match Hashtbl.find_opt registry name with
+        | Some m -> (
+            match classify m with
+            | Some v -> v
+            | None ->
+                invalid_arg
+                  (Printf.sprintf
+                     "Obs.Metrics: %s already registered with another kind \
+                      (wanted %s)"
+                     name kind_name))
+        | None ->
+            let v, m = mk () in
+            Hashtbl.add registry name m;
+            v)
+
+  let counter ?(help = "") name =
+    register name
+      (fun () ->
+        let c = { c_name = name; c_help = help; cell = Atomic.make 0 } in
+        (c, M_counter c))
+      (function M_counter c -> Some c | _ -> None)
+      "counter"
+
+  let incr c = Atomic.incr c.cell
+  let add c n = ignore (Atomic.fetch_and_add c.cell n : int)
+  let counter_value c = Atomic.get c.cell
+
+  let gauge ?(help = "") name =
+    register name
+      (fun () ->
+        let g = { g_name = name; g_help = help; gcell = Atomic.make 0. } in
+        (g, M_gauge g))
+      (function M_gauge g -> Some g | _ -> None)
+      "gauge"
+
+  let set_gauge g v = Atomic.set g.gcell v
+  let gauge_value g = Atomic.get g.gcell
+
+  let histogram ?(help = "") name =
+    register name
+      (fun () ->
+        let h = { h_name = name; h_help = help; histo = Histo.create () } in
+        (h.histo, M_histogram h))
+      (function M_histogram h -> Some h.histo | _ -> None)
+      "histogram"
+
+  (* ------------------------------ export --------------------------- *)
+
+  type sample = {
+    sample_name : string;
+    labels : (string * string) list;
+    value : float;
+  }
+
+  type family = {
+    family_name : string;
+    family_type : [ `Counter | `Gauge | `Histogram ];
+    family_help : string;
+    samples : sample list;
+  }
+
+  let counter_family ~name ~help ?label pairs =
+    {
+      family_name = name;
+      family_type = `Counter;
+      family_help = help;
+      samples =
+        List.map
+          (fun (k, v) ->
+            {
+              sample_name = name;
+              labels = (match label with Some l -> [ (l, k) ] | None -> []);
+              value = v;
+            })
+          pairs;
+    }
+
+  let histo_family ~name ~help h =
+    let count = Histo.count h in
+    (* Cumulative buckets up to the last nonempty one, then +Inf. *)
+    let last =
+      let rec go i last =
+        if i >= Histo.n_buckets then last
+        else go (i + 1) (if Histo.bucket_count h i > 0 then i else last)
+      in
+      go 0 (-1)
+    in
+    let buckets = ref [] in
+    let cum = ref 0 in
+    for i = 0 to last do
+      cum := !cum + Histo.bucket_count h i;
+      buckets :=
+        {
+          sample_name = name ^ "_bucket";
+          labels = [ ("le", string_of_int (1 lsl (i + 1))) ];
+          value = float_of_int !cum;
+        }
+        :: !buckets
+    done;
+    let samples =
+      List.rev !buckets
+      @ [
+          {
+            sample_name = name ^ "_bucket";
+            labels = [ ("le", "+Inf") ];
+            value = float_of_int count;
+          };
+          { sample_name = name ^ "_sum"; labels = [];
+            value = float_of_int (Histo.sum h) };
+          { sample_name = name ^ "_count"; labels = [];
+            value = float_of_int count };
+        ]
+    in
+    [
+      { family_name = name; family_type = `Histogram;
+        family_help = help; samples };
+      {
+        family_name = name ^ "_max";
+        family_type = `Gauge;
+        family_help = help ^ " (exact maximum)";
+        samples =
+          [
+            { sample_name = name ^ "_max"; labels = [];
+              value = float_of_int (Histo.max_value h) };
+          ];
+      };
+    ]
+
+  type collector = { id : int; run : unit -> family list }
+
+  let collectors : collector list ref = ref []
+  let collector_id = Atomic.make 0
+
+  let register_collector run =
+    let c = { id = Atomic.fetch_and_add collector_id 1; run } in
+    Mutex.protect registry_lock (fun () -> collectors := c :: !collectors);
+    c
+
+  let unregister_collector c =
+    Mutex.protect registry_lock (fun () ->
+        collectors := List.filter (fun c' -> c'.id <> c.id) !collectors)
+
+  let builtin_families () =
+    let metrics =
+      Mutex.protect registry_lock (fun () ->
+          Hashtbl.fold (fun _ m acc -> m :: acc) registry [])
+    in
+    List.concat_map
+      (function
+        | M_counter c ->
+            [
+              counter_family ~name:c.c_name ~help:c.c_help
+                [ ("", float_of_int (Atomic.get c.cell)) ];
+            ]
+        | M_gauge g ->
+            [
+              {
+                family_name = g.g_name;
+                family_type = `Gauge;
+                family_help = g.g_help;
+                samples =
+                  [
+                    { sample_name = g.g_name; labels = [];
+                      value = Atomic.get g.gcell };
+                  ];
+              };
+            ]
+        | M_histogram h -> histo_family ~name:h.h_name ~help:h.h_help h.histo)
+      metrics
+
+  let trace_families () =
+    [
+      {
+        family_name = "sbsched_obs_trace_events";
+        family_type = `Gauge;
+        family_help = "Trace events buffered since the last reset";
+        samples =
+          [
+            { sample_name = "sbsched_obs_trace_events"; labels = [];
+              value = float_of_int (Trace.emitted ()) };
+          ];
+      };
+      {
+        family_name = "sbsched_obs_trace_dropped";
+        family_type = `Gauge;
+        family_help = "Trace events lost to ring wrap-around";
+        samples =
+          [
+            { sample_name = "sbsched_obs_trace_dropped"; labels = [];
+              value = float_of_int (Trace.dropped ()) };
+          ];
+      };
+    ]
+
+  let render_value v =
+    if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+    else Printf.sprintf "%.17g" v
+
+  let escape_label v =
+    let buf = Buffer.create (String.length v) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c -> Buffer.add_char buf c)
+      v;
+    Buffer.contents buf
+
+  let render_sample buf s =
+    Buffer.add_string buf s.sample_name;
+    (match s.labels with
+    | [] -> ()
+    | labels ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            Buffer.add_string buf k;
+            Buffer.add_string buf "=\"";
+            Buffer.add_string buf (escape_label v);
+            Buffer.add_char buf '"')
+          labels;
+        Buffer.add_char buf '}');
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf (render_value s.value);
+    Buffer.add_char buf '\n'
+
+  let prometheus () =
+    let colls = Mutex.protect registry_lock (fun () -> !collectors) in
+    let fams =
+      builtin_families ()
+      @ trace_families ()
+      @ List.concat_map (fun c -> c.run ()) colls
+    in
+    let fams =
+      List.stable_sort
+        (fun a b -> compare a.family_name b.family_name)
+        fams
+    in
+    (* Merge same-named families (two servers, say) under one header. *)
+    let buf = Buffer.create 1024 in
+    let rec go = function
+      | [] -> ()
+      | f :: rest ->
+          let same, rest =
+            List.partition (fun f' -> f'.family_name = f.family_name) rest
+          in
+          if f.family_help <> "" then
+            Printf.bprintf buf "# HELP %s %s\n" f.family_name f.family_help;
+          Printf.bprintf buf "# TYPE %s %s\n" f.family_name
+            (match f.family_type with
+            | `Counter -> "counter"
+            | `Gauge -> "gauge"
+            | `Histogram -> "histogram");
+          List.iter
+            (fun f' -> List.iter (render_sample buf) f'.samples)
+            (f :: same);
+          go rest
+    in
+    go fams;
+    Buffer.contents buf
+end

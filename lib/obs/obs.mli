@@ -1,0 +1,165 @@
+(** Unified low-overhead telemetry: span/event tracing into per-domain
+    ring buffers (exported as Chrome [trace_event] JSON) and a
+    process-wide metrics registry (exported in Prometheus text
+    exposition format).
+
+    The overhead discipline matches [Sb_fault]: every instrumentation
+    site costs exactly one [Atomic.get] while the tracer is disabled,
+    and [Span.with_] allocates nothing on that fast path when its thunk
+    is a named closure ([bench/main.exe --obs-only] measures it; a unit
+    test pins the allocation to zero minor words). *)
+
+val now_ns : unit -> int64
+(** Monotonic clock, nanoseconds (CLOCK_MONOTONIC via bechamel's
+    noalloc stub).  The zero point is arbitrary; only differences and
+    ordering are meaningful. *)
+
+module Span : sig
+  val with_ : string -> (unit -> 'a) -> 'a
+  (** [with_ name f] runs [f ()]; when the tracer is enabled it brackets
+      the call with begin/end events on the calling domain's lane.  The
+      end event is emitted even when [f] raises.  Disabled cost: one
+      atomic load, zero allocation. *)
+
+  val instant : ?args:(string * string) list -> string -> unit
+  (** A point event ([ph = "i"]) on the calling domain's lane. *)
+
+  val begin_ : string -> unit
+  (** Open a span that [end_] closes later — for spans that cannot wrap
+      a single call site.  Prefer [with_]: unbalanced begin/end pairs
+      are sanitized away at export time. *)
+
+  val end_ : string -> unit
+end
+
+module Trace : sig
+  val enabled : unit -> bool
+
+  val start : ?capacity:int -> unit -> unit
+  (** Enable tracing.  [capacity] (default 65536, rounded up to a power
+      of two) sizes each per-domain ring; once a ring wraps, the oldest
+      events are overwritten and counted in {!dropped}. *)
+
+  val stop : unit -> unit
+  (** Disable tracing; buffered events stay available for {!export}. *)
+
+  val reset : unit -> unit
+  (** Drop all buffered events (and the dropped count) without touching
+      the enabled flag. *)
+
+  val complete :
+    ?lane:int ->
+    ?args:(string * string) list ->
+    name:string ->
+    start_ns:int64 ->
+    dur_ns:int64 ->
+    unit ->
+    unit
+  (** A self-contained [ph = "X"] event with an explicit start and
+      duration — the safe way to record a lifecycle that crosses
+      threads (queue wait, a client request), where begin/end pairs
+      could interleave.  [lane] overrides the trace lane (default: the
+      calling domain's id). *)
+
+  val emitted : unit -> int
+  (** Events emitted since the last {!reset}, across all domains. *)
+
+  val dropped : unit -> int
+  (** Events lost to ring wrap-around since the last {!reset}. *)
+
+  val export : unit -> Json.t
+  (** The buffered events as a Chrome [trace_event] JSON object
+      ([{"traceEvents": [...]}], timestamps in microseconds, one [tid]
+      lane per domain), loadable in chrome://tracing or Perfetto.  Call
+      at a quiescent point (tracer stopped or emitters idle).  Per
+      lane, unmatched end events are dropped and unclosed begin events
+      are closed at the latest timestamp, so begin/end pairs always
+      balance even after ring overwrites. *)
+
+  val write_file : string -> unit
+  (** [export] rendered to a file. *)
+end
+
+module Metrics : sig
+  (** Process-wide named metrics.  Registered metrics live for the
+      process; re-registering a name returns the same cell (a kind
+      mismatch raises [Invalid_argument]).  Updates are atomic and
+      domain-safe.  Naming schema: [sbsched_<layer>_<name>], counters
+      suffixed [_total] (docs/OBSERVABILITY.md). *)
+
+  type counter
+  type gauge
+
+  val counter : ?help:string -> string -> counter
+  val incr : counter -> unit
+  val add : counter -> int -> unit
+  val counter_value : counter -> int
+
+  val gauge : ?help:string -> string -> gauge
+  val set_gauge : gauge -> float -> unit
+  val gauge_value : gauge -> float
+
+  module Histo : sig
+    (** A log2 histogram of non-negative integer samples (bucket [i]
+        holds values in [[2^i, 2^(i+1))]), with an exact count, sum and
+        maximum.  Percentiles report the bucket's upper edge clamped to
+        the exact maximum, so they can never overshoot the largest
+        recorded sample.  All cells are atomics. *)
+
+    type t
+
+    val n_buckets : int
+    val create : unit -> t
+    val observe : t -> int -> unit
+    val count : t -> int
+    val sum : t -> int
+    val max_value : t -> int
+    val bucket_count : t -> int -> int
+    val percentile : t -> float -> int
+  end
+
+  val histogram : ?help:string -> string -> Histo.t
+  (** Register a histogram in the exporter (or create standalone cells
+      with {!Histo.create} and export them through a collector). *)
+
+  (* ------------------------- export ------------------------------- *)
+
+  type sample = {
+    sample_name : string;
+    labels : (string * string) list;
+    value : float;
+  }
+
+  type family = {
+    family_name : string;
+    family_type : [ `Counter | `Gauge | `Histogram ];
+    family_help : string;
+    samples : sample list;
+  }
+
+  val counter_family :
+    name:string -> help:string -> ?label:string ->
+    (string * float) list -> family
+  (** Build a counter family from [(label value, sample value)] pairs;
+      without [label] the pairs' keys are ignored and each value is an
+      unlabelled sample (normally one). *)
+
+  val histo_family : name:string -> help:string -> Histo.t -> family list
+  (** A histogram family (cumulative [_bucket] samples, [_sum],
+      [_count]) plus a companion [<name>_max] gauge carrying the exact
+      maximum, which the Prometheus histogram type cannot express. *)
+
+  type collector
+
+  val register_collector : (unit -> family list) -> collector
+  (** Bridge an external source (Work counters, fault fire counts, a
+      server's stats) into {!prometheus}: the callback runs at export
+      time.  It must not raise. *)
+
+  val unregister_collector : collector -> unit
+
+  val prometheus : unit -> string
+  (** All registered metrics and collector families in Prometheus text
+      exposition format, families sorted by name (same-named families
+      are merged). *)
+end

@@ -1,5 +1,6 @@
 open Sb_ir
 open Sb_machine
+module Obs = Sb_obs.Obs
 
 type update_mode = Per_cycle | Light | Full
 
@@ -147,8 +148,10 @@ let select_branches st (sb : Superblock.t) infos order ~placeable =
   { outcomes; take_each = List.rev !te; take_one = take_one_list; rank = !rank }
 
 (* Section 5.4: use the pairwise bounds to accept profitable delays
-   (Delayed -> DelayedOk) and to propose order swaps. *)
-let apply_tradeoffs sb pw erc sel order =
+   (Delayed -> DelayedOk) and to propose order swaps.  With [record],
+   every accept/reject inspected — with the bound values that justified
+   it — is returned for the decision log ([] otherwise). *)
+let apply_tradeoffs ?(record = false) sb pw erc sel order =
   let nb = Superblock.n_branches sb in
   let value_for a other =
     (* Pairwise-optimal issue-cycle bound for branch [a] in pair
@@ -158,6 +161,7 @@ let apply_tradeoffs sb pw erc sel order =
     if a = i then p.Sb_bounds.Pairwise.x else p.Sb_bounds.Pairwise.y
   in
   let swap = ref None in
+  let log = ref [] in
   let pos = Array.make nb (-1) in
   List.iteri (fun idx k -> pos.(k) <- idx) order;
   for i = 0 to nb - 1 do
@@ -166,7 +170,18 @@ let apply_tradeoffs sb pw erc sel order =
         if i <> j && sel.outcomes.(j) = Selected then begin
           let ei = erc.(Superblock.branch_op sb i) in
           let ej = erc.(Superblock.branch_op sb j) in
-          if value_for i j > ei then
+          let accepted = value_for i j > ei in
+          if record then
+            log :=
+              {
+                Explain.delayed = i;
+                against = j;
+                pair_bound = value_for i j;
+                erc = ei;
+                accepted;
+              }
+              :: !log;
+          if accepted then
             (* The bound itself delays i when the pair is optimised:
                accept the delay. *)
             sel.outcomes.(i) <- DelayedOk
@@ -183,7 +198,7 @@ let apply_tradeoffs sb pw erc sel order =
       | Delayed -> rank := !rank -. Superblock.weight sb k
       | Ignored -> ())
     sel.outcomes;
-  ({ sel with rank = !rank }, !swap)
+  ({ sel with rank = !rank }, !swap, List.rev !log)
 
 let swap_order order (i, j) =
   List.map (fun k -> if k = i then j else if k = j then i else k) order
@@ -249,8 +264,8 @@ let pick_op st (sb : Superblock.t) infos ~use_hlpdel candidates =
   List.fold_left (fun acc v -> if acc < 0 || better v acc then v else acc) (-1)
     candidates
 
-let schedule ?(options = default_options) ?(incremental = true) ?precomputed
-    ?analysis config (sb : Superblock.t) =
+let schedule_impl ?(options = default_options) ?(incremental = true)
+    ?precomputed ?analysis ?explain config (sb : Superblock.t) =
   let nb = Superblock.n_branches sb in
   let erc =
     match (precomputed, analysis) with
@@ -299,6 +314,7 @@ let schedule ?(options = default_options) ?(incremental = true) ?precomputed
   in
   let early_floor = if options.use_bounds then Some erc else None in
   let st = Scheduler_core.create config sb in
+  let explain_seq = ref 0 in
   let infos : Dyn_bounds.info option array = Array.make nb None in
   (* The incremental cache only serves the Full update mode: Light and
      Per_cycle deliberately run on stale info within a cycle (the paper's
@@ -325,11 +341,14 @@ let schedule ?(options = default_options) ?(incremental = true) ?precomputed
               (Dyn_bounds.analyze ?early_floor ?late_floor:late_floors.(k)
                  ~with_erc:true st ~branch_index:k)
   in
-  let recompute () =
+  let recompute_body () =
     for k = 0 to nb - 1 do
       recompute_one k
     done
   in
+  (* [recompute_body] is a named closure, so the disabled-tracer path
+     through [Span.with_] allocates nothing here. *)
+  let recompute () = Obs.Span.with_ "balance.recompute" recompute_body in
   let weight_order () =
     List.init nb (fun k -> k)
     |> List.filter (fun k -> infos.(k) <> None)
@@ -353,26 +372,38 @@ let schedule ?(options = default_options) ?(incremental = true) ?precomputed
         dirty := false
       end;
       let placeable v = Scheduler_core.is_placeable st v in
-      (* Branch selection with up to a few tradeoff-driven reorderings. *)
-      let rec refine order best iters =
-        let sel = select_branches st sb infos order ~placeable in
-        let sel, swap =
+      let record = explain <> None in
+      (* Branch selection with up to a few tradeoff-driven reorderings.
+         [best] carries the winning selection together with the order
+         that produced it and its tradeoff decisions (for the log);
+         [swaps] accumulates the reorderings actually applied. *)
+      let rec refine order best swaps iters =
+        let sel =
+          if Obs.Trace.enabled () then
+            Obs.Span.with_ "balance.select_branches" (fun () ->
+                select_branches st sb infos order ~placeable)
+          else select_branches st sb infos order ~placeable
+        in
+        let sel, swap, trade =
           match pw with
           | Some pw when options.use_tradeoff ->
-              apply_tradeoffs sb pw erc sel order
-          | _ -> (sel, None)
+              apply_tradeoffs ~record sb pw erc sel order
+          | _ -> (sel, None, [])
         in
         let best =
           match best with
-          | Some b when b.rank >= sel.rank -> Some b
-          | _ -> Some sel
+          | Some (b, _, _) when b.rank >= sel.rank -> best
+          | _ -> Some (sel, order, trade)
         in
         match swap with
-        | Some s when iters > 0 -> refine (swap_order order s) best (iters - 1)
-        | _ -> best
+        | Some s when iters > 0 ->
+            refine (swap_order order s) best (s :: swaps) (iters - 1)
+        | _ -> (best, List.rev swaps)
       in
-      let sel = refine (weight_order ()) None 3 in
-      let sel = match sel with Some s -> s | None -> assert false in
+      let best, swaps = refine (weight_order ()) None [] 3 in
+      let sel, sel_order, sel_trade =
+        match best with Some (s, o, t) -> (s, o, t) | None -> assert false
+      in
       let need_candidates =
         let from_needs =
           sel.take_each @ List.concat_map (fun (_, ops) -> ops) sel.take_one
@@ -382,7 +413,49 @@ let schedule ?(options = default_options) ?(incremental = true) ?precomputed
       let candidates =
         if need_candidates = [] then candidates0 else need_candidates
       in
-      let v = pick_op st sb infos ~use_hlpdel:options.use_hlpdel candidates in
+      let v =
+        if Obs.Trace.enabled () then
+          Obs.Span.with_ "balance.pick_op" (fun () ->
+              pick_op st sb infos ~use_hlpdel:options.use_hlpdel candidates)
+        else pick_op st sb infos ~use_hlpdel:options.use_hlpdel candidates
+      in
+      (match explain with
+      | None -> ()
+      | Some log ->
+          let outcome_name = function
+            | Selected -> "selected"
+            | DelayedOk -> "delayed-ok"
+            | Delayed -> "delayed"
+            | Ignored -> "ignored"
+          in
+          let branches = ref [] in
+          for k = nb - 1 downto 0 do
+            match infos.(k) with
+            | None -> ()
+            | Some (info : Dyn_bounds.info) ->
+                branches :=
+                  {
+                    Explain.branch = k;
+                    b_op = info.Dyn_bounds.b_op;
+                    early = info.Dyn_bounds.early;
+                    outcome = outcome_name sel.outcomes.(k);
+                  }
+                  :: !branches
+          done;
+          log
+            {
+              Explain.seq = !explain_seq;
+              cycle = Scheduler_core.cycle st;
+              order = sel_order;
+              branches = !branches;
+              tradeoffs = sel_trade;
+              swaps;
+              take_each = sel.take_each;
+              take_one = sel.take_one;
+              candidates;
+              pick = v;
+            };
+          incr explain_seq);
       if Sys.getenv_opt "BALANCE_TRACE" = Some "2" then
         Array.iter
           (fun info ->
@@ -442,3 +515,8 @@ let schedule ?(options = default_options) ?(incremental = true) ?precomputed
     end
   done;
   Scheduler_core.to_schedule st
+
+let schedule ?options ?incremental ?precomputed ?analysis ?explain config sb =
+  Obs.Span.with_ "sched.balance" (fun () ->
+      schedule_impl ?options ?incremental ?precomputed ?analysis ?explain
+        config sb)

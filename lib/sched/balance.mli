@@ -46,12 +46,20 @@ val schedule :
   ?incremental:bool ->
   ?precomputed:Sb_bounds.Superblock_bound.all ->
   ?analysis:Sb_bounds.Analysis.t ->
+  ?explain:(Explain.step -> unit) ->
   Sb_machine.Config.t ->
   Sb_ir.Superblock.t ->
   Schedule.t
 (** Schedules a superblock.  [precomputed] reuses bound work (EarlyRC and
     the pairwise context) from an {!Sb_bounds.Superblock_bound.all_bounds}
     call on the same superblock and machine.
+
+    [explain] receives one {!Explain.step} per scheduling decision — the
+    dynamic Early bounds the selection saw, every pairwise accept/reject
+    with the bound values that justified it, and the Hedge tiebreak
+    winner.  The callback runs on the scheduling thread; keep it cheap
+    (the [--explain] CLI sink serializes to JSONL).  Capture cost is only
+    paid when the callback is supplied.
 
     [analysis] (used only when [precomputed] is absent) shares the
     weight-independent static context — EarlyRC, reverse-LC arrays,

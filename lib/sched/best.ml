@@ -93,7 +93,7 @@ let cross_product_only ?(incremental = false) config sb =
     grid;
   match !best with Some s -> s | None -> assert false
 
-let schedule ?(incremental = true) ?precomputed ?primaries config sb =
+let schedule_impl ?(incremental = true) ?precomputed ?primaries config sb =
   let primaries =
     match primaries with
     | Some ((ss : Schedule.t list), work) when List.length ss = 6 ->
@@ -115,3 +115,7 @@ let schedule ?(incremental = true) ?precomputed ?primaries config sb =
         ]
   in
   List.fold_left min_schedule (cross_product_only ~incremental config sb) primaries
+
+let schedule ?incremental ?precomputed ?primaries config sb =
+  Sb_obs.Obs.Span.with_ "sched.best" (fun () ->
+      schedule_impl ?incremental ?precomputed ?primaries config sb)

@@ -285,7 +285,8 @@ module Cache = struct
   let invalidate slot =
     if slot.valid then begin
       slot.valid <- false;
-      Sb_bounds.Work.add "cache.dyn.inval" 1
+      Sb_bounds.Work.add "cache.dyn.inval" 1;
+      Sb_obs.Obs.Span.instant "dyn.invalidate"
     end
 
   let fix_frontier t slot info =
@@ -515,8 +516,13 @@ module Cache = struct
             | None -> None
           in
           let info =
-            analyze ?early_floor:t.early_floor ?late_floor
-              ~with_erc:t.with_erc t.st ~branch_index
+            if Sb_obs.Obs.Trace.enabled () then
+              Sb_obs.Obs.Span.with_ "dyn.analyze" (fun () ->
+                  analyze ?early_floor:t.early_floor ?late_floor
+                    ~with_erc:t.with_erc t.st ~branch_index)
+            else
+              analyze ?early_floor:t.early_floor ?late_floor
+                ~with_erc:t.with_erc t.st ~branch_index
           in
           slot.info <- Some info;
           slot.valid <- true;

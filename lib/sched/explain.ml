@@ -1,0 +1,188 @@
+(* The Balance decision log (ISSUE 5): one record per scheduling
+   decision, capturing exactly the evidence the heuristic acted on — the
+   dynamic Early bounds it saw, every pairwise accept/reject with the
+   bound values that justified it, the order swaps it tried, the
+   committed needs and the Hedge tiebreak winner.  The replay test
+   (test_obs) reconstructs the engine state at each record and checks
+   the logged values against freshly recomputed bounds. *)
+
+type tradeoff = {
+  delayed : int;  (* branch index with outcome Delayed *)
+  against : int;  (* the Selected branch it is weighed against *)
+  pair_bound : int;
+      (* pairwise-optimal issue-cycle bound for [delayed] in the pair
+         {delayed, against} (Theorem 2) *)
+  erc : int;  (* static EarlyRC of [delayed]'s branch op *)
+  accepted : bool;  (* pair_bound > erc: the delay was accepted *)
+}
+
+type branch_line = {
+  branch : int;
+  b_op : int;
+  early : int;  (* dynamic Early bound the heuristic saw *)
+  outcome : string;  (* selected | delayed-ok | delayed | ignored *)
+}
+
+type step = {
+  seq : int;  (* decision index within the run *)
+  cycle : int;
+  order : int list;  (* branch order of the final selection *)
+  branches : branch_line list;  (* live (unscheduled) branches *)
+  tradeoffs : tradeoff list;  (* pairwise decisions of the final selection *)
+  swaps : (int * int) list;  (* order swaps applied during refinement *)
+  take_each : int list;
+  take_one : (int * int list) list;
+  candidates : int list;
+  pick : int;
+}
+
+(* ------------------------------ JSON ------------------------------- *)
+
+let ints l = Sb_obs.Json.List (List.map (fun i -> Sb_obs.Json.Int i) l)
+
+let tradeoff_to_json t =
+  Sb_obs.Json.Assoc
+    [
+      ("delayed", Sb_obs.Json.Int t.delayed);
+      ("against", Sb_obs.Json.Int t.against);
+      ("pair_bound", Sb_obs.Json.Int t.pair_bound);
+      ("erc", Sb_obs.Json.Int t.erc);
+      ("accepted", Sb_obs.Json.Bool t.accepted);
+    ]
+
+let branch_to_json b =
+  Sb_obs.Json.Assoc
+    [
+      ("branch", Sb_obs.Json.Int b.branch);
+      ("op", Sb_obs.Json.Int b.b_op);
+      ("early", Sb_obs.Json.Int b.early);
+      ("outcome", Sb_obs.Json.String b.outcome);
+    ]
+
+let step_to_json ?sb ?machine s =
+  let ctx =
+    (match sb with Some n -> [ ("sb", Sb_obs.Json.String n) ] | None -> [])
+    @
+    match machine with
+    | Some m -> [ ("machine", Sb_obs.Json.String m) ]
+    | None -> []
+  in
+  Sb_obs.Json.Assoc
+    (ctx
+    @ [
+        ("seq", Sb_obs.Json.Int s.seq);
+        ("cycle", Sb_obs.Json.Int s.cycle);
+        ("order", ints s.order);
+        ("branches", Sb_obs.Json.List (List.map branch_to_json s.branches));
+        ("tradeoffs", Sb_obs.Json.List (List.map tradeoff_to_json s.tradeoffs));
+        ( "swaps",
+          Sb_obs.Json.List
+            (List.map
+               (fun (a, b) -> ints [ a; b ])
+               s.swaps) );
+        ("take_each", ints s.take_each);
+        ( "take_one",
+          Sb_obs.Json.List
+            (List.map
+               (fun (r, ops) ->
+                 Sb_obs.Json.Assoc
+                   [ ("resource", Sb_obs.Json.Int r); ("ops", ints ops) ])
+               s.take_one) );
+        ("candidates", ints s.candidates);
+        ("pick", Sb_obs.Json.Int s.pick);
+      ])
+
+(* Parsing (for the replay test and external consumers of --explain
+   output). *)
+
+let ( let* ) = Result.bind
+
+let as_int = function
+  | Sb_obs.Json.Int i -> Ok i
+  | j -> Error (Printf.sprintf "expected int, got %s" (Sb_obs.Json.to_string j))
+
+let as_list f = function
+  | Sb_obs.Json.List l ->
+      List.fold_left
+        (fun acc j ->
+          let* acc = acc in
+          let* v = f j in
+          Ok (v :: acc))
+        (Ok []) l
+      |> Result.map List.rev
+  | j ->
+      Error (Printf.sprintf "expected list, got %s" (Sb_obs.Json.to_string j))
+
+let field name j =
+  match Sb_obs.Json.member name j with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let int_field name j = Result.join (Result.map as_int (field name j))
+
+let ints_field name j =
+  let* v = field name j in
+  as_list as_int v
+
+let tradeoff_of_json j =
+  let* delayed = int_field "delayed" j in
+  let* against = int_field "against" j in
+  let* pair_bound = int_field "pair_bound" j in
+  let* erc = int_field "erc" j in
+  let* accepted =
+    match Sb_obs.Json.member "accepted" j with
+    | Some (Sb_obs.Json.Bool b) -> Ok b
+    | _ -> Error "missing or non-bool field \"accepted\""
+  in
+  Ok { delayed; against; pair_bound; erc; accepted }
+
+let branch_of_json j =
+  let* branch = int_field "branch" j in
+  let* b_op = int_field "op" j in
+  let* early = int_field "early" j in
+  let* outcome =
+    match Sb_obs.Json.member "outcome" j with
+    | Some (Sb_obs.Json.String s) -> Ok s
+    | _ -> Error "missing or non-string field \"outcome\""
+  in
+  Ok { branch; b_op; early; outcome }
+
+let step_of_json j =
+  let* seq = int_field "seq" j in
+  let* cycle = int_field "cycle" j in
+  let* order = ints_field "order" j in
+  let* branches =
+    let* v = field "branches" j in
+    as_list branch_of_json v
+  in
+  let* tradeoffs =
+    let* v = field "tradeoffs" j in
+    as_list tradeoff_of_json v
+  in
+  let* swaps =
+    let* v = field "swaps" j in
+    as_list
+      (fun j ->
+        let* pair = as_list as_int j in
+        match pair with
+        | [ a; b ] -> Ok (a, b)
+        | _ -> Error "swap must be a 2-element list")
+      v
+  in
+  let* take_each = ints_field "take_each" j in
+  let* take_one =
+    let* v = field "take_one" j in
+    as_list
+      (fun j ->
+        let* r = int_field "resource" j in
+        let* ops = ints_field "ops" j in
+        Ok (r, ops))
+      v
+  in
+  let* candidates = ints_field "candidates" j in
+  let* pick = int_field "pick" j in
+  Ok
+    {
+      seq; cycle; order; branches; tradeoffs; swaps; take_each; take_one;
+      candidates; pick;
+    }

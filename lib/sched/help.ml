@@ -1,6 +1,6 @@
 open Sb_ir
 
-let schedule ?(incremental = true) config (sb : Superblock.t) =
+let schedule_impl ?(incremental = true) config (sb : Superblock.t) =
   let st = Scheduler_core.create config sb in
   let nb = Superblock.n_branches sb in
   let n = Superblock.n_ops sb in
@@ -68,3 +68,7 @@ let schedule ?(incremental = true) config (sb : Superblock.t) =
     end
   done;
   Scheduler_core.to_schedule st
+
+let schedule ?incremental config sb =
+  Sb_obs.Obs.Span.with_ "sched.help" (fun () ->
+      schedule_impl ?incremental config sb)

@@ -4,14 +4,29 @@ type heuristic = {
   run : Sb_machine.Config.t -> Sb_ir.Superblock.t -> Schedule.t;
 }
 
+(* Trace lane annotation: one span per heuristic run.  Help, Balance and
+   Best open their own spans inside [schedule] (the evaluation calls
+   them directly, bypassing this table). *)
+let traced name run config sb =
+  Sb_obs.Obs.Span.with_ name (fun () -> run config sb)
+
 let sr =
-  { name = "successive-retirement"; short = "SR"; run = Successive_retirement.schedule }
+  {
+    name = "successive-retirement";
+    short = "SR";
+    run = traced "sched.sr" Successive_retirement.schedule;
+  }
 
-let cp = { name = "critical-path"; short = "CP"; run = Critical_path.schedule }
+let cp =
+  {
+    name = "critical-path";
+    short = "CP";
+    run = traced "sched.cp" Critical_path.schedule;
+  }
 
-let gstar = { name = "gstar"; short = "G*"; run = Gstar.schedule }
+let gstar = { name = "gstar"; short = "G*"; run = traced "sched.gstar" Gstar.schedule }
 
-let dhasy = { name = "dhasy"; short = "DHASY"; run = Dhasy.schedule }
+let dhasy = { name = "dhasy"; short = "DHASY"; run = traced "sched.dhasy" Dhasy.schedule }
 
 let help = { name = "help"; short = "Help"; run = Help.schedule }
 

@@ -1,5 +1,7 @@
 (* Protocol client and load generator. *)
 
+module Obs = Sb_obs.Obs
+
 type t = {
   ic : in_channel;
   oc : out_channel;
@@ -54,6 +56,10 @@ let send_schedule t ~id ?heuristic ?machine ?bounds ?issue ?deadline_ms sb =
 
 let send_stats t ~id =
   output_string t.oc (Printf.sprintf "stats %s\n" id);
+  flush t.oc
+
+let send_metrics t ~id =
+  output_string t.oc (Printf.sprintf "metrics %s\n" id);
   flush t.oc
 
 let send_ping t ~id =
@@ -237,10 +243,28 @@ module Loadgen = struct
           incr i;
           let id = Printf.sprintf "c%d-%d" index !i in
           let t0 = Unix.gettimeofday () in
+          let t0_ns = Obs.now_ns () in
           acc.w_sent <- acc.w_sent + 1;
-          match
-            session_schedule s ~id ?heuristic ?bounds ?deadline_ms sb
-          with
+          let r = session_schedule s ~id ?heuristic ?bounds ?deadline_ms sb in
+          (* Workers are sys-threads of one domain, so they would all
+             share the domain lane; an explicit per-connection lane
+             keeps each connection's requests on its own trace row. *)
+          (if Obs.Trace.enabled () then
+             let now = Obs.now_ns () in
+             let status =
+               match r with
+               | Ok (Protocol.Ok_schedule _) -> "ok"
+               | Ok (Protocol.Error_reply { code = Protocol.Busy; _ }) ->
+                   "busy"
+               | Ok _ -> "error"
+               | Error _ -> "transport"
+             in
+             Obs.Trace.complete
+               ~lane:(index + 1)
+               ~args:[ ("id", id); ("status", status) ]
+               ~name:"loadgen.request" ~start_ns:t0_ns
+               ~dur_ns:(Int64.sub now t0_ns) ());
+          match r with
           | Ok (Protocol.Ok_schedule { result; _ }) ->
               let dt =
                 int_of_float ((Unix.gettimeofday () -. t0) *. 1e6)

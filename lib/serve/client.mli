@@ -36,6 +36,11 @@ val send_schedule :
 (** Write (and flush) one schedule request. *)
 
 val send_stats : t -> id:string -> unit
+
+val send_metrics : t -> id:string -> unit
+(** Request the server's metrics registry as a Prometheus text page
+    (the reply's [body]). *)
+
 val send_ping : t -> id:string -> unit
 
 val read_reply : t -> (Protocol.reply, string) result

@@ -23,10 +23,11 @@ type request =
       sb : Sb_ir.Superblock.t;
     }
   | Stats of string
+  | Metrics of string
   | Ping of string
 
 let request_id = function
-  | Schedule { id; _ } | Stats id | Ping id -> id
+  | Schedule { id; _ } | Stats id | Metrics id | Ping id -> id
 
 type error_code = Parse | Bad_request | Busy | Shutdown | Internal
 
@@ -59,6 +60,9 @@ type sched_reply = {
 type reply =
   | Ok_schedule of { id : string; result : sched_reply }
   | Ok_stats of { id : string; fields : (string * string) list }
+  | Ok_metrics of { id : string; body : string }
+      (* [body] is a Prometheus text page; it rides the line protocol
+         %S-escaped so framing stays one line per reply. *)
   | Ok_pong of { id : string }
   | Error_reply of { id : string; code : error_code; msg : string }
 
@@ -88,6 +92,8 @@ let render_reply = function
       String.concat " "
         (Printf.sprintf "ok %s kind=stats" id
         :: List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) fields)
+  | Ok_metrics { id; body } ->
+      Printf.sprintf "ok %s kind=metrics body=%S" id body
   | Ok_pong { id } -> Printf.sprintf "ok %s kind=pong" id
   | Error_reply { id; code; msg } ->
       Printf.sprintf "error %s code=%s msg=%S" id (error_code_to_string code)
@@ -231,6 +237,23 @@ let parse_reply line =
   | "ok" :: id :: "kind=stats" :: rest ->
       let* fields = parse_stats_fields rest in
       Ok (Ok_stats { id; fields })
+  | "ok" :: id :: "kind=metrics" :: _ -> (
+      (* The body is everything after [body=], %S-quoted (it contains
+         spaces, so the word split above can't carry it). *)
+      let marker = " body=" in
+      let rec search i =
+        if i + String.length marker > String.length line then None
+        else if String.sub line i (String.length marker) = marker then
+          Some (i + String.length marker)
+        else search (i + 1)
+      in
+      match search 0 with
+      | None -> Error "metrics reply missing body="
+      | Some start -> (
+          let quoted = String.sub line start (String.length line - start) in
+          match Scanf.sscanf quoted "%S" Fun.id with
+          | body -> Ok (Ok_metrics { id; body })
+          | exception _ -> Error "metrics reply body is not %S-quoted"))
   | [ "ok"; id; "kind=pong" ] -> Ok (Ok_pong { id })
   | "error" :: id :: code :: _ -> (
       let* _, code_v = key_value code in
@@ -341,6 +364,7 @@ module Reader = struct
         match split_ws (String.trim line) with
         | [] -> None
         | [ "stats"; id ] -> Some (Request (Stats id))
+        | [ "metrics"; id ] -> Some (Request (Metrics id))
         | [ "ping"; id ] -> Some (Request (Ping id))
         | "schedule" :: id :: kvs -> (
             match parse_sched_kvs kvs with

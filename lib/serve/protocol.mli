@@ -12,7 +12,8 @@
     end
     v}
 
-    or one of the single-line requests [stats <id>] / [ping <id>].  The
+    or one of the single-line requests [stats <id>] / [metrics <id>] /
+    [ping <id>].  The
     server answers every request with exactly one line: [ok <id> ...] or
     [error <id> code=... msg=...].  See docs/PROTOCOL.md for the full
     grammar, the error codes and the deadline semantics. *)
@@ -34,6 +35,8 @@ type request =
       sb : Sb_ir.Superblock.t;
     }
   | Stats of string  (** the request id *)
+  | Metrics of string
+      (** the request id; answered with a Prometheus text page *)
   | Ping of string  (** the request id *)
 
 val request_id : request -> string
@@ -64,6 +67,9 @@ type sched_reply = {
 type reply =
   | Ok_schedule of { id : string; result : sched_reply }
   | Ok_stats of { id : string; fields : (string * string) list }
+  | Ok_metrics of { id : string; body : string }
+      (** [body] is the Prometheus text page, carried [%S]-escaped on
+          the wire so a reply stays one line *)
   | Ok_pong of { id : string }
   | Error_reply of { id : string; code : error_code; msg : string }
       (** [id] is ["-"] when the offending request's id is unknown *)

@@ -88,12 +88,16 @@ let conn_reader_done conn =
   Mutex.unlock conn.write_lock;
   if close then conn.on_close ()
 
+module Obs = Sb_obs.Obs
+
 type pending = {
   id : string;
   options : Protocol.sched_options;
   sb : Sb_ir.Superblock.t;
   conn : conn;
   t_accept : float;
+  t_accept_ns : int64;
+      (* monotonic acceptance stamp for the queue-wait trace event *)
 }
 
 type t = {
@@ -106,6 +110,7 @@ type t = {
   mutable dispatcher : Thread.t;
   join_lock : Mutex.t;
   mutable joined : bool;
+  mutable collector : Obs.Metrics.collector option;
 }
 
 let config t = t.cfg
@@ -152,6 +157,17 @@ let send conn reply =
 (* --------------------------- processing --------------------------- *)
 
 let process t pending =
+  Obs.Span.with_ "serve.process" @@ fun () ->
+  (* One self-contained X event per request for its queue wait, on the
+     lane of the domain that ended up processing it — begin/end pairs
+     would interleave across the reader thread and the pool. *)
+  if Obs.Trace.enabled () then begin
+    let now = Obs.now_ns () in
+    Obs.Trace.complete
+      ~args:[ ("id", pending.id) ]
+      ~name:"serve.queue_wait" ~start_ns:pending.t_accept_ns
+      ~dur_ns:(Int64.sub now pending.t_accept_ns) ()
+  end;
   let opts = pending.options in
   let machine = Option.value opts.machine ~default:t.cfg.machine in
   let deadline =
@@ -229,7 +245,8 @@ let dispatcher_loop t =
         (match t.cfg.before_batch with Some f -> f () | None -> ());
         (* process never raises, so the whole batch always completes and
            every request gets exactly one reply. *)
-        ignore (Sb_eval.Parpool.map t.pool (process t) batch : unit list);
+        Obs.Span.with_ "serve.batch" (fun () ->
+            ignore (Sb_eval.Parpool.map t.pool (process t) batch : unit list));
         Stats.set_work_snapshot t.stats (Sb_bounds.Work.report ());
         loop ()
   in
@@ -257,8 +274,14 @@ let create ?(config = default_config) () =
       dispatcher = Thread.self ();
       join_lock = Mutex.create ();
       joined = false;
+      collector = None;
     }
   in
+  t.collector <-
+    Some
+      (Obs.Metrics.register_collector (fun () ->
+           Stats.prometheus_families t.stats
+             ~queue_depth:(Queue.length t.queue)));
   t.dispatcher <- Thread.create (fun () -> dispatcher_loop t) ();
   t
 
@@ -278,6 +301,11 @@ let handle_request t conn req =
   | Protocol.Stats id ->
       ignore
         (send conn (Protocol.Ok_stats { id; fields = stats_fields t }) : bool)
+  | Protocol.Metrics id ->
+      ignore
+        (send conn
+           (Protocol.Ok_metrics { id; body = Obs.Metrics.prometheus () })
+          : bool)
   | Protocol.Schedule { id; options; sb } ->
       let refuse code msg =
         ignore (send conn (Protocol.Error_reply { id; code; msg }) : bool)
@@ -288,7 +316,14 @@ let handle_request t conn req =
       end
       else
         let pending =
-          { id; options; sb; conn; t_accept = Unix.gettimeofday () }
+          {
+            id;
+            options;
+            sb;
+            conn;
+            t_accept = Unix.gettimeofday ();
+            t_accept_ns = Obs.now_ns ();
+          }
         in
         (* Retained before the push so the dispatcher can never reply
            (and release) before the count covers the request. *)
@@ -459,5 +494,10 @@ let await t =
   Mutex.unlock t.join_lock;
   if first then begin
     Thread.join t.dispatcher;
-    Sb_eval.Parpool.shutdown t.pool
+    Sb_eval.Parpool.shutdown t.pool;
+    match t.collector with
+    | Some c ->
+        t.collector <- None;
+        Obs.Metrics.unregister_collector c
+    | None -> ()
   end

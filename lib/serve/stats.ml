@@ -1,10 +1,11 @@
 (* Live counters and a log2 latency histogram.
 
-   Buckets: bucket [i] holds latencies in [2^i, 2^(i+1)) microseconds;
-   32 buckets reach ~71 minutes, far beyond any plausible request.  A
-   percentile reports its bucket's upper edge, so the estimate errs on
-   the pessimistic side and is exact to within 2x — sufficient for load
-   reports without keeping every sample.
+   The histogram is an [Sb_obs.Obs.Metrics.Histo]: log2 microsecond
+   buckets ([2^i, 2^(i+1))), an exact count/sum/max, and the same
+   pessimistic upper-edge percentile estimator this module always had —
+   exact to within 2x, sufficient for load reports without keeping
+   every sample — now shared with the metrics registry so the [metrics]
+   request exports it in Prometheus form without a second copy.
 
    Concurrency: the independent event counters are [Atomic.t] — they
    are bumped from per-connection reader threads *and* pool worker
@@ -14,7 +15,7 @@
    reader never sees a half-applied reply (served bumped, bucket not
    yet). *)
 
-let n_buckets = 32
+module Obs = Sb_obs.Obs
 
 type t = {
   lock : Mutex.t;
@@ -29,9 +30,7 @@ type t = {
   idle_evicted : int Atomic.t;
   mutable served : int;
   mutable degraded : int;
-  buckets : int array;
-  mutable latency_sum_us : int;
-  mutable latency_max_us : int;
+  latency : Obs.Metrics.Histo.t;
   picks : (string, int) Hashtbl.t;
   mutable work : (string * int) list;
 }
@@ -50,9 +49,7 @@ let create () =
     idle_evicted = Atomic.make 0;
     served = 0;
     degraded = 0;
-    buckets = Array.make n_buckets 0;
-    latency_sum_us = 0;
-    latency_max_us = 0;
+    latency = Obs.Metrics.Histo.create ();
     picks = Hashtbl.create 8;
     work = [];
   }
@@ -70,47 +67,25 @@ let protocol_error t = Atomic.incr t.protocol_errors
 let internal_error t = Atomic.incr t.internal_errors
 let idle_evicted t = Atomic.incr t.idle_evicted
 
-let bucket_of_us us =
-  let us = max 1 us in
-  let rec log2 acc v = if v <= 1 then acc else log2 (acc + 1) (v lsr 1) in
-  min (n_buckets - 1) (log2 0 us)
-
 let served t ~heuristic ~degraded ~latency_us =
   with_lock t (fun () ->
       t.served <- t.served + 1;
       if degraded then t.degraded <- t.degraded + 1;
-      t.buckets.(bucket_of_us latency_us) <-
-        t.buckets.(bucket_of_us latency_us) + 1;
-      t.latency_sum_us <- t.latency_sum_us + latency_us;
-      t.latency_max_us <- max t.latency_max_us latency_us;
+      Obs.Metrics.Histo.observe t.latency latency_us;
       Hashtbl.replace t.picks heuristic
         (1 + Option.value ~default:0 (Hashtbl.find_opt t.picks heuristic)))
 
 let set_work_snapshot t work = with_lock t (fun () -> t.work <- work)
 
-(* Upper edge of the bucket holding the q-quantile sample. *)
-let percentile_locked t q =
-  if t.served = 0 then 0
-  else begin
-    let target =
-      max 1 (int_of_float (ceil (q *. float_of_int t.served)))
-    in
-    let rec scan i cum =
-      if i >= n_buckets then t.latency_max_us
-      else
-        let cum = cum + t.buckets.(i) in
-        if cum >= target then min t.latency_max_us (1 lsl (i + 1)) else scan (i + 1) cum
-    in
-    scan 0 0
-  end
-
-let percentile_latency_us t q = with_lock t (fun () -> percentile_locked t q)
+let percentile_latency_us t q =
+  with_lock t (fun () -> Obs.Metrics.Histo.percentile t.latency q)
 
 let mean_latency_us t =
   with_lock t (fun () ->
-      if t.served = 0 then 0 else t.latency_sum_us / t.served)
+      let n = Obs.Metrics.Histo.count t.latency in
+      if n = 0 then 0 else Obs.Metrics.Histo.sum t.latency / n)
 
-let max_latency_us t = with_lock t (fun () -> t.latency_max_us)
+let max_latency_us t = with_lock t (fun () -> Obs.Metrics.Histo.max_value t.latency)
 
 let snapshot t ~queue_depth =
   with_lock t (fun () ->
@@ -124,6 +99,7 @@ let snapshot t ~queue_depth =
       let work =
         List.map (fun (k, v) -> ("work." ^ k, i v)) (List.sort compare t.work)
       in
+      let p q = i (Obs.Metrics.Histo.percentile t.latency q) in
       [
         ("uptime_s",
          Printf.sprintf "%.1f" (Unix.gettimeofday () -. t.started_at));
@@ -140,10 +116,84 @@ let snapshot t ~queue_depth =
         ("idle_evicted", a t.idle_evicted);
         ("queue_depth", i queue_depth);
         ("latency_mean_us",
-         i (if t.served = 0 then 0 else t.latency_sum_us / t.served));
-        ("latency_p50_us", i (percentile_locked t 0.50));
-        ("latency_p95_us", i (percentile_locked t 0.95));
-        ("latency_p99_us", i (percentile_locked t 0.99));
-        ("latency_max_us", i t.latency_max_us);
+         i
+           (let n = Obs.Metrics.Histo.count t.latency in
+            if n = 0 then 0 else Obs.Metrics.Histo.sum t.latency / n));
+        ("latency_p50_us", p 0.50);
+        ("latency_p95_us", p 0.95);
+        ("latency_p99_us", p 0.99);
+        ("latency_max_us", i (Obs.Metrics.Histo.max_value t.latency));
       ]
       @ picks @ work)
+
+(* Prometheus families for the registry collector the server installs
+   while it runs.  Built under the lock, like [snapshot]. *)
+let prometheus_families t ~queue_depth =
+  with_lock t (fun () ->
+      let cf name help v =
+        Obs.Metrics.counter_family ~name ~help [ ("", float_of_int v) ]
+      in
+      let picks =
+        Hashtbl.fold (fun k v acc -> (k, float_of_int v) :: acc) t.picks []
+        |> List.sort compare
+      in
+      [
+        Obs.Metrics.counter_family ~name:"sbsched_serve_connections_total"
+          ~help:"Client connections accepted"
+          [ ("", float_of_int (Atomic.get t.connections_opened)) ];
+        {
+          Obs.Metrics.family_name = "sbsched_serve_connections_open";
+          family_type = `Gauge;
+          family_help = "Currently open client connections";
+          samples =
+            [
+              {
+                Obs.Metrics.sample_name = "sbsched_serve_connections_open";
+                labels = [];
+                value =
+                  float_of_int
+                    (Atomic.get t.connections_opened
+                    - Atomic.get t.connections_closed);
+              };
+            ];
+        };
+        {
+          Obs.Metrics.family_name = "sbsched_serve_queue_depth";
+          family_type = `Gauge;
+          family_help = "Schedule requests waiting in the dispatch queue";
+          samples =
+            [
+              {
+                Obs.Metrics.sample_name = "sbsched_serve_queue_depth";
+                labels = [];
+                value = float_of_int queue_depth;
+              };
+            ];
+        };
+        cf "sbsched_serve_accepted_total"
+          "Schedule requests admitted to the queue"
+          (Atomic.get t.accepted);
+        cf "sbsched_serve_served_total" "Schedule replies sent" t.served;
+        cf "sbsched_serve_degraded_total"
+          "Replies served by the degraded fallback heuristic" t.degraded;
+        Obs.Metrics.counter_family ~name:"sbsched_serve_rejected_total"
+          ~help:"Requests refused before scheduling" ~label:"reason"
+          [
+            ("busy", float_of_int (Atomic.get t.rejected_busy));
+            ("shutdown", float_of_int (Atomic.get t.rejected_shutdown));
+          ];
+        Obs.Metrics.counter_family ~name:"sbsched_serve_errors_total"
+          ~help:"Requests answered with an error" ~label:"kind"
+          [
+            ("protocol", float_of_int (Atomic.get t.protocol_errors));
+            ("internal", float_of_int (Atomic.get t.internal_errors));
+          ];
+        cf "sbsched_serve_idle_evicted_total"
+          "Connections closed by the idle read timeout"
+          (Atomic.get t.idle_evicted);
+        Obs.Metrics.counter_family ~name:"sbsched_serve_picks_total"
+          ~help:"Schedule replies by heuristic actually run"
+          ~label:"heuristic" picks;
+      ]
+      @ Obs.Metrics.histo_family ~name:"sbsched_serve_latency_us"
+          ~help:"Acceptance-to-reply latency in microseconds" t.latency)

@@ -62,3 +62,9 @@ val snapshot : t -> queue_depth:int -> (string * string) list
     [queue_depth], [uptime_*], latency percentiles, one
     [picks.<heuristic>] per heuristic run so far, and the cached
     [work.*] counters. *)
+
+val prometheus_families : t -> queue_depth:int -> Sb_obs.Obs.Metrics.family list
+(** The same counters as [sbsched_serve_*] Prometheus families
+    (including the latency histogram), for the registry collector the
+    server installs while it runs — what the [metrics] request and
+    [sbsched experiments --metrics] export. *)

@@ -1,0 +1,600 @@
+(* The telemetry layer (ISSUE 5): JSON encode/parse roundtrips, span
+   tracing (balanced begin/end per lane, zero allocation while
+   disabled), the metrics registry and its Prometheus exporter, the
+   histogram (exact count/sum/max, saturation), the Serve.Stats
+   migration onto it, the wire-protocol [metrics] request, and the
+   Balance decision log — including the replay test that reconstructs
+   the engine state at every logged decision and checks the logged
+   bound values against freshly recomputed ones. *)
+
+module Json = Sb_obs.Json
+module Obs = Sb_obs.Obs
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let parse_exn s =
+  match Json.parse s with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "parse %S failed: %s" s e
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_basics () =
+  check_bool "null" true (Json.equal (parse_exn "null") Json.Null);
+  check_bool "int" true (Json.equal (parse_exn "-42") (Json.Int (-42)));
+  check_bool "float" true (Json.equal (parse_exn "1.5") (Json.Float 1.5));
+  check_bool "exponent is float" true
+    (match parse_exn "1e3" with Json.Float f -> f = 1000. | _ -> false);
+  check_bool "nested" true
+    (Json.equal
+       (parse_exn {|{"a":[1,true,"x"],"b":{}}|})
+       (Json.Assoc
+          [
+            ("a", Json.List [ Json.Int 1; Json.Bool true; Json.String "x" ]);
+            ("b", Json.Assoc []);
+          ]));
+  check_bool "member" true
+    (Json.member "a" (parse_exn {|{"a":7}|}) = Some (Json.Int 7));
+  check_bool "member missing" true
+    (Json.member "z" (parse_exn {|{"a":7}|}) = None);
+  (* escapes, including a surrogate pair *)
+  check_bool "escapes" true
+    (match parse_exn {|"a\n\t\"\\\u0041\ud83d\ude00"|} with
+    | Json.String s -> s = "a\n\t\"\\A\xf0\x9f\x98\x80"
+    | _ -> false)
+
+let test_json_errors () =
+  let fails s =
+    match Json.parse s with
+    | Error _ -> true
+    | Ok _ -> Alcotest.failf "parse %S unexpectedly succeeded" s
+  in
+  check_bool "trailing garbage" true (fails "1 2");
+  check_bool "bare word" true (fails "nul");
+  check_bool "NaN rejected" true (fails "NaN");
+  check_bool "unterminated string" true (fails {|"abc|});
+  check_bool "raw control char" true (fails "\"a\x01b\"");
+  check_bool "lone surrogate" true (fails {|"\ud83d"|});
+  check_bool "trailing comma" true (fails "[1,]");
+  check_bool "error carries offset" true
+    (match Json.parse "[1, x]" with
+    | Error e -> contains e "4"
+    | Ok _ -> false)
+
+let test_json_float_rendering () =
+  (* Floats must re-parse as floats, whatever their value. *)
+  List.iter
+    (fun f ->
+      let s = Json.to_string (Json.Float f) in
+      match Json.parse s with
+      | Ok (Json.Float f') ->
+          check_bool (Printf.sprintf "float %s roundtrips" s) true
+            (Float.equal f f')
+      | Ok j ->
+          Alcotest.failf "%s parsed as %s, not a float" s (Json.to_string j)
+      | Error e -> Alcotest.failf "%s did not parse: %s" s e)
+    [ 0.; 5.; -3.25; 1e-9; 1.7976931348623157e308; Float.min_float ];
+  check_bool "non-finite rejected" true
+    (match Json.to_string (Json.Float Float.nan) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let json_gen =
+  let open QCheck.Gen in
+  let scalar =
+    oneof
+      [
+        return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun i -> Json.Int i) (int_range (-1_000_000) 1_000_000);
+        map (fun f -> Json.Float f) (float_range (-1e6) 1e6);
+        map (fun s -> Json.String s) (string_size (int_bound 12));
+      ]
+  in
+  let key = string_size ~gen:(char_range 'a' 'z') (int_range 1 6) in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          if n <= 0 then scalar
+          else
+            oneof
+              [
+                scalar;
+                map (fun l -> Json.List l) (list_size (int_bound 4) (self (n / 2)));
+                map
+                  (fun l -> Json.Assoc l)
+                  (list_size (int_bound 4)
+                     (pair key (self (n / 2))));
+              ])
+        (min n 6))
+
+let prop_json_roundtrip =
+  QCheck.Test.make ~name:"json: parse (to_string j) = j" ~count:500
+    (QCheck.make ~print:Json.to_string json_gen)
+    (fun j ->
+      match Json.parse (Json.to_string j) with
+      | Ok j' -> Json.equal j j'
+      | Error e -> QCheck.Test.fail_reportf "did not re-parse: %s" e)
+
+(* ------------------------------------------------------------------ *)
+(* Tracing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Every trace test owns the global tracer for its duration and leaves
+   it disabled and empty (alcotest runs cases sequentially). *)
+let with_tracer ?capacity f =
+  Obs.Trace.start ?capacity ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Trace.stop ();
+      Obs.Trace.reset ())
+    f
+
+let nop () = ()
+
+let test_disabled_span_zero_alloc () =
+  check_bool "tracer disabled" false (Obs.Trace.enabled ());
+  (* warm up (the first call may allocate lazily) *)
+  Obs.Span.with_ "warm" nop;
+  let words0 = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    Obs.Span.with_ "obs.test" nop
+  done;
+  let words = Gc.minor_words () -. words0 in
+  check_bool
+    (Printf.sprintf "disabled Span.with_ allocated %.0f minor words" words)
+    true (words = 0.);
+  (* and it emits nothing *)
+  check_int "no events" 0 (Obs.Trace.emitted ())
+
+let lanes_of_export json =
+  let events =
+    match Json.member "traceEvents" json with
+    | Some (Json.List l) -> l
+    | _ -> Alcotest.fail "export has no traceEvents list"
+  in
+  let lanes = Hashtbl.create 8 in
+  List.iter
+    (fun ev ->
+      let str k =
+        match Json.member k ev with
+        | Some (Json.String s) -> s
+        | _ -> Alcotest.failf "event missing string %S" k
+      in
+      let int k =
+        match Json.member k ev with
+        | Some (Json.Int i) -> i
+        | _ -> Alcotest.failf "event missing int %S" k
+      in
+      (match Json.member "ts" ev with
+      | Some (Json.Float _) | Some (Json.Int _) -> ()
+      | _ -> Alcotest.fail "event missing ts");
+      let tid = int "tid" in
+      let prev = try Hashtbl.find lanes tid with Not_found -> [] in
+      Hashtbl.replace lanes tid ((str "ph", str "name") :: prev))
+    events;
+  Hashtbl.fold (fun tid evs acc -> (tid, List.rev evs) :: acc) lanes []
+
+let check_balanced (tid, evs) =
+  let stack =
+    List.fold_left
+      (fun stack (ph, name) ->
+        match ph with
+        | "B" -> name :: stack
+        | "E" -> (
+            match stack with
+            | top :: rest ->
+                check_string
+                  (Printf.sprintf "lane %d: E matches B" tid)
+                  top name;
+                rest
+            | [] -> Alcotest.failf "lane %d: E %s with empty stack" tid name)
+        | "i" | "X" -> stack
+        | ph -> Alcotest.failf "lane %d: unknown ph %S" tid ph)
+      [] evs
+  in
+  check_int (Printf.sprintf "lane %d: all spans closed" tid) 0
+    (List.length stack)
+
+let test_span_export_shape () =
+  with_tracer (fun () ->
+      Obs.Span.with_ "outer" (fun () ->
+          Obs.Span.instant ~args:[ ("k", "v") ] "tick";
+          Obs.Span.with_ "inner" nop);
+      Obs.Span.begin_ "dangling";
+      (* never closed: export must close it *)
+      Obs.Trace.complete ~name:"xevt" ~start_ns:0L ~dur_ns:1000L ();
+      Obs.Trace.stop ();
+      let json = Obs.Trace.export () in
+      let lanes = lanes_of_export json in
+      List.iter check_balanced lanes;
+      let rendered = Json.to_string json in
+      check_bool "valid json" true (Result.is_ok (Json.parse rendered));
+      check_bool "has outer" true (contains rendered {|"outer"|});
+      check_bool "has instant" true (contains rendered {|"ph":"i"|});
+      check_bool "has complete dur" true (contains rendered {|"dur"|}))
+
+(* Three domains emit arbitrary nesting patterns concurrently into a
+   tiny (wrapping) ring; whatever survives must export as valid JSON
+   with balanced begin/end pairs on every lane. *)
+let prop_multidomain_balanced =
+  let pattern = QCheck.list_of_size QCheck.Gen.(int_bound 6) (QCheck.int_bound 4) in
+  QCheck.Test.make ~name:"trace: 3-domain export balances per lane" ~count:30
+    (QCheck.triple pattern pattern pattern)
+    (fun (p1, p2, p3) ->
+      with_tracer ~capacity:256 (fun () ->
+          let rec nest d =
+            if d <= 0 then Obs.Span.instant "leaf"
+            else Obs.Span.with_ "span" (fun () -> nest (d - 1))
+          in
+          let run p () = List.iter nest p in
+          let domains = List.map (fun p -> Domain.spawn (run p)) [ p2; p3 ] in
+          run p1 ();
+          List.iter Domain.join domains;
+          Obs.Trace.stop ();
+          let json = Obs.Trace.export () in
+          List.iter check_balanced (lanes_of_export json);
+          Result.is_ok (Json.parse (Json.to_string json))))
+
+let test_ring_wrap_drops_counted () =
+  with_tracer ~capacity:64 (fun () ->
+      for _ = 1 to 1_000 do
+        Obs.Span.instant "spin"
+      done;
+      check_int "emitted" 1_000 (Obs.Trace.emitted ());
+      check_bool "dropped > 0" true (Obs.Trace.dropped () > 0);
+      Obs.Trace.stop ();
+      let json = Obs.Trace.export () in
+      List.iter check_balanced (lanes_of_export json))
+
+(* ------------------------------------------------------------------ *)
+(* Histogram                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_histo_exact () =
+  let h = Obs.Metrics.Histo.create () in
+  let samples = [ 0; 1; 1; 3; 7; 100; 9_999; 123_456 ] in
+  List.iter (Obs.Metrics.Histo.observe h) samples;
+  check_int "count" (List.length samples) (Obs.Metrics.Histo.count h);
+  check_int "sum" (List.fold_left ( + ) 0 samples) (Obs.Metrics.Histo.sum h);
+  check_int "max" 123_456 (Obs.Metrics.Histo.max_value h);
+  check_int "p100 = exact max" 123_456 (Obs.Metrics.Histo.percentile h 1.0);
+  check_bool "p50 within factor 2" true
+    (let p = Obs.Metrics.Histo.percentile h 0.5 in
+     p >= 3 && p <= 14)
+
+let test_histo_saturation () =
+  (* Samples beyond the last bucket edge must not lose the exact max or
+     let a percentile overshoot it. *)
+  let h = Obs.Metrics.Histo.create () in
+  let huge = max_int / 2 in
+  Obs.Metrics.Histo.observe h 10;
+  Obs.Metrics.Histo.observe h huge;
+  Obs.Metrics.Histo.observe h (huge + 3);
+  check_int "count" 3 (Obs.Metrics.Histo.count h);
+  check_int "exact max survives saturation" (huge + 3)
+    (Obs.Metrics.Histo.max_value h);
+  List.iter
+    (fun q ->
+      check_bool
+        (Printf.sprintf "p%.0f <= max" (q *. 100.))
+        true
+        (Obs.Metrics.Histo.percentile h q <= huge + 3))
+    [ 0.5; 0.95; 0.99; 1.0 ];
+  check_int "p100 is the exact max" (huge + 3)
+    (Obs.Metrics.Histo.percentile h 1.0)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry / Prometheus                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_registry_and_prometheus () =
+  let c = Obs.Metrics.counter ~help:"test counter" "obs_test_total" in
+  let g = Obs.Metrics.gauge ~help:"test gauge" "obs_test_gauge" in
+  let h = Obs.Metrics.histogram ~help:"test histo" "obs_test_histo" in
+  Obs.Metrics.incr c;
+  Obs.Metrics.add c 4;
+  check_int "counter value" 5 (Obs.Metrics.counter_value c);
+  (* re-registering a name returns the same cell *)
+  let c' = Obs.Metrics.counter "obs_test_total" in
+  Obs.Metrics.incr c';
+  check_int "same cell" 6 (Obs.Metrics.counter_value c);
+  check_bool "kind mismatch raises" true
+    (match Obs.Metrics.gauge "obs_test_total" with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Obs.Metrics.set_gauge g 2.5;
+  check_bool "gauge value" true (Obs.Metrics.gauge_value g = 2.5);
+  Obs.Metrics.Histo.observe h 42;
+  let page = Obs.Metrics.prometheus () in
+  check_bool "counter family" true
+    (contains page "# TYPE obs_test_total counter");
+  check_bool "counter sample" true (contains page "obs_test_total 6");
+  check_bool "gauge sample" true (contains page "obs_test_gauge 2.5");
+  check_bool "histogram family" true
+    (contains page "# TYPE obs_test_histo histogram");
+  check_bool "histogram +Inf bucket" true
+    (contains page {|obs_test_histo_bucket{le="+Inf"} 1|});
+  check_bool "histogram companion max" true (contains page "obs_test_histo_max");
+  (* families come out sorted by name *)
+  let pos sub =
+    let rec go i =
+      if i + String.length sub > String.length page then -1
+      else if String.sub page i (String.length sub) = sub then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  check_bool "sorted families" true
+    (pos "obs_test_gauge" < pos "obs_test_histo"
+    && pos "obs_test_histo" < pos "obs_test_total")
+
+let test_collector_lifecycle () =
+  let coll =
+    Obs.Metrics.register_collector (fun () ->
+        [
+          Obs.Metrics.counter_family ~name:"obs_test_bridge_total"
+            ~help:"bridged" ~label:"key"
+            [ ("a", 1.); ("b", 2.) ];
+        ])
+  in
+  let page = Obs.Metrics.prometheus () in
+  check_bool "bridged family present" true
+    (contains page {|obs_test_bridge_total{key="a"} 1|});
+  check_bool "bridged label b" true
+    (contains page {|obs_test_bridge_total{key="b"} 2|});
+  Obs.Metrics.unregister_collector coll;
+  check_bool "gone after unregister" false
+    (contains (Obs.Metrics.prometheus ()) "obs_test_bridge_total")
+
+(* The library bridges: Work counters and fault fire counts appear in
+   the page under their registered families. *)
+let test_builtin_bridges () =
+  let page = Obs.Metrics.prometheus () in
+  check_bool "work family" true
+    (contains page "# TYPE sbsched_bounds_work_total counter");
+  check_bool "fault family" true
+    (contains page "# TYPE sbsched_fault_fired_total counter");
+  check_bool "respawn counter" true
+    (contains page "# TYPE sbsched_eval_respawned_total counter");
+  check_bool "watchdog counter" true
+    (contains page "# TYPE sbsched_fault_watchdog_timeouts_total counter")
+
+(* ------------------------------------------------------------------ *)
+(* Serve.Stats on the histogram                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_exact_max () =
+  let s = Sb_serve.Stats.create () in
+  let serve latency_us =
+    Sb_serve.Stats.accepted s;
+    Sb_serve.Stats.served s ~heuristic:"balance" ~degraded:false ~latency_us
+  in
+  serve 100;
+  serve 250;
+  serve 1_000_000_007;
+  (* saturates the log2 buckets *)
+  check_int "exact max" 1_000_000_007 (Sb_serve.Stats.max_latency_us s);
+  check_int "p100 clamps to exact max" 1_000_000_007
+    (Sb_serve.Stats.percentile_latency_us s 1.0);
+  check_bool "p50 <= max" true
+    (Sb_serve.Stats.percentile_latency_us s 0.5 <= 1_000_000_007);
+  check_int "mean exact" ((100 + 250 + 1_000_000_007) / 3)
+    (Sb_serve.Stats.mean_latency_us s);
+  (* snapshot still carries the same keys the wire format promises *)
+  let snap = Sb_serve.Stats.snapshot s ~queue_depth:0 in
+  List.iter
+    (fun k ->
+      check_bool (Printf.sprintf "snapshot has %s" k) true
+        (List.mem_assoc k snap))
+    [ "served"; "latency_p50_us"; "latency_p95_us"; "latency_max_us" ];
+  check_string "snapshot max" "1000000007" (List.assoc "latency_max_us" snap);
+  (* and the Prometheus view agrees *)
+  let fams = Sb_serve.Stats.prometheus_families s ~queue_depth:3 in
+  let page =
+    String.concat "\n"
+      (List.map
+         (fun (f : Obs.Metrics.family) ->
+           String.concat "\n"
+             (List.map
+                (fun (smp : Obs.Metrics.sample) ->
+                  Printf.sprintf "%s %g" smp.Obs.Metrics.sample_name
+                    smp.Obs.Metrics.value)
+                f.Obs.Metrics.samples))
+         fams)
+  in
+  check_bool "serve served total" true (contains page "sbsched_serve_served_total 3");
+  check_bool "serve latency max" true
+    (contains page "sbsched_serve_latency_us_max 1e+09")
+
+(* ------------------------------------------------------------------ *)
+(* Protocol: metrics request/reply                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_protocol_metrics () =
+  let module P = Sb_serve.Protocol in
+  (* request side: the reader accepts the one-liner *)
+  let r = P.Reader.create () in
+  (match P.Reader.feed r "metrics m7" with
+  | Some (P.Reader.Request (P.Metrics id)) -> check_string "id" "m7" id
+  | _ -> Alcotest.fail "metrics line did not parse as a request");
+  check_string "request_id" "m7" (P.request_id (P.Metrics "m7"));
+  (* reply side: a multi-line body with quotes survives the one-line
+     framing *)
+  let body = "# HELP x \"quoted\"\n# TYPE x counter\nx{k=\"v\"} 1\n" in
+  let line = P.render_reply (P.Ok_metrics { id = "m7"; body }) in
+  check_bool "one line" true (not (String.contains line '\n'));
+  (match P.parse_reply line with
+  | Ok (P.Ok_metrics { id; body = body' }) ->
+      check_string "id roundtrips" "m7" id;
+      check_string "body roundtrips" body body'
+  | Ok _ -> Alcotest.fail "parsed as a different reply"
+  | Error e -> Alcotest.failf "reply did not parse: %s" e)
+
+(* ------------------------------------------------------------------ *)
+(* The Balance decision log                                            *)
+(* ------------------------------------------------------------------ *)
+
+let machine = Sb_machine.Config.fs4
+
+let explain_sb =
+  let profile =
+    {
+      (Option.get (Sb_workload.Spec_model.by_name "gcc"))
+        .Sb_workload.Spec_model.profile
+      with Sb_workload.Generator.max_ops = 60
+    }
+  in
+  List.nth (Sb_workload.Generator.generate_many ~seed:0x0B5EL profile 8) 5
+
+let capture_steps sb =
+  let steps = ref [] in
+  let sched =
+    Sb_sched.Balance.schedule ~explain:(fun s -> steps := s :: !steps) machine
+      sb
+  in
+  (sched, List.rev !steps)
+
+let test_explain_json_roundtrip () =
+  let _, steps = capture_steps explain_sb in
+  check_bool "captured some decisions" true (List.length steps > 0);
+  List.iter
+    (fun (s : Sb_sched.Explain.step) ->
+      let j =
+        parse_exn
+          (Json.to_string (Sb_sched.Explain.step_to_json ~sb:"x" ~machine:"m" s))
+      in
+      match Sb_sched.Explain.step_of_json j with
+      | Ok s' -> check_bool "step roundtrips" true (s = s')
+      | Error e -> Alcotest.failf "step %d did not parse: %s" s.seq e)
+    steps
+
+(* The replay test: drive a fresh engine with the logged picks; at every
+   logged decision the engine must be in a state where freshly
+   recomputed dynamic bounds match the logged evidence, every logged
+   tradeoff must agree with the pairwise matrix, and the final schedule
+   must equal the one the logging run produced. *)
+let test_explain_replay () =
+  let module SC = Sb_sched.Scheduler_core in
+  let sb = explain_sb in
+  let sched, steps = capture_steps sb in
+  check_bool "captured some decisions" true (List.length steps > 0);
+  let erc = Sb_bounds.Langevin_cerny.early_rc machine sb in
+  let pw = Sb_bounds.Pairwise.compute machine sb ~early_rc:erc in
+  let analysis = Sb_bounds.Pairwise.analysis pw in
+  let nb = Sb_ir.Superblock.n_branches sb in
+  let late_floors =
+    Array.init nb (fun k -> Sb_bounds.Analysis.late_floor analysis k)
+  in
+  let st = SC.create machine sb in
+  let expect_seq = ref 0 in
+  List.iter
+    (fun (step : Sb_sched.Explain.step) ->
+      check_int "seq is dense" !expect_seq step.seq;
+      incr expect_seq;
+      (* cycles with no placeable candidate log nothing: catch up *)
+      while SC.cycle st < step.cycle do
+        SC.advance st
+      done;
+      check_int "cycle reachable by advances" step.cycle (SC.cycle st);
+      List.iter
+        (fun (b : Sb_sched.Explain.branch_line) ->
+          check_bool "logged branch is live" false
+            (SC.is_scheduled st b.b_op);
+          let info =
+            Sb_sched.Dyn_bounds.analyze ~early_floor:erc
+              ~late_floor:late_floors.(b.branch) ~with_erc:true st
+              ~branch_index:b.branch
+          in
+          check_int
+            (Printf.sprintf "step %d: branch %d op" step.seq b.branch)
+            b.b_op info.Sb_sched.Dyn_bounds.b_op;
+          check_int
+            (Printf.sprintf "step %d: branch %d early" step.seq b.branch)
+            b.early info.Sb_sched.Dyn_bounds.early)
+        step.branches;
+      List.iter
+        (fun (t : Sb_sched.Explain.tradeoff) ->
+          let i = min t.delayed t.against and j = max t.delayed t.against in
+          let p = Sb_bounds.Pairwise.get pw i j in
+          let pair_bound =
+            if t.delayed = i then p.Sb_bounds.Pairwise.x
+            else p.Sb_bounds.Pairwise.y
+          in
+          check_int
+            (Printf.sprintf "step %d: pair bound (%d vs %d)" step.seq
+               t.delayed t.against)
+            pair_bound t.pair_bound;
+          check_int "logged erc" erc.(Sb_ir.Superblock.branch_op sb t.delayed)
+            t.erc;
+          check_bool "accepted = pair_bound > erc" (pair_bound > t.erc)
+            t.accepted)
+        step.tradeoffs;
+      check_bool "pick was a logged candidate" true
+        (List.mem step.pick step.candidates);
+      SC.place st step.pick)
+    steps;
+  check_bool "all ops placed by the log" true (SC.finished st);
+  let replayed = SC.to_schedule st in
+  check_bool "replayed schedule identical" true
+    (replayed.Sb_sched.Schedule.issue = sched.Sb_sched.Schedule.issue);
+  check_bool "same objective" true
+    (Sb_sched.Schedule.weighted_completion_time replayed
+    = Sb_sched.Schedule.weighted_completion_time sched)
+
+(* ~explain must not change the schedule. *)
+let test_explain_is_pure () =
+  let plain = Sb_sched.Balance.schedule machine explain_sb in
+  let logged, _ = capture_steps explain_sb in
+  check_bool "same schedule with and without ~explain" true
+    (plain.Sb_sched.Schedule.issue = logged.Sb_sched.Schedule.issue)
+
+(* ------------------------------------------------------------------ *)
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suites =
+  [
+    ( "obs.json",
+      [
+        tc "basics and member" test_json_basics;
+        tc "strict parse errors" test_json_errors;
+        tc "float rendering" test_json_float_rendering;
+        QCheck_alcotest.to_alcotest prop_json_roundtrip;
+      ] );
+    ( "obs.trace",
+      [
+        tc "disabled span allocates nothing" test_disabled_span_zero_alloc;
+        tc "export shape and sanitation" test_span_export_shape;
+        tc "ring wrap counts drops" test_ring_wrap_drops_counted;
+        QCheck_alcotest.to_alcotest prop_multidomain_balanced;
+      ] );
+    ( "obs.metrics",
+      [
+        tc "histogram exact count/sum/max" test_histo_exact;
+        tc "histogram saturation" test_histo_saturation;
+        tc "registry and prometheus page" test_registry_and_prometheus;
+        tc "collector lifecycle" test_collector_lifecycle;
+        tc "library bridges registered" test_builtin_bridges;
+      ] );
+    ( "obs.serve",
+      [
+        tc "stats exact max and families" test_stats_exact_max;
+        tc "protocol metrics roundtrip" test_protocol_metrics;
+      ] );
+    ( "obs.explain",
+      [
+        tc "step json roundtrip" test_explain_json_roundtrip;
+        tc "replay matches recomputed bounds" test_explain_replay;
+        tc "explain does not perturb the schedule" test_explain_is_pure;
+      ] );
+  ]
