@@ -265,6 +265,125 @@ let run_timing () =
         (List.sort compare rows))
     all_tests
 
+(* layout: nested-array vs CSR traversal cost, per component.  The
+   struct-of-arrays refactor keeps the legacy [succs]/[preds] views
+   alive (materialised lazily, then cached), so both layouts of the
+   same graph can be timed side by side: "nested" walks the cached
+   [(dst, lat) array array], "csr" the flat offset/dst/lat arrays via
+   the zero-copy iterators, "indexed" the bounds-checked per-edge
+   accessors.  Components: a plain adjacency sweep in each direction,
+   and a full longest-path kernel written against each access style. *)
+let layout_tests =
+  let g = bench_sb.Sb_ir.Superblock.graph in
+  let big =
+    let profile =
+      { (Option.get (Sb_workload.Spec_model.by_name "gcc")).Sb_workload.Spec_model.profile
+        with Sb_workload.Generator.max_ops = 400 }
+    in
+    (List.nth (Sb_workload.Generator.generate_many ~seed:0x1A40CL profile 3) 1)
+      .Sb_ir.Superblock.graph
+  in
+  let module Dg = Sb_ir.Dep_graph in
+  (* Force the lazy nested views out of the timed region. *)
+  List.iter
+    (fun g ->
+      ignore (Dg.succs g 0);
+      ignore (Dg.preds g 0))
+    [ g; big ];
+  let sweep_nested g () =
+    let acc = ref 0 in
+    for v = 0 to Dg.n_nodes g - 1 do
+      Array.iter (fun (w, lat) -> acc := !acc + w + lat) (Dg.succs g v);
+      Array.iter (fun (p, lat) -> acc := !acc + p + lat) (Dg.preds g v)
+    done;
+    ignore !acc
+  in
+  let sweep_csr g () =
+    let acc = ref 0 in
+    for v = 0 to Dg.n_nodes g - 1 do
+      Dg.iter_succs g v (fun w lat -> acc := !acc + w + lat);
+      Dg.iter_preds g v (fun p lat -> acc := !acc + p + lat)
+    done;
+    ignore !acc
+  in
+  let sweep_indexed g () =
+    let acc = ref 0 in
+    for v = 0 to Dg.n_nodes g - 1 do
+      for i = 0 to Dg.out_degree g v - 1 do
+        acc := !acc + Dg.succ_dst_at g v i + Dg.succ_lat_at g v i
+      done;
+      for i = 0 to Dg.in_degree g v - 1 do
+        acc := !acc + Dg.pred_src_at g v i + Dg.pred_lat_at g v i
+      done
+    done;
+    ignore !acc
+  in
+  (* The same longest-path-from-sources kernel against both layouts. *)
+  let longest_nested g () =
+    let early = Array.make (Dg.n_nodes g) 0 in
+    Array.iter
+      (fun v ->
+        Array.iter
+          (fun (w, lat) ->
+            if early.(v) + lat > early.(w) then early.(w) <- early.(v) + lat)
+          (Dg.succs g v))
+      (Dg.topo_order g);
+    ignore early
+  in
+  let longest_csr g () =
+    let early = Array.make (Dg.n_nodes g) 0 in
+    Array.iter
+      (fun v ->
+        Dg.iter_succs g v (fun w lat ->
+            if early.(v) + lat > early.(w) then early.(w) <- early.(v) + lat))
+      (Dg.topo_order g);
+    ignore early
+  in
+  let group name g =
+    Test.make_grouped ~name
+      [
+        Test.make ~name:"sweep-nested" (stage (sweep_nested g));
+        Test.make ~name:"sweep-csr" (stage (sweep_csr g));
+        Test.make ~name:"sweep-indexed" (stage (sweep_indexed g));
+        Test.make ~name:"longest-nested" (stage (longest_nested g));
+        Test.make ~name:"longest-csr" (stage (longest_csr g));
+      ]
+  in
+  [
+    group
+      (Printf.sprintf "layout-n%d-m%d" (Dg.n_nodes g) (Dg.n_edges g))
+      g;
+    group
+      (Printf.sprintf "layout-n%d-m%d" (Dg.n_nodes big) (Dg.n_edges big))
+      big;
+  ]
+
+let run_layout () =
+  print_endline "== nested-array vs CSR traversal (OLS estimate per run) ==";
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  List.iter
+    (fun tests ->
+      let raw = Benchmark.all cfg instances tests in
+      let results = Analyze.all ols (List.hd instances) raw in
+      let rows = Hashtbl.fold (fun name o acc -> (name, o) :: acc) results [] in
+      List.iter
+        (fun (name, o) ->
+          let est =
+            match Analyze.OLS.estimates o with
+            | Some (e :: _) ->
+                if e > 1e6 then Printf.sprintf "%10.2f ms/run" (e /. 1e6)
+                else if e > 1e3 then Printf.sprintf "%10.2f us/run" (e /. 1e3)
+                else Printf.sprintf "%10.0f ns/run" e
+            | _ -> "        n/a"
+          in
+          Printf.printf "  %-42s %s\n%!" name est)
+        (List.sort compare rows))
+    layout_tests
+
 (* parallel-speedup: serial vs N-domain wall clock of the corpus
    evaluation (the `sbsched experiments` hot path) on the default
    corpus slice, verifying along the way that the parallel records
@@ -611,6 +730,7 @@ let () =
   let scale = ref 0.02 in
   let tables = ref true
   and timing = ref true
+  and layout = ref true
   and speedup = ref true
   and incremental = ref true
   and serve = ref true
@@ -619,6 +739,7 @@ let () =
   let only what =
     tables := false;
     timing := false;
+    layout := false;
     speedup := false;
     incremental := false;
     serve := false;
@@ -636,6 +757,9 @@ let () =
         parse rest
     | "--timing-only" :: rest ->
         only timing;
+        parse rest
+    | "--layout-only" :: rest ->
+        only layout;
         parse rest
     | "--speedup-only" :: rest ->
         only speedup;
@@ -655,8 +779,8 @@ let () =
     | arg :: _ ->
         Printf.eprintf
           "unknown argument %S (expected --scale S, --tables-only, \
-           --timing-only, --speedup-only, --incremental-only, --serve-only, \
-           --fault-only, --obs-only)\n"
+           --timing-only, --layout-only, --speedup-only, --incremental-only, \
+           --serve-only, --fault-only, --obs-only)\n"
           arg;
         exit 1
   in
@@ -667,4 +791,5 @@ let () =
   if !serve then run_serve ();
   if !fault then run_fault !scale;
   if !obs then run_obs !scale;
-  if !timing then run_timing ()
+  if !timing then run_timing ();
+  if !layout then run_layout ()

@@ -26,6 +26,21 @@ if [ -z "$hits" ] || [ "$hits" -eq 0 ]; then
 fi
 echo "cache.dyn.hit = $hits"
 
+echo "== layout: differential suite (CSR vs nested-array oracle) =="
+dune exec test/test_main.exe -- test layout
+
+echo "== layout: work/cache counters must match the pre-refactor snapshot =="
+# The struct-of-arrays refactor promised byte-identical virtual work.
+# test/work_profile.baseline is the counter section of the same serial
+# table6 profile run, captured on the last nested-array revision; any
+# drift means a layout change altered what the algorithms compute.
+if ! echo "$out" | sed -n '/== profile ==/,$p' | tail -n +2 \
+    | diff -u test/work_profile.baseline -; then
+  echo "ci.sh: FAIL — work/cache counters drifted from test/work_profile.baseline" >&2
+  exit 1
+fi
+echo "all work/cache counters identical to the pre-refactor snapshot"
+
 echo "== smoke: sbserve over stdio (one good, one malformed request) =="
 out=$(printf 'schedule r1 heuristic=balance\nsuperblock smoke freq=1\nop 0 add\nop 1 br prob=1\nedge 0 1\nend\nschedule r2 heuristic=zorp\nsuperblock smoke freq=1\nop 0 br prob=1\nend\n' \
   | dune exec bin/sbsched.exe -- serve --stdio)

@@ -46,8 +46,15 @@ let create ?(work_key = "pw") ?(memoize = true) ?(erc_work = 0) config
         let members =
           Array.init nb (fun k ->
               let b = Superblock.branch_op sb k in
-              Array.of_list
-                (b :: Bitset.elements (Dep_graph.transitive_preds g b)))
+              let tp = Dep_graph.transitive_preds g b in
+              let arr = Array.make (Bitset.cardinal tp + 1) b in
+              let fill = ref 1 in
+              Bitset.iter
+                (fun v ->
+                  arr.(!fill) <- v;
+                  incr fill)
+                tp;
+              arr)
         in
         (to_branch, rev_rc, members))
   in
@@ -56,7 +63,9 @@ let create ?(work_key = "pw") ?(memoize = true) ?(erc_work = 0) config
     sb;
     early_rc;
     memoize;
-    cls = (fun v -> Operation.op_class sb.Superblock.ops.(v));
+    cls =
+      (let classes = sb.Superblock.op_classes in
+       fun v -> classes.(v));
     to_branch;
     rev_rc;
     members;

@@ -3,21 +3,24 @@ open Sb_machine
 
 let branch_bound config (sb : Superblock.t) ~root =
   let g = sb.Superblock.graph in
-  let early = Dep_graph.longest_from_sources g in
   let to_root = Dep_graph.longest_to g root in
-  let cp = early.(root) in
-  let members =
-    root :: Bitset.elements (Dep_graph.transitive_preds g root)
-  in
-  Work.add "hu" (List.length members);
+  (* The critical path to [root] is the longest source-to-root path,
+     i.e. the largest entry of [to_root] (attained at a source) — no
+     forward pass needed. *)
+  let cp = ref 0 in
+  Array.iter (fun d -> if d <> min_int && d > !cp then cp := d) to_root;
+  let cp = !cp in
+  let members = Dep_graph.cone_topo g root in
+  Work.add "hu" (Array.length members);
   (* Group members by (resource, LateDC) and sweep deadlines in increasing
      order, accumulating the operation count per resource. *)
   let nr = Config.n_resources config in
+  let classes = sb.Superblock.op_classes in
   let by_resource = Array.make nr [] in
-  List.iter
+  Array.iter
     (fun v ->
       let late = cp - to_root.(v) in
-      let r = Config.resource_of config (Operation.op_class sb.Superblock.ops.(v)) in
+      let r = Config.resource_of config classes.(v) in
       by_resource.(r) <- late :: by_resource.(r))
     members;
   let delay = ref 0 in

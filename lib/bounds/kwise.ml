@@ -5,6 +5,26 @@ type tuple_bound = {
   values : float array;
 }
 
+(* Memo keys are whole branch tuples.  The polymorphic [Hashtbl.hash]
+   only examines a bounded prefix of a list (10 meaningful nodes by
+   default), so long tuples sharing a prefix used to pile into one
+   bucket and degenerate into collision chains scanned with full
+   structural equality.  Hash every element instead — tuples are short
+   compared with the grids they guard, so the full walk is cheap. *)
+module Tuple_key = struct
+  type t = int list
+
+  let equal = List.equal Int.equal
+
+  let hash l =
+    List.fold_left (fun h b -> (h * 0x01000193) lxor (b + 1)) 0x811c9dc5 l
+    land max_int
+end
+
+module Tuple_tbl = Hashtbl.Make (Tuple_key)
+
+let tuple_key_hash = Tuple_key.hash
+
 (* Relaxation rooted at the chain's last branch with the chain edges
    fixed to [gaps]; valid for schedules with exactly those gaps. *)
 let eval_chain pw ~(branch_ids : int array) ~(ops : int array) ~(gaps : int array) =
@@ -43,7 +63,10 @@ let eval_chain pw ~(branch_ids : int array) ~(ops : int array) ~(gaps : int arra
     | Some m -> max fwd.(m) (cp - suffix_gap.(m))
     | None -> erc.(v)
   in
-  let cls v = Operation.op_class sb.Superblock.ops.(v) in
+  let cls =
+    let classes = sb.Superblock.op_classes in
+    fun v -> classes.(v)
+  in
   let d =
     Rim_jain.max_tardiness ~work_key:"kw" config
       ~members:(Pairwise.members_of pw branch_ids.(last))
@@ -63,13 +86,13 @@ let eval_chain pw ~(branch_ids : int array) ~(ops : int array) ~(gaps : int arra
 let compute_tuple ?(grid_budget = 2000) pw branch_list =
   let sb = Pairwise.superblock pw in
   let erc = Pairwise.early_rc_array pw in
-  let cache : (int list, float array option) Hashtbl.t = Hashtbl.create 16 in
+  let cache : float array option Tuple_tbl.t = Tuple_tbl.create 16 in
   let rec tuple branch_list =
-    match Hashtbl.find_opt cache branch_list with
+    match Tuple_tbl.find_opt cache branch_list with
     | Some v -> v
     | None ->
         let v = tuple_uncached branch_list in
-        Hashtbl.replace cache branch_list v;
+        Tuple_tbl.replace cache branch_list v;
         v
   and tuple_uncached branch_list =
     let branches = Array.of_list branch_list in

@@ -22,6 +22,13 @@ type tuple_bound = {
   values : float array;  (** simultaneous per-branch issue-cycle bounds *)
 }
 
+val tuple_key_hash : int list -> int
+(** The full-list hash used for memoising tuples inside
+    {!compute_tuple}.  Unlike the polymorphic [Hashtbl.hash] it examines
+    every element, so tuples that differ only past the polymorphic
+    hash's traversal limit still land in different buckets.  Exposed for
+    regression testing. *)
+
 val compute_tuple :
   ?grid_budget:int -> Pairwise.t -> int list -> tuple_bound option
 (** [compute_tuple pw branches] for ascending branch indices (length >=

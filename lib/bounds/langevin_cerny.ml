@@ -3,58 +3,59 @@ open Sb_ir
 let early_rc_of_graph ?(use_theorem1 = true) ?(work_key = "lc") config ~cls g =
   let n = Dep_graph.n_nodes g in
   let erc = Array.make n 0 in
+  (* One scratch array for the per-node longest-path pass: the loop
+     below runs it once per non-trivial node. *)
+  let to_v = Array.make n min_int in
   Array.iter
     (fun v ->
-      let preds = Dep_graph.preds g v in
+      let deg = Dep_graph.in_degree g v in
       Work.add work_key 1;
-      match preds with
-      | [||] -> erc.(v) <- 0
-      | [| (p, lat) |] when use_theorem1 && lat > 0 ->
-          (* Theorem 1: unique direct predecessor over a positive-latency
-             edge makes the relaxation trivial. *)
-          erc.(v) <- erc.(p) + lat
-      | _ ->
-          let cp =
-            Array.fold_left
-              (fun acc (p, lat) -> max acc (erc.(p) + lat))
-              0 preds
-          in
-          let to_v = Dep_graph.longest_to g v in
-          Work.add work_key n;
-          let members =
-            Array.of_list (v :: Bitset.elements (Dep_graph.transitive_preds g v))
-          in
-          let late u =
-            if to_v.(u) = min_int then max_int else cp - to_v.(u)
-          in
-          (* The root's own release time is its critical path — its EarlyRC
-             is what we are computing and still reads 0. *)
-          let early u = if u = v then cp else erc.(u) in
-          let d =
-            Rim_jain.max_tardiness ~work_key config ~members ~early ~late ~cls
-          in
-          erc.(v) <- cp + max 0 d)
+      if deg = 0 then erc.(v) <- 0
+      else if deg = 1 && use_theorem1 && Dep_graph.pred_lat_at g v 0 > 0 then
+        (* Theorem 1: unique direct predecessor over a positive-latency
+           edge makes the relaxation trivial. *)
+        erc.(v) <- erc.(Dep_graph.pred_src_at g v 0) + Dep_graph.pred_lat_at g v 0
+      else begin
+        let cp =
+          Dep_graph.fold_preds g v (fun acc p lat -> max acc (erc.(p) + lat)) 0
+        in
+        Dep_graph.longest_to_into g v to_v;
+        Work.add work_key n;
+        let tp = Dep_graph.transitive_preds g v in
+        let members = Array.make (Bitset.cardinal tp + 1) v in
+        let fill = ref 1 in
+        Bitset.iter
+          (fun u ->
+            members.(!fill) <- u;
+            incr fill)
+          tp;
+        let late u = if to_v.(u) = min_int then max_int else cp - to_v.(u) in
+        (* The root's own release time is its critical path — its EarlyRC
+           is what we are computing and still reads 0. *)
+        let early u = if u = v then cp else erc.(u) in
+        let d =
+          Rim_jain.max_tardiness ~work_key config ~members ~early ~late ~cls
+        in
+        erc.(v) <- cp + max 0 d
+      end)
     (Dep_graph.topo_order g);
   erc
 
 let early_rc ?use_theorem1 ?work_key config (sb : Superblock.t) =
-  let cls v = Operation.op_class sb.Superblock.ops.(v) in
+  let classes = sb.Superblock.op_classes in
+  let cls v = classes.(v) in
   early_rc_of_graph ?use_theorem1 ?work_key config ~cls sb.Superblock.graph
 
 let reverse_early_rc ?(work_key = "lc_reverse") config (sb : Superblock.t) ~root =
   let g = sb.Superblock.graph in
   let members = Dep_graph.transitive_preds g root in
   (* Reversed predecessor subgraph of [root]: keep only edges between
-     members (or into [root]) and flip them. *)
-  let edges = ref [] in
+     members (or into [root]) and flip them — straight from the CSR
+     arrays, no edge list or rehash. *)
   let keep v = v = root || Bitset.mem members v in
-  List.iter
-    (fun { Dep_graph.src; dst; latency } ->
-      if keep src && keep dst then
-        edges := { Dep_graph.src = dst; dst = src; latency } :: !edges)
-    (Dep_graph.edges g);
-  let rev = Dep_graph.make ~n:(Dep_graph.n_nodes g) !edges in
-  let cls v = Operation.op_class sb.Superblock.ops.(v) in
+  let rev = Dep_graph.reverse_filtered g ~keep in
+  let classes = sb.Superblock.op_classes in
+  let cls v = classes.(v) in
   let erc = early_rc_of_graph ~work_key config ~cls rev in
   Array.mapi
     (fun v e -> if v = root then 0 else if Bitset.mem members v then e else min_int)

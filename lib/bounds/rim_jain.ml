@@ -1,39 +1,154 @@
 open Sb_ir
 open Sb_machine
 
+(* Per-domain scratch for the relaxation kernel.  The usage table is a
+   flat (resource, cycle) grid with an epoch stamp per cell: a call
+   logically clears the whole grid by bumping [epoch], so the kernel
+   neither allocates nor zeroes per invocation.  The sort scratch holds
+   the member order and the early/late keys evaluated once per member —
+   the comparison-time closure calls of the old [Array.sort] on raw
+   member ids were the other per-call cost.
+
+   All results are invariant under reordering of members with equal
+   (late, early) keys: members on different resources never interact,
+   and equal-key members on the same resource fill the same slots in
+   either order — so the unstable sort's tie order affects neither the
+   tardiness nor the probe count charged to the work counters. *)
+type scratch = {
+  mutable used : int array;  (* nr * horizon cells, row-major by resource *)
+  mutable stamp : int array;  (* cell valid iff stamp.(i) = epoch *)
+  mutable width : int;  (* per-resource row width *)
+  mutable epoch : int;
+  mutable order : int array;  (* member positions, sorted by (late, early) *)
+  mutable early_k : int array;
+  mutable late_k : int array;
+}
+
+let scratch_key : scratch Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      {
+        used = [||];
+        stamp = [||];
+        width = 0;
+        epoch = 0;
+        order = [||];
+        early_k = [||];
+        late_k = [||];
+      })
+
+let ensure_members s m =
+  if Array.length s.order < m then begin
+    let cap = max 64 (2 * m) in
+    s.order <- Array.make cap 0;
+    s.early_k <- Array.make cap 0;
+    s.late_k <- Array.make cap 0
+  end
+
+(* In-place quicksort (median-of-three, insertion below 12) of the
+   member positions by (late, early) key, over the scratch prefix —
+   [Array.sort] would need a fresh exactly-sized array per call. *)
+let key_less late_k early_k a b =
+  late_k.(a) < late_k.(b)
+  || (late_k.(a) = late_k.(b) && early_k.(a) < early_k.(b))
+
+let rec sort_range order late_k early_k lo hi =
+  if hi - lo < 12 then
+    for i = lo + 1 to hi do
+      let x = order.(i) in
+      let j = ref (i - 1) in
+      while !j >= lo && key_less late_k early_k x order.(!j) do
+        order.(!j + 1) <- order.(!j);
+        decr j
+      done;
+      order.(!j + 1) <- x
+    done
+  else begin
+    let mid = lo + ((hi - lo) / 2) in
+    let swap i j =
+      let t = order.(i) in
+      order.(i) <- order.(j);
+      order.(j) <- t
+    in
+    if key_less late_k early_k order.(mid) order.(lo) then swap mid lo;
+    if key_less late_k early_k order.(hi) order.(mid) then begin
+      swap hi mid;
+      if key_less late_k early_k order.(mid) order.(lo) then swap mid lo
+    end;
+    let pivot = order.(mid) in
+    let i = ref lo and j = ref hi in
+    while !i <= !j do
+      while key_less late_k early_k order.(!i) pivot do incr i done;
+      while key_less late_k early_k pivot order.(!j) do decr j done;
+      if !i <= !j then begin
+        swap !i !j;
+        incr i;
+        decr j
+      end
+    done;
+    sort_range order late_k early_k lo !j;
+    sort_range order late_k early_k !i hi
+  end
+
+let ensure_grid s ~nr ~horizon =
+  if s.width < horizon || Array.length s.used < nr * s.width then begin
+    let width = max horizon (max 256 (2 * s.width)) in
+    s.used <- Array.make (nr * width) 0;
+    s.stamp <- Array.make (nr * width) 0;
+    s.width <- width;
+    s.epoch <- 0
+  end;
+  s.epoch <- s.epoch + 1
+
 let max_tardiness_counted ?(work_key = "rj") config ~members ~early ~late ~cls =
   let m = Array.length members in
   if m = 0 then (0, 0)
   else begin
-    let order = Array.copy members in
-    Array.sort
-      (fun a b ->
-        let c = compare (late a) (late b) in
-        if c <> 0 then c else compare (early a) (early b))
-      order;
-    (* Per-resource usage table, grown on demand.  The horizon can never
-       exceed max release time + number of members. *)
-    let max_early = Array.fold_left (fun acc v -> max acc (early v)) 0 members in
-    let horizon = max_early + m + 1 in
+    let s = Domain.DLS.get scratch_key in
+    ensure_members s m;
+    let order = s.order and early_k = s.early_k and late_k = s.late_k in
+    let max_early = ref 0 in
+    for i = 0 to m - 1 do
+      let v = members.(i) in
+      order.(i) <- i;
+      let e = early v in
+      early_k.(i) <- e;
+      late_k.(i) <- late v;
+      if e > !max_early then max_early := e
+    done;
+    (* Sort member positions; keys were evaluated once above instead of
+       at every comparison. *)
+    sort_range order late_k early_k 0 (m - 1);
+    (* The horizon can never exceed max release time + member count. *)
+    let horizon = !max_early + m + 1 in
     let nr = Config.n_resources config in
-    let used = Array.make_matrix nr horizon 0 in
+    ensure_grid s ~nr ~horizon;
+    let used = s.used and stamp = s.stamp and epoch = s.epoch in
+    let width = s.width in
     let work = ref m in
     let worst = ref min_int in
-    Array.iter
-      (fun v ->
-        let r = Config.resource_of config (cls v) in
-        let cap = Config.capacity_of config r in
-        let row = used.(r) in
-        let t = ref (max 0 (early v)) in
-        while row.(!t) >= cap do
-          incr t;
-          incr work
-        done;
-        row.(!t) <- row.(!t) + 1;
-        let deadline = late v in
-        if deadline <> max_int && !t - deadline > !worst then
-          worst := !t - deadline)
-      order;
+    for i = 0 to m - 1 do
+      let p = order.(i) in
+      let v = members.(p) in
+      let r = Config.resource_of config (cls v) in
+      let cap = Config.capacity_of config r in
+      let row = r * width in
+      let t = ref (max 0 early_k.(p)) in
+      while
+        (let cell = row + !t in
+         if stamp.(cell) = epoch then used.(cell) else 0)
+        >= cap
+      do
+        incr t;
+        incr work
+      done;
+      let cell = row + !t in
+      let cur = if stamp.(cell) = epoch then used.(cell) else 0 in
+      used.(cell) <- cur + 1;
+      stamp.(cell) <- epoch;
+      let deadline = late_k.(p) in
+      if deadline <> max_int && !t - deadline > !worst then
+        worst := !t - deadline
+    done;
     Work.add work_key !work;
     ((if !worst = min_int then 0 else !worst), !work)
   end
@@ -47,10 +162,21 @@ let branch_bound ?(work_key = "rj") config (sb : Superblock.t) ~root =
   let to_root = Dep_graph.longest_to g root in
   let cp = early.(root) in
   let members =
-    Array.of_list (root :: Bitset.elements (Dep_graph.transitive_preds g root))
+    let tp = Dep_graph.transitive_preds g root in
+    let arr = Array.make (Bitset.cardinal tp + 1) root in
+    let fill = ref 1 in
+    Bitset.iter
+      (fun v ->
+        arr.(!fill) <- v;
+        incr fill)
+      tp;
+    arr
   in
   let late v = if to_root.(v) = min_int then max_int else cp - to_root.(v) in
-  let cls v = Operation.op_class sb.Superblock.ops.(v) in
+  let cls =
+    let classes = sb.Superblock.op_classes in
+    fun v -> classes.(v)
+  in
   let d =
     max_tardiness ~work_key config ~members ~early:(fun v -> early.(v)) ~late ~cls
   in

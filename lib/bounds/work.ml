@@ -58,10 +58,18 @@ let get key =
     0 (tables ())
 
 let keys () =
+  (* Dedup through a seen-set: the old [List.mem] scan was quadratic in
+     the number of distinct keys times the number of domain tables. *)
+  let seen = Hashtbl.create 32 in
   List.fold_left
     (fun acc t ->
       Hashtbl.fold
-        (fun k _ acc -> if List.mem k acc then acc else k :: acc)
+        (fun k _ acc ->
+          if Hashtbl.mem seen k then acc
+          else begin
+            Hashtbl.add seen k ();
+            k :: acc
+          end)
         t acc)
     [] (tables ())
   |> List.sort compare

@@ -33,10 +33,24 @@ let mem t i =
 let same_capacity a b =
   if a.capacity <> b.capacity then invalid_arg "Bitset: capacity mismatch"
 
+let clear t = Array.fill t.words 0 (Array.length t.words) 0
+
 let union_into dst src =
   same_capacity dst src;
   for w = 0 to Array.length dst.words - 1 do
     dst.words.(w) <- dst.words.(w) lor src.words.(w)
+  done
+
+let inter_into dst src =
+  same_capacity dst src;
+  for w = 0 to Array.length dst.words - 1 do
+    dst.words.(w) <- dst.words.(w) land src.words.(w)
+  done
+
+let diff_into dst src =
+  same_capacity dst src;
+  for w = 0 to Array.length dst.words - 1 do
+    dst.words.(w) <- dst.words.(w) land lnot src.words.(w)
   done
 
 let inter a b =
@@ -94,6 +108,16 @@ let fold f t init =
 
 let elements t = List.rev (fold (fun i acc -> i :: acc) t [])
 
+let to_array t =
+  let arr = Array.make (cardinal t) 0 in
+  let k = ref 0 in
+  iter
+    (fun i ->
+      arr.(!k) <- i;
+      incr k)
+    t;
+  arr
+
 let of_list n members =
   let t = create n in
   List.iter (add t) members;
@@ -105,3 +129,41 @@ let pp ppf t =
        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
        Format.pp_print_int)
     (elements t)
+
+(* Reusable scratch sets.  The pools live in domain-local storage keyed
+   by capacity, so borrowing never synchronises and a set checked out on
+   one domain can never be handed to another.  Sets are cleared on
+   checkout, not on return: a caller may release a set it has already
+   filled without paying to scrub it twice. *)
+module Arena = struct
+  type set = t
+
+  let pools : (int, set list ref) Hashtbl.t Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> Hashtbl.create 8)
+
+  let pool capacity =
+    let tbl = Domain.DLS.get pools in
+    match Hashtbl.find_opt tbl capacity with
+    | Some p -> p
+    | None ->
+        let p = ref [] in
+        Hashtbl.add tbl capacity p;
+        p
+
+  let acquire capacity =
+    let p = pool capacity in
+    match !p with
+    | s :: rest ->
+        p := rest;
+        clear s;
+        s
+    | [] -> create capacity
+
+  let release s =
+    let p = pool s.capacity in
+    p := s :: !p
+
+  let with_set capacity f =
+    let s = acquire capacity in
+    Fun.protect ~finally:(fun () -> release s) (fun () -> f s)
+end

@@ -19,9 +19,20 @@ val remove : t -> int -> unit
 
 val mem : t -> int -> bool
 
+val clear : t -> unit
+(** Remove every member, keeping the capacity. *)
+
 val union_into : t -> t -> unit
 (** [union_into dst src] adds every member of [src] to [dst].  The sets must
     have the same capacity. *)
+
+val inter_into : t -> t -> unit
+(** [inter_into dst src] removes from [dst] every member not in [src],
+    in place.  The sets must have the same capacity. *)
+
+val diff_into : t -> t -> unit
+(** [diff_into dst src] removes every member of [src] from [dst], in
+    place.  The sets must have the same capacity. *)
 
 val inter : t -> t -> t
 
@@ -44,7 +55,32 @@ val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
 val elements : t -> int list
 (** Members in increasing order. *)
 
+val to_array : t -> int array
+(** Members in increasing order, without an intermediate list. *)
+
 val of_list : int -> int list -> t
 (** [of_list n members]. *)
 
 val pp : Format.formatter -> t -> unit
+
+(** Reusable scratch sets for allocation-free hot loops.
+
+    Pools are domain-local (one freelist per capacity per domain), so
+    acquiring never synchronises and sets cannot migrate between
+    domains.  A set is cleared when acquired; callers may release it in
+    any state. *)
+module Arena : sig
+  type set = t
+
+  val acquire : int -> set
+  (** [acquire n] borrows an empty set of capacity [n] from the calling
+      domain's pool, creating one if the pool is dry. *)
+
+  val release : set -> unit
+  (** Return a borrowed set to the pool.  The caller must not use it
+      afterwards. *)
+
+  val with_set : int -> (set -> 'a) -> 'a
+  (** [with_set n f] runs [f] on a borrowed empty set of capacity [n],
+      releasing it when [f] returns or raises. *)
+end

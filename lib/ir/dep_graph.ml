@@ -2,37 +2,112 @@ type edge = { src : int; dst : int; latency : int }
 
 exception Cycle
 
+(* Struct-of-arrays adjacency: both directions as packed CSR int arrays.
+   [succ_off] has n+1 entries; node [v]'s successors are
+   [succ_dst.(i), succ_lat.(i)] for [i] in [succ_off.(v), succ_off.(v+1)).
+   Segments are sorted (successors by dst, predecessors by src), so the
+   edge order is canonical regardless of construction order.  The legacy
+   nested-array views are materialised lazily for cold callers. *)
 type t = {
   n : int;
-  succs : (int * int) array array;
-  preds : (int * int) array array;
+  m : int;  (* edge count, fixed at construction *)
+  succ_off : int array;
+  succ_dst : int array;
+  succ_lat : int array;
+  pred_off : int array;
+  pred_src : int array;
+  pred_lat : int array;
+  mutable succ_nested : (int * int) array array option;
+  mutable pred_nested : (int * int) array array option;
   mutable topo : int array option;
+  mutable tpos : int array option;  (* inverse of [topo] *)
   mutable tpreds : Bitset.t array option;
   mutable tsuccs : Bitset.t array option;
+  mutable cones : int array option array option;  (* per-root topo-ordered cones *)
 }
 
 let n_nodes t = t.n
 
-let n_edges t = Array.fold_left (fun acc a -> acc + Array.length a) 0 t.succs
+let n_edges t = t.m
 
-let succs t v = t.succs.(v)
+let out_degree t v = t.succ_off.(v + 1) - t.succ_off.(v)
 
-let preds t v = t.preds.(v)
+let in_degree t v = t.pred_off.(v + 1) - t.pred_off.(v)
+
+let succ_dst_at t v i = t.succ_dst.(t.succ_off.(v) + i)
+let succ_lat_at t v i = t.succ_lat.(t.succ_off.(v) + i)
+let pred_src_at t v i = t.pred_src.(t.pred_off.(v) + i)
+let pred_lat_at t v i = t.pred_lat.(t.pred_off.(v) + i)
+
+let iter_succs t v f =
+  for i = t.succ_off.(v) to t.succ_off.(v + 1) - 1 do
+    f t.succ_dst.(i) t.succ_lat.(i)
+  done
+
+let iter_preds t v f =
+  for i = t.pred_off.(v) to t.pred_off.(v + 1) - 1 do
+    f t.pred_src.(i) t.pred_lat.(i)
+  done
+
+let fold_succs t v f init =
+  let acc = ref init in
+  for i = t.succ_off.(v) to t.succ_off.(v + 1) - 1 do
+    acc := f !acc t.succ_dst.(i) t.succ_lat.(i)
+  done;
+  !acc
+
+let fold_preds t v f init =
+  let acc = ref init in
+  for i = t.pred_off.(v) to t.pred_off.(v + 1) - 1 do
+    acc := f !acc t.pred_src.(i) t.pred_lat.(i)
+  done;
+  !acc
+
+let for_all_preds t v f =
+  let rec go i stop = i >= stop || (f t.pred_src.(i) t.pred_lat.(i) && go (i + 1) stop) in
+  go t.pred_off.(v) t.pred_off.(v + 1)
+
+let nested off dst lat n =
+  Array.init n (fun v ->
+      Array.init (off.(v + 1) - off.(v)) (fun i ->
+          (dst.(off.(v) + i), lat.(off.(v) + i))))
+
+let succs t v =
+  let arrs =
+    match t.succ_nested with
+    | Some a -> a
+    | None ->
+        let a = nested t.succ_off t.succ_dst t.succ_lat t.n in
+        t.succ_nested <- Some a;
+        a
+  in
+  arrs.(v)
+
+let preds t v =
+  let arrs =
+    match t.pred_nested with
+    | Some a -> a
+    | None ->
+        let a = nested t.pred_off t.pred_src t.pred_lat t.n in
+        t.pred_nested <- Some a;
+        a
+  in
+  arrs.(v)
 
 let edges t =
   let acc = ref [] in
   for src = t.n - 1 downto 0 do
-    Array.iter
-      (fun (dst, latency) -> acc := { src; dst; latency } :: !acc)
-      t.succs.(src)
+    for i = t.succ_off.(src + 1) - 1 downto t.succ_off.(src) do
+      acc := { src; dst = t.succ_dst.(i); latency = t.succ_lat.(i) } :: !acc
+    done
   done;
   !acc
 
-(* Kahn's algorithm; also the acyclicity check used by [make]. *)
-let compute_topo n succs preds =
+(* Kahn's algorithm over the CSR arrays; also the acyclicity check. *)
+let compute_topo n ~succ_off ~succ_dst ~pred_off =
   let indeg = Array.make n 0 in
   for v = 0 to n - 1 do
-    indeg.(v) <- Array.length preds.(v)
+    indeg.(v) <- pred_off.(v + 1) - pred_off.(v)
   done;
   let order = Array.make n 0 in
   let head = ref 0 and tail = ref 0 in
@@ -45,70 +120,145 @@ let compute_topo n succs preds =
   while !head < !tail do
     let v = order.(!head) in
     incr head;
-    Array.iter
-      (fun (w, _) ->
-        indeg.(w) <- indeg.(w) - 1;
-        if indeg.(w) = 0 then begin
-          order.(!tail) <- w;
-          incr tail
-        end)
-      succs.(v)
+    for i = succ_off.(v) to succ_off.(v + 1) - 1 do
+      let w = succ_dst.(i) in
+      indeg.(w) <- indeg.(w) - 1;
+      if indeg.(w) = 0 then begin
+        order.(!tail) <- w;
+        incr tail
+      end
+    done
   done;
   if !tail <> n then raise Cycle;
   order
 
+(* Build both CSR directions from parallel edge arrays, which must
+   already be deduplicated and sorted by (src, dst): filling in that
+   order leaves every successor segment dst-sorted and every predecessor
+   segment src-sorted. *)
+let build_csr ~n ~m ~esrc ~edst ~elat =
+  let succ_off = Array.make (n + 1) 0 and pred_off = Array.make (n + 1) 0 in
+  for e = 0 to m - 1 do
+    succ_off.(esrc.(e)) <- succ_off.(esrc.(e)) + 1;
+    pred_off.(edst.(e)) <- pred_off.(edst.(e)) + 1
+  done;
+  let acc = ref 0 in
+  for v = 0 to n - 1 do
+    let c = succ_off.(v) in
+    succ_off.(v) <- !acc;
+    acc := !acc + c
+  done;
+  succ_off.(n) <- !acc;
+  acc := 0;
+  for v = 0 to n - 1 do
+    let c = pred_off.(v) in
+    pred_off.(v) <- !acc;
+    acc := !acc + c
+  done;
+  pred_off.(n) <- !acc;
+  let succ_dst = Array.make m 0
+  and succ_lat = Array.make m 0
+  and pred_src = Array.make m 0
+  and pred_lat = Array.make m 0 in
+  let sfill = Array.copy succ_off and pfill = Array.copy pred_off in
+  for e = 0 to m - 1 do
+    let src = esrc.(e) and dst = edst.(e) and lat = elat.(e) in
+    succ_dst.(sfill.(src)) <- dst;
+    succ_lat.(sfill.(src)) <- lat;
+    sfill.(src) <- sfill.(src) + 1;
+    pred_src.(pfill.(dst)) <- src;
+    pred_lat.(pfill.(dst)) <- lat;
+    pfill.(dst) <- pfill.(dst) + 1
+  done;
+  (succ_off, succ_dst, succ_lat, pred_off, pred_src, pred_lat)
+
 let make ~n edge_list =
   if n < 0 then invalid_arg "Dep_graph.make: negative n";
   (* Merge duplicates keeping the largest latency. *)
-  let tbl = Hashtbl.create (List.length edge_list * 2) in
+  let tbl = Hashtbl.create (max 16 (List.length edge_list * 2)) in
   List.iter
     (fun { src; dst; latency } ->
       if src < 0 || src >= n || dst < 0 || dst >= n then
         invalid_arg "Dep_graph.make: edge endpoint out of range";
       if src = dst then invalid_arg "Dep_graph.make: self edge";
       if latency < 0 then invalid_arg "Dep_graph.make: negative latency";
-      let key = (src, dst) in
+      let key = (src * n) + dst in
       match Hashtbl.find_opt tbl key with
       | Some l when l >= latency -> ()
       | _ -> Hashtbl.replace tbl key latency)
     edge_list;
-  let out_count = Array.make n 0 and in_count = Array.make n 0 in
+  let m = Hashtbl.length tbl in
+  let keys = Array.make m 0 in
+  let i = ref 0 in
   Hashtbl.iter
-    (fun (src, dst) _ ->
-      out_count.(src) <- out_count.(src) + 1;
-      in_count.(dst) <- in_count.(dst) + 1)
+    (fun key _ ->
+      keys.(!i) <- key;
+      incr i)
     tbl;
-  let succs = Array.init n (fun v -> Array.make out_count.(v) (0, 0)) in
-  let preds = Array.init n (fun v -> Array.make in_count.(v) (0, 0)) in
-  let out_fill = Array.make n 0 and in_fill = Array.make n 0 in
-  Hashtbl.iter
-    (fun (src, dst) latency ->
-      succs.(src).(out_fill.(src)) <- (dst, latency);
-      out_fill.(src) <- out_fill.(src) + 1;
-      preds.(dst).(in_fill.(dst)) <- (src, latency);
-      in_fill.(dst) <- in_fill.(dst) + 1)
-    tbl;
-  let topo = compute_topo n succs preds in
-  { n; succs; preds; topo = Some topo; tpreds = None; tsuccs = None }
+  (* (src * n + dst) sorts exactly like (src, dst). *)
+  Array.sort compare keys;
+  let esrc = Array.make m 0 and edst = Array.make m 0 and elat = Array.make m 0 in
+  Array.iteri
+    (fun e key ->
+      esrc.(e) <- key / n;
+      edst.(e) <- key mod n;
+      elat.(e) <- Hashtbl.find tbl key)
+    keys;
+  let succ_off, succ_dst, succ_lat, pred_off, pred_src, pred_lat =
+    build_csr ~n ~m ~esrc ~edst ~elat
+  in
+  let topo = compute_topo n ~succ_off ~succ_dst ~pred_off in
+  {
+    n;
+    m;
+    succ_off;
+    succ_dst;
+    succ_lat;
+    pred_off;
+    pred_src;
+    pred_lat;
+    succ_nested = None;
+    pred_nested = None;
+    topo = Some topo;
+    tpos = None;
+    tpreds = None;
+    tsuccs = None;
+    cones = None;
+  }
 
 let topo_order t =
   match t.topo with
   | Some o -> o
   | None ->
-      let o = compute_topo t.n t.succs t.preds in
+      let o =
+        compute_topo t.n ~succ_off:t.succ_off ~succ_dst:t.succ_dst
+          ~pred_off:t.pred_off
+      in
       t.topo <- Some o;
       o
 
-let compute_closure t ~order ~neighbours =
+let topo_pos t =
+  match t.tpos with
+  | Some p -> p
+  | None ->
+      let order = topo_order t in
+      let p = Array.make t.n 0 in
+      Array.iteri (fun i v -> p.(v) <- i) order;
+      t.tpos <- Some p;
+      p
+
+let compute_closure t ~order ~forward =
   let sets = Array.init t.n (fun _ -> Bitset.create t.n) in
+  let off = if forward then t.succ_off else t.pred_off in
+  let dst = if forward then t.succ_dst else t.pred_src in
   Array.iter
     (fun v ->
-      Array.iter
-        (fun (w, _) ->
-          (* [w]'s set gains [v] and all of [v]'s members. *)
-          Bitset.union_into sets.(w) sets.(v);
-          Bitset.add sets.(w) v)
-        neighbours.(v))
+      for i = off.(v) to off.(v + 1) - 1 do
+        let w = dst.(i) in
+        (* [w]'s set gains [v] and all of [v]'s members. *)
+        Bitset.union_into sets.(w) sets.(v);
+        Bitset.add sets.(w) v
+      done)
     order;
   sets
 
@@ -117,7 +267,7 @@ let transitive_preds t v =
     match t.tpreds with
     | Some s -> s
     | None ->
-        let s = compute_closure t ~order:(topo_order t) ~neighbours:t.succs in
+        let s = compute_closure t ~order:(topo_order t) ~forward:true in
         t.tpreds <- Some s;
         s
   in
@@ -138,7 +288,7 @@ let transitive_succs t v =
           done;
           o
         in
-        let s = compute_closure t ~order:rev_order ~neighbours:t.preds in
+        let s = compute_closure t ~order:rev_order ~forward:false in
         t.tsuccs <- Some s;
         s
   in
@@ -146,46 +296,170 @@ let transitive_succs t v =
 
 let is_pred t u v = Bitset.mem (transitive_preds t v) u
 
+(* [root]'s cone — its strict transitive predecessors plus [root] itself —
+   as a flat array in topological order, so per-branch passes touch only
+   the cone instead of scanning all [n] nodes.  Since every other member
+   precedes [root], the last element is always [root]. *)
+let cone_topo t root =
+  let cones =
+    match t.cones with
+    | Some c -> c
+    | None ->
+        let c = Array.make t.n None in
+        t.cones <- Some c;
+        c
+  in
+  match cones.(root) with
+  | Some a -> a
+  | None ->
+      let tp = transitive_preds t root in
+      let a = Array.make (Bitset.cardinal tp + 1) root in
+      let fill = ref 0 in
+      Bitset.iter
+        (fun v ->
+          a.(!fill) <- v;
+          incr fill)
+        tp;
+      let pos = topo_pos t in
+      Array.sort (fun x y -> compare pos.(x) pos.(y)) a;
+      cones.(root) <- Some a;
+      a
+
+(* The pred CSR of a DAG is exactly the succ CSR of its reverse (and
+   vice versa), segments stay sorted, so reversal is six array shares. *)
 let reverse t =
-  let succs = Array.map Array.copy t.preds in
-  let preds = Array.map Array.copy t.succs in
-  { n = t.n; succs; preds; topo = None; tpreds = None; tsuccs = None }
+  {
+    n = t.n;
+    m = t.m;
+    succ_off = t.pred_off;
+    succ_dst = t.pred_src;
+    succ_lat = t.pred_lat;
+    pred_off = t.succ_off;
+    pred_src = t.succ_dst;
+    pred_lat = t.succ_lat;
+    succ_nested = None;
+    pred_nested = None;
+    topo = None;
+    tpos = None;
+    tpreds = None;
+    tsuccs = None;
+    cones = None;
+  }
+
+(* Reverse of the subgraph induced on [keep]-nodes, built straight from
+   the CSR arrays: no edge list, no dedup hashing, no cycle check (an
+   induced subgraph of a DAG stays acyclic).  The new successor segments
+   come from the predecessor CSR and inherit its sortedness. *)
+let reverse_filtered t ~keep =
+  let n = t.n in
+  let kept = Array.init n keep in
+  let count_kept off other =
+    let cnt = Array.make n 0 in
+    for v = 0 to n - 1 do
+      if kept.(v) then begin
+        let c = ref 0 in
+        for i = off.(v) to off.(v + 1) - 1 do
+          if kept.(other.(i)) then incr c
+        done;
+        cnt.(v) <- !c
+      end
+    done;
+    cnt
+  in
+  let offsets cnt =
+    let off = Array.make (n + 1) 0 in
+    let acc = ref 0 in
+    for v = 0 to n - 1 do
+      off.(v) <- !acc;
+      acc := !acc + cnt.(v)
+    done;
+    off.(n) <- !acc;
+    off
+  in
+  let fill_kept ~src_off ~src_other ~src_lat ~dst_off =
+    let m = dst_off.(n) in
+    let other = Array.make (max 1 m) 0 and lat = Array.make (max 1 m) 0 in
+    let fill = Array.copy dst_off in
+    for v = 0 to n - 1 do
+      if kept.(v) then
+        for i = src_off.(v) to src_off.(v + 1) - 1 do
+          let w = src_other.(i) in
+          if kept.(w) then begin
+            other.(fill.(v)) <- w;
+            lat.(fill.(v)) <- src_lat.(i);
+            fill.(v) <- fill.(v) + 1
+          end
+        done
+    done;
+    (other, lat)
+  in
+  let succ_off = offsets (count_kept t.pred_off t.pred_src) in
+  let pred_off = offsets (count_kept t.succ_off t.succ_dst) in
+  let succ_dst, succ_lat =
+    fill_kept ~src_off:t.pred_off ~src_other:t.pred_src ~src_lat:t.pred_lat
+      ~dst_off:succ_off
+  in
+  let pred_src, pred_lat =
+    fill_kept ~src_off:t.succ_off ~src_other:t.succ_dst ~src_lat:t.succ_lat
+      ~dst_off:pred_off
+  in
+  {
+    n;
+    m = succ_off.(n);
+    succ_off;
+    succ_dst;
+    succ_lat;
+    pred_off;
+    pred_src;
+    pred_lat;
+    succ_nested = None;
+    pred_nested = None;
+    topo = None;
+    tpos = None;
+    tpreds = None;
+    tsuccs = None;
+    cones = None;
+  }
 
 let longest_from_sources t =
   let early = Array.make t.n 0 in
   Array.iter
     (fun v ->
-      Array.iter
-        (fun (w, lat) ->
-          if early.(v) + lat > early.(w) then early.(w) <- early.(v) + lat)
-        t.succs.(v))
+      for i = t.succ_off.(v) to t.succ_off.(v + 1) - 1 do
+        let w = t.succ_dst.(i) and lat = t.succ_lat.(i) in
+        if early.(v) + lat > early.(w) then early.(w) <- early.(v) + lat
+      done)
     (topo_order t);
   early
 
-let longest_to t root =
-  let dist = Array.make t.n min_int in
+let longest_to_into t root dist =
+  if Array.length dist <> t.n then
+    invalid_arg "Dep_graph.longest_to_into: wrong scratch length";
+  Array.fill dist 0 t.n min_int;
   dist.(root) <- 0;
   let order = topo_order t in
   for i = Array.length order - 1 downto 0 do
     let v = order.(i) in
-    Array.iter
-      (fun (w, lat) ->
-        if dist.(w) <> min_int && dist.(w) + lat > dist.(v) then
-          dist.(v) <- dist.(w) + lat)
-      t.succs.(v)
-  done;
+    for j = t.succ_off.(v) to t.succ_off.(v + 1) - 1 do
+      let w = t.succ_dst.(j) and lat = t.succ_lat.(j) in
+      if dist.(w) <> min_int && dist.(w) + lat > dist.(v) then
+        dist.(v) <- dist.(w) + lat
+    done
+  done
+
+let longest_to t root =
+  let dist = Array.make t.n min_int in
+  longest_to_into t root dist;
   dist
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>graph with %d nodes:@," t.n;
   for v = 0 to t.n - 1 do
-    if Array.length t.succs.(v) > 0 then begin
+    if out_degree t v > 0 then begin
       Format.fprintf ppf "  %d ->" v;
-      Array.iter
-        (fun (w, lat) ->
+      iter_succs t v (fun w lat ->
           if lat = 1 then Format.fprintf ppf " %d" w
-          else Format.fprintf ppf " %d(l=%d)" w lat)
-        t.succs.(v);
+          else Format.fprintf ppf " %d(l=%d)" w lat);
       Format.pp_print_cut ppf ()
     end
   done;

@@ -5,6 +5,16 @@
     [latency] cycles after [src] issues.  Latencies are at least 0; the
     graph must be acyclic (checked at construction).
 
+    Adjacency is stored as packed CSR int arrays (offsets plus flat
+    destination/latency arrays, both directions), so the hot traversals
+    — {!iter_succs}, {!iter_preds}, the fold/for-all variants and the
+    indexed accessors — touch only flat [int array]s and allocate
+    nothing.  Neighbour segments are sorted (successors by destination,
+    predecessors by source), giving every graph a canonical edge order
+    independent of construction order.  The legacy nested-array
+    accessors {!succs}/{!preds} are materialised lazily, once, for
+    callers that want whole arrays.
+
     Several algorithms in the bounds library operate on the subgraph of
     predecessors of a branch; to avoid materialising subgraphs they take a
     membership predicate.  The graph itself precomputes transitive
@@ -26,15 +36,57 @@ val make : n:int -> edge list -> t
 val n_nodes : t -> int
 
 val n_edges : t -> int
+(** Edge count, fixed and cached at construction — O(1). *)
+
+val out_degree : t -> int -> int
+
+val in_degree : t -> int -> int
+
+val succ_dst_at : t -> int -> int -> int
+(** [succ_dst_at g v i] is the destination of [v]'s [i]-th out-edge,
+    [0 <= i < out_degree g v].  Segments are sorted by destination. *)
+
+val succ_lat_at : t -> int -> int -> int
+(** Latency of [v]'s [i]-th out-edge. *)
+
+val pred_src_at : t -> int -> int -> int
+(** Source of [v]'s [i]-th in-edge.  Segments are sorted by source. *)
+
+val pred_lat_at : t -> int -> int -> int
+(** Latency of [v]'s [i]-th in-edge. *)
+
+val iter_succs : t -> int -> (int -> int -> unit) -> unit
+(** [iter_succs g v f] applies [f dst latency] to every out-edge of [v],
+    in destination order.  Zero-copy: no array is materialised. *)
+
+val iter_preds : t -> int -> (int -> int -> unit) -> unit
+(** [iter_preds g v f] applies [f src latency] to every in-edge of [v],
+    in source order. *)
+
+val fold_succs : t -> int -> ('a -> int -> int -> 'a) -> 'a -> 'a
+(** [fold_succs g v f init] folds [f acc dst latency] over [v]'s
+    out-edges. *)
+
+val fold_preds : t -> int -> ('a -> int -> int -> 'a) -> 'a -> 'a
+(** [fold_preds g v f init] folds [f acc src latency] over [v]'s
+    in-edges. *)
+
+val for_all_preds : t -> int -> (int -> int -> bool) -> bool
+(** [for_all_preds g v f] is true iff [f src latency] holds for every
+    in-edge of [v]; short-circuits on the first failure. *)
 
 val succs : t -> int -> (int * int) array
-(** [succs g v] is the array of [(dst, latency)] pairs leaving [v]. *)
+(** [succs g v] is the array of [(dst, latency)] pairs leaving [v].
+    Legacy view: the nested arrays are built lazily on first use and
+    cached; do not mutate the result.  Hot paths should prefer
+    {!iter_succs}. *)
 
 val preds : t -> int -> (int * int) array
-(** [preds g v] is the array of [(src, latency)] pairs entering [v]. *)
+(** [preds g v] is the array of [(src, latency)] pairs entering [v]
+    (legacy view, lazily cached; do not mutate). *)
 
 val edges : t -> edge list
-(** All edges, in unspecified order. *)
+(** All edges, sorted by [(src, dst)]. *)
 
 val topo_order : t -> int array
 (** Node ids in a topological order (cached). *)
@@ -50,8 +102,23 @@ val is_pred : t -> int -> int -> bool
 (** [is_pred g u v] is true iff [u] is a strict transitive predecessor of
     [v]. *)
 
+val cone_topo : t -> int -> int array
+(** [cone_topo g root] is [root]'s cone — its strict transitive
+    predecessors plus [root] itself — as a flat array in topological
+    order ([root] last).  Cached per root; do not mutate.  Lets
+    per-branch passes iterate the cone directly instead of scanning all
+    nodes with a membership test. *)
+
 val reverse : t -> t
-(** Same nodes, every edge flipped (latencies preserved). *)
+(** Same nodes, every edge flipped (latencies preserved).  O(1): the two
+    CSR directions are shared, swapped. *)
+
+val reverse_filtered : t -> keep:(int -> bool) -> t
+(** [reverse_filtered g ~keep] is {!reverse} restricted to the subgraph
+    induced on the nodes satisfying [keep]: every edge [src -> dst] with
+    both endpoints kept appears flipped; other nodes keep no edges.
+    Built directly from the CSR arrays in O(n + m), with no edge-list
+    materialisation, rehashing or cycle check. *)
 
 val longest_from_sources : t -> int array
 (** [longest_from_sources g] returns, for every node [v], the length of the
@@ -62,5 +129,11 @@ val longest_to : t -> int -> int array
 (** [longest_to g root] returns for every node [v] the length of the
     longest latency-weighted path from [v] to [root]; [min_int] when [v]
     does not precede [root] (and 0 for [root] itself). *)
+
+val longest_to_into : t -> int -> int array -> unit
+(** [longest_to_into g root dist] is {!longest_to} writing into the
+    caller-provided [dist] (length [n_nodes g]; fully overwritten) —
+    for hot loops that call it once per node and reuse one scratch
+    array.  Raises [Invalid_argument] on a wrong-length array. *)
 
 val pp : Format.formatter -> t -> unit

@@ -59,27 +59,35 @@ type pending = {
 
 let finish lineno p =
   let ops = List.rev p.ops in
-  let b = Builder.create ~name:p.name ~freq:p.freq () in
-  List.iteri
-    (fun expected (id, opcode, prob) ->
-      if id <> expected then
-        fail lineno
-          (Printf.sprintf "superblock %s: op ids must be dense, got %d" p.name
-             id);
-      match prob with
-      | Some prob when Opcode.is_branch opcode ->
-          ignore (Builder.add_branch b ~prob)
-      | None when Opcode.is_branch opcode -> ignore (Builder.add_branch b ~prob:0.)
-      | None -> ignore (Builder.add_op b opcode)
-      | Some _ -> fail lineno "prob= on a non-branch op")
-    ops;
-  List.iter
-    (fun (src, dst, lat) ->
-      match lat with
-      | Some latency -> Builder.dep b ~latency src dst
-      | None -> Builder.dep b src dst)
-    p.edges;
-  try Builder.build b
+  (* The whole builder interaction sits under one handler: not just
+     [build] but also [add_branch]/[add_op]/[dep] validate their inputs
+     with [Invalid_argument] (e.g. an edge naming an op id the block
+     never declared), and every such defect in the input must surface
+     as a parse error, never as an exception escaping [parse_string].
+     [fail]'s own [Parse_error] passes through untouched. *)
+  try
+    let b = Builder.create ~name:p.name ~freq:p.freq () in
+    List.iteri
+      (fun expected (id, opcode, prob) ->
+        if id <> expected then
+          fail lineno
+            (Printf.sprintf "superblock %s: op ids must be dense, got %d"
+               p.name id);
+        match prob with
+        | Some prob when Opcode.is_branch opcode ->
+            ignore (Builder.add_branch b ~prob)
+        | None when Opcode.is_branch opcode ->
+            ignore (Builder.add_branch b ~prob:0.)
+        | None -> ignore (Builder.add_op b opcode)
+        | Some _ -> fail lineno "prob= on a non-branch op")
+      ops;
+    List.iter
+      (fun (src, dst, lat) ->
+        match lat with
+        | Some latency -> Builder.dep b ~latency src dst
+        | None -> Builder.dep b src dst)
+      p.edges;
+    Builder.build b
   with Invalid_argument msg | Failure msg ->
     fail lineno (Printf.sprintf "superblock %s: %s" p.name msg)
 

@@ -5,6 +5,11 @@ type t = {
   branches : int array;
   weights : float array;
   freq : float;
+  latencies : int array;
+  op_classes : Opcode.op_class array;
+  branch_flags : bool array;
+  exit_probs : float array;
+  branch_of : int array;
 }
 
 let weight_tolerance = 1e-6
@@ -52,7 +57,27 @@ let make ?(name = "sb") ?(freq = 1.0) ~ops ~graph () =
   let total = Array.fold_left ( +. ) 0. weights in
   if total > 1. +. weight_tolerance then
     invalid_arg "Superblock.make: exit probabilities sum to more than 1";
-  { name; ops; graph; branches; weights; freq }
+  (* Parallel per-op arrays: the scheduler and bound inner loops index
+     these flat arrays instead of chasing the [Operation.t] records. *)
+  let latencies = Array.map Operation.latency ops in
+  let op_classes = Array.map Operation.op_class ops in
+  let branch_flags = Array.map Operation.is_branch ops in
+  let exit_probs = Array.map (fun op -> op.Operation.exit_prob) ops in
+  let branch_of = Array.make n (-1) in
+  Array.iteri (fun k bid -> branch_of.(bid) <- k) branches;
+  {
+    name;
+    ops;
+    graph;
+    branches;
+    weights;
+    freq;
+    latencies;
+    op_classes;
+    branch_flags;
+    exit_probs;
+    branch_of;
+  }
 
 let n_ops t = Array.length t.ops
 
@@ -61,12 +86,15 @@ let n_branches t = Array.length t.branches
 let branch_op t k = t.branches.(k)
 
 let branch_index t v =
-  let rec go k =
-    if k >= Array.length t.branches then None
-    else if t.branches.(k) = v then Some k
-    else go (k + 1)
-  in
-  go 0
+  match t.branch_of.(v) with -1 -> None | k -> Some k
+
+let latency_of t v = t.latencies.(v)
+
+let op_class_of t v = t.op_classes.(v)
+
+let is_branch_op t v = t.branch_flags.(v)
+
+let exit_prob_of t v = t.exit_probs.(v)
 
 let weight t k = t.weights.(k)
 

@@ -24,7 +24,16 @@ type t = private {
   branches : int array;  (** op ids of the branches, program order *)
   weights : float array;  (** [weights.(k)] = exit probability of branch k *)
   freq : float;  (** execution frequency, used for dynamic cycle counts *)
+  latencies : int array;  (** per op: opcode latency (= [Operation.latency]) *)
+  op_classes : Opcode.op_class array;  (** per op: resource class *)
+  branch_flags : bool array;  (** per op: is it a branch *)
+  exit_probs : float array;  (** per op: exit probability (0 for non-branches) *)
+  branch_of : int array;  (** per op: its branch index, or -1 *)
 }
+(** The five trailing fields are struct-of-arrays projections of [ops],
+    derived at construction so inner loops index flat arrays instead of
+    chasing per-op records; they always agree with [ops].  Do not
+    mutate. *)
 
 val make :
   ?name:string ->
@@ -45,7 +54,21 @@ val branch_op : t -> int -> int
 (** [branch_op sb k] is the op id of branch [k]. *)
 
 val branch_index : t -> int -> int option
-(** [branch_index sb v] is [Some k] when op [v] is branch [k]. *)
+(** [branch_index sb v] is [Some k] when op [v] is branch [k] — O(1)
+    via the [branch_of] array. *)
+
+val latency_of : t -> int -> int
+(** [latency_of sb v] is op [v]'s opcode latency (flat-array read). *)
+
+val op_class_of : t -> int -> Opcode.op_class
+(** [op_class_of sb v] is op [v]'s resource class (flat-array read). *)
+
+val is_branch_op : t -> int -> bool
+(** [is_branch_op sb v] is true iff op [v] is a branch (flat-array read). *)
+
+val exit_prob_of : t -> int -> float
+(** [exit_prob_of sb v] is op [v]'s exit probability, 0 for non-branches
+    (flat-array read). *)
 
 val weight : t -> int -> float
 (** [weight sb k] is the exit probability of branch [k]. *)

@@ -29,12 +29,14 @@ type selection = {
 let select_branches st (sb : Superblock.t) infos order ~placeable =
   let config = Scheduler_core.config st in
   let g = sb.Superblock.graph in
+  let n = Superblock.n_ops sb in
   let cycle = Scheduler_core.cycle st in
   let nr = Config.n_resources config in
   let nb = Superblock.n_branches sb in
   let outcomes = Array.make nb Ignored in
   let te = ref [] in
-  let te_mem = Hashtbl.create 16 in
+  let te_mem = Bitset.Arena.acquire n in
+  let cur_mem = Bitset.Arena.acquire n in
   let te_res = Array.make nr 0 in
   let take_one = Array.make nr None in
   let avail r = Scheduler_core.available_in_current_cycle st ~r in
@@ -62,20 +64,18 @@ let select_branches st (sb : Superblock.t) infos order ~placeable =
           else begin
             (* Tentatively extend TakeEach with this branch's NeedEach. *)
             let new_ops =
-              List.filter (fun v -> not (Hashtbl.mem te_mem v)) need_each
+              List.filter (fun v -> not (Bitset.mem te_mem v)) need_each
             in
             (* A NeedEach op may legitimately depend on another TakeEach op
                through a latency-0 edge (e.g. a store feeding its block's
                branch): both can still issue in this cycle, in order. *)
-            let in_new_te v = Hashtbl.mem te_mem v || List.memq v new_ops in
+            let in_new_te v = Bitset.mem te_mem v || List.memq v new_ops in
             let chain_ok v =
               (not (Scheduler_core.is_scheduled st v))
               && Scheduler_core.data_ready_at st v <= cycle
-              && Array.for_all
-                   (fun (p, lat) ->
+              && Dep_graph.for_all_preds g v (fun p lat ->
                      Scheduler_core.is_scheduled st p
                      || (lat = 0 && in_new_te p))
-                   (Dep_graph.preds g v)
             in
             let feasible = ref (List.for_all chain_ok new_ops) in
             let new_te_res = Array.copy te_res in
@@ -104,9 +104,9 @@ let select_branches st (sb : Superblock.t) infos order ~placeable =
                         match new_to.(r) with
                         | None -> ops
                         | Some cur ->
-                            let cur_set = Hashtbl.create 16 in
-                            List.iter (fun v -> Hashtbl.replace cur_set v ()) cur;
-                            List.filter (fun v -> Hashtbl.mem cur_set v) ops
+                            Bitset.clear cur_mem;
+                            List.iter (Bitset.add cur_mem) cur;
+                            List.filter (Bitset.mem cur_mem) ops
                       in
                       if narrowed = [] then feasible := false
                       else new_to.(r) <- Some narrowed
@@ -123,7 +123,7 @@ let select_branches st (sb : Superblock.t) infos order ~placeable =
               outcomes.(k) <- Selected;
               List.iter
                 (fun v ->
-                  Hashtbl.replace te_mem v ();
+                  Bitset.add te_mem v;
                   te := v :: !te)
                 new_ops;
               Array.blit new_te_res 0 te_res 0 nr;
@@ -132,6 +132,8 @@ let select_branches st (sb : Superblock.t) infos order ~placeable =
             else outcomes.(k) <- Delayed
           end)
     order;
+  Bitset.Arena.release cur_mem;
+  Bitset.Arena.release te_mem;
   let take_one_list =
     List.filter_map
       (fun r -> match take_one.(r) with Some ops -> Some (r, ops) | None -> None)
@@ -207,11 +209,14 @@ let swap_order order (i, j) =
    extended with the HlpDel penalty. *)
 let pick_op st (sb : Superblock.t) infos ~use_hlpdel candidates =
   let n = Superblock.n_ops sb in
+  let nr = Config.n_resources (Scheduler_core.config st) in
   let g = sb.Superblock.graph in
   let cycle = Scheduler_core.cycle st in
   let score = Array.make n 0. in
   let nhelp = Array.make n 0 in
   let minlate = Array.make n max_int in
+  let need_ops = Bitset.Arena.acquire n in
+  let need_res = Bitset.Arena.acquire nr in
   Array.iteri
     (fun k info ->
       match info with
@@ -224,12 +229,12 @@ let pick_op st (sb : Superblock.t) infos ~use_hlpdel candidates =
           (* Index the needed ops and resources once per branch rather
              than scanning the (possibly long) ERC op lists per
              candidate. *)
-          let need_ops = Hashtbl.create 32 in
-          let need_res = Hashtbl.create 4 in
+          Bitset.clear need_ops;
+          Bitset.clear need_res;
           List.iter
             (fun (r, ops) ->
-              Hashtbl.replace need_res r ();
-              List.iter (fun v -> Hashtbl.replace need_ops v ()) ops)
+              Bitset.add need_res r;
+              List.iter (Bitset.add need_ops) ops)
             needs;
           List.iter
             (fun v ->
@@ -239,7 +244,7 @@ let pick_op st (sb : Superblock.t) infos ~use_hlpdel candidates =
                 is_member
                 && List.mem (Scheduler_core.resource_of st v) critical
               in
-              let in_need_one = Hashtbl.mem need_ops v in
+              let in_need_one = Bitset.mem need_ops v in
               if dep_help || res_help || in_need_one then begin
                 score.(v) <- score.(v) +. w;
                 nhelp.(v) <- nhelp.(v) + 1;
@@ -250,11 +255,13 @@ let pick_op st (sb : Superblock.t) infos ~use_hlpdel candidates =
                 (* v neither helps b nor belongs to b's zero-slack ERC: if
                    it consumes that ERC's resource it indirectly delays
                    b (Observation 1). *)
-                if Hashtbl.mem need_res (Scheduler_core.resource_of st v) then
+                if Bitset.mem need_res (Scheduler_core.resource_of st v) then
                   score.(v) <- score.(v) -. w
               end)
             candidates)
     infos;
+  Bitset.Arena.release need_res;
+  Bitset.Arena.release need_ops;
   let better a b =
     if score.(a) <> score.(b) then score.(a) > score.(b)
     else if nhelp.(a) <> nhelp.(b) then nhelp.(a) > nhelp.(b)

@@ -54,6 +54,73 @@ let need_one info =
       else None)
     info.ercs
 
+(* Per-domain scratch for the ERC construction: unscheduled members
+   bucketed by resource into parallel (id, late) segments, each sorted
+   in place by (late, id).  One sorted pass then serves both the delay
+   sweep and the window build, replacing the per-call list bucketing
+   and list sorts that dominated the analyze profile. *)
+type erc_scratch = {
+  mutable mv : int array;  (* member ids, segmented by resource *)
+  mutable ml : int array;  (* matching late values *)
+  mutable sv : int array;  (* staging: ids in cone order *)
+  mutable sl : int array;  (* staging: late values *)
+  mutable sr : int array;  (* staging: resources *)
+  mutable off : int array;  (* nr + 1 segment offsets *)
+  mutable fill : int array;  (* per-resource fill cursors *)
+}
+
+let erc_scratch_key : erc_scratch Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { mv = [||]; ml = [||]; sv = [||]; sl = [||]; sr = [||];
+        off = [||]; fill = [||] })
+
+(* In-place sort of the parallel (late, id) segment [lo, hi] by
+   (late, id): insertion below 12, median-of-three quicksort above.
+   Ids are distinct, so the order is total and the result canonical
+   whatever the initial arrangement. *)
+let rec sort_segment mv ml lo hi =
+  if hi - lo < 12 then
+    for i = lo + 1 to hi do
+      let v = mv.(i) and l = ml.(i) in
+      let j = ref (i - 1) in
+      while !j >= lo && (ml.(!j) > l || (ml.(!j) = l && mv.(!j) > v)) do
+        mv.(!j + 1) <- mv.(!j);
+        ml.(!j + 1) <- ml.(!j);
+        decr j
+      done;
+      mv.(!j + 1) <- v;
+      ml.(!j + 1) <- l
+    done
+  else begin
+    let swap i j =
+      let tv = mv.(i) and tl = ml.(i) in
+      mv.(i) <- mv.(j);
+      ml.(i) <- ml.(j);
+      mv.(j) <- tv;
+      ml.(j) <- tl
+    in
+    let less i j = ml.(i) < ml.(j) || (ml.(i) = ml.(j) && mv.(i) < mv.(j)) in
+    let mid = lo + ((hi - lo) / 2) in
+    if less mid lo then swap mid lo;
+    if less hi mid then begin
+      swap hi mid;
+      if less mid lo then swap mid lo
+    end;
+    let pl = ml.(mid) and pv = mv.(mid) in
+    let i = ref lo and j = ref hi in
+    while !i <= !j do
+      while ml.(!i) < pl || (ml.(!i) = pl && mv.(!i) < pv) do incr i done;
+      while pl < ml.(!j) || (pl = ml.(!j) && pv < mv.(!j)) do decr j done;
+      if !i <= !j then begin
+        swap !i !j;
+        incr i;
+        decr j
+      end
+    done;
+    sort_segment mv ml lo !j;
+    sort_segment mv ml !i hi
+  end
+
 let analyze ?early_floor ?late_floor ?(with_erc = true) st ~branch_index =
   let sb = Scheduler_core.superblock st in
   let config = Scheduler_core.config st in
@@ -63,46 +130,47 @@ let analyze ?early_floor ?late_floor ?(with_erc = true) st ~branch_index =
   let b = Superblock.branch_op sb branch_index in
   let preds_of_b = Dep_graph.transitive_preds g b in
   let is_member v = v = b || Bitset.mem preds_of_b v in
-  let order = Dep_graph.topo_order g in
-  Scheduler_core.add_work st (Bitset.cardinal preds_of_b + 1);
+  (* Every pass below walks the branch's cone directly (members in
+     topological order, [b] last) instead of scanning all [n] nodes with
+     a membership test; non-members keep their array defaults
+     ([min_int]/[max_int]), exactly as the whole-graph passes left
+     them. *)
+  let cone = Dep_graph.cone_topo g b in
+  Scheduler_core.add_work st (Array.length cone);
   (* Forward pass: dynamic earliest issue cycles over the partial
      schedule, clamped to the current cycle and the static floor. *)
   let early = Array.make n min_int in
   let frontier = ref max_int in
+  Sb_obs.Obs.Span.with_ "dyn.fwd" (fun () ->
   Array.iter
     (fun v ->
-      if is_member v then
-        if Scheduler_core.is_scheduled st v then
-          early.(v) <- Scheduler_core.issue_time st v
-        else begin
-          let e = ref cycle in
-          (match early_floor with
-          | Some f -> if f.(v) > !e then e := f.(v)
-          | None -> ());
-          Array.iter
-            (fun (p, lat) ->
-              if early.(p) <> min_int && early.(p) + lat > !e then
-                e := early.(p) + lat)
-            (Dep_graph.preds g v);
-          early.(v) <- !e;
-          if !e < !frontier then frontier := !e
-        end)
-    order;
+      if Scheduler_core.is_scheduled st v then
+        early.(v) <- Scheduler_core.issue_time st v
+      else begin
+        let e = ref cycle in
+        (match early_floor with
+        | Some f -> if f.(v) > !e then e := f.(v)
+        | None -> ());
+        Dep_graph.iter_preds g v (fun p lat ->
+            if early.(p) <> min_int && early.(p) + lat > !e then
+              e := early.(p) + lat);
+        early.(v) <- !e;
+        if !e < !frontier then frontier := !e
+      end)
+    cone);
   let e_b = ref early.(b) in
   (* Backward pass: dynamic latest issue cycles that keep [b] at [e_b],
      tightened by the (shifted) static LateRC floor. *)
   let late = Array.make n max_int in
   let compute_late () =
     late.(b) <- !e_b;
-    for i = Array.length order - 1 downto 0 do
-      let v = order.(i) in
-      if v <> b && is_member v && not (Scheduler_core.is_scheduled st v) then begin
+    for i = Array.length cone - 2 downto 0 do
+      let v = cone.(i) in
+      if not (Scheduler_core.is_scheduled st v) then begin
         let lt = ref max_int in
-        Array.iter
-          (fun (w, lat) ->
+        Dep_graph.iter_succs g v (fun w lat ->
             if is_member w && late.(w) <> max_int && late.(w) - lat < !lt then
-              lt := late.(w) - lat)
-          (Dep_graph.succs g v);
+              lt := late.(w) - lat);
         (match late_floor with
         | Some (floor, erc_b) ->
             if floor.(v) <> max_int then begin
@@ -112,116 +180,156 @@ let analyze ?early_floor ?late_floor ?(with_erc = true) st ~branch_index =
         | None -> ());
         late.(v) <- !lt
       end
-      else if not (is_member v) then late.(v) <- max_int
     done
   in
+  let compute_late () = Sb_obs.Obs.Span.with_ "dyn.late" compute_late in
   compute_late ();
   (* A static floor can already be unmeetable: ops forced before the
      current cycle delay [b] outright. *)
   let missed = ref 0 in
-  Array.iteri
-    (fun v lt ->
+  Array.iter
+    (fun v ->
+      let lt = late.(v) in
       if
-        lt <> max_int && is_member v
+        lt <> max_int
         && not (Scheduler_core.is_scheduled st v)
         && cycle - lt > !missed
       then missed := cycle - lt)
-    late;
+    cone;
   if !missed > 0 then begin
     e_b := !e_b + !missed;
     compute_late ()
   end;
   let ercs = ref [] in
-  if with_erc then begin
+  if with_erc then Sb_obs.Obs.Span.with_ "dyn.erc" (fun () -> begin
     (* Elementary Resource Constraints: for every deadline [c], the
        unscheduled predecessors due by [c] must fit in the slots left
-       between now and [c]. *)
+       between now and [c].  The unscheduled members are bucketed by
+       resource into the per-domain scratch (a counting sort over the
+       cone) and each segment sorted in place by (late, id); the ids are
+       distinct, so the segment order is canonical whatever the cone
+       order.  One sorted pass then drives both the delay sweep and the
+       window build, with no per-call lists. *)
     let nr = Config.n_resources config in
-    let lates_by_r = Array.make nr [] in
-    Array.iteri
-      (fun v lt ->
-        if
-          lt <> max_int && is_member v
-          && not (Scheduler_core.is_scheduled st v)
-        then begin
-          let r =
-            Config.resource_of config (Operation.op_class sb.Superblock.ops.(v))
-          in
-          lates_by_r.(r) <- lt :: lates_by_r.(r)
-        end)
-      late;
+    let s = Domain.DLS.get erc_scratch_key in
+    if Array.length s.mv < Array.length cone then begin
+      let c = max 64 (max (Array.length cone) (2 * Array.length s.mv)) in
+      s.mv <- Array.make c 0;
+      s.ml <- Array.make c 0;
+      s.sv <- Array.make c 0;
+      s.sl <- Array.make c 0;
+      s.sr <- Array.make c 0
+    end;
+    if Array.length s.off < nr + 1 then begin
+      s.off <- Array.make (nr + 1) 0;
+      s.fill <- Array.make (nr + 1) 0
+    end;
+    let mv = s.mv and ml = s.ml and off = s.off and fill = s.fill in
+    let sv = s.sv and sl = s.sl and sr = s.sr in
+    let collect () =
+      (* One cone walk stages (id, late, resource); the counting sort
+         then reads only the flat staging arrays. *)
+      let m = ref 0 in
+      Array.iter
+        (fun v ->
+          if late.(v) <> max_int && not (Scheduler_core.is_scheduled st v)
+          then begin
+            sv.(!m) <- v;
+            sl.(!m) <- late.(v);
+            sr.(!m) <- Scheduler_core.resource_of st v;
+            incr m
+          end)
+        cone;
+      let m = !m in
+      Array.fill off 0 (nr + 1) 0;
+      for i = 0 to m - 1 do
+        off.(sr.(i)) <- off.(sr.(i)) + 1
+      done;
+      let acc = ref 0 in
+      for r = 0 to nr - 1 do
+        let c = off.(r) in
+        off.(r) <- !acc;
+        fill.(r) <- !acc;
+        acc := !acc + c
+      done;
+      off.(nr) <- !acc;
+      for i = 0 to m - 1 do
+        let r = sr.(i) in
+        mv.(fill.(r)) <- sv.(i);
+        ml.(fill.(r)) <- sl.(i);
+        fill.(r) <- fill.(r) + 1
+      done;
+      for r = 0 to nr - 1 do
+        sort_segment mv ml off.(r) (off.(r + 1) - 1)
+      done
+    in
+    collect ();
     let delay = ref 0 in
     for r = 0 to nr - 1 do
       let cap = Config.capacity_of config r in
       let used_now = Scheduler_core.used_in_current_cycle st ~r in
-      let lates = List.sort compare lates_by_r.(r) in
       let count = ref 0 in
-      let rec sweep = function
-        | [] -> ()
-        | c :: rest ->
-            incr count;
-            (match rest with
-            | c' :: _ when c' = c -> ()
-            | _ ->
-                Scheduler_core.add_work st 1;
-                let avail = ((c - cycle + 1) * cap) - used_now in
-                if !count > avail then begin
-                  let d = (!count - avail + cap - 1) / cap in
-                  if d > !delay then delay := d
-                end);
-            sweep rest
-      in
-      sweep lates
+      for i = off.(r) to off.(r + 1) - 1 do
+        incr count;
+        (* Only evaluate at the last occurrence of each deadline. *)
+        if i = off.(r + 1) - 1 || ml.(i + 1) <> ml.(i) then begin
+          Scheduler_core.add_work st 1;
+          let avail = ((ml.(i) - cycle + 1) * cap) - used_now in
+          if !count > avail then begin
+            let d = (!count - avail + cap - 1) / cap in
+            if d > !delay then delay := d
+          end
+        end
+      done
     done;
     if !delay > 0 then begin
       e_b := !e_b + !delay;
-      compute_late ()
+      compute_late ();
+      (* The late times changed; re-bucket and re-sort the segments. *)
+      collect ()
     end;
     (* Materialise every ERC with its empty-slot count (Step 4 of the
-       paper); the light update patches these in place. *)
-    for r = nr - 1 downto 0 do
+       paper); the light update patches these in place.  [acc] grows by
+       prepending along the ascending (late, id) walk, so each window's
+       op list is the accumulator as-is — descending (late, id) order,
+       structurally shared between windows of one resource.  Reversing
+       per window (ascending order) would copy every prefix: O(m) cells
+       per window instead of O(m) for all of them together.  No
+       consumer depends on the order: needs are membership-tested or
+       re-sorted, and patches ([List.filter]) keep it. *)
+    let rev_ercs = ref [] in
+    for r = 0 to nr - 1 do
       let cap = Config.capacity_of config r in
       let used_now = Scheduler_core.used_in_current_cycle st ~r in
-      let members_r =
-        List.sort compare
-          (Array.to_list (Array.init n (fun v -> v))
-          |> List.filter_map (fun v ->
-                 if
-                   late.(v) <> max_int && is_member v
-                   && (not (Scheduler_core.is_scheduled st v))
-                   && Config.resource_of config
-                        (Operation.op_class sb.Superblock.ops.(v))
-                      = r
-                 then Some (late.(v), v)
-                 else None))
-      in
-      let r_ercs = ref [] in
-      let rec build count acc = function
-        | [] -> ()
-        | (c, v) :: rest ->
-            let count = count + 1 and acc = v :: acc in
-            (match rest with
-            | (c', _) :: _ when c' = c -> ()
-            | _ ->
-                let avail = ((c - cycle + 1) * cap) - used_now in
-                r_ercs :=
-                  { resource = r; deadline = c; ops = List.rev acc;
-                    empty = avail - count }
-                  :: !r_ercs);
-            build count acc rest
-      in
-      build 0 [] members_r;
-      ercs := List.rev !r_ercs @ !ercs
-    done
-  end;
+      let acc = ref [] in
+      let count = ref 0 in
+      for i = off.(r) to off.(r + 1) - 1 do
+        incr count;
+        acc := mv.(i) :: !acc;
+        if i = off.(r + 1) - 1 || ml.(i + 1) <> ml.(i) then begin
+          let c = ml.(i) in
+          let avail = ((c - cycle + 1) * cap) - used_now in
+          rev_ercs :=
+            { resource = r; deadline = c; ops = !acc; empty = avail - !count }
+            :: !rev_ercs
+        end
+      done
+    done;
+    (* Built resource- then deadline-ascending; one reversal restores
+       the documented order. *)
+    ercs := List.rev !rev_ercs
+  end);
+  (* Collected in cone order, sorted to the ascending-id order the
+     whole-range scan produced (and [select_branches] relies on). *)
   let need_each = ref [] in
-  Array.iteri
-    (fun v lt ->
+  Array.iter
+    (fun v ->
+      let lt = late.(v) in
       if
-        lt <> max_int && lt <= cycle && is_member v
+        lt <> max_int && lt <= cycle
         && not (Scheduler_core.is_scheduled st v)
       then need_each := v :: !need_each)
-    late;
+    cone;
   {
     branch_index;
     b_op = b;
@@ -230,7 +338,7 @@ let analyze ?early_floor ?late_floor ?(with_erc = true) st ~branch_index =
     earlies = early;
     adjust = !e_b - early.(b);
     late;
-    need_each = List.rev !need_each;
+    need_each = List.sort (fun (a : int) b -> compare a b) !need_each;
     ercs = !ercs;
   }
 
@@ -244,9 +352,7 @@ let resource_critical st info =
   Bitset.iter
     (fun v ->
       if not (Scheduler_core.is_scheduled st v) then begin
-        let r =
-          Config.resource_of config (Operation.op_class sb.Superblock.ops.(v))
-        in
+        let r = Scheduler_core.resource_of st v in
         demand.(r) <- demand.(r) + 1
       end)
     (Dep_graph.transitive_preds g info.b_op);
@@ -278,6 +384,7 @@ module Cache = struct
     with_erc : bool;
     slots : slot array;
     preds : Bitset.t array;  (* transitive predecessors per branch op *)
+    cones : int array array;  (* topo-ordered cone per branch (Dep_graph.cone_topo) *)
     caps : int array;  (* capacity per resource *)
     cone_work : int array;  (* |preds| + 1 per branch: the hit re-charge *)
   }
@@ -443,14 +550,15 @@ module Cache = struct
               else begin
                 let nc = cycle + 1 in
                 let ne = ref [] in
-                Array.iteri
-                  (fun v lt ->
+                Array.iter
+                  (fun v ->
+                    let lt = info.late.(v) in
                     if
                       lt <> max_int && lt <= nc
                       && not (Scheduler_core.is_scheduled t.st v)
                     then ne := v :: !ne)
-                  info.late;
-                info.need_each <- List.rev !ne
+                  t.cones.(info.branch_index);
+                info.need_each <- List.sort (fun (a : int) b -> compare a b) !ne
               end
             end
         | _ -> ())
@@ -474,6 +582,9 @@ module Cache = struct
         preds =
           Array.init nb (fun k ->
               Dep_graph.transitive_preds g (Superblock.branch_op sb k));
+        cones =
+          Array.init nb (fun k ->
+              Dep_graph.cone_topo g (Superblock.branch_op sb k));
         caps = Array.init nr (fun r -> Config.capacity_of config r);
         cone_work = Array.make nb 0;
       }

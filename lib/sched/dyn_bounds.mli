@@ -16,7 +16,9 @@
 type erc = {
   resource : int;
   deadline : int;  (** the ERC's cycle [c] *)
-  mutable ops : int list;  (** unscheduled predecessors due by [deadline] *)
+  mutable ops : int list;  (** unscheduled predecessors due by [deadline],
+                               descending (late, id); windows of one
+                               resource share list structure *)
   mutable empty : int;  (** AvailSlot - NeedSlot; 0 means one of [ops] must
                             be taken by the next decision *)
 }

@@ -13,11 +13,11 @@ let schedule ?(node_budget = 200_000) config (sb : Superblock.t) =
   let nr = Config.n_resources config in
   let used = Array.make_matrix nr horizon 0 in
   let issue = Array.make n (-1) in
-  let unsched_preds =
-    Array.init n (fun v -> Array.length (Dep_graph.preds g v))
+  let unsched_preds = Array.init n (fun v -> Dep_graph.in_degree g v) in
+  let resources =
+    Array.map (fun cls -> Config.resource_of config cls) sb.Superblock.op_classes
   in
-  let cls v = Operation.op_class sb.Superblock.ops.(v) in
-  let res v = Config.resource_of config (cls v) in
+  let res v = resources.(v) in
   (* Incumbent: the Best heuristic. *)
   let incumbent = ref (Best.schedule config sb) in
   let best_wct = ref (Schedule.weighted_completion_time !incumbent) in
@@ -32,9 +32,8 @@ let schedule ?(node_budget = 200_000) config (sb : Superblock.t) =
         if issue.(v) >= 0 then e.(v) <- issue.(v)
         else begin
           e.(v) <- cycle;
-          Array.iter
-            (fun (p, lat) -> if e.(p) + lat > e.(v) then e.(v) <- e.(p) + lat)
-            (Dep_graph.preds g v)
+          Dep_graph.iter_preds g v (fun p lat ->
+              if e.(p) + lat > e.(v) then e.(v) <- e.(p) + lat)
         end)
       (Dep_graph.topo_order g);
     for k = 0 to nb - 1 do
@@ -46,23 +45,17 @@ let schedule ?(node_budget = 200_000) config (sb : Superblock.t) =
   let ready cycle v =
     issue.(v) < 0
     && unsched_preds.(v) = 0
-    && Array.for_all
-         (fun (p, lat) -> issue.(p) + lat <= cycle)
-         (Dep_graph.preds g v)
+    && Dep_graph.for_all_preds g v (fun p lat -> issue.(p) + lat <= cycle)
   in
   let place cycle v =
     issue.(v) <- cycle;
     used.(res v).(cycle) <- used.(res v).(cycle) + 1;
-    Array.iter
-      (fun (w, _) -> unsched_preds.(w) <- unsched_preds.(w) - 1)
-      (Dep_graph.succs g v)
+    Dep_graph.iter_succs g v (fun w _ -> unsched_preds.(w) <- unsched_preds.(w) - 1)
   in
   let unplace cycle v =
     issue.(v) <- -1;
     used.(res v).(cycle) <- used.(res v).(cycle) - 1;
-    Array.iter
-      (fun (w, _) -> unsched_preds.(w) <- unsched_preds.(w) + 1)
-      (Dep_graph.succs g v)
+    Dep_graph.iter_succs g v (fun w _ -> unsched_preds.(w) <- unsched_preds.(w) + 1)
   in
   (* [min_id] enforces increasing op ids within a cycle (placement order
      inside a cycle is irrelevant, so explore only one). *)

@@ -7,9 +7,8 @@ let height (sb : Superblock.t) =
   let order = Dep_graph.topo_order g in
   for i = Array.length order - 1 downto 0 do
     let v = order.(i) in
-    Array.iter
-      (fun (w, lat) -> if h.(w) + lat > h.(v) then h.(v) <- h.(w) + lat)
-      (Dep_graph.succs g v)
+    Dep_graph.iter_succs g v (fun w lat ->
+        if h.(w) + lat > h.(v) then h.(v) <- h.(w) + lat)
   done;
   h
 

@@ -8,6 +8,8 @@ type t = {
   issue : int array;  (* -1 while unscheduled *)
   data_ready : int array;  (* max over scheduled preds of issue + latency *)
   unsched_preds : int array;  (* member predecessors not yet scheduled *)
+  classes : Opcode.op_class array;  (* per op, from the superblock *)
+  resources : int array;  (* per op: resource id under [config] *)
   mutable cycle : int;
   resv : Reservation.t;
   mutable remaining : int;
@@ -28,12 +30,11 @@ let create ?members config (sb : Superblock.t) =
   let g = sb.Superblock.graph in
   Bitset.iter
     (fun v ->
-      Array.iter
-        (fun (p, _) ->
+      Dep_graph.iter_preds g v (fun p _ ->
           if Bitset.mem members p then
-            unsched_preds.(v) <- unsched_preds.(v) + 1)
-        (Dep_graph.preds g v))
+            unsched_preds.(v) <- unsched_preds.(v) + 1))
     members;
+  let classes = sb.Superblock.op_classes in
   {
     config;
     sb;
@@ -41,6 +42,8 @@ let create ?members config (sb : Superblock.t) =
     issue = Array.make n (-1);
     data_ready = Array.make n 0;
     unsched_preds;
+    classes;
+    resources = Array.map (fun cls -> Config.resource_of config cls) classes;
     cycle = 0;
     resv = Reservation.create config;
     remaining = Bitset.cardinal members;
@@ -70,16 +73,16 @@ let is_ready t v =
   && t.unsched_preds.(v) = 0
   && t.data_ready.(v) <= t.cycle
 
-let cls_of t v = Operation.op_class t.sb.Superblock.ops.(v)
+let cls_of t v = t.classes.(v)
 
 let is_placeable t v =
-  is_ready t v && Reservation.can_issue t.resv ~cycle:t.cycle ~cls:(cls_of t v)
+  is_ready t v && Reservation.can_issue t.resv ~cycle:t.cycle ~cls:t.classes.(v)
 
 let ready_ops t =
   Bitset.fold (fun v acc -> if is_ready t v then v :: acc else acc) t.members []
   |> List.rev
 
-let resource_of t v = Config.resource_of t.config (cls_of t v)
+let resource_of t v = t.resources.(v)
 
 let used_in_current_cycle t ~r =
   Reservation.used t.resv ~cycle:t.cycle ~r
@@ -96,14 +99,12 @@ let place t v =
   t.last <- v;
   t.work <- t.work + 1;
   Sb_bounds.Work.add "sched" 1;
-  Array.iter
-    (fun (w, lat) ->
+  Dep_graph.iter_succs t.sb.Superblock.graph v (fun w lat ->
       if Bitset.mem t.members w then begin
         t.unsched_preds.(w) <- t.unsched_preds.(w) - 1;
         if t.cycle + lat > t.data_ready.(w) then
           t.data_ready.(w) <- t.cycle + lat
-      end)
-    (Dep_graph.succs t.sb.Superblock.graph v);
+      end);
   t.on_place v
 
 let advance t =

@@ -1,0 +1,354 @@
+(* Differential tests for the CSR (struct-of-arrays) IR layout.
+
+   The Dep_graph rewrite replaced nested [(dst, lat) array array]
+   adjacency with packed CSR int arrays.  These tests pit the CSR
+   accessors against a naive nested-list oracle built independently from
+   the same edge list: neighbour contents (both directions), degrees,
+   indexed accessors, topological-order validity, transitive closures,
+   and the O(1) [reverse] / [reverse_filtered] constructions.
+
+   Also here: the Kwise full-list tuple hash regression (polymorphic
+   [Hashtbl.hash] only walks a bounded list prefix), Bitset in-place
+   set algebra + arena reuse, and an allocation-regression test pinning
+   the minor-heap cost of a Dyn_bounds cache event. *)
+
+open Sb_ir
+
+let count n = n
+
+(* ----------------------- random DAG generator ---------------------- *)
+
+let seed_gen = QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 100_000)
+
+(* Edges only from lower to higher ids: acyclic by construction, with
+   duplicate (src, dst) pairs left in to exercise max-latency merging. *)
+let random_dag seed =
+  let rng = Sb_workload.Rng.create (Int64.of_int ((seed * 31) + 5)) in
+  let n = 2 + Sb_workload.Rng.int rng 40 in
+  let edges = ref [] in
+  for dst = 1 to n - 1 do
+    for _ = 1 to Sb_workload.Rng.int rng 4 do
+      let src = Sb_workload.Rng.int rng dst in
+      edges :=
+        { Dep_graph.src; dst; latency = Sb_workload.Rng.int rng 4 } :: !edges
+    done
+  done;
+  (n, !edges)
+
+(* The oracle: merge duplicates keeping max latency, store neighbours as
+   sorted association lists per node — the shape the old implementation
+   exposed, built with none of the new code. *)
+let oracle ~n edges =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun { Dep_graph.src; dst; latency } ->
+      match Hashtbl.find_opt tbl (src, dst) with
+      | Some l when l >= latency -> ()
+      | _ -> Hashtbl.replace tbl (src, dst) latency)
+    edges;
+  let succs = Array.make n [] and preds = Array.make n [] in
+  Hashtbl.iter
+    (fun (s, d) l ->
+      succs.(s) <- (d, l) :: succs.(s);
+      preds.(d) <- (s, l) :: preds.(d))
+    tbl;
+  (Array.map (List.sort compare) succs, Array.map (List.sort compare) preds)
+
+let closure_of nexts n v =
+  (* Iterative DFS over the oracle's adjacency lists. *)
+  let seen = Array.make n false in
+  let rec go u =
+    List.iter
+      (fun (w, _) ->
+        if not seen.(w) then begin
+          seen.(w) <- true;
+          go w
+        end)
+      nexts.(u)
+  in
+  go v;
+  seen.(v) <- false;
+  (* strict *)
+  List.filter (fun w -> seen.(w)) (List.init n Fun.id)
+
+let prop_csr_matches_oracle =
+  QCheck.Test.make ~name:"CSR adjacency agrees with nested-list oracle"
+    ~count:(count 150) seed_gen (fun seed ->
+      let n, edges = random_dag seed in
+      let g = Dep_graph.make ~n edges in
+      let o_succs, o_preds = oracle ~n edges in
+      let ok = ref true in
+      let fail () = ok := false in
+      for v = 0 to n - 1 do
+        (* Legacy nested views: identical contents, canonical order. *)
+        if Array.to_list (Dep_graph.succs g v) <> o_succs.(v) then fail ();
+        if Array.to_list (Dep_graph.preds g v) <> o_preds.(v) then fail ();
+        (* Degrees. *)
+        if Dep_graph.out_degree g v <> List.length o_succs.(v) then fail ();
+        if Dep_graph.in_degree g v <> List.length o_preds.(v) then fail ();
+        (* Zero-copy iterators replay the same sequences. *)
+        let acc = ref [] in
+        Dep_graph.iter_succs g v (fun d l -> acc := (d, l) :: !acc);
+        if List.rev !acc <> o_succs.(v) then fail ();
+        let acc = ref [] in
+        Dep_graph.iter_preds g v (fun s l -> acc := (s, l) :: !acc);
+        if List.rev !acc <> o_preds.(v) then fail ();
+        (* Indexed accessors. *)
+        List.iteri
+          (fun i (d, l) ->
+            if Dep_graph.succ_dst_at g v i <> d then fail ();
+            if Dep_graph.succ_lat_at g v i <> l then fail ())
+          o_succs.(v);
+        List.iteri
+          (fun i (s, l) ->
+            if Dep_graph.pred_src_at g v i <> s then fail ();
+            if Dep_graph.pred_lat_at g v i <> l then fail ())
+          o_preds.(v);
+        (* Folds and the short-circuit for-all. *)
+        let sum =
+          Dep_graph.fold_succs g v (fun acc d l -> acc + d + l) 0
+        in
+        if sum <> List.fold_left (fun acc (d, l) -> acc + d + l) 0 o_succs.(v)
+        then fail ();
+        if
+          Dep_graph.for_all_preds g v (fun s _ -> s < v)
+          <> List.for_all (fun (s, _) -> s < v) o_preds.(v)
+        then fail ()
+      done;
+      !ok)
+
+let prop_csr_topo_and_closures =
+  QCheck.Test.make ~name:"CSR topo order and transitive closures are sound"
+    ~count:(count 150) seed_gen (fun seed ->
+      let n, edges = random_dag seed in
+      let g = Dep_graph.make ~n edges in
+      let o_succs, o_preds = oracle ~n edges in
+      let order = Dep_graph.topo_order g in
+      let pos = Array.make n (-1) in
+      Array.iteri (fun i v -> pos.(v) <- i) order;
+      (* A permutation of 0..n-1 respecting every edge. *)
+      Array.length order = n
+      && Array.for_all (fun p -> p >= 0) pos
+      && List.for_all
+           (fun { Dep_graph.src; dst; _ } -> pos.(src) < pos.(dst))
+           (Dep_graph.edges g)
+      && List.for_all
+           (fun v ->
+             Bitset.elements (Dep_graph.transitive_succs g v)
+             = closure_of o_succs n v
+             && Bitset.elements (Dep_graph.transitive_preds g v)
+                = closure_of o_preds n v)
+           (List.init n Fun.id))
+
+let prop_reverse_and_filtered =
+  QCheck.Test.make ~name:"reverse and reverse_filtered agree with the oracle"
+    ~count:(count 150) seed_gen (fun seed ->
+      let n, edges = random_dag seed in
+      let g = Dep_graph.make ~n edges in
+      let o_succs, o_preds = oracle ~n edges in
+      let r = Dep_graph.reverse g in
+      let keep v = (v * 2654435761) land 4 <> 0 in
+      let rf = Dep_graph.reverse_filtered g ~keep in
+      let kept_rev_succs v =
+        if not (keep v) then []
+        else List.filter (fun (s, _) -> keep s) o_preds.(v)
+      in
+      List.for_all
+        (fun v ->
+          Array.to_list (Dep_graph.succs r v) = o_preds.(v)
+          && Array.to_list (Dep_graph.preds r v) = o_succs.(v)
+          && Array.to_list (Dep_graph.succs rf v) = kept_rev_succs v
+          && Dep_graph.in_degree rf v
+             = List.length
+                 (if keep v then
+                    List.filter (fun (d, _) -> keep d) o_succs.(v)
+                  else []))
+        (List.init n Fun.id)
+      && Dep_graph.n_edges r = Dep_graph.n_edges g
+      && Dep_graph.n_edges rf
+         = List.length
+             (List.concat_map
+                (fun v ->
+                  if keep v then
+                    List.filter (fun (d, _) -> keep d) o_succs.(v)
+                  else [])
+                (List.init n Fun.id)))
+
+let test_n_edges_merges_duplicates () =
+  let g =
+    Dep_graph.make ~n:3
+      [
+        { Dep_graph.src = 0; dst = 1; latency = 1 };
+        { Dep_graph.src = 0; dst = 1; latency = 3 };
+        { Dep_graph.src = 1; dst = 2; latency = 0 };
+      ]
+  in
+  Alcotest.(check int) "merged edge count" 2 (Dep_graph.n_edges g);
+  Alcotest.(check int) "max latency kept" 3 (Dep_graph.succ_lat_at g 0 0)
+
+(* ------------------------- kwise tuple hash ------------------------ *)
+
+(* [Hashtbl.hash] examines at most 10 meaningful nodes, so int lists
+   sharing a 10-element prefix all collide no matter how they continue.
+   The keyed memo's full-list hash must separate them. *)
+let test_kwise_full_list_hash () =
+  let prefix = List.init 12 Fun.id in
+  let a = prefix @ [ 100 ] and b = prefix @ [ 200 ] in
+  Alcotest.(check bool)
+    "polymorphic hash collides past its traversal limit" true
+    (Hashtbl.hash a = Hashtbl.hash b);
+  Alcotest.(check bool)
+    "full-list hash separates them" true
+    (Sb_bounds.Kwise.tuple_key_hash a <> Sb_bounds.Kwise.tuple_key_hash b);
+  (* No mass collisions across a family of long tuples that are
+     indistinguishable to the polymorphic hash. *)
+  let tuples = List.init 64 (fun i -> prefix @ [ i; i * 7 ]) in
+  let hashes =
+    List.sort_uniq compare
+      (List.map Sb_bounds.Kwise.tuple_key_hash tuples)
+  in
+  Alcotest.(check bool)
+    "at least 60 of 64 long tuples hash distinctly" true
+    (List.length hashes >= 60)
+
+let prop_kwise_hash_consistent =
+  QCheck.Test.make ~name:"tuple hash is equal on equal lists"
+    ~count:(count 200)
+    (QCheck.list_of_size QCheck.Gen.(int_bound 30) (QCheck.int_bound 1000))
+    (fun l ->
+      Sb_bounds.Kwise.tuple_key_hash l
+      = Sb_bounds.Kwise.tuple_key_hash (List.map Fun.id l)
+      && Sb_bounds.Kwise.tuple_key_hash l >= 0)
+
+(* --------------------- bitset in-place algebra --------------------- *)
+
+let small_int_list =
+  QCheck.list_of_size QCheck.Gen.(int_bound 30) (QCheck.int_bound 199)
+
+let prop_bitset_into_ops =
+  QCheck.Test.make ~name:"inter_into/diff_into match their pure versions"
+    ~count:(count 200)
+    (QCheck.pair small_int_list small_int_list)
+    (fun (xs, ys) ->
+      let a = Bitset.of_list 200 xs and b = Bitset.of_list 200 ys in
+      let i = Bitset.copy a in
+      Bitset.inter_into i b;
+      let d = Bitset.copy a in
+      Bitset.diff_into d b;
+      Bitset.elements i = Bitset.elements (Bitset.inter a b)
+      && Bitset.elements d = Bitset.elements (Bitset.diff a b)
+      && (Bitset.clear d;
+          Bitset.is_empty d))
+
+let test_bitset_arena_reuse () =
+  let s1 = Bitset.Arena.acquire 100 in
+  Bitset.add s1 42;
+  Bitset.Arena.release s1;
+  (* Same capacity: the pooled set comes back, cleared. *)
+  let s2 = Bitset.Arena.acquire 100 in
+  Alcotest.(check bool) "recycled set is cleared" true (Bitset.is_empty s2);
+  Alcotest.(check bool) "same set is reused" true (s1 == s2);
+  (* Different capacity draws from a different pool. *)
+  let s3 = Bitset.Arena.acquire 64 in
+  Alcotest.(check bool) "capacity pools are distinct" true (s2 != s3);
+  Bitset.Arena.release s2;
+  Bitset.Arena.release s3;
+  let r =
+    Bitset.Arena.with_set 100 (fun s ->
+        Bitset.add s 7;
+        Bitset.cardinal s)
+  in
+  Alcotest.(check int) "with_set passes a usable set" 1 r;
+  let s4 = Bitset.Arena.acquire 100 in
+  Alcotest.(check bool) "with_set released its set" true (Bitset.is_empty s4);
+  Bitset.Arena.release s4
+
+let test_bitset_to_array () =
+  let s = Bitset.of_list 200 [ 5; 3; 150; 3 ] in
+  Alcotest.(check (array int)) "to_array is sorted uniq" [| 3; 5; 150 |]
+    (Bitset.to_array s)
+
+(* --------------------- allocation regression ----------------------- *)
+
+(* Replays a Balance schedule against a Dyn_bounds cache and pins the
+   average minor-heap allocation per cache event (refresh after a
+   placement or cycle advance).  The struct-of-arrays hot path keeps
+   per-event allocation modest and, above all, bounded: regressions that
+   reintroduce per-event closure or array churn trip the budget. *)
+let test_dyn_event_allocation_budget () =
+  let module Core = Sb_sched.Scheduler_core in
+  let module Dyn = Sb_sched.Dyn_bounds in
+  let config = Sb_machine.Config.gp2 in
+  let sb =
+    Sb_workload.Generator.generate
+      (Sb_workload.Rng.create 0xA110CL)
+      { Sb_workload.Generator.default_profile with name = "alloc"; max_ops = 60 }
+      ~index:0
+  in
+  let nb = Superblock.n_branches sb in
+  let erc = Sb_bounds.Langevin_cerny.early_rc config sb in
+  let reference = Sb_sched.Balance.schedule config sb in
+  let issue = reference.Sb_sched.Schedule.issue in
+  let by_cycle = Array.make reference.Sb_sched.Schedule.length [] in
+  Array.iteri (fun v c -> by_cycle.(c) <- v :: by_cycle.(c)) issue;
+  let pos = Array.make (Superblock.n_ops sb) 0 in
+  Array.iteri (fun i v -> pos.(v) <- i) (Dep_graph.topo_order sb.Superblock.graph);
+  let run () =
+    let st = Core.create config sb in
+    let cache = Dyn.Cache.create ~early_floor:erc ~with_erc:true st in
+    let events = ref 0 in
+    let refresh_all () =
+      for k = 0 to nb - 1 do
+        if not (Core.is_scheduled st (Superblock.branch_op sb k)) then begin
+          incr events;
+          ignore (Dyn.Cache.refresh cache ~branch_index:k)
+        end
+      done
+    in
+    Array.iter
+      (fun ops ->
+        List.iter
+          (fun v ->
+            Core.place st v;
+            refresh_all ())
+          (List.sort (fun a b -> compare pos.(a) pos.(b)) ops);
+        if not (Core.finished st) then begin
+          Core.advance st;
+          refresh_all ()
+        end)
+      by_cycle;
+    !events
+  in
+  (* Warm up once (lazy nested views, arena pools, memo tables). *)
+  ignore (run ());
+  let words0 = Gc.minor_words () in
+  let events = run () in
+  let words = Gc.minor_words () -. words0 in
+  let per_event = words /. float_of_int (max 1 events) in
+  Alcotest.(check bool)
+    (Printf.sprintf "%.0f minor words over %d events (%.0f/event, budget 512)"
+       words events per_event)
+    true
+    (per_event <= 512.)
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suites =
+  [
+    ( "layout",
+      List.map QCheck_alcotest.to_alcotest
+        [
+          prop_csr_matches_oracle;
+          prop_csr_topo_and_closures;
+          prop_reverse_and_filtered;
+          prop_kwise_hash_consistent;
+          prop_bitset_into_ops;
+        ]
+      @ [
+          tc "n_edges merges duplicates" test_n_edges_merges_duplicates;
+          tc "kwise full-list hash" test_kwise_full_list_hash;
+          tc "bitset arena reuse" test_bitset_arena_reuse;
+          tc "bitset to_array" test_bitset_to_array;
+          tc "dyn event allocation budget" test_dyn_event_allocation_budget;
+        ] );
+  ]
