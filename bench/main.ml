@@ -716,6 +716,84 @@ let run_obs scale =
   Printf.printf "    identical results: %b\n%!"
     (identical base traced && identical base off_again)
 
+(* optimal: anytime branch-and-bound search throughput.  Nodes/sec,
+   proved-optimal rate and mean gap on superblocks the Balance seed
+   does not already prove at the root, at 1 and 4 domains — the
+   work-stealing fan-out should scale node throughput. *)
+let run_optimal () =
+  print_endline "== optimal (anytime branch-and-bound search throughput) ==";
+  let machine = Option.get (Sb_machine.Config.by_name "GP2") in
+  let candidates =
+    (Sb_workload.Corpus.program ~count:32 "gcc").Sb_workload.Corpus.superblocks
+  in
+  (* Root-proved blocks expand zero nodes and say nothing about search
+     throughput; keep the ones the search actually has to work on. *)
+  let hard =
+    List.filter
+      (fun sb ->
+        let r = Sb_sched.Optimal.schedule ~budget_ms:2 machine sb in
+        r.Sb_sched.Optimal.nodes > 0)
+      candidates
+  in
+  let hard = List.filteri (fun i _ -> i < 8) hard in
+  Printf.printf
+    "  %d hard superblocks (of %d candidates), machine %s, 200 ms/block\n%!"
+    (List.length hard) (List.length candidates)
+    machine.Sb_machine.Config.name;
+  let rate_at jobs =
+    let t0 = Unix.gettimeofday () in
+    let nodes = ref 0 and proved = ref 0 and gaps = ref 0. and steals = ref 0 in
+    List.iter
+      (fun sb ->
+        let r = Sb_sched.Optimal.schedule ~jobs ~budget_ms:200 machine sb in
+        nodes := !nodes + r.Sb_sched.Optimal.nodes;
+        steals := !steals + r.Sb_sched.Optimal.steals;
+        if r.Sb_sched.Optimal.proved_optimal then incr proved;
+        gaps := !gaps +. r.Sb_sched.Optimal.gap)
+      hard;
+    let t = Unix.gettimeofday () -. t0 in
+    Printf.printf
+      "  %d domains: %9d nodes in %6.2f s = %10.0f nodes/s   proved %d/%d   \
+       mean gap %.3f   steals %d\n%!"
+      jobs !nodes t
+      (float_of_int !nodes /. t)
+      !proved (List.length hard)
+      (!gaps /. float_of_int (max 1 (List.length hard)))
+      !steals;
+    float_of_int !nodes /. t
+  in
+  let r1 = rate_at 1 in
+  let r4 = rate_at 4 in
+  (* Domains can only add throughput when the host has cores to put
+     them on; print the core count so a flat curve on a 1-core box
+     reads as the hardware limit it is, not a stealing bug. *)
+  Printf.printf "  1 -> 4 domain node-throughput speedup: %.2fx (%d cores)\n%!"
+    (r4 /. r1)
+    (Domain.recommended_domain_count ());
+  (* Budget sweep for the EXPERIMENTS.md anytime-profile table:
+     proved-optimal rate and mean remaining gap per machine model. *)
+  print_endline "  budget sweep (proved / mean gap, all candidate blocks):";
+  Printf.printf "  %-8s" "machine";
+  List.iter (fun b -> Printf.printf "  %8d ms" b) [ 10; 50; 200 ];
+  print_newline ();
+  List.iter
+    (fun m ->
+      Printf.printf "  %-8s" m.Sb_machine.Config.name;
+      List.iter
+        (fun budget_ms ->
+          let proved = ref 0 and gaps = ref 0. in
+          List.iter
+            (fun sb ->
+              let r = Sb_sched.Optimal.schedule ~budget_ms m sb in
+              if r.Sb_sched.Optimal.proved_optimal then incr proved;
+              gaps := !gaps +. r.Sb_sched.Optimal.gap)
+            candidates;
+          Printf.printf "  %2d/%d %.3f" !proved (List.length candidates)
+            (!gaps /. float_of_int (max 1 (List.length candidates))))
+        [ 10; 50; 200 ];
+      print_newline ())
+    Sb_machine.Config.all
+
 let run_tables scale =
   Printf.printf
     "== Paper tables and figures (synthetic corpus, scale %.3f) ==\n%!" scale;
@@ -735,7 +813,8 @@ let () =
   and incremental = ref true
   and serve = ref true
   and fault = ref true
-  and obs = ref true in
+  and obs = ref true
+  and optimal = ref true in
   let only what =
     tables := false;
     timing := false;
@@ -745,6 +824,7 @@ let () =
     serve := false;
     fault := false;
     obs := false;
+    optimal := false;
     what := true
   in
   let rec parse = function
@@ -776,11 +856,14 @@ let () =
     | "--obs-only" :: rest ->
         only obs;
         parse rest
+    | "--optimal-only" :: rest ->
+        only optimal;
+        parse rest
     | arg :: _ ->
         Printf.eprintf
           "unknown argument %S (expected --scale S, --tables-only, \
            --timing-only, --layout-only, --speedup-only, --incremental-only, \
-           --serve-only, --fault-only, --obs-only)\n"
+           --serve-only, --fault-only, --obs-only, --optimal-only)\n"
           arg;
         exit 1
   in
@@ -791,5 +874,6 @@ let () =
   if !serve then run_serve ();
   if !fault then run_fault !scale;
   if !obs then run_obs !scale;
+  if !optimal then run_optimal ();
   if !timing then run_timing ();
   if !layout then run_layout ()

@@ -132,6 +132,36 @@ let maybe_expand blocking sbs =
         fst (Sb_ir.Pipeline.expand ~occupancy:Sb_ir.Pipeline.classic_occupancy sb))
       sbs
 
+(* ------------------------------ faults ------------------------------ *)
+
+let fault_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "fault" ] ~docv:"PLAN"
+        ~doc:
+          "Install a deterministic fault-injection plan, e.g. \
+           'parpool.worker:die@0.01,serve.write:epipe@0.05,eval.item:5ms@0.02,seed=7' \
+           (see docs/ROBUSTNESS.md).  Overrides \\$SBSCHED_FAULT.")
+
+(* --fault wins; otherwise $SBSCHED_FAULT applies, so chaos smokes can
+   inject into a server spawned by a script without touching its
+   argv. *)
+let install_fault_plan flag =
+  match flag with
+  | Some plan -> (
+      match Sb_fault.Fault.parse plan with
+      | Ok p -> Sb_fault.Fault.install p
+      | Error e ->
+          Printf.eprintf "error: --fault: %s\n" e;
+          exit 1)
+  | None -> (
+      match Sb_fault.Fault.install_from_env () with
+      | Ok () -> ()
+      | Error e ->
+          Printf.eprintf "error: %s\n" e;
+          exit 1)
+
 (* ----------------------------- schedule ---------------------------- *)
 
 let schedule_cmd =
@@ -139,7 +169,37 @@ let schedule_cmd =
     Arg.(
       value & opt string "balance"
       & info [ "H"; "heuristic" ] ~docv:"NAME"
-          ~doc:"One of: sr, cp, gstar, dhasy, help, balance, best.")
+          ~doc:"One of: sr, cp, gstar, dhasy, help, balance, best, optimal.")
+  in
+  let optimal_budget_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "optimal-budget-ms" ] ~docv:"MS"
+          ~doc:
+            "Wall-clock budget per superblock for --heuristic optimal \
+             (default 50 ms).  The anytime search returns the best \
+             incumbent found plus its optimality gap when the budget \
+             runs out.")
+  in
+  let optimal_jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "optimal-jobs" ] ~docv:"N"
+          ~doc:
+            "Domains the branch-and-bound fans each superblock's subtree \
+             exploration over (--heuristic optimal only; independent of \
+             --jobs, which parallelizes across superblocks).")
+  in
+  let metrics_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "After the run, write every registered metric to FILE in \
+             Prometheus text exposition format (includes the \
+             sbsched_optimal_* search counters).")
   in
   let verbose_arg =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print full schedules.")
@@ -165,14 +225,19 @@ let schedule_cmd =
              values, and the Hedge tiebreak winner.  Balance only.  See \
              docs/OBSERVABILITY.md for the schema.")
   in
-  let run machine heuristic verbose blocking jobs dot trace explain file
-      generate count =
+  let run machine heuristic optimal_budget_ms optimal_jobs verbose blocking
+      jobs dot trace metrics fault explain file generate count =
+    install_fault_plan fault;
     match Sb_sched.Registry.by_name heuristic with
     | None ->
         Printf.eprintf "error: unknown heuristic %S\n" heuristic;
         exit 1
     | Some h ->
         let jobs = resolve_jobs jobs in
+        if optimal_jobs < 1 then begin
+          Printf.eprintf "error: --optimal-jobs must be >= 1\n";
+          exit 1
+        end;
         let sbs = maybe_expand blocking (load_superblocks file generate count) in
         let explain_sink =
           match explain with
@@ -209,35 +274,67 @@ let schedule_cmd =
           | None -> h.Sb_sched.Registry.run machine sb
         in
         with_trace trace @@ fun () ->
-        (* Render in parallel, print in corpus order. *)
-        Sb_eval.Parpool.parallel_map ~jobs
-          (fun sb ->
-            let s = run_sb sb in
-            let bound = Sb_bounds.Superblock_bound.tightest machine sb in
-            let wct = Sb_sched.Schedule.weighted_completion_time s in
-            Printf.sprintf "%-24s %s  wct=%.3f  bound=%.3f%s%s"
-              sb.Sb_ir.Superblock.name
-              machine.Sb_machine.Config.name wct bound
-              (if wct <= bound +. 1e-6 then "  (optimal)" else "")
-              (if verbose then
-                 Format.asprintf "@.%a" Sb_sched.Schedule.pp s
-               else ""))
-          sbs
-        |> List.iter print_endline;
+        (if h.Sb_sched.Registry.name = "optimal" then
+           (* The B&B fans out its own domains (--optimal-jobs), so the
+              per-superblock loop stays sequential here: nesting it in
+              the Parpool would multiply the domain count. *)
+           List.iter
+             (fun (sb : Sb_ir.Superblock.t) ->
+               let r =
+                 Sb_sched.Optimal.schedule ~mode:`Anytime ~jobs:optimal_jobs
+                   ~budget_ms:(Option.value optimal_budget_ms ~default:50)
+                   machine sb
+               in
+               Printf.printf
+                 "%-24s %s  wct=%.3f  bound=%.3f  gap=%.3f  proved=%b  \
+                  nodes=%d  steals=%d%s\n"
+                 sb.Sb_ir.Superblock.name machine.Sb_machine.Config.name
+                 r.Sb_sched.Optimal.wct r.Sb_sched.Optimal.lower_bound
+                 r.Sb_sched.Optimal.gap r.Sb_sched.Optimal.proved_optimal
+                 r.Sb_sched.Optimal.nodes r.Sb_sched.Optimal.steals
+                 (if verbose then
+                    Format.asprintf "@.%a" Sb_sched.Schedule.pp
+                      r.Sb_sched.Optimal.schedule
+                  else ""))
+             sbs
+         else
+           (* Render in parallel, print in corpus order. *)
+           Sb_eval.Parpool.parallel_map ~jobs
+             (fun sb ->
+               let s = run_sb sb in
+               let bound = Sb_bounds.Superblock_bound.tightest machine sb in
+               let wct = Sb_sched.Schedule.weighted_completion_time s in
+               Printf.sprintf "%-24s %s  wct=%.3f  bound=%.3f%s%s"
+                 sb.Sb_ir.Superblock.name
+                 machine.Sb_machine.Config.name wct bound
+                 (if wct <= bound +. 1e-6 then "  (optimal)" else "")
+                 (if verbose then
+                    Format.asprintf "@.%a" Sb_sched.Schedule.pp s
+                  else ""))
+             sbs
+           |> List.iter print_endline);
         (match (dot, sbs) with
         | Some path, sb :: _ ->
             let s = h.Sb_sched.Registry.run machine sb in
             Sb_ir.Dot.save path
               (Sb_ir.Dot.superblock ~issue:s.Sb_sched.Schedule.issue sb);
             Printf.printf "wrote %s\n" path
-        | _ -> ())
+        | _ -> ());
+        (match metrics with
+        | None -> ()
+        | Some path ->
+            let oc = open_out path in
+            output_string oc (Sb_obs.Obs.Metrics.prometheus ());
+            close_out oc;
+            Printf.eprintf "sbsched: wrote %s\n%!" path)
   in
   Cmd.v
     (Cmd.info "schedule" ~doc:"Schedule superblocks and report WCT vs bound")
     Term.(
-      const run $ machine_arg $ heuristic_arg $ verbose_arg $ blocking_arg
-      $ jobs_arg $ dot_arg $ trace_arg $ explain_arg $ file_arg $ generate_arg
-      $ count_arg)
+      const run $ machine_arg $ heuristic_arg $ optimal_budget_arg
+      $ optimal_jobs_arg $ verbose_arg $ blocking_arg $ jobs_arg $ dot_arg
+      $ trace_arg $ metrics_arg $ fault_arg $ explain_arg $ file_arg
+      $ generate_arg $ count_arg)
 
 (* ------------------------------ bounds ----------------------------- *)
 
@@ -400,36 +497,6 @@ let form_cmd =
     (Cmd.info "form"
        ~doc:"Form superblocks from a control-flow graph and schedule them")
     Term.(const run $ machine_arg $ cfg_file_arg $ dump_arg $ threshold_arg)
-
-(* ------------------------------ faults ------------------------------ *)
-
-let fault_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "fault" ] ~docv:"PLAN"
-        ~doc:
-          "Install a deterministic fault-injection plan, e.g. \
-           'parpool.worker:die@0.01,serve.write:epipe@0.05,eval.item:5ms@0.02,seed=7' \
-           (see docs/ROBUSTNESS.md).  Overrides \\$SBSCHED_FAULT.")
-
-(* --fault wins; otherwise $SBSCHED_FAULT applies, so chaos smokes can
-   inject into a server spawned by a script without touching its
-   argv. *)
-let install_fault_plan flag =
-  match flag with
-  | Some plan -> (
-      match Sb_fault.Fault.parse plan with
-      | Ok p -> Sb_fault.Fault.install p
-      | Error e ->
-          Printf.eprintf "error: --fault: %s\n" e;
-          exit 1)
-  | None -> (
-      match Sb_fault.Fault.install_from_env () with
-      | Ok () -> ()
-      | Error e ->
-          Printf.eprintf "error: %s\n" e;
-          exit 1)
 
 (* ---------------------------- experiments --------------------------- *)
 

@@ -120,6 +120,33 @@ for fam in sbsched_bounds_work_total sbsched_eval_respawned_total \
 done
 echo "metrics page carries the expected families"
 
+echo "== optimal: tiny corpus proves, counters land, faults degrade gracefully =="
+out=$("$SB" schedule -H optimal -g gcc -n 4 -m GP2 --optimal-budget-ms 200 \
+  --metrics "$tmpd/optimal.prom")
+echo "$out"
+blocks=$(echo "$out" | grep -c 'proved=') || blocks=0
+unproved=$(echo "$out" | grep -c 'proved=false') || unproved=0
+if [ "$blocks" -ne 4 ] || [ "$unproved" -ne 0 ]; then
+  echo "ci.sh: FAIL — optimal smoke wants proved=true on all 4 blocks (got $((blocks-unproved))/$blocks)" >&2
+  exit 1
+fi
+pruned=$(awk '$1 == "sbsched_optimal_pruned_total" { print $2 }' "$tmpd/optimal.prom")
+if [ -z "$pruned" ] || [ "$pruned" -eq 0 ]; then
+  echo "ci.sh: FAIL — sbsched_optimal_pruned_total missing or zero in the metrics dump" >&2
+  exit 1
+fi
+echo "all 4 blocks proved optimal; sbsched_optimal_pruned_total = $pruned"
+out=$("$SB" schedule -H optimal -g gcc -n 4 -m GP2 --optimal-budget-ms 200 \
+  --fault 'optimal.node:raise@1,seed=1')
+echo "$out"
+incumbents=$(echo "$out" | grep -c 'wct=.*gap=') || incumbents=0
+aborted=$(echo "$out" | grep -c 'proved=false') || aborted=0
+if [ "$incumbents" -ne 4 ] || [ "$aborted" -eq 0 ]; then
+  echo "ci.sh: FAIL — faulted optimal run must still return 4 incumbents with gaps, some unproved (got $incumbents/$aborted)" >&2
+  exit 1
+fi
+echo "injected optimal.node faults returned incumbents with gaps on all blocks"
+
 echo "== obs: serve answers the metrics request with a parseable page =="
 out=$(printf 'ping p1\nmetrics m1\n' | "$SB" serve --stdio)
 echo "$out" | head -c 200; echo

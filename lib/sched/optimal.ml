@@ -1,93 +1,675 @@
 open Sb_ir
 open Sb_machine
 
-exception Budget_exhausted
+type result = {
+  schedule : Schedule.t;
+  wct : float;
+  lower_bound : float;
+  gap : float;
+  proved_optimal : bool;
+  nodes : int;
+  pruned : int;
+  steals : int;
+}
 
-let schedule ?(node_budget = 200_000) config (sb : Superblock.t) =
+(* Raised inside a worker when the shared stop flag (budget, deadline,
+   watchdog, injected fault) is observed; never escapes [schedule]. *)
+exception Abort_search
+
+(* An open node: the decision path from the root (op ids, [-1] for a
+   cycle advance), a lower bound valid for its whole subtree (the
+   donor's bound at donation time — a child's bound can only be
+   tighter), and the donor worker (for the steal counter). *)
+type node = { path : int list; lb : float; donor : int }
+
+type incumbent = { inc_wct : float; inc_issue : int array }
+
+let eps = 1e-12
+
+let c_runs =
+  Sb_obs.Obs.Metrics.counter ~help:"Optimal branch-and-bound searches run"
+    "sbsched_optimal_runs_total"
+
+let c_nodes =
+  Sb_obs.Obs.Metrics.counter ~help:"Optimal search nodes expanded"
+    "sbsched_optimal_nodes_total"
+
+let c_pruned =
+  Sb_obs.Obs.Metrics.counter
+    ~help:"Optimal search nodes cut by the bound or the history table"
+    "sbsched_optimal_pruned_total"
+
+let c_steals =
+  Sb_obs.Obs.Metrics.counter
+    ~help:"Optimal deque nodes popped by a domain other than their donor"
+    "sbsched_optimal_steals_total"
+
+let c_proved =
+  Sb_obs.Obs.Metrics.counter ~help:"Optimal searches that proved optimality"
+    "sbsched_optimal_proved_total"
+
+(* Per-worker history table cap: beyond this many states, lookups still
+   prune but new states are no longer recorded. *)
+let history_cap = 1 lsl 17
+
+let schedule ?(mode = `Anytime) ?(jobs = 1) ?budget_ms ?node_budget config
+    (sb : Superblock.t) =
+  Sb_obs.Obs.Span.with_ "sched.optimal" @@ fun () ->
+  Sb_obs.Obs.Metrics.incr c_runs;
   let n = Superblock.n_ops sb in
   let g = sb.Superblock.graph in
   let nb = Superblock.n_branches sb in
   let l_br = Superblock.branch_latency sb in
-  (* Generous horizon: everything serialized plus the worst latency. *)
-  let horizon = (n * 10) + 16 in
   let nr = Config.n_resources config in
-  let used = Array.make_matrix nr horizon 0 in
-  let issue = Array.make n (-1) in
-  let unsched_preds = Array.init n (fun v -> Dep_graph.in_degree g v) in
+  let cap = Array.init nr (Config.capacity_of config) in
   let resources =
     Array.map (fun cls -> Config.resource_of config cls) sb.Superblock.op_classes
   in
-  let res v = resources.(v) in
-  (* Incumbent: the Best heuristic. *)
-  let incumbent = ref (Best.schedule config sb) in
-  let best_wct = ref (Schedule.weighted_completion_time !incumbent) in
-  let nodes = ref 0 in
-  (* Dependence-only lower bound on the remaining exits, from the current
-     partial schedule. *)
-  let remaining_bound cycle =
-    let e = Array.make n 0 in
-    let bound = ref 0. in
-    Array.iter
-      (fun v ->
-        if issue.(v) >= 0 then e.(v) <- issue.(v)
-        else begin
-          e.(v) <- cycle;
-          Dep_graph.iter_preds g v (fun p lat ->
-              if e.(p) + lat > e.(v) then e.(v) <- e.(p) + lat)
-        end)
-      (Dep_graph.topo_order g);
-    for k = 0 to nb - 1 do
-      let b = Superblock.branch_op sb k in
-      bound := !bound +. (Superblock.weight sb k *. float_of_int (e.(b) + l_br))
+  let topo = Dep_graph.topo_order g in
+  let branch_of = sb.Superblock.branch_of in
+  let branch_ops = Array.init nb (Superblock.branch_op sb) in
+  let w_k = Array.init nb (Superblock.weight sb) in
+  let jobs = match mode with `Exhaustive -> 1 | `Anytime -> max 1 jobs in
+  let budget_ms = match mode with `Exhaustive -> None | `Anytime -> budget_ms in
+  let node_budget =
+    match node_budget with
+    | Some b -> b
+    | None -> if budget_ms = None then 200_000 else max_int
+  in
+  (* Static context: the tightest whole-superblock bound roots the
+     certificate, EarlyRC floors the search bound, and the analysis
+     context feeds the Dyn_bounds floors; Balance reuses all of it to
+     seed the incumbent. *)
+  let ab = Sb_bounds.Superblock_bound.all_bounds config sb in
+  let static_lb = ab.Sb_bounds.Superblock_bound.tightest in
+  let early_rc = ab.Sb_bounds.Superblock_bound.early_rc in
+  let analysis = ab.Sb_bounds.Superblock_bound.analysis in
+  let seed = Balance.schedule ~precomputed:ab config sb in
+  let seed_wct = Schedule.weighted_completion_time seed in
+  if seed_wct <= static_lb +. 1e-9 then begin
+    (* The heuristic already meets the static bound: proved at the root,
+       no search needed.  This is the common case on real corpora. *)
+    Sb_obs.Obs.Metrics.incr c_proved;
+    {
+      schedule = seed;
+      wct = seed_wct;
+      lower_bound = seed_wct;
+      gap = 0.;
+      proved_optimal = true;
+      nodes = 0;
+      pruned = 0;
+      steals = 0;
+    }
+  end
+  else begin
+    let max_lat_out = Array.make n 0 in
+    for v = 0 to n - 1 do
+      Dep_graph.iter_succs g v (fun _ lat ->
+          if lat > max_lat_out.(v) then max_lat_out.(v) <- lat)
     done;
-    !bound
-  in
-  let ready cycle v =
-    issue.(v) < 0
-    && unsched_preds.(v) = 0
-    && Dep_graph.for_all_preds g v (fun p lat -> issue.(p) + lat <= cycle)
-  in
-  let place cycle v =
-    issue.(v) <- cycle;
-    used.(res v).(cycle) <- used.(res v).(cycle) + 1;
-    Dep_graph.iter_succs g v (fun w _ -> unsched_preds.(w) <- unsched_preds.(w) - 1)
-  in
-  let unplace cycle v =
-    issue.(v) <- -1;
-    used.(res v).(cycle) <- used.(res v).(cycle) - 1;
-    Dep_graph.iter_succs g v (fun w _ -> unsched_preds.(w) <- unsched_preds.(w) + 1)
-  in
-  (* [min_id] enforces increasing op ids within a cycle (placement order
-     inside a cycle is irrelevant, so explore only one). *)
-  let rec explore cycle min_id remaining =
-    incr nodes;
-    if !nodes > node_budget then raise Budget_exhausted;
-    (* The gettimeofday poll is ~100x a node's bookkeeping, so sample
-       every 64 nodes: cheap against the search itself, yet an armed
-       watchdog still interrupts a runaway search promptly. *)
-    if !nodes land 63 = 0 then Sb_fault.Watchdog.check "optimal.node";
-    if remaining = 0 then begin
-      let wct = remaining_bound cycle in
-      if wct < !best_wct -. 1e-12 then begin
-        best_wct := wct;
-        incumbent := Schedule.make config sb ~issue
+    let lmax = Array.fold_left max 0 max_lat_out in
+    (* Loss-free backstop only: the advance guard below already caps
+       idle chains well before this. *)
+    let horizon = (n * (lmax + 2)) + 64 in
+    (* For op [v], the branches whose cones contain it — the counts the
+       resource-window correction maintains are indexed by these. *)
+    let pb =
+      Array.init n (fun v -> Array.of_list (Superblock.preceding_branches sb v))
+    in
+    let counts0 = Array.make (nb * nr) 0 in
+    for v = 0 to n - 1 do
+      let r = resources.(v) in
+      Array.iter (fun k -> counts0.((k * nr) + r) <- counts0.((k * nr) + r) + 1) pb.(v)
+    done;
+    let late_floors =
+      Array.init nb (fun k -> Some (Sb_bounds.Analysis.late_floor analysis k))
+    in
+    let now () = Sb_obs.Obs.now_ns () in
+    let deadline =
+      let of_ms ms = Int64.add (now ()) (Int64.mul (Int64.of_int ms) 1_000_000L) in
+      let base = Option.map of_ms budget_ms in
+      match mode with
+      | `Exhaustive -> base
+      | `Anytime -> (
+          (* An armed per-item watchdog caps the budget: the anytime
+             contract is to come back with the incumbent before the
+             caller's deadline, not to raise through it. *)
+          match Sb_fault.Watchdog.remaining () with
+          | None -> base
+          | Some s ->
+              let wd =
+                Int64.add (now ()) (Int64.of_float (Float.max 0. s *. 1e9))
+              in
+              Some
+                (match base with
+                | None -> wd
+                | Some b -> if Int64.compare b wd < 0 then b else wd))
+    in
+    let seed_cell = { inc_wct = seed_wct; inc_issue = seed.Schedule.issue } in
+    let best = Atomic.make seed_cell in
+    let stop = Atomic.make false in
+    let nodes_a = Atomic.make 0 in
+    let pruned_a = Atomic.make 0 in
+    let steals_a = Atomic.make 0 in
+    let mutex = Mutex.create () in
+    let cond = Condition.create () in
+    let queue : node Queue.t = Queue.create () in
+    let active = ref 0 in
+    let unfinished = ref [] in
+    Queue.push { path = []; lb = static_lb; donor = -1 } queue;
+    let push nd =
+      Mutex.lock mutex;
+      Queue.push nd queue;
+      Condition.signal cond;
+      Mutex.unlock mutex
+    in
+    let take () =
+      Mutex.lock mutex;
+      let rec await () =
+        if Atomic.get stop then None
+        else
+          match Queue.take_opt queue with
+          | Some nd ->
+              incr active;
+              Some nd
+          | None ->
+              if !active = 0 then None
+              else begin
+                Condition.wait cond mutex;
+                await ()
+              end
+      in
+      let r = await () in
+      (match r with None -> Condition.broadcast cond | Some _ -> ());
+      Mutex.unlock mutex;
+      r
+    in
+    let finish_node () =
+      Mutex.lock mutex;
+      decr active;
+      if !active = 0 then Condition.broadcast cond;
+      Mutex.unlock mutex
+    in
+    let request_stop () =
+      if not (Atomic.get stop) then begin
+        Atomic.set stop true;
+        Mutex.lock mutex;
+        Condition.broadcast cond;
+        Mutex.unlock mutex
       end
-    end
-    else if remaining_bound cycle < !best_wct -. 1e-12 then begin
-      (* Try placing each eligible op in this cycle. *)
-      for v = min_id to n - 1 do
-        if ready cycle v && used.(res v).(cycle) < Config.capacity_of config (res v)
-        then begin
-          place cycle v;
-          explore cycle (v + 1) (remaining - 1);
-          unplace cycle v
+    in
+    let record_unfinished lb =
+      Mutex.lock mutex;
+      unfinished := lb :: !unfinished;
+      Mutex.unlock mutex
+    in
+    let worker wid =
+      let issue = Array.make n (-1) in
+      let unsched_preds = Array.init n (fun v -> Dep_graph.in_degree g v) in
+      let unsched_succs = Array.init n (fun v -> Dep_graph.out_degree g v) in
+      let used = Array.make_matrix nr horizon 0 in
+      let counts = Array.copy counts0 in
+      let e = Array.make n 0 in
+      let full = Array.make nr false in
+      let decisions = Array.make (n + horizon + 8) 0 in
+      let depth = ref 0 in
+      (* Explicit per-level candidate stacks: the untried siblings at
+         every level of the current dfs path.  They exist so donation
+         can hand off the SHALLOWEST untried subtrees — the big ones —
+         instead of whatever the dfs happens to be near; the arrays are
+         owner-private, so no locking is needed to take from them.
+         Allocated lazily per reached level. *)
+      let max_levels = n + horizon + 8 in
+      let cand : int array array = Array.make max_levels [||] in
+      let ccount = Array.make max_levels 0 in
+      let cidx = Array.make max_levels 0 in
+      let level_bound = Array.make max_levels 0. in
+      (* Levels below this belong to the popped node's replayed path,
+         not to live candidate state. *)
+      let base_depth = ref 0 in
+      let history : (string, float) Hashtbl.t = Hashtbl.create 4096 in
+      let key_buf = Bytes.create n in
+      let local_nodes = ref 0 in
+      let local_pruned = ref 0 in
+      let current_lb = ref static_lb in
+      let flush () =
+        if !local_nodes > 0 then begin
+          ignore (Atomic.fetch_and_add nodes_a !local_nodes);
+          local_nodes := 0
+        end;
+        if !local_pruned > 0 then begin
+          ignore (Atomic.fetch_and_add pruned_a !local_pruned);
+          local_pruned := 0
         end
-      done;
-      (* Or close the cycle.  (No schedule needs to run past the fully
-         serialized horizon, so the cut below is loss-free.) *)
-      if cycle + 1 < horizon then explore (cycle + 1) 0 remaining
-    end
-  in
-  match explore 0 0 n with
-  | () -> Some !incumbent
-  | exception Budget_exhausted -> None
+      in
+      (* Donate untried candidates, shallowest level first, while the
+         deque is short.  Runs owner-side from [poll], so the candidate
+         stacks need no synchronization; taking from the tail of a level
+         leaves the owner's own in-order iteration untouched. *)
+      let donate () =
+        if jobs > 1 && Queue.length queue < jobs then begin
+          let burst = ref 0 in
+          let dd = ref !base_depth in
+          while !burst < jobs * 2 && !dd < !depth do
+            while ccount.(!dd) > cidx.(!dd) && !burst < jobs * 2 do
+              ccount.(!dd) <- ccount.(!dd) - 1;
+              let v = cand.(!dd).(ccount.(!dd)) in
+              let rec prefix i acc =
+                if i < 0 then acc else prefix (i - 1) (decisions.(i) :: acc)
+              in
+              push
+                { path = prefix (!dd - 1) [ v ]; lb = level_bound.(!dd); donor = wid };
+              incr burst
+            done;
+            incr dd
+          done
+        end
+      in
+      (* The gettimeofday/clock polls are ~100x a node's bookkeeping, so
+         sample every 64 nodes: cheap against the search itself, yet an
+         armed watchdog still interrupts a runaway search promptly. *)
+      let poll () =
+        flush ();
+        if Atomic.get stop then raise Abort_search;
+        (match deadline with
+        | Some d when Int64.compare (now ()) d >= 0 ->
+            request_stop ();
+            raise Abort_search
+        | _ -> ());
+        if Atomic.get nodes_a > node_budget then begin
+          request_stop ();
+          raise Abort_search
+        end;
+        (match mode with
+        | `Exhaustive ->
+            Sb_fault.Watchdog.check "optimal.node";
+            Sb_fault.Fault.point "optimal.node"
+        | `Anytime -> (
+            try
+              Sb_fault.Watchdog.check "optimal.node";
+              Sb_fault.Fault.point "optimal.node"
+            with
+            | Sb_fault.Watchdog.Timed_out _ | Sb_fault.Fault.Injected _
+            | Sb_fault.Fault.Worker_death _ ->
+              request_stop ();
+              raise Abort_search));
+        donate ()
+      in
+      (* The search expands hundreds of thousands of nodes per second
+         and each domain's allocations trigger stop-the-world minor
+         collections across every domain, so the per-node bookkeeping
+         below sticks to the indexed CSR accessors and preallocated
+         scratch — no closures, no boxed floats. *)
+      let place v cycle =
+        issue.(v) <- cycle;
+        let r = resources.(v) in
+        used.(r).(cycle) <- used.(r).(cycle) + 1;
+        for i = 0 to Dep_graph.out_degree g v - 1 do
+          let w = Dep_graph.succ_dst_at g v i in
+          unsched_preds.(w) <- unsched_preds.(w) - 1
+        done;
+        for i = 0 to Dep_graph.in_degree g v - 1 do
+          let p = Dep_graph.pred_src_at g v i in
+          unsched_succs.(p) <- unsched_succs.(p) - 1
+        done;
+        let b = pb.(v) in
+        for i = 0 to Array.length b - 1 do
+          let j = (b.(i) * nr) + r in
+          counts.(j) <- counts.(j) - 1
+        done
+      in
+      let unplace v =
+        let cycle = issue.(v) in
+        issue.(v) <- -1;
+        let r = resources.(v) in
+        used.(r).(cycle) <- used.(r).(cycle) - 1;
+        for i = 0 to Dep_graph.out_degree g v - 1 do
+          let w = Dep_graph.succ_dst_at g v i in
+          unsched_preds.(w) <- unsched_preds.(w) + 1
+        done;
+        for i = 0 to Dep_graph.in_degree g v - 1 do
+          let p = Dep_graph.pred_src_at g v i in
+          unsched_succs.(p) <- unsched_succs.(p) + 1
+        done;
+        let b = pb.(v) in
+        for i = 0 to Array.length b - 1 do
+          let j = (b.(i) * nr) + r in
+          counts.(j) <- counts.(j) + 1
+        done
+      in
+      let placeable cycle v =
+        issue.(v) < 0
+        && unsched_preds.(v) = 0
+        && used.(resources.(v)).(cycle) < cap.(resources.(v))
+        &&
+        let d = Dep_graph.in_degree g v in
+        let rec ok i =
+          i >= d
+          || (issue.(Dep_graph.pred_src_at g v i)
+              + Dep_graph.pred_lat_at g v i
+              <= cycle
+             && ok (i + 1))
+        in
+        ok 0
+      in
+      (* Lower bound on the completions of the current partial schedule:
+         forward pass over unscheduled ops (floored by the static
+         EarlyRC and the current cycle — plus one when the op's resource
+         row is already full), then per open branch the elementary
+         resource-window delay: its remaining cone members must all fit
+         in [cycle .. t] minus the slots this cycle already used.  Also
+         returns the latest data-ready time any scheduled op imposes on
+         an unscheduled one (the advance guard) and the total weight of
+         the open branches (history-value normalisation). *)
+      (* Outputs land in [binfo] (a flat float array, so stores stay
+         unboxed) and [dr_max_r]: 0 = bound, 1 = total open-branch
+         weight. *)
+      let binfo = Array.make 2 0. in
+      let dr_max_r = ref 0 in
+      let bound_info cycle =
+        for r = 0 to nr - 1 do
+          full.(r) <- used.(r).(cycle) >= cap.(r)
+        done;
+        dr_max_r := 0;
+        for ti = 0 to n - 1 do
+          let v = topo.(ti) in
+          if issue.(v) >= 0 then e.(v) <- issue.(v)
+          else begin
+            let base = if full.(resources.(v)) then cycle + 1 else cycle in
+            e.(v) <- (if early_rc.(v) > base then early_rc.(v) else base);
+            for i = 0 to Dep_graph.in_degree g v - 1 do
+              let p = Dep_graph.pred_src_at g v i in
+              let c = e.(p) + Dep_graph.pred_lat_at g v i in
+              if c > e.(v) then e.(v) <- c;
+              if issue.(p) >= 0 && c > !dr_max_r then dr_max_r := c
+            done
+          end
+        done;
+        let rec branches k bound w_unsched =
+          if k = nb then begin
+            binfo.(0) <- bound;
+            binfo.(1) <- w_unsched
+          end
+          else begin
+            let b = branch_ops.(k) in
+            if issue.(b) >= 0 then
+              branches (k + 1)
+                (bound +. (w_k.(k) *. float_of_int (issue.(b) + l_br)))
+                w_unsched
+            else begin
+              let t = ref e.(b) in
+              for r = 0 to nr - 1 do
+                let rem = counts.((k * nr) + r) in
+                if rem > 0 then begin
+                  let need = rem + used.(r).(cycle) in
+                  let t_r = cycle - 1 + ((need + cap.(r) - 1) / cap.(r)) in
+                  if t_r > !t then t := t_r
+                end
+              done;
+              branches (k + 1)
+                (bound +. (w_k.(k) *. float_of_int (!t + l_br)))
+                (w_unsched +. w_k.(k))
+            end
+          end
+        in
+        branches 0 0. 0.
+      in
+      (* Packed cycle-start signature: one byte per op — unscheduled,
+         spent (no live latency can reach an unscheduled successor), or
+         the age of its youngest live latency.  The absolute cycle is
+         deliberately not part of the key: two states with equal
+         signatures reach the same completions up to a uniform shift, so
+         their objectives are comparable after adding
+         [cycle * w_unsched]. *)
+      let state_key cycle =
+        for v = 0 to n - 1 do
+          let b =
+            if issue.(v) < 0 then 0xFF
+            else if unsched_succs.(v) = 0 then 0xFE
+            else begin
+              let age = cycle - issue.(v) in
+              if age >= max_lat_out.(v) then 0xFE
+              else if age > 0xFD then 0xFD
+              else age
+            end
+          in
+          Bytes.unsafe_set key_buf v (Char.unsafe_chr b)
+        done;
+        Bytes.to_string key_buf
+      in
+      let history_prune cycle partial w_unsched =
+        let key = state_key cycle in
+        let value = partial +. (float_of_int cycle *. w_unsched) in
+        match Hashtbl.find_opt history key with
+        | Some v0 when value >= v0 -. eps -> true
+        | Some _ ->
+            Hashtbl.replace history key value;
+            false
+        | None ->
+            if Hashtbl.length history < history_cap then
+              Hashtbl.add history key value;
+            false
+      in
+      let rec improve wct =
+        let cur = Atomic.get best in
+        if wct < cur.inc_wct -. eps then begin
+          let better = { inc_wct = wct; inc_issue = Array.copy issue } in
+          if not (Atomic.compare_and_set best cur better) then improve wct
+        end
+      in
+      let rec dfs cycle min_id remaining partial =
+        incr local_nodes;
+        if !local_nodes >= 64 then poll ();
+        if remaining = 0 then improve partial
+        else begin
+          bound_info cycle;
+          let bound = binfo.(0) and w_unsched = binfo.(1) in
+          let dr_max = !dr_max_r in
+          if bound >= (Atomic.get best).inc_wct -. eps then incr local_pruned
+          else if min_id = 0 && history_prune cycle partial w_unsched then
+            incr local_pruned
+          else begin
+            let row_used = ref false in
+            for r = 0 to nr - 1 do
+              if used.(r).(cycle) > 0 then row_used := true
+            done;
+            (* Advance guard: from a state whose current row is empty
+               and whose unscheduled ops are all past their data-ready
+               times, every completion that starts a cycle later can be
+               shifted one cycle earlier — so the idle advance explores
+               nothing new and is cut (loss-free, unlike a horizon). *)
+            let adv_ok = (cycle < dr_max || !row_used) && cycle + 1 < horizon in
+            (* Materialize this level's untried candidates (placements
+               in increasing id, then the advance as [-1]) so donation
+               can take from the tail while the loop below walks the
+               head; [ccount] is re-read every iteration on purpose. *)
+            let d = !depth in
+            if Array.length cand.(d) = 0 then cand.(d) <- Array.make (n + 1) 0;
+            let row = cand.(d) in
+            let c = ref 0 in
+            for v = min_id to n - 1 do
+              if placeable cycle v then begin
+                row.(!c) <- v;
+                incr c
+              end
+            done;
+            if adv_ok then begin
+              row.(!c) <- -1;
+              incr c
+            end;
+            ccount.(d) <- !c;
+            cidx.(d) <- 0;
+            level_bound.(d) <- bound;
+            while cidx.(d) < ccount.(d) do
+              let v = row.(cidx.(d)) in
+              cidx.(d) <- cidx.(d) + 1;
+              if v >= 0 then descend cycle v remaining partial
+              else begin
+                decisions.(d) <- -1;
+                incr depth;
+                dfs (cycle + 1) 0 remaining partial;
+                decr depth
+              end
+            done
+          end
+        end
+      and descend cycle v remaining partial =
+        place v cycle;
+        decisions.(!depth) <- v;
+        incr depth;
+        let partial =
+          let k = branch_of.(v) in
+          if k >= 0 then partial +. (w_k.(k) *. float_of_int (cycle + l_br))
+          else partial
+        in
+        dfs cycle (v + 1) (remaining - 1) partial;
+        decr depth;
+        unplace v
+      in
+      let replay path =
+        let cycle = ref 0 and remaining = ref n in
+        let partial = ref 0. and min_id = ref 0 in
+        List.iter
+          (fun d ->
+            decisions.(!depth) <- d;
+            incr depth;
+            if d < 0 then begin
+              incr cycle;
+              min_id := 0
+            end
+            else begin
+              place d !cycle;
+              decr remaining;
+              (let k = branch_of.(d) in
+               if k >= 0 then
+                 partial := !partial +. (w_k.(k) *. float_of_int (!cycle + l_br)));
+              min_id := d + 1
+            end)
+          path;
+        (!cycle, !min_id, !remaining, !partial)
+      in
+      let reset_state () =
+        for v = 0 to n - 1 do
+          if issue.(v) >= 0 then unplace v
+        done;
+        depth := 0
+      in
+      (* The strong entry bound for a node taken from the deque: replay
+         its path into a real engine and ask Dyn_bounds (EarlyRC/LateRC
+         floors, ERC delays) for each open branch's dynamic early time.
+         Too heavy for the inner loop, cheap per deque pop. *)
+      let strong_bound path =
+        let st = Scheduler_core.create config sb in
+        let cache =
+          Dyn_bounds.Cache.create ~early_floor:early_rc ~late_floors st
+        in
+        List.iter
+          (fun d ->
+            if d >= 0 then Scheduler_core.place st d else Scheduler_core.advance st)
+          path;
+        let b = ref 0. in
+        for k = 0 to nb - 1 do
+          let t =
+            match Dyn_bounds.Cache.refresh cache ~branch_index:k with
+            | Some info -> info.Dyn_bounds.early
+            | None -> Scheduler_core.issue_time st branch_ops.(k)
+          in
+          b := !b +. (w_k.(k) *. float_of_int (t + l_br))
+        done;
+        !b
+      in
+      let run_node nd =
+        current_lb := nd.lb;
+        let cycle, min_id, remaining, partial = replay nd.path in
+        (* The replayed prefix's levels carry stale candidate state from
+           the previous node; donation must not reach below here. *)
+        base_depth := !depth;
+        (* The Dyn_bounds entry bound costs a fresh engine + cache, so
+           it is only worth paying on shallow nodes, whose subtrees are
+           large enough to amortize it; deep donations are cheap to
+           just search (their own first bound_info prunes them fast). *)
+        let lb =
+          match nd.path with
+          | [] -> nd.lb
+          | _ when !depth > 24 -> nd.lb
+          | _ ->
+              let s = strong_bound nd.path in
+              if s > nd.lb then s else nd.lb
+        in
+        current_lb := lb;
+        if lb >= (Atomic.get best).inc_wct -. eps then incr local_pruned
+        else dfs cycle min_id remaining partial;
+        reset_state ()
+      in
+      let rec loop () =
+        match take () with
+        | None -> ()
+        | Some nd -> (
+            if nd.donor >= 0 && nd.donor <> wid then
+              ignore (Atomic.fetch_and_add steals_a 1);
+            match run_node nd with
+            | () ->
+                finish_node ();
+                loop ()
+            | exception Abort_search ->
+                record_unfinished !current_lb;
+                finish_node ()
+            | exception e ->
+                request_stop ();
+                finish_node ();
+                raise e)
+      in
+      Fun.protect ~finally:flush loop
+    in
+    let domains =
+      List.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1)))
+    in
+    let caller_exn = (try worker 0; None with e -> Some e) in
+    let worker_exn =
+      List.fold_left
+        (fun acc d ->
+          match Domain.join d with
+          | () -> acc
+          | exception e -> ( match acc with None -> Some e | some -> some))
+        None domains
+    in
+    (match caller_exn with
+    | Some e -> raise e
+    | None -> ( match worker_exn with Some e -> raise e | None -> ()));
+    let leftover = Queue.fold (fun acc nd -> nd.lb :: acc) [] queue in
+    let unf = !unfinished @ leftover in
+    let final = Atomic.get best in
+    let wct = final.inc_wct in
+    let proved =
+      match unf with
+      | [] -> true
+      | _ -> List.fold_left Float.min infinity unf >= wct -. eps
+    in
+    let lower_bound =
+      if proved then wct
+      else
+        let m = List.fold_left Float.min infinity unf in
+        Float.max static_lb (Float.min m wct)
+    in
+    let nodes = Atomic.get nodes_a in
+    let pruned = Atomic.get pruned_a in
+    let steals = Atomic.get steals_a in
+    Sb_obs.Obs.Metrics.add c_nodes nodes;
+    Sb_obs.Obs.Metrics.add c_pruned pruned;
+    Sb_obs.Obs.Metrics.add c_steals steals;
+    if proved then Sb_obs.Obs.Metrics.incr c_proved;
+    let schedule =
+      if final == seed_cell then seed
+      else Schedule.make config sb ~issue:final.inc_issue
+    in
+    {
+      schedule;
+      wct;
+      lower_bound;
+      gap = wct -. lower_bound;
+      proved_optimal = proved;
+      nodes;
+      pruned;
+      steals;
+    }
+  end

@@ -1,17 +1,68 @@
-(** Exact (exponential) superblock scheduling by branch and bound.
+(** Anytime parallel branch-and-bound over superblock schedules.
 
-    A depth-first search over issue decisions, cycle by cycle, pruned
-    with the weighted-completion-time lower bound of the already-fixed
-    exits plus the naive LC bound of the open ones.  Only practical for
-    small superblocks; the evaluation uses it to verify that the
-    Pairwise/Triplewise bounds and the Best heuristic actually reach the
-    optimum on tiny instances.  Not part of the paper — a testing oracle. *)
+    The search enumerates partial schedules cycle by cycle (ops within a
+    cycle in increasing id — placement order inside a cycle is
+    irrelevant, so only one order is explored).  It is exact: run to
+    completion it returns a provably optimal schedule; interrupted — by
+    the wall-clock budget, the node budget, an armed
+    {!Sb_fault.Watchdog} or an injected fault — it returns the best
+    incumbent found together with a certified {!result.lower_bound} on
+    the optimum, so the caller always learns how close it got.
+
+    The incumbent is seeded with {!Balance.schedule}; open nodes are
+    pruned against an incremental per-branch bound (dependence forward
+    pass floored by the static EarlyRC, sharpened by elementary
+    resource-window delays, and — on nodes taken from the shared work
+    deque — by a fresh {!Dyn_bounds.Cache} analysis of the replayed
+    partial schedule).  Revisited cycle-start states are dominated
+    through a packed signature-hash history table, and subtrees fan out
+    across [jobs] domains that share an atomic incumbent and steal open
+    nodes from a common deque (DESIGN.md, "Anytime optimal search"). *)
+
+type result = {
+  schedule : Schedule.t;  (** best schedule found (the incumbent) *)
+  wct : float;  (** its weighted completion time *)
+  lower_bound : float;
+      (** certified lower bound on the optimal WCT: the static tightest
+          bound, raised to the smallest bound over the subtrees the
+          search did not finish.  Equals [wct] when [proved_optimal]. *)
+  gap : float;  (** [wct -. lower_bound] (0 when proved) *)
+  proved_optimal : bool;
+      (** the search either exhausted the tree or certified that no
+          unexplored subtree can beat the incumbent *)
+  nodes : int;  (** search nodes expanded, across all domains *)
+  pruned : int;  (** nodes cut by the bound or the history table *)
+  steals : int;
+      (** deque nodes popped by a domain other than their donor; always
+          0 when [jobs = 1] *)
+}
 
 val schedule :
+  ?mode:[ `Anytime | `Exhaustive ] ->
+  ?jobs:int ->
+  ?budget_ms:int ->
   ?node_budget:int ->
   Sb_machine.Config.t ->
   Sb_ir.Superblock.t ->
-  Schedule.t option
-(** [schedule config sb] is an optimal schedule, or [None] when the
-    search exceeds [node_budget] (default 200_000 explored states) —
-    callers must treat [None] as "too big", not as failure. *)
+  result
+(** [schedule config sb] runs the branch-and-bound.
+
+    [mode] (default [`Anytime]):
+    - [`Anytime] is the production mode: watchdog expiry and injected
+      faults at the [optimal.node] poll site stop the search and the
+      incumbent plus its gap is returned instead; an armed
+      {!Sb_fault.Watchdog} deadline is folded into the wall-clock
+      budget at entry.
+    - [`Exhaustive] is the differential reference (the old oracle's
+      contract): [jobs] is forced to 1, [budget_ms] is ignored, and
+      watchdog timeouts and injected faults propagate to the caller.
+
+    [jobs] (default 1) is the number of domains exploring subtrees.
+    [budget_ms] bounds the wall clock; when set and no explicit
+    [node_budget] is given the node budget is unlimited.  [node_budget]
+    bounds expanded nodes across all domains (default 200_000 when no
+    wall-clock budget is set).
+
+    The result's [wct] and [proved_optimal] do not depend on [jobs]: a
+    search that completes proves the same optimum regardless of how its
+    subtrees were distributed. *)

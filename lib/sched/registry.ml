@@ -40,6 +40,21 @@ let balance =
 let best =
   { name = "best"; short = "Best"; run = (fun config sb -> Best.schedule config sb) }
 
+(* Budgeted anytime optimal as a registry heuristic: always returns the
+   incumbent (never fails), proving optimality when the budget allows.
+   Deliberately not in [primaries]/[all] — the paper's tables compare
+   the heuristics, and Optimal at 50 ms/block would dominate every
+   aggregate — but [by_name] finds it for the CLI and the server. *)
+let optimal =
+  {
+    name = "optimal";
+    short = "Optimal";
+    run =
+      (fun config sb ->
+        (Optimal.schedule ~mode:`Anytime ~budget_ms:50 config sb)
+          .Optimal.schedule);
+  }
+
 let primaries = [ sr; cp; gstar; dhasy; help; balance ]
 
 let all = primaries @ [ best ]
@@ -49,7 +64,7 @@ let by_name n =
   List.find_opt
     (fun h ->
       String.lowercase_ascii h.name = n || String.lowercase_ascii h.short = n)
-    all
+    (all @ [ optimal ])
 
 let balance_variant options =
   let flag b = if b then "+" else "-" in

@@ -14,6 +14,11 @@ val help : heuristic
 val balance : heuristic
 val best : heuristic
 
+val optimal : heuristic
+(** Anytime {!Optimal.schedule} at a 50 ms/block budget, returning the
+    incumbent.  Found by {!by_name} but not part of {!primaries} or
+    {!all}: the paper's tables compare the heuristics only. *)
+
 val primaries : heuristic list
 (** SR, CP, G*, DHASY, Help, Balance — the paper's primary heuristics in
     its table order. *)

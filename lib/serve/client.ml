@@ -41,7 +41,8 @@ let shutdown_send t =
       (try Unix.shutdown fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ())
   | None -> ()
 
-let send_schedule t ~id ?heuristic ?machine ?bounds ?issue ?deadline_ms sb =
+let send_schedule t ~id ?heuristic ?machine ?bounds ?issue ?deadline_ms
+    ?optimal_budget_ms sb =
   let buf = Buffer.create 256 in
   Printf.bprintf buf "schedule %s" id;
   Option.iter (Printf.bprintf buf " heuristic=%s") heuristic;
@@ -49,6 +50,7 @@ let send_schedule t ~id ?heuristic ?machine ?bounds ?issue ?deadline_ms sb =
   Option.iter (Printf.bprintf buf " bounds=%b") bounds;
   Option.iter (Printf.bprintf buf " issue=%b") issue;
   Option.iter (Printf.bprintf buf " deadline_ms=%d") deadline_ms;
+  Option.iter (Printf.bprintf buf " optimal_budget_ms=%d") optimal_budget_ms;
   Buffer.add_char buf '\n';
   Buffer.add_string buf (Sb_ir.Serde.superblock_to_string sb);
   output_string t.oc (Buffer.contents buf);
@@ -73,8 +75,10 @@ let read_reply t =
   | exception Sys_error msg -> Error msg
   | line -> Protocol.parse_reply line
 
-let schedule t ~id ?heuristic ?machine ?bounds ?issue ?deadline_ms sb =
-  send_schedule t ~id ?heuristic ?machine ?bounds ?issue ?deadline_ms sb;
+let schedule t ~id ?heuristic ?machine ?bounds ?issue ?deadline_ms
+    ?optimal_budget_ms sb =
+  send_schedule t ~id ?heuristic ?machine ?bounds ?issue ?deadline_ms
+    ?optimal_budget_ms sb;
   read_reply t
 
 (* ------------------------------ retry ----------------------------- *)
@@ -146,7 +150,8 @@ let session_backoff s =
   s.s_retries <- s.s_retries + 1;
   Thread.delay sleep
 
-let session_schedule s ~id ?heuristic ?machine ?bounds ?issue ?deadline_ms sb =
+let session_schedule s ~id ?heuristic ?machine ?bounds ?issue ?deadline_ms
+    ?optimal_budget_ms sb =
   let attempts = s.policy.Retry.attempts in
   let rec attempt n =
     let retry_or err =
@@ -158,7 +163,8 @@ let session_schedule s ~id ?heuristic ?machine ?bounds ?issue ?deadline_ms sb =
     in
     match
       let c = session_conn s in
-      schedule c ~id ?heuristic ?machine ?bounds ?issue ?deadline_ms sb
+      schedule c ~id ?heuristic ?machine ?bounds ?issue ?deadline_ms
+        ?optimal_budget_ms sb
     with
     | Ok (Protocol.Error_reply { code = Protocol.Busy; _ }) as r ->
         (* The server shed us; the connection itself is fine. *)

@@ -31,9 +31,11 @@ val send_schedule :
   ?bounds:bool ->
   ?issue:bool ->
   ?deadline_ms:int ->
+  ?optimal_budget_ms:int ->
   Sb_ir.Superblock.t ->
   unit
-(** Write (and flush) one schedule request. *)
+(** Write (and flush) one schedule request.  [optimal_budget_ms] only
+    matters with [~heuristic:"optimal"] (see {!Protocol.sched_options}). *)
 
 val send_stats : t -> id:string -> unit
 
@@ -54,6 +56,7 @@ val schedule :
   ?bounds:bool ->
   ?issue:bool ->
   ?deadline_ms:int ->
+  ?optimal_budget_ms:int ->
   Sb_ir.Superblock.t ->
   (Protocol.reply, string) result
 (** [send_schedule] then [read_reply]. *)
@@ -97,6 +100,7 @@ val session_schedule :
   ?bounds:bool ->
   ?issue:bool ->
   ?deadline_ms:int ->
+  ?optimal_budget_ms:int ->
   Sb_ir.Superblock.t ->
   (Protocol.reply, string) result
 (** Like {!schedule}, with retry.  Returns the final attempt's outcome:

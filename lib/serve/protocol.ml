@@ -14,6 +14,7 @@ type sched_options = {
   with_bounds : bool;
   with_issue : bool;
   deadline_ms : int option;
+  optimal_budget_ms : int option;
 }
 
 type request =
@@ -55,6 +56,8 @@ type sched_reply = {
   degraded : bool;
   elapsed_us : int;
   issue : int array option;
+  gap : float option;
+  proved : bool option;
 }
 
 type reply =
@@ -76,6 +79,12 @@ let render_reply = function
       Printf.bprintf buf " wct=%.17g length=%d" r.wct r.length;
       (match r.bound with
       | Some b -> Printf.bprintf buf " bound=%.17g" b
+      | None -> ());
+      (match r.gap with
+      | Some gp -> Printf.bprintf buf " gap=%.17g" gp
+      | None -> ());
+      (match r.proved with
+      | Some p -> Printf.bprintf buf " proved=%b" p
       | None -> ());
       Printf.bprintf buf " degraded=%b elapsed_us=%d" r.degraded r.elapsed_us;
       (match r.issue with
@@ -137,6 +146,7 @@ let parse_sched_kvs kvs =
       with_bounds = false;
       with_issue = false;
       deadline_ms = None;
+      optimal_budget_ms = None;
     }
   in
   List.fold_left
@@ -162,6 +172,10 @@ let parse_sched_kvs kvs =
           let* ms = int_value v in
           if ms <= 0 then Error (Printf.sprintf "deadline_ms must be > 0")
           else Ok { opts with deadline_ms = Some ms }
+      | "optimal_budget_ms" ->
+          let* ms = int_value v in
+          if ms <= 0 then Error (Printf.sprintf "optimal_budget_ms must be > 0")
+          else Ok { opts with optimal_budget_ms = Some ms }
       | _ -> Error (Printf.sprintf "unknown key %S" k))
     (Ok default) kvs
 
@@ -214,6 +228,20 @@ let parse_ok_schedule id words =
         let* a = parse_issue v in
         Ok (Some a)
   in
+  let* gap =
+    match find "gap" with
+    | None -> Ok None
+    | Some v ->
+        let* f = float_value v in
+        Ok (Some f)
+  in
+  let* proved =
+    match find "proved" with
+    | None -> Ok None
+    | Some v ->
+        let* b = bool_value v in
+        Ok (Some b)
+  in
   Ok
     (Ok_schedule
        {
@@ -228,6 +256,8 @@ let parse_ok_schedule id words =
              degraded;
              elapsed_us;
              issue;
+             gap;
+             proved;
            };
        })
 

@@ -5,7 +5,7 @@
 
     {v
     schedule <id> [heuristic=NAME] [machine=NAME] [bounds=BOOL]
-                  [issue=BOOL] [deadline_ms=N]
+                  [issue=BOOL] [deadline_ms=N] [optimal_budget_ms=N]
     superblock <name> freq=F
     op ...
     edge ...
@@ -26,6 +26,11 @@ type sched_options = {
   deadline_ms : int option;
       (** soft deadline, measured from request acceptance; see
           docs/PROTOCOL.md §Deadlines *)
+  optimal_budget_ms : int option;
+      (** wall-clock budget per block for [heuristic=optimal] (server
+          default 50 ms); always clamped to the remaining [deadline_ms],
+          so an expired deadline yields the seed incumbent plus its gap
+          instead of a critical-path downgrade *)
 }
 
 type request =
@@ -62,6 +67,10 @@ type sched_reply = {
   degraded : bool;  (** some stage was skipped or downgraded *)
   elapsed_us : int;  (** acceptance-to-reply latency *)
   issue : int array option;  (** per-op issue cycles, when requested *)
+  gap : float option;
+      (** [optimal] requests only: [wct - lower_bound] of the returned
+          incumbent (0 when optimality was proved) *)
+  proved : bool option;  (** [optimal] requests only: certificate bit *)
 }
 
 type reply =

@@ -183,6 +183,48 @@ let process t pending =
   let reply =
     try
       let requested = opts.heuristic in
+      if requested.Sb_sched.Registry.name = "optimal" then begin
+        (* Anytime B&B never degrades to critical-path: an expired
+           deadline just clamps the budget to 0 and the reply carries
+           the Balance-seeded incumbent plus its optimality gap. *)
+        let remaining_ms =
+          match deadline with
+          | None -> max_int
+          | Some d ->
+              int_of_float (Float.max 0. ((d -. Unix.gettimeofday ()) *. 1000.))
+        in
+        let budget_ms =
+          min (Option.value opts.optimal_budget_ms ~default:50) remaining_ms
+        in
+        let r =
+          Sb_sched.Optimal.schedule ~mode:`Anytime ~budget_ms machine
+            pending.sb
+        in
+        let sched = r.Sb_sched.Optimal.schedule in
+        let elapsed_us =
+          int_of_float ((Unix.gettimeofday () -. pending.t_accept) *. 1e6)
+        in
+        Protocol.Ok_schedule
+          {
+            id = pending.id;
+            result =
+              {
+                heuristic_used = "optimal";
+                machine_used = machine.Sb_machine.Config.name;
+                wct = r.Sb_sched.Optimal.wct;
+                length = sched.Sb_sched.Schedule.length;
+                bound = Some r.Sb_sched.Optimal.lower_bound;
+                degraded = expired ();
+                elapsed_us;
+                issue =
+                  (if opts.with_issue then Some sched.Sb_sched.Schedule.issue
+                   else None);
+                gap = Some r.Sb_sched.Optimal.gap;
+                proved = Some r.Sb_sched.Optimal.proved_optimal;
+              };
+          }
+      end
+      else begin
       let h_used, degraded_h =
         if expired () && requested.Sb_sched.Registry.name <> "critical-path"
         then (Sb_sched.Registry.cp, true)
@@ -217,8 +259,11 @@ let process t pending =
               issue =
                 (if opts.with_issue then Some sched.Sb_sched.Schedule.issue
                  else None);
+              gap = None;
+              proved = None;
             };
         }
+      end
     with exn ->
       Stats.internal_error t.stats;
       Protocol.Error_reply

@@ -193,25 +193,36 @@ let test_watchdog_best_grid () =
              Sb_sched.Registry.best.Sb_sched.Registry.run Config.gp2 sb)))
 
 let test_watchdog_optimal () =
-  (* Optimal seeds its incumbent with Best, so an already-expired
-     deadline would fire at best.grid.  Arm a deadline Best finishes
-     within, on a superblock whose unbounded branch-and-bound search
-     outlives it: the expiry is then observed by the search's own poll
-     site. *)
-  let sb =
-    List.fold_left
+  (* Arm a deadline the incumbent seeding finishes within, on a
+     superblock whose exhaustive search outlives it: the expiry is then
+     observed by the search's own poll site.  The block is calibrated,
+     not fixed — anything a 250 ms anytime run fails to prove keeps an
+     exhaustive run busy well past the 0.2 s watchdog. *)
+  let candidates =
+    List.sort
       (fun a b ->
-        if Sb_ir.Superblock.n_ops b > Sb_ir.Superblock.n_ops a then b else a)
-      (Fixtures.fig4 ())
-      (Fixtures.random_superblocks ~n:30 ~seed:0xFEEDL ())
+        compare (Sb_ir.Superblock.n_ops b) (Sb_ir.Superblock.n_ops a))
+      (Sb_workload.Corpus.program ~count:24 "gcc").Sb_workload.Corpus
+        .superblocks
   in
-  check_bool "search space is large enough" true
-    (Sb_ir.Superblock.n_ops sb >= 18);
+  let sb =
+    match
+      List.find_opt
+        (fun sb ->
+          not
+            (Sb_sched.Optimal.schedule ~budget_ms:250 Config.gp2 sb)
+              .Sb_sched.Optimal.proved_optimal)
+        candidates
+    with
+    | Some sb -> sb
+    | None -> Alcotest.fail "every candidate block proves within the probe"
+  in
   Alcotest.check_raises "Optimal polls its search"
     (Watchdog.Timed_out "optimal.node") (fun () ->
       ignore
         (Watchdog.with_deadline ~seconds:0.2 (fun () ->
-             Sb_sched.Optimal.schedule ~node_budget:max_int Config.gp2 sb)))
+             Sb_sched.Optimal.schedule ~mode:`Exhaustive ~node_budget:max_int
+               Config.gp2 sb)))
 
 (* ------------------------------------------------------------------ *)
 (* Parpool supervision: worker death, completion, respawn              *)

@@ -75,18 +75,33 @@ let test_work_counters () =
 (* ------------------------------ optimal ---------------------------- *)
 
 let test_optimal_tiny_budget () =
-  let sb = Fixtures.fig1 () in
-  (* A 2-node budget cannot finish a 16-op search. *)
-  check_bool "budget exhaustion reported" true
-    (Sb_sched.Optimal.schedule ~node_budget:2 Config.gp2 sb = None)
+  (* A block hard enough that the Balance seed does not meet the static
+     bound (fig1's does, which proves it at the root with zero nodes):
+     a 2-node budget then exhausts with an incumbent but no
+     certificate. *)
+  let sb =
+    List.fold_left
+      (fun a b ->
+        if Sb_ir.Superblock.n_ops b > Sb_ir.Superblock.n_ops a then b else a)
+      (Fixtures.fig1 ())
+      (Fixtures.random_superblocks ~n:30 ~seed:0xFEEDL ())
+  in
+  let r = Sb_sched.Optimal.schedule ~node_budget:2 Config.gp2 sb in
+  check_bool "budget exhaustion reported" true (not r.Sb_sched.Optimal.proved_optimal);
+  check_bool "bound below incumbent" true
+    (r.Sb_sched.Optimal.lower_bound <= r.Sb_sched.Optimal.wct +. 1e-9);
+  Alcotest.(check (float 1e-9))
+    "gap is wct - lower_bound"
+    (r.Sb_sched.Optimal.wct -. r.Sb_sched.Optimal.lower_bound)
+    r.Sb_sched.Optimal.gap
 
 let test_optimal_single_op () =
   let b = Sb_ir.Builder.create () in
   let _ = Sb_ir.Builder.add_branch b ~prob:1.0 in
   let sb = Sb_ir.Builder.build b in
-  match Sb_sched.Optimal.schedule Config.gp1 sb with
-  | Some s -> Alcotest.(check (float 1e-9)) "single branch" 1.0 (wct s)
-  | None -> Alcotest.fail "trivial search exceeded budget"
+  let r = Sb_sched.Optimal.schedule Config.gp1 sb in
+  check_bool "trivial search proves" true r.Sb_sched.Optimal.proved_optimal;
+  Alcotest.(check (float 1e-9)) "single branch" 1.0 r.Sb_sched.Optimal.wct
 
 let test_optimal_matches_mini_fig () =
   (* An 8-op figure-1 shape small enough for the exact search. *)
@@ -106,13 +121,14 @@ let test_optimal_matches_mini_fig () =
   let final = Sb_ir.Builder.add_branch b ~prob:0.8 in
   List.iter (fun t -> Sb_ir.Builder.dep b t final) !tails;
   let sb = Sb_ir.Builder.build b in
-  match Sb_sched.Optimal.schedule ~node_budget:2_000_000 Config.gp2 sb with
-  | Some s ->
-      let bound = Sb_bounds.Superblock_bound.tightest Config.gp2 sb in
-      check_bool "optimum >= bound" true (wct s >= bound -. 1e-9);
-      Alcotest.(check (float 1e-9)) "mini-fig optimum equals the bound" bound
-        (wct s)
-  | None -> Alcotest.fail "mini-fig search exceeded budget"
+  let r = Sb_sched.Optimal.schedule ~node_budget:2_000_000 Config.gp2 sb in
+  check_bool "mini-fig search finishes" true r.Sb_sched.Optimal.proved_optimal;
+  let bound = Sb_bounds.Superblock_bound.tightest Config.gp2 sb in
+  check_bool "optimum >= bound" true (r.Sb_sched.Optimal.wct >= bound -. 1e-9);
+  Alcotest.(check (float 1e-9)) "mini-fig optimum equals the bound" bound
+    r.Sb_sched.Optimal.wct;
+  Alcotest.(check (float 1e-9)) "certificate closes the gap"
+    r.Sb_sched.Optimal.wct r.Sb_sched.Optimal.lower_bound
 
 (* ------------------------------- best ------------------------------ *)
 

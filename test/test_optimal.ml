@@ -1,0 +1,201 @@
+(* The anytime branch-and-bound (Sb_sched.Optimal): soundness of the
+   optimality certificate, monotonicity of the incumbent under growing
+   budgets, agreement with the exhaustive oracle and across domain
+   counts, and determinism of node-budgeted parallel runs. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let wct_of = Sb_sched.Schedule.weighted_completion_time
+
+let seed_gen = QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 100_000)
+
+let config_of_seed seed =
+  List.nth Sb_machine.Config.all (seed mod List.length Sb_machine.Config.all)
+
+let superblock_of_seed ?(max_ops = 14) seed =
+  let profile =
+    {
+      Sb_workload.Generator.default_profile with
+      name = "opt";
+      max_ops;
+      blocks_mean = 2.0;
+    }
+  in
+  Sb_workload.Generator.generate
+    (Sb_workload.Rng.create (Int64.of_int ((seed * 2654435761) + 29)))
+    profile ~index:seed
+
+(* ------------------------- certificate ----------------------------- *)
+
+(* Whatever the budget cuts, the result must be internally consistent:
+   the schedule reproduces [wct], the bound never exceeds it, [gap] is
+   their difference, and a proof means the gap is closed. *)
+let prop_certificate_sound =
+  QCheck.Test.make ~name:"certificate: bound <= wct, gap consistent"
+    ~count:50 seed_gen (fun seed ->
+      let sb = superblock_of_seed ~max_ops:16 seed in
+      let config = config_of_seed (seed + 3) in
+      let r = Sb_sched.Optimal.schedule ~node_budget:3_000 config sb in
+      abs_float (wct_of r.Sb_sched.Optimal.schedule -. r.Sb_sched.Optimal.wct)
+      <= 1e-9
+      && r.Sb_sched.Optimal.lower_bound <= r.Sb_sched.Optimal.wct +. 1e-9
+      && abs_float
+           (r.Sb_sched.Optimal.gap
+           -. (r.Sb_sched.Optimal.wct -. r.Sb_sched.Optimal.lower_bound))
+         <= 1e-9
+      && ((not r.Sb_sched.Optimal.proved_optimal)
+         || r.Sb_sched.Optimal.gap <= 1e-9)
+      && r.Sb_sched.Optimal.steals = 0 (* jobs defaults to 1 *))
+
+(* The certified lower bound really is a bound on the optimum: no
+   heuristic — optimal or not — may beat it. *)
+let prop_heuristics_above_lower_bound =
+  QCheck.Test.make ~name:"every heuristic's WCT >= certified lower bound"
+    ~count:30 seed_gen (fun seed ->
+      let sb = superblock_of_seed ~max_ops:14 seed in
+      let config = config_of_seed (seed + 5) in
+      let r = Sb_sched.Optimal.schedule ~node_budget:5_000 config sb in
+      List.for_all
+        (fun (h : Sb_sched.Registry.heuristic) ->
+          r.Sb_sched.Optimal.lower_bound
+          <= wct_of (h.run config sb) +. 1e-6)
+        Sb_sched.Registry.all)
+
+(* Anytime contract: a bigger budget can only improve the incumbent.
+   With one domain the search order is deterministic, so this is exact,
+   not statistical. *)
+let prop_incumbent_monotone =
+  QCheck.Test.make ~name:"incumbent WCT non-increasing in node budget"
+    ~count:30 seed_gen (fun seed ->
+      let sb = superblock_of_seed ~max_ops:16 seed in
+      let config = config_of_seed (seed + 11) in
+      let budgets = [ 16; 64; 256; 1024; 4096; 16_384 ] in
+      let wcts =
+        List.map
+          (fun node_budget ->
+            (Sb_sched.Optimal.schedule ~node_budget config sb)
+              .Sb_sched.Optimal.wct)
+          budgets
+      in
+      let rec monotone = function
+        | a :: (b :: _ as rest) -> b <= a +. 1e-9 && monotone rest
+        | _ -> true
+      in
+      monotone wcts)
+
+(* A proof from the anytime search must name the same optimum as the
+   old exhaustive oracle run to completion. *)
+let prop_proved_matches_exhaustive_oracle =
+  QCheck.Test.make ~name:"proved_optimal agrees with the exhaustive oracle"
+    ~count:25 seed_gen (fun seed ->
+      let sb = superblock_of_seed ~max_ops:11 seed in
+      let config = config_of_seed (seed + 7) in
+      let r = Sb_sched.Optimal.schedule ~budget_ms:200 config sb in
+      if not r.Sb_sched.Optimal.proved_optimal then QCheck.assume_fail ()
+      else
+        let oracle =
+          Sb_sched.Optimal.schedule ~mode:`Exhaustive ~node_budget:2_000_000
+            config sb
+        in
+        oracle.Sb_sched.Optimal.proved_optimal
+        && abs_float (oracle.Sb_sched.Optimal.wct -. r.Sb_sched.Optimal.wct)
+           <= 1e-9)
+
+(* ------------------------- parallelism ----------------------------- *)
+
+(* The proved optimum must not depend on how subtrees were distributed
+   over domains. *)
+let test_jobs_agree () =
+  List.iter
+    (fun seed ->
+      let sb = superblock_of_seed ~max_ops:12 seed in
+      let config = config_of_seed (seed + 1) in
+      let r1 = Sb_sched.Optimal.schedule ~jobs:1 ~node_budget:400_000 config sb in
+      let r4 = Sb_sched.Optimal.schedule ~jobs:4 ~node_budget:400_000 config sb in
+      check_bool "1-domain run proves" true r1.Sb_sched.Optimal.proved_optimal;
+      check_bool "4-domain run proves" true r4.Sb_sched.Optimal.proved_optimal;
+      check_bool "identical optimum" true
+        (r1.Sb_sched.Optimal.wct = r4.Sb_sched.Optimal.wct);
+      check_bool "identical certificate" true
+        (r1.Sb_sched.Optimal.lower_bound = r4.Sb_sched.Optimal.lower_bound);
+      check_int "no steals on one domain" 0 r1.Sb_sched.Optimal.steals)
+    [ 3; 1415; 92653; 58979; 32384 ]
+
+(* Node-budgeted parallel runs are a regression surface for races: with
+   no wall clock in the loop, three repeats must agree exactly. *)
+let test_parallel_determinism () =
+  let sb = superblock_of_seed ~max_ops:14 2718 in
+  let config = Sb_machine.Config.gp2 in
+  let runs =
+    List.init 3 (fun _ ->
+        Sb_sched.Optimal.schedule ?budget_ms:None ~jobs:4 ~node_budget:1_000_000
+          config sb)
+  in
+  match runs with
+  | r0 :: rest ->
+      check_bool "reference run proves" true r0.Sb_sched.Optimal.proved_optimal;
+      List.iteri
+        (fun i r ->
+          let name s = Printf.sprintf "repeat %d: %s" (i + 1) s in
+          check_bool (name "wct identical") true
+            (r.Sb_sched.Optimal.wct = r0.Sb_sched.Optimal.wct);
+          check_bool (name "bound identical") true
+            (r.Sb_sched.Optimal.lower_bound = r0.Sb_sched.Optimal.lower_bound);
+          check_bool (name "proof identical") true
+            (r.Sb_sched.Optimal.proved_optimal
+            = r0.Sb_sched.Optimal.proved_optimal);
+          check_int (name "length identical")
+            r0.Sb_sched.Optimal.schedule.Sb_sched.Schedule.length
+            r.Sb_sched.Optimal.schedule.Sb_sched.Schedule.length)
+        rest
+  | [] -> assert false
+
+(* --------------------- oracle count regression --------------------- *)
+
+(* Table 7's "optimal found" contract at seed scale: the exhaustive
+   oracle at its historical 200k-node default proves exactly the same
+   blocks it always did, and the budgeted anytime search never proves
+   fewer. *)
+let test_oracle_count_regression () =
+  let sbs =
+    (Sb_workload.Corpus.program ~count:10 "gcc").Sb_workload.Corpus.superblocks
+  in
+  let config = Sb_machine.Config.gp2 in
+  let proved f = List.length (List.filter f sbs) in
+  let exhaustive =
+    proved (fun sb ->
+        (Sb_sched.Optimal.schedule ~mode:`Exhaustive config sb)
+          .Sb_sched.Optimal.proved_optimal)
+  in
+  let anytime =
+    proved (fun sb ->
+        (Sb_sched.Optimal.schedule ~mode:`Anytime ~budget_ms:50 config sb)
+          .Sb_sched.Optimal.proved_optimal)
+  in
+  check_int "exhaustive oracle count unchanged" 9 exhaustive;
+  check_bool
+    (Printf.sprintf "anytime proves at least as many (%d vs %d)" anytime
+       exhaustive)
+    true (anytime >= exhaustive)
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suites =
+  [
+    ( "optimal.certificate",
+      List.map QCheck_alcotest.to_alcotest
+        [
+          prop_certificate_sound;
+          prop_heuristics_above_lower_bound;
+          prop_incumbent_monotone;
+          prop_proved_matches_exhaustive_oracle;
+        ] );
+    ( "optimal.parallel",
+      [
+        tc "1 vs 4 domains prove the same optimum" test_jobs_agree;
+        tc "node-budgeted 4-domain runs are deterministic"
+          test_parallel_determinism;
+      ] );
+    ( "optimal.oracle",
+      [ tc "proved counts at seed scale" test_oracle_count_regression ] );
+  ]

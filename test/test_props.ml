@@ -280,19 +280,22 @@ let prop_optimal_below_heuristics =
     ~count:(count 25) seed_gen (fun seed ->
       let sb = superblock_of_seed ~max_ops:14 seed in
       let config = config_of_seed (seed + 7) in
-      match Sb_sched.Optimal.schedule config sb with
-      | None -> QCheck.assume_fail () (* too big for the budget: skip *)
-      | Some opt ->
-          let owct = Sb_sched.Schedule.weighted_completion_time opt in
-          let all = Sb_bounds.Superblock_bound.all_bounds config sb in
-          all.tightest <= owct +. 1e-6
-          && List.for_all
-               (fun (h : Sb_sched.Registry.heuristic) ->
-                 owct
-                 <= Sb_sched.Schedule.weighted_completion_time
-                      (h.run config sb)
-                    +. 1e-6)
-               Sb_sched.Registry.all)
+      let r = Sb_sched.Optimal.schedule config sb in
+      if not r.Sb_sched.Optimal.proved_optimal then
+        QCheck.assume_fail () (* too big for the budget: skip *)
+      else
+        let owct = r.Sb_sched.Optimal.wct in
+        let all = Sb_bounds.Superblock_bound.all_bounds config sb in
+        all.tightest <= owct +. 1e-6
+        && r.Sb_sched.Optimal.lower_bound >= owct -. 1e-6
+        && List.for_all
+             (fun (h : Sb_sched.Registry.heuristic) ->
+               let hwct =
+                 Sb_sched.Schedule.weighted_completion_time (h.run config sb)
+               in
+               owct <= hwct +. 1e-6
+               && r.Sb_sched.Optimal.lower_bound <= hwct +. 1e-6)
+             Sb_sched.Registry.all)
 
 (* Random force-invalidation mid-run must be invisible: the cache's
    refresh after dropped slots still matches a from-scratch [analyze]

@@ -237,13 +237,13 @@ let test_optimal_oracle_fixture () =
   List.iter
     (fun p ->
       let sb = Fixtures.tradeoff ~p () in
-      match Sb_sched.Optimal.schedule Config.gp1 sb with
-      | None -> Alcotest.fail "budget exceeded on a 5-op superblock"
-      | Some s ->
-          check_float
-            (Printf.sprintf "optimal = tightest bound at p=%.2f" p)
-            (Sb_bounds.Superblock_bound.tightest Config.gp1 sb)
-            (wct s))
+      let r = Sb_sched.Optimal.schedule Config.gp1 sb in
+      check_bool "proved on a 5-op superblock" true
+        r.Sb_sched.Optimal.proved_optimal;
+      check_float
+        (Printf.sprintf "optimal = tightest bound at p=%.2f" p)
+        (Sb_bounds.Superblock_bound.tightest Config.gp1 sb)
+        r.Sb_sched.Optimal.wct)
     [ 0.1; 0.26; 0.5; 0.9 ]
 
 let test_optimal_oracle_random () =
@@ -262,16 +262,16 @@ let test_optimal_oracle_random () =
     (fun sb ->
       List.iter
         (fun config ->
-          match Sb_sched.Optimal.schedule ~node_budget:400_000 config sb with
-          | None -> ()
-          | Some s ->
-              incr total;
-              let opt = wct s in
-              let bound = Sb_bounds.Superblock_bound.tightest config sb in
-              check_bool "bound <= optimum" true (bound <= opt +. 1e-9);
-              check_bool "optimum <= Best" true
-                (opt <= wct (Sb_sched.Registry.best.run config sb) +. 1e-9);
-              if opt <= bound +. 1e-9 then incr tight)
+          let r = Sb_sched.Optimal.schedule ~node_budget:400_000 config sb in
+          if r.Sb_sched.Optimal.proved_optimal then begin
+            incr total;
+            let opt = r.Sb_sched.Optimal.wct in
+            let bound = Sb_bounds.Superblock_bound.tightest config sb in
+            check_bool "bound <= optimum" true (bound <= opt +. 1e-9);
+            check_bool "optimum <= Best" true
+              (opt <= wct (Sb_sched.Registry.best.run config sb) +. 1e-9);
+            if opt <= bound +. 1e-9 then incr tight
+          end)
         [ Config.gp2; Config.fs4 ])
     sbs;
   check_bool

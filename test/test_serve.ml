@@ -33,6 +33,8 @@ let test_reply_roundtrip () =
       degraded = false;
       elapsed_us = 123;
       issue = Some [| 0; 0; 1; 2; 4 |];
+      gap = None;
+      proved = None;
     }
   in
   (match roundtrip_reply (Protocol.Ok_schedule { id = "r1"; result }) with
@@ -60,6 +62,19 @@ let test_reply_roundtrip () =
       check_bool "no bound" true (r.Protocol.bound = None);
       check_bool "no issue" true (r.Protocol.issue = None);
       check_bool "degraded" true r.Protocol.degraded
+  | _ -> Alcotest.fail "wrong reply variant");
+  (match
+     roundtrip_reply
+       (Protocol.Ok_schedule
+          {
+            id = "r3";
+            result =
+              { result with Protocol.gap = Some 0.125; proved = Some true };
+          })
+   with
+  | Protocol.Ok_schedule { result = r; _ } ->
+      check_bool "gap survives" true (r.Protocol.gap = Some 0.125);
+      check_bool "proved survives" true (r.Protocol.proved = Some true)
   | _ -> Alcotest.fail "wrong reply variant");
   (match roundtrip_reply (Protocol.Ok_pong { id = "p" }) with
   | Protocol.Ok_pong { id } -> check_string "pong id" "p" id
@@ -513,6 +528,66 @@ let test_e2e_deadline_degrades () =
           check_bool "still a valid schedule" true (r.Protocol.wct = cp_wct);
           check_bool "bound stack skipped" true (r.Protocol.bound = None)))
 
+(* An optimal request with a starvation-tight budget must still come
+   back as a real schedule with a certified gap — never busy, never
+   empty.  [degraded] may or may not be set depending on how fast the
+   dispatcher picked it up; the certificate fields must be there
+   regardless. *)
+let test_e2e_optimal_tight_budget () =
+  let sb =
+    List.fold_left
+      (fun a b ->
+        if Sb_ir.Superblock.n_ops b > Sb_ir.Superblock.n_ops a then b else a)
+      (List.hd (Lazy.force corpus))
+      (Lazy.force corpus)
+  in
+  with_server quick_config (fun _server path ->
+      let t = Client.connect ~path () in
+      Fun.protect ~finally:(fun () -> Client.close t) (fun () ->
+          let _, r =
+            expect_schedule
+              (Client.schedule t ~id:"o1" ~heuristic:"optimal" ~bounds:true
+                 ~optimal_budget_ms:1 sb)
+          in
+          check_string "served by optimal" "optimal" r.Protocol.heuristic_used;
+          (match (r.Protocol.gap, r.Protocol.proved, r.Protocol.bound) with
+          | Some gap, Some proved, Some lb ->
+              check_bool "gap nonnegative" true (gap >= 0.);
+              check_bool "proved implies gap closed" true
+                ((not proved) || gap <= 1e-9);
+              check_bool "bound below incumbent" true
+                (lb <= r.Protocol.wct +. 1e-9)
+          | _ -> Alcotest.fail "certificate fields missing from reply");
+          check_bool "incumbent is a real schedule" true (r.Protocol.wct > 0.)))
+
+(* With a generous budget the wire run proves optimality and lands on
+   exactly the WCT and bound a direct in-process run produces. *)
+let test_e2e_optimal_generous_matches_direct () =
+  let sb =
+    List.fold_left
+      (fun a b ->
+        if Sb_ir.Superblock.n_ops b < Sb_ir.Superblock.n_ops a then b else a)
+      (List.hd (Lazy.force corpus))
+      (Lazy.force corpus)
+  in
+  let direct = Sb_sched.Optimal.schedule ~mode:`Anytime ~budget_ms:10_000 fs4 sb in
+  check_bool "direct run proves (pick a smaller corpus if this fails)" true
+    direct.Sb_sched.Optimal.proved_optimal;
+  with_server quick_config (fun _server path ->
+      let t = Client.connect ~path () in
+      Fun.protect ~finally:(fun () -> Client.close t) (fun () ->
+          let _, r =
+            expect_schedule
+              (Client.schedule t ~id:"o2" ~heuristic:"optimal"
+                 ~optimal_budget_ms:10_000 sb)
+          in
+          check_bool "proved over the wire" true (r.Protocol.proved = Some true);
+          check_bool "wct bit-identical to direct run" true
+            (r.Protocol.wct = direct.Sb_sched.Optimal.wct);
+          check_bool "bound bit-identical to direct run" true
+            (r.Protocol.bound = Some direct.Sb_sched.Optimal.lower_bound);
+          check_bool "gap closed" true (r.Protocol.gap = Some 0.)))
+
 (* With the dispatcher wedged on a slow batch and a capacity-1 queue,
    the third pipelined request must be shed with [busy]. *)
 let test_e2e_busy_shed () =
@@ -860,6 +935,10 @@ let suites =
         tc "concurrent clients match direct runs" test_e2e_matches_direct;
         tc "machine override, ping, stats" test_e2e_machine_override_and_ping;
         tc "expired deadline degrades to CP" test_e2e_deadline_degrades;
+        tc "optimal: tight budget yields incumbent+gap"
+          test_e2e_optimal_tight_budget;
+        tc "optimal: generous budget matches direct run"
+          test_e2e_optimal_generous_matches_direct;
         tc "full queue sheds busy" test_e2e_busy_shed;
         tc "drain serves accepted, refuses new" test_e2e_drain;
         tc "malformed request is isolated" test_e2e_malformed;
