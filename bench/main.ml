@@ -804,6 +804,68 @@ let run_tables scale =
       Printf.printf "-- %s --\n%s\n%!" name (Sb_eval.Table.render t))
     (Sb_eval.Experiments.run_all prepared)
 
+(* shard: the router's per-request costs.  The digest is computed once
+   per routed schedule request, the ring lookup once per digest, and on
+   a warm shard the cache-hit path replaces an entire scheduling run —
+   all three must be negligible against even a small block's schedule
+   time. *)
+let run_shard scale =
+  Printf.printf "== shard (digest, ring, cache hit; scale %.3f) ==\n%!" scale;
+  let sbs =
+    Sb_workload.Corpus.all_superblocks (Sb_workload.Corpus.generate ~scale ())
+  in
+  let arr = Array.of_list sbs in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let reps = 20 in
+  let t =
+    time (fun () ->
+        for _ = 1 to reps do
+          Array.iter (fun sb -> ignore (Sb_ir.Serde.digest sb : string)) arr
+        done)
+  in
+  let n = reps * Array.length arr in
+  Printf.printf "  %-28s %8.2f us/block (%d blocks)\n%!" "canonical digest"
+    (t /. float_of_int n *. 1e6)
+    n;
+  let digests = Array.map Sb_ir.Serde.digest arr in
+  let ring = Sb_shard.Chash.create ~shards:8 () in
+  let lookups = 2_000_000 in
+  let t =
+    time (fun () ->
+        for i = 1 to lookups do
+          ignore
+            (Sb_shard.Chash.lookup ring digests.(i mod Array.length digests)
+              : int)
+        done)
+  in
+  Printf.printf "  %-28s %8.2f ns/lookup (%d lookups, 8 shards)\n%!"
+    "ring lookup"
+    (t /. float_of_int lookups *. 1e9)
+    lookups;
+  let cache = Sb_shard.Cache.create ~capacity:(Array.length digests) () in
+  Array.iteri
+    (fun i d ->
+      ignore (Sb_shard.Cache.find_or_compute cache ~key:d ~compute:(fun () -> (i, true))))
+    digests;
+  let hits = 2_000_000 in
+  let t =
+    time (fun () ->
+        for i = 1 to hits do
+          ignore
+            (Sb_shard.Cache.find_or_compute cache
+               ~key:digests.(i mod Array.length digests)
+               ~compute:(fun () -> (0, true))
+              : int * Sb_shard.Cache.outcome)
+        done)
+  in
+  Printf.printf "  %-28s %8.2f ns/hit (%d hits, %d keys)\n%!" "cache hit path"
+    (t /. float_of_int hits *. 1e9)
+    hits (Array.length digests)
+
 let () =
   let scale = ref 0.02 in
   let tables = ref true
@@ -814,7 +876,8 @@ let () =
   and serve = ref true
   and fault = ref true
   and obs = ref true
-  and optimal = ref true in
+  and optimal = ref true
+  and shard = ref true in
   let only what =
     tables := false;
     timing := false;
@@ -825,6 +888,7 @@ let () =
     fault := false;
     obs := false;
     optimal := false;
+    shard := false;
     what := true
   in
   let rec parse = function
@@ -859,11 +923,15 @@ let () =
     | "--optimal-only" :: rest ->
         only optimal;
         parse rest
+    | "--shard-only" :: rest ->
+        only shard;
+        parse rest
     | arg :: _ ->
         Printf.eprintf
           "unknown argument %S (expected --scale S, --tables-only, \
            --timing-only, --layout-only, --speedup-only, --incremental-only, \
-           --serve-only, --fault-only, --obs-only, --optimal-only)\n"
+           --serve-only, --fault-only, --obs-only, --optimal-only, \
+           --shard-only)\n"
           arg;
         exit 1
   in
@@ -875,5 +943,6 @@ let () =
   if !fault then run_fault !scale;
   if !obs then run_obs !scale;
   if !optimal then run_optimal ();
+  if !shard then run_shard !scale;
   if !timing then run_timing ();
   if !layout then run_layout ()

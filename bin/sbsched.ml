@@ -682,6 +682,110 @@ let socket_arg =
     & opt string default_socket
     & info [ "socket" ] ~docv:"PATH" ~doc:"Unix domain socket path.")
 
+let tcp_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "tcp" ] ~docv:"HOST:PORT"
+        ~doc:
+          "Listen on TCP HOST:PORT instead of the Unix socket (port 0 \
+           binds an ephemeral port, printed on stderr).  There is no \
+           filesystem permission gate over TCP — bind to 127.0.0.1 \
+           unless the network is trusted.")
+
+let parse_tcp s =
+  match Sb_serve.Client.target_of_string s with
+  | Sb_serve.Client.Tcp (host, port) -> (host, port)
+  | Sb_serve.Client.Unix_path _ ->
+      Printf.eprintf "error: --tcp wants HOST:PORT (got %S)\n" s;
+      exit 1
+
+let cache_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "cache" ] ~docv:"N"
+        ~doc:
+          "Keep the N most recently used schedule results in a \
+           content-addressed cache (keyed by canonical superblock digest \
+           + machine + heuristic + flags); identical requests are \
+           answered without recomputation and concurrent identical \
+           misses compute once (single-flight).  0 (default) disables \
+           caching.")
+
+let cache_journal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-journal" ] ~docv:"FILE"
+        ~doc:
+          "Persist cached results to FILE (append + fsync, \
+           fingerprint-validated) and warm the cache from it on start, \
+           so a restarted server answers hot keys without recomputation. \
+           Needs --cache.")
+
+(* Cache glue: the journaled value is the rendered reply line itself
+   (%.17g floats), so warmed entries answer bit-identically to the run
+   that computed them. *)
+let cache_encode r =
+  Sb_serve.Protocol.render_reply
+    (Sb_serve.Protocol.Ok_schedule { id = "-"; result = r })
+
+let cache_decode line =
+  match Sb_serve.Protocol.parse_reply line with
+  | Ok (Sb_serve.Protocol.Ok_schedule { result; _ }) -> Some result
+  | _ -> None
+
+let make_cache ~capacity ~journal ~(machine : Sb_machine.Config.t) ~with_tw =
+  if capacity = 0 then begin
+    if journal <> None then begin
+      Printf.eprintf "error: --cache-journal needs --cache N\n";
+      exit 1
+    end;
+    (None, fun () -> ())
+  end
+  else begin
+    let journal =
+      Option.map
+        (fun path ->
+          {
+            Sb_shard.Cache.journal_path = path;
+            resume = true;
+            (* Everything a stored result depends on beyond its key:
+               the wire format version and the server's bound config.
+               The key already carries machine/heuristic/flags, but the
+               default machine is part of what keys mean. *)
+            meta =
+              [
+                ("fmt", "1");
+                ("machine", machine.Sb_machine.Config.name);
+                ("tw", string_of_bool with_tw);
+              ];
+            encode = cache_encode;
+            decode = cache_decode;
+          })
+        journal
+    in
+    let cache =
+      try Sb_shard.Cache.create ?journal ~capacity ()
+      with Failure msg | Invalid_argument msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 1
+    in
+    let hook =
+      {
+        Sb_serve.Server.cached_compute =
+          (fun ~key ~compute ->
+            let v, outcome = Sb_shard.Cache.find_or_compute cache ~key ~compute in
+            ( v,
+              match outcome with
+              | Sb_shard.Cache.Hit -> Sb_serve.Server.Cache_hit
+              | Sb_shard.Cache.Miss -> Sb_serve.Server.Cache_miss
+              | Sb_shard.Cache.Waited -> Sb_serve.Server.Cache_waited ));
+      }
+    in
+    (Some hook, fun () -> Sb_shard.Cache.close cache)
+  end
+
 let serve_cmd =
   let stdio_arg =
     Arg.(
@@ -729,8 +833,8 @@ let serve_cmd =
             "Evict socket connections that stay silent this many seconds \
              (in-flight replies are still delivered); 0 disables.")
   in
-  let run machine jobs stdio socket force queue_capacity batch_max with_tw
-      idle_timeout trace fault =
+  let run machine jobs stdio socket tcp force queue_capacity batch_max with_tw
+      idle_timeout cache_capacity cache_journal trace fault =
     install_fault_plan fault;
     with_trace trace @@ fun () ->
     let jobs = resolve_jobs jobs in
@@ -742,6 +846,10 @@ let serve_cmd =
        the mask — and service them on a dedicated thread below. *)
     if not stdio then
       ignore (Thread.sigmask Unix.SIG_BLOCK drain_signals : int list);
+    let cache, close_cache =
+      make_cache ~capacity:cache_capacity ~journal:cache_journal ~machine
+        ~with_tw
+    in
     let config =
       {
         Sb_serve.Server.machine;
@@ -751,6 +859,7 @@ let serve_cmd =
         with_tw;
         before_batch = None;
         idle_timeout_s = (if idle_timeout > 0. then Some idle_timeout else None);
+        cache;
       }
     in
     let server =
@@ -762,7 +871,8 @@ let serve_cmd =
     if stdio then begin
       Sb_serve.Server.serve_channels server stdin stdout;
       Sb_serve.Server.begin_drain server;
-      Sb_serve.Server.await server
+      Sb_serve.Server.await server;
+      close_cache ()
     end
     else begin
       let _ : Thread.t =
@@ -777,18 +887,34 @@ let serve_cmd =
             exit 130)
           ()
       in
-      Printf.eprintf "sbserve: listening on %s (machine %s, %d domains, queue %d)\n%!"
-        socket machine.Sb_machine.Config.name jobs queue_capacity;
-      (try Sb_serve.Server.listen_unix server ~force ~path:socket
+      (try
+         match tcp with
+         | Some hostport ->
+             let host, port = parse_tcp hostport in
+             Sb_serve.Server.listen_tcp server ~host ~port
+               ~on_listen:(fun bound ->
+                 Printf.eprintf
+                   "sbserve: listening on %s:%d (machine %s, %d domains, \
+                    queue %d)\n\
+                    %!"
+                   host bound machine.Sb_machine.Config.name jobs
+                   queue_capacity)
+         | None ->
+             Printf.eprintf
+               "sbserve: listening on %s (machine %s, %d domains, queue %d)\n%!"
+               socket machine.Sb_machine.Config.name jobs queue_capacity;
+             Sb_serve.Server.listen_unix server ~force ~path:socket
        with
       | Unix.Unix_error (e, _, _) ->
-          Printf.eprintf "error: cannot listen on %s: %s\n" socket
+          Printf.eprintf "error: cannot listen on %s: %s\n"
+            (match tcp with Some hp -> hp | None -> socket)
             (Unix.error_message e);
           exit 1
       | Failure msg ->
           Printf.eprintf "error: %s (pass --force to take it over)\n" msg;
           exit 1);
       Sb_serve.Server.await server;
+      close_cache ();
       Printf.eprintf "sbserve: drained.  Final stats:\n";
       List.iter
         (fun (k, v) -> Printf.eprintf "  %-24s %s\n" k v)
@@ -801,8 +927,217 @@ let serve_cmd =
          "Run the concurrent scheduling service (see docs/PROTOCOL.md for \
           the wire protocol)")
     Term.(
-      const run $ machine_arg $ jobs_arg $ stdio_arg $ socket_arg $ force_arg
-      $ queue_arg $ batch_arg $ tw_arg $ idle_timeout_arg $ trace_arg
+      const run $ machine_arg $ jobs_arg $ stdio_arg $ socket_arg $ tcp_arg
+      $ force_arg $ queue_arg $ batch_arg $ tw_arg $ idle_timeout_arg
+      $ cache_arg $ cache_journal_arg $ trace_arg $ fault_arg)
+
+(* ------------------------------- shard ------------------------------ *)
+
+(* The scale-out front door: spawn N cache-enabled worker servers,
+   supervise them (respawn on death), and route by superblock content
+   so each worker's cache stays hot.  See docs/PROTOCOL.md §Sharding. *)
+let shard_cmd =
+  let shards_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "shards" ] ~docv:"N" ~doc:"Worker server processes to run.")
+  in
+  let inflight_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "inflight" ] ~docv:"N"
+          ~doc:
+            "Per-shard cap on forwarded-and-unanswered requests; beyond \
+             it the router sheds with code=busy.")
+  in
+  let worker_port_base_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "worker-port-base" ] ~docv:"PORT"
+          ~doc:
+            "Give worker I the TCP port PORT+I on 127.0.0.1.  0 \
+             (default) puts workers on private Unix sockets in the temp \
+             directory instead — respawned workers rebind the same \
+             address either way.")
+  in
+  let worker_cache_arg =
+    Arg.(
+      value & opt int 4096
+      & info [ "cache" ] ~docv:"N"
+          ~doc:"Per-worker schedule cache capacity (0 disables).")
+  in
+  let journal_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-journal-dir" ] ~docv:"DIR"
+          ~doc:
+            "Give each worker a cache journal DIR/shard<I>.journal so a \
+             respawned worker warms its cache from disk and answers hot \
+             keys without recomputation.")
+  in
+  let run machine jobs shards socket tcp inflight worker_port_base
+      worker_cache journal_dir queue_capacity with_tw fault =
+    install_fault_plan fault;
+    let jobs = resolve_jobs jobs in
+    if shards < 1 then begin
+      Printf.eprintf "error: --shards must be >= 1\n";
+      exit 1
+    end;
+    (match journal_dir with
+    | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
+    | _ -> ());
+    let drain_signals = [ Sys.sigint; Sys.sigterm ] in
+    ignore (Thread.sigmask Unix.SIG_BLOCK drain_signals : int list);
+    let targets =
+      Array.init shards (fun i ->
+          if worker_port_base > 0 then
+            Sb_serve.Client.Tcp ("127.0.0.1", worker_port_base + i)
+          else
+            Sb_serve.Client.Unix_path
+              (Filename.concat
+                 (Filename.get_temp_dir_name ())
+                 (Printf.sprintf "sbshard-%d-%d.sock" (Unix.getpid ()) i)))
+    in
+    let spawn slot =
+      let common =
+        [
+          "serve"; "-m"; machine.Sb_machine.Config.name;
+          "-j"; string_of_int jobs;
+          "--queue"; string_of_int queue_capacity;
+          "--cache"; string_of_int worker_cache;
+        ]
+        @ (if with_tw then [ "--tw" ] else [])
+        @ (match journal_dir with
+          | Some dir ->
+              [
+                "--cache-journal";
+                Filename.concat dir (Printf.sprintf "shard%d.journal" slot);
+              ]
+          | None -> [])
+        @
+        match targets.(slot) with
+        | Sb_serve.Client.Tcp (h, p) ->
+            [ "--tcp"; Printf.sprintf "%s:%d" h p ]
+        | Sb_serve.Client.Unix_path p -> [ "--socket"; p; "--force" ]
+      in
+      Unix.create_process Sys.executable_name
+        (Array.of_list ("sbsched" :: common))
+        Unix.stdin Unix.stdout Unix.stderr
+    in
+    let supervisor =
+      Sb_shard.Supervise.start ~n:shards ~spawn
+        ~on_respawn:(fun ~slot ~pid ->
+          Printf.eprintf "sbshard: respawned worker %d (pid %d)\n%!" slot pid)
+        ()
+    in
+    (* Wait for every worker to answer a ping before accepting clients,
+       so the first routed requests don't race the workers' binds. *)
+    let await_worker i target =
+      let deadline = Unix.gettimeofday () +. 10. in
+      let rec try_ping () =
+        let ok =
+          match
+            Sb_serve.Client.connect_target ~read_timeout_s:1. target
+          with
+          | client ->
+              let r =
+                Sb_serve.Client.send_ping client ~id:"up";
+                Sb_serve.Client.read_reply client
+              in
+              Sb_serve.Client.close client;
+              (match r with Ok _ -> true | Error _ -> false)
+          | exception (Unix.Unix_error _ | Failure _) -> false
+        in
+        if ok then ()
+        else if Unix.gettimeofday () > deadline then begin
+          Printf.eprintf "error: worker %d did not come up on %s\n" i
+            (Sb_serve.Client.target_to_string target);
+          Sb_shard.Supervise.stop supervisor;
+          exit 1
+        end
+        else begin
+          Thread.delay 0.05;
+          try_ping ()
+        end
+      in
+      try_ping ()
+    in
+    Array.iteri await_worker targets;
+    let router =
+      Sb_shard.Router.create
+        ~config:
+          {
+            Sb_shard.Router.shards = targets;
+            inflight_limit = inflight;
+            vnodes = 64;
+            read_timeout_s = None;
+            extra_stats =
+              Some
+                (fun () ->
+                  [
+                    ( "workers.alive",
+                      string_of_int (Sb_shard.Supervise.alive supervisor) );
+                    ( "workers.respawns",
+                      string_of_int (Sb_shard.Supervise.respawns supervisor) );
+                  ]);
+          }
+        ()
+    in
+    let _ : Thread.t =
+      Thread.create
+        (fun () ->
+          ignore (Thread.wait_signal drain_signals : int);
+          Sb_shard.Router.begin_drain router;
+          ignore (Thread.wait_signal drain_signals : int);
+          prerr_endline "sbshard: forced shutdown before drain completed";
+          exit 130)
+        ()
+    in
+    (try
+       match tcp with
+       | Some hostport ->
+           let host, port = parse_tcp hostport in
+           Sb_shard.Router.listen_tcp router ~host ~port
+             ~on_listen:(fun bound ->
+               Printf.eprintf "sbshard: routing on %s:%d (%d shards)\n%!" host
+                 bound shards)
+       | None ->
+           Printf.eprintf "sbshard: routing on %s (%d shards)\n%!" socket
+             shards;
+           Sb_shard.Router.listen_unix router ~path:socket
+     with
+    | Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "error: cannot listen: %s\n" (Unix.error_message e);
+        Sb_shard.Supervise.stop supervisor;
+        exit 1
+    | Failure msg ->
+        Printf.eprintf "error: %s\n" msg;
+        Sb_shard.Supervise.stop supervisor;
+        exit 1);
+    Sb_shard.Router.await router;
+    Sb_shard.Supervise.stop supervisor;
+    Printf.eprintf "sbshard: drained.  Final stats:\n";
+    List.iter
+      (fun (k, v) -> Printf.eprintf "  %-24s %s\n" k v)
+      (Sb_shard.Router.stats_fields router)
+  in
+  Cmd.v
+    (Cmd.info "shard"
+       ~doc:
+         "Run a consistent-hash router over N supervised worker servers \
+          (same wire protocol as serve; see docs/PROTOCOL.md §Sharding)")
+    Term.(
+      const run $ machine_arg $ jobs_arg $ shards_arg $ socket_arg $ tcp_arg
+      $ inflight_arg $ worker_port_base_arg $ worker_cache_arg
+      $ journal_dir_arg
+      $ Arg.(
+          value & opt int 128
+          & info [ "queue" ] ~docv:"N" ~doc:"Per-worker request queue bound.")
+      $ Arg.(
+          value & flag
+          & info [ "tw" ]
+              ~doc:"Workers include the Triplewise bound for bounds=true.")
       $ fault_arg)
 
 (* ------------------------------ loadgen ----------------------------- *)
@@ -859,8 +1194,27 @@ let loadgen_cmd =
              as a transport failure, retried under --retries); 0 waits \
              forever.")
   in
+  let zipfian_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "zipfian" ] ~docv:"S"
+          ~doc:
+            "Replace round-robin replay with a Zipfian popularity draw of \
+             exponent S (requests pick corpus rank k with probability \
+             proportional to 1/(k+1)^S; 0 is uniform).  Hot keys repeat, \
+             so a cache-enabled server shows its hit rate in the report.")
+  in
+  let keys_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "keys" ] ~docv:"K"
+          ~doc:
+            "With --zipfian: draw from the first K corpus blocks only \
+             (clamped to the corpus size; 0 = whole corpus).")
+  in
   let run socket conns rps duration heuristic bounds deadline_ms attempts
-      read_timeout trace file generate count =
+      read_timeout zipfian keys trace file generate count =
     with_trace trace @@ fun () ->
     let sbs =
       match (file, generate) with
@@ -870,16 +1224,30 @@ let loadgen_cmd =
       | _ -> load_superblocks file generate count
     in
     let read_timeout_s = if read_timeout > 0. then Some read_timeout else None in
+    let zipf =
+      match zipfian with
+      | None ->
+          if keys > 0 then begin
+            Printf.eprintf "error: --keys needs --zipfian S\n";
+            exit 1
+          end;
+          None
+      | Some s ->
+          Some (s, if keys > 0 then keys else List.length sbs)
+    in
     match
       Sb_serve.Client.Loadgen.run ~path:socket ~superblocks:sbs ~conns ~rps
         ~duration_s:duration ~heuristic ~bounds ?deadline_ms ~attempts
-        ?read_timeout_s ()
+        ?read_timeout_s ?zipf ()
     with
     | report ->
         print_string (Sb_serve.Client.Loadgen.report_to_string report)
     | exception Unix.Unix_error (e, _, _) ->
         Printf.eprintf "error: cannot connect to %s: %s\n" socket
           (Unix.error_message e);
+        exit 1
+    | exception Invalid_argument msg ->
+        Printf.eprintf "error: %s\n" msg;
         exit 1
   in
   Cmd.v
@@ -888,7 +1256,8 @@ let loadgen_cmd =
     Term.(
       const run $ socket_arg $ conns_arg $ rps_arg $ duration_arg
       $ heuristic_arg $ bounds_arg $ deadline_arg $ retries_arg
-      $ read_timeout_arg $ trace_arg $ file_arg $ generate_arg $ count_arg)
+      $ read_timeout_arg $ zipfian_arg $ keys_arg $ trace_arg $ file_arg
+      $ generate_arg $ count_arg)
 
 (* ----------------------------- trace-lint --------------------------- *)
 
@@ -998,5 +1367,5 @@ let () =
        (Cmd.group info
           [
             schedule_cmd; bounds_cmd; simulate_cmd; corpus_cmd; form_cmd;
-            experiments_cmd; serve_cmd; loadgen_cmd; trace_lint_cmd;
+            experiments_cmd; serve_cmd; shard_cmd; loadgen_cmd; trace_lint_cmd;
           ]))

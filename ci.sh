@@ -160,4 +160,42 @@ if ! echo "$out" | grep -q 'sbsched_serve_'; then
 fi
 echo "metrics reply parses and includes the serve families"
 
+echo "== shard: 2-shard TCP router, repeated keys warm the cache, clean drain =="
+shlog="$tmpd/shard.log"
+"$SB" shard -m FS4 --shards 2 --tcp 127.0.0.1:0 --cache 1024 \
+  --cache-journal-dir "$tmpd/journals" > "$shlog" 2>&1 &
+router=$!
+i=0
+while ! grep -q '^sbshard: routing on ' "$shlog" && [ "$i" -lt 100 ]; do
+  sleep 0.1; i=$((i+1))
+done
+port=$(sed -n 's/^sbshard: routing on 127\.0\.0\.1:\([0-9]*\) .*/\1/p' "$shlog")
+if [ -z "$port" ]; then
+  echo "ci.sh: FAIL — shard router never reported its TCP port" >&2
+  cat "$shlog" >&2
+  exit 1
+fi
+# Two passes over the same generated corpus: the first fills the shards'
+# caches, the second must be answered from them.
+"$SB" loadgen --socket "127.0.0.1:$port" --generate gcc -n 8 \
+  --conns 2 --duration 2 > "$tmpd/shard-pass1.out"
+out=$("$SB" loadgen --socket "127.0.0.1:$port" --generate gcc -n 8 \
+  --conns 2 --duration 2)
+echo "$out"
+counts=$(echo "$out" | grep 'sent=')
+errors=$(echo "$counts" | sed 's/.*errors=\([0-9]*\).*/\1/')
+hits=$(echo "$out" | sed -n 's/.*cache hits=\([0-9]*\).*/\1/p')
+if [ "$errors" -ne 0 ] || [ -z "$hits" ] || [ "$hits" -eq 0 ]; then
+  echo "ci.sh: FAIL — second pass over fixed keys wants errors=0 and cache hits>0 (got errors=$errors hits=${hits:-none})" >&2
+  exit 1
+fi
+kill -TERM "$router" 2>/dev/null || true
+wait "$router" 2>/dev/null || true
+if ! grep -q '^sbshard: drained' "$shlog"; then
+  echo "ci.sh: FAIL — shard router did not drain cleanly on SIGTERM" >&2
+  cat "$shlog" >&2
+  exit 1
+fi
+echo "second pass answered from cache (hits=$hits, errors=0); router drained cleanly"
+
 echo "ci.sh: all checks passed"

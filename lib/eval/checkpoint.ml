@@ -14,7 +14,112 @@ type entry = {
   wct : (string * float) list;
 }
 
-type t = { fd : Unix.file_descr; lock : Mutex.t; mutable closed : bool }
+(* The generic fsync'd append-only journal underneath both the
+   experiments checkpoint (below) and the shard schedule-cache
+   persistence (lib/shard).  Callers own the record format; the journal
+   owns the header discipline (magic + meta fingerprint via temp-file +
+   atomic rename), the append discipline (one write + fsync per record
+   under a lock), and torn-tail tolerance on load. *)
+module Journal = struct
+  type t = { fd : Unix.file_descr; lock : Mutex.t; mutable closed : bool }
+
+  let read_lines path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec go acc =
+          match input_line ic with
+          | line -> go (line :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        go [])
+
+  let load path ~what ~magic ~meta_line ~parse =
+    match read_lines path with
+    | m :: meta :: records when m = magic ->
+        if meta <> meta_line then
+          failwith
+            (Printf.sprintf
+               "%s: %s is for a different experiment\n\
+               \  journal: %s\n\
+               \  this run: %s" path what meta meta_line);
+        let n = List.length records in
+        List.filteri
+          (fun i line ->
+            match parse line with
+            | Some _ -> true
+            | None ->
+                (* Only the final line may be torn (the process was
+                   killed mid-append); garbage earlier means a corrupt
+                   file. *)
+                if i < n - 1 then
+                  failwith
+                    (Printf.sprintf "%s: corrupt %s line %d" path what
+                       (i + 3));
+                false)
+          records
+        |> List.filter_map parse
+    | _ -> failwith (Printf.sprintf "%s: not a %s journal" path what)
+
+  let open_append path =
+    {
+      fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644;
+      lock = Mutex.create ();
+      closed = false;
+    }
+
+  let write_header path ~magic ~meta_line =
+    let tmp = path ^ ".tmp" in
+    let fd =
+      Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+    in
+    let line = magic ^ "\n" ^ meta_line ^ "\n" in
+    let bytes = Bytes.of_string line in
+    ignore (Unix.write fd bytes 0 (Bytes.length bytes) : int);
+    Unix.fsync fd;
+    Unix.close fd;
+    Unix.rename tmp path
+
+  let start ~path ~resume ~what ~magic ~meta_line ~parse =
+    if Sys.file_exists path then begin
+      if not resume then
+        failwith
+          (Printf.sprintf
+             "%s: %s exists; pass --resume to continue it or remove the \
+              file" path what);
+      let entries = load path ~what ~magic ~meta_line ~parse in
+      (open_append path, entries)
+    end
+    else begin
+      write_header path ~magic ~meta_line;
+      (open_append path, [])
+    end
+
+  let append t line =
+    let line = Bytes.of_string (line ^ "\n") in
+    Mutex.lock t.lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.lock)
+      (fun () ->
+        if t.closed then invalid_arg "Journal.append: closed";
+        (* One write syscall per record: O_APPEND keeps writers ordered,
+           and a kill can tear at most the in-flight line. *)
+        ignore (Unix.write t.fd line 0 (Bytes.length line) : int);
+        Unix.fsync t.fd)
+
+  let close t =
+    Mutex.lock t.lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.lock)
+      (fun () ->
+        if not t.closed then begin
+          t.closed <- true;
+          Unix.close t.fd
+        end)
+end
+
+type t = Journal.t
 
 let magic = "sbckpt 1"
 
@@ -82,99 +187,13 @@ let parse_entry line =
       | _ -> None)
   | _ -> None
 
-let read_lines path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () ->
-      let rec go acc =
-        match input_line ic with
-        | line -> go (line :: acc)
-        | exception End_of_file -> List.rev acc
-      in
-      go [])
-
-let load path ~meta_line =
-  match read_lines path with
-  | m :: meta :: records when m = magic ->
-      if meta <> meta_line then
-        failwith
-          (Printf.sprintf
-             "%s: checkpoint is for a different experiment\n\
-             \  journal: %s\n\
-             \  this run: %s" path meta meta_line);
-      let n = List.length records in
-      List.filteri
-        (fun i line ->
-          match parse_entry line with
-          | Some _ -> true
-          | None ->
-              (* Only the final line may be torn (the process was killed
-                 mid-append); garbage earlier means a corrupt file. *)
-              if i < n - 1 then
-                failwith
-                  (Printf.sprintf "%s: corrupt checkpoint line %d" path (i + 3));
-              false)
-        records
-      |> List.filter_map parse_entry
-  | _ -> failwith (Printf.sprintf "%s: not a checkpoint journal" path)
-
-let open_append path =
-  {
-    fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644;
-    lock = Mutex.create ();
-    closed = false;
-  }
-
-let write_header path ~meta_line =
-  let tmp = path ^ ".tmp" in
-  let fd =
-    Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
-  in
-  let line = magic ^ "\n" ^ meta_line ^ "\n" in
-  let bytes = Bytes.of_string line in
-  ignore (Unix.write fd bytes 0 (Bytes.length bytes) : int);
-  Unix.fsync fd;
-  Unix.close fd;
-  Unix.rename tmp path
-
 let start ~path ~resume ~meta =
-  let meta_line = render_meta meta in
-  if Sys.file_exists path then begin
-    if not resume then
-      failwith
-        (Printf.sprintf
-           "%s: checkpoint exists; pass --resume to continue it or remove \
-            the file" path);
-    let entries = load path ~meta_line in
-    (open_append path, entries)
-  end
-  else begin
-    write_header path ~meta_line;
-    (open_append path, [])
-  end
+  Journal.start ~path ~resume ~what:"checkpoint" ~magic
+    ~meta_line:(render_meta meta) ~parse:parse_entry
 
-let append t e =
-  let line = Bytes.of_string (render_entry e ^ "\n") in
-  Mutex.lock t.lock;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock t.lock)
-    (fun () ->
-      if t.closed then invalid_arg "Checkpoint.append: closed";
-      (* One write syscall per record: O_APPEND keeps writers ordered,
-         and a kill can tear at most the in-flight line. *)
-      ignore (Unix.write t.fd line 0 (Bytes.length line) : int);
-      Unix.fsync t.fd)
+let append t e = Journal.append t (render_entry e)
 
-let close t =
-  Mutex.lock t.lock;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock t.lock)
-    (fun () ->
-      if not t.closed then begin
-        t.closed <- true;
-        Unix.close t.fd
-      end)
+let close t = Journal.close t
 
 let entry_of_record ~config ~index (r : Metrics.record) =
   let b = r.Metrics.bounds in

@@ -16,6 +16,40 @@
     (they are cheap, and carry closures that cannot be serialized) and
     cross-checked against the journaled values. *)
 
+(** The generic journal machinery, shared with the shard schedule cache
+    (lib/shard).  A journal file is [magic] line, [meta_line]
+    fingerprint, then caller-formatted record lines.  Guarantees: header
+    written via temp-file + atomic rename; each record appended with one
+    write + fsync under a lock (kill-safe: at most the in-flight line
+    tears); load validates magic and meta and tolerates exactly one torn
+    final line. *)
+module Journal : sig
+  type t
+
+  val start :
+    path:string ->
+    resume:bool ->
+    what:string ->
+    magic:string ->
+    meta_line:string ->
+    parse:(string -> 'a option) ->
+    t * 'a list
+  (** Open the journal at [path] for appending and return already
+      journaled records (parsed by [parse]; a torn final line is
+      dropped, earlier garbage raises [Failure]).  Fresh start
+      ([resume = false]): writes the header atomically and raises
+      [Failure] if [path] already exists.  Resume: validates magic and
+      [meta_line] against the existing file ([Failure] on mismatch); a
+      missing file degrades to a fresh start.  [what] names the journal
+      kind in error messages ("checkpoint", "cache journal"). *)
+
+  val append : t -> string -> unit
+  (** Append one record line (no trailing newline): write + fsync under
+      the journal lock.  Safe from any thread or domain. *)
+
+  val close : t -> unit
+end
+
 type entry = {
   config : string;  (** machine config name *)
   index : int;  (** superblock position in the corpus *)

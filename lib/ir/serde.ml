@@ -26,6 +26,37 @@ let superblocks_to_string sbs =
   List.iter (superblock_to_buffer buf) sbs;
   Buffer.contents buf
 
+(* Canonical digest.
+
+   The preimage deliberately excludes the block's [name]: schedules,
+   bounds and issue orders depend only on the structure (ops, edges,
+   probabilities, frequency), so two identically-shaped blocks under
+   different names must share one cache entry.  Edge order is canonical
+   for free: [Dep_graph] stores sorted CSR segments and merges duplicate
+   edges at construction, so [Dep_graph.edges] lists the same multiset in
+   the same order no matter how the block was built or which redundant
+   structural edges a file spelled out.  Floats are rendered with [%h]
+   (hex, lossless) so the digest never depends on decimal rounding. *)
+let canonical (sb : Superblock.t) =
+  let buf = Buffer.create 512 in
+  Printf.bprintf buf "sbdigest 1 n=%d freq=%h\n"
+    (Array.length sb.Superblock.ops)
+    sb.Superblock.freq;
+  Array.iter
+    (fun op ->
+      if Operation.is_branch op then
+        Printf.bprintf buf "o %s %h\n" op.Operation.opcode.Opcode.name
+          op.Operation.exit_prob
+      else Printf.bprintf buf "o %s\n" op.Operation.opcode.Opcode.name)
+    sb.Superblock.ops;
+  List.iter
+    (fun { Dep_graph.src; dst; latency } ->
+      Printf.bprintf buf "e %d %d %d\n" src dst latency)
+    (Dep_graph.edges sb.Superblock.graph);
+  Buffer.contents buf
+
+let digest sb = Digest.to_hex (Digest.string (canonical sb))
+
 exception Parse_error of string
 
 let fail lineno msg = raise (Parse_error (Printf.sprintf "line %d: %s" lineno msg))

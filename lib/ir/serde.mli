@@ -34,3 +34,19 @@ val load_file : string -> (Superblock.t list, string) result
     ([path: line N: ...]). *)
 
 val save_file : string -> Superblock.t list -> unit
+
+val digest : Superblock.t -> string
+(** Canonical content digest (MD5, lowercase hex) of a superblock's
+    structure: op sequence (opcodes, exit probabilities), frequency, and
+    the canonical edge multiset.  The block's [name] is excluded — every
+    scheduler and bound here is a pure function of the structure, so
+    identically-shaped blocks digest identically and may share cached
+    results.  Stable across serialize/reload ({!superblock_to_string}
+    then {!parse_string}) and across edge listing order: the dependence
+    graph sorts and dedups edges at construction, giving one canonical
+    edge order per graph.  Floats enter the preimage in lossless [%h]
+    form. *)
+
+val canonical : Superblock.t -> string
+(** The exact preimage text hashed by {!digest}; exposed so tests can
+    assert that digest collisions imply structural identity. *)

@@ -8,10 +8,39 @@ type t = {
   fd : Unix.file_descr option;  (* Some: we own the socket *)
 }
 
-let connect ?read_timeout_s ~path () =
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+type target = Unix_path of string | Tcp of string * int
+
+(* "host:port" (port all digits, host nonempty) dials TCP; anything
+   else is a Unix socket path.  Unambiguous in practice: socket paths
+   with a trailing ":<digits>" component do not occur here. *)
+let target_of_string s =
+  match String.rindex_opt s ':' with
+  | Some i when i > 0 && i < String.length s - 1 -> (
+      let host = String.sub s 0 i in
+      let port_s = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt port_s with
+      | Some port when port >= 0 && String.for_all (fun c -> c >= '0' && c <= '9') port_s ->
+          Tcp (host, port)
+      | _ -> Unix_path s)
+  | _ -> Unix_path s
+
+let target_to_string = function
+  | Unix_path p -> p
+  | Tcp (host, port) -> Printf.sprintf "%s:%d" host port
+
+let connect_target ?read_timeout_s target =
+  let fd =
+    match target with
+    | Unix_path path ->
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        (try Unix.connect fd (Unix.ADDR_UNIX path)
+         with e ->
+           (try Unix.close fd with _ -> ());
+           raise e);
+        fd
+    | Tcp (host, port) -> Transport.connect_tcp ~host ~port
+  in
   (try
-     Unix.connect fd (Unix.ADDR_UNIX path);
      (* A reply the server dropped (or a dead server) must surface as a
         timed-out read the retry layer can recover from, not a hang. *)
      match read_timeout_s with
@@ -25,6 +54,9 @@ let connect ?read_timeout_s ~path () =
     oc = Unix.out_channel_of_descr fd;
     fd = Some fd;
   }
+
+let connect ?read_timeout_s ~path () =
+  connect_target ?read_timeout_s (target_of_string path)
 
 let of_channels ic oc = { ic; oc; fd = None }
 
@@ -95,7 +127,7 @@ end
    connection and retries on a fresh one, because after a lost reply
    the old stream can never be re-synchronized. *)
 type session = {
-  s_path : string;
+  s_target : target;
   policy : Retry.policy;
   read_timeout_s : float option;
   rng : Random.State.t;
@@ -108,7 +140,7 @@ let session ?(policy = Retry.default) ?read_timeout_s ?(seed = 0) ~path () =
   if policy.Retry.attempts < 1 then
     invalid_arg "Client.session: attempts must be >= 1";
   {
-    s_path = path;
+    s_target = target_of_string path;
     policy;
     read_timeout_s;
     rng = Random.State.make [| seed; 0x5bc1 |];
@@ -132,7 +164,7 @@ let session_conn s =
   match s.s_conn with
   | Some c -> c
   | None ->
-      let c = connect ?read_timeout_s:s.read_timeout_s ~path:s.s_path () in
+      let c = connect_target ?read_timeout_s:s.read_timeout_s s.s_target in
       s.s_conn <- Some c;
       c
 
@@ -204,6 +236,12 @@ module Loadgen = struct
     p95_us : int;
     p99_us : int;
     max_us : int;
+    hits : int;  (* ok replies with cached=true *)
+    misses : int;  (* ok replies with cached=false *)
+    hit_p50_us : int;
+    hit_p99_us : int;
+    miss_p50_us : int;
+    miss_p99_us : int;
   }
 
   type worker_acc = {
@@ -214,20 +252,46 @@ module Loadgen = struct
     mutable w_errors : int;
     mutable w_retried : int;
     mutable latencies_us : int list;
+    mutable hit_us : int list;
+    mutable miss_us : int list;
   }
+
+  (* Zipfian popularity over ranks 0 .. K-1: P(rank k) ~ 1/(k+1)^s.
+     Returned as a cumulative distribution for binary-search sampling;
+     rank 0 is the hottest key. *)
+  let zipf_cdf ~s ~keys =
+    let w = Array.init keys (fun k -> 1. /. (float_of_int (k + 1) ** s)) in
+    let total = Array.fold_left ( +. ) 0. w in
+    let acc = ref 0. in
+    Array.map
+      (fun x ->
+        acc := !acc +. (x /. total);
+        !acc)
+      w
+
+  let zipf_sample rng cdf =
+    let u = Random.State.float rng 1. in
+    let n = Array.length cdf in
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cdf.(mid) < u then lo := mid + 1 else hi := mid
+    done;
+    !lo
 
   (* One worker: a private connection issuing synchronous request/reply
      pairs, paced by sleeping until its next send slot when a target
      rate is set.  If the server is slower than the rate, the worker
      falls behind rather than piling up in-flight requests; the report's
      achieved_rps shows the shortfall. *)
-  let worker ~path ~sbs ~per_conn_rps ~deadline ~heuristic ~bounds
+  let worker ~path ~sbs ~zipf ~per_conn_rps ~deadline ~heuristic ~bounds
       ~deadline_ms ~attempts ~read_timeout_s ~index acc =
     let s =
       session
         ~policy:{ Retry.default with Retry.attempts }
         ?read_timeout_s ~seed:index ~path ()
     in
+    let rng = Random.State.make [| index; 0x2a9f |] in
     Fun.protect
       ~finally:(fun () ->
         acc.w_retried <- session_retries s;
@@ -245,7 +309,11 @@ module Loadgen = struct
             if now < !next_slot then Thread.delay (!next_slot -. now);
             next_slot := !next_slot +. interval
           end;
-          let sb = sbs.(!i mod n_sbs) in
+          let sb =
+            match zipf with
+            | Some cdf -> sbs.(zipf_sample rng cdf)
+            | None -> sbs.(!i mod n_sbs)
+          in
           incr i;
           let id = Printf.sprintf "c%d-%d" index !i in
           let t0 = Unix.gettimeofday () in
@@ -278,7 +346,11 @@ module Loadgen = struct
               acc.w_ok <- acc.w_ok + 1;
               if result.Protocol.degraded then
                 acc.w_degraded <- acc.w_degraded + 1;
-              acc.latencies_us <- dt :: acc.latencies_us
+              acc.latencies_us <- dt :: acc.latencies_us;
+              (match result.Protocol.cached with
+              | Some true -> acc.hit_us <- dt :: acc.hit_us
+              | Some false -> acc.miss_us <- dt :: acc.miss_us
+              | None -> ())
           | Ok (Protocol.Error_reply { code = Protocol.Busy; _ }) ->
               acc.w_busy <- acc.w_busy + 1
           | Ok _ -> acc.w_errors <- acc.w_errors + 1
@@ -298,11 +370,22 @@ module Loadgen = struct
 
   let run ~path ~superblocks ?(label = "") ?(conns = 4) ?(rps = 0.)
       ?(duration_s = 5.) ?heuristic ?bounds ?deadline_ms ?(attempts = 1)
-      ?read_timeout_s () =
+      ?read_timeout_s ?zipf () =
     if conns < 1 then invalid_arg "Loadgen.run: conns must be >= 1";
     if attempts < 1 then invalid_arg "Loadgen.run: attempts must be >= 1";
     if superblocks = [] then invalid_arg "Loadgen.run: no superblocks";
     let sbs = Array.of_list superblocks in
+    let zipf =
+      match zipf with
+      | None -> None
+      | Some (s, keys) ->
+          if s < 0. then invalid_arg "Loadgen.run: zipf s must be >= 0";
+          if keys < 1 then invalid_arg "Loadgen.run: zipf keys must be >= 1";
+          (* Ranks address distinct corpus blocks; more keys than blocks
+             would alias ranks onto the same block and overstate hit
+             rates. *)
+          Some (zipf_cdf ~s ~keys:(min keys (Array.length sbs)))
+    in
     let t0 = Unix.gettimeofday () in
     let deadline = t0 +. duration_s in
     let per_conn_rps = if rps > 0. then rps /. float_of_int conns else 0. in
@@ -316,6 +399,8 @@ module Loadgen = struct
             w_errors = 0;
             w_retried = 0;
             latencies_us = [];
+            hit_us = [];
+            miss_us = [];
           })
     in
     let threads =
@@ -324,8 +409,8 @@ module Loadgen = struct
           Thread.create
             (fun () ->
               try
-                worker ~path ~sbs ~per_conn_rps ~deadline ~heuristic ~bounds
-                  ~deadline_ms ~attempts ~read_timeout_s ~index acc
+                worker ~path ~sbs ~zipf ~per_conn_rps ~deadline ~heuristic
+                  ~bounds ~deadline_ms ~attempts ~read_timeout_s ~index acc
               with Exit -> ())
             ())
         accs
@@ -342,6 +427,16 @@ module Loadgen = struct
     let mean_us =
       if n = 0 then 0 else Array.fold_left ( + ) 0 latencies / n
     in
+    let sorted f =
+      let a =
+        Array.of_list
+          (Array.fold_left (fun acc w -> List.rev_append (f w) acc) [] accs)
+      in
+      Array.sort compare a;
+      a
+    in
+    let hit_lat = sorted (fun w -> w.hit_us)
+    and miss_lat = sorted (fun w -> w.miss_us) in
     {
       jobs_hint = label;
       conns;
@@ -361,6 +456,12 @@ module Loadgen = struct
       p95_us = percentile latencies 0.95;
       p99_us = percentile latencies 0.99;
       max_us = (if n = 0 then 0 else latencies.(n - 1));
+      hits = Array.length hit_lat;
+      misses = Array.length miss_lat;
+      hit_p50_us = percentile hit_lat 0.50;
+      hit_p99_us = percentile hit_lat 0.99;
+      miss_p50_us = percentile miss_lat 0.50;
+      miss_p99_us = percentile miss_lat 0.99;
     }
 
   let report_to_string r =
@@ -376,5 +477,12 @@ module Loadgen = struct
        else "max")
       r.duration_s r.sent r.ok r.degraded r.busy r.errors r.retried
       r.achieved_rps r.mean_us r.p50_us r.p95_us r.p99_us r.max_us;
+    if r.hits + r.misses > 0 then
+      Printf.bprintf b
+        "  cache hits=%d misses=%d hit_rate=%.1f%%   hit p50=%dus p99=%dus   \
+         miss p50=%dus p99=%dus\n"
+        r.hits r.misses
+        (100. *. float_of_int r.hits /. float_of_int (r.hits + r.misses))
+        r.hit_p50_us r.hit_p99_us r.miss_p50_us r.miss_p99_us;
     Buffer.contents b
 end

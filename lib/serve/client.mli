@@ -7,10 +7,25 @@
 
 type t
 
+type target = Unix_path of string | Tcp of string * int
+(** Where a server listens: a Unix socket path or a TCP [host:port]. *)
+
+val target_of_string : string -> target
+(** ["host:port"] (nonempty host, all-digit port) parses as {!Tcp};
+    everything else is a {!Unix_path}.  Every [path]/[--socket] string
+    in this module and the CLI goes through this, so TCP targets work
+    wherever a socket path did. *)
+
+val target_to_string : target -> string
+
 val connect : ?read_timeout_s:float -> path:string -> unit -> t
-(** Connect to a server's Unix domain socket.  [read_timeout_s] sets
+(** Connect to a server.  [path] is a target string ({!target_of_string}):
+    a Unix socket path or [host:port].  [read_timeout_s] sets
     [SO_RCVTIMEO], turning a reply that never arrives into an
     [Error "read timed out"] from {!read_reply} instead of a hang. *)
+
+val connect_target : ?read_timeout_s:float -> target -> t
+(** {!connect} for an already-parsed target. *)
 
 val of_channels : in_channel -> out_channel -> t
 (** Wrap an existing connection (e.g. a spawned [serve --stdio]). *)
@@ -131,6 +146,14 @@ module Loadgen : sig
     p95_us : int;
     p99_us : int;
     max_us : int;
+    hits : int;
+        (** ok replies carrying [cached=true] (cache-enabled servers
+            only; 0 when the server has no cache) *)
+    misses : int;  (** ok replies carrying [cached=false] *)
+    hit_p50_us : int;  (** exact percentiles over the hit subset *)
+    hit_p99_us : int;
+    miss_p50_us : int;
+    miss_p99_us : int;
   }
 
   val run :
@@ -145,6 +168,7 @@ module Loadgen : sig
     ?deadline_ms:int ->
     ?attempts:int ->
     ?read_timeout_s:float ->
+    ?zipf:float * int ->
     unit ->
     report
   (** Replay [superblocks] round-robin over [conns] connections (default
@@ -157,7 +181,14 @@ module Loadgen : sig
       and retry; the report counts retries and a worker survives
       exhausted retries); the default 1 keeps the old
       fail-worker-on-dead-connection behaviour.  [read_timeout_s]
-      bounds each reply wait. *)
+      bounds each reply wait.
+
+      [zipf = (s, keys)] replaces round-robin with a Zipfian popularity
+      draw: each request picks rank [k < keys] with probability
+      proportional to [1/(k+1)^s] and sends block [k] of the corpus
+      (keys are clamped to the corpus size; [s = 0] is uniform).  Hot
+      ranks repeat, so a cache-enabled server shows its hit rate and
+      the report's hit/miss percentile split becomes meaningful. *)
 
   val report_to_string : report -> string
   (** Multi-line human-readable block (the [sbsched loadgen] output). *)

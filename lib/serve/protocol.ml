@@ -58,6 +58,11 @@ type sched_reply = {
   issue : int array option;
   gap : float option;
   proved : bool option;
+  cached : bool option;
+      (* [Some true] when the reply was answered from the shard result
+         cache, [Some false] on a cache miss that computed; [None] (and
+         absent on the wire) when no cache is configured — the old byte
+         format is preserved exactly in that case. *)
 }
 
 type reply =
@@ -85,6 +90,9 @@ let render_reply = function
       | None -> ());
       (match r.proved with
       | Some p -> Printf.bprintf buf " proved=%b" p
+      | None -> ());
+      (match r.cached with
+      | Some c -> Printf.bprintf buf " cached=%b" c
       | None -> ());
       Printf.bprintf buf " degraded=%b elapsed_us=%d" r.degraded r.elapsed_us;
       (match r.issue with
@@ -242,6 +250,13 @@ let parse_ok_schedule id words =
         let* b = bool_value v in
         Ok (Some b)
   in
+  let* cached =
+    match find "cached" with
+    | None -> Ok None
+    | Some v ->
+        let* b = bool_value v in
+        Ok (Some b)
+  in
   Ok
     (Ok_schedule
        {
@@ -258,6 +273,7 @@ let parse_ok_schedule id words =
              issue;
              gap;
              proved;
+             cached;
            };
        })
 

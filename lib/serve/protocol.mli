@@ -71,6 +71,11 @@ type sched_reply = {
       (** [optimal] requests only: [wct - lower_bound] of the returned
           incumbent (0 when optimality was proved) *)
   proved : bool option;  (** [optimal] requests only: certificate bit *)
+  cached : bool option;
+      (** cache-enabled servers only: [Some true] when answered from the
+          content-addressed result cache, [Some false] on the miss that
+          computed; absent ([None]) when no cache is configured, keeping
+          the pre-cache wire format byte-identical *)
 }
 
 type reply =

@@ -18,6 +18,15 @@
    cancellation can't tear shared state and every reply stays a valid
    schedule. *)
 
+type cache_outcome = Cache_hit | Cache_miss | Cache_waited
+
+type cache_hook = {
+  cached_compute :
+    key:string ->
+    compute:(unit -> Protocol.sched_reply * bool) ->
+    Protocol.sched_reply * cache_outcome;
+}
+
 type config = {
   machine : Sb_machine.Config.t;
   jobs : int;
@@ -26,6 +35,7 @@ type config = {
   with_tw : bool;
   before_batch : (unit -> unit) option;
   idle_timeout_s : float option;
+  cache : cache_hook option;
 }
 
 let default_config =
@@ -37,6 +47,7 @@ let default_config =
     with_tw = false;
     before_batch = None;
     idle_timeout_s = None;
+    cache = None;
   }
 
 (* A connection stays open until its reader has seen EOF *and* every
@@ -156,6 +167,24 @@ let send conn reply =
 
 (* --------------------------- processing --------------------------- *)
 
+(* The content address of a schedule request: everything its reply is a
+   pure function of.  Canonical superblock digest, machine model, the
+   requested heuristic, both reply-shaping flags, the server's bound
+   configuration, and — for optimal — the requested budget and the jobs
+   the serve path runs the search with (1: the pool parallelises across
+   requests, not inside one).  Deadlines are deliberately absent: they
+   shape *degraded* replies, which are never stored. *)
+let cache_key t (opts : Protocol.sched_options) machine sb =
+  let optimal = opts.Protocol.heuristic.Sb_sched.Registry.name = "optimal" in
+  Printf.sprintf "%s|m=%s|h=%s|b=%b|i=%b|tw=%b|ob=%d|oj=%d"
+    (Sb_ir.Serde.digest sb)
+    machine.Sb_machine.Config.name
+    opts.Protocol.heuristic.Sb_sched.Registry.name opts.Protocol.with_bounds
+    opts.Protocol.with_issue t.cfg.with_tw
+    (if optimal then Option.value opts.Protocol.optimal_budget_ms ~default:50
+     else 0)
+    (if optimal then 1 else 0)
+
 let process t pending =
   Obs.Span.with_ "serve.process" @@ fun () ->
   (* One self-contained X event per request for its queue wait, on the
@@ -180,8 +209,10 @@ let process t pending =
     | Some d -> Unix.gettimeofday () >= d
     | None -> false
   in
-  let reply =
-    try
+  (* The result record alone, exceptions propagating: the cache wraps
+     this and must see failures (to wake single-flight waiters), not a
+     pre-rendered error reply. *)
+  let compute_result () : Protocol.sched_reply =
       let requested = opts.heuristic in
       if requested.Sb_sched.Registry.name = "optimal" then begin
         (* Anytime B&B never degrades to critical-path: an expired
@@ -204,25 +235,21 @@ let process t pending =
         let elapsed_us =
           int_of_float ((Unix.gettimeofday () -. pending.t_accept) *. 1e6)
         in
-        Protocol.Ok_schedule
-          {
-            id = pending.id;
-            result =
-              {
-                heuristic_used = "optimal";
-                machine_used = machine.Sb_machine.Config.name;
-                wct = r.Sb_sched.Optimal.wct;
-                length = sched.Sb_sched.Schedule.length;
-                bound = Some r.Sb_sched.Optimal.lower_bound;
-                degraded = expired ();
-                elapsed_us;
-                issue =
-                  (if opts.with_issue then Some sched.Sb_sched.Schedule.issue
-                   else None);
-                gap = Some r.Sb_sched.Optimal.gap;
-                proved = Some r.Sb_sched.Optimal.proved_optimal;
-              };
-          }
+        {
+          Protocol.heuristic_used = "optimal";
+          machine_used = machine.Sb_machine.Config.name;
+          wct = r.Sb_sched.Optimal.wct;
+          length = sched.Sb_sched.Schedule.length;
+          bound = Some r.Sb_sched.Optimal.lower_bound;
+          degraded = expired ();
+          elapsed_us;
+          issue =
+            (if opts.with_issue then Some sched.Sb_sched.Schedule.issue
+             else None);
+          gap = Some r.Sb_sched.Optimal.gap;
+          proved = Some r.Sb_sched.Optimal.proved_optimal;
+          cached = None;
+        }
       end
       else begin
       let h_used, degraded_h =
@@ -244,26 +271,64 @@ let process t pending =
       let elapsed_us =
         int_of_float ((Unix.gettimeofday () -. pending.t_accept) *. 1e6)
       in
-      Protocol.Ok_schedule
-        {
-          id = pending.id;
-          result =
-            {
-              heuristic_used = h_used.Sb_sched.Registry.name;
-              machine_used = machine.Sb_machine.Config.name;
-              wct = Sb_sched.Schedule.weighted_completion_time sched;
-              length = sched.Sb_sched.Schedule.length;
-              bound;
-              degraded = degraded_h || degraded_b;
-              elapsed_us;
-              issue =
-                (if opts.with_issue then Some sched.Sb_sched.Schedule.issue
-                 else None);
-              gap = None;
-              proved = None;
-            };
-        }
+      {
+        Protocol.heuristic_used = h_used.Sb_sched.Registry.name;
+        machine_used = machine.Sb_machine.Config.name;
+        wct = Sb_sched.Schedule.weighted_completion_time sched;
+        length = sched.Sb_sched.Schedule.length;
+        bound;
+        degraded = degraded_h || degraded_b;
+        elapsed_us;
+        issue =
+          (if opts.with_issue then Some sched.Sb_sched.Schedule.issue
+           else None);
+        gap = None;
+        proved = None;
+        cached = None;
+      }
       end
+  in
+  let reply =
+    try
+      match t.cfg.cache with
+      | None ->
+          Protocol.Ok_schedule { id = pending.id; result = compute_result () }
+      | Some hook ->
+          let key = cache_key t opts machine pending.sb in
+          let compute () =
+            let r = compute_result () in
+            (* Store only replies that are pure functions of the key:
+               never degraded ones (deadline-dependent), and optimal
+               incumbents only once proved (an unproved incumbent
+               depends on how far the budgeted search got). *)
+            let storable =
+              (not r.Protocol.degraded)
+              && (match r.Protocol.proved with
+                 | None -> true
+                 | Some proved -> proved)
+            in
+            (r, storable)
+          in
+          let stored, outcome = hook.cached_compute ~key ~compute in
+          (match outcome with
+          | Cache_hit -> Stats.cache_hit t.stats
+          | Cache_miss -> Stats.cache_miss t.stats
+          | Cache_waited -> Stats.cache_wait t.stats);
+          let result =
+            match outcome with
+            | Cache_miss -> { stored with Protocol.cached = Some false }
+            | Cache_hit | Cache_waited ->
+                (* The stored record keeps the computer's elapsed_us;
+                   this reply reports its own latency. *)
+                {
+                  stored with
+                  Protocol.cached = Some true;
+                  elapsed_us =
+                    int_of_float
+                      ((Unix.gettimeofday () -. pending.t_accept) *. 1e6);
+                }
+          in
+          Protocol.Ok_schedule { id = pending.id; result }
     with exn ->
       Stats.internal_error t.stats;
       Protocol.Error_reply
@@ -433,88 +498,59 @@ let serve_channels ?(on_close = fun () -> ()) ?abort t ic oc =
 
 (* ----------------------------- listener --------------------------- *)
 
-(* True iff a server is currently accepting on the socket at [path]
-   (a stale file from a dead server refuses the probe connection). *)
-let socket_in_use path =
-  match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
-  | exception Unix.Unix_error _ -> false
-  | probe ->
-      Fun.protect
-        ~finally:(fun () ->
-          try Unix.close probe with Unix.Unix_error _ -> ())
-        (fun () ->
-          match Unix.connect probe (Unix.ADDR_UNIX path) with
-          | () -> true
-          | exception
-              Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) ->
-              false
-          | exception Unix.Unix_error _ ->
-              (* EACCES, EPERM, ...: somebody owns it; don't steal it. *)
-              true)
-
-let listen_unix ?(force = false) t ~path =
-  (match Unix.lstat path with
-  | { Unix.st_kind = Unix.S_SOCK; _ } ->
-      if (not force) && socket_in_use path then
-        failwith
-          (Printf.sprintf "%s: another server is listening on this socket"
-             path);
-      Unix.unlink path
-  | _ -> ()
-  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  Unix.bind fd (Unix.ADDR_UNIX path);
-  (* Only the owning user may talk to the scheduler. *)
-  (try Unix.chmod path 0o600 with Unix.Unix_error _ -> ());
-  Unix.listen fd 64;
+(* The transport-agnostic accept loop: socket mechanics live in
+   {!Transport}, this core owns connection lifecycle — one reader thread
+   per accepted fd, the idle timeout, refcounted close — and the drain
+   handshake through [t.listen_fd]. *)
+let run_listener t fd ~cleanup =
   Atomic.set t.listen_fd (Some fd);
   (* A drain that raced the bind closes the listener immediately. *)
-  if Atomic.get t.draining then (try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ());
-  let rec accept_loop () =
-    match Unix.accept fd with
-    | cfd, _ ->
-        let _ : Thread.t =
-          Thread.create
-            (fun () ->
-              (* An idle peer holds a reader thread and an fd forever;
-                 with a timeout configured, a read that sits this long
-                 with no bytes raises Sys_blocked_io and evicts it. *)
-              (match t.cfg.idle_timeout_s with
-              | Some s -> (
-                  try Unix.setsockopt_float cfd Unix.SO_RCVTIMEO s
-                  with Unix.Unix_error _ -> ())
-              | None -> ());
-              let ic = Unix.in_channel_of_descr cfd in
-              let oc = Unix.out_channel_of_descr cfd in
-              (* oc and ic share cfd: the deferred close flushes and
-                 closes once, after the last reply for this connection
-                 went out; noerr for peers already gone. *)
-              serve_channels
-                ~on_close:(fun () -> close_out_noerr oc)
-                ~abort:(fun () ->
-                  try Unix.shutdown cfd Unix.SHUTDOWN_ALL
-                  with Unix.Unix_error _ -> ())
-                t ic oc)
-            ()
-        in
-        accept_loop ()
-    | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
-        (* Transient per-connection failures must not kill the listener. *)
-        if not (Atomic.get t.draining) then accept_loop ()
-    | exception Unix.Unix_error ((Unix.EMFILE | Unix.ENFILE), _, _)
-      when not (Atomic.get t.draining) ->
-        (* fd exhaustion: back off and let in-flight connections finish
-           rather than shutting the whole server down. *)
-        Thread.delay 0.05;
-        accept_loop ()
-    | exception Unix.Unix_error _ when Atomic.get t.draining -> ()
-  in
+  if Atomic.get t.draining then
+    (try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ());
   Fun.protect
     ~finally:(fun () ->
       Atomic.set t.listen_fd None;
       (try Unix.close fd with Unix.Unix_error _ -> ());
+      cleanup ())
+    (fun () ->
+      Transport.accept_loop fd
+        ~stopping:(fun () -> Atomic.get t.draining)
+        ~handle:(fun cfd ->
+          let _ : Thread.t =
+            Thread.create
+              (fun () ->
+                (* An idle peer holds a reader thread and an fd forever;
+                   with a timeout configured, a read that sits this long
+                   with no bytes raises Sys_blocked_io and evicts it. *)
+                (match t.cfg.idle_timeout_s with
+                | Some s -> (
+                    try Unix.setsockopt_float cfd Unix.SO_RCVTIMEO s
+                    with Unix.Unix_error _ -> ())
+                | None -> ());
+                let ic = Unix.in_channel_of_descr cfd in
+                let oc = Unix.out_channel_of_descr cfd in
+                (* oc and ic share cfd: the deferred close flushes and
+                   closes once, after the last reply for this connection
+                   went out; noerr for peers already gone. *)
+                serve_channels
+                  ~on_close:(fun () -> close_out_noerr oc)
+                  ~abort:(fun () ->
+                    try Unix.shutdown cfd Unix.SHUTDOWN_ALL
+                    with Unix.Unix_error _ -> ())
+                  t ic oc)
+              ()
+          in
+          ()))
+
+let listen_unix ?(force = false) t ~path =
+  let fd = Transport.listen_unix ~force ~path () in
+  run_listener t fd ~cleanup:(fun () ->
       try Unix.unlink path with Unix.Unix_error _ -> ())
-    accept_loop
+
+let listen_tcp ?on_listen t ~host ~port =
+  let fd, bound_port = Transport.listen_tcp ~host ~port () in
+  (match on_listen with Some f -> f bound_port | None -> ());
+  run_listener t fd ~cleanup:(fun () -> ())
 
 (* ----------------------------- lifecycle -------------------------- *)
 

@@ -15,6 +15,29 @@
     down.  The [sbsched serve] CLI maps SIGINT/SIGTERM to
     {!begin_drain}. *)
 
+type cache_outcome =
+  | Cache_hit  (** answered from the cache without computing *)
+  | Cache_miss  (** computed (and, if storable, stored) the result *)
+  | Cache_waited
+      (** an identical request was already computing; its result was
+          shared (single-flight deduplication) *)
+
+type cache_hook = {
+  cached_compute :
+    key:string ->
+    compute:(unit -> Protocol.sched_reply * bool) ->
+    Protocol.sched_reply * cache_outcome;
+}
+(** Content-addressed result cache, injected as a closure so the server
+    stays cache-agnostic (the concrete LRU + journal implementation
+    lives in [Sb_shard.Cache]; [bin/sbsched] wires the two together).
+    [compute] returns the fresh result plus a storability bit — [false]
+    marks replies that are not pure functions of the key (degraded, or
+    optimal-without-certificate) and must not be stored or shared with
+    waiters.  The hook returns the authoritative result and how it was
+    obtained; the server adjusts the per-request fields ([cached],
+    [elapsed_us]) and counts the outcome in {!Stats}. *)
+
 type config = {
   machine : Sb_machine.Config.t;
       (** default machine; requests may override with [machine=] *)
@@ -32,10 +55,14 @@ type config = {
           ([SO_RCVTIMEO] on accepted fds); in-flight replies are still
           delivered.  [None] (default) never evicts.  Socket
           connections only — stdio reads have no timeout. *)
+  cache : cache_hook option;
+      (** schedule-result cache; [None] (default) keeps the wire format
+          and behaviour exactly as before the cache existed *)
 }
 
 val default_config : config
-(** FS4, 1 job, capacity 128, batches of 16, no TW, no idle timeout. *)
+(** FS4, 1 job, capacity 128, batches of 16, no TW, no idle timeout,
+    no cache. *)
 
 type t
 
@@ -79,6 +106,15 @@ val listen_unix : ?force:bool -> t -> path:string -> unit
     transient accept failures ([EINTR], [ECONNABORTED]) are retried and
     fd exhaustion ([EMFILE]/[ENFILE]) backs off briefly rather than
     killing the listener.  Raises [Unix.Unix_error] if the bind fails. *)
+
+val listen_tcp : ?on_listen:(int -> unit) -> t -> host:string -> port:int -> unit
+(** Like {!listen_unix} over TCP: bind [host:port] ([SO_REUSEADDR],
+    [TCP_NODELAY] on accepted connections), accept, one reader thread
+    per connection, same drain/retry behaviour.  [port = 0] binds an
+    ephemeral port; [on_listen] receives the actually bound port before
+    the first accept (tests and the shard router use it to learn the
+    address).  Unlike the Unix socket there is no filesystem permission
+    gate — bind to loopback unless the network is trusted. *)
 
 val begin_drain : t -> unit
 (** Idempotent: stop accepting (listener and queue closed); in-flight

@@ -28,6 +28,9 @@ type t = {
   protocol_errors : int Atomic.t;
   internal_errors : int Atomic.t;
   idle_evicted : int Atomic.t;
+  cache_hits : int Atomic.t;
+  cache_misses : int Atomic.t;
+  cache_waits : int Atomic.t;
   mutable served : int;
   mutable degraded : int;
   latency : Obs.Metrics.Histo.t;
@@ -47,6 +50,9 @@ let create () =
     protocol_errors = Atomic.make 0;
     internal_errors = Atomic.make 0;
     idle_evicted = Atomic.make 0;
+    cache_hits = Atomic.make 0;
+    cache_misses = Atomic.make 0;
+    cache_waits = Atomic.make 0;
     served = 0;
     degraded = 0;
     latency = Obs.Metrics.Histo.create ();
@@ -66,6 +72,9 @@ let rejected_shutdown t = Atomic.incr t.rejected_shutdown
 let protocol_error t = Atomic.incr t.protocol_errors
 let internal_error t = Atomic.incr t.internal_errors
 let idle_evicted t = Atomic.incr t.idle_evicted
+let cache_hit t = Atomic.incr t.cache_hits
+let cache_miss t = Atomic.incr t.cache_misses
+let cache_wait t = Atomic.incr t.cache_waits
 
 let served t ~heuristic ~degraded ~latency_us =
   with_lock t (fun () ->
@@ -114,6 +123,9 @@ let snapshot t ~queue_depth =
         ("errors_protocol", a t.protocol_errors);
         ("errors_internal", a t.internal_errors);
         ("idle_evicted", a t.idle_evicted);
+        ("cache.hits", a t.cache_hits);
+        ("cache.misses", a t.cache_misses);
+        ("cache.singleflight_waits", a t.cache_waits);
         ("queue_depth", i queue_depth);
         ("latency_mean_us",
          i

@@ -35,6 +35,17 @@ val internal_error : t -> unit
 val idle_evicted : t -> unit
 (** A connection was closed by the per-connection idle read timeout. *)
 
+val cache_hit : t -> unit
+(** A schedule reply was answered from the content-addressed cache. *)
+
+val cache_miss : t -> unit
+(** A schedule request missed the cache and computed (and possibly
+    stored) its result. *)
+
+val cache_wait : t -> unit
+(** A schedule request found an identical request already computing and
+    waited for its result (single-flight deduplication). *)
+
 val served : t -> heuristic:string -> degraded:bool -> latency_us:int -> unit
 (** One schedule reply went out.  [heuristic] is the registry name that
     actually ran (the per-heuristic pick counters); [latency_us] is
@@ -59,6 +70,7 @@ val snapshot : t -> queue_depth:int -> (string * string) list
 (** Every counter as ordered [key, value] pairs — the payload of an
     [ok <id> kind=stats ...] reply.  Includes [served], [degraded],
     [rejected_busy], [rejected_shutdown], [errors_*], [connections],
+    [cache.hits]/[cache.misses]/[cache.singleflight_waits],
     [queue_depth], [uptime_*], latency percentiles, one
     [picks.<heuristic>] per heuristic run so far, and the cached
     [work.*] counters. *)

@@ -1,0 +1,112 @@
+(* Listener plumbing shared by the Unix-socket server, the TCP server
+   and the shard router (lib/shard): socket hygiene at bind time and the
+   hardened accept loop.  See transport.mli. *)
+
+(* True iff a server is currently accepting on the socket at [path]
+   (a stale file from a dead server refuses the probe connection). *)
+let socket_in_use path =
+  match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error _ -> false
+  | probe ->
+      Fun.protect
+        ~finally:(fun () ->
+          try Unix.close probe with Unix.Unix_error _ -> ())
+        (fun () ->
+          match Unix.connect probe (Unix.ADDR_UNIX path) with
+          | () -> true
+          | exception
+              Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) ->
+              false
+          | exception Unix.Unix_error _ ->
+              (* EACCES, EPERM, ...: somebody owns it; don't steal it. *)
+              true)
+
+let listen_unix ?(force = false) ~path () =
+  (match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_SOCK; _ } ->
+      if (not force) && socket_in_use path then
+        failwith
+          (Printf.sprintf "%s: another server is listening on this socket"
+             path);
+      Unix.unlink path
+  | _ -> ()
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  (* Only the owning user may talk to the scheduler. *)
+  (try Unix.chmod path 0o600 with Unix.Unix_error _ -> ());
+  Unix.listen fd 64;
+  fd
+
+let resolve_inet host port =
+  match Unix.inet_addr_of_string host with
+  | addr -> addr
+  | exception Failure _ -> (
+      match
+        Unix.getaddrinfo host (string_of_int port)
+          [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM; Unix.AI_FAMILY Unix.PF_INET ]
+      with
+      | { Unix.ai_addr = Unix.ADDR_INET (addr, _); _ } :: _ -> addr
+      | _ -> (
+          (* Some resolvers only answer v6; take anything with an
+             inet address before giving up. *)
+          match
+            Unix.getaddrinfo host (string_of_int port)
+              [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM ]
+          with
+          | { Unix.ai_addr = Unix.ADDR_INET (addr, _); _ } :: _ -> addr
+          | _ -> failwith (Printf.sprintf "%s: cannot resolve host" host)))
+
+let listen_tcp ~host ~port () =
+  let addr = resolve_inet host port in
+  let domain = Unix.domain_of_sockaddr (Unix.ADDR_INET (addr, port)) in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     Unix.bind fd (Unix.ADDR_INET (addr, port));
+     Unix.listen fd 64
+   with e ->
+     (try Unix.close fd with _ -> ());
+     raise e);
+  let bound_port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  (fd, bound_port)
+
+let set_nodelay fd =
+  try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ()
+
+let connect_tcp ~host ~port =
+  let addr = resolve_inet host port in
+  let domain = Unix.domain_of_sockaddr (Unix.ADDR_INET (addr, port)) in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (try
+     Unix.connect fd (Unix.ADDR_INET (addr, port));
+     set_nodelay fd
+   with e ->
+     (try Unix.close fd with _ -> ());
+     raise e);
+  fd
+
+let accept_loop fd ~stopping ~handle =
+  let rec loop () =
+    match Unix.accept fd with
+    | cfd, _ ->
+        set_nodelay cfd;
+        handle cfd;
+        loop ()
+    | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
+        (* Transient per-connection failures must not kill the
+           listener. *)
+        if not (stopping ()) then loop ()
+    | exception Unix.Unix_error ((Unix.EMFILE | Unix.ENFILE), _, _)
+      when not (stopping ()) ->
+        (* fd exhaustion: back off and let in-flight connections finish
+           rather than shutting the whole server down. *)
+        Thread.delay 0.05;
+        loop ()
+    | exception Unix.Unix_error _ when stopping () -> ()
+  in
+  loop ()

@@ -1,0 +1,41 @@
+(** Listener and dialer plumbing shared by {!Server} (Unix socket and
+    TCP), the shard router, and {!Client}.
+
+    The transport owns exactly the socket mechanics — stale-socket
+    replacement, permissions, [SO_REUSEADDR], [TCP_NODELAY], the
+    hardened accept loop — while connection lifecycle (readers, drain,
+    refcounted close) stays with the caller. *)
+
+val socket_in_use : string -> bool
+(** True iff a live server currently accepts on the Unix socket at
+    [path]; a stale file from a dead process answers false. *)
+
+val listen_unix : ?force:bool -> path:string -> unit -> Unix.file_descr
+(** Bind and listen on a Unix socket at [path], mode 0600.  A stale
+    socket file is replaced; a live one raises [Failure] unless [force].
+    Returns the listening fd (caller closes and unlinks). *)
+
+val listen_tcp : host:string -> port:int -> unit -> Unix.file_descr * int
+(** Bind and listen on [host:port] with [SO_REUSEADDR].  [port = 0]
+    picks an ephemeral port; the actually bound port is returned. *)
+
+val connect_tcp : host:string -> port:int -> Unix.file_descr
+(** Dial [host:port] ([TCP_NODELAY] set).  Raises on failure with the
+    socket closed. *)
+
+val resolve_inet : string -> int -> Unix.inet_addr
+(** Resolve a dotted quad or hostname ([Failure] when unresolvable). *)
+
+val set_nodelay : Unix.file_descr -> unit
+(** Best-effort [TCP_NODELAY] (no-op on non-TCP fds). *)
+
+val accept_loop :
+  Unix.file_descr ->
+  stopping:(unit -> bool) ->
+  handle:(Unix.file_descr -> unit) ->
+  unit
+(** Accept until [stopping ()] observes a shutdown (the caller wakes a
+    blocked accept by [Unix.shutdown] on the listening fd).  [EINTR] and
+    [ECONNABORTED] are retried; fd exhaustion backs off 50 ms instead of
+    killing the listener.  [TCP_NODELAY] is set on every accepted fd.
+    [handle] must not raise and must eventually close its fd. *)

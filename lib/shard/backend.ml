@@ -1,0 +1,246 @@
+(* One persistent, demultiplexed connection to a shard worker.
+   See backend.mli. *)
+
+module Client = Sb_serve.Client
+module Transport = Sb_serve.Transport
+
+type conn = {
+  gen : int;
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+}
+
+type waiter = {
+  w_gen : int;
+  mutable w_reply : string option;  (* raw reply line, internal id *)
+  mutable w_failed : string option;
+}
+
+type t = {
+  target : Client.target;
+  read_timeout_s : float option;
+  lock : Mutex.t;  (* conn + waiters + counters *)
+  wlock : Mutex.t;  (* serializes request writes on the socket *)
+  delivered : Condition.t;
+  waiters : (string, waiter) Hashtbl.t;  (* internal id -> waiter *)
+  mutable conn : conn option;
+  mutable next_gen : int;
+  mutable seq : int;
+  mutable ever_connected : bool;
+  mutable reconnects : int;
+  mutable closing : bool;
+}
+
+let create ?read_timeout_s target =
+  {
+    target;
+    read_timeout_s;
+    lock = Mutex.create ();
+    wlock = Mutex.create ();
+    delivered = Condition.create ();
+    waiters = Hashtbl.create 64;
+    conn = None;
+    next_gen = 0;
+    seq = 0;
+    ever_connected = false;
+    reconnects = 0;
+    closing = false;
+  }
+
+let target t = t.target
+
+(* "verb id rest" -> (verb, id, rest-with-leading-space).  The id is
+   token 2 of every request and reply line; everything after it is
+   forwarded untouched, so payloads stay bit-identical across the
+   router. *)
+let split_id line =
+  match String.index_opt line ' ' with
+  | None -> None
+  | Some i -> (
+      let ids = i + 1 in
+      let ide =
+        match String.index_from_opt line ids ' ' with
+        | Some j -> j
+        | None -> String.length line
+      in
+      if ide <= ids then None
+      else
+        Some
+          ( String.sub line 0 i,
+            String.sub line ids (ide - ids),
+            String.sub line ide (String.length line - ide) ))
+
+let sever conn =
+  (try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  close_in_noerr conn.ic;
+  close_out_noerr conn.oc
+
+(* Connection death: every waiter still parked on this generation gets
+   the error; later requests reconnect lazily. *)
+let fail_conn t conn msg =
+  Mutex.lock t.lock;
+  (match t.conn with
+  | Some c when c.gen = conn.gen -> t.conn <- None
+  | _ -> ());
+  Hashtbl.iter
+    (fun _ w ->
+      if w.w_gen = conn.gen && w.w_reply = None && w.w_failed = None then
+        w.w_failed <- Some msg)
+    t.waiters;
+  Condition.broadcast t.delivered;
+  Mutex.unlock t.lock;
+  sever conn
+
+let reader_loop t conn =
+  try
+    while true do
+      let line = input_line conn.ic in
+      match split_id line with
+      | None -> ()  (* unroutable (e.g. [error -]); drop it *)
+      | Some (_, iid, _) ->
+          Mutex.lock t.lock;
+          (match Hashtbl.find_opt t.waiters iid with
+          | Some w when w.w_reply = None ->
+              w.w_reply <- Some line;
+              Condition.broadcast t.delivered
+          | _ -> ());
+          Mutex.unlock t.lock
+    done
+  with
+  | End_of_file -> fail_conn t conn "shard closed the connection"
+  | Sys_error m | Failure m ->
+      fail_conn t conn (Printf.sprintf "shard read failed: %s" m)
+  | Unix.Unix_error (e, _, _) ->
+      fail_conn t conn
+        (Printf.sprintf "shard read failed: %s" (Unix.error_message e))
+
+let connect_fd = function
+  | Client.Unix_path p ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_UNIX p)
+       with e ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         raise e);
+      fd
+  | Client.Tcp (host, port) -> Transport.connect_tcp ~host ~port
+
+(* Caller holds [t.lock]. *)
+let ensure_conn t =
+  if t.closing then failwith "backend closed";
+  match t.conn with
+  | Some c -> c
+  | None ->
+      let fd = connect_fd t.target in
+      (match t.read_timeout_s with
+      | Some s -> Unix.setsockopt_float fd Unix.SO_RCVTIMEO s
+      | None -> ());
+      let gen = t.next_gen in
+      t.next_gen <- gen + 1;
+      let conn =
+        { gen; fd; ic = Unix.in_channel_of_descr fd;
+          oc = Unix.out_channel_of_descr fd }
+      in
+      t.conn <- Some conn;
+      if t.ever_connected then t.reconnects <- t.reconnects + 1;
+      t.ever_connected <- true;
+      ignore (Thread.create (fun () -> reader_loop t conn) ());
+      conn
+
+let request t lines =
+  match lines with
+  | [] -> Error "empty request"
+  | first :: _ -> (
+      match split_id first with
+      | None -> Error "malformed request line (no id)"
+      | Some (verb, caller_id, rest) -> (
+          Mutex.lock t.lock;
+          let setup =
+            try
+              let conn = ensure_conn t in
+              t.seq <- t.seq + 1;
+              let iid = Printf.sprintf "x%d" t.seq in
+              let w = { w_gen = conn.gen; w_reply = None; w_failed = None } in
+              Hashtbl.replace t.waiters iid w;
+              Ok (conn, iid, w)
+            with
+            | Failure m -> Error m
+            | Unix.Unix_error (e, _, _) ->
+                Error
+                  (Printf.sprintf "shard connect failed: %s"
+                     (Unix.error_message e))
+          in
+          Mutex.unlock t.lock;
+          match setup with
+          | Error _ as e -> e
+          | Ok (conn, iid, w) ->
+              let rewritten = verb ^ " " ^ iid ^ rest in
+              Mutex.lock t.wlock;
+              (try
+                 output_string conn.oc rewritten;
+                 output_char conn.oc '\n';
+                 List.iter
+                   (fun l ->
+                     output_string conn.oc l;
+                     output_char conn.oc '\n')
+                   (List.tl lines);
+                 flush conn.oc;
+                 Mutex.unlock t.wlock
+               with exn ->
+                 Mutex.unlock t.wlock;
+                 let msg =
+                   match exn with
+                   | Sys_error m -> Printf.sprintf "shard write failed: %s" m
+                   | Unix.Unix_error (e, _, _) ->
+                       Printf.sprintf "shard write failed: %s"
+                         (Unix.error_message e)
+                   | e ->
+                       Printf.sprintf "shard write failed: %s"
+                         (Printexc.to_string e)
+                 in
+                 fail_conn t conn msg);
+              Mutex.lock t.lock;
+              while w.w_reply = None && w.w_failed = None do
+                Condition.wait t.delivered t.lock
+              done;
+              Hashtbl.remove t.waiters iid;
+              let r =
+                match (w.w_reply, w.w_failed) with
+                | Some raw, _ -> (
+                    match split_id raw with
+                    | Some (rverb, _, rrest) ->
+                        Ok (rverb ^ " " ^ caller_id ^ rrest)
+                    | None -> Error "unparseable shard reply")
+                | None, Some m -> Error m
+                | None, None -> assert false
+              in
+              Mutex.unlock t.lock;
+              r))
+
+let inflight t =
+  Mutex.lock t.lock;
+  let n = Hashtbl.length t.waiters in
+  Mutex.unlock t.lock;
+  n
+
+let connected t =
+  Mutex.lock t.lock;
+  let c = t.conn <> None in
+  Mutex.unlock t.lock;
+  c
+
+let reconnects t =
+  Mutex.lock t.lock;
+  let n = t.reconnects in
+  Mutex.unlock t.lock;
+  n
+
+let close t =
+  Mutex.lock t.lock;
+  t.closing <- true;
+  let conn = t.conn in
+  t.conn <- None;
+  Mutex.unlock t.lock;
+  match conn with
+  | Some c -> fail_conn t c "backend closed"
+  | None -> ()

@@ -1,0 +1,43 @@
+(** One persistent connection to a shard worker, demultiplexing
+    concurrent requests from the router's connection threads.
+
+    Requests are forwarded as raw wire lines: the backend substitutes a
+    private id (token 2 of the request line) before sending, and splices
+    the caller's id back into the raw reply line — everything after the
+    id crosses the router byte-identical, so a routed schedule reply is
+    exactly what a direct connection would have produced.
+
+    A dead connection (worker crashed, was respawned, timed out) fails
+    every request parked on it with an [Error]; the next request dials
+    again lazily, reaching the respawned worker. *)
+
+type t
+
+val create : ?read_timeout_s:float -> Sb_serve.Client.target -> t
+(** Lazy: no connection is made until the first {!request}.
+    [read_timeout_s] sets [SO_RCVTIMEO] on each connection so a hung
+    worker fails the parked requests instead of wedging the router. *)
+
+val target : t -> Sb_serve.Client.target
+
+val request : t -> string list -> (string, string) result
+(** [request t lines] sends one request ([lines] are its raw wire
+    lines; the first must carry the caller's id as token 2) and blocks
+    for its reply.  [Ok raw] is the raw reply line with the caller's id
+    restored; [Error msg] means the connection failed before the reply
+    arrived (the request may or may not have executed — callers decide
+    whether to retry). Thread-safe; any number of threads may have
+    requests in flight. *)
+
+val inflight : t -> int
+(** Requests currently awaiting a reply. *)
+
+val connected : t -> bool
+
+val reconnects : t -> int
+(** Times the backend re-dialed after losing an established
+    connection. *)
+
+val close : t -> unit
+(** Sever the connection and fail all parked requests.  Further
+    {!request}s return [Error]. *)

@@ -1,0 +1,244 @@
+(* Content-addressed result cache: LRU + single-flight + journal.
+   See cache.mli. *)
+
+module Obs = Sb_obs.Obs
+module Journal = Sb_eval.Checkpoint.Journal
+
+(* Process-wide registry counters (docs/OBSERVABILITY.md schema).
+   Shared by every cache in the process — they report totals, the
+   per-server wire split lives in Serve.Stats. *)
+let m_hits =
+  lazy (Obs.Metrics.counter ~help:"Schedule cache hits" "sbsched_cache_hits_total")
+
+let m_misses =
+  lazy
+    (Obs.Metrics.counter ~help:"Schedule cache misses (computed)"
+       "sbsched_cache_misses_total")
+
+let m_evictions =
+  lazy
+    (Obs.Metrics.counter ~help:"Schedule cache LRU evictions"
+       "sbsched_cache_evictions_total")
+
+let m_waits =
+  lazy
+    (Obs.Metrics.counter
+       ~help:"Requests that waited on an identical in-flight computation"
+       "sbsched_cache_singleflight_waits_total")
+
+type outcome = Hit | Miss | Waited
+
+type 'v journal_spec = {
+  journal_path : string;
+  resume : bool;
+  meta : (string * string) list;
+  encode : 'v -> string;
+  decode : string -> 'v option;
+}
+
+(* Intrusive doubly-linked LRU list over the table's entries: O(1)
+   touch and evict at any capacity. *)
+type 'v entry = {
+  e_key : string;
+  e_value : 'v;
+  mutable prev : 'v entry option;  (* towards MRU *)
+  mutable next : 'v entry option;  (* towards LRU *)
+}
+
+type 'v t = {
+  lock : Mutex.t;
+  flight_done : Condition.t;
+  table : (string, 'v entry) Hashtbl.t;
+  flights : (string, unit) Hashtbl.t;  (* keys currently computing *)
+  capacity : int;
+  mutable mru : 'v entry option;
+  mutable lru : 'v entry option;
+  mutable size : int;
+  mutable evictions : int;
+  mutable journal : (Journal.t * ('v -> string)) option;
+}
+
+let magic = "sbcache 1"
+
+let render_record ~encode key v =
+  (* Keys are digest-plus-flags strings and values are rendered reply
+     lines: neither may contain the field or record separators. *)
+  let clean what s =
+    String.iter
+      (fun c ->
+        if c = '\t' || c = '\n' then
+          invalid_arg (Printf.sprintf "Cache: %s contains reserved chars" what))
+      s;
+    s
+  in
+  Printf.sprintf "rec\t%s\t%s" (clean "key" key) (clean "value" (encode v))
+
+let parse_record ~decode line =
+  match String.split_on_char '\t' line with
+  | [ "rec"; key; value ] ->
+      Option.map (fun v -> (key, v)) (decode value)
+  | _ -> None
+
+(* ------------------------------ LRU list --------------------------- *)
+
+let unlink t e =
+  (match e.prev with
+  | Some p -> p.next <- e.next
+  | None -> t.mru <- e.next);
+  (match e.next with
+  | Some n -> n.prev <- e.prev
+  | None -> t.lru <- e.prev);
+  e.prev <- None;
+  e.next <- None
+
+let push_front t e =
+  e.prev <- None;
+  e.next <- t.mru;
+  (match t.mru with Some m -> m.prev <- Some e | None -> ());
+  t.mru <- Some e;
+  if t.lru = None then t.lru <- Some e
+
+let touch t e =
+  if t.mru != Some e then begin
+    unlink t e;
+    push_front t e
+  end
+
+(* Caller holds the lock.  [journal_new] is false when replaying from
+   the journal on resume (re-appending would double the file). *)
+let insert t key v ~journal_new =
+  if not (Hashtbl.mem t.table key) then begin
+    let e = { e_key = key; e_value = v; prev = None; next = None } in
+    Hashtbl.replace t.table key e;
+    push_front t e;
+    t.size <- t.size + 1;
+    if t.size > t.capacity then begin
+      match t.lru with
+      | Some victim ->
+          unlink t victim;
+          Hashtbl.remove t.table victim.e_key;
+          t.size <- t.size - 1;
+          t.evictions <- t.evictions + 1;
+          Obs.Metrics.incr (Lazy.force m_evictions)
+      | None -> ()
+    end;
+    if journal_new then
+      match t.journal with
+      | Some (j, encode) -> Journal.append j (render_record ~encode key v)
+      | None -> ()
+  end
+
+(* ------------------------------ lifecycle -------------------------- *)
+
+let create ?journal ~capacity () =
+  if capacity < 1 then invalid_arg "Cache.create: capacity must be >= 1";
+  let opened, warm =
+    match journal with
+    | None -> (None, [])
+    | Some spec ->
+        let meta_line =
+          "meta\t"
+          ^ String.concat "\t"
+              (List.map (fun (k, v) -> k ^ "=" ^ v) spec.meta)
+        in
+        let j, entries =
+          Journal.start ~path:spec.journal_path ~resume:spec.resume
+            ~what:"cache journal" ~magic ~meta_line
+            ~parse:(parse_record ~decode:spec.decode)
+        in
+        (Some (j, spec.encode), entries)
+  in
+  let t =
+    {
+      lock = Mutex.create ();
+      flight_done = Condition.create ();
+      table = Hashtbl.create (max 64 capacity);
+      flights = Hashtbl.create 16;
+      capacity;
+      mru = None;
+      lru = None;
+      size = 0;
+      evictions = 0;
+      journal = opened;
+    }
+  in
+  (* Later journal entries are fresher; replaying in order leaves them
+     at the front of the LRU, so an over-capacity journal keeps the
+     most recently stored keys. *)
+  List.iter (fun (key, v) -> insert t key v ~journal_new:false) warm;
+  t
+
+let close t =
+  Mutex.lock t.lock;
+  let j = t.journal in
+  t.journal <- None;
+  Mutex.unlock t.lock;
+  match j with Some (j, _) -> Journal.close j | None -> ()
+
+(* ---------------------------- find_or_compute ---------------------- *)
+
+let find_or_compute t ~key ~compute =
+  Mutex.lock t.lock;
+  let rec acquire ~waited =
+    match Hashtbl.find_opt t.table key with
+    | Some e ->
+        touch t e;
+        Mutex.unlock t.lock;
+        Obs.Metrics.incr (Lazy.force m_hits);
+        (e.e_value, if waited then Waited else Hit)
+    | None ->
+        if Hashtbl.mem t.flights key then begin
+          (* An identical request is computing; wait for it.  If its
+             result turns out uncacheable (or it raised), the wake-up
+             finds no entry and this request computes for itself. *)
+          if not waited then Obs.Metrics.incr (Lazy.force m_waits);
+          Condition.wait t.flight_done t.lock;
+          acquire ~waited:true
+        end
+        else begin
+          Hashtbl.replace t.flights key ();
+          Mutex.unlock t.lock;
+          let result =
+            try compute ()
+            with exn ->
+              Mutex.lock t.lock;
+              Hashtbl.remove t.flights key;
+              Condition.broadcast t.flight_done;
+              Mutex.unlock t.lock;
+              raise exn
+          in
+          let v, storable = result in
+          Mutex.lock t.lock;
+          Hashtbl.remove t.flights key;
+          if storable then insert t key v ~journal_new:true;
+          Condition.broadcast t.flight_done;
+          Mutex.unlock t.lock;
+          Obs.Metrics.incr (Lazy.force m_misses);
+          (v, Miss)
+        end
+  in
+  acquire ~waited:false
+
+let find t key =
+  Mutex.lock t.lock;
+  let r =
+    match Hashtbl.find_opt t.table key with
+    | Some e ->
+        touch t e;
+        Some e.e_value
+    | None -> None
+  in
+  Mutex.unlock t.lock;
+  r
+
+let length t =
+  Mutex.lock t.lock;
+  let n = t.size in
+  Mutex.unlock t.lock;
+  n
+
+let evictions t =
+  Mutex.lock t.lock;
+  let n = t.evictions in
+  Mutex.unlock t.lock;
+  n

@@ -1,0 +1,73 @@
+(** Content-addressed result cache: bounded LRU, single-flight
+    deduplication of concurrent identical misses, and optional
+    persistence through the generic {!Sb_eval.Checkpoint.Journal}
+    (fsync'd append, fingerprint-validated resume) so a restarted shard
+    answers hot keys from disk without recomputation.
+
+    The cache is value-polymorphic; the serving stack stores decoded
+    {!Sb_serve.Protocol.sched_reply} records keyed by the server's
+    content address (canonical superblock digest + config fingerprint +
+    heuristic + flags + optimal budget/jobs) and journals them as
+    rendered reply lines, which round-trip bit-exactly ([%.17g]
+    floats).
+
+    All entry points are thread- and domain-safe (one mutex; a single
+    condition wakes single-flight waiters).
+
+    Registry counters [sbsched_cache_{hits,misses,evictions,
+    singleflight_waits}_total] are process-wide and shared across
+    caches. *)
+
+type outcome =
+  | Hit  (** present; served without computing *)
+  | Miss  (** absent; this caller computed (and possibly stored) it *)
+  | Waited
+      (** an identical computation was in flight; its stored result was
+          shared after a wait *)
+
+type 'v journal_spec = {
+  journal_path : string;
+  resume : bool;
+      (** [true]: load an existing journal (fingerprint-checked) and
+          warm the cache from it; a missing file degrades to a fresh
+          start.  [false]: refuse to clobber an existing file. *)
+  meta : (string * string) list;
+      (** configuration fingerprint; resuming against a journal written
+          under a different fingerprint raises [Failure] — silently
+          mixing results computed under another machine model would
+          poison the cache *)
+  encode : 'v -> string;  (** one line, no tabs or newlines *)
+  decode : string -> 'v option;
+}
+
+type 'v t
+
+val create : ?journal:'v journal_spec -> capacity:int -> unit -> 'v t
+(** [Invalid_argument] when [capacity < 1].  With [journal], opens (or
+    resumes) the journal file; journaled entries are replayed oldest
+    first, so when they exceed [capacity] the most recently stored keys
+    survive. *)
+
+val find_or_compute :
+  'v t -> key:string -> compute:(unit -> 'v * bool) -> 'v * outcome
+(** The only path requests take.  On a hit, returns the cached value.
+    On a miss, runs [compute] — concurrent callers with the same key
+    wait instead of duplicating the work — and stores the value iff
+    [compute] returned [true] (callers mark results that are not pure
+    functions of the key, e.g. deadline-degraded replies, unstorable).
+    If [compute] raises or its result is unstorable, waiters wake and
+    compute for themselves.  Stored values are appended to the journal
+    before the insert is visible as a hit elsewhere. *)
+
+val find : 'v t -> string -> 'v option
+(** Peek without computing (touches LRU recency). *)
+
+val length : 'v t -> int
+
+val evictions : 'v t -> int
+(** LRU evictions performed by this cache instance. *)
+
+val close : 'v t -> unit
+(** Close the journal fd, if any.  The cache stays usable in memory;
+    further stores are not persisted.  Safe to skip on crash — every
+    append was fsync'd. *)

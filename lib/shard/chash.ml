@@ -1,0 +1,50 @@
+(* Consistent-hash ring.  See chash.mli.
+
+   Points are derived from MD5 (stdlib [Digest], already the corpus
+   fingerprint hash) of "s<shard>v<vnode>" for ring points and of the
+   raw key for lookups: uniform, stable across processes and runs, and
+   free of new dependencies.  The first 63 bits of the digest become a
+   non-negative int. *)
+
+type t = {
+  points : int array;  (* sorted ring positions *)
+  owners : int array;  (* owners.(i) = shard owning points.(i) *)
+  shards : int;
+}
+
+let point_of_string s =
+  let d = Digest.string s in
+  let b = Bytes.of_string d in
+  let v = Bytes.get_int64_be b 0 in
+  Int64.to_int (Int64.shift_right_logical v 1)
+
+let create ?(vnodes = 64) ~shards () =
+  if shards < 1 then invalid_arg "Chash.create: shards must be >= 1";
+  if vnodes < 1 then invalid_arg "Chash.create: vnodes must be >= 1";
+  let pairs =
+    Array.init (shards * vnodes) (fun i ->
+        let shard = i / vnodes and v = i mod vnodes in
+        (point_of_string (Printf.sprintf "s%dv%d" shard v), shard))
+  in
+  (* MD5 collisions between distinct vnode labels are not a practical
+     concern; ties, if any, break deterministically by shard index. *)
+  Array.sort compare pairs;
+  {
+    points = Array.map fst pairs;
+    owners = Array.map snd pairs;
+    shards;
+  }
+
+let shards t = t.shards
+
+let lookup_point t p =
+  let n = Array.length t.points in
+  (* First ring point >= p, wrapping to 0 past the end. *)
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.points.(mid) < p then lo := mid + 1 else hi := mid
+  done;
+  t.owners.(if !lo = n then 0 else !lo)
+
+let lookup t key = lookup_point t (point_of_string key)

@@ -1,0 +1,20 @@
+(** Consistent hashing: a fixed ring of virtual nodes mapping keys
+    (canonical superblock digests) to shard indices.
+
+    Deterministic across processes and runs — the router can be
+    restarted, and independently built rings with the same parameters
+    route identically (the warm shard caches stay hot).  With [vnodes]
+    virtual nodes per shard the load split is even to a few percent,
+    and adding a shard moves only ~1/N of the key space. *)
+
+type t
+
+val create : ?vnodes:int -> shards:int -> unit -> t
+(** [vnodes] (default 64) virtual ring points per shard.
+    [Invalid_argument] unless both are >= 1. *)
+
+val shards : t -> int
+
+val lookup : t -> string -> int
+(** The shard owning [key]: the key hashes to a ring position and the
+    next virtual node clockwise owns it. *)

@@ -1,0 +1,110 @@
+(* Merging Prometheus text pages across shards.  See promerge.mli. *)
+
+type sample = { line_key : string; mutable value : float }
+(* [line_key] is the sample name plus its rendered label set — the full
+   line up to the value — which identifies a time series. *)
+
+type family = {
+  name : string;
+  mutable ftype : string;  (* "counter" | "gauge" | "histogram" | "" *)
+  mutable help : string;
+  mutable samples : sample list;  (* reversed insertion order *)
+}
+
+let render_value v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.17g" v
+
+(* Split "name{labels} value" / "name value" into (series key, value).
+   The value is the suffix after the last space outside braces — label
+   values may themselves contain escaped spaces, so scan from the
+   right but never into a brace pair. *)
+let split_sample line =
+  let n = String.length line in
+  let close = try String.rindex line '}' with Not_found -> -1 in
+  match String.rindex_from_opt line (n - 1) ' ' with
+  | Some sp when sp > close -> (
+      let key = String.sub line 0 sp in
+      let v = String.sub line (sp + 1) (n - sp - 1) in
+      match float_of_string_opt v with
+      | Some f -> Some (String.trim key, f)
+      | None -> None)
+  | _ -> None
+
+let family_of_series key =
+  (* "name{...}" or "name" -> name. *)
+  match String.index_opt key '{' with
+  | Some i -> String.sub key 0 i
+  | None -> key
+
+(* A series merges by max instead of sum when its metric name carries a
+   _max suffix (the registry's exact-maximum companions of histograms:
+   summing maxima across shards would fabricate a value no shard saw). *)
+let merges_by_max name =
+  let suffix = "_max" in
+  String.length name >= String.length suffix
+  && String.sub name
+       (String.length name - String.length suffix)
+       (String.length suffix)
+     = suffix
+
+let merge pages =
+  let order = ref [] in
+  let families : (string, family) Hashtbl.t = Hashtbl.create 64 in
+  let family name =
+    match Hashtbl.find_opt families name with
+    | Some f -> f
+    | None ->
+        let f = { name; ftype = ""; help = ""; samples = [] } in
+        Hashtbl.replace families name f;
+        order := name :: !order;
+        f
+  in
+  let feed_line line =
+    let line = String.trim line in
+    if line = "" then ()
+    else if String.length line > 7 && String.sub line 0 7 = "# HELP " then (
+      match String.index_from_opt line 7 ' ' with
+      | Some sp ->
+          let name = String.sub line 7 (sp - 7) in
+          let f = family name in
+          if f.help = "" then
+            f.help <- String.sub line (sp + 1) (String.length line - sp - 1)
+      | None -> ())
+    else if String.length line > 7 && String.sub line 0 7 = "# TYPE " then (
+      match String.index_from_opt line 7 ' ' with
+      | Some sp ->
+          let name = String.sub line 7 (sp - 7) in
+          let f = family name in
+          if f.ftype = "" then
+            f.ftype <- String.sub line (sp + 1) (String.length line - sp - 1)
+      | None -> ())
+    else if line.[0] = '#' then ()
+    else
+      match split_sample line with
+      | None -> ()
+      | Some (key, v) ->
+          let f = family (family_of_series key) in
+          let metric = family_of_series key in
+          (match List.find_opt (fun s -> s.line_key = key) f.samples with
+          | Some s ->
+              if merges_by_max metric then s.value <- Float.max s.value v
+              else s.value <- s.value +. v
+          | None -> f.samples <- { line_key = key; value = v } :: f.samples)
+  in
+  List.iter
+    (fun page -> List.iter feed_line (String.split_on_char '\n' page))
+    pages;
+  let buf = Buffer.create 4096 in
+  let names = List.sort compare (List.rev !order) in
+  List.iter
+    (fun name ->
+      let f = Hashtbl.find families name in
+      if f.help <> "" then Printf.bprintf buf "# HELP %s %s\n" f.name f.help;
+      if f.ftype <> "" then Printf.bprintf buf "# TYPE %s %s\n" f.name f.ftype;
+      List.iter
+        (fun s ->
+          Printf.bprintf buf "%s %s\n" s.line_key (render_value s.value))
+        (List.rev f.samples))
+    names;
+  Buffer.contents buf

@@ -1,0 +1,15 @@
+(** Aggregating Prometheus text pages across shard processes.
+
+    The router answers the [metrics] wire request with the merge of its
+    own registry page and one page per live shard: same-named series
+    (identical metric name and label set) are summed — counters, gauges
+    and histogram [_bucket]/[_sum]/[_count] samples alike — except
+    series whose metric name ends in [_max] (the registry's exact-max
+    histogram companions), which take the maximum.  [# HELP]/[# TYPE]
+    headers come from the first page that carries them; families are
+    emitted sorted by name, matching the registry's own renderer. *)
+
+val merge : string list -> string
+(** [merge pages] is the aggregated page.  Unparseable lines are
+    skipped, so a shard answering garbage degrades that shard's series,
+    not the whole page. *)

@@ -1,0 +1,395 @@
+(* Consistent-hash shard router.  See router.mli.
+
+   Thread layout mirrors Server: one reader thread per client
+   connection (blocking line reads, Protocol.Reader framing), plus one
+   short-lived forward thread per admitted schedule request — the
+   forward blocks on the shard backend, so it must not occupy the
+   reader (pipelined requests from one client fan out across shards
+   concurrently).  Replies are written under the connection's write
+   lock; the refcounted close keeps the fd alive until the last
+   outstanding reply went out. *)
+
+module Obs = Sb_obs.Obs
+module Client = Sb_serve.Client
+module Protocol = Sb_serve.Protocol
+module Transport = Sb_serve.Transport
+
+type config = {
+  shards : Client.target array;
+  inflight_limit : int;
+  vnodes : int;
+  read_timeout_s : float option;
+  extra_stats : (unit -> (string * string) list) option;
+}
+
+let default_config =
+  {
+    shards = [||];
+    inflight_limit = 64;
+    vnodes = 64;
+    read_timeout_s = None;
+    extra_stats = None;
+  }
+
+(* Same refcounted-close discipline as Server.conn: the fd lives until
+   the reader saw EOF *and* every admitted request was answered. *)
+type conn = {
+  oc : out_channel;
+  write_lock : Mutex.t;
+  mutable pending : int;
+  mutable eof : bool;
+  mutable closed : bool;
+  on_close : unit -> unit;
+}
+
+let conn_retain conn =
+  Mutex.lock conn.write_lock;
+  conn.pending <- conn.pending + 1;
+  Mutex.unlock conn.write_lock
+
+let conn_should_close conn =
+  if conn.eof && conn.pending = 0 && not conn.closed then begin
+    conn.closed <- true;
+    true
+  end
+  else false
+
+let conn_release conn =
+  Mutex.lock conn.write_lock;
+  conn.pending <- conn.pending - 1;
+  let close = conn_should_close conn in
+  Mutex.unlock conn.write_lock;
+  if close then conn.on_close ()
+
+let conn_reader_done conn =
+  Mutex.lock conn.write_lock;
+  conn.eof <- true;
+  let close = conn_should_close conn in
+  Mutex.unlock conn.write_lock;
+  if close then conn.on_close ()
+
+type t = {
+  cfg : config;
+  ring : Chash.t;
+  backends : Backend.t array;
+  shard_inflight : int Atomic.t array;  (* admission counters *)
+  forwarded : int Atomic.t;
+  forward_errors : int Atomic.t;
+  shed_busy : int Atomic.t;
+  rejected_shutdown : int Atomic.t;
+  protocol_errors : int Atomic.t;
+  connections : int Atomic.t;
+  draining : bool Atomic.t;
+  listen_fd : Unix.file_descr option Atomic.t;
+  active : int Atomic.t;  (* forward threads still running *)
+  idle_lock : Mutex.t;
+  idle_cond : Condition.t;
+  mutable collector : Obs.Metrics.collector option;
+}
+
+let shard_for t digest = Chash.lookup t.ring digest
+
+let gauge_family name help samples =
+  {
+    Obs.Metrics.family_name = name;
+    family_type = `Gauge;
+    family_help = help;
+    samples;
+  }
+
+let per_shard t f =
+  Array.to_list
+    (Array.mapi
+       (fun i b ->
+         {
+           Obs.Metrics.sample_name = "";
+           labels = [ ("shard", string_of_int i) ];
+           value = f i b;
+         })
+       t.backends)
+
+let families t =
+  let named name samples =
+    List.map (fun s -> { s with Obs.Metrics.sample_name = name }) samples
+  in
+  [
+    Obs.Metrics.counter_family ~name:"sbsched_router_forwarded_total"
+      ~help:"Schedule requests forwarded to a shard"
+      [ ("", float_of_int (Atomic.get t.forwarded)) ];
+    Obs.Metrics.counter_family ~name:"sbsched_router_shed_busy_total"
+      ~help:"Schedule requests shed at the router (shard in-flight limit)"
+      [ ("", float_of_int (Atomic.get t.shed_busy)) ];
+    Obs.Metrics.counter_family ~name:"sbsched_router_forward_errors_total"
+      ~help:"Forwards that failed on the shard connection"
+      [ ("", float_of_int (Atomic.get t.forward_errors)) ];
+    gauge_family "sbsched_router_shard_inflight"
+      "Requests currently forwarded to each shard"
+      (named "sbsched_router_shard_inflight"
+         (per_shard t (fun i _ -> float_of_int (Atomic.get t.shard_inflight.(i)))));
+    gauge_family "sbsched_router_shard_connected"
+      "1 when the router holds a live connection to the shard"
+      (named "sbsched_router_shard_connected"
+         (per_shard t (fun _ b -> if Backend.connected b then 1. else 0.)));
+    {
+      Obs.Metrics.family_name = "sbsched_router_shard_reconnects_total";
+      family_type = `Counter;
+      family_help = "Times the router re-dialed a shard after losing it";
+      samples =
+        named "sbsched_router_shard_reconnects_total"
+          (per_shard t (fun _ b -> float_of_int (Backend.reconnects b)));
+    };
+  ]
+
+let create ?(config = default_config) () =
+  let n = Array.length config.shards in
+  if n < 1 then invalid_arg "Router.create: at least one shard target";
+  if config.inflight_limit < 1 then
+    invalid_arg "Router.create: inflight_limit must be >= 1";
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let t =
+    {
+      cfg = config;
+      ring = Chash.create ~vnodes:config.vnodes ~shards:n ();
+      backends =
+        Array.map
+          (fun target -> Backend.create ?read_timeout_s:config.read_timeout_s target)
+          config.shards;
+      shard_inflight = Array.init n (fun _ -> Atomic.make 0);
+      forwarded = Atomic.make 0;
+      forward_errors = Atomic.make 0;
+      shed_busy = Atomic.make 0;
+      rejected_shutdown = Atomic.make 0;
+      protocol_errors = Atomic.make 0;
+      connections = Atomic.make 0;
+      draining = Atomic.make false;
+      listen_fd = Atomic.make None;
+      active = Atomic.make 0;
+      idle_lock = Mutex.create ();
+      idle_cond = Condition.create ();
+      collector = None;
+    }
+  in
+  t.collector <- Some (Obs.Metrics.register_collector (fun () -> families t));
+  t
+
+let draining t = Atomic.get t.draining
+
+(* ---------------------------- replying ---------------------------- *)
+
+let send_raw conn line =
+  Mutex.lock conn.write_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock conn.write_lock)
+    (fun () ->
+      try
+        output_string conn.oc line;
+        output_char conn.oc '\n';
+        flush conn.oc
+      with Sys_error _ -> () (* client gone; drop the reply *))
+
+let send conn reply = send_raw conn (Protocol.render_reply reply)
+
+(* --------------------------- stats/metrics ------------------------- *)
+
+let stats_fields t =
+  [
+    ("shards", string_of_int (Array.length t.backends));
+    ("inflight_limit", string_of_int t.cfg.inflight_limit);
+    ("connections", string_of_int (Atomic.get t.connections));
+    ("forwarded", string_of_int (Atomic.get t.forwarded));
+    ("forward_errors", string_of_int (Atomic.get t.forward_errors));
+    ("shed.busy", string_of_int (Atomic.get t.shed_busy));
+    ("rejected.shutdown", string_of_int (Atomic.get t.rejected_shutdown));
+    ("protocol_errors", string_of_int (Atomic.get t.protocol_errors));
+    ("draining", if Atomic.get t.draining then "true" else "false");
+  ]
+  @ List.concat
+      (Array.to_list
+         (Array.mapi
+            (fun i b ->
+              [
+                ( Printf.sprintf "shard.%d.inflight" i,
+                  string_of_int (Atomic.get t.shard_inflight.(i)) );
+                ( Printf.sprintf "shard.%d.connected" i,
+                  if Backend.connected b then "true" else "false" );
+              ])
+            t.backends))
+  @ match t.cfg.extra_stats with Some f -> f () | None -> []
+
+(* The aggregated metrics page: the router's own registry plus one page
+   per shard that answers; a dead shard degrades to its series missing
+   from the sum, not an error. *)
+let merged_metrics t =
+  let shard_pages =
+    Array.to_list t.backends
+    |> List.filter_map (fun b ->
+           match Backend.request b [ "metrics m" ] with
+           | Ok raw -> (
+               match Protocol.parse_reply raw with
+               | Ok (Protocol.Ok_metrics { body; _ }) -> Some body
+               | _ -> None)
+           | Error _ -> None)
+  in
+  Promerge.merge (Obs.Metrics.prometheus () :: shard_pages)
+
+(* --------------------------- forwarding ---------------------------- *)
+
+let forward t conn ~id ~shard ~lines =
+  let backend = t.backends.(shard) in
+  (match Backend.request backend lines with
+  | Ok raw -> send_raw conn raw
+  | Error msg ->
+      Atomic.incr t.forward_errors;
+      send conn
+        (Protocol.Error_reply
+           {
+             id;
+             code = Protocol.Internal;
+             msg = Printf.sprintf "shard %d: %s" shard msg;
+           }));
+  Atomic.decr t.shard_inflight.(shard);
+  conn_release conn;
+  if Atomic.fetch_and_add t.active (-1) = 1 then begin
+    Mutex.lock t.idle_lock;
+    Condition.broadcast t.idle_cond;
+    Mutex.unlock t.idle_lock
+  end
+
+let handle_request t conn req ~lines =
+  match req with
+  | Protocol.Ping id -> send conn (Protocol.Ok_pong { id })
+  | Protocol.Stats id ->
+      send conn (Protocol.Ok_stats { id; fields = stats_fields t })
+  | Protocol.Metrics id ->
+      send conn (Protocol.Ok_metrics { id; body = merged_metrics t })
+  | Protocol.Schedule { id; sb; _ } ->
+      if Atomic.get t.draining then begin
+        Atomic.incr t.rejected_shutdown;
+        send conn
+          (Protocol.Error_reply
+             { id; code = Protocol.Shutdown; msg = "router is draining" })
+      end
+      else begin
+        let digest = Sb_ir.Serde.digest sb in
+        let shard = shard_for t digest in
+        (* Per-shard admission: bound what one shard can have parked on
+           it through this router, shedding early instead of queueing
+           unboundedly in the backend's waiter table. *)
+        let n = Atomic.fetch_and_add t.shard_inflight.(shard) 1 in
+        if n >= t.cfg.inflight_limit then begin
+          Atomic.decr t.shard_inflight.(shard);
+          Atomic.incr t.shed_busy;
+          send conn
+            (Protocol.Error_reply
+               {
+                 id;
+                 code = Protocol.Busy;
+                 msg =
+                   Printf.sprintf "shard %d at in-flight limit (%d)" shard
+                     t.cfg.inflight_limit;
+               })
+        end
+        else begin
+          Atomic.incr t.forwarded;
+          conn_retain conn;
+          Atomic.incr t.active;
+          let _ : Thread.t =
+            Thread.create (fun () -> forward t conn ~id ~shard ~lines) ()
+          in
+          ()
+        end
+      end
+
+(* --------------------------- connections --------------------------- *)
+
+let serve_channels ?(on_close = fun () -> ()) t ic oc =
+  let conn =
+    { oc; write_lock = Mutex.create (); pending = 0; eof = false;
+      closed = false; on_close }
+  in
+  let reader = Protocol.Reader.create () in
+  Atomic.incr t.connections;
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.decr t.connections;
+      conn_reader_done conn)
+    (fun () ->
+      (* The raw lines of the in-progress request frame, kept alongside
+         the Reader so an admitted request forwards byte-identically —
+         re-rendering from the parsed form could perturb float texts. *)
+      let frame = ref [] in
+      let rec loop () =
+        match input_line ic with
+        | exception (End_of_file | Sys_error _ | Sys_blocked_io) -> ()
+        | line -> (
+            frame := line :: !frame;
+            match Protocol.Reader.feed reader line with
+            | None -> loop ()
+            | Some (Protocol.Reader.Request req) ->
+                let lines = List.rev !frame in
+                frame := [];
+                handle_request t conn req ~lines;
+                loop ()
+            | Some (Protocol.Reader.Reject { id; code; msg }) ->
+                frame := [];
+                Atomic.incr t.protocol_errors;
+                send conn (Protocol.Error_reply { id; code; msg });
+                loop ())
+      in
+      loop ())
+
+let run_listener t fd ~cleanup =
+  Atomic.set t.listen_fd (Some fd);
+  if Atomic.get t.draining then
+    (try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ());
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set t.listen_fd None;
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      cleanup ())
+    (fun () ->
+      Transport.accept_loop fd
+        ~stopping:(fun () -> Atomic.get t.draining)
+        ~handle:(fun cfd ->
+          let _ : Thread.t =
+            Thread.create
+              (fun () ->
+                let ic = Unix.in_channel_of_descr cfd in
+                let oc = Unix.out_channel_of_descr cfd in
+                serve_channels ~on_close:(fun () -> close_out_noerr oc) t ic oc)
+              ()
+          in
+          ()))
+
+let listen_unix ?(force = false) t ~path =
+  let fd = Transport.listen_unix ~force ~path () in
+  run_listener t fd ~cleanup:(fun () ->
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+
+let listen_tcp ?on_listen t ~host ~port =
+  let fd, bound_port = Transport.listen_tcp ~host ~port () in
+  (match on_listen with Some f -> f bound_port | None -> ());
+  run_listener t fd ~cleanup:(fun () -> ())
+
+(* ----------------------------- lifecycle --------------------------- *)
+
+let begin_drain t =
+  if Atomic.compare_and_set t.draining false true then
+    match Atomic.get t.listen_fd with
+    | Some fd -> ( try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ())
+    | None -> ()
+
+let await t =
+  begin_drain t;
+  Mutex.lock t.idle_lock;
+  while Atomic.get t.active > 0 do
+    Condition.wait t.idle_cond t.idle_lock
+  done;
+  Mutex.unlock t.idle_lock;
+  Array.iter Backend.close t.backends;
+  match t.collector with
+  | Some c ->
+      t.collector <- None;
+      Obs.Metrics.unregister_collector c
+  | None -> ()

@@ -1,0 +1,71 @@
+(** The shard router: one wire-compatible front door over N worker
+    servers.
+
+    Schedule requests are routed by the {e content} of the request —
+    the canonical superblock digest ({!Sb_ir.Serde.digest}) consistent-
+    hashed over the shards ({!Chash}) — so identical blocks always land
+    on the same worker and its content-addressed cache stays hot.  The
+    request's raw wire lines are forwarded byte-identically (only the
+    id is rewritten, see {!Backend}), and the shard's raw reply line
+    comes back the same way: a routed reply is bit-identical to what a
+    direct connection to that worker would have produced.
+
+    Backpressure is two-layered: a shard's own queue-full [busy] reply
+    is forwarded verbatim, and the router itself sheds with [busy] when
+    a shard already has [inflight_limit] requests parked on it.
+
+    [stats] and [ping] are answered by the router; [metrics] fans out
+    to every shard and replies with the {!Promerge}-aggregated page
+    (router registry + all shard registries). *)
+
+type config = {
+  shards : Sb_serve.Client.target array;  (** one target per worker *)
+  inflight_limit : int;  (** per-shard cap on forwarded-and-unanswered *)
+  vnodes : int;  (** ring points per shard (see {!Chash.create}) *)
+  read_timeout_s : float option;
+      (** per-shard-connection [SO_RCVTIMEO]; a hung shard fails its
+          parked forwards instead of wedging clients *)
+  extra_stats : (unit -> (string * string) list) option;
+      (** appended to the [stats] reply (the CLI adds supervisor fields:
+          worker pids, respawn counts) *)
+}
+
+val default_config : config
+(** No shards (must be overridden), in-flight limit 64, 64 vnodes, no
+    read timeout. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+(** Validates the config ([Invalid_argument] without shards or with a
+    nonpositive limit), builds the ring and one lazy {!Backend} per
+    shard, registers the router's metrics families
+    ([sbsched_router_*], per-shard labelled gauges), and ignores
+    SIGPIPE process-wide. *)
+
+val draining : t -> bool
+val stats_fields : t -> (string * string) list
+
+val shard_for : t -> string -> int
+(** The shard a digest routes to (exposed for tests and ops). *)
+
+val serve_channels : ?on_close:(unit -> unit) -> t -> in_channel -> out_channel -> unit
+(** Run one client connection's reader loop until EOF; replies may
+    still be written after it returns, until the refcounted close runs
+    [on_close] (where the caller should close the channels). *)
+
+val listen_unix : ?force:bool -> t -> path:string -> unit
+(** Accept clients on a Unix socket (same stale-socket and drain
+    semantics as {!Sb_serve.Server.listen_unix}). *)
+
+val listen_tcp : ?on_listen:(int -> unit) -> t -> host:string -> port:int -> unit
+(** Accept clients over TCP; [port = 0] binds an ephemeral port and
+    [on_listen] receives the bound port. *)
+
+val begin_drain : t -> unit
+(** Idempotent: close the listener and refuse new schedule requests
+    with [shutdown]; forwards already in flight still complete. *)
+
+val await : t -> unit
+(** Block until every in-flight forward has been answered, then close
+    the shard connections and unregister the metrics collector. *)

@@ -1,0 +1,107 @@
+(* Shard worker supervision: spawn, watch, respawn.  See supervise.mli. *)
+
+type child = {
+  slot : int;
+  mutable pid : int;
+  mutable respawns : int;
+  mutable alive : bool;
+}
+
+type t = {
+  lock : Mutex.t;
+  spawn : int -> int;
+  respawn_delay_s : float;
+  children : child array;
+  mutable stopping : bool;
+  mutable watchers : Thread.t list;
+  on_respawn : slot:int -> pid:int -> unit;
+}
+
+let rec waitpid_pid pid =
+  match Unix.waitpid [] pid with
+  | p, status when p = pid -> status
+  | _ -> waitpid_pid pid
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> waitpid_pid pid
+
+let rec watch t c =
+  let pid = c.pid in
+  let _status = waitpid_pid pid in
+  Mutex.lock t.lock;
+  c.alive <- false;
+  let stopping = t.stopping in
+  Mutex.unlock t.lock;
+  if not stopping then begin
+    (* Brief pause so a worker that dies instantly (bad config, port
+       taken) doesn't busy-loop the respawner. *)
+    Thread.delay t.respawn_delay_s;
+    Mutex.lock t.lock;
+    let go = not t.stopping in
+    if go then begin
+      let pid = t.spawn c.slot in
+      c.pid <- pid;
+      c.respawns <- c.respawns + 1;
+      c.alive <- true;
+      Mutex.unlock t.lock;
+      t.on_respawn ~slot:c.slot ~pid;
+      watch t c
+    end
+    else Mutex.unlock t.lock
+  end
+
+let start ?(respawn_delay_s = 0.1) ?(on_respawn = fun ~slot:_ ~pid:_ -> ())
+    ~n ~spawn () =
+  if n < 1 then invalid_arg "Supervise.start: n must be >= 1";
+  let children =
+    Array.init n (fun slot ->
+        { slot; pid = spawn slot; respawns = 0; alive = true })
+  in
+  let t =
+    {
+      lock = Mutex.create ();
+      spawn;
+      respawn_delay_s;
+      children;
+      stopping = false;
+      watchers = [];
+      on_respawn;
+    }
+  in
+  t.watchers <-
+    Array.to_list
+      (Array.map (fun c -> Thread.create (fun () -> watch t c) ()) children);
+  t
+
+let pids t =
+  Mutex.lock t.lock;
+  let ps = Array.map (fun c -> c.pid) t.children in
+  Mutex.unlock t.lock;
+  ps
+
+let respawns t =
+  Mutex.lock t.lock;
+  let n = Array.fold_left (fun a c -> a + c.respawns) 0 t.children in
+  Mutex.unlock t.lock;
+  n
+
+let alive t =
+  Mutex.lock t.lock;
+  let n =
+    Array.fold_left (fun a c -> if c.alive then a + 1 else a) 0 t.children
+  in
+  Mutex.unlock t.lock;
+  n
+
+let stop t =
+  Mutex.lock t.lock;
+  t.stopping <- true;
+  let live =
+    Array.to_list
+      (Array.map (fun c -> if c.alive then Some c.pid else None) t.children)
+  in
+  Mutex.unlock t.lock;
+  List.iter
+    (function
+      | Some pid -> ( try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ())
+      | None -> ())
+    live;
+  List.iter Thread.join t.watchers

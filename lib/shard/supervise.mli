@@ -1,0 +1,39 @@
+(** Shard worker supervision: spawn N child processes and keep them
+    alive.
+
+    One watcher thread per slot blocks in [waitpid]; when a worker dies
+    for any reason (crash, OOM kill, [kill -9]) the slot is respawned
+    after a short delay — the delay keeps a worker that dies instantly
+    (bad flags, socket already bound) from turning the supervisor into
+    a fork bomb.  {!stop} ends supervision: workers get SIGTERM (which
+    [sbsched serve] maps to a graceful drain) and the watchers reap
+    them without respawning. *)
+
+type t
+
+val start :
+  ?respawn_delay_s:float ->
+  ?on_respawn:(slot:int -> pid:int -> unit) ->
+  n:int ->
+  spawn:(int -> int) ->
+  unit ->
+  t
+(** [spawn slot] forks/execs the worker for [slot] and returns its pid;
+    it is called once per slot now and again on every respawn (from the
+    slot's watcher thread — it must be thread-safe).  [respawn_delay_s]
+    defaults to 0.1.  [on_respawn] observes each respawn (metrics,
+    logs). *)
+
+val pids : t -> int array
+(** Current pid per slot (a dead-and-not-yet-respawned slot still
+    reports its last pid). *)
+
+val respawns : t -> int
+(** Total respawns across all slots. *)
+
+val alive : t -> int
+(** Slots whose worker is currently believed alive. *)
+
+val stop : t -> unit
+(** SIGTERM every live worker, stop respawning, and block until all
+    watchers have reaped their children. *)

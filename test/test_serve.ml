@@ -35,6 +35,7 @@ let test_reply_roundtrip () =
       issue = Some [| 0; 0; 1; 2; 4 |];
       gap = None;
       proved = None;
+      cached = None;
     }
   in
   (match roundtrip_reply (Protocol.Ok_schedule { id = "r1"; result }) with

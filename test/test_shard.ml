@@ -1,0 +1,578 @@
+(* The sb_shard subsystem: canonical content digests, the consistent
+   hash ring, the Prometheus page merger, the content-addressed result
+   cache (LRU, single-flight, journal warm-restart), the worker
+   supervisor, and an in-process end-to-end router over two real TCP
+   shard servers. *)
+
+open Sb_shard
+module Serde = Sb_ir.Serde
+module Client = Sb_serve.Client
+module Protocol = Sb_serve.Protocol
+module Server = Sb_serve.Server
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+let tc name f = Alcotest.test_case name `Quick f
+
+let corpus =
+  lazy (Sb_workload.Corpus.program ~count:8 "gcc").Sb_workload.Corpus.superblocks
+
+let tmp_path name =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "sbshard-test-%d-%s" (Unix.getpid ()) name)
+
+(* First index of [needle] in [haystack], or -1. *)
+let find_sub haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then -1
+    else if String.sub haystack i nn = needle then i
+    else go (i + 1)
+  in
+  go 0
+
+let contains haystack needle = find_sub haystack needle >= 0
+
+(* ------------------------------ digest ----------------------------- *)
+
+let prop_digest_roundtrip_stable =
+  QCheck.Test.make ~name:"digest survives a serde roundtrip" ~count:100
+    Test_props.seed_gen (fun seed ->
+      let sb = Test_props.superblock_of_seed ~max_ops:40 seed in
+      match Serde.parse_string (Serde.superblock_to_string sb) with
+      | Ok [ sb' ] -> Serde.digest sb = Serde.digest sb'
+      | _ -> false)
+
+let prop_digest_ignores_name_and_edge_order =
+  QCheck.Test.make
+    ~name:"digest ignores the block name and the edge listing order"
+    ~count:100 Test_props.seed_gen (fun seed ->
+      let sb = Test_props.superblock_of_seed ~max_ops:40 seed in
+      let text = Serde.superblock_to_string sb in
+      (* Reverse the edge lines in the serialized text: same graph,
+         different listing order.  The parser rebuilds the canonical
+         CSR, so the digest must not move. *)
+      let lines = String.split_on_char '\n' text in
+      let edges, rest =
+        List.partition
+          (fun l -> String.length l > 5 && String.sub l 0 5 = "edge ")
+          lines
+      in
+      let shuffled =
+        (* Edge lines go back in reverse order, just before "end". *)
+        let rec weave = function
+          | [] -> []
+          | "end" :: tl -> List.rev_append edges ("end" :: tl)
+          | hd :: tl -> hd :: weave tl
+        in
+        String.concat "\n" (weave rest)
+      in
+      (* Rename in the serialized text ("superblock <name> freq=..."):
+         the type is private, but the digest must not care either way. *)
+      let renamed =
+        match String.split_on_char '\n' text with
+        | first :: tl -> (
+            match String.split_on_char ' ' first with
+            | "superblock" :: _ :: rest ->
+                String.concat "\n"
+                  (String.concat " " ("superblock" :: "other" :: rest) :: tl)
+            | _ -> text)
+        | [] -> text
+      in
+      match (Serde.parse_string shuffled, Serde.parse_string renamed) with
+      | Ok [ a ], Ok [ b ] ->
+          Serde.digest a = Serde.digest sb
+          && Serde.digest b = Serde.digest sb
+      | _ -> false)
+
+let test_digest_corpus_no_collisions () =
+  let sbs =
+    (Sb_workload.Corpus.program ~count:60 "gcc").Sb_workload.Corpus.superblocks
+  in
+  let by_digest = Hashtbl.create 64 in
+  List.iter
+    (fun sb ->
+      let d = Serde.digest sb in
+      match Hashtbl.find_opt by_digest d with
+      | None -> Hashtbl.add by_digest d sb
+      | Some prior ->
+          (* Equal digests are only acceptable for structurally
+             identical blocks (same canonical form). *)
+          check_string "digest collision implies identical canonical form"
+            (Serde.canonical prior) (Serde.canonical sb))
+    sbs;
+  check_bool "several distinct digests" true (Hashtbl.length by_digest > 10)
+
+(* ------------------------------ chash ------------------------------ *)
+
+let random_digests n =
+  let rng = Random.State.make [| 0x5eed |] in
+  List.init n (fun _ ->
+      Digest.to_hex (Digest.string (string_of_int (Random.State.bits rng))))
+
+let test_chash_deterministic_and_in_range () =
+  let a = Chash.create ~shards:4 () in
+  let b = Chash.create ~shards:4 () in
+  List.iter
+    (fun key ->
+      let s = Chash.lookup a key in
+      check_bool "in range" true (s >= 0 && s < 4);
+      check_int "independent rings agree" s (Chash.lookup b key))
+    (random_digests 500)
+
+let test_chash_balance () =
+  let ring = Chash.create ~shards:4 () in
+  let counts = Array.make 4 0 in
+  let keys = random_digests 2000 in
+  List.iter (fun k -> counts.(Chash.lookup ring k) <- counts.(Chash.lookup ring k) + 1) keys;
+  Array.iteri
+    (fun i c ->
+      check_bool
+        (Printf.sprintf "shard %d holds >= 10%% of keys (%d)" i c)
+        true
+        (c >= 200))
+    counts
+
+let test_chash_remap_fraction () =
+  let three = Chash.create ~shards:3 () in
+  let four = Chash.create ~shards:4 () in
+  let keys = random_digests 2000 in
+  let moved =
+    List.length (List.filter (fun k -> Chash.lookup three k <> Chash.lookup four k) keys)
+  in
+  (* Consistent hashing moves ~1/4 of keys when going 3 -> 4; plain
+     modulo would move ~3/4.  Allow slack but stay far from modulo. *)
+  check_bool
+    (Printf.sprintf "adding a shard moves a bounded fraction (%d/2000)" moved)
+    true
+    (moved < 1000)
+
+(* ----------------------------- promerge ---------------------------- *)
+
+let test_promerge_sums_and_maxes () =
+  let page1 =
+    "# HELP sbsched_x_total Things\n# TYPE sbsched_x_total counter\n\
+     sbsched_x_total 3\n\
+     # TYPE sbsched_lat_us_max gauge\nsbsched_lat_us_max 120\n\
+     sbsched_y{shard=\"0\"} 1\n"
+  in
+  let page2 =
+    "# HELP sbsched_x_total Things\n# TYPE sbsched_x_total counter\n\
+     sbsched_x_total 4\n\
+     # TYPE sbsched_lat_us_max gauge\nsbsched_lat_us_max 80\n\
+     sbsched_y{shard=\"1\"} 5\n"
+  in
+  let merged = Promerge.merge [ page1; page2 ] in
+  let has needle =
+    check_bool
+      (Printf.sprintf "merged page contains %S" needle)
+      true (contains merged needle)
+  in
+  has "sbsched_x_total 7";
+  has "sbsched_lat_us_max 120";
+  has "sbsched_y{shard=\"0\"} 1";
+  has "sbsched_y{shard=\"1\"} 5";
+  has "# TYPE sbsched_x_total counter";
+  (* Families come out sorted by name. *)
+  check_bool "families sorted" true
+    (find_sub merged "sbsched_lat_us_max" < find_sub merged "sbsched_x_total")
+
+(* ------------------------------ cache ------------------------------ *)
+
+let test_cache_lru () =
+  let c = Cache.create ~capacity:2 () in
+  let put k v =
+    ignore (Cache.find_or_compute c ~key:k ~compute:(fun () -> (v, true)))
+  in
+  put "a" 1;
+  put "b" 2;
+  ignore (Cache.find c "a" : int option);  (* a is now MRU *)
+  put "c" 3;  (* evicts b, the LRU *)
+  check_bool "b evicted" true (Cache.find c "b" = None);
+  check_bool "a kept" true (Cache.find c "a" = Some 1);
+  check_bool "c kept" true (Cache.find c "c" = Some 3);
+  check_int "one eviction" 1 (Cache.evictions c);
+  check_int "size stays bounded" 2 (Cache.length c)
+
+let test_cache_single_flight () =
+  let c = Cache.create ~capacity:8 () in
+  let computes = Atomic.make 0 in
+  let compute () =
+    Atomic.incr computes;
+    Thread.delay 0.2;
+    ("value", true)
+  in
+  let outcomes = Array.make 2 Cache.Miss in
+  let worker i =
+    Thread.create
+      (fun () ->
+        if i = 1 then Thread.delay 0.05;
+        let v, o = Cache.find_or_compute c ~key:"k" ~compute in
+        check_string "shared value" "value" v;
+        outcomes.(i) <- o)
+      ()
+  in
+  let t0 = worker 0 and t1 = worker 1 in
+  Thread.join t0;
+  Thread.join t1;
+  check_int "computed exactly once" 1 (Atomic.get computes);
+  check_bool "first was the miss" true (outcomes.(0) = Cache.Miss);
+  check_bool "second waited (or hit a finished flight)" true
+    (outcomes.(1) = Cache.Waited || outcomes.(1) = Cache.Hit)
+
+let test_cache_unstorable () =
+  let c = Cache.create ~capacity:8 () in
+  let v, o = Cache.find_or_compute c ~key:"k" ~compute:(fun () -> (1, false)) in
+  check_int "value returned" 1 v;
+  check_bool "miss" true (o = Cache.Miss);
+  check_bool "not stored" true (Cache.find c "k" = None);
+  let _, o2 = Cache.find_or_compute c ~key:"k" ~compute:(fun () -> (2, false)) in
+  check_bool "recomputed" true (o2 = Cache.Miss)
+
+let spec path =
+  {
+    Cache.journal_path = path;
+    resume = true;
+    meta = [ ("machine", "FS4"); ("tw", "false") ];
+    encode = Fun.id;
+    decode = Option.some;
+  }
+
+let test_cache_warm_restart () =
+  let path = tmp_path "warm.journal" in
+  if Sys.file_exists path then Sys.remove path;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let c1 = Cache.create ~journal:(spec path) ~capacity:3 () in
+      for i = 1 to 5 do
+        ignore
+          (Cache.find_or_compute c1
+             ~key:(Printf.sprintf "k%d" i)
+             ~compute:(fun () -> (Printf.sprintf "v%d" i, true)))
+      done;
+      (* No close: a kill -9 loses nothing because every append was
+         fsync'd before the insert became visible. *)
+      let c2 = Cache.create ~journal:(spec path) ~capacity:3 () in
+      check_int "capacity bounds the warm set" 3 (Cache.length c2);
+      (* Oldest-first replay leaves the freshest keys resident. *)
+      check_bool "freshest survive" true
+        (Cache.find c2 "k5" = Some "v5"
+        && Cache.find c2 "k4" = Some "v4"
+        && Cache.find c2 "k3" = Some "v3");
+      check_bool "oldest fell off" true (Cache.find c2 "k1" = None);
+      (* A warmed key answers without recomputation. *)
+      let v, o =
+        Cache.find_or_compute c2 ~key:"k5" ~compute:(fun () ->
+            Alcotest.fail "should not recompute a journaled key")
+      in
+      check_string "bit-identical value" "v5" v;
+      check_bool "hit" true (o = Cache.Hit);
+      Cache.close c2;
+      Cache.close c1)
+
+let test_cache_journal_validation () =
+  let path = tmp_path "meta.journal" in
+  if Sys.file_exists path then Sys.remove path;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let c = Cache.create ~journal:(spec path) ~capacity:4 () in
+      ignore (Cache.find_or_compute c ~key:"k" ~compute:(fun () -> ("v", true)));
+      Cache.close c;
+      (* Another fingerprint must refuse the file. *)
+      (match
+         Cache.create
+           ~journal:{ (spec path) with Cache.meta = [ ("machine", "GP2") ] }
+           ~capacity:4 ()
+       with
+      | exception Failure msg ->
+          check_bool "names the mismatch" true
+            (contains msg "different experiment")
+      | _ -> Alcotest.fail "meta mismatch accepted");
+      (* resume=false refuses to clobber. *)
+      (match
+         Cache.create
+           ~journal:{ (spec path) with Cache.resume = false }
+           ~capacity:4 ()
+       with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "resume=false clobbered an existing journal");
+      (* A torn final line (killed mid-append) is tolerated. *)
+      let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644 in
+      let torn = Bytes.of_string "rec\ttorn-key" in
+      ignore (Unix.write fd torn 0 (Bytes.length torn) : int);
+      Unix.close fd;
+      let c2 = Cache.create ~journal:(spec path) ~capacity:4 () in
+      check_bool "intact record survives" true (Cache.find c2 "k" = Some "v");
+      check_bool "torn record dropped" true (Cache.find c2 "torn-key" = None);
+      Cache.close c2)
+
+(* ---------------------------- supervise ----------------------------- *)
+
+let test_supervise_respawns () =
+  let spawn _slot =
+    Unix.create_process "sleep" [| "sleep"; "30" |] Unix.stdin Unix.stdout
+      Unix.stderr
+  in
+  let sup = Supervise.start ~respawn_delay_s:0.02 ~n:1 ~spawn () in
+  let pid0 = (Supervise.pids sup).(0) in
+  Unix.kill pid0 Sys.sigkill;
+  let deadline = Unix.gettimeofday () +. 5. in
+  while Supervise.respawns sup < 1 && Unix.gettimeofday () < deadline do
+    Thread.delay 0.02
+  done;
+  check_int "respawned after kill -9" 1 (Supervise.respawns sup);
+  check_bool "new pid" true ((Supervise.pids sup).(0) <> pid0);
+  check_int "alive again" 1 (Supervise.alive sup);
+  Supervise.stop sup;
+  (* stop is terminal: the worker was SIGTERMed and reaped. *)
+  check_int "no respawn after stop" 1 (Supervise.respawns sup)
+
+(* --------------------------- router e2e ----------------------------- *)
+
+(* In-process glue identical to the CLI's: a Cache behind the server's
+   cache hook. *)
+let cache_hook () =
+  let cache = Cache.create ~capacity:256 () in
+  {
+    Server.cached_compute =
+      (fun ~key ~compute ->
+        let v, o = Cache.find_or_compute cache ~key ~compute in
+        ( v,
+          match o with
+          | Cache.Hit -> Server.Cache_hit
+          | Cache.Miss -> Server.Cache_miss
+          | Cache.Waited -> Server.Cache_waited ));
+  }
+
+let start_shard_server ?before_batch () =
+  let config =
+    {
+      Server.default_config with
+      cache = Some (cache_hook ());
+      before_batch;
+    }
+  in
+  let server = Server.create ~config () in
+  let port = Atomic.make 0 in
+  let listener =
+    Thread.create
+      (fun () ->
+        Server.listen_tcp server ~host:"127.0.0.1" ~port:0
+          ~on_listen:(Atomic.set port))
+      ()
+  in
+  let deadline = Unix.gettimeofday () +. 5. in
+  while Atomic.get port = 0 && Unix.gettimeofday () < deadline do
+    Thread.delay 0.01
+  done;
+  check_bool "shard server bound" true (Atomic.get port <> 0);
+  (server, listener, Atomic.get port)
+
+let start_router targets ~inflight_limit =
+  let router =
+    Router.create
+      ~config:
+        {
+          Router.shards = targets;
+          inflight_limit;
+          vnodes = 64;
+          read_timeout_s = Some 10.;
+          extra_stats = None;
+        }
+      ()
+  in
+  let port = Atomic.make 0 in
+  let listener =
+    Thread.create
+      (fun () ->
+        Router.listen_tcp router ~host:"127.0.0.1" ~port:0
+          ~on_listen:(Atomic.set port))
+      ()
+  in
+  let deadline = Unix.gettimeofday () +. 5. in
+  while Atomic.get port = 0 && Unix.gettimeofday () < deadline do
+    Thread.delay 0.01
+  done;
+  check_bool "router bound" true (Atomic.get port <> 0);
+  (router, listener, Atomic.get port)
+
+let sched_result = function
+  | Ok (Protocol.Ok_schedule { result; _ }) -> result
+  | Ok r -> Alcotest.failf "unexpected reply: %s" (Protocol.render_reply r)
+  | Error m -> Alcotest.failf "request failed: %s" m
+
+let stop_server (server, listener, _port) =
+  Server.begin_drain server;
+  Server.await server;
+  Thread.join listener
+
+let test_router_e2e () =
+  let shard0 = start_shard_server () in
+  let shard1 = start_shard_server () in
+  let _, _, port0 = shard0 and _, _, port1 = shard1 in
+  let targets =
+    [|
+      Client.Tcp ("127.0.0.1", port0);
+      Client.Tcp ("127.0.0.1", port1);
+    |]
+  in
+  let router, rlistener, rport = start_router targets ~inflight_limit:16 in
+  let shard_port i = if i = 0 then port0 else port1 in
+  let via port sb =
+    let c = Client.connect ~path:(Printf.sprintf "127.0.0.1:%d" port) () in
+    Fun.protect
+      ~finally:(fun () -> Client.close c)
+      (fun () ->
+        sched_result
+          (Client.schedule c ~id:"t" ~heuristic:"balance" ~bounds:true sb))
+  in
+  List.iteri
+    (fun i sb ->
+      ignore i;
+      let owner = Router.shard_for router (Serde.digest sb) in
+      let routed = via rport sb in
+      (* First routed request computes on the owning shard... *)
+      check_bool "first pass is a miss" true
+        (routed.Protocol.cached = Some false);
+      (* ...so a direct request to the owner hits its cache with a
+         bit-identical result, proving both the routing and the WCT. *)
+      let direct_owner = via (shard_port owner) sb in
+      check_bool "owner has it cached" true
+        (direct_owner.Protocol.cached = Some true);
+      check_bool "wct bit-identical" true
+        (direct_owner.Protocol.wct = routed.Protocol.wct);
+      check_int "length identical" routed.Protocol.length
+        direct_owner.Protocol.length;
+      check_bool "bound bit-identical" true
+        (direct_owner.Protocol.bound = routed.Protocol.bound);
+      (* The non-owner never saw it. *)
+      let direct_other = via (shard_port (1 - owner)) sb in
+      check_bool "other shard computes fresh" true
+        (direct_other.Protocol.cached = Some false);
+      check_bool "shards agree on the schedule" true
+        (direct_other.Protocol.wct = routed.Protocol.wct);
+      (* Second routed pass hits. *)
+      let again = via rport sb in
+      check_bool "second pass is a hit" true
+        (again.Protocol.cached = Some true);
+      check_bool "hit is bit-identical" true
+        (again.Protocol.wct = routed.Protocol.wct
+        && again.Protocol.length = routed.Protocol.length
+        && again.Protocol.bound = routed.Protocol.bound))
+    (Lazy.force corpus);
+  (* Aggregated metrics: router families plus the shards' serve
+     families on one page. *)
+  let c = Client.connect ~path:(Printf.sprintf "127.0.0.1:%d" rport) () in
+  Client.send_metrics c ~id:"m";
+  (match Client.read_reply c with
+  | Ok (Protocol.Ok_metrics { body; _ }) ->
+      let has needle =
+        check_bool
+          (Printf.sprintf "metrics page has %s" needle)
+          true (contains body needle)
+      in
+      has "sbsched_router_forwarded_total";
+      has "sbsched_router_shard_inflight";
+      has "sbsched_serve_served_total";
+      has "sbsched_cache_hits_total"
+  | other ->
+      Alcotest.failf "metrics failed: %s"
+        (match other with Ok r -> Protocol.render_reply r | Error m -> m));
+  Client.send_stats c ~id:"s";
+  (match Client.read_reply c with
+  | Ok (Protocol.Ok_stats { fields; _ }) ->
+      check_string "stats reports shards" "2" (List.assoc "shards" fields);
+      check_bool "stats reports forwards" true
+        (int_of_string (List.assoc "forwarded" fields) >= 16)
+  | _ -> Alcotest.fail "stats failed");
+  Client.close c;
+  Router.begin_drain router;
+  Router.await router;
+  Thread.join rlistener;
+  stop_server shard0;
+  stop_server shard1
+
+let test_router_busy_and_drain () =
+  (* A deliberately slow single shard behind a 1-deep router: concurrent
+     clients overflow the per-shard in-flight cap and shed busy. *)
+  let shard = start_shard_server ~before_batch:(fun () -> Thread.delay 0.3) () in
+  let _, _, sport = shard in
+  let router, rlistener, rport =
+    start_router [| Client.Tcp ("127.0.0.1", sport) |] ~inflight_limit:1
+  in
+  let sb = List.hd (Lazy.force corpus) in
+  let outcomes = Array.make 5 `None in
+  let fire i =
+    Thread.create
+      (fun () ->
+        let c = Client.connect ~path:(Printf.sprintf "127.0.0.1:%d" rport) () in
+        Fun.protect
+          ~finally:(fun () -> Client.close c)
+          (fun () ->
+            match Client.schedule c ~id:(string_of_int i) sb with
+            | Ok (Protocol.Ok_schedule _) -> outcomes.(i) <- `Ok
+            | Ok (Protocol.Error_reply { code = Protocol.Busy; _ }) ->
+                outcomes.(i) <- `Busy
+            | _ -> outcomes.(i) <- `Other))
+      ()
+  in
+  let threads = List.init 5 fire in
+  List.iter Thread.join threads;
+  let count what = Array.to_list outcomes |> List.filter (( = ) what) |> List.length in
+  check_bool "someone was served" true (count `Ok >= 1);
+  check_bool "someone was shed busy" true (count `Busy >= 1);
+  check_int "nothing fell through" 0 (count `Other + count `None);
+  (* Drain: an open connection's next request is refused with
+     shutdown.  Ping first — connect() returns once the handshake is
+     in the listen backlog, and draining tears the backlog down with a
+     reset; a served reply proves the router accepted us. *)
+  let c = Client.connect ~path:(Printf.sprintf "127.0.0.1:%d" rport) () in
+  (Client.send_ping c ~id:"pre";
+   match Client.read_reply c with
+   | Ok _ -> ()
+   | Error m -> Alcotest.failf "ping before drain failed: %s" m);
+  Router.begin_drain router;
+  (match Client.schedule c ~id:"late" sb with
+  | Ok (Protocol.Error_reply { code = Protocol.Shutdown; _ }) -> ()
+  | Ok r -> Alcotest.failf "expected shutdown, got %s" (Protocol.render_reply r)
+  | Error m -> Alcotest.failf "expected shutdown, got transport error %s" m);
+  Client.close c;
+  Router.await router;
+  Thread.join rlistener;
+  stop_server shard
+
+let suites =
+  [
+    ( "shard.digest",
+      List.map QCheck_alcotest.to_alcotest
+        [ prop_digest_roundtrip_stable; prop_digest_ignores_name_and_edge_order ]
+      @ [ tc "corpus digests collision-free" test_digest_corpus_no_collisions ]
+    );
+    ( "shard.chash",
+      [
+        tc "deterministic and in range" test_chash_deterministic_and_in_range;
+        tc "load is balanced" test_chash_balance;
+        tc "adding a shard moves few keys" test_chash_remap_fraction;
+      ] );
+    ("shard.promerge", [ tc "sums, maxes, sorts" test_promerge_sums_and_maxes ]);
+    ( "shard.cache",
+      [
+        tc "LRU evicts the coldest" test_cache_lru;
+        tc "single-flight computes once" test_cache_single_flight;
+        tc "unstorable results are not cached" test_cache_unstorable;
+        tc "warm restart answers from the journal" test_cache_warm_restart;
+        tc "journal fingerprint and torn-tail handling"
+          test_cache_journal_validation;
+      ] );
+    ("shard.supervise", [ tc "respawns a kill -9ed worker" test_supervise_respawns ]);
+    ( "shard.router",
+      [
+        tc "routes by content, caches per shard, aggregates metrics"
+          test_router_e2e;
+        tc "sheds busy at the in-flight cap; drains clean"
+          test_router_busy_and_drain;
+      ] );
+  ]
