@@ -977,7 +977,8 @@ let shard_cmd =
              keys without recomputation.")
   in
   let run machine jobs shards socket tcp inflight worker_port_base
-      worker_cache journal_dir queue_capacity with_tw fault =
+      worker_cache journal_dir queue_capacity with_tw no_hedge hedge_delay_ms
+      retry_budget probe_interval shard_read_timeout fault =
     install_fault_plan fault;
     let jobs = resolve_jobs jobs in
     if shards < 1 then begin
@@ -1064,14 +1065,51 @@ let shard_cmd =
       try_ping ()
     in
     Array.iteri await_worker targets;
+    let _ : Sb_obs.Obs.Metrics.collector =
+      Sb_obs.Obs.Metrics.register_collector (fun () ->
+          [
+            {
+              Sb_obs.Obs.Metrics.family_name = "sbsched_shard_crashloop";
+              family_type = `Gauge;
+              family_help =
+                "1 when the slot's worker is crash-looping (respawns \
+                 pinned at the backoff cap)";
+              samples =
+                List.init shards (fun i ->
+                    {
+                      Sb_obs.Obs.Metrics.sample_name =
+                        "sbsched_shard_crashloop";
+                      labels = [ ("slot", string_of_int i) ];
+                      value =
+                        (if Sb_shard.Supervise.slot_crashlooping supervisor i
+                         then 1.
+                         else 0.);
+                    });
+            };
+          ])
+    in
+    let base = Sb_shard.Router.default_config in
     let router =
       Sb_shard.Router.create
         ~config:
           {
+            base with
             Sb_shard.Router.shards = targets;
             inflight_limit = inflight;
-            vnodes = 64;
-            read_timeout_s = None;
+            read_timeout_s =
+              (if shard_read_timeout > 0. then Some shard_read_timeout
+               else None);
+            health =
+              { base.Sb_shard.Router.health with
+                probe_interval_s = probe_interval };
+            hedge =
+              {
+                base.Sb_shard.Router.hedge with
+                enabled = not no_hedge;
+                fixed_ms =
+                  (if hedge_delay_ms > 0 then Some hedge_delay_ms else None);
+              };
+            budget = { base.Sb_shard.Router.budget with earn = retry_budget };
             extra_stats =
               Some
                 (fun () ->
@@ -1080,6 +1118,9 @@ let shard_cmd =
                       string_of_int (Sb_shard.Supervise.alive supervisor) );
                     ( "workers.respawns",
                       string_of_int (Sb_shard.Supervise.respawns supervisor) );
+                    ( "workers.crashlooping",
+                      string_of_int
+                        (Sb_shard.Supervise.crashlooping supervisor) );
                   ]);
           }
         ()
@@ -1138,6 +1179,38 @@ let shard_cmd =
           value & flag
           & info [ "tw" ]
               ~doc:"Workers include the Triplewise bound for bounds=true.")
+      $ Arg.(
+          value & flag
+          & info [ "no-hedge" ]
+              ~doc:
+                "Disable hedged requests (tail control; see \
+                 docs/PROTOCOL.md §Failover).")
+      $ Arg.(
+          value & opt int 0
+          & info [ "hedge-delay-ms" ] ~docv:"MS"
+              ~doc:
+                "Hedge a slow request after a fixed MS.  0 (default) \
+                 adapts to each shard's p95 latency.")
+      $ Arg.(
+          value & opt float 0.1
+          & info [ "retry-budget" ] ~docv:"R"
+              ~doc:
+                "Retry-budget earn rate: each primary request earns R \
+                 tokens, each retry or hedge spends one — extra traffic \
+                 is capped near a fraction R of offered load.")
+      $ Arg.(
+          value & opt float 0.5
+          & info [ "probe-interval" ] ~docv:"SEC"
+              ~doc:
+                "Delay between half-open ping probes to a shard whose \
+                 circuit is open.")
+      $ Arg.(
+          value & opt float 0.
+          & info [ "shard-read-timeout" ] ~docv:"SEC"
+              ~doc:
+                "Per-shard-connection read timeout; a shard that stops \
+                 answering fails its parked forwards (which then fail \
+                 over) instead of wedging clients.  0 waits forever.")
       $ fault_arg)
 
 (* ------------------------------ loadgen ----------------------------- *)
@@ -1214,7 +1287,19 @@ let loadgen_cmd =
              (clamped to the corpus size; 0 = whole corpus).")
   in
   let run socket conns rps duration heuristic bounds deadline_ms attempts
-      read_timeout zipfian keys trace file generate count =
+      read_timeout zipfian keys chaos trace file generate count =
+    (* Client-side chaos: the plan drives the [client.*] points
+       (connect refusals, dropped connections) inside this loadgen
+       process, exercising the retry/reconnect path against a healthy
+       server. *)
+    (match chaos with
+    | None -> ()
+    | Some plan -> (
+        match Sb_fault.Fault.parse plan with
+        | Ok p -> Sb_fault.Fault.install p
+        | Error e ->
+            Printf.eprintf "error: --chaos: %s\n" e;
+            exit 1));
     with_trace trace @@ fun () ->
     let sbs =
       match (file, generate) with
@@ -1256,8 +1341,18 @@ let loadgen_cmd =
     Term.(
       const run $ socket_arg $ conns_arg $ rps_arg $ duration_arg
       $ heuristic_arg $ bounds_arg $ deadline_arg $ retries_arg
-      $ read_timeout_arg $ zipfian_arg $ keys_arg $ trace_arg $ file_arg
-      $ generate_arg $ count_arg)
+      $ read_timeout_arg $ zipfian_arg $ keys_arg
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "chaos" ] ~docv:"PLAN"
+              ~doc:
+                "Install a client-side fault plan, e.g. \
+                 'client.connect:raise@0.05,client.conn_drop:raise@0.02,seed=7' \
+                 — connects are refused and live connections severed \
+                 inside loadgen itself, exercising --retries against a \
+                 healthy server (see docs/ROBUSTNESS.md).")
+      $ trace_arg $ file_arg $ generate_arg $ count_arg)
 
 (* ----------------------------- trace-lint --------------------------- *)
 

@@ -198,4 +198,57 @@ if ! grep -q '^sbshard: drained' "$shlog"; then
 fi
 echo "second pass answered from cache (hits=$hits, errors=0); router drained cleanly"
 
+echo "== chaos: worker kill -9 + read stalls mid-loadgen; failover and hedging absorb both =="
+# The router gets a seeded read-stall plan (5% of replies delayed 150ms,
+# well past the 25ms hedge trigger) and loses one worker to kill -9 one
+# second into the run.  The client must see zero errors: stalls are
+# hedged to the other shard, the dead shard's keys fail over to its ring
+# successor, and the supervisor respawns the victim.  Replies stay
+# bit-identical throughout because schedules are content-addressed.
+chlog="$tmpd/chaos.log"
+SBSCHED_FAULT='net.read_stall:150ms@0.05,seed=7' \
+  "$SB" shard -m FS4 --shards 2 --tcp 127.0.0.1:0 --cache 1024 \
+  --probe-interval 0.1 --hedge-delay-ms 25 --shard-read-timeout 2 \
+  --retry-budget 1.0 > "$chlog" 2>&1 &
+router=$!
+i=0
+while ! grep -q '^sbshard: routing on ' "$chlog" && [ "$i" -lt 100 ]; do
+  sleep 0.1; i=$((i+1))
+done
+port=$(sed -n 's/^sbshard: routing on 127\.0\.0\.1:\([0-9]*\) .*/\1/p' "$chlog")
+if [ -z "$port" ]; then
+  echo "ci.sh: FAIL — chaos router never reported its TCP port" >&2
+  cat "$chlog" >&2
+  exit 1
+fi
+(
+  sleep 1
+  victim=$(cat /proc/$router/task/*/children 2>/dev/null | tr ' ' '\n' | sed -n 1p)
+  if [ -n "$victim" ]; then kill -9 "$victim"; fi
+) &
+killer=$!
+out=$("$SB" loadgen --socket "127.0.0.1:$port" --generate gcc -n 8 \
+  --conns 4 --duration 5 --zipfian 1.1 --keys 8 --retries 3 --read-timeout 5 \
+  --chaos 'client.conn_drop:raise@0.02,seed=5')
+wait "$killer"
+echo "$out"
+counts=$(echo "$out" | grep 'sent=')
+errors=$(echo "$counts" | sed 's/.*errors=\([0-9]*\).*/\1/')
+failover=$(echo "$out" | sed -n 's/.*failover=\([0-9]*\).*/\1/p')
+hedged=$(echo "$out" | sed -n 's/.*hedged=\([0-9]*\).*/\1/p')
+if [ "$errors" -ne 0 ] || [ -z "$failover" ] || [ "$failover" -eq 0 ] \
+    || [ -z "$hedged" ] || [ "$hedged" -eq 0 ]; then
+  echo "ci.sh: FAIL — chaos run wants errors=0, failover>0, hedged>0 (got errors=$errors failover=${failover:-none} hedged=${hedged:-none})" >&2
+  cat "$chlog" >&2
+  exit 1
+fi
+kill -TERM "$router" 2>/dev/null || true
+wait "$router" 2>/dev/null || true
+if ! grep -q '^sbshard: drained' "$chlog"; then
+  echo "ci.sh: FAIL — chaos router did not drain cleanly on SIGTERM" >&2
+  cat "$chlog" >&2
+  exit 1
+fi
+echo "chaos absorbed: errors=0 failover=$failover hedged=$hedged; router drained cleanly"
+
 echo "ci.sh: all checks passed"

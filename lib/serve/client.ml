@@ -29,6 +29,15 @@ let target_to_string = function
   | Tcp (host, port) -> Printf.sprintf "%s:%d" host port
 
 let connect_target ?read_timeout_s target =
+  (* Client-side chaos point, named apart from the router's [net.*]
+     points so an in-process test can fault the client's dials without
+     touching the router's backend dials. *)
+  (match Sb_fault.Fault.decide "client.connect" with
+  | Sb_fault.Fault.Pass -> ()
+  | Act (Sleep d) -> Thread.delay d
+  | Act _ ->
+      raise
+        (Unix.Unix_error (Unix.ECONNREFUSED, "connect", "injected client.connect")));
   let fd =
     match target with
     | Unix_path path ->
@@ -75,6 +84,16 @@ let shutdown_send t =
 
 let send_schedule t ~id ?heuristic ?machine ?bounds ?issue ?deadline_ms
     ?optimal_budget_ms sb =
+  (* Chaos: sever our own connection just before the send, so the write
+     (or the reply read) fails and the session retry layer takes over. *)
+  (match Sb_fault.Fault.decide "client.conn_drop" with
+  | Sb_fault.Fault.Pass -> ()
+  | Act (Sleep d) -> Thread.delay d
+  | Act _ -> (
+      match t.fd with
+      | Some fd -> (
+          try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      | None -> ()));
   let buf = Buffer.create 256 in
   Printf.bprintf buf "schedule %s" id;
   Option.iter (Printf.bprintf buf " heuristic=%s") heuristic;
@@ -242,6 +261,9 @@ module Loadgen = struct
     hit_p99_us : int;
     miss_p50_us : int;
     miss_p99_us : int;
+    failover : int option;  (* router targets only: see run *)
+    hedged : int option;
+    budget_exhausted : int option;
   }
 
   type worker_acc = {
@@ -374,6 +396,10 @@ module Loadgen = struct
     if conns < 1 then invalid_arg "Loadgen.run: conns must be >= 1";
     if attempts < 1 then invalid_arg "Loadgen.run: attempts must be >= 1";
     if superblocks = [] then invalid_arg "Loadgen.run: no superblocks";
+    (* A server (or chaos plan) hanging up mid-write must surface as a
+       retryable [Sys_error], not a process-killing SIGPIPE. *)
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ -> ());
     let sbs = Array.of_list superblocks in
     let zipf =
       match zipf with
@@ -437,6 +463,24 @@ module Loadgen = struct
     in
     let hit_lat = sorted (fun w -> w.hit_us)
     and miss_lat = sorted (fun w -> w.miss_us) in
+    (* A router target reports its resilience counters in [stats];
+       against a plain server the keys are absent and the fields stay
+       [None], so the report line only appears where it means
+       something. *)
+    let router_stat =
+      match connect ~read_timeout_s:2. ~path () with
+      | exception _ -> fun _ -> None
+      | c ->
+          Fun.protect
+            ~finally:(fun () -> close c)
+            (fun () ->
+              send_stats c ~id:"lg-stats";
+              match read_reply c with
+              | Ok (Protocol.Ok_stats { fields; _ }) ->
+                  fun k ->
+                    Option.bind (List.assoc_opt k fields) int_of_string_opt
+              | _ -> fun _ -> None)
+    in
     {
       jobs_hint = label;
       conns;
@@ -462,6 +506,9 @@ module Loadgen = struct
       hit_p99_us = percentile hit_lat 0.99;
       miss_p50_us = percentile miss_lat 0.50;
       miss_p99_us = percentile miss_lat 0.99;
+      failover = router_stat "failover";
+      hedged = router_stat "hedged";
+      budget_exhausted = router_stat "retry_budget_exhausted";
     }
 
   let report_to_string r =
@@ -484,5 +531,12 @@ module Loadgen = struct
         r.hits r.misses
         (100. *. float_of_int r.hits /. float_of_int (r.hits + r.misses))
         r.hit_p50_us r.hit_p99_us r.miss_p50_us r.miss_p99_us;
+    (match (r.failover, r.hedged, r.budget_exhausted) with
+    | None, None, None -> ()
+    | f, h, be ->
+        let v = Option.value ~default:0 in
+        Printf.bprintf b
+          "  router failover=%d hedged=%d budget_exhausted=%d\n" (v f) (v h)
+          (v be));
     Buffer.contents b
 end

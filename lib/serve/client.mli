@@ -154,6 +154,13 @@ module Loadgen : sig
     hit_p99_us : int;
     miss_p50_us : int;
     miss_p99_us : int;
+    failover : int option;
+        (** router targets only (read from the target's [stats] reply
+            after the run): requests answered off their ring owner.
+            [None] against a plain server. *)
+    hedged : int option;  (** hedge attempts the router launched *)
+    budget_exhausted : int option;
+        (** retries/hedges the router's budget denied *)
   }
 
   val run :

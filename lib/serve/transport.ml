@@ -90,6 +90,47 @@ let connect_tcp ~host ~port =
      raise e);
   fd
 
+(* Seeded network chaos (docs/ROBUSTNESS.md §Network faults): the four
+   [net.*] points cover the distinct ways a peer misbehaves on an
+   established or nascent connection.  They are decided here so every
+   consumer of the transport (the shard Backend today) injects the same
+   way, but the helpers only *decide* — acting on the verdict (severing
+   a connection, failing parked requests) is the caller's job, because
+   only it owns the connection state. *)
+module Net_fault = struct
+  let connect () =
+    match Sb_fault.Fault.decide "net.connect" with
+    | Sb_fault.Fault.Pass -> ()
+    | Act (Sleep d) -> Thread.delay d
+    | Act _ ->
+        raise
+          (Unix.Unix_error (Unix.ECONNREFUSED, "connect", "injected net.connect"))
+
+  let read_stall () =
+    match Sb_fault.Fault.decide "net.read_stall" with
+    | Sb_fault.Fault.Pass -> `Proceed
+    | Act (Sleep d) ->
+        Thread.delay d;
+        `Proceed
+    | Act _ -> `Sever "injected net.read_stall"
+
+  let write_partial () =
+    match Sb_fault.Fault.decide "net.write_partial" with
+    | Sb_fault.Fault.Pass -> false
+    | Act (Sleep d) ->
+        Thread.delay d;
+        false
+    | Act _ -> true
+
+  let conn_drop () =
+    match Sb_fault.Fault.decide "net.conn_drop" with
+    | Sb_fault.Fault.Pass -> false
+    | Act (Sleep d) ->
+        Thread.delay d;
+        false
+    | Act _ -> true
+end
+
 let accept_loop fd ~stopping ~handle =
   let rec loop () =
     match Unix.accept fd with

@@ -29,6 +29,33 @@ val resolve_inet : string -> int -> Unix.inet_addr
 val set_nodelay : Unix.file_descr -> unit
 (** Best-effort [TCP_NODELAY] (no-op on non-TCP fds). *)
 
+(** Seeded chaos points for the network edge (see {!Sb_fault.Fault}).
+    The helpers decide whether the registered fault plan fires at each
+    of the four [net.*] points; acting on the verdict — severing a
+    connection, failing parked requests — is the caller's job, because
+    only the caller owns connection state.  With no plan installed all
+    helpers are a cheap no-op pass. *)
+module Net_fault : sig
+  val connect : unit -> unit
+  (** [net.connect]: raises [Unix.Unix_error (ECONNREFUSED, _, _)] when
+      the fault fires (a [Sleep] action delays instead). *)
+
+  val read_stall : unit -> [ `Proceed | `Sever of string ]
+  (** [net.read_stall]: called after a reply line is read and before it
+      is delivered.  A [Sleep] action stalls delivery (the reader holds
+      the line, so everything behind it queues — exactly a stalled
+      kernel buffer); other actions sever the connection. *)
+
+  val write_partial : unit -> bool
+  (** [net.write_partial]: true when the fault fires — the caller should
+      write a prefix of the request and sever, leaving the peer a
+      half-request. *)
+
+  val conn_drop : unit -> bool
+  (** [net.conn_drop]: true when the fault fires — the caller should
+      drop the established connection before/after the send. *)
+end
+
 val accept_loop :
   Unix.file_descr ->
   stopping:(unit -> bool) ->

@@ -4,6 +4,8 @@
 module Client = Sb_serve.Client
 module Transport = Sb_serve.Transport
 
+exception Injected of string
+
 type conn = {
   gen : int;
   fd : Unix.file_descr;
@@ -13,6 +15,7 @@ type conn = {
 
 type waiter = {
   w_gen : int;
+  w_wake : unit -> unit;
   mutable w_reply : string option;  (* raw reply line, internal id *)
   mutable w_failed : string option;
 }
@@ -31,6 +34,8 @@ type t = {
   mutable reconnects : int;
   mutable closing : bool;
 }
+
+type call = { c_t : t; c_iid : string; c_caller_id : string; c_w : waiter }
 
 let create ?read_timeout_s target =
   {
@@ -83,39 +88,86 @@ let fail_conn t conn msg =
   (match t.conn with
   | Some c when c.gen = conn.gen -> t.conn <- None
   | _ -> ());
+  let wakes = ref [] in
   Hashtbl.iter
     (fun _ w ->
-      if w.w_gen = conn.gen && w.w_reply = None && w.w_failed = None then
-        w.w_failed <- Some msg)
+      if w.w_gen = conn.gen && w.w_reply = None && w.w_failed = None then begin
+        w.w_failed <- Some msg;
+        wakes := w.w_wake :: !wakes
+      end)
     t.waiters;
   Condition.broadcast t.delivered;
   Mutex.unlock t.lock;
+  List.iter (fun f -> f ()) !wakes;
   sever conn
 
-let reader_loop t conn =
-  try
-    while true do
-      let line = input_line conn.ic in
-      match split_id line with
-      | None -> ()  (* unroutable (e.g. [error -]); drop it *)
-      | Some (_, iid, _) ->
-          Mutex.lock t.lock;
-          (match Hashtbl.find_opt t.waiters iid with
-          | Some w when w.w_reply = None ->
-              w.w_reply <- Some line;
-              Condition.broadcast t.delivered
-          | _ -> ());
-          Mutex.unlock t.lock
-    done
-  with
-  | End_of_file -> fail_conn t conn "shard closed the connection"
-  | Sys_error m | Failure m ->
-      fail_conn t conn (Printf.sprintf "shard read failed: %s" m)
-  | Unix.Unix_error (e, _, _) ->
-      fail_conn t conn
-        (Printf.sprintf "shard read failed: %s" (Unix.error_message e))
+(* Caller holds [t.lock]. *)
+let waiters_on_gen t gen =
+  Hashtbl.fold
+    (fun _ w acc ->
+      acc || (w.w_gen = gen && w.w_reply = None && w.w_failed = None))
+    t.waiters false
 
-let connect_fd = function
+let deliver t line =
+  match split_id line with
+  | None -> ()  (* unroutable (e.g. [error -]); drop it *)
+  | Some (_, iid, _) ->
+      Mutex.lock t.lock;
+      let wake =
+        match Hashtbl.find_opt t.waiters iid with
+        | Some w when w.w_reply = None && w.w_failed = None ->
+            w.w_reply <- Some line;
+            Condition.broadcast t.delivered;
+            Some w.w_wake
+        | _ -> None
+      in
+      Mutex.unlock t.lock;
+      match wake with Some f -> f () | None -> ()
+
+let reader_loop t conn =
+  let stop = ref false in
+  while not !stop do
+    match input_line conn.ic with
+    | line -> (
+        match Transport.Net_fault.read_stall () with
+        | `Proceed -> deliver t line
+        | `Sever m ->
+            fail_conn t conn m;
+            stop := true)
+    | exception Sys_blocked_io ->
+        (* SO_RCVTIMEO fired.  With requests parked that is a hung
+           worker and the conn is failed; idle, it is just a quiet
+           connection — recycle it without failing anyone (the next
+           request re-dials), because [input_line] may have dropped a
+           buffered partial line and the framing cannot be trusted. *)
+        Mutex.lock t.lock;
+        let parked = waiters_on_gen t conn.gen in
+        Mutex.unlock t.lock;
+        if parked then fail_conn t conn "shard read timed out"
+        else begin
+          Mutex.lock t.lock;
+          (match t.conn with
+          | Some c when c.gen = conn.gen -> t.conn <- None
+          | _ -> ());
+          Mutex.unlock t.lock;
+          sever conn
+        end;
+        stop := true
+    | exception End_of_file ->
+        fail_conn t conn "shard closed the connection";
+        stop := true
+    | exception (Sys_error m | Failure m) ->
+        fail_conn t conn (Printf.sprintf "shard read failed: %s" m);
+        stop := true
+    | exception Unix.Unix_error (e, _, _) ->
+        fail_conn t conn
+          (Printf.sprintf "shard read failed: %s" (Unix.error_message e));
+        stop := true
+  done
+
+let connect_fd target =
+  Transport.Net_fault.connect ();
+  match target with
   | Client.Unix_path p ->
       let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
       (try Unix.connect fd (Unix.ADDR_UNIX p)
@@ -147,7 +199,7 @@ let ensure_conn t =
       ignore (Thread.create (fun () -> reader_loop t conn) ());
       conn
 
-let request t lines =
+let send t ?(wake = fun () -> ()) lines =
   match lines with
   | [] -> Error "empty request"
   | first :: _ -> (
@@ -160,7 +212,10 @@ let request t lines =
               let conn = ensure_conn t in
               t.seq <- t.seq + 1;
               let iid = Printf.sprintf "x%d" t.seq in
-              let w = { w_gen = conn.gen; w_reply = None; w_failed = None } in
+              let w =
+                { w_gen = conn.gen; w_wake = wake; w_reply = None;
+                  w_failed = None }
+              in
               Hashtbl.replace t.waiters iid w;
               Ok (conn, iid, w)
             with
@@ -177,6 +232,18 @@ let request t lines =
               let rewritten = verb ^ " " ^ iid ^ rest in
               Mutex.lock t.wlock;
               (try
+                 if Transport.Net_fault.conn_drop () then
+                   raise (Injected "injected net.conn_drop");
+                 if Transport.Net_fault.write_partial () then begin
+                   (* Leave the peer a torn prefix of the request line:
+                      the half-request is never answered there, and our
+                      side of the conn is failed. *)
+                   output_string conn.oc
+                     (String.sub rewritten 0
+                        (min 3 (String.length rewritten)));
+                   flush conn.oc;
+                   raise (Injected "injected net.write_partial")
+                 end;
                  output_string conn.oc rewritten;
                  output_char conn.oc '\n';
                  List.iter
@@ -190,6 +257,7 @@ let request t lines =
                  Mutex.unlock t.wlock;
                  let msg =
                    match exn with
+                   | Injected m -> m
                    | Sys_error m -> Printf.sprintf "shard write failed: %s" m
                    | Unix.Unix_error (e, _, _) ->
                        Printf.sprintf "shard write failed: %s"
@@ -198,24 +266,50 @@ let request t lines =
                        Printf.sprintf "shard write failed: %s"
                          (Printexc.to_string e)
                  in
+                 (* The waiter is already registered, so fail_conn marks
+                    it failed and wakes the caller; the call handle is
+                    still returned and poll reports the error. *)
                  fail_conn t conn msg);
-              Mutex.lock t.lock;
-              while w.w_reply = None && w.w_failed = None do
-                Condition.wait t.delivered t.lock
-              done;
-              Hashtbl.remove t.waiters iid;
-              let r =
-                match (w.w_reply, w.w_failed) with
-                | Some raw, _ -> (
-                    match split_id raw with
-                    | Some (rverb, _, rrest) ->
-                        Ok (rverb ^ " " ^ caller_id ^ rrest)
-                    | None -> Error "unparseable shard reply")
-                | None, Some m -> Error m
-                | None, None -> assert false
-              in
-              Mutex.unlock t.lock;
-              r))
+              Ok { c_t = t; c_iid = iid; c_caller_id = caller_id; c_w = w }))
+
+(* Caller holds [t.lock]. *)
+let finish call =
+  Hashtbl.remove call.c_t.waiters call.c_iid;
+  match (call.c_w.w_reply, call.c_w.w_failed) with
+  | Some raw, _ -> (
+      match split_id raw with
+      | Some (rverb, _, rrest) -> Ok (rverb ^ " " ^ call.c_caller_id ^ rrest)
+      | None -> Error "unparseable shard reply")
+  | None, Some m -> Error m
+  | None, None -> assert false
+
+let poll call =
+  let t = call.c_t in
+  Mutex.lock t.lock;
+  let r =
+    if call.c_w.w_reply = None && call.c_w.w_failed = None then None
+    else Some (finish call)
+  in
+  Mutex.unlock t.lock;
+  r
+
+let cancel call =
+  let t = call.c_t in
+  Mutex.lock t.lock;
+  Hashtbl.remove t.waiters call.c_iid;
+  Mutex.unlock t.lock
+
+let request t lines =
+  match send t lines with
+  | Error _ as e -> e
+  | Ok call ->
+      Mutex.lock t.lock;
+      while call.c_w.w_reply = None && call.c_w.w_failed = None do
+        Condition.wait t.delivered t.lock
+      done;
+      let r = finish call in
+      Mutex.unlock t.lock;
+      r
 
 let inflight t =
   Mutex.lock t.lock;
@@ -234,6 +328,12 @@ let reconnects t =
   let n = t.reconnects in
   Mutex.unlock t.lock;
   n
+
+let disconnect t ~reason =
+  Mutex.lock t.lock;
+  let conn = t.conn in
+  Mutex.unlock t.lock;
+  match conn with Some c -> fail_conn t c reason | None -> ()
 
 let close t =
   Mutex.lock t.lock;

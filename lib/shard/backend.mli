@@ -9,16 +9,37 @@
 
     A dead connection (worker crashed, was respawned, timed out) fails
     every request parked on it with an [Error]; the next request dials
-    again lazily, reaching the respawned worker. *)
+    again lazily, reaching the respawned worker.
+
+    Two request shapes:
+    - {!request} is the blocking send-and-wait used for simple verbs;
+    - {!send} parks a {!type-call} and returns immediately, the caller
+      multiplexing completion through {!poll} plus its own [wake]
+      signal — this is what lets the router race an original against a
+      hedge and {!cancel} the loser.
+
+    Dialing and the wire carry the seeded [net.*] chaos points
+    ({!Sb_serve.Transport.Net_fault}): [net.connect] at dial,
+    [net.conn_drop] and [net.write_partial] around the request write,
+    [net.read_stall] before each reply is delivered. *)
 
 type t
 
 val create : ?read_timeout_s:float -> Sb_serve.Client.target -> t
 (** Lazy: no connection is made until the first {!request}.
     [read_timeout_s] sets [SO_RCVTIMEO] on each connection so a hung
-    worker fails the parked requests instead of wedging the router. *)
+    worker fails the parked requests instead of wedging the router (an
+    {e idle} timed-out connection is recycled without failing
+    anything). *)
 
 val target : t -> Sb_serve.Client.target
+
+val split_id : string -> (string * string * string) option
+(** ["verb id rest"] -> [(verb, id, rest)], where [rest] keeps its
+    leading space (possibly empty: an id at end of line).  [None] when
+    the line has no second token.  [verb ^ " " ^ id ^ rest] is the
+    original line byte-for-byte — the property the router's id rewrite
+    depends on (exposed for the property test). *)
 
 val request : t -> string list -> (string, string) result
 (** [request t lines] sends one request ([lines] are its raw wire
@@ -29,6 +50,28 @@ val request : t -> string list -> (string, string) result
     whether to retry). Thread-safe; any number of threads may have
     requests in flight. *)
 
+type call
+(** An in-flight request parked on the backend. *)
+
+val send : t -> ?wake:(unit -> unit) -> string list -> (call, string) result
+(** Like {!request} but returns as soon as the request is on the wire.
+    [wake] is invoked (from the backend's reader thread, without locks
+    the caller could hold) when the call completes — typically it
+    writes a byte into the caller's wakeup pipe.  [Error] means the
+    request could not even be parked (dial failed, backend closed,
+    malformed line); a {e write} failure after parking still returns
+    [Ok call], with the failure surfaced through {!poll} and [wake]
+    already fired. *)
+
+val poll : call -> (string, string) result option
+(** [None] while in flight.  The first non-[None] poll unparks the
+    call; the result is stable across repeated polls. *)
+
+val cancel : call -> unit
+(** Forget the call: its reply (if one ever arrives) is dropped by id
+    on the reader thread.  Used to discard the loser of a hedge race.
+    Safe after completion; idempotent. *)
+
 val inflight : t -> int
 (** Requests currently awaiting a reply. *)
 
@@ -37,6 +80,11 @@ val connected : t -> bool
 val reconnects : t -> int
 (** Times the backend re-dialed after losing an established
     connection. *)
+
+val disconnect : t -> reason:string -> unit
+(** Sever the current connection (failing requests parked on it) but
+    leave the backend usable — the next request re-dials.  Chaos and
+    test hook; a no-op when not connected. *)
 
 val close : t -> unit
 (** Sever the connection and fail all parked requests.  Further

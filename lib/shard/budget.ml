@@ -1,0 +1,49 @@
+(* Token-bucket retry budget.  See budget.mli. *)
+
+type config = { capacity : float; earn : float; initial : float }
+
+let default_config = { capacity = 100.; earn = 0.1; initial = 10. }
+
+type t = {
+  cfg : config;
+  lock : Mutex.t;
+  mutable tokens : float;
+  mutable exhausted : int;
+  mutable spent : int;
+}
+
+let create ?(config = default_config) () =
+  if config.capacity < 1. then invalid_arg "Budget.create: capacity >= 1";
+  if config.earn < 0. then invalid_arg "Budget.create: earn >= 0";
+  if config.initial < 0. then invalid_arg "Budget.create: initial >= 0";
+  {
+    cfg = config;
+    lock = Mutex.create ();
+    tokens = Float.min config.initial config.capacity;
+    exhausted = 0;
+    spent = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let earn t =
+  locked t (fun () ->
+      t.tokens <- Float.min t.cfg.capacity (t.tokens +. t.cfg.earn))
+
+let try_spend t =
+  locked t (fun () ->
+      if t.tokens >= 1. then begin
+        t.tokens <- t.tokens -. 1.;
+        t.spent <- t.spent + 1;
+        true
+      end
+      else begin
+        t.exhausted <- t.exhausted + 1;
+        false
+      end)
+
+let balance t = locked t (fun () -> t.tokens)
+let exhausted t = locked t (fun () -> t.exhausted)
+let spent t = locked t (fun () -> t.spent)

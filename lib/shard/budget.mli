@@ -1,0 +1,40 @@
+(** Retry budget: a token bucket that bounds how much {e extra} traffic
+    (failover retries, hedges) the router may generate on top of the
+    primary request stream.
+
+    Every primary request {!earn}s a fraction of a token; every retry
+    or hedge {!try_spend}s a whole one.  With the default earn rate of
+    0.1, recovery traffic is capped at ~10% of offered load plus the
+    initial allowance — so a dead shard, a stall, or a crash loop can
+    never turn the router into an amplifier that re-sends the whole
+    stream and tips a degraded fleet into collapse.  A denied spend is
+    counted ({!exhausted}) and surfaced as
+    [sbsched_router_retry_budget_exhausted_total].
+
+    Thread-safe. *)
+
+type config = {
+  capacity : float;  (** bucket cap; earned tokens above it are lost *)
+  earn : float;  (** tokens earned per primary request *)
+  initial : float;  (** starting balance (covers cold-start failovers) *)
+}
+
+val default_config : config
+(** capacity 100, earn 0.1, initial 10. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+val earn : t -> unit
+
+val try_spend : t -> bool
+(** Take one token; [false] (and counted) when the balance is below
+    1. *)
+
+val balance : t -> float
+
+val exhausted : t -> int
+(** Denied {!try_spend}s since creation. *)
+
+val spent : t -> int
+(** Granted {!try_spend}s since creation. *)

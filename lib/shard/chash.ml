@@ -37,14 +37,39 @@ let create ?(vnodes = 64) ~shards () =
 
 let shards t = t.shards
 
-let lookup_point t p =
+(* Index of the first ring point >= p, wrapping to 0 past the end. *)
+let start_index t p =
   let n = Array.length t.points in
-  (* First ring point >= p, wrapping to 0 past the end. *)
   let lo = ref 0 and hi = ref n in
   while !lo < !hi do
     let mid = (!lo + !hi) / 2 in
     if t.points.(mid) < p then lo := mid + 1 else hi := mid
   done;
-  t.owners.(if !lo = n then 0 else !lo)
+  if !lo = n then 0 else !lo
 
+let lookup_point t p = t.owners.(start_index t p)
 let lookup t key = lookup_point t (point_of_string key)
+
+(* The clockwise walk from the key's ring position, keeping the first
+   occurrence of each shard: element 0 is the owner, element 1 the
+   first distinct successor, and so on.  Purely a function of (ring,
+   key), so every router instance agrees on the fallback order — the
+   property failover routing needs for "same key, same fallback". *)
+let successors t key =
+  let n = Array.length t.points in
+  let start = start_index t (point_of_string key) in
+  let seen = Array.make t.shards false in
+  let order = Array.make t.shards (-1) in
+  let found = ref 0 in
+  let i = ref 0 in
+  while !found < t.shards && !i < n do
+    let owner = t.owners.((start + !i) mod n) in
+    if not seen.(owner) then begin
+      seen.(owner) <- true;
+      order.(!found) <- owner;
+      incr found
+    end;
+    incr i
+  done;
+  (* Every shard has >= 1 vnode, so the walk always finds them all. *)
+  order

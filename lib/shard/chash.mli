@@ -18,3 +18,11 @@ val shards : t -> int
 val lookup : t -> string -> int
 (** The shard owning [key]: the key hashes to a ring position and the
     next virtual node clockwise owns it. *)
+
+val successors : t -> string -> int array
+(** All shards in clockwise ring order from [key]'s position, each
+    listed once: element 0 is the owner ([lookup]), element 1 the first
+    distinct successor, and so on.  Deterministic per (ring parameters,
+    key), so independently built routers agree on the failover order —
+    a key re-routed away from an unhealthy owner always lands on the
+    same fallback shard. *)

@@ -1,0 +1,170 @@
+(* Per-shard circuit breaker + latency window.  See health.mli. *)
+
+type state = Healthy | Degraded | Open
+
+type config = {
+  fail_open : int;
+  rate_open : float;
+  window : int;
+  recover : int;
+  probe_interval_s : float;
+  latency_window : int;
+}
+
+let default_config =
+  {
+    fail_open = 3;
+    rate_open = 0.5;
+    window = 16;
+    recover = 2;
+    probe_interval_s = 0.5;
+    latency_window = 128;
+  }
+
+type t = {
+  cfg : config;
+  clock : unit -> float;
+  lock : Mutex.t;
+  mutable st : state;
+  mutable consec_fail : int;
+  mutable consec_ok : int;
+  outcomes : bool array;  (* ring of recent outcomes, true = failure *)
+  mutable outcome_count : int;  (* total recorded, ring index = count mod window *)
+  mutable next_probe_at : float;  (* Open only *)
+  latencies : float array;  (* ring of success latencies, seconds *)
+  mutable latency_count : int;
+  mutable transitions : int;
+}
+
+let create ?(config = default_config) ?(clock = Unix.gettimeofday) () =
+  if config.fail_open < 1 then invalid_arg "Health.create: fail_open >= 1";
+  if config.recover < 1 then invalid_arg "Health.create: recover >= 1";
+  if config.window < 1 then invalid_arg "Health.create: window >= 1";
+  if config.latency_window < 1 then
+    invalid_arg "Health.create: latency_window >= 1";
+  {
+    cfg = config;
+    clock;
+    lock = Mutex.create ();
+    st = Healthy;
+    consec_fail = 0;
+    consec_ok = 0;
+    outcomes = Array.make config.window false;
+    outcome_count = 0;
+    next_probe_at = 0.;
+    latencies = Array.make config.latency_window 0.;
+    latency_count = 0;
+    transitions = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let set t st =
+  if t.st <> st then begin
+    t.st <- st;
+    t.transitions <- t.transitions + 1
+  end
+
+let state t = locked t (fun () -> t.st)
+let routable t = locked t (fun () -> t.st <> Open)
+let transitions t = locked t (fun () -> t.transitions)
+
+let record_outcome t failed =
+  t.outcomes.(t.outcome_count mod t.cfg.window) <- failed;
+  t.outcome_count <- t.outcome_count + 1
+
+(* Caller holds the lock; only meaningful once the window is full, so
+   a couple of early failures don't trip the rate clause. *)
+let window_rate t =
+  if t.outcome_count < t.cfg.window then 0.
+  else
+    let fails = Array.fold_left (fun a f -> if f then a + 1 else a) 0 t.outcomes in
+    float_of_int fails /. float_of_int t.cfg.window
+
+let open_circuit t =
+  set t Open;
+  t.consec_fail <- 0;
+  t.consec_ok <- 0;
+  (* First probe waits a full interval: the failure that opened the
+     circuit is fresh evidence the shard is down. *)
+  t.next_probe_at <- t.clock () +. t.cfg.probe_interval_s;
+  (* The windowed rate must re-earn a full window before it can re-open
+     a circuit that probes just closed. *)
+  Array.fill t.outcomes 0 t.cfg.window false;
+  t.outcome_count <- 0
+
+let on_success t ~latency_s =
+  locked t (fun () ->
+      t.latencies.(t.latency_count mod t.cfg.latency_window) <- latency_s;
+      t.latency_count <- t.latency_count + 1;
+      record_outcome t false;
+      t.consec_fail <- 0;
+      match t.st with
+      | Healthy -> ()
+      | Degraded ->
+          t.consec_ok <- t.consec_ok + 1;
+          if t.consec_ok >= t.cfg.recover then begin
+            set t Healthy;
+            t.consec_ok <- 0
+          end
+      | Open ->
+          (* A straggler reply from before the circuit opened; it is
+             not evidence the shard recovered (probes decide that). *)
+          ())
+
+let on_failure t =
+  locked t (fun () ->
+      record_outcome t true;
+      t.consec_ok <- 0;
+      match t.st with
+      | Open -> ()
+      | Healthy | Degraded ->
+          t.consec_fail <- t.consec_fail + 1;
+          if
+            t.consec_fail >= t.cfg.fail_open
+            || window_rate t >= t.cfg.rate_open
+          then open_circuit t
+          else set t Degraded)
+
+let probe_due t =
+  locked t (fun () ->
+      match t.st with
+      | Healthy | Degraded -> false
+      | Open ->
+          let now = t.clock () in
+          if now >= t.next_probe_at then begin
+            t.next_probe_at <- now +. t.cfg.probe_interval_s;
+            true
+          end
+          else false)
+
+let on_probe t ~ok =
+  locked t (fun () ->
+      match t.st with
+      | Healthy | Degraded -> ()
+      | Open ->
+          if ok then begin
+            set t Degraded;
+            t.consec_fail <- 0;
+            t.consec_ok <- 0
+          end)
+
+let quantile t q =
+  locked t (fun () ->
+      let n = min t.latency_count t.cfg.latency_window in
+      if n = 0 then None
+      else begin
+        let a = Array.sub t.latencies 0 n in
+        Array.sort compare a;
+        let q = Float.max 0. (Float.min 1. q) in
+        Some a.(min (n - 1) (int_of_float (q *. float_of_int n)))
+      end)
+
+let to_gauge = function Healthy -> 2. | Degraded -> 1. | Open -> 0.
+
+let state_to_string = function
+  | Healthy -> "healthy"
+  | Degraded -> "degraded"
+  | Open -> "open"

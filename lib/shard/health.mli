@@ -1,0 +1,89 @@
+(** Per-shard health: a three-state circuit breaker with half-open
+    probes and a latency window for adaptive hedging.
+
+    {v
+      Healthy --failure--> Degraded --failures/error rate--> Open
+      Degraded --[recover] consecutive successes--> Healthy
+      Open --probe ok--> Degraded        Open --probe fails--> Open
+    v}
+
+    [Healthy] and [Degraded] are {e routable}: the router keeps sending
+    a shard its keys (Degraded only signals recent trouble).  [Open]
+    is not: every key owned by an Open shard is re-routed to its ring
+    successor, and the only traffic the shard sees is a cheap [ping]
+    probe every [probe_interval_s] (half-open).  A probe success closes
+    the circuit to [Degraded]; normal successes then promote back to
+    [Healthy].
+
+    The circuit opens on either [fail_open] {e consecutive} failures
+    (connect refusals, read timeouts, severed connections) or a
+    windowed error rate of at least [rate_open] over the last [window]
+    outcomes — the second clause catches a shard that is failing
+    heavily but keeps answering just often enough to reset a
+    consecutive counter.
+
+    Successes also record their latency into a bounded ring, exposed as
+    {!quantile} — the per-shard latency quantile the router's adaptive
+    hedge delay tracks.
+
+    All operations are thread-safe.  Time is injectable ([clock]) so
+    tests drive probe scheduling deterministically. *)
+
+type state = Healthy | Degraded | Open
+
+type config = {
+  fail_open : int;  (** consecutive failures that open the circuit *)
+  rate_open : float;
+      (** error rate over a full [window] that opens it regardless of
+          interleaved successes *)
+  window : int;  (** outcomes considered by [rate_open] *)
+  recover : int;  (** consecutive successes taking Degraded to Healthy *)
+  probe_interval_s : float;  (** Open: delay between half-open probes *)
+  latency_window : int;  (** success latencies kept for {!quantile} *)
+}
+
+val default_config : config
+(** 3 consecutive failures (or 50% of the last 16 outcomes) open; 2
+    successes recover; probes every 0.5 s; 128 latency samples. *)
+
+type t
+
+val create : ?config:config -> ?clock:(unit -> float) -> unit -> t
+(** A fresh breaker in [Healthy].  [clock] defaults to
+    [Unix.gettimeofday]. *)
+
+val state : t -> state
+
+val routable : t -> bool
+(** [state t <> Open]. *)
+
+val on_success : t -> latency_s:float -> unit
+(** A request on this shard completed; records the latency. *)
+
+val on_failure : t -> unit
+(** A request on this shard failed at the transport level (connect
+    refused, read timed out, connection severed, worker draining). *)
+
+val probe_due : t -> bool
+(** True iff the circuit is [Open] and [probe_interval_s] has elapsed
+    since the last probe (or the open transition).  Marks the probe as
+    taken, so concurrent callers get [true] at most once per
+    interval. *)
+
+val on_probe : t -> ok:bool -> unit
+(** Outcome of a half-open probe: [ok:true] closes the circuit to
+    [Degraded]; [ok:false] leaves it [Open] (the next probe waits a
+    full interval). *)
+
+val quantile : t -> float -> float option
+(** [quantile t q] is the [q]-quantile (0..1) of the recorded success
+    latencies in seconds, or [None] before any success. *)
+
+val transitions : t -> int
+(** State changes since creation (monotone; a cheap liveness signal
+    for tests and stats). *)
+
+val to_gauge : state -> float
+(** Prometheus encoding: Healthy = 2, Degraded = 1, Open = 0. *)
+
+val state_to_string : state -> string

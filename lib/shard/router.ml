@@ -7,12 +7,27 @@
    reader (pipelined requests from one client fan out across shards
    concurrently).  Replies are written under the connection's write
    lock; the refcounted close keeps the fd alive until the last
-   outstanding reply went out. *)
+   outstanding reply went out.
+
+   Each forward thread owns a wakeup pipe: Backend completions write a
+   byte into it from the backend's reader thread, and the forward
+   multiplexes its in-flight attempts (the original plus at most one
+   hedge) with a single [Unix.select] on that pipe.  OCaml's stdlib
+   [Condition] has no timed wait, and polling would put a fixed sleep
+   on the ~100µs cache-hit path; the pipe costs only fd setup. *)
 
 module Obs = Sb_obs.Obs
 module Client = Sb_serve.Client
 module Protocol = Sb_serve.Protocol
 module Transport = Sb_serve.Transport
+
+type hedge_config = {
+  enabled : bool;
+  fixed_ms : int option;  (* Some = fixed hedge delay; None = adaptive *)
+  quantile : float;  (* adaptive: per-shard latency quantile tracked *)
+  min_ms : int;
+  max_ms : int;
+}
 
 type config = {
   shards : Client.target array;
@@ -20,6 +35,11 @@ type config = {
   vnodes : int;
   read_timeout_s : float option;
   extra_stats : (unit -> (string * string) list) option;
+  health : Health.config;
+  hedge : hedge_config;
+  budget : Budget.config;
+  max_attempts : int;
+  probe_timeout_s : float;
 }
 
 let default_config =
@@ -29,6 +49,13 @@ let default_config =
     vnodes = 64;
     read_timeout_s = None;
     extra_stats = None;
+    health = Health.default_config;
+    hedge =
+      { enabled = true; fixed_ms = None; quantile = 0.95; min_ms = 5;
+        max_ms = 500 };
+    budget = Budget.default_config;
+    max_attempts = 3;
+    probe_timeout_s = 1.0;
   }
 
 (* Same refcounted-close discipline as Server.conn: the fd lives until
@@ -72,9 +99,15 @@ type t = {
   cfg : config;
   ring : Chash.t;
   backends : Backend.t array;
-  shard_inflight : int Atomic.t array;  (* admission counters *)
+  health : Health.t array;
+  budget : Budget.t;
+  shard_inflight : int Atomic.t array;  (* admission counters, by owner *)
   forwarded : int Atomic.t;
   forward_errors : int Atomic.t;
+  failover : int Atomic.t;  (* requests answered off their owner *)
+  hedged : int Atomic.t;  (* hedge attempts launched *)
+  hedged_wins : int Atomic.t;  (* requests the hedge answered first *)
+  retries : int Atomic.t;  (* budget-charged serial re-attempts *)
   shed_busy : int Atomic.t;
   rejected_shutdown : int Atomic.t;
   protocol_errors : int Atomic.t;
@@ -84,6 +117,7 @@ type t = {
   active : int Atomic.t;  (* forward threads still running *)
   idle_lock : Mutex.t;
   idle_cond : Condition.t;
+  mutable prober : Thread.t option;
   mutable collector : Obs.Metrics.collector option;
 }
 
@@ -112,16 +146,45 @@ let families t =
   let named name samples =
     List.map (fun s -> { s with Obs.Metrics.sample_name = name }) samples
   in
+  let counter name help v =
+    Obs.Metrics.counter_family ~name ~help [ ("", float_of_int v) ]
+  in
   [
-    Obs.Metrics.counter_family ~name:"sbsched_router_forwarded_total"
-      ~help:"Schedule requests forwarded to a shard"
-      [ ("", float_of_int (Atomic.get t.forwarded)) ];
-    Obs.Metrics.counter_family ~name:"sbsched_router_shed_busy_total"
-      ~help:"Schedule requests shed at the router (shard in-flight limit)"
-      [ ("", float_of_int (Atomic.get t.shed_busy)) ];
-    Obs.Metrics.counter_family ~name:"sbsched_router_forward_errors_total"
-      ~help:"Forwards that failed on the shard connection"
-      [ ("", float_of_int (Atomic.get t.forward_errors)) ];
+    counter "sbsched_router_forwarded_total"
+      "Schedule requests forwarded to a shard"
+      (Atomic.get t.forwarded);
+    counter "sbsched_router_shed_busy_total"
+      "Schedule requests shed at the router (shard in-flight limit)"
+      (Atomic.get t.shed_busy);
+    counter "sbsched_router_forward_errors_total"
+      "Forwards that failed on every attempted shard"
+      (Atomic.get t.forward_errors);
+    counter "sbsched_router_failover_total"
+      "Requests answered by a shard other than their ring owner"
+      (Atomic.get t.failover);
+    counter "sbsched_router_hedged_total"
+      "Hedge attempts launched against a ring successor"
+      (Atomic.get t.hedged);
+    counter "sbsched_router_hedged_wins_total"
+      "Hedged requests whose hedge replied first"
+      (Atomic.get t.hedged_wins);
+    counter "sbsched_router_retries_total"
+      "Budget-charged serial re-attempts after a failed forward"
+      (Atomic.get t.retries);
+    counter "sbsched_router_retry_budget_exhausted_total"
+      "Retries or hedges denied because the retry budget was empty"
+      (Budget.exhausted t.budget);
+    gauge_family "sbsched_router_retry_budget_balance"
+      "Tokens left in the retry budget"
+      [
+        { Obs.Metrics.sample_name = "sbsched_router_retry_budget_balance";
+          labels = []; value = Budget.balance t.budget };
+      ];
+    gauge_family "sbsched_shard_health"
+      "Shard circuit state: 2 healthy, 1 degraded, 0 open"
+      (named "sbsched_shard_health"
+         (per_shard t (fun i _ ->
+              Health.to_gauge (Health.state t.health.(i)))));
     gauge_family "sbsched_router_shard_inflight"
       "Requests currently forwarded to each shard"
       (named "sbsched_router_shard_inflight"
@@ -140,11 +203,49 @@ let families t =
     };
   ]
 
+let draining t = Atomic.get t.draining
+
+(* ------------------------------ probing ---------------------------- *)
+
+(* Half-open probes dial a fresh short-lived connection rather than
+   going through the multiplexed backend: the backend conn may be the
+   very thing that is wedged, and a probe must not park behind the
+   requests that opened the circuit. *)
+let probe_shard t i =
+  let ok =
+    match
+      Client.connect_target ~read_timeout_s:t.cfg.probe_timeout_s
+        t.cfg.shards.(i)
+    with
+    | exception _ -> false
+    | c ->
+        Fun.protect
+          ~finally:(fun () -> try Client.close c with _ -> ())
+          (fun () ->
+            try
+              Client.send_ping c ~id:"hp";
+              match Client.read_reply c with
+              | Ok (Protocol.Ok_pong _) -> true
+              | _ -> false
+            with _ -> false)
+  in
+  Health.on_probe t.health.(i) ~ok
+
+let prober_loop t =
+  while not (Atomic.get t.draining) do
+    Array.iteri
+      (fun i h -> if Health.probe_due h then probe_shard t i)
+      t.health;
+    Thread.delay 0.05
+  done
+
 let create ?(config = default_config) () =
   let n = Array.length config.shards in
   if n < 1 then invalid_arg "Router.create: at least one shard target";
   if config.inflight_limit < 1 then
     invalid_arg "Router.create: inflight_limit must be >= 1";
+  if config.max_attempts < 1 then
+    invalid_arg "Router.create: max_attempts must be >= 1";
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
   let t =
@@ -155,9 +256,16 @@ let create ?(config = default_config) () =
         Array.map
           (fun target -> Backend.create ?read_timeout_s:config.read_timeout_s target)
           config.shards;
+      health =
+        Array.init n (fun _ -> Health.create ~config:config.health ());
+      budget = Budget.create ~config:config.budget ();
       shard_inflight = Array.init n (fun _ -> Atomic.make 0);
       forwarded = Atomic.make 0;
       forward_errors = Atomic.make 0;
+      failover = Atomic.make 0;
+      hedged = Atomic.make 0;
+      hedged_wins = Atomic.make 0;
+      retries = Atomic.make 0;
       shed_busy = Atomic.make 0;
       rejected_shutdown = Atomic.make 0;
       protocol_errors = Atomic.make 0;
@@ -167,13 +275,17 @@ let create ?(config = default_config) () =
       active = Atomic.make 0;
       idle_lock = Mutex.create ();
       idle_cond = Condition.create ();
+      prober = None;
       collector = None;
     }
   in
   t.collector <- Some (Obs.Metrics.register_collector (fun () -> families t));
+  t.prober <- Some (Thread.create prober_loop t);
   t
 
-let draining t = Atomic.get t.draining
+let health_state t i = Health.state t.health.(i)
+let health_handle t i = t.health.(i)
+let backend t i = t.backends.(i)
 
 (* ---------------------------- replying ---------------------------- *)
 
@@ -199,6 +311,12 @@ let stats_fields t =
     ("connections", string_of_int (Atomic.get t.connections));
     ("forwarded", string_of_int (Atomic.get t.forwarded));
     ("forward_errors", string_of_int (Atomic.get t.forward_errors));
+    ("failover", string_of_int (Atomic.get t.failover));
+    ("hedged", string_of_int (Atomic.get t.hedged));
+    ("hedged_wins", string_of_int (Atomic.get t.hedged_wins));
+    ("retries", string_of_int (Atomic.get t.retries));
+    ("retry_budget_exhausted", string_of_int (Budget.exhausted t.budget));
+    ("retry_budget_balance", Printf.sprintf "%.1f" (Budget.balance t.budget));
     ("shed.busy", string_of_int (Atomic.get t.shed_busy));
     ("rejected.shutdown", string_of_int (Atomic.get t.rejected_shutdown));
     ("protocol_errors", string_of_int (Atomic.get t.protocol_errors));
@@ -213,6 +331,8 @@ let stats_fields t =
                   string_of_int (Atomic.get t.shard_inflight.(i)) );
                 ( Printf.sprintf "shard.%d.connected" i,
                   if Backend.connected b then "true" else "false" );
+                ( Printf.sprintf "shard.%d.health" i,
+                  Health.state_to_string (Health.state t.health.(i)) );
               ])
             t.backends))
   @ match t.cfg.extra_stats with Some f -> f () | None -> []
@@ -235,26 +355,205 @@ let merged_metrics t =
 
 (* --------------------------- forwarding ---------------------------- *)
 
-let forward t conn ~id ~shard ~lines =
-  let backend = t.backends.(shard) in
-  (match Backend.request backend lines with
-  | Ok raw -> send_raw conn raw
-  | Error msg ->
-      Atomic.incr t.forward_errors;
-      send conn
-        (Protocol.Error_reply
-           {
-             id;
-             code = Protocol.Internal;
-             msg = Printf.sprintf "shard %d: %s" shard msg;
-           }));
-  Atomic.decr t.shard_inflight.(shard);
-  conn_release conn;
-  if Atomic.fetch_and_add t.active (-1) = 1 then begin
-    Mutex.lock t.idle_lock;
-    Condition.broadcast t.idle_cond;
-    Mutex.unlock t.idle_lock
-  end
+let ms_to_s ms = float_of_int ms /. 1000.
+
+let hedge_delay_s t ~shard =
+  let hc = t.cfg.hedge in
+  match hc.fixed_ms with
+  | Some ms -> ms_to_s ms
+  | None ->
+      let d =
+        match Health.quantile t.health.(shard) hc.quantile with
+        | Some q -> q
+        | None -> 0.05  (* no samples yet: hedge after 50 ms *)
+      in
+      Float.max (ms_to_s hc.min_ms) (Float.min (ms_to_s hc.max_ms) d)
+
+(* A draining worker answers every schedule with [error shutdown]; the
+   router treats that as the shard being gone (it is about to be) and
+   fails over instead of bouncing the rejection to the client. *)
+let reply_is_shutdown raw =
+  match Protocol.parse_reply raw with
+  | Ok (Protocol.Error_reply { code = Protocol.Shutdown; _ }) -> true
+  | _ -> false
+
+type attempt = {
+  a_shard : int;
+  a_call : Backend.call;
+  a_start : float;
+  a_hedge : bool;
+}
+
+let rec select_read fd tmo =
+  match Unix.select [ fd ] [] [] tmo with
+  | [ _ ], _, _ -> true
+  | _ -> false
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> select_read fd tmo
+
+(* One admitted schedule request, end to end: route to the first
+   routable shard in the key's deterministic successor order, hedge to
+   the next one when the reply is slow, serially retry on attempt
+   failure, and send exactly one reply line back to the client.  Runs
+   on its own thread. *)
+let forward t conn ~id ~digest ~owner ~deadline_at ~lines =
+  let order = Chash.successors t.ring digest in
+  let tried = Array.make (Array.length t.backends) false in
+  let failover_counted = ref false in
+  let note_route shard =
+    if shard <> owner && not !failover_counted then begin
+      failover_counted := true;
+      Atomic.incr t.failover
+    end
+  in
+  (* Wakeup pipe: completions signal here from backend reader threads.
+     The guard stops a late wake (completion racing a cancel) from
+     writing into a recycled fd after this thread closed the pipe. *)
+  let rp, wp = Unix.pipe ~cloexec:true () in
+  let wake_lock = Mutex.create () in
+  let wake_open = ref true in
+  let wbuf = Bytes.make 1 '!' in
+  let wake () =
+    Mutex.lock wake_lock;
+    if !wake_open then
+      (try ignore (Unix.write wp wbuf 0 1) with Unix.Unix_error _ -> ());
+    Mutex.unlock wake_lock
+  in
+  let next_candidate () =
+    let pick pred =
+      Array.fold_left
+        (fun acc s ->
+          if acc = None && not tried.(s) && pred s then Some s else acc)
+        None order
+    in
+    match pick (fun s -> Health.routable t.health.(s)) with
+    | Some s -> Some s
+    | None -> pick (fun _ -> true)
+  in
+  let launch ~hedge shard =
+    tried.(shard) <- true;
+    note_route shard;
+    match Backend.send t.backends.(shard) ~wake lines with
+    | Ok call ->
+        Ok
+          { a_shard = shard; a_call = call; a_start = Unix.gettimeofday ();
+            a_hedge = hedge }
+    | Error msg ->
+        Health.on_failure t.health.(shard);
+        Error (Printf.sprintf "shard %d: %s" shard msg)
+  in
+  let result = ref None in
+  let last_err = ref "no shard available" in
+  let last_raw = ref None in  (* shard [shutdown] reply, as a fallback *)
+  let attempts = ref 0 in
+  let hedged_this = ref false in
+  let active = ref [] in
+  (* A serial attempt: the primary (uncharged) or a retry (one budget
+     token).  False when attempts, deadline, candidates or budget are
+     exhausted — the caller gives up with [last_err]. *)
+  let start_attempt ~charged =
+    if !attempts >= t.cfg.max_attempts then false
+    else if Unix.gettimeofday () > deadline_at then false
+    else
+      match next_candidate () with
+      | None -> false
+      | Some s ->
+          if charged && not (Budget.try_spend t.budget) then false
+          else begin
+            if charged then Atomic.incr t.retries;
+            incr attempts;
+            (match launch ~hedge:false s with
+            | Ok a -> active := [ a ]
+            | Error m -> last_err := m);
+            true
+          end
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun a -> Backend.cancel a.a_call) !active;
+      Mutex.lock wake_lock;
+      wake_open := false;
+      (try Unix.close wp with Unix.Unix_error _ -> ());
+      Mutex.unlock wake_lock;
+      (try Unix.close rp with Unix.Unix_error _ -> ());
+      Atomic.decr t.shard_inflight.(owner);
+      conn_release conn;
+      if Atomic.fetch_and_add t.active (-1) = 1 then begin
+        Mutex.lock t.idle_lock;
+        Condition.broadcast t.idle_cond;
+        Mutex.unlock t.idle_lock
+      end)
+    (fun () ->
+      ignore (start_attempt ~charged:false);
+      while !result = None do
+        match !active with
+        | [] ->
+            if not (start_attempt ~charged:true) then
+              result := Some (Error !last_err)
+        | attempts_in_flight ->
+            let now = Unix.gettimeofday () in
+            (* Fire the hedge when the single in-flight attempt has
+               outlived the per-shard latency quantile. *)
+            (match attempts_in_flight with
+            | [ a ] when t.cfg.hedge.enabled && not !hedged_this ->
+                let at = a.a_start +. hedge_delay_s t ~shard:a.a_shard in
+                if now >= at then begin
+                  hedged_this := true;
+                  if now <= deadline_at then
+                    match next_candidate () with
+                    | Some s when Budget.try_spend t.budget -> (
+                        Atomic.incr t.hedged;
+                        match launch ~hedge:true s with
+                        | Ok h -> active := !active @ [ h ]
+                        | Error m -> last_err := m)
+                    | _ -> ()
+                end
+            | _ -> ());
+            let tmo =
+              match !active with
+              | [ a ] when t.cfg.hedge.enabled && not !hedged_this ->
+                  Float.max 0.001
+                    (a.a_start +. hedge_delay_s t ~shard:a.a_shard
+                   -. Unix.gettimeofday ())
+              | _ -> -1.  (* nothing timed: sleep until a completion *)
+            in
+            if select_read rp tmo then
+              ignore (Unix.read rp (Bytes.create 16) 0 16);
+            let still = ref [] in
+            List.iter
+              (fun a ->
+                if !result <> None then still := a :: !still
+                else
+                  match Backend.poll a.a_call with
+                  | None -> still := a :: !still
+                  | Some (Ok raw) when reply_is_shutdown raw ->
+                      Health.on_failure t.health.(a.a_shard);
+                      last_err :=
+                        Printf.sprintf "shard %d: draining" a.a_shard;
+                      last_raw := Some raw
+                  | Some (Ok raw) ->
+                      Health.on_success t.health.(a.a_shard)
+                        ~latency_s:(Unix.gettimeofday () -. a.a_start);
+                      if a.a_hedge then Atomic.incr t.hedged_wins;
+                      (* [note_route] already counted the failover when
+                         the attempt launched off-owner. *)
+                      result := Some (Ok raw)
+                  | Some (Error m) ->
+                      Health.on_failure t.health.(a.a_shard);
+                      last_err := Printf.sprintf "shard %d: %s" a.a_shard m)
+              !active;
+            active := List.rev !still
+      done;
+      (* Losers of the race are cancelled in the finally. *)
+      match !result with
+      | Some (Ok raw) -> send_raw conn raw
+      | Some (Error msg) -> (
+          Atomic.incr t.forward_errors;
+          match !last_raw with
+          | Some raw -> send_raw conn raw
+          | None ->
+              send conn
+                (Protocol.Error_reply { id; code = Protocol.Internal; msg }))
+      | None -> assert false)
 
 let handle_request t conn req ~lines =
   match req with
@@ -263,7 +562,7 @@ let handle_request t conn req ~lines =
       send conn (Protocol.Ok_stats { id; fields = stats_fields t })
   | Protocol.Metrics id ->
       send conn (Protocol.Ok_metrics { id; body = merged_metrics t })
-  | Protocol.Schedule { id; sb; _ } ->
+  | Protocol.Schedule { id; options; sb } ->
       if Atomic.get t.draining then begin
         Atomic.incr t.rejected_shutdown;
         send conn
@@ -273,9 +572,11 @@ let handle_request t conn req ~lines =
       else begin
         let digest = Sb_ir.Serde.digest sb in
         let shard = shard_for t digest in
-        (* Per-shard admission: bound what one shard can have parked on
-           it through this router, shedding early instead of queueing
-           unboundedly in the backend's waiter table. *)
+        (* Per-shard admission: bound what one shard's keyspace can have
+           parked through this router, shedding early instead of
+           queueing unboundedly in the backend's waiter table.  The
+           counter is attributed to the ring owner even when health
+           re-routes the attempt. *)
         let n = Atomic.fetch_and_add t.shard_inflight.(shard) 1 in
         if n >= t.cfg.inflight_limit then begin
           Atomic.decr t.shard_inflight.(shard);
@@ -292,10 +593,21 @@ let handle_request t conn req ~lines =
         end
         else begin
           Atomic.incr t.forwarded;
+          (* Primary requests earn retry-budget tokens; retries and
+             hedges spend them. *)
+          Budget.earn t.budget;
+          let deadline_at =
+            match options.Protocol.deadline_ms with
+            | Some ms -> Unix.gettimeofday () +. ms_to_s ms
+            | None -> infinity
+          in
           conn_retain conn;
           Atomic.incr t.active;
           let _ : Thread.t =
-            Thread.create (fun () -> forward t conn ~id ~shard ~lines) ()
+            Thread.create
+              (fun () ->
+                forward t conn ~id ~digest ~owner:shard ~deadline_at ~lines)
+              ()
           in
           ()
         end
@@ -387,6 +699,11 @@ let await t =
     Condition.wait t.idle_cond t.idle_lock
   done;
   Mutex.unlock t.idle_lock;
+  (match t.prober with
+  | Some th ->
+      t.prober <- None;
+      Thread.join th
+  | None -> ());
   Array.iter Backend.close t.backends;
   match t.collector with
   | Some c ->

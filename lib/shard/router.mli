@@ -10,13 +10,42 @@
     comes back the same way: a routed reply is bit-identical to what a
     direct connection to that worker would have produced.
 
+    {2 Resilience}
+
+    Each shard carries a {!Health} circuit breaker fed by its forward
+    outcomes; a half-open prober thread pings [Open] shards on fresh
+    short-lived connections.  Keys owned by an [Open] shard are
+    re-routed along the key's deterministic {!Chash.successors} walk
+    (same key, same fallback — the fallback's cache warms for exactly
+    the keys it inherits), and ownership snaps back on recovery.  A
+    failed attempt (connect refused, conn severed, read timed out,
+    worker draining) retries serially on the next candidate; once the
+    single in-flight attempt outlives the owner's latency quantile (or
+    [hedge.fixed_ms]), the request is hedged to the next distinct live
+    shard and the first reply wins, the loser cancelled by id.  Retries
+    and hedges each spend a {!Budget} token (earned by primary
+    requests), so recovery traffic cannot amplify into a storm; the
+    request's [deadline_ms] gates {e starting} attempts.  Because
+    schedule replies are content-addressed and deterministic, whichever
+    shard answers, the bytes are the same.
+
     Backpressure is two-layered: a shard's own queue-full [busy] reply
     is forwarded verbatim, and the router itself sheds with [busy] when
-    a shard already has [inflight_limit] requests parked on it.
+    a shard's keyspace already has [inflight_limit] requests parked.
 
     [stats] and [ping] are answered by the router; [metrics] fans out
     to every shard and replies with the {!Promerge}-aggregated page
     (router registry + all shard registries). *)
+
+type hedge_config = {
+  enabled : bool;
+  fixed_ms : int option;
+      (** [Some ms]: hedge a fixed [ms] after send; [None]: adaptively
+          after the owner shard's [quantile] latency *)
+  quantile : float;  (** adaptive-delay quantile (default 0.95) *)
+  min_ms : int;  (** clamp for the adaptive delay *)
+  max_ms : int;
+}
 
 type config = {
   shards : Sb_serve.Client.target array;  (** one target per worker *)
@@ -28,26 +57,41 @@ type config = {
   extra_stats : (unit -> (string * string) list) option;
       (** appended to the [stats] reply (the CLI adds supervisor fields:
           worker pids, respawn counts) *)
+  health : Health.config;  (** per-shard circuit breaker *)
+  hedge : hedge_config;
+  budget : Budget.config;  (** retry/hedge token bucket *)
+  max_attempts : int;  (** serial attempts per request, incl. primary *)
+  probe_timeout_s : float;  (** half-open probe connect/read timeout *)
 }
 
 val default_config : config
 (** No shards (must be overridden), in-flight limit 64, 64 vnodes, no
-    read timeout. *)
+    read timeout; default health/budget configs, adaptive hedging at
+    p95 clamped to 5..500 ms, 3 attempts, 1 s probe timeout. *)
 
 type t
 
 val create : ?config:config -> unit -> t
 (** Validates the config ([Invalid_argument] without shards or with a
-    nonpositive limit), builds the ring and one lazy {!Backend} per
-    shard, registers the router's metrics families
-    ([sbsched_router_*], per-shard labelled gauges), and ignores
-    SIGPIPE process-wide. *)
+    nonpositive limit), builds the ring, one lazy {!Backend} and one
+    {!Health} breaker per shard, starts the half-open prober thread,
+    registers the router's metrics families ([sbsched_router_*],
+    [sbsched_shard_health]), and ignores SIGPIPE process-wide. *)
 
 val draining : t -> bool
 val stats_fields : t -> (string * string) list
 
 val shard_for : t -> string -> int
 (** The shard a digest routes to (exposed for tests and ops). *)
+
+val health_state : t -> int -> Health.state
+(** Shard [i]'s circuit state (tests and ops). *)
+
+val health_handle : t -> int -> Health.t
+(** Shard [i]'s breaker, for tests that drive state directly. *)
+
+val backend : t -> int -> Backend.t
+(** Shard [i]'s backend, for tests that sever connections. *)
 
 val serve_channels : ?on_close:(unit -> unit) -> t -> in_channel -> out_channel -> unit
 (** Run one client connection's reader loop until EOF; replies may
@@ -67,5 +111,6 @@ val begin_drain : t -> unit
     with [shutdown]; forwards already in flight still complete. *)
 
 val await : t -> unit
-(** Block until every in-flight forward has been answered, then close
-    the shard connections and unregister the metrics collector. *)
+(** Block until every in-flight forward has been answered, then stop
+    the prober, close the shard connections and unregister the metrics
+    collector. *)

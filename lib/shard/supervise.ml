@@ -5,12 +5,17 @@ type child = {
   mutable pid : int;
   mutable respawns : int;
   mutable alive : bool;
+  mutable deaths : float list;  (* recent death times, newest first *)
+  mutable prev_sleep : float;  (* decorrelated-jitter state *)
 }
 
 type t = {
   lock : Mutex.t;
   spawn : int -> int;
-  respawn_delay_s : float;
+  backoff : float * float;  (* base_s, cap_s *)
+  crashloop_deaths : int;
+  crashloop_window_s : float;
+  rng : Random.State.t;
   children : child array;
   mutable stopping : bool;
   mutable watchers : Thread.t list;
@@ -23,17 +28,43 @@ let rec waitpid_pid pid =
   | _ -> waitpid_pid pid
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> waitpid_pid pid
 
+(* Caller holds the lock. *)
+let prune c ~now ~window = List.filter (fun d -> now -. d <= window) c.deaths
+
+let looping_locked t c ~now =
+  List.length (prune c ~now ~window:t.crashloop_window_s)
+  >= t.crashloop_deaths
+
 let rec watch t c =
   let pid = c.pid in
   let _status = waitpid_pid pid in
+  let now = Unix.gettimeofday () in
   Mutex.lock t.lock;
   c.alive <- false;
+  c.deaths <- now :: prune c ~now ~window:t.crashloop_window_s;
+  (* A worker that outlived the whole window before dying is a fresh
+     failure, not an escalation of the previous one. *)
+  if List.length c.deaths = 1 then c.prev_sleep <- 0.;
+  let base, cap = t.backoff in
+  let delay =
+    if List.length c.deaths >= t.crashloop_deaths then
+      (* Crash-looping: stop escalating and probe at the cap — the slot
+         stays supervised, at a rate that cannot fork-bomb the host. *)
+      cap
+    else begin
+      (* Same decorrelated-jitter shape as Client.session_backoff:
+         sleep uniformly in [base, 3 * previous sleep], capped, so
+         respawns across slots desynchronize instead of re-colliding. *)
+      let hi = Float.max base (c.prev_sleep *. 3.) in
+      let s = Float.min cap (base +. Random.State.float t.rng (hi -. base)) in
+      c.prev_sleep <- s;
+      s
+    end
+  in
   let stopping = t.stopping in
   Mutex.unlock t.lock;
   if not stopping then begin
-    (* Brief pause so a worker that dies instantly (bad config, port
-       taken) doesn't busy-loop the respawner. *)
-    Thread.delay t.respawn_delay_s;
+    Thread.delay delay;
     Mutex.lock t.lock;
     let go = not t.stopping in
     if go then begin
@@ -48,18 +79,28 @@ let rec watch t c =
     else Mutex.unlock t.lock
   end
 
-let start ?(respawn_delay_s = 0.1) ?(on_respawn = fun ~slot:_ ~pid:_ -> ())
-    ~n ~spawn () =
+let start ?(backoff = (0.1, 5.0)) ?(crashloop_deaths = 5)
+    ?(crashloop_window_s = 10.) ?(on_respawn = fun ~slot:_ ~pid:_ -> ()) ~n
+    ~spawn () =
   if n < 1 then invalid_arg "Supervise.start: n must be >= 1";
+  let base, cap = backoff in
+  if base <= 0. || cap < base then
+    invalid_arg "Supervise.start: backoff needs 0 < base <= cap";
+  if crashloop_deaths < 2 then
+    invalid_arg "Supervise.start: crashloop_deaths must be >= 2";
   let children =
     Array.init n (fun slot ->
-        { slot; pid = spawn slot; respawns = 0; alive = true })
+        { slot; pid = spawn slot; respawns = 0; alive = true; deaths = [];
+          prev_sleep = 0. })
   in
   let t =
     {
       lock = Mutex.create ();
       spawn;
-      respawn_delay_s;
+      backoff;
+      crashloop_deaths;
+      crashloop_window_s;
+      rng = Random.State.make [| 0x5e7a; n |];
       children;
       stopping = false;
       watchers = [];
@@ -87,6 +128,26 @@ let alive t =
   Mutex.lock t.lock;
   let n =
     Array.fold_left (fun a c -> if c.alive then a + 1 else a) 0 t.children
+  in
+  Mutex.unlock t.lock;
+  n
+
+let slot_crashlooping t slot =
+  if slot < 0 || slot >= Array.length t.children then
+    invalid_arg "Supervise.slot_crashlooping: bad slot";
+  let now = Unix.gettimeofday () in
+  Mutex.lock t.lock;
+  let r = looping_locked t t.children.(slot) ~now in
+  Mutex.unlock t.lock;
+  r
+
+let crashlooping t =
+  let now = Unix.gettimeofday () in
+  Mutex.lock t.lock;
+  let n =
+    Array.fold_left
+      (fun a c -> if looping_locked t c ~now then a + 1 else a)
+      0 t.children
   in
   Mutex.unlock t.lock;
   n

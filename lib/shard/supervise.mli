@@ -3,16 +3,29 @@
 
     One watcher thread per slot blocks in [waitpid]; when a worker dies
     for any reason (crash, OOM kill, [kill -9]) the slot is respawned
-    after a short delay — the delay keeps a worker that dies instantly
-    (bad flags, socket already bound) from turning the supervisor into
-    a fork bomb.  {!stop} ends supervision: workers get SIGTERM (which
-    [sbsched serve] maps to a graceful drain) and the watchers reap
-    them without respawning. *)
+    after a backoff.  The backoff is capped exponential with
+    decorrelated jitter (the {!Sb_serve.Client} retry shape): sleep
+    uniformly in [[base, 3 × previous sleep]], capped at [cap] —
+    respawns desynchronize across slots, and a worker that survives a
+    full crash-loop window resets its slot back to [base].
+
+    A slot whose worker dies [crashloop_deaths] times within
+    [crashloop_window_s] is {e crash-looping} (bad flags, port taken,
+    corrupt journal): it keeps being respawned, but pinned at the [cap]
+    delay — a probe rate that cannot fork-bomb the host — and is
+    surfaced through {!crashlooping} / {!slot_crashlooping} (the CLI
+    exports the [sbsched_shard_crashloop] gauge from it).
+
+    {!stop} ends supervision: workers get SIGTERM (which [sbsched
+    serve] maps to a graceful drain) and the watchers reap them without
+    respawning. *)
 
 type t
 
 val start :
-  ?respawn_delay_s:float ->
+  ?backoff:float * float ->
+  ?crashloop_deaths:int ->
+  ?crashloop_window_s:float ->
   ?on_respawn:(slot:int -> pid:int -> unit) ->
   n:int ->
   spawn:(int -> int) ->
@@ -20,9 +33,11 @@ val start :
   t
 (** [spawn slot] forks/execs the worker for [slot] and returns its pid;
     it is called once per slot now and again on every respawn (from the
-    slot's watcher thread — it must be thread-safe).  [respawn_delay_s]
-    defaults to 0.1.  [on_respawn] observes each respawn (metrics,
-    logs). *)
+    slot's watcher thread — it must be thread-safe).  [backoff] is
+    [(base_s, cap_s)], default [(0.1, 5.0)]; [crashloop_deaths]
+    (default 5, must be >= 2) deaths within [crashloop_window_s]
+    (default 10) mark a slot crash-looping.  [on_respawn] observes each
+    respawn (metrics, logs). *)
 
 val pids : t -> int array
 (** Current pid per slot (a dead-and-not-yet-respawned slot still
@@ -33,6 +48,13 @@ val respawns : t -> int
 
 val alive : t -> int
 (** Slots whose worker is currently believed alive. *)
+
+val crashlooping : t -> int
+(** Slots currently crash-looping (the flag clears by itself once the
+    worker survives past the window). *)
+
+val slot_crashlooping : t -> int -> bool
+(** One slot's crash-loop flag ([Invalid_argument] on a bad slot). *)
 
 val stop : t -> unit
 (** SIGTERM every live worker, stop respawning, and block until all

@@ -5,4 +5,5 @@ let () =
    @ Test_dyn.suites @ Test_pipeline.suites @ Test_misc.suites @ Test_cfg.suites @ Test_sim.suites @ Test_kwise.suites @ Test_props.suites
    @ Test_parallel.suites @ Test_incremental.suites @ Test_optimal.suites
    @ Test_serve.suites @ Test_shard.suites
-   @ Test_fault.suites @ Test_obs.suites @ Test_layout.suites)
+   @ Test_fault.suites @ Test_obs.suites @ Test_layout.suites
+   @ Test_resilience.suites)

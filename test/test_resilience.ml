@@ -1,0 +1,596 @@
+(* The failure-handling layer of sb_shard: the per-shard circuit
+   breaker, the retry budget, the ring successor walk, the id-rewrite
+   byte-identity property, the backend's net.* chaos points, and
+   in-process end-to-end failover / hedging / drain-race coverage over
+   real servers. *)
+
+open Sb_shard
+module Serde = Sb_ir.Serde
+module Client = Sb_serve.Client
+module Protocol = Sb_serve.Protocol
+module Server = Sb_serve.Server
+module Fault = Sb_fault.Fault
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+let tc name f = Alcotest.test_case name `Quick f
+
+let corpus =
+  lazy (Sb_workload.Corpus.program ~count:8 "gcc").Sb_workload.Corpus.superblocks
+
+let tmp_path name =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "sbres-test-%d-%s" (Unix.getpid ()) name)
+
+(* ------------------------------ health ----------------------------- *)
+
+let test_health_consecutive_open () =
+  let now = ref 0. in
+  let cfg =
+    {
+      Health.default_config with
+      Health.fail_open = 3;
+      recover = 2;
+      probe_interval_s = 0.5;
+    }
+  in
+  let h = Health.create ~config:cfg ~clock:(fun () -> !now) () in
+  check_bool "fresh breaker healthy" true (Health.state h = Health.Healthy);
+  check_bool "fresh breaker routable" true (Health.routable h);
+  Health.on_failure h;
+  Health.on_failure h;
+  check_bool "two failures degrade" true (Health.state h = Health.Degraded);
+  check_bool "degraded still routable" true (Health.routable h);
+  Health.on_failure h;
+  check_bool "third consecutive failure opens" true
+    (Health.state h = Health.Open);
+  check_bool "open is not routable" false (Health.routable h);
+  (* A straggler reply from before the open is not recovery. *)
+  Health.on_success h ~latency_s:0.001;
+  check_bool "straggler success ignored while open" true
+    (Health.state h = Health.Open);
+  (* Probes are paced by the injected clock, one per interval. *)
+  check_bool "no probe before the interval" false (Health.probe_due h);
+  now := 0.6;
+  check_bool "probe due after the interval" true (Health.probe_due h);
+  check_bool "only one probe per interval" false (Health.probe_due h);
+  Health.on_probe h ~ok:false;
+  check_bool "failed probe leaves it open" true (Health.state h = Health.Open);
+  now := 1.3;
+  check_bool "next interval, next probe" true (Health.probe_due h);
+  Health.on_probe h ~ok:true;
+  check_bool "probe success half-closes to degraded" true
+    (Health.state h = Health.Degraded);
+  Health.on_success h ~latency_s:0.001;
+  Health.on_success h ~latency_s:0.001;
+  check_bool "recover successes close to healthy" true
+    (Health.state h = Health.Healthy);
+  check_bool "transitions counted" true (Health.transitions h >= 4)
+
+let test_health_rate_open () =
+  (* fail_open is out of reach; only the windowed rate can trip it —
+     the clause that catches a shard failing heavily but answering just
+     often enough to reset any consecutive counter. *)
+  let cfg =
+    {
+      Health.default_config with
+      Health.fail_open = 100;
+      rate_open = 0.5;
+      window = 4;
+    }
+  in
+  let h = Health.create ~config:cfg () in
+  Health.on_success h ~latency_s:0.001;
+  Health.on_success h ~latency_s:0.001;
+  Health.on_failure h;
+  check_bool "window not full: no rate trip" true
+    (Health.state h <> Health.Open);
+  Health.on_failure h;
+  check_bool "2/4 failures at full window opens" true
+    (Health.state h = Health.Open)
+
+let test_health_quantile () =
+  let h = Health.create () in
+  check_bool "no samples, no quantile" true (Health.quantile h 0.95 = None);
+  for i = 1 to 100 do
+    Health.on_success h ~latency_s:(float_of_int i /. 1000.)
+  done;
+  match Health.quantile h 0.95 with
+  | None -> Alcotest.fail "quantile missing after samples"
+  | Some q ->
+      check_bool "p95 in the upper tail" true (q >= 0.090 && q <= 0.100)
+
+(* ------------------------------ budget ----------------------------- *)
+
+let test_budget_spend_and_earn () =
+  let b =
+    Budget.create
+      ~config:{ Budget.capacity = 5.; earn = 0.5; initial = 2. }
+      ()
+  in
+  check_bool "initial token 1" true (Budget.try_spend b);
+  check_bool "initial token 2" true (Budget.try_spend b);
+  check_bool "empty bucket denies" false (Budget.try_spend b);
+  check_int "denial counted" 1 (Budget.exhausted b);
+  check_int "grants counted" 2 (Budget.spent b);
+  Budget.earn b;
+  check_bool "half a token is not enough" false (Budget.try_spend b);
+  Budget.earn b;
+  check_bool "a whole earned token spends" true (Budget.try_spend b);
+  for _ = 1 to 100 do
+    Budget.earn b
+  done;
+  check_bool "balance capped at capacity" true (Budget.balance b <= 5.)
+
+(* --------------------------- chash successors ----------------------- *)
+
+let test_chash_successors () =
+  let shards = 5 in
+  let ring = Chash.create ~vnodes:64 ~shards () in
+  for k = 0 to 99 do
+    let key = Printf.sprintf "key-%d" k in
+    let s = Chash.successors ring key in
+    check_int "walk covers every shard" shards (Array.length s);
+    let seen = Array.make shards false in
+    Array.iter
+      (fun i ->
+        check_bool "shard index in range" true (i >= 0 && i < shards);
+        check_bool "no shard repeated" false seen.(i);
+        seen.(i) <- true)
+      s;
+    check_int "element 0 is the owner" (Chash.lookup ring key) s.(0);
+    check_bool "walk is deterministic" true (Chash.successors ring key = s)
+  done
+
+(* ------------------------- id-rewrite property ---------------------- *)
+
+(* The router's multiplexer swaps token 2 of a wire line out and back.
+   Whatever the verb, id and payload bytes are — including no payload
+   after the id, and trailing/multiple spaces — the round trip must be
+   byte-identical, because schedule replies are compared bit-for-bit
+   against direct-connection runs. *)
+let prop_split_id_rewrite_roundtrip =
+  QCheck.Test.make
+    ~name:"backend id rewrite round-trips wire lines byte-identically"
+    ~count:500 Test_props.seed_gen (fun seed ->
+      let rng = Random.State.make [| seed; 0x51d |] in
+      let token () =
+        let n = 1 + Random.State.int rng 10 in
+        String.init n (fun _ -> Char.chr (33 + Random.State.int rng 94))
+      in
+      let verb = token () and id = token () in
+      let rest =
+        match Random.State.int rng 5 with
+        | 0 -> ""  (* id at end of line *)
+        | 1 -> " "  (* trailing space, empty payload *)
+        | 2 -> " " ^ token ()
+        | 3 -> " " ^ token () ^ "  " ^ token () ^ " "
+        | _ -> Printf.sprintf " %s %s %s" (token ()) (token ()) (token ())
+      in
+      let line = verb ^ " " ^ id ^ rest in
+      match Backend.split_id line with
+      | None -> false
+      | Some (v, i, r) -> (
+          v = verb && i = id && r = rest
+          && v ^ " " ^ i ^ r = line
+          &&
+          (* Rewrite to an internal id and back, as the backend does on
+             the way out and the way back in. *)
+          let rewritten = v ^ " x42" ^ r in
+          match Backend.split_id rewritten with
+          | Some (v2, i2, r2) -> i2 = "x42" && v2 ^ " " ^ id ^ r2 = line
+          | None -> false))
+
+(* --------------------------- server glue --------------------------- *)
+
+let cache_hook () =
+  let cache = Cache.create ~capacity:256 () in
+  {
+    Server.cached_compute =
+      (fun ~key ~compute ->
+        let v, o = Cache.find_or_compute cache ~key ~compute in
+        ( v,
+          match o with
+          | Cache.Hit -> Server.Cache_hit
+          | Cache.Miss -> Server.Cache_miss
+          | Cache.Waited -> Server.Cache_waited ));
+  }
+
+let start_shard_server ?before_batch () =
+  let config =
+    {
+      Server.default_config with
+      cache = Some (cache_hook ());
+      before_batch;
+    }
+  in
+  let server = Server.create ~config () in
+  let port = Atomic.make 0 in
+  let listener =
+    Thread.create
+      (fun () ->
+        Server.listen_tcp server ~host:"127.0.0.1" ~port:0
+          ~on_listen:(Atomic.set port))
+      ()
+  in
+  let deadline = Unix.gettimeofday () +. 5. in
+  while Atomic.get port = 0 && Unix.gettimeofday () < deadline do
+    Thread.delay 0.01
+  done;
+  check_bool "shard server bound" true (Atomic.get port <> 0);
+  (server, listener, Atomic.get port)
+
+let stop_server (server, listener, _port) =
+  Server.begin_drain server;
+  Server.await server;
+  Thread.join listener
+
+let start_router config =
+  let router = Router.create ~config () in
+  let port = Atomic.make 0 in
+  let listener =
+    Thread.create
+      (fun () ->
+        Router.listen_tcp router ~host:"127.0.0.1" ~port:0
+          ~on_listen:(Atomic.set port))
+      ()
+  in
+  let deadline = Unix.gettimeofday () +. 5. in
+  while Atomic.get port = 0 && Unix.gettimeofday () < deadline do
+    Thread.delay 0.01
+  done;
+  check_bool "router bound" true (Atomic.get port <> 0);
+  (router, listener, Atomic.get port)
+
+let stop_router (router, listener, _port) =
+  Router.begin_drain router;
+  Router.await router;
+  Thread.join listener
+
+let sched_result = function
+  | Ok (Protocol.Ok_schedule { result; _ }) -> result
+  | Ok r -> Alcotest.failf "unexpected reply: %s" (Protocol.render_reply r)
+  | Error m -> Alcotest.failf "request failed: %s" m
+
+let via port sb =
+  let c = Client.connect ~path:(Printf.sprintf "127.0.0.1:%d" port) () in
+  Fun.protect
+    ~finally:(fun () -> Client.close c)
+    (fun () ->
+      sched_result
+        (Client.schedule c ~id:"t" ~heuristic:"balance" ~bounds:true sb))
+
+let stat router key = List.assoc key (Router.stats_fields router)
+let stat_int router key = int_of_string (stat router key)
+
+(* --------------------------- backend chaos -------------------------- *)
+
+let test_backend_net_faults () =
+  let shard = start_shard_server () in
+  let _, _, port = shard in
+  let b = Backend.create (Client.Tcp ("127.0.0.1", port)) in
+  (* Ping exercises the same dial/write/read paths as a forwarded
+     schedule, without needing wire-format plumbing here. *)
+  let req () = Backend.request b [ "ping t" ] in
+  (* Baseline: the backend works. *)
+  (match req () with
+  | Ok raw -> check_string "pong comes back with our id" "ok t kind=pong" raw
+  | Error m -> Alcotest.failf "baseline request failed: %s" m);
+  (* net.connect: the dial is refused.  Sever first so the next request
+     must re-dial through the fault point. *)
+  Backend.disconnect b ~reason:"test";
+  (match Fault.parse "net.connect:raise@1,seed=1" with
+  | Ok p -> Fault.install p
+  | Error e -> Alcotest.fail e);
+  (match req () with
+  | Error m ->
+      check_bool "connect fault surfaces as connect error" true
+        (String.length m >= 13 && String.sub m 0 13 = "shard connect")
+  | Ok _ -> Alcotest.fail "net.connect fault did not fire");
+  Fault.clear ();
+  (* net.read_stall with a severing action: the reply line is read but
+     delivery fails the connection, as a torn read would. *)
+  (match Fault.parse "net.read_stall:raise@1,seed=2" with
+  | Ok p -> Fault.install p
+  | Error e -> Alcotest.fail e);
+  (match req () with
+  | Error m ->
+      check_string "read stall severs the conn" "injected net.read_stall" m
+  | Ok _ -> Alcotest.fail "net.read_stall fault did not fire");
+  Fault.clear ();
+  (* net.conn_drop: the established conn is dropped before the write. *)
+  (match req () with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "recovery request failed: %s" m);
+  (match Fault.parse "net.conn_drop:raise@1,seed=3" with
+  | Ok p -> Fault.install p
+  | Error e -> Alcotest.fail e);
+  (match req () with
+  | Error m -> check_string "conn drop fails the call" "injected net.conn_drop" m
+  | Ok _ -> Alcotest.fail "net.conn_drop fault did not fire");
+  Fault.clear ();
+  (* The backend recovers by re-dialing lazily after each fault. *)
+  (match req () with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "post-chaos request failed: %s" m);
+  check_bool "re-dials counted" true (Backend.reconnects b >= 2);
+  Backend.close b;
+  stop_server shard
+
+(* ------------------------- failover e2e ----------------------------- *)
+
+let test_router_failover_and_recovery () =
+  let live = start_shard_server () in
+  let _, _, lport = live in
+  (* Shard 0 is a Unix socket nobody listens on: every dial fails, the
+     canonical dead-worker shape.  Reviving it later is just starting a
+     server on the path. *)
+  let dead_path = tmp_path "dead.sock" in
+  (try Unix.unlink dead_path with Unix.Unix_error _ -> ());
+  let targets =
+    [| Client.Unix_path dead_path; Client.Tcp ("127.0.0.1", lport) |]
+  in
+  let config =
+    {
+      Router.default_config with
+      Router.shards = targets;
+      inflight_limit = 16;
+      read_timeout_s = Some 10.;
+      hedge = { Router.default_config.Router.hedge with enabled = false };
+      health =
+        {
+          Health.default_config with
+          Health.fail_open = 2;
+          probe_interval_s = 0.05;
+        };
+    }
+  in
+  let ((router, _, rport) as r) = start_router config in
+  let owned0 =
+    List.filter
+      (fun sb -> Router.shard_for router (Serde.digest sb) = 0)
+      (Lazy.force corpus)
+  in
+  check_bool "corpus has blocks owned by the dead shard" true (owned0 <> []);
+  (* Every request owned by the dead shard fails over to the successor
+     and still succeeds, and the fallback's replies are bit-identical
+     to a direct run on the live shard. *)
+  List.iter
+    (fun sb ->
+      let routed = via rport sb in
+      let routed2 = via rport sb in
+      let direct = via lport sb in
+      check_bool "fallback cached the failover key" true
+        (direct.Protocol.cached = Some true);
+      check_bool "same fallback on repeat (deterministic)" true
+        (routed2.Protocol.cached = Some true);
+      check_bool "failover reply bit-identical to direct" true
+        (routed.Protocol.wct = direct.Protocol.wct
+        && routed.Protocol.length = direct.Protocol.length
+        && routed.Protocol.bound = direct.Protocol.bound))
+    owned0;
+  check_bool "failovers counted" true
+    (stat_int router "failover" >= 2 * List.length owned0);
+  check_bool "no request failed" true (stat_int router "forward_errors" = 0);
+  (* Enough dial failures opened the circuit; once open, re-routing is
+     primary routing, not charged retries. *)
+  check_string "dead shard circuit open" "open" (stat router "shard.0.health");
+  let retries_when_open = stat_int router "retries" in
+  ignore (via rport (List.hd owned0));
+  check_int "open-circuit reroute costs no retry" retries_when_open
+    (stat_int router "retries");
+  check_int "budget never exhausted" 0
+    (stat_int router "retry_budget_exhausted");
+  (* Revive shard 0; the half-open prober notices within a few probe
+     intervals and traffic returns to the owner. *)
+  let s0 =
+    Server.create
+      ~config:{ Server.default_config with cache = Some (cache_hook ()) }
+      ()
+  in
+  let l0 = Thread.create (fun () -> Server.listen_unix s0 ~path:dead_path) () in
+  let deadline = Unix.gettimeofday () +. 5. in
+  while
+    Router.health_state router 0 = Health.Open
+    && Unix.gettimeofday () < deadline
+  do
+    Thread.delay 0.02
+  done;
+  check_bool "probe closed the circuit" true
+    (Router.health_state router 0 <> Health.Open);
+  let sb0 = List.hd owned0 in
+  let before = via lport sb0 in
+  let back_home = via rport sb0 in
+  (* The owner's cache is cold, so landing there computes fresh —
+     proof the key went home — with the same bytes as ever. *)
+  check_bool "recovered owner computes fresh" true
+    (back_home.Protocol.cached = Some false);
+  check_bool "post-recovery reply bit-identical" true
+    (back_home.Protocol.wct = before.Protocol.wct
+    && back_home.Protocol.length = before.Protocol.length
+    && back_home.Protocol.bound = before.Protocol.bound);
+  stop_router r;
+  Server.begin_drain s0;
+  Server.await s0;
+  Thread.join l0;
+  stop_server live
+
+(* --------------------------- hedging e2e ---------------------------- *)
+
+let test_router_hedge_beats_stall () =
+  (* Shard 0 stalls 400 ms per request; shard 1 is fast.  With a 30 ms
+     fixed hedge delay, every slow request gets hedged to the successor
+     and the hedge wins — tail control without a single error. *)
+  let slow = start_shard_server ~before_batch:(fun () -> Thread.delay 0.4) () in
+  let fast = start_shard_server () in
+  let _, _, sport = slow and _, _, fport = fast in
+  let targets =
+    [| Client.Tcp ("127.0.0.1", sport); Client.Tcp ("127.0.0.1", fport) |]
+  in
+  let config =
+    {
+      Router.default_config with
+      Router.shards = targets;
+      inflight_limit = 16;
+      read_timeout_s = Some 10.;
+      hedge =
+        {
+          Router.default_config.Router.hedge with
+          enabled = true;
+          fixed_ms = Some 30;
+        };
+    }
+  in
+  let ((router, _, rport) as r) = start_router config in
+  let owned0 =
+    List.filter
+      (fun sb -> Router.shard_for router (Serde.digest sb) = 0)
+      (Lazy.force corpus)
+  in
+  check_bool "corpus has blocks owned by the slow shard" true (owned0 <> []);
+  List.iter
+    (fun sb ->
+      let t0 = Unix.gettimeofday () in
+      let routed = via rport sb in
+      let dt = Unix.gettimeofday () -. t0 in
+      check_bool "hedged request beat the stall" true (dt < 0.35);
+      let direct = via fport sb in
+      check_bool "hedge ran on the fast successor" true
+        (direct.Protocol.cached = Some true);
+      check_bool "hedged reply bit-identical" true
+        (routed.Protocol.wct = direct.Protocol.wct
+        && routed.Protocol.length = direct.Protocol.length
+        && routed.Protocol.bound = direct.Protocol.bound))
+    owned0;
+  check_bool "hedges launched" true
+    (stat_int router "hedged" >= List.length owned0);
+  check_bool "hedges won" true
+    (stat_int router "hedged_wins" >= List.length owned0);
+  check_int "no errors under stall" 0 (stat_int router "forward_errors");
+  stop_router r;
+  stop_server slow;
+  stop_server fast
+
+(* ----------------------- drain/hedge race --------------------------- *)
+
+let test_drain_during_hedge_loses_no_replies () =
+  (* Both shards are slow and every request hedges, so two shards may
+     answer one request while the router begins a SIGTERM-style drain.
+     The refcounted close must hold every reply until it is written:
+     nothing admitted may be lost, nothing may hang. *)
+  let s0 = start_shard_server ~before_batch:(fun () -> Thread.delay 0.2) () in
+  let s1 = start_shard_server ~before_batch:(fun () -> Thread.delay 0.2) () in
+  let _, _, p0 = s0 and _, _, p1 = s1 in
+  let targets =
+    [| Client.Tcp ("127.0.0.1", p0); Client.Tcp ("127.0.0.1", p1) |]
+  in
+  let config =
+    {
+      Router.default_config with
+      Router.shards = targets;
+      inflight_limit = 16;
+      read_timeout_s = Some 10.;
+      hedge =
+        {
+          Router.default_config.Router.hedge with
+          enabled = true;
+          fixed_ms = Some 10;
+        };
+    }
+  in
+  let ((router, _, rport) as r) = start_router config in
+  let sbs = Array.of_list (Lazy.force corpus) in
+  let n = 8 in
+  let outcomes = Array.make n `None in
+  let threads =
+    List.init n (fun i ->
+        Thread.create
+          (fun () ->
+            let c =
+              Client.connect ~path:(Printf.sprintf "127.0.0.1:%d" rport) ()
+            in
+            Fun.protect
+              ~finally:(fun () -> Client.close c)
+              (fun () ->
+                match
+                  Client.schedule c ~id:(string_of_int i) ~bounds:true
+                    sbs.(i mod Array.length sbs)
+                with
+                | Ok (Protocol.Ok_schedule _) -> outcomes.(i) <- `Ok
+                | Ok (Protocol.Error_reply { code = Protocol.Shutdown; _ })
+                  -> outcomes.(i) <- `Shutdown
+                | Ok _ -> outcomes.(i) <- `Other
+                | Error _ -> outcomes.(i) <- `Lost))
+          ())
+  in
+  (* Let the requests get admitted and their hedges launched, then
+     drain mid-flight. *)
+  Thread.delay 0.08;
+  Router.begin_drain router;
+  List.iter Thread.join threads;
+  let count what =
+    Array.to_list outcomes |> List.filter (( = ) what) |> List.length
+  in
+  check_int "every reply arrived" 0 (count `Lost + count `None + count `Other);
+  check_bool "admitted requests completed" true (count `Ok >= 1);
+  Router.await router;
+  let _, rl, _ = r in
+  Thread.join rl;
+  stop_server s0;
+  stop_server s1
+
+(* ------------------------- supervise crashloop ---------------------- *)
+
+let test_supervise_crashloop () =
+  (* A worker that exits immediately: deaths pile up inside the window
+     and the slot must flag as crash-looping (respawns pinned at the
+     backoff cap) instead of fork-bombing. *)
+  let spawn _slot =
+    Unix.create_process "true" [| "true" |] Unix.stdin Unix.stdout Unix.stderr
+  in
+  let sup =
+    Supervise.start ~backoff:(0.005, 0.02) ~crashloop_deaths:3
+      ~crashloop_window_s:10. ~n:1 ~spawn ()
+  in
+  let deadline = Unix.gettimeofday () +. 5. in
+  while
+    (not (Supervise.slot_crashlooping sup 0))
+    && Unix.gettimeofday () < deadline
+  do
+    Thread.delay 0.01
+  done;
+  check_bool "slot flagged as crash-looping" true
+    (Supervise.slot_crashlooping sup 0);
+  check_int "one slot crash-looping" 1 (Supervise.crashlooping sup);
+  check_bool "still being respawned" true (Supervise.respawns sup >= 2);
+  Supervise.stop sup
+
+let suites =
+  [
+    ( "resilience.health",
+      [
+        tc "consecutive failures open; probes half-close"
+          test_health_consecutive_open;
+        tc "windowed error rate opens" test_health_rate_open;
+        tc "latency quantile" test_health_quantile;
+      ] );
+    ( "resilience.budget",
+      [ tc "tokens spend, earn and cap" test_budget_spend_and_earn ] );
+    ( "resilience.chash",
+      [ tc "successor walk deterministic, distinct, complete"
+          test_chash_successors ] );
+    ( "resilience.backend",
+      List.map QCheck_alcotest.to_alcotest [ prop_split_id_rewrite_roundtrip ]
+      @ [ tc "net.* chaos points fire and recover" test_backend_net_faults ] );
+    ( "resilience.router",
+      [
+        tc "failover to successor, return on recovery"
+          test_router_failover_and_recovery;
+        tc "hedge beats a stalled shard" test_router_hedge_beats_stall;
+        tc "drain during hedged flight loses no replies"
+          test_drain_during_hedge_loses_no_replies;
+      ] );
+    ( "resilience.supervise",
+      [ tc "crash-loop detector" test_supervise_crashloop ] );
+  ]

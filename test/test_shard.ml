@@ -316,7 +316,7 @@ let test_supervise_respawns () =
     Unix.create_process "sleep" [| "sleep"; "30" |] Unix.stdin Unix.stdout
       Unix.stderr
   in
-  let sup = Supervise.start ~respawn_delay_s:0.02 ~n:1 ~spawn () in
+  let sup = Supervise.start ~backoff:(0.02, 1.0) ~n:1 ~spawn () in
   let pid0 = (Supervise.pids sup).(0) in
   Unix.kill pid0 Sys.sigkill;
   let deadline = Unix.gettimeofday () +. 5. in
@@ -371,19 +371,19 @@ let start_shard_server ?before_batch () =
   check_bool "shard server bound" true (Atomic.get port <> 0);
   (server, listener, Atomic.get port)
 
-let start_router targets ~inflight_limit =
-  let router =
-    Router.create
-      ~config:
+let start_router ?config targets ~inflight_limit =
+  let config =
+    match config with
+    | Some c -> c
+    | None ->
         {
+          Router.default_config with
           Router.shards = targets;
           inflight_limit;
-          vnodes = 64;
           read_timeout_s = Some 10.;
-          extra_stats = None;
         }
-      ()
   in
+  let router = Router.create ~config () in
   let port = Atomic.make 0 in
   let listener =
     Thread.create
@@ -419,7 +419,20 @@ let test_router_e2e () =
       Client.Tcp ("127.0.0.1", port1);
     |]
   in
-  let router, rlistener, rport = start_router targets ~inflight_limit:16 in
+  (* Hedging off: this test asserts strict cache affinity (the
+     non-owner never sees a key), which a hedge would deliberately
+     violate on a slow first compute. *)
+  let router, rlistener, rport =
+    start_router targets ~inflight_limit:16
+      ~config:
+        {
+          Router.default_config with
+          Router.shards = targets;
+          inflight_limit = 16;
+          read_timeout_s = Some 10.;
+          hedge = { Router.default_config.Router.hedge with enabled = false };
+        }
+  in
   let shard_port i = if i = 0 then port0 else port1 in
   let via port sb =
     let c = Client.connect ~path:(Printf.sprintf "127.0.0.1:%d" port) () in
