@@ -839,13 +839,24 @@ let serve_cmd =
     with_trace trace @@ fun () ->
     let jobs = resolve_jobs jobs in
     let drain_signals = [ Sys.sigint; Sys.sigterm ] in
+    let handled_signals = Sys.sigusr1 :: drain_signals in
     (* Server.begin_drain takes the queue lock, so it must never run in
        signal-handler context (a handler firing inside the queue's
        critical section would self-deadlock).  Instead, block the
        signals before any server thread is spawned — threads inherit
-       the mask — and service them on a dedicated thread below. *)
+       the mask — and service them on a dedicated thread below.
+       SIGUSR1 snapshots the trace rings to disk without stopping the
+       server (the wire [trace-dump] request is the remote twin). *)
     if not stdio then
-      ignore (Thread.sigmask Unix.SIG_BLOCK drain_signals : int list);
+      ignore (Thread.sigmask Unix.SIG_BLOCK handled_signals : int list);
+    let snapshot_path =
+      match trace with
+      | Some p -> p
+      | None ->
+          Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Printf.sprintf "sbsched-trace-%d.json" (Unix.getpid ()))
+    in
     let cache, close_cache =
       make_cache ~capacity:cache_capacity ~journal:cache_journal ~machine
         ~with_tw
@@ -878,13 +889,27 @@ let serve_cmd =
       let _ : Thread.t =
         Thread.create
           (fun () ->
-            ignore (Thread.wait_signal drain_signals : int);
-            Sb_serve.Server.begin_drain server;
-            (* A second signal forces exit instead of waiting for the
-               drain to finish. *)
-            ignore (Thread.wait_signal drain_signals : int);
-            prerr_endline "sbserve: forced shutdown before drain completed";
-            exit 130)
+            let rec loop drained =
+              let s = Thread.wait_signal handled_signals in
+              if s = Sys.sigusr1 then begin
+                Sb_obs.Obs.Trace.write_file snapshot_path;
+                Printf.eprintf "sbserve: wrote trace snapshot %s\n%!"
+                  snapshot_path;
+                loop drained
+              end
+              else if not drained then begin
+                Sb_serve.Server.begin_drain server;
+                (* A second drain signal forces exit instead of waiting
+                   for the drain to finish. *)
+                loop true
+              end
+              else begin
+                prerr_endline
+                  "sbserve: forced shutdown before drain completed";
+                exit 130
+              end
+            in
+            loop false)
           ()
       in
       (try
@@ -978,13 +1003,35 @@ let shard_cmd =
   in
   let run machine jobs shards socket tcp inflight worker_port_base
       worker_cache journal_dir queue_capacity with_tw no_hedge hedge_delay_ms
-      retry_budget probe_interval shard_read_timeout fault =
+      retry_budget probe_interval shard_read_timeout trace trace_sample slo
+      fault =
     install_fault_plan fault;
     let jobs = resolve_jobs jobs in
     if shards < 1 then begin
       Printf.eprintf "error: --shards must be >= 1\n";
       exit 1
     end;
+    if trace_sample < 0. || trace_sample > 1. then begin
+      Printf.eprintf "error: --trace-sample must be in [0, 1]\n";
+      exit 1
+    end;
+    let slo =
+      match slo with
+      | None -> None
+      | Some spec -> (
+          match Sb_obs.Slo.parse spec with
+          | Ok cfg -> Some (Sb_obs.Slo.create cfg)
+          | Error e ->
+              Printf.eprintf "error: --slo: %s\n" e;
+              exit 1)
+    in
+    (* Tracing is on whenever there is a sink for it: a --trace file to
+       merge at exit, or sampling that makes the wire [trace-dump]
+       snapshot meaningful.  Workers get their own tracer via --trace
+       (their at-exit file is scratch; the fleet file is assembled from
+       live [trace-dump] snapshots). *)
+    let tracing = trace <> None || trace_sample > 0. in
+    if tracing then Sb_obs.Obs.Trace.start ();
     (match journal_dir with
     | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
     | _ -> ());
@@ -1016,6 +1063,15 @@ let shard_cmd =
                 Filename.concat dir (Printf.sprintf "shard%d.journal" slot);
               ]
           | None -> [])
+        @ (if tracing then
+             [
+               "--trace";
+               Filename.concat
+                 (Filename.get_temp_dir_name ())
+                 (Printf.sprintf "sbshard-%d-%d.trace.json" (Unix.getpid ())
+                    slot);
+             ]
+           else [])
         @
         match targets.(slot) with
         | Sb_serve.Client.Tcp (h, p) ->
@@ -1110,6 +1166,8 @@ let shard_cmd =
                   (if hedge_delay_ms > 0 then Some hedge_delay_ms else None);
               };
             budget = { base.Sb_shard.Router.budget with earn = retry_budget };
+            trace_sample;
+            slo;
             extra_stats =
               Some
                 (fun () ->
@@ -1156,6 +1214,21 @@ let shard_cmd =
         Printf.eprintf "error: %s\n" msg;
         Sb_shard.Supervise.stop supervisor;
         exit 1);
+    (* The fleet trace is assembled over the still-open shard
+       connections, so collect before [await] closes them. *)
+    (match trace with
+    | Some path ->
+        Sb_obs.Obs.Trace.stop ();
+        let skipped =
+          Sb_shard.Trmerge.write_file path
+            (Sb_shard.Router.trace_pages router)
+        in
+        List.iter
+          (fun label ->
+            Printf.eprintf "sbshard: trace page %s skipped (no dump)\n" label)
+          skipped;
+        Printf.eprintf "sbshard: wrote %s\n%!" path
+    | None -> ());
     Sb_shard.Router.await router;
     Sb_shard.Supervise.stop supervisor;
     Printf.eprintf "sbshard: drained.  Final stats:\n";
@@ -1211,6 +1284,33 @@ let shard_cmd =
                 "Per-shard-connection read timeout; a shard that stops \
                  answering fails its parked forwards (which then fail \
                  over) instead of wedging clients.  0 waits forever.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "trace" ] ~docv:"FILE"
+              ~doc:
+                "At shutdown, write one merged fleet trace to FILE: the \
+                 router's spans plus a live trace-dump snapshot from \
+                 every worker, on named Perfetto lanes (one per \
+                 process).  Implies tracing in the router and workers.")
+      $ Arg.(
+          value & opt float 0.
+          & info [ "trace-sample" ] ~docv:"RATE"
+              ~doc:
+                "Probability of minting a trace id for a schedule \
+                 request that carries none; the worker's queue/sched/\
+                 bound spans and the router's route/hedge spans then \
+                 share the id.  Client-supplied trace= ids always win.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "slo" ] ~docv:"SPEC"
+              ~doc:
+                "Track SLO burn rates over 5m/1h windows and export \
+                 them as sbsched_slo_* gauges in the metrics page.  \
+                 SPEC is comma-separated key:value with keys p99_ms \
+                 (latency target) and err_rate (error budget fraction), \
+                 e.g. 'p99_ms:250,err_rate:0.01'.")
       $ fault_arg)
 
 (* ------------------------------ loadgen ----------------------------- *)
@@ -1287,7 +1387,7 @@ let loadgen_cmd =
              (clamped to the corpus size; 0 = whole corpus).")
   in
   let run socket conns rps duration heuristic bounds deadline_ms attempts
-      read_timeout zipfian keys chaos trace file generate count =
+      read_timeout zipfian keys chaos trace metrics file generate count =
     (* Client-side chaos: the plan drives the [client.*] points
        (connect refusals, dropped connections) inside this loadgen
        process, exercising the retry/reconnect path against a healthy
@@ -1326,7 +1426,14 @@ let loadgen_cmd =
         ?read_timeout_s ?zipf ()
     with
     | report ->
-        print_string (Sb_serve.Client.Loadgen.report_to_string report)
+        print_string (Sb_serve.Client.Loadgen.report_to_string report);
+        (match metrics with
+        | None -> ()
+        | Some path ->
+            let oc = open_out path in
+            output_string oc (Sb_serve.Client.Loadgen.metrics_page report);
+            close_out oc;
+            Printf.eprintf "sbsched: wrote %s\n%!" path)
     | exception Unix.Unix_error (e, _, _) ->
         Printf.eprintf "error: cannot connect to %s: %s\n" socket
           (Unix.error_message e);
@@ -1352,7 +1459,17 @@ let loadgen_cmd =
                  — connects are refused and live connections severed \
                  inside loadgen itself, exercising --retries against a \
                  healthy server (see docs/ROBUSTNESS.md).")
-      $ trace_arg $ file_arg $ generate_arg $ count_arg)
+      $ trace_arg
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "metrics" ] ~docv:"FILE"
+              ~doc:
+                "After the run, write the client-observed latency \
+                 distributions (overall, cache hit/miss split) and \
+                 outcome counters to FILE in Prometheus text exposition \
+                 format (sbsched_loadgen_*).")
+      $ file_arg $ generate_arg $ count_arg)
 
 (* ----------------------------- trace-lint --------------------------- *)
 
@@ -1385,18 +1502,21 @@ let trace_lint_cmd =
         match Sb_obs.Json.member "traceEvents" json with
         | None -> fail "%s: no traceEvents array" path
         | Some (Sb_obs.Json.List events) ->
-            (* Per-lane stacks of open B names; X/i are self-contained. *)
-            let stacks : (int, string list ref) Hashtbl.t =
+            (* Per-(pid, lane) stacks of open B names; X/i are
+               self-contained, M is metadata (no timestamp). *)
+            let stacks : (int * int, string list ref) Hashtbl.t =
               Hashtbl.create 8
             in
-            let stack tid =
-              match Hashtbl.find_opt stacks tid with
+            let stack key =
+              match Hashtbl.find_opt stacks key with
               | Some s -> s
               | None ->
                   let s = ref [] in
-                  Hashtbl.add stacks tid s;
+                  Hashtbl.add stacks key s;
                   s
             in
+            let pids : (int, unit) Hashtbl.t = Hashtbl.create 4 in
+            let named_pids : (int, unit) Hashtbl.t = Hashtbl.create 4 in
             List.iteri
               (fun i ev ->
                 let str k =
@@ -1415,34 +1535,71 @@ let trace_lint_cmd =
                   | _ -> fail "event %d: missing int field %S" i k
                 in
                 let name = str "name" in
-                num "ts";
-                ignore (int "pid" : int);
+                let pid = int "pid" in
                 let tid = int "tid" in
+                (* A [trace=<id>] arg links the event to a distributed
+                   request; a malformed id would break the linkage the
+                   fleet merge exists for. *)
+                (match Sb_obs.Json.member "args" ev with
+                | Some args -> (
+                    match Sb_obs.Json.member "trace" args with
+                    | Some (Sb_obs.Json.String t) ->
+                        if not (Sb_serve.Protocol.is_hex_id t) then
+                          fail "event %d: malformed trace id %S" i t
+                    | Some _ -> fail "event %d: trace arg is not a string" i
+                    | None -> ())
+                | None -> ());
                 match str "ph" with
-                | "B" -> (
-                    let s = stack tid in
-                    s := name :: !s)
-                | "E" -> (
-                    let s = stack tid in
-                    match !s with
-                    | top :: rest ->
-                        if top <> name then
-                          fail
-                            "event %d: lane %d closes %S but %S is open" i
-                            tid name top;
-                        s := rest
-                    | [] -> fail "event %d: lane %d closes %S with no open span" i tid name)
-                | "X" -> num "dur"
-                | "i" -> ()
-                | ph -> fail "event %d: unknown phase %S" i ph)
+                | "M" ->
+                    if name = "process_name" then
+                      Hashtbl.replace named_pids pid ()
+                | ph -> (
+                    Hashtbl.replace pids pid ();
+                    num "ts";
+                    match ph with
+                    | "B" -> (
+                        let s = stack (pid, tid) in
+                        s := name :: !s)
+                    | "E" -> (
+                        let s = stack (pid, tid) in
+                        match !s with
+                        | top :: rest ->
+                            if top <> name then
+                              fail
+                                "event %d: lane %d closes %S but %S is open"
+                                i tid name top;
+                            s := rest
+                        | [] ->
+                            fail
+                              "event %d: lane %d closes %S with no open span"
+                              i tid name)
+                    | "X" -> (
+                        match Sb_obs.Json.member "dur" ev with
+                        | Some (Sb_obs.Json.Int d) ->
+                            if d < 0 then
+                              fail "event %d: negative dur %d" i d
+                        | Some (Sb_obs.Json.Float d) ->
+                            if d < 0. then
+                              fail "event %d: negative dur %g" i d
+                        | _ -> fail "event %d: X event without dur" i)
+                    | "i" -> ()
+                    | ph -> fail "event %d: unknown phase %S" i ph))
               events;
             Hashtbl.iter
-              (fun tid s ->
+              (fun (_, tid) s ->
                 match !s with
                 | [] -> ()
                 | top :: _ ->
                     fail "lane %d ends with unclosed span %S" tid top)
               stacks;
+            (* A multi-process (fleet) trace must name its lanes, or
+               Perfetto shows indistinguishable pid numbers. *)
+            if Hashtbl.length pids > 1 then
+              Hashtbl.iter
+                (fun pid () ->
+                  if not (Hashtbl.mem named_pids pid) then
+                    fail "pid %d has no process_name metadata" pid)
+                pids;
             Printf.printf "ok: %d events, %d lanes\n" (List.length events)
               (Hashtbl.length stacks)
         | Some _ -> fail "%s: traceEvents is not an array" path)
@@ -1451,6 +1608,97 @@ let trace_lint_cmd =
     (Cmd.info "trace-lint"
        ~doc:"Strictly validate a --trace file (JSON and span balance)")
     Term.(const run $ trace_file_arg)
+
+(* -------------------------------- top ------------------------------- *)
+
+(* A live terminal dashboard over periodic [metrics] scrapes.  All the
+   computation (page parsing, counter deltas, histogram-delta
+   percentiles, frame rendering) lives in Sb_shard.Top where it is unit
+   tested; this command owns only the scrape loop and the screen. *)
+let top_cmd =
+  let connect_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"TARGET"
+          ~doc:
+            "Server or router to watch: HOST:PORT, or a Unix socket \
+             path.  Pointed at a router, the per-shard health table and \
+             hedge/failover rates light up; pointed at a single server, \
+             they stay dashed.")
+  in
+  let interval_arg =
+    Arg.(
+      value & opt float 2.
+      & info [ "interval" ] ~docv:"SEC" ~doc:"Seconds between scrapes.")
+  in
+  let frames_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "frames" ] ~docv:"N"
+          ~doc:"Stop after N frames (0 = run until interrupted).")
+  in
+  let no_clear_arg =
+    Arg.(
+      value & flag
+      & info [ "no-clear" ]
+          ~doc:
+            "Append frames instead of redrawing in place (for logs and \
+             non-ANSI terminals).")
+  in
+  let run target_str interval frames no_clear =
+    if interval <= 0. then begin
+      Printf.eprintf "error: --interval must be > 0\n";
+      exit 1
+    end;
+    let target = Sb_serve.Client.target_of_string target_str in
+    (* One short-lived connection per scrape: the dashboard must keep
+       working across server restarts, and a stale connection would
+       turn every frame after a restart into an error. *)
+    let scrape () =
+      match Sb_serve.Client.connect_target ~read_timeout_s:5. target with
+      | exception Unix.Unix_error (e, _, _) ->
+          Error (Unix.error_message e)
+      | exception Failure msg -> Error msg
+      | c ->
+          Fun.protect
+            ~finally:(fun () -> try Sb_serve.Client.close c with _ -> ())
+            (fun () ->
+              Sb_serve.Client.send_metrics c ~id:"top";
+              match Sb_serve.Client.read_reply c with
+              | Ok (Sb_serve.Protocol.Ok_metrics { body; _ }) -> Ok body
+              | Ok _ -> Error "unexpected reply to metrics"
+              | Error msg -> Error msg
+              | exception _ -> Error "read failed")
+    in
+    let prev = ref None in
+    let frame = ref 0 in
+    let continue () = frames = 0 || !frame < frames in
+    while continue () do
+      incr frame;
+      (match scrape () with
+      | Error e -> Printf.printf "sbsched top: scrape failed: %s\n%!" e
+      | Ok page ->
+          let ts = Int64.to_float (Sb_obs.Obs.now_ns ()) /. 1e9 in
+          let cur = Sb_shard.Top.snapshot ~ts ~page in
+          let out =
+            Sb_shard.Top.render ?prev:!prev ~target:target_str
+              ~frame:!frame cur
+          in
+          if not no_clear then print_string "\027[2J\027[H";
+          print_string out;
+          flush stdout;
+          prev := Some cur);
+      if continue () then Thread.delay interval
+    done
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live telemetry dashboard over a running serve or shard \
+          instance (rates, latency percentiles by cache outcome, shard \
+          health, SLO burn)")
+    Term.(const run $ connect_arg $ interval_arg $ frames_arg $ no_clear_arg)
 
 let () =
   let info =
@@ -1463,4 +1711,5 @@ let () =
           [
             schedule_cmd; bounds_cmd; simulate_cmd; corpus_cmd; form_cmd;
             experiments_cmd; serve_cmd; shard_cmd; loadgen_cmd; trace_lint_cmd;
+            top_cmd;
           ]))

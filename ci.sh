@@ -251,4 +251,84 @@ if ! grep -q '^sbshard: drained' "$chlog"; then
 fi
 echo "chaos absorbed: errors=0 failover=$failover hedged=$hedged; router drained cleanly"
 
+echo "== telemetry: per-request timing breakdown over stdio =="
+# A request carrying trace= must come back with the queue/sched/bound
+# split; the same request without trace= must not grow the field.
+out=$(printf 'schedule t1 bounds=true trace=ab54a98ceb1f0ad2\nsuperblock smoke freq=1\nop 0 add\nop 1 br prob=1\nedge 0 1\nend\nschedule t2 bounds=true\nsuperblock smoke freq=1\nop 0 add\nop 1 br prob=1\nedge 0 1\nend\n' \
+  | "$SB" serve --stdio --trace "$tmpd/stdio-trace.json")
+echo "$out"
+if ! echo "$out" | grep -q '^ok t1 .*timing=queue:[0-9]*,sched:[0-9]*,bound:[0-9]*'; then
+  echo "ci.sh: FAIL — traced reply carries no parseable timing= breakdown" >&2
+  exit 1
+fi
+if echo "$out" | grep '^ok t2 ' | grep -q 'timing='; then
+  echo "ci.sh: FAIL — untraced reply grew a timing= field" >&2
+  exit 1
+fi
+"$SB" trace-lint "$tmpd/stdio-trace.json"
+echo "timing breakdown present iff the request was traced"
+
+echo "== telemetry: sampled 2-shard fleet — merged trace, SLO gauges, top, loadgen metrics =="
+tlog="$tmpd/telemetry.log"
+"$SB" shard -m FS4 --shards 2 --tcp 127.0.0.1:0 --cache 1024 \
+  --trace "$tmpd/fleet.json" --trace-sample 1.0 \
+  --slo p99_ms:2000,err_rate:0.05 > "$tlog" 2>&1 &
+router=$!
+i=0
+while ! grep -q '^sbshard: routing on ' "$tlog" && [ "$i" -lt 100 ]; do
+  sleep 0.1; i=$((i+1))
+done
+port=$(sed -n 's/^sbshard: routing on 127\.0\.0\.1:\([0-9]*\) .*/\1/p' "$tlog")
+if [ -z "$port" ]; then
+  echo "ci.sh: FAIL — telemetry router never reported its TCP port" >&2
+  cat "$tlog" >&2
+  exit 1
+fi
+out=$("$SB" loadgen --socket "127.0.0.1:$port" --generate gcc -n 8 \
+  --conns 2 --duration 2 --metrics "$tmpd/loadgen.prom")
+echo "$out" | grep 'sent='
+errors=$(echo "$out" | grep 'sent=' | sed 's/.*errors=\([0-9]*\).*/\1/')
+if [ "$errors" -ne 0 ]; then
+  echo "ci.sh: FAIL — telemetry loadgen pass saw errors=$errors" >&2
+  exit 1
+fi
+# The dashboard scrapes the router's merged metrics page: the SLO
+# section only renders when the sbsched_slo_* gauges are in the page,
+# and the per-shard table only when the shard="n"-labelled gauges are.
+"$SB" top --connect "127.0.0.1:$port" --interval 0.3 --frames 2 \
+  --no-clear > "$tmpd/top.out"
+for needle in 'sbsched top' 'latency-burn' 'shard  health'; do
+  if ! grep -q "$needle" "$tmpd/top.out"; then
+    echo "ci.sh: FAIL — top frame is missing '$needle'" >&2
+    cat "$tmpd/top.out" >&2
+    exit 1
+  fi
+done
+kill -TERM "$router" 2>/dev/null || true
+wait "$router" 2>/dev/null || true
+if ! grep -q '^sbshard: drained' "$tlog"; then
+  echo "ci.sh: FAIL — telemetry router did not drain cleanly" >&2
+  cat "$tlog" >&2
+  exit 1
+fi
+# The merged fleet trace written on drain: strict lint (which now also
+# demands process_name lanes for multi-process traces and well-formed
+# trace-id tags), router and worker spans present, linked by trace=.
+"$SB" trace-lint "$tmpd/fleet.json"
+for needle in '"router.route"' '"router.attempt"' '"serve.sched"' \
+              '"trace":"' '"process_name"'; do
+  if ! grep -q "$needle" "$tmpd/fleet.json"; then
+    echo "ci.sh: FAIL — merged fleet trace is missing $needle" >&2
+    exit 1
+  fi
+done
+# The client-side Prometheus page from loadgen --metrics.
+for fam in sbsched_loadgen_requests_total sbsched_loadgen_latency_us_bucket; do
+  if ! grep -q "$fam" "$tmpd/loadgen.prom"; then
+    echo "ci.sh: FAIL — loadgen metrics page is missing $fam" >&2
+    exit 1
+  fi
+done
+echo "fleet trace lints with linked router+worker spans; SLO gauges live; loadgen metrics written"
+
 echo "ci.sh: all checks passed"

@@ -51,12 +51,26 @@ let lane_of_self () = (Domain.self () :> int)
 
 let ns () = Int64.to_int (now_ns ())
 
+(* Current trace id for the calling domain.  Only consulted on the
+   enabled path (after the [tracing] check), so a set context costs a
+   disabled site nothing — the zero-alloc test pins this.  Per-domain
+   because workers serve one request per domain at a time; code where
+   sys-threads of one domain serve different requests concurrently (the
+   router's forward threads) must pass trace args explicitly instead. *)
+let context_key : string option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let tag_args args =
+  match !(Domain.DLS.get context_key) with
+  | None -> args
+  | Some tid -> ("trace", tid) :: args
+
 module Span = struct
   let begin_ name =
     if Atomic.get tracing then
       emit
         { ev_name = name; ph = 'B'; ts = ns (); dur = 0;
-          lane = lane_of_self (); args = [] }
+          lane = lane_of_self (); args = tag_args [] }
 
   let end_ name =
     if Atomic.get tracing then
@@ -68,7 +82,7 @@ module Span = struct
     if Atomic.get tracing then
       emit
         { ev_name = name; ph = 'i'; ts = ns (); dur = 0;
-          lane = lane_of_self (); args }
+          lane = lane_of_self (); args = tag_args args }
 
   let with_ name f =
     if not (Atomic.get tracing) then f ()
@@ -87,6 +101,15 @@ end
 
 module Trace = struct
   let enabled () = Atomic.get tracing
+
+  let set_context tid = Domain.DLS.get context_key := tid
+  let context () = !(Domain.DLS.get context_key)
+
+  let with_context tid f =
+    let r = Domain.DLS.get context_key in
+    let old = !r in
+    r := tid;
+    Fun.protect ~finally:(fun () -> r := old) f
 
   let round_pow2 c =
     let rec go p = if p >= c then p else go (p * 2) in
@@ -123,7 +146,7 @@ module Trace = struct
           ts = Int64.to_int start_ns;
           dur = Int64.to_int dur_ns;
           lane = (match lane with Some l -> l | None -> lane_of_self ());
-          args;
+          args = tag_args args;
         }
 
   let emitted () =
@@ -236,6 +259,11 @@ module Trace = struct
         ("traceEvents", Json.List (List.map ev_to_json evs));
         ("displayTimeUnit", Json.String "ns");
       ]
+
+  let export_string () =
+    let buf = Buffer.create 4096 in
+    Json.to_buffer buf (export ());
+    Buffer.contents buf
 
   let write_file path =
     let oc = open_out path in
@@ -558,13 +586,7 @@ module Metrics = struct
     Buffer.add_string buf (render_value s.value);
     Buffer.add_char buf '\n'
 
-  let prometheus () =
-    let colls = Mutex.protect registry_lock (fun () -> !collectors) in
-    let fams =
-      builtin_families ()
-      @ trace_families ()
-      @ List.concat_map (fun c -> c.run ()) colls
-    in
+  let render_families fams =
     let fams =
       List.stable_sort
         (fun a b -> compare a.family_name b.family_name)
@@ -592,4 +614,11 @@ module Metrics = struct
     in
     go fams;
     Buffer.contents buf
+
+  let prometheus () =
+    let colls = Mutex.protect registry_lock (fun () -> !collectors) in
+    render_families
+      (builtin_families ()
+      @ trace_families ()
+      @ List.concat_map (fun c -> c.run ()) colls)
 end

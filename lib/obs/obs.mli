@@ -35,6 +35,30 @@ end
 module Trace : sig
   val enabled : unit -> bool
 
+  (** {2 Trace context}
+
+      A per-domain current trace id.  While set (and the tracer is
+      enabled), every [B]/[i]/[X] event emitted from that domain carries
+      a [trace=<id>] arg, linking it to the distributed request it was
+      serving.  The context is only consulted {e after} the enabled
+      check, so instrumentation sites still cost one atomic load (and
+      allocate nothing) while tracing is off, context set or not.
+
+      Per-domain, not per-thread: correct where one domain serves one
+      request at a time (the server's worker domain).  Code whose
+      sys-threads serve different requests concurrently on one domain
+      (the router's forward threads) must pass explicit [~args] with the
+      trace id instead. *)
+
+  val set_context : string option -> unit
+  (** Set (or with [None] clear) the calling domain's trace id. *)
+
+  val context : unit -> string option
+
+  val with_context : string option -> (unit -> 'a) -> 'a
+  (** Run the thunk with the context set, restoring the previous context
+      afterwards (also on raise). *)
+
   val start : ?capacity:int -> unit -> unit
   (** Enable tracing.  [capacity] (default 65536, rounded up to a power
       of two) sizes each per-domain ring; once a ring wraps, the oldest
@@ -75,6 +99,11 @@ module Trace : sig
       lane, unmatched end events are dropped and unclosed begin events
       are closed at the latest timestamp, so begin/end pairs always
       balance even after ring overwrites. *)
+
+  val export_string : unit -> string
+  (** [export] rendered to a string (no trailing newline) — the body of
+      a [trace-dump] wire reply, letting a fleet snapshot a worker's
+      rings without restarting it. *)
 
   val write_file : string -> unit
   (** [export] rendered to a file. *)
@@ -157,6 +186,12 @@ module Metrics : sig
       time.  It must not raise. *)
 
   val unregister_collector : collector -> unit
+
+  val render_families : family list -> string
+  (** Render families in Prometheus text exposition format, sorted by
+      name (same-named families are merged under one header) — the
+      renderer behind {!prometheus}, usable for standalone pages (the
+      loadgen client's [--metrics] export). *)
 
   val prometheus : unit -> string
   (** All registered metrics and collector families in Prometheus text

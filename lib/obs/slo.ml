@@ -1,0 +1,177 @@
+(* Multi-window SLO burn-rate tracking over 10-second buckets.
+
+   A classic burn-rate alert compares the fraction of the error budget
+   spent over a short and a long window (Google SRE workbook ch. 5); we
+   export the two rates as gauges and leave thresholding to the scrape
+   side.  The ring holds one hour of 10 s buckets; the 5 m window is the
+   most recent 30 of them.  Buckets are lazily recycled by stamping each
+   with its epoch (now / 10s), so an idle tracker costs nothing. *)
+
+type config = { p99_ms : int option; err_rate : float option }
+
+let parse s =
+  let parse_field acc field =
+    match acc with
+    | Error _ -> acc
+    | Ok cfg -> (
+        match String.index_opt field ':' with
+        | None -> Error (Printf.sprintf "slo: %S is not key:value" field)
+        | Some i -> (
+            let k = String.sub field 0 i in
+            let v = String.sub field (i + 1) (String.length field - i - 1) in
+            match k with
+            | "p99_ms" -> (
+                match int_of_string_opt v with
+                | Some n when n > 0 -> Ok { cfg with p99_ms = Some n }
+                | _ -> Error (Printf.sprintf "slo: bad p99_ms %S" v))
+            | "err_rate" -> (
+                match float_of_string_opt v with
+                | Some r when r > 0. && r <= 1. ->
+                    Ok { cfg with err_rate = Some r }
+                | _ -> Error (Printf.sprintf "slo: bad err_rate %S" v))
+            | _ -> Error (Printf.sprintf "slo: unknown key %S" k)))
+  in
+  match String.split_on_char ',' (String.trim s) with
+  | [ "" ] -> Error "slo: empty spec"
+  | fields -> (
+      match
+        List.fold_left parse_field
+          (Ok { p99_ms = None; err_rate = None })
+          fields
+      with
+      | Ok { p99_ms = None; err_rate = None } ->
+          Error "slo: spec sets neither p99_ms nor err_rate"
+      | r -> r)
+
+let bucket_s = 10.
+let n_buckets = 360 (* one hour *)
+let buckets_5m = 30
+
+type bucket = {
+  mutable epoch : int;
+  mutable total : int;
+  mutable slow : int;
+  mutable err : int;
+}
+
+type t = {
+  cfg : config;
+  now : unit -> float;
+  ring : bucket array;
+  lock : Mutex.t;
+}
+
+let create ?now cfg =
+  let now =
+    match now with
+    | Some f -> f
+    | None -> fun () -> Int64.to_float (Obs.now_ns ()) /. 1e9
+  in
+  {
+    cfg;
+    now;
+    ring = Array.init n_buckets (fun _ ->
+        { epoch = min_int; total = 0; slow = 0; err = 0 });
+    lock = Mutex.create ();
+  }
+
+let config t = t.cfg
+
+let current_epoch t = int_of_float (t.now () /. bucket_s)
+
+let bucket_at t epoch =
+  let b = t.ring.(((epoch mod n_buckets) + n_buckets) mod n_buckets) in
+  if b.epoch <> epoch then begin
+    b.epoch <- epoch;
+    b.total <- 0;
+    b.slow <- 0;
+    b.err <- 0
+  end;
+  b
+
+let observe t ~latency_us ~ok =
+  Mutex.protect t.lock (fun () ->
+      let b = bucket_at t (current_epoch t) in
+      b.total <- b.total + 1;
+      (match t.cfg.p99_ms with
+      | Some ms when latency_us > ms * 1000 -> b.slow <- b.slow + 1
+      | _ -> ());
+      if not ok then b.err <- b.err + 1)
+
+type window = { total : int; slow : int; err : int }
+
+let window_of t n =
+  let cur = current_epoch t in
+  let acc = ref { total = 0; slow = 0; err = 0 } in
+  Array.iter
+    (fun b ->
+      if b.epoch > cur - n && b.epoch <= cur then
+        acc :=
+          {
+            total = !acc.total + b.total;
+            slow = !acc.slow + b.slow;
+            err = !acc.err + b.err;
+          })
+    t.ring;
+  !acc
+
+let window_5m t = Mutex.protect t.lock (fun () -> window_of t buckets_5m)
+let window_1h t = Mutex.protect t.lock (fun () -> window_of t n_buckets)
+
+(* Budget-spend rate: 1.0 = burning exactly the budget (the SLO is on
+   the edge); >1 = burning faster than allowed.  The latency budget is
+   the 1% of requests allowed over the p99 target. *)
+let burn bad total budget =
+  if total = 0 then 0. else float_of_int bad /. float_of_int total /. budget
+
+let families t =
+  let open Obs.Metrics in
+  let w5, w1h = (window_5m t, window_1h t) in
+  let gauge_family ~name ~help samples =
+    { family_name = name; family_type = `Gauge; family_help = help; samples }
+  in
+  let windowed ~name ~help f =
+    gauge_family ~name ~help
+      [
+        { sample_name = name; labels = [ ("window", "5m") ]; value = f w5 };
+        { sample_name = name; labels = [ ("window", "1h") ]; value = f w1h };
+      ]
+  in
+  let lat =
+    match t.cfg.p99_ms with
+    | None -> []
+    | Some ms ->
+        [
+          windowed ~name:"sbsched_slo_latency_burn_rate"
+            ~help:
+              "Rate the 1% over-p99-target budget is being spent (1 = on \
+               the edge)"
+            (fun w -> burn w.slow w.total 0.01);
+          gauge_family ~name:"sbsched_slo_target_p99_ms"
+            ~help:"Configured p99 latency target"
+            [
+              { sample_name = "sbsched_slo_target_p99_ms"; labels = [];
+                value = float_of_int ms };
+            ];
+        ]
+  in
+  let err =
+    match t.cfg.err_rate with
+    | None -> []
+    | Some r ->
+        [
+          windowed ~name:"sbsched_slo_err_burn_rate"
+            ~help:"Rate the error-rate budget is being spent (1 = on the edge)"
+            (fun w -> burn w.err w.total r);
+          gauge_family ~name:"sbsched_slo_target_err_rate"
+            ~help:"Configured error-rate budget"
+            [
+              { sample_name = "sbsched_slo_target_err_rate"; labels = [];
+                value = r };
+            ];
+        ]
+  in
+  windowed ~name:"sbsched_slo_requests"
+    ~help:"Requests observed by the SLO tracker" (fun w ->
+      float_of_int w.total)
+  :: (lat @ err)

@@ -1,0 +1,43 @@
+(** Multi-window SLO burn-rate tracking.
+
+    Feed it one [observe] per completed request; it buckets outcomes
+    into 10-second slots and exports [sbsched_slo_*] burn-rate gauges
+    over the standard 5-minute and 1-hour windows.  A burn rate of 1
+    means the error budget is being spent exactly as fast as the SLO
+    allows; >1 means the SLO will be violated if the rate holds.
+    Thread-safe (one mutex per tracker; observers are request-rate, not
+    hot-path). *)
+
+type t
+
+type config = {
+  p99_ms : int option;  (** latency target: 99% of requests under this *)
+  err_rate : float option;  (** error budget as a fraction, e.g. [0.01] *)
+}
+
+val parse : string -> (config, string) result
+(** Parse a [--slo] spec: comma-separated [key:value] with keys
+    [p99_ms] (positive int) and [err_rate] (float in (0, 1]).  At least
+    one key is required.  Example: ["p99_ms:250,err_rate:0.01"]. *)
+
+val create : ?now:(unit -> float) -> config -> t
+(** [now] (seconds, monotonic by default) is injectable for tests. *)
+
+val config : t -> config
+
+val observe : t -> latency_us:int -> ok:bool -> unit
+(** Record one completed request: its end-to-end latency and whether it
+    succeeded ([ok = false] spends the error budget; a latency over the
+    target spends the latency budget). *)
+
+type window = { total : int; slow : int; err : int }
+
+val window_5m : t -> window
+val window_1h : t -> window
+
+val families : t -> Obs.Metrics.family list
+(** Burn-rate and target gauges, ready for a metrics collector:
+    [sbsched_slo_latency_burn_rate{window="5m"|"1h"}],
+    [sbsched_slo_err_burn_rate{...}] (each only when its target is
+    configured), the configured targets, and
+    [sbsched_slo_requests{window=...}]. *)

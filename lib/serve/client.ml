@@ -83,7 +83,7 @@ let shutdown_send t =
   | None -> ()
 
 let send_schedule t ~id ?heuristic ?machine ?bounds ?issue ?deadline_ms
-    ?optimal_budget_ms sb =
+    ?optimal_budget_ms ?trace sb =
   (* Chaos: sever our own connection just before the send, so the write
      (or the reply read) fails and the session retry layer takes over. *)
   (match Sb_fault.Fault.decide "client.conn_drop" with
@@ -102,6 +102,7 @@ let send_schedule t ~id ?heuristic ?machine ?bounds ?issue ?deadline_ms
   Option.iter (Printf.bprintf buf " issue=%b") issue;
   Option.iter (Printf.bprintf buf " deadline_ms=%d") deadline_ms;
   Option.iter (Printf.bprintf buf " optimal_budget_ms=%d") optimal_budget_ms;
+  Option.iter (Printf.bprintf buf " trace=%s") trace;
   Buffer.add_char buf '\n';
   Buffer.add_string buf (Sb_ir.Serde.superblock_to_string sb);
   output_string t.oc (Buffer.contents buf);
@@ -119,6 +120,10 @@ let send_ping t ~id =
   output_string t.oc (Printf.sprintf "ping %s\n" id);
   flush t.oc
 
+let send_trace_dump t ~id =
+  output_string t.oc (Printf.sprintf "trace-dump %s\n" id);
+  flush t.oc
+
 let read_reply t =
   match input_line t.ic with
   | exception End_of_file -> Error "connection closed"
@@ -127,9 +132,9 @@ let read_reply t =
   | line -> Protocol.parse_reply line
 
 let schedule t ~id ?heuristic ?machine ?bounds ?issue ?deadline_ms
-    ?optimal_budget_ms sb =
+    ?optimal_budget_ms ?trace sb =
   send_schedule t ~id ?heuristic ?machine ?bounds ?issue ?deadline_ms
-    ?optimal_budget_ms sb;
+    ?optimal_budget_ms ?trace sb;
   read_reply t
 
 (* ------------------------------ retry ----------------------------- *)
@@ -202,7 +207,7 @@ let session_backoff s =
   Thread.delay sleep
 
 let session_schedule s ~id ?heuristic ?machine ?bounds ?issue ?deadline_ms
-    ?optimal_budget_ms sb =
+    ?optimal_budget_ms ?trace sb =
   let attempts = s.policy.Retry.attempts in
   let rec attempt n =
     let retry_or err =
@@ -215,7 +220,7 @@ let session_schedule s ~id ?heuristic ?machine ?bounds ?issue ?deadline_ms
     match
       let c = session_conn s in
       schedule c ~id ?heuristic ?machine ?bounds ?issue ?deadline_ms
-        ?optimal_budget_ms sb
+        ?optimal_budget_ms ?trace sb
     with
     | Ok (Protocol.Error_reply { code = Protocol.Busy; _ }) as r ->
         (* The server shed us; the connection itself is fine. *)
@@ -264,6 +269,11 @@ module Loadgen = struct
     failover : int option;  (* router targets only: see run *)
     hedged : int option;
     budget_exhausted : int option;
+    latency_histo : Obs.Metrics.Histo.t;
+        (* the same samples the percentiles above summarize, as log2
+           histograms for the [--metrics] Prometheus export *)
+    hit_histo : Obs.Metrics.Histo.t;
+    miss_histo : Obs.Metrics.Histo.t;
   }
 
   type worker_acc = {
@@ -390,6 +400,11 @@ module Loadgen = struct
     if n = 0 then 0
     else sorted.(min (n - 1) (int_of_float (q *. float_of_int n)))
 
+  let histo_of samples =
+    let h = Obs.Metrics.Histo.create () in
+    Array.iter (Obs.Metrics.Histo.observe h) samples;
+    h
+
   let run ~path ~superblocks ?(label = "") ?(conns = 4) ?(rps = 0.)
       ?(duration_s = 5.) ?heuristic ?bounds ?deadline_ms ?(attempts = 1)
       ?read_timeout_s ?zipf () =
@@ -509,7 +524,74 @@ module Loadgen = struct
       failover = router_stat "failover";
       hedged = router_stat "hedged";
       budget_exhausted = router_stat "retry_budget_exhausted";
+      latency_histo = histo_of latencies;
+      hit_histo = histo_of hit_lat;
+      miss_histo = histo_of miss_lat;
     }
+
+  (* Client-side view of the run as a Prometheus page, the shape
+     [experiments --metrics] writes.  The hedged/failover/budget
+     counters come from the router's [stats] scrape — which requests
+     were hedged is invisible to a client (routed replies are
+     byte-identical), so the hedged "split" is fleet-level, not
+     per-sample. *)
+  let metrics_page r =
+    let open Obs.Metrics in
+    let cf name help v = counter_family ~name ~help [ ("", float_of_int v) ] in
+    let gf name help v =
+      {
+        family_name = name;
+        family_type = `Gauge;
+        family_help = help;
+        samples = [ { sample_name = name; labels = []; value = v } ];
+      }
+    in
+    let router =
+      List.filter_map
+        (fun (name, help, v) ->
+          Option.map (fun v -> cf name help v) v)
+        [
+          ( "sbsched_loadgen_router_hedged_total",
+            "Hedge attempts the router launched during the run (from its \
+             stats scrape)",
+            r.hedged );
+          ( "sbsched_loadgen_router_failover_total",
+            "Requests the router answered off their ring owner",
+            r.failover );
+          ( "sbsched_loadgen_router_budget_exhausted_total",
+            "Retries/hedges denied by the router's retry budget",
+            r.budget_exhausted );
+        ]
+    in
+    render_families
+      ([
+         counter_family ~name:"sbsched_loadgen_requests_total"
+           ~help:"Requests by final outcome" ~label:"outcome"
+           [
+             ("ok", float_of_int r.ok);
+             ("busy", float_of_int r.busy);
+             ("error", float_of_int r.errors);
+           ];
+         cf "sbsched_loadgen_sent_total" "Requests sent" r.sent;
+         cf "sbsched_loadgen_degraded_total"
+           "Ok replies served by a degraded heuristic" r.degraded;
+         cf "sbsched_loadgen_retried_total" "Retry attempts" r.retried;
+         gf "sbsched_loadgen_achieved_rps"
+           "Ok replies per second over the run" r.achieved_rps;
+         gf "sbsched_loadgen_conns" "Concurrent connections"
+           (float_of_int r.conns);
+       ]
+      @ histo_family ~name:"sbsched_loadgen_latency_us"
+          ~help:"Send-to-reply latency in microseconds" r.latency_histo
+      @ (if Histo.count r.hit_histo = 0 then []
+         else
+           histo_family ~name:"sbsched_loadgen_latency_hit_us"
+             ~help:"Send-to-reply latency of cache hits" r.hit_histo)
+      @ (if Histo.count r.miss_histo = 0 then []
+         else
+           histo_family ~name:"sbsched_loadgen_latency_miss_us"
+             ~help:"Send-to-reply latency of cache misses" r.miss_histo)
+      @ router)
 
   let report_to_string r =
     let b = Buffer.create 256 in

@@ -47,10 +47,13 @@ val send_schedule :
   ?issue:bool ->
   ?deadline_ms:int ->
   ?optimal_budget_ms:int ->
+  ?trace:string ->
   Sb_ir.Superblock.t ->
   unit
 (** Write (and flush) one schedule request.  [optimal_budget_ms] only
-    matters with [~heuristic:"optimal"] (see {!Protocol.sched_options}). *)
+    matters with [~heuristic:"optimal"] (see {!Protocol.sched_options});
+    [trace] (1-64 hex chars) requests distributed tracing and the
+    [timing=] stage breakdown in the reply. *)
 
 val send_stats : t -> id:string -> unit
 
@@ -59,6 +62,10 @@ val send_metrics : t -> id:string -> unit
     (the reply's [body]). *)
 
 val send_ping : t -> id:string -> unit
+
+val send_trace_dump : t -> id:string -> unit
+(** Request a flight-recorder snapshot of the server's trace rings as a
+    Chrome trace_event JSON page (the reply's [body]). *)
 
 val read_reply : t -> (Protocol.reply, string) result
 (** Blocking.  [Error] on EOF or an unparseable line. *)
@@ -72,6 +79,7 @@ val schedule :
   ?issue:bool ->
   ?deadline_ms:int ->
   ?optimal_budget_ms:int ->
+  ?trace:string ->
   Sb_ir.Superblock.t ->
   (Protocol.reply, string) result
 (** [send_schedule] then [read_reply]. *)
@@ -116,6 +124,7 @@ val session_schedule :
   ?issue:bool ->
   ?deadline_ms:int ->
   ?optimal_budget_ms:int ->
+  ?trace:string ->
   Sb_ir.Superblock.t ->
   (Protocol.reply, string) result
 (** Like {!schedule}, with retry.  Returns the final attempt's outcome:
@@ -161,6 +170,11 @@ module Loadgen : sig
     hedged : int option;  (** hedge attempts the router launched *)
     budget_exhausted : int option;
         (** retries/hedges the router's budget denied *)
+    latency_histo : Sb_obs.Obs.Metrics.Histo.t;
+        (** the same samples the percentiles summarize, as a log2
+            histogram for {!metrics_page} *)
+    hit_histo : Sb_obs.Obs.Metrics.Histo.t;
+    miss_histo : Sb_obs.Obs.Metrics.Histo.t;
   }
 
   val run :
@@ -199,4 +213,13 @@ module Loadgen : sig
 
   val report_to_string : report -> string
   (** Multi-line human-readable block (the [sbsched loadgen] output). *)
+
+  val metrics_page : report -> string
+  (** The client-side view of the run as a Prometheus text page
+      ([sbsched loadgen --metrics]): [sbsched_loadgen_*] request
+      counters, the latency histogram with its cache hit/miss split,
+      and — against a router target — the hedged/failover/retry-budget
+      counters scraped from its [stats] reply (fleet totals: which
+      individual requests were hedged is invisible to a client, routed
+      replies being byte-identical). *)
 end

@@ -15,6 +15,7 @@ type sched_options = {
   with_issue : bool;
   deadline_ms : int option;
   optimal_budget_ms : int option;
+  trace : string option;
 }
 
 type request =
@@ -26,9 +27,17 @@ type request =
   | Stats of string
   | Metrics of string
   | Ping of string
+  | Trace_dump of string
 
 let request_id = function
-  | Schedule { id; _ } | Stats id | Metrics id | Ping id -> id
+  | Schedule { id; _ } | Stats id | Metrics id | Ping id | Trace_dump id -> id
+
+let is_hex_id s =
+  let n = String.length s in
+  n >= 1 && n <= 64
+  && String.for_all
+       (function '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true | _ -> false)
+       s
 
 type error_code = Parse | Bad_request | Busy | Shutdown | Internal
 
@@ -47,6 +56,13 @@ let error_code_of_string = function
   | "internal" -> Some Internal
   | _ -> None
 
+type timing = {
+  queue_us : int;
+  sched_us : int;
+  bound_us : int;
+  t_cache : [ `Hit | `Miss ] option;
+}
+
 type sched_reply = {
   heuristic_used : string;
   machine_used : string;
@@ -63,7 +79,43 @@ type sched_reply = {
          cache, [Some false] on a cache miss that computed; [None] (and
          absent on the wire) when no cache is configured — the old byte
          format is preserved exactly in that case. *)
+  timing : timing option;
+      (* Only present when the request carried [trace=]: untraced
+         replies keep the old byte format exactly. *)
 }
+
+let render_timing t =
+  Printf.sprintf "queue:%d,sched:%d,bound:%d%s" t.queue_us t.sched_us
+    t.bound_us
+    (match t.t_cache with
+    | None -> ""
+    | Some `Hit -> ",cache:hit"
+    | Some `Miss -> ",cache:miss")
+
+let parse_timing v =
+  let parse_part acc part =
+    match acc with
+    | Error _ -> acc
+    | Ok t -> (
+        match String.index_opt part ':' with
+        | None -> Error (Printf.sprintf "bad timing part %S" part)
+        | Some i -> (
+            let k = String.sub part 0 i in
+            let v = String.sub part (i + 1) (String.length part - i - 1) in
+            match (k, int_of_string_opt v) with
+            | "queue", Some n -> Ok { t with queue_us = n }
+            | "sched", Some n -> Ok { t with sched_us = n }
+            | "bound", Some n -> Ok { t with bound_us = n }
+            | "cache", _ -> (
+                match v with
+                | "hit" -> Ok { t with t_cache = Some `Hit }
+                | "miss" -> Ok { t with t_cache = Some `Miss }
+                | _ -> Error (Printf.sprintf "bad timing cache %S" v))
+            | _ -> Error (Printf.sprintf "bad timing part %S" part)))
+  in
+  List.fold_left parse_part
+    (Ok { queue_us = 0; sched_us = 0; bound_us = 0; t_cache = None })
+    (String.split_on_char ',' v)
 
 type reply =
   | Ok_schedule of { id : string; result : sched_reply }
@@ -72,6 +124,9 @@ type reply =
       (* [body] is a Prometheus text page; it rides the line protocol
          %S-escaped so framing stays one line per reply. *)
   | Ok_pong of { id : string }
+  | Ok_trace of { id : string; body : string }
+      (* [body] is a Chrome trace_event JSON page, %S-escaped like a
+         metrics body. *)
   | Error_reply of { id : string; code : error_code; msg : string }
 
 (* --------------------------- rendering ---------------------------- *)
@@ -95,6 +150,9 @@ let render_reply = function
       | Some c -> Printf.bprintf buf " cached=%b" c
       | None -> ());
       Printf.bprintf buf " degraded=%b elapsed_us=%d" r.degraded r.elapsed_us;
+      (match r.timing with
+      | Some t -> Printf.bprintf buf " timing=%s" (render_timing t)
+      | None -> ());
       (match r.issue with
       | Some issue ->
           Buffer.add_string buf " issue=";
@@ -111,6 +169,8 @@ let render_reply = function
         :: List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) fields)
   | Ok_metrics { id; body } ->
       Printf.sprintf "ok %s kind=metrics body=%S" id body
+  | Ok_trace { id; body } ->
+      Printf.sprintf "ok %s kind=trace body=%S" id body
   | Ok_pong { id } -> Printf.sprintf "ok %s kind=pong" id
   | Error_reply { id; code; msg } ->
       Printf.sprintf "error %s code=%s msg=%S" id (error_code_to_string code)
@@ -155,6 +215,7 @@ let parse_sched_kvs kvs =
       with_issue = false;
       deadline_ms = None;
       optimal_budget_ms = None;
+      trace = None;
     }
   in
   List.fold_left
@@ -184,6 +245,9 @@ let parse_sched_kvs kvs =
           let* ms = int_value v in
           if ms <= 0 then Error (Printf.sprintf "optimal_budget_ms must be > 0")
           else Ok { opts with optimal_budget_ms = Some ms }
+      | "trace" ->
+          if is_hex_id v then Ok { opts with trace = Some v }
+          else Error (Printf.sprintf "trace id %S is not 1-64 hex chars" v)
       | _ -> Error (Printf.sprintf "unknown key %S" k))
     (Ok default) kvs
 
@@ -257,6 +321,13 @@ let parse_ok_schedule id words =
         let* b = bool_value v in
         Ok (Some b)
   in
+  let* timing =
+    match find "timing" with
+    | None -> Ok None
+    | Some v ->
+        let* t = parse_timing v in
+        Ok (Some t)
+  in
   Ok
     (Ok_schedule
        {
@@ -274,8 +345,28 @@ let parse_ok_schedule id words =
              gap;
              proved;
              cached;
+             timing;
            };
        })
+
+(* The body is everything after [body=], %S-quoted (it contains spaces,
+   so a word split can't carry it). *)
+let quoted_body ~kind line =
+  let marker = " body=" in
+  let rec search i =
+    if i + String.length marker > String.length line then None
+    else if String.sub line i (String.length marker) = marker then
+      Some (i + String.length marker)
+    else search (i + 1)
+  in
+  match search 0 with
+  | None -> Error (Printf.sprintf "%s reply missing body=" kind)
+  | Some start -> (
+      let quoted = String.sub line start (String.length line - start) in
+      match Scanf.sscanf quoted "%S" Fun.id with
+      | body -> Ok body
+      | exception _ ->
+          Error (Printf.sprintf "%s reply body is not %%S-quoted" kind))
 
 let parse_reply line =
   match split_ws (String.trim line) with
@@ -283,23 +374,12 @@ let parse_reply line =
   | "ok" :: id :: "kind=stats" :: rest ->
       let* fields = parse_stats_fields rest in
       Ok (Ok_stats { id; fields })
-  | "ok" :: id :: "kind=metrics" :: _ -> (
-      (* The body is everything after [body=], %S-quoted (it contains
-         spaces, so the word split above can't carry it). *)
-      let marker = " body=" in
-      let rec search i =
-        if i + String.length marker > String.length line then None
-        else if String.sub line i (String.length marker) = marker then
-          Some (i + String.length marker)
-        else search (i + 1)
-      in
-      match search 0 with
-      | None -> Error "metrics reply missing body="
-      | Some start -> (
-          let quoted = String.sub line start (String.length line - start) in
-          match Scanf.sscanf quoted "%S" Fun.id with
-          | body -> Ok (Ok_metrics { id; body })
-          | exception _ -> Error "metrics reply body is not %S-quoted"))
+  | "ok" :: id :: "kind=metrics" :: _ ->
+      let* body = quoted_body ~kind:"metrics" line in
+      Ok (Ok_metrics { id; body })
+  | "ok" :: id :: "kind=trace" :: _ ->
+      let* body = quoted_body ~kind:"trace" line in
+      Ok (Ok_trace { id; body })
   | [ "ok"; id; "kind=pong" ] -> Ok (Ok_pong { id })
   | "error" :: id :: code :: _ -> (
       let* _, code_v = key_value code in
@@ -412,6 +492,7 @@ module Reader = struct
         | [ "stats"; id ] -> Some (Request (Stats id))
         | [ "metrics"; id ] -> Some (Request (Metrics id))
         | [ "ping"; id ] -> Some (Request (Ping id))
+        | [ "trace-dump"; id ] -> Some (Request (Trace_dump id))
         | "schedule" :: id :: kvs -> (
             match parse_sched_kvs kvs with
             | Ok options ->

@@ -31,6 +31,10 @@ type sched_options = {
           default 50 ms); always clamped to the remaining [deadline_ms],
           so an expired deadline yields the seed incumbent plus its gap
           instead of a critical-path downgrade *)
+  trace : string option;
+      (** distributed-tracing id (1-64 hex chars): spans emitted while
+          serving the request are tagged with it, and the reply grows a
+          [timing=] stage breakdown; see docs/PROTOCOL.md §Tracing *)
 }
 
 type request =
@@ -43,8 +47,15 @@ type request =
   | Metrics of string
       (** the request id; answered with a Prometheus text page *)
   | Ping of string  (** the request id *)
+  | Trace_dump of string
+      (** the request id; answered with the server's buffered trace
+          rings as a Chrome trace_event JSON page (flight-recorder
+          snapshot — tracing keeps running) *)
 
 val request_id : request -> string
+
+val is_hex_id : string -> bool
+(** A well-formed trace id: 1-64 hex characters (either case). *)
 
 type error_code =
   | Parse  (** malformed request or superblock text *)
@@ -55,6 +66,18 @@ type error_code =
 
 val error_code_to_string : error_code -> string
 val error_code_of_string : string -> error_code option
+
+type timing = {
+  queue_us : int;  (** accept-to-dispatch queue wait *)
+  sched_us : int;  (** scheduling proper (0 on a cache hit) *)
+  bound_us : int;  (** lower-bound stack, when requested (else 0) *)
+  t_cache : [ `Hit | `Miss ] option;  (** cache outcome, when configured *)
+}
+(** Server-side stage breakdown, rendered
+    [timing=queue:<us>,sched:<us>,bound:<us>[,cache:hit|miss]]. *)
+
+val render_timing : timing -> string
+val parse_timing : string -> (timing, string) result
 
 type sched_reply = {
   heuristic_used : string;
@@ -76,6 +99,9 @@ type sched_reply = {
           content-addressed result cache, [Some false] on the miss that
           computed; absent ([None]) when no cache is configured, keeping
           the pre-cache wire format byte-identical *)
+  timing : timing option;
+      (** stage breakdown; only present when the request carried
+          [trace=] — untraced replies keep the old byte format *)
 }
 
 type reply =
@@ -85,6 +111,9 @@ type reply =
       (** [body] is the Prometheus text page, carried [%S]-escaped on
           the wire so a reply stays one line *)
   | Ok_pong of { id : string }
+  | Ok_trace of { id : string; body : string }
+      (** [body] is a Chrome trace_event JSON page, [%S]-escaped on the
+          wire like a metrics body *)
   | Error_reply of { id : string; code : error_code; msg : string }
       (** [id] is ["-"] when the offending request's id is unknown *)
 

@@ -185,7 +185,7 @@ let cache_key t (opts : Protocol.sched_options) machine sb =
      else 0)
     (if optimal then 1 else 0)
 
-let process t pending =
+let process_inner t pending =
   Obs.Span.with_ "serve.process" @@ fun () ->
   (* One self-contained X event per request for its queue wait, on the
      lane of the domain that ended up processing it — begin/end pairs
@@ -198,6 +198,37 @@ let process t pending =
       ~dur_ns:(Int64.sub now pending.t_accept_ns) ()
   end;
   let opts = pending.options in
+  (* Stage clocks for the reply's [timing=] breakdown — only run for
+     traced requests, so untraced ones don't even read the clock. *)
+  let traced = opts.trace <> None in
+  let queue_us =
+    if traced then
+      Int64.to_int (Int64.sub (Obs.now_ns ()) pending.t_accept_ns) / 1000
+    else 0
+  in
+  let sched_ns = ref 0 in
+  let bound_ns = ref 0 in
+  let stage name cell f =
+    if not traced then Obs.Span.with_ name f
+    else begin
+      let t0 = Obs.now_ns () in
+      Fun.protect
+        ~finally:(fun () ->
+          cell := !cell + Int64.to_int (Int64.sub (Obs.now_ns ()) t0))
+        (fun () -> Obs.Span.with_ name f)
+    end
+  in
+  let timing_of outcome =
+    if not traced then None
+    else
+      Some
+        {
+          Protocol.queue_us;
+          sched_us = !sched_ns / 1000;
+          bound_us = !bound_ns / 1000;
+          t_cache = outcome;
+        }
+  in
   let machine = Option.value opts.machine ~default:t.cfg.machine in
   let deadline =
     Option.map
@@ -228,8 +259,9 @@ let process t pending =
           min (Option.value opts.optimal_budget_ms ~default:50) remaining_ms
         in
         let r =
-          Sb_sched.Optimal.schedule ~mode:`Anytime ~budget_ms machine
-            pending.sb
+          stage "serve.sched" sched_ns (fun () ->
+              Sb_sched.Optimal.schedule ~mode:`Anytime ~budget_ms machine
+                pending.sb)
         in
         let sched = r.Sb_sched.Optimal.schedule in
         let elapsed_us =
@@ -249,6 +281,7 @@ let process t pending =
           gap = Some r.Sb_sched.Optimal.gap;
           proved = Some r.Sb_sched.Optimal.proved_optimal;
           cached = None;
+          timing = None;
         }
       end
       else begin
@@ -257,14 +290,18 @@ let process t pending =
         then (Sb_sched.Registry.cp, true)
         else (requested, false)
       in
-      let sched = h_used.Sb_sched.Registry.run machine pending.sb in
+      let sched =
+        stage "serve.sched" sched_ns (fun () ->
+            h_used.Sb_sched.Registry.run machine pending.sb)
+      in
       let bound, degraded_b =
         if not opts.with_bounds then (None, false)
         else if expired () then (None, true)
         else
           let all =
-            Sb_bounds.Superblock_bound.all_bounds ~with_tw:t.cfg.with_tw
-              machine pending.sb
+            stage "serve.bound" bound_ns (fun () ->
+                Sb_bounds.Superblock_bound.all_bounds ~with_tw:t.cfg.with_tw
+                  machine pending.sb)
           in
           (Some all.Sb_bounds.Superblock_bound.tightest, false)
       in
@@ -285,6 +322,7 @@ let process t pending =
         gap = None;
         proved = None;
         cached = None;
+        timing = None;
       }
       end
   in
@@ -292,7 +330,12 @@ let process t pending =
     try
       match t.cfg.cache with
       | None ->
-          Protocol.Ok_schedule { id = pending.id; result = compute_result () }
+          let r = compute_result () in
+          Protocol.Ok_schedule
+            {
+              id = pending.id;
+              result = { r with Protocol.timing = timing_of None };
+            }
       | Some hook ->
           let key = cache_key t opts machine pending.sb in
           let compute () =
@@ -315,14 +358,24 @@ let process t pending =
           | Cache_miss -> Stats.cache_miss t.stats
           | Cache_waited -> Stats.cache_wait t.stats);
           let result =
+            (* The stored record stays timing-free (it must be a pure
+               function of the key); each reply carries its own stage
+               breakdown.  A waited request computed nothing itself, so
+               it reports hit timing like a plain hit. *)
             match outcome with
-            | Cache_miss -> { stored with Protocol.cached = Some false }
+            | Cache_miss ->
+                {
+                  stored with
+                  Protocol.cached = Some false;
+                  timing = timing_of (Some `Miss);
+                }
             | Cache_hit | Cache_waited ->
                 (* The stored record keeps the computer's elapsed_us;
                    this reply reports its own latency. *)
                 {
                   stored with
                   Protocol.cached = Some true;
+                  timing = timing_of (Some `Hit);
                   elapsed_us =
                     int_of_float
                       ((Unix.gettimeofday () -. pending.t_accept) *. 1e6);
@@ -343,9 +396,18 @@ let process t pending =
   | Protocol.Ok_schedule { result; _ } ->
       Stats.served t.stats ~heuristic:result.Protocol.heuristic_used
         ~degraded:result.Protocol.degraded
+        ?cached:result.Protocol.cached
         ~latency_us:result.Protocol.elapsed_us
   | _ -> ());
   conn_release pending.conn
+
+(* A domain processes one request at a time, so the per-domain trace
+   context is safe here: every span emitted below (and in the scheduler
+   underneath) picks up the request's trace id. *)
+let process t pending =
+  match pending.options.Protocol.trace with
+  | None -> process_inner t pending
+  | Some _ as tr -> Obs.Trace.with_context tr (fun () -> process_inner t pending)
 
 let dispatcher_loop t =
   let rec loop () =
@@ -415,6 +477,14 @@ let handle_request t conn req =
       ignore
         (send conn
            (Protocol.Ok_metrics { id; body = Obs.Metrics.prometheus () })
+          : bool)
+  | Protocol.Trace_dump id ->
+      (* Flight-recorder snapshot: export whatever the rings hold right
+         now, without stopping the tracer.  Sanitation balances any
+         span a domain is mid-way through. *)
+      ignore
+        (send conn
+           (Protocol.Ok_trace { id; body = Obs.Trace.export_string () })
           : bool)
   | Protocol.Schedule { id; options; sb } ->
       let refuse code msg =

@@ -34,6 +34,10 @@ type t = {
   mutable served : int;
   mutable degraded : int;
   latency : Obs.Metrics.Histo.t;
+  latency_hit : Obs.Metrics.Histo.t;
+      (* cache-enabled servers: latency split by cache outcome, so the
+         fleet dashboard can separate ~µs hits from ~ms misses *)
+  latency_miss : Obs.Metrics.Histo.t;
   picks : (string, int) Hashtbl.t;
   mutable work : (string * int) list;
 }
@@ -56,6 +60,8 @@ let create () =
     served = 0;
     degraded = 0;
     latency = Obs.Metrics.Histo.create ();
+    latency_hit = Obs.Metrics.Histo.create ();
+    latency_miss = Obs.Metrics.Histo.create ();
     picks = Hashtbl.create 8;
     work = [];
   }
@@ -76,11 +82,15 @@ let cache_hit t = Atomic.incr t.cache_hits
 let cache_miss t = Atomic.incr t.cache_misses
 let cache_wait t = Atomic.incr t.cache_waits
 
-let served t ~heuristic ~degraded ~latency_us =
+let served ?cached t ~heuristic ~degraded ~latency_us =
   with_lock t (fun () ->
       t.served <- t.served + 1;
       if degraded then t.degraded <- t.degraded + 1;
       Obs.Metrics.Histo.observe t.latency latency_us;
+      (match cached with
+      | Some true -> Obs.Metrics.Histo.observe t.latency_hit latency_us
+      | Some false -> Obs.Metrics.Histo.observe t.latency_miss latency_us
+      | None -> ());
       Hashtbl.replace t.picks heuristic
         (1 + Option.value ~default:0 (Hashtbl.find_opt t.picks heuristic)))
 
@@ -208,4 +218,13 @@ let prometheus_families t ~queue_depth =
           ~label:"heuristic" picks;
       ]
       @ Obs.Metrics.histo_family ~name:"sbsched_serve_latency_us"
-          ~help:"Acceptance-to-reply latency in microseconds" t.latency)
+          ~help:"Acceptance-to-reply latency in microseconds" t.latency
+      @ (if Obs.Metrics.Histo.count t.latency_hit = 0 then []
+         else
+           Obs.Metrics.histo_family ~name:"sbsched_serve_latency_hit_us"
+             ~help:"Acceptance-to-reply latency of cache hits" t.latency_hit)
+      @
+      if Obs.Metrics.Histo.count t.latency_miss = 0 then []
+      else
+        Obs.Metrics.histo_family ~name:"sbsched_serve_latency_miss_us"
+          ~help:"Acceptance-to-reply latency of cache misses" t.latency_miss)

@@ -46,10 +46,15 @@ val cache_wait : t -> unit
 (** A schedule request found an identical request already computing and
     waited for its result (single-flight deduplication). *)
 
-val served : t -> heuristic:string -> degraded:bool -> latency_us:int -> unit
+val served :
+  ?cached:bool -> t -> heuristic:string -> degraded:bool -> latency_us:int ->
+  unit
 (** One schedule reply went out.  [heuristic] is the registry name that
     actually ran (the per-heuristic pick counters); [latency_us] is
-    acceptance-to-reply. *)
+    acceptance-to-reply.  [cached] (the reply's cache outcome, when a
+    cache is configured) additionally lands the sample in the hit or
+    miss latency histogram, exported as
+    [sbsched_serve_latency_hit_us]/[..._miss_us] once nonempty. *)
 
 val set_work_snapshot : t -> (string * int) list -> unit
 (** Record the {!Sb_bounds.Work.report} of the scheduling domains.  The

@@ -48,7 +48,15 @@ let merges_by_max name =
        (String.length suffix)
      = suffix
 
-let merge pages =
+(* Splice a [shard="<n>"] label into a series key, keeping any existing
+   labels: ["name{a=\"b\"}"] -> ["name{a=\"b\",shard=\"2\"}"]. *)
+let add_shard_label key shard =
+  match String.rindex_opt key '}' with
+  | Some close ->
+      Printf.sprintf "%s,shard=\"%s\"}" (String.sub key 0 close) shard
+  | None -> Printf.sprintf "%s{shard=\"%s\"}" key shard
+
+let merge_pages pages =
   let order = ref [] in
   let families : (string, family) Hashtbl.t = Hashtbl.create 64 in
   let family name =
@@ -60,7 +68,7 @@ let merge pages =
         order := name :: !order;
         f
   in
-  let feed_line line =
+  let feed_line shard line =
     let line = String.trim line in
     if line = "" then ()
     else if String.length line > 7 && String.sub line 0 7 = "# HELP " then (
@@ -86,6 +94,17 @@ let merge pages =
       | Some (key, v) ->
           let f = family (family_of_series key) in
           let metric = family_of_series key in
+          (* Summing a gauge across workers fabricates a value no worker
+             reported (2 healthy shards -> health 2?), so in labeled
+             mode each worker's gauge becomes its own [shard="<n>"]
+             series.  Counters and histogram samples keep summing into
+             fleet totals; a page's own TYPE header always precedes its
+             samples, so [f.ftype] is authoritative here. *)
+          let key =
+            match shard with
+            | Some n when f.ftype = "gauge" -> add_shard_label key n
+            | _ -> key
+          in
           (match List.find_opt (fun s -> s.line_key = key) f.samples with
           | Some s ->
               if merges_by_max metric then s.value <- Float.max s.value v
@@ -93,7 +112,8 @@ let merge pages =
           | None -> f.samples <- { line_key = key; value = v } :: f.samples)
   in
   List.iter
-    (fun page -> List.iter feed_line (String.split_on_char '\n' page))
+    (fun (shard, page) ->
+      List.iter (feed_line shard) (String.split_on_char '\n' page))
     pages;
   let buf = Buffer.create 4096 in
   let names = List.sort compare (List.rev !order) in
@@ -108,3 +128,6 @@ let merge pages =
         (List.rev f.samples))
     names;
   Buffer.contents buf
+
+let merge pages = merge_pages (List.map (fun p -> (None, p)) pages)
+let merge_labeled pages = merge_pages pages

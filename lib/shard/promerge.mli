@@ -13,3 +13,13 @@ val merge : string list -> string
 (** [merge pages] is the aggregated page.  Unparseable lines are
     skipped, so a shard answering garbage degrades that shard's series,
     not the whole page. *)
+
+val merge_labeled : (string option * string) list -> string
+(** Like {!merge}, but each page carries an optional shard label
+    ([None] for the router's own page).  Gauge samples from a labelled
+    page keep their per-worker identity as a [shard="<n>"] series
+    instead of being summed — adding two workers' queue depths or
+    health states fabricates a value no worker reported — while
+    counters and histogram samples still sum into fleet totals.  A
+    family's kind is taken from the [# TYPE] headers (first page wins,
+    as in {!merge}); samples of families with no TYPE header sum. *)

@@ -40,6 +40,8 @@ type config = {
   budget : Budget.config;
   max_attempts : int;
   probe_timeout_s : float;
+  trace_sample : float;
+  slo : Sb_obs.Slo.t option;
 }
 
 let default_config =
@@ -56,6 +58,8 @@ let default_config =
     budget = Budget.default_config;
     max_attempts = 3;
     probe_timeout_s = 1.0;
+    trace_sample = 0.;
+    slo = None;
   }
 
 (* Same refcounted-close discipline as Server.conn: the fd lives until
@@ -115,6 +119,8 @@ type t = {
   draining : bool Atomic.t;
   listen_fd : Unix.file_descr option Atomic.t;
   active : int Atomic.t;  (* forward threads still running *)
+  rng : Random.State.t;  (* trace sampling; guarded by rng_lock *)
+  rng_lock : Mutex.t;
   idle_lock : Mutex.t;
   idle_cond : Condition.t;
   mutable prober : Thread.t option;
@@ -202,6 +208,7 @@ let families t =
           (per_shard t (fun _ b -> float_of_int (Backend.reconnects b)));
     };
   ]
+  @ match t.cfg.slo with Some s -> Sb_obs.Slo.families s | None -> []
 
 let draining t = Atomic.get t.draining
 
@@ -273,6 +280,8 @@ let create ?(config = default_config) () =
       draining = Atomic.make false;
       listen_fd = Atomic.make None;
       active = Atomic.make 0;
+      rng = Random.State.make_self_init ();
+      rng_lock = Mutex.create ();
       idle_lock = Mutex.create ();
       idle_cond = Condition.create ();
       prober = None;
@@ -339,19 +348,43 @@ let stats_fields t =
 
 (* The aggregated metrics page: the router's own registry plus one page
    per shard that answers; a dead shard degrades to its series missing
-   from the sum, not an error. *)
+   from the sum, not an error.  Shard pages carry their index so worker
+   gauges keep per-shard identity ([shard="<n>"]) instead of summing. *)
 let merged_metrics t =
   let shard_pages =
-    Array.to_list t.backends
-    |> List.filter_map (fun b ->
+    Array.to_list (Array.mapi (fun i b -> (i, b)) t.backends)
+    |> List.filter_map (fun (i, b) ->
            match Backend.request b [ "metrics m" ] with
            | Ok raw -> (
                match Protocol.parse_reply raw with
-               | Ok (Protocol.Ok_metrics { body; _ }) -> Some body
+               | Ok (Protocol.Ok_metrics { body; _ }) ->
+                   Some (Some (string_of_int i), body)
                | _ -> None)
            | Error _ -> None)
   in
-  Promerge.merge (Obs.Metrics.prometheus () :: shard_pages)
+  Promerge.merge_labeled
+    ((None, Obs.Metrics.prometheus ()) :: shard_pages)
+
+(* Fleet trace snapshot: the router's own rings plus a [trace-dump]
+   from every shard that answers, merged onto per-process Perfetto
+   lanes.  Like metrics, a dead shard degrades to a missing lane. *)
+let trace_pages t =
+  let shard_pages =
+    Array.to_list (Array.mapi (fun i b -> (i, b)) t.backends)
+    |> List.filter_map (fun (i, b) ->
+           match Backend.request b [ "trace-dump t" ] with
+           | Ok raw -> (
+               match Protocol.parse_reply raw with
+               | Ok (Protocol.Ok_trace { body; _ }) ->
+                   Some (Printf.sprintf "shard-%d" i, body)
+               | _ -> None)
+           | Error _ -> None)
+  in
+  ("router", Obs.Trace.export_string ()) :: shard_pages
+
+let merged_trace t =
+  let merged, _skipped = Trmerge.merge (trace_pages t) in
+  Sb_obs.Json.to_string merged
 
 (* --------------------------- forwarding ---------------------------- *)
 
@@ -381,8 +414,30 @@ type attempt = {
   a_shard : int;
   a_call : Backend.call;
   a_start : float;
+  a_start_ns : int64;
   a_hedge : bool;
 }
+
+(* Head-based sampling: when the client carried no trace id and the
+   router is configured to sample, mint a 16-hex id and splice it into
+   the forwarded header line, so the worker tags its spans with the
+   same id the router's spans carry. *)
+let sample_trace t =
+  if t.cfg.trace_sample <= 0. then None
+  else begin
+    Mutex.lock t.rng_lock;
+    let hit = Random.State.float t.rng 1.0 < t.cfg.trace_sample in
+    let tid =
+      if hit then
+        Some
+          (Printf.sprintf "%08lx%08lx"
+             (Random.State.int32 t.rng Int32.max_int)
+             (Random.State.int32 t.rng Int32.max_int))
+      else None
+    in
+    Mutex.unlock t.rng_lock;
+    tid
+  end
 
 let rec select_read fd tmo =
   match Unix.select [ fd ] [] [] tmo with
@@ -395,14 +450,41 @@ let rec select_read fd tmo =
    the next one when the reply is slow, serially retry on attempt
    failure, and send exactly one reply line back to the client.  Runs
    on its own thread. *)
-let forward t conn ~id ~digest ~owner ~deadline_at ~lines =
+let forward t conn ~id ~digest ~owner ~deadline_at ~trace ~lines =
+  let t0_ns = Obs.now_ns () in
+  (* Forward threads share domain 0, so the per-domain trace context
+     would race across concurrent requests — every span here carries
+     its trace id through explicit args instead. *)
+  let targs args =
+    match trace with Some tid -> ("trace", tid) :: args | None -> args
+  in
+  let instant name args =
+    if Obs.Trace.enabled () then Obs.Span.instant ~args:(targs args) name
+  in
+  (* One X event per attempt, on a per-shard lane: a hedged request
+     shows as two bars racing on adjacent lanes. *)
+  let attempt_done a outcome =
+    if Obs.Trace.enabled () then
+      Obs.Trace.complete
+        ~lane:(a.a_shard + 1)
+        ~args:
+          (targs
+             [ ("id", id); ("shard", string_of_int a.a_shard);
+               ("hedge", if a.a_hedge then "true" else "false");
+               ("outcome", outcome) ])
+        ~name:"router.attempt" ~start_ns:a.a_start_ns
+        ~dur_ns:(Int64.sub (Obs.now_ns ()) a.a_start_ns) ()
+  in
   let order = Chash.successors t.ring digest in
   let tried = Array.make (Array.length t.backends) false in
   let failover_counted = ref false in
   let note_route shard =
     if shard <> owner && not !failover_counted then begin
       failover_counted := true;
-      Atomic.incr t.failover
+      Atomic.incr t.failover;
+      instant "router.failover"
+        [ ("id", id); ("shard", string_of_int shard);
+          ("owner", string_of_int owner) ]
     end
   in
   (* Wakeup pipe: completions signal here from backend reader threads.
@@ -436,7 +518,7 @@ let forward t conn ~id ~digest ~owner ~deadline_at ~lines =
     | Ok call ->
         Ok
           { a_shard = shard; a_call = call; a_start = Unix.gettimeofday ();
-            a_hedge = hedge }
+            a_start_ns = Obs.now_ns (); a_hedge = hedge }
     | Error msg ->
         Health.on_failure t.health.(shard);
         Error (Printf.sprintf "shard %d: %s" shard msg)
@@ -457,7 +539,10 @@ let forward t conn ~id ~digest ~owner ~deadline_at ~lines =
       match next_candidate () with
       | None -> false
       | Some s ->
-          if charged && not (Budget.try_spend t.budget) then false
+          if charged && not (Budget.try_spend t.budget) then begin
+            instant "router.retry_denied" [ ("id", id); ("kind", "retry") ];
+            false
+          end
           else begin
             if charged then Atomic.incr t.retries;
             incr attempts;
@@ -500,12 +585,19 @@ let forward t conn ~id ~digest ~owner ~deadline_at ~lines =
                   hedged_this := true;
                   if now <= deadline_at then
                     match next_candidate () with
-                    | Some s when Budget.try_spend t.budget -> (
-                        Atomic.incr t.hedged;
-                        match launch ~hedge:true s with
-                        | Ok h -> active := !active @ [ h ]
-                        | Error m -> last_err := m)
-                    | _ -> ()
+                    | Some s ->
+                        if Budget.try_spend t.budget then begin
+                          Atomic.incr t.hedged;
+                          instant "router.hedge"
+                            [ ("id", id); ("shard", string_of_int s) ];
+                          match launch ~hedge:true s with
+                          | Ok h -> active := !active @ [ h ]
+                          | Error m -> last_err := m
+                        end
+                        else
+                          instant "router.retry_denied"
+                            [ ("id", id); ("kind", "hedge") ]
+                    | None -> ()
                 end
             | _ -> ());
             let tmo =
@@ -527,6 +619,7 @@ let forward t conn ~id ~digest ~owner ~deadline_at ~lines =
                   | None -> still := a :: !still
                   | Some (Ok raw) when reply_is_shutdown raw ->
                       Health.on_failure t.health.(a.a_shard);
+                      attempt_done a "shutdown";
                       last_err :=
                         Printf.sprintf "shard %d: draining" a.a_shard;
                       last_raw := Some raw
@@ -534,16 +627,39 @@ let forward t conn ~id ~digest ~owner ~deadline_at ~lines =
                       Health.on_success t.health.(a.a_shard)
                         ~latency_s:(Unix.gettimeofday () -. a.a_start);
                       if a.a_hedge then Atomic.incr t.hedged_wins;
+                      attempt_done a "ok";
                       (* [note_route] already counted the failover when
                          the attempt launched off-owner. *)
                       result := Some (Ok raw)
                   | Some (Error m) ->
                       Health.on_failure t.health.(a.a_shard);
+                      attempt_done a "error";
                       last_err := Printf.sprintf "shard %d: %s" a.a_shard m)
               !active;
             active := List.rev !still
       done;
       (* Losers of the race are cancelled in the finally. *)
+      let ok =
+        match !result with
+        | Some (Ok raw) ->
+            String.length raw >= 3 && String.sub raw 0 3 = "ok "
+        | _ -> false
+      in
+      (match t.cfg.slo with
+      | Some slo ->
+          let latency_us =
+            Int64.to_int (Int64.sub (Obs.now_ns ()) t0_ns) / 1000
+          in
+          Sb_obs.Slo.observe slo ~latency_us ~ok
+      | None -> ());
+      if Obs.Trace.enabled () then
+        Obs.Trace.complete
+          ~args:
+            (targs
+               [ ("id", id); ("owner", string_of_int owner);
+                 ("outcome", (if ok then "ok" else "error")) ])
+          ~name:"router.route" ~start_ns:t0_ns
+          ~dur_ns:(Int64.sub (Obs.now_ns ()) t0_ns) ();
       match !result with
       | Some (Ok raw) -> send_raw conn raw
       | Some (Error msg) -> (
@@ -562,6 +678,8 @@ let handle_request t conn req ~lines =
       send conn (Protocol.Ok_stats { id; fields = stats_fields t })
   | Protocol.Metrics id ->
       send conn (Protocol.Ok_metrics { id; body = merged_metrics t })
+  | Protocol.Trace_dump id ->
+      send conn (Protocol.Ok_trace { id; body = merged_trace t })
   | Protocol.Schedule { id; options; sb } ->
       if Atomic.get t.draining then begin
         Atomic.incr t.rejected_shutdown;
@@ -596,6 +714,24 @@ let handle_request t conn req ~lines =
           (* Primary requests earn retry-budget tokens; retries and
              hedges spend them. *)
           Budget.earn t.budget;
+          (* Client-supplied trace ids win; otherwise sample.  A minted
+             id is spliced into the forwarded header line so the worker
+             tags its spans with the id the router's spans carry. *)
+          let trace, lines =
+            match options.Protocol.trace with
+            | Some _ as tr -> (tr, lines)
+            | None -> (
+                match sample_trace t with
+                | None -> (None, lines)
+                | Some tid ->
+                    let lines =
+                      match lines with
+                      | header :: rest ->
+                          (header ^ " trace=" ^ tid) :: rest
+                      | [] -> lines
+                    in
+                    (Some tid, lines))
+          in
           let deadline_at =
             match options.Protocol.deadline_ms with
             | Some ms -> Unix.gettimeofday () +. ms_to_s ms
@@ -606,7 +742,8 @@ let handle_request t conn req ~lines =
           let _ : Thread.t =
             Thread.create
               (fun () ->
-                forward t conn ~id ~digest ~owner:shard ~deadline_at ~lines)
+                forward t conn ~id ~digest ~owner:shard ~deadline_at ~trace
+                  ~lines)
               ()
           in
           ()

@@ -35,7 +35,23 @@
 
     [stats] and [ping] are answered by the router; [metrics] fans out
     to every shard and replies with the {!Promerge}-aggregated page
-    (router registry + all shard registries). *)
+    (router registry + all shard registries, worker gauges labelled
+    [shard="<n>"]); [trace-dump] fans out likewise and replies with the
+    {!Trmerge}-merged fleet trace (one named Perfetto lane group per
+    process).
+
+    {2 Distributed tracing}
+
+    With [trace_sample > 0], a fraction of schedule requests that carry
+    no client [trace=] id get a minted 16-hex id spliced into the
+    forwarded header line; the worker then tags its serving spans with
+    the same id.  The router's own spans — one [router.route] X event
+    per request, one [router.attempt] X event per shard attempt (on a
+    per-shard lane), plus [router.hedge] / [router.failover] /
+    [router.retry_denied] instants — carry the id through explicit args
+    (forward threads share a domain, so the per-domain trace context
+    cannot be used here).  All of it is gated on the tracer being
+    enabled: the disabled cost stays one atomic load per site. *)
 
 type hedge_config = {
   enabled : bool;
@@ -62,12 +78,19 @@ type config = {
   budget : Budget.config;  (** retry/hedge token bucket *)
   max_attempts : int;  (** serial attempts per request, incl. primary *)
   probe_timeout_s : float;  (** half-open probe connect/read timeout *)
+  trace_sample : float;
+      (** probability of minting a trace id for an untraced schedule
+          request (0 disables sampling; client-carried ids always win) *)
+  slo : Sb_obs.Slo.t option;
+      (** when set, every forward outcome feeds the tracker and its
+          [sbsched_slo_*] burn-rate gauges join the router's families *)
 }
 
 val default_config : config
 (** No shards (must be overridden), in-flight limit 64, 64 vnodes, no
     read timeout; default health/budget configs, adaptive hedging at
-    p95 clamped to 5..500 ms, 3 attempts, 1 s probe timeout. *)
+    p95 clamped to 5..500 ms, 3 attempts, 1 s probe timeout, no trace
+    sampling, no SLO tracker. *)
 
 type t
 
@@ -92,6 +115,16 @@ val health_handle : t -> int -> Health.t
 
 val backend : t -> int -> Backend.t
 (** Shard [i]'s backend, for tests that sever connections. *)
+
+val trace_pages : t -> (string * string) list
+(** The fleet's trace pages, labelled for {!Trmerge.merge}: the
+    router's own export as ["router"] plus a [trace-dump] snapshot from
+    every shard that answers (as ["shard-<i>"]).  Call before {!await}
+    — it needs the shard connections. *)
+
+val merged_trace : t -> string
+(** {!trace_pages} merged into one Perfetto-loadable JSON text — the
+    body of the router's [trace-dump] reply. *)
 
 val serve_channels : ?on_close:(unit -> unit) -> t -> in_channel -> out_channel -> unit
 (** Run one client connection's reader loop until EOF; replies may

@@ -1,0 +1,265 @@
+(* The compute side of [sbsched top].  See top.mli.
+
+   Everything here is pure: the CLI scrapes the [metrics] page over the
+   wire, stamps it into a [snapshot], and this module turns two
+   consecutive snapshots into rates, histogram-delta percentiles and a
+   rendered frame.  Keeping the I/O out makes the whole dashboard unit-
+   testable against canned pages. *)
+
+type sample = {
+  s_name : string;
+  s_labels : (string * string) list;
+  s_value : float;
+}
+
+(* "name{a=\"b\",c=\"d\"} 1.5" / "name 2" -> sample.  Label values may
+   contain escaped quotes; a line that doesn't parse is skipped (the
+   page may carry families this version doesn't know). *)
+let parse_line line =
+  let line = String.trim line in
+  let n = String.length line in
+  if n = 0 || line.[0] = '#' then None
+  else
+    let name_end =
+      let rec go i =
+        if i >= n then i
+        else match line.[i] with '{' | ' ' -> i | _ -> go (i + 1)
+      in
+      go 0
+    in
+    if name_end = 0 then None
+    else
+      let name = String.sub line 0 name_end in
+      let labels = ref [] in
+      let pos = ref name_end in
+      let ok = ref true in
+      (if !pos < n && line.[!pos] = '{' then begin
+         incr pos;
+         let buf = Buffer.create 16 in
+         (* parse k="v" pairs until '}' *)
+         let rec pairs () =
+           if !pos >= n then ok := false
+           else if line.[!pos] = '}' then incr pos
+           else begin
+             (* key *)
+             Buffer.clear buf;
+             while !pos < n && line.[!pos] <> '=' do
+               Buffer.add_char buf line.[!pos];
+               incr pos
+             done;
+             let key = Buffer.contents buf in
+             if !pos + 1 >= n || line.[!pos + 1] <> '"' then ok := false
+             else begin
+               pos := !pos + 2;
+               Buffer.clear buf;
+               let closed = ref false in
+               while (not !closed) && !pos < n do
+                 (match line.[!pos] with
+                 | '\\' when !pos + 1 < n ->
+                     incr pos;
+                     Buffer.add_char buf line.[!pos]
+                 | '"' -> closed := true
+                 | c -> Buffer.add_char buf c);
+                 incr pos
+               done;
+               if not !closed then ok := false
+               else begin
+                 labels := (key, Buffer.contents buf) :: !labels;
+                 if !pos < n && line.[!pos] = ',' then incr pos;
+                 pairs ()
+               end
+             end
+           end
+         in
+         pairs ()
+       end);
+      if not !ok then None
+      else
+        let rest = String.trim (String.sub line !pos (n - !pos)) in
+        match float_of_string_opt rest with
+        | Some v ->
+            Some { s_name = name; s_labels = List.rev !labels; s_value = v }
+        | None -> None
+
+let parse_page page =
+  List.filter_map parse_line (String.split_on_char '\n' page)
+
+type snapshot = { ts : float; samples : sample list }
+
+let snapshot ~ts ~page = { ts; samples = parse_page page }
+
+let matches ?(labels = []) name s =
+  s.s_name = name
+  && List.for_all
+       (fun (k, v) -> List.assoc_opt k s.s_labels = Some v)
+       labels
+
+(* Sum of all samples of [name] carrying [labels] (shard-labelled
+   series of a fleet counter sum back into the fleet total). *)
+let value ?labels snap name =
+  match List.filter (matches ?labels name) snap.samples with
+  | [] -> None
+  | l -> Some (List.fold_left (fun acc s -> acc +. s.s_value) 0. l)
+
+(* [(shard label, value)] for every sample of [name] that carries a
+   [shard] label, sorted numerically when possible. *)
+let by_shard snap name =
+  List.filter_map
+    (fun s ->
+      if s.s_name = name then
+        Option.map (fun sh -> (sh, s.s_value)) (List.assoc_opt "shard" s.s_labels)
+      else None)
+    snap.samples
+  |> List.sort (fun (a, _) (b, _) ->
+         match (int_of_string_opt a, int_of_string_opt b) with
+         | Some x, Some y -> compare x y
+         | _ -> compare a b)
+
+let rate ~prev ~cur ?labels name =
+  let dt = cur.ts -. prev.ts in
+  if dt <= 0. then None
+  else
+    match (value ?labels prev name, value ?labels cur name) with
+    | Some a, Some b -> Some (Float.max 0. ((b -. a) /. dt))
+    | _ -> None
+
+(* Percentile over the window between two snapshots, from the deltas of
+   a histogram's cumulative [_bucket] samples.  [le] edges parse
+   "+Inf" as infinity; a bucket absent from [prev] (a shard that just
+   joined) deltas from zero.  Returns the upper edge of the bucket the
+   q-quantile falls in, or [None] when no events landed in the window. *)
+let percentile_delta ~prev ~cur ~name q =
+  let bucket = name ^ "_bucket" in
+  let edges =
+    List.filter_map
+      (fun s ->
+        if s.s_name = bucket then
+          match List.assoc_opt "le" s.s_labels with
+          | Some "+Inf" -> Some infinity
+          | Some le -> float_of_string_opt le
+          | None -> None
+        else None)
+      cur.samples
+    |> List.sort_uniq compare
+  in
+  let cum snap le =
+    let le_text = if le = infinity then "+Inf" else Printf.sprintf "%g" le in
+    Option.value ~default:0.
+      (value ~labels:[ ("le", le_text) ] snap bucket)
+  in
+  let deltas =
+    List.map (fun le -> (le, Float.max 0. (cum cur le -. cum prev le))) edges
+  in
+  match List.rev deltas with
+  | [] -> None
+  | (_, total) :: _ when total <= 0. -> None
+  | (_, total) :: _ ->
+      let target = q *. total in
+      List.find_opt (fun (_, c) -> c >= target) deltas |> Option.map fst
+
+(* ----------------------------- rendering --------------------------- *)
+
+let fmt_rate = function None -> "-" | Some r -> Printf.sprintf "%.1f" r
+
+let fmt_pct = function
+  | None -> "-"
+  | Some le when le = infinity -> ">max"
+  | Some le -> Printf.sprintf "%.0f" le
+
+let fmt_val snap name =
+  match value snap name with
+  | None -> "-"
+  | Some v -> Printf.sprintf "%g" v
+
+let health_name v =
+  if v >= 2. then "healthy" else if v >= 1. then "degraded" else "open"
+
+let render ?prev ~target ~frame cur =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let r ?labels name =
+    match prev with
+    | None -> None
+    | Some p -> rate ~prev:p ~cur ?labels name
+  in
+  let pct name q =
+    match prev with
+    | None -> None
+    | Some p -> percentile_delta ~prev:p ~cur ~name q
+  in
+  line "sbsched top — %s  (frame %d)" target frame;
+  line "";
+  line "  rps %s   errors/s %s   shed/s %s"
+    (fmt_rate (r "sbsched_serve_served_total"))
+    (fmt_rate (r "sbsched_serve_errors_total"))
+    (fmt_rate (r "sbsched_router_shed_busy_total"));
+  line "  hedge/s %s   hedge-wins/s %s   failover/s %s   retry/s %s   budget-denied/s %s"
+    (fmt_rate (r "sbsched_router_hedged_total"))
+    (fmt_rate (r "sbsched_router_hedged_wins_total"))
+    (fmt_rate (r "sbsched_router_failover_total"))
+    (fmt_rate (r "sbsched_router_retries_total"))
+    (fmt_rate (r "sbsched_router_retry_budget_exhausted_total"));
+  line "";
+  line "  latency (us)   p50      p95      p99";
+  List.iter
+    (fun (label, name) ->
+      line "    %-10s %8s %8s %8s" label
+        (fmt_pct (pct name 0.50))
+        (fmt_pct (pct name 0.95))
+        (fmt_pct (pct name 0.99)))
+    [
+      ("all", "sbsched_serve_latency_us");
+      ("cache hit", "sbsched_serve_latency_hit_us");
+      ("cache miss", "sbsched_serve_latency_miss_us");
+    ];
+  line "";
+  line "  queue depth %s   budget balance %s"
+    (fmt_val cur "sbsched_serve_queue_depth")
+    (fmt_val cur "sbsched_router_retry_budget_balance");
+  (let shards = by_shard cur "sbsched_shard_health" in
+   if shards <> [] then begin
+     line "";
+     line "  shard  health    inflight  connected  queue";
+     List.iter
+       (fun (sh, hv) ->
+         let lookup name =
+           match
+             value ~labels:[ ("shard", sh) ] cur name
+           with
+           | None -> "-"
+           | Some v -> Printf.sprintf "%g" v
+         in
+         let connected =
+           match value ~labels:[ ("shard", sh) ] cur "sbsched_router_shard_connected" with
+           | Some v when v >= 1. -> "yes"
+           | Some _ -> "no"
+           | None -> "-"
+         in
+         line "  %-6s %-9s %-9s %-10s %s" sh (health_name hv)
+           (lookup "sbsched_router_shard_inflight")
+           connected
+           (lookup "sbsched_serve_queue_depth"))
+       shards
+   end);
+  (let slo_req w =
+     value ~labels:[ ("window", w) ] cur "sbsched_slo_requests"
+   in
+   if slo_req "5m" <> None then begin
+     line "";
+     line "  slo    requests  latency-burn  err-burn";
+     List.iter
+       (fun w ->
+         let g name =
+           match value ~labels:[ ("window", w) ] cur name with
+           | None -> "-"
+           | Some v -> Printf.sprintf "%.2f" v
+         in
+         line "  %-6s %-9s %-13s %s" w
+           (match slo_req w with
+           | None -> "-"
+           | Some v -> Printf.sprintf "%.0f" v)
+           (g "sbsched_slo_latency_burn_rate")
+           (g "sbsched_slo_err_burn_rate"))
+       [ "5m"; "1h" ]
+   end);
+  Buffer.contents buf

@@ -1,0 +1,54 @@
+(** The compute side of [sbsched top] — a live fleet dashboard built
+    from periodic [metrics] scrapes.
+
+    The CLI owns the wire I/O (connect, scrape, sleep, clear screen);
+    this module owns everything testable: parsing a Prometheus text
+    page into samples, turning two consecutive snapshots into
+    per-second rates and histogram-delta percentiles, and rendering a
+    frame.  Counter rates and latency percentiles describe the window
+    {e between} the two scrapes, so the dashboard shows current
+    behaviour, not lifetime averages. *)
+
+type sample = {
+  s_name : string;
+  s_labels : (string * string) list;
+  s_value : float;
+}
+
+val parse_page : string -> sample list
+(** Parse a Prometheus text page; comment and malformed lines are
+    skipped. *)
+
+type snapshot = { ts : float; samples : sample list }
+
+val snapshot : ts:float -> page:string -> snapshot
+(** [ts] is seconds (any monotonic base shared across scrapes). *)
+
+val value : ?labels:(string * string) list -> snapshot -> string -> float option
+(** Sum of all samples of the name that carry every given label pair
+    ([shard="<n>"]-split series of a fleet counter sum back into the
+    fleet total); [None] when no sample matches. *)
+
+val by_shard : snapshot -> string -> (string * float) list
+(** [(shard, value)] for each sample carrying a [shard] label, sorted
+    numerically. *)
+
+val rate :
+  prev:snapshot -> cur:snapshot -> ?labels:(string * string) list ->
+  string -> float option
+(** Per-second increase between the snapshots, clamped at 0 (a counter
+    resets when a worker respawns). *)
+
+val percentile_delta :
+  prev:snapshot -> cur:snapshot -> name:string -> float -> float option
+(** [percentile_delta ~prev ~cur ~name q] — the q-quantile of the
+    histogram [<name>_bucket] over the window between the snapshots,
+    computed from cumulative-bucket deltas.  Returns the upper [le]
+    edge of the bucket the quantile falls in ([infinity] for the
+    overflow bucket), or [None] when no events landed in the window. *)
+
+val render : ?prev:snapshot -> target:string -> frame:int -> snapshot -> string
+(** One dashboard frame.  Without [prev] (the first scrape) rates and
+    percentiles render as ["-"]; sections whose families are absent
+    from the page (no router in front, no SLO configured) are omitted
+    or dashed rather than failing. *)

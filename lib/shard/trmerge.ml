@@ -1,0 +1,78 @@
+(* Merge per-process Chrome trace pages into one fleet timeline.
+
+   Sibling of [Promerge]: where that module merges Prometheus text
+   pages, this one merges the trace_event JSON pages that [trace-dump]
+   snapshots out of each worker's rings, plus the router's own export.
+   Every process exported with [pid = 1] (Obs.Trace knows nothing of
+   fleets), so each page is renumbered to its own pid and labelled with
+   a [process_name] metadata event — Perfetto then shows one named lane
+   group per process on a shared timeline.  All processes run on one
+   host and stamp events from the same CLOCK_MONOTONIC, so timestamps
+   need no alignment. *)
+
+module Json = Sb_obs.Json
+
+let process_name_ev ~pid label =
+  Json.Assoc
+    [
+      ("name", Json.String "process_name");
+      ("ph", Json.String "M");
+      ("pid", Json.Int pid);
+      ("tid", Json.Int 0);
+      ("args", Json.Assoc [ ("name", Json.String label) ]);
+    ]
+
+let renumber ~pid ev =
+  match ev with
+  | Json.Assoc fields ->
+      Json.Assoc
+        (List.map
+           (fun (k, v) -> if k = "pid" then (k, Json.Int pid) else (k, v))
+           fields)
+  | ev -> ev
+
+let events_of_page text =
+  match Json.parse text with
+  | Error _ -> None
+  | Ok page -> (
+      match Json.member "traceEvents" page with
+      | Some (Json.List evs) -> Some evs
+      | _ -> None)
+
+(* [(label, page_text)] in fleet order; pids are assigned 1-based in
+   that order.  Pages that fail to parse (a worker died mid-reply, say)
+   are skipped and reported, never fatal — a partial fleet trace beats
+   none. *)
+let merge pages =
+  let skipped = ref [] in
+  let events =
+    List.concat
+      (List.mapi
+         (fun i (label, text) ->
+           let pid = i + 1 in
+           match events_of_page text with
+           | None ->
+               skipped := label :: !skipped;
+               []
+           | Some evs ->
+               process_name_ev ~pid label :: List.map (renumber ~pid) evs)
+         pages)
+  in
+  ( Json.Assoc
+      [
+        ("traceEvents", Json.List events);
+        ("displayTimeUnit", Json.String "ns");
+      ],
+    List.rev !skipped )
+
+let write_file path pages =
+  let merged, skipped = merge pages in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      let buf = Buffer.create 4096 in
+      Json.to_buffer buf merged;
+      Buffer.add_char buf '\n';
+      Buffer.output_buffer oc buf);
+  skipped

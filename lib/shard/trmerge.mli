@@ -1,0 +1,20 @@
+(** Merge per-process Chrome trace pages into one fleet timeline.
+
+    Sibling of {!Promerge} for traces: takes the trace_event JSON pages
+    that [trace-dump] snapshots out of each worker (plus the router's
+    own export) and renumbers each onto its own [pid] with a
+    [process_name] metadata lane, producing a single Perfetto-loadable
+    file where a hedged request can be watched racing two shards.
+    Timestamps are already comparable — every process on the host
+    stamps events from the same CLOCK_MONOTONIC. *)
+
+val merge :
+  (string * string) list -> Sb_obs.Json.t * string list
+(** [merge [(label, page_text); ...]] — pids are assigned 1-based in
+    list order, each page prefixed with a [process_name] metadata event
+    carrying its label.  Returns the merged trace and the labels of
+    pages that were skipped because they failed to parse (a worker that
+    died mid-dump is reported, not fatal). *)
+
+val write_file : string -> (string * string) list -> string list
+(** [merge] rendered to a file; returns the skipped labels. *)

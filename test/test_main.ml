@@ -6,4 +6,5 @@ let () =
    @ Test_parallel.suites @ Test_incremental.suites @ Test_optimal.suites
    @ Test_serve.suites @ Test_shard.suites
    @ Test_fault.suites @ Test_obs.suites @ Test_layout.suites
-   @ Test_resilience.suites)
+   @ Test_resilience.suites
+   @ Test_telemetry.suites)

@@ -153,6 +153,23 @@ let test_disabled_span_zero_alloc () =
   check_bool
     (Printf.sprintf "disabled Span.with_ allocated %.0f minor words" words)
     true (words = 0.);
+  (* The trace context is consulted only after the enabled check, so a
+     set context must not make the disabled site allocate either. *)
+  Obs.Trace.set_context (Some "deadbeefdeadbeef");
+  Fun.protect
+    ~finally:(fun () -> Obs.Trace.set_context None)
+    (fun () ->
+      Obs.Span.with_ "warm" nop;
+      let words0 = Gc.minor_words () in
+      for _ = 1 to 10_000 do
+        Obs.Span.with_ "obs.test" nop
+      done;
+      let words = Gc.minor_words () -. words0 in
+      check_bool
+        (Printf.sprintf
+           "disabled Span.with_ with context allocated %.0f minor words"
+           words)
+        true (words = 0.));
   (* and it emits nothing *)
   check_int "no events" 0 (Obs.Trace.emitted ())
 

@@ -36,6 +36,7 @@ let test_reply_roundtrip () =
       gap = None;
       proved = None;
       cached = None;
+      timing = None;
     }
   in
   (match roundtrip_reply (Protocol.Ok_schedule { id = "r1"; result }) with

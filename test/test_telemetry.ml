@@ -1,0 +1,612 @@
+(* The telemetry plane: trace-context propagation and per-request
+   timing on the wire, SLO burn-rate tracking, the fleet trace merger,
+   Promerge edge cases, the sbsched-top compute pipeline, and an
+   in-process end-to-end check that one sampled request yields router
+   and worker spans linked by the same trace id. *)
+
+open Sb_shard
+module Obs = Sb_obs.Obs
+module Json = Sb_obs.Json
+module Slo = Sb_obs.Slo
+module Client = Sb_serve.Client
+module Protocol = Sb_serve.Protocol
+module Server = Sb_serve.Server
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+let tc name f = Alcotest.test_case name `Quick f
+
+let find_sub haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then -1
+    else if String.sub haystack i nn = needle then i
+    else go (i + 1)
+  in
+  go 0
+
+let contains haystack needle = find_sub haystack needle >= 0
+
+(* ------------------------- protocol: timing ------------------------- *)
+
+let test_timing_roundtrip () =
+  let roundtrip t =
+    match Protocol.parse_timing (Protocol.render_timing t) with
+    | Ok t' -> t'
+    | Error m -> Alcotest.failf "parse_timing failed: %s" m
+  in
+  let t =
+    { Protocol.queue_us = 5; sched_us = 1200; bound_us = 0;
+      t_cache = Some `Miss }
+  in
+  let t' = roundtrip t in
+  check_int "queue" 5 t'.Protocol.queue_us;
+  check_int "sched" 1200 t'.Protocol.sched_us;
+  check_int "bound" 0 t'.Protocol.bound_us;
+  check_bool "cache miss" true (t'.Protocol.t_cache = Some `Miss);
+  let hit = roundtrip { t with Protocol.t_cache = Some `Hit } in
+  check_bool "cache hit" true (hit.Protocol.t_cache = Some `Hit);
+  let none = roundtrip { t with Protocol.t_cache = None } in
+  check_bool "no cache field" true (none.Protocol.t_cache = None);
+  check_bool "malformed rejected" true
+    (Result.is_error (Protocol.parse_timing "queue:x,sched:1,bound:2"))
+
+let result ?timing () =
+  {
+    Protocol.heuristic_used = "balance";
+    machine_used = "FS4";
+    wct = 4.5;
+    length = 5;
+    bound = None;
+    degraded = false;
+    elapsed_us = 42;
+    issue = None;
+    gap = None;
+    proved = None;
+    cached = None;
+    timing;
+  }
+
+let test_reply_timing_roundtrip () =
+  let timing =
+    { Protocol.queue_us = 7; sched_us = 900; bound_us = 12;
+      t_cache = Some `Hit }
+  in
+  let line =
+    Protocol.render_reply
+      (Protocol.Ok_schedule { id = "r"; result = result ~timing () })
+  in
+  check_bool "traced reply carries timing=" true (contains line "timing=");
+  (match Protocol.parse_reply line with
+  | Ok (Protocol.Ok_schedule { result = r; _ }) -> (
+      match r.Protocol.timing with
+      | Some t ->
+          check_int "queue" 7 t.Protocol.queue_us;
+          check_int "sched" 900 t.Protocol.sched_us;
+          check_bool "hit" true (t.Protocol.t_cache = Some `Hit)
+      | None -> Alcotest.fail "timing lost in roundtrip")
+  | _ -> Alcotest.fail "reply did not parse");
+  (* Untraced replies keep the pre-timing byte format. *)
+  let bare =
+    Protocol.render_reply
+      (Protocol.Ok_schedule { id = "r"; result = result () })
+  in
+  check_bool "untraced reply has no timing=" false (contains bare "timing=")
+
+let test_trace_request_parsing () =
+  check_bool "hex id ok" true (Protocol.is_hex_id "abc123DEF");
+  check_bool "empty rejected" false (Protocol.is_hex_id "");
+  check_bool "non-hex rejected" false (Protocol.is_hex_id "xyz");
+  check_bool "overlong rejected" false
+    (Protocol.is_hex_id (String.make 65 'a'));
+  let reader = Protocol.Reader.create () in
+  match Protocol.Reader.feed reader "trace-dump t7" with
+  | Some (Protocol.Reader.Request (Protocol.Trace_dump id)) ->
+      check_string "trace-dump id" "t7" id
+  | _ -> Alcotest.fail "trace-dump line did not parse as a request"
+
+let test_ok_trace_roundtrip () =
+  let body = "{\"traceEvents\":[{\"name\":\"a b\",\"x\":\"\\\"q\\\"\"}]}" in
+  match
+    Protocol.parse_reply
+      (Protocol.render_reply (Protocol.Ok_trace { id = "t"; body }))
+  with
+  | Ok (Protocol.Ok_trace { id; body = b }) ->
+      check_string "id" "t" id;
+      check_string "body survives escaping" body b
+  | _ -> Alcotest.fail "ok trace reply did not roundtrip"
+
+(* -------------------------------- slo ------------------------------- *)
+
+let test_slo_parse () =
+  (match Slo.parse "p99_ms:250,err_rate:0.01" with
+  | Ok { Slo.p99_ms = Some 250; err_rate = Some r } ->
+      check_bool "err rate" true (Float.abs (r -. 0.01) < 1e-9)
+  | _ -> Alcotest.fail "full spec did not parse");
+  (match Slo.parse "p99_ms:100" with
+  | Ok { Slo.p99_ms = Some 100; err_rate = None } -> ()
+  | _ -> Alcotest.fail "latency-only spec did not parse");
+  List.iter
+    (fun bad ->
+      check_bool (Printf.sprintf "%S rejected" bad) true
+        (Result.is_error (Slo.parse bad)))
+    [ ""; "p99_ms:0"; "p99_ms:abc"; "err_rate:1.5"; "err_rate:0";
+      "frobs:3"; "p99_ms" ]
+
+let test_slo_burn_rates () =
+  let now = ref 0. in
+  let t =
+    Slo.create ~now:(fun () -> !now)
+      { Slo.p99_ms = Some 100; err_rate = Some 0.01 }
+  in
+  (* 100 requests: 2 over the 100 ms target, 1 failed. *)
+  for i = 1 to 100 do
+    Slo.observe t
+      ~latency_us:(if i <= 2 then 200_000 else 1_000)
+      ~ok:(i > 1)
+  done;
+  let w = Slo.window_5m t in
+  check_int "total" 100 w.Slo.total;
+  check_int "slow" 2 w.Slo.slow;
+  check_int "err" 1 w.Slo.err;
+  let gauge name window =
+    let fams = Slo.families t in
+    match
+      List.find_opt (fun f -> f.Obs.Metrics.family_name = name) fams
+    with
+    | None -> Alcotest.failf "no family %s" name
+    | Some f -> (
+        match
+          List.find_opt
+            (fun s ->
+              List.assoc_opt "window" s.Obs.Metrics.labels = Some window)
+            f.Obs.Metrics.samples
+        with
+        | Some s -> s.Obs.Metrics.value
+        | None -> Alcotest.failf "no %s window in %s" window name)
+  in
+  (* Latency budget is 1% of requests over target: 2% slow burns at 2x.
+     The explicit err budget is 0.01: 1% errors burns at exactly 1x. *)
+  check_bool "latency burn 2x" true
+    (Float.abs (gauge "sbsched_slo_latency_burn_rate" "5m" -. 2.) < 1e-9);
+  check_bool "err burn 1x" true
+    (Float.abs (gauge "sbsched_slo_err_burn_rate" "5m" -. 1.) < 1e-9);
+  (* 400 s later those buckets have left the 5m window but not 1h. *)
+  now := 400.;
+  Slo.observe t ~latency_us:1_000 ~ok:true;
+  let w5 = Slo.window_5m t and w1h = Slo.window_1h t in
+  check_int "5m window rotated" 1 w5.Slo.total;
+  check_int "1h window keeps all" 101 w1h.Slo.total
+
+(* ------------------------------ trmerge ----------------------------- *)
+
+let page_with_event name =
+  Printf.sprintf
+    "{\"traceEvents\":[{\"name\":%S,\"ph\":\"i\",\"ts\":1,\"pid\":1,\"tid\":0}]}"
+    name
+
+let events_of merged =
+  match Json.member "traceEvents" merged with
+  | Some (Json.List evs) -> evs
+  | _ -> Alcotest.fail "merged trace has no traceEvents"
+
+let ev_str k ev =
+  match Json.member k ev with Some (Json.String s) -> Some s | _ -> None
+
+let ev_int k ev =
+  match Json.member k ev with Some (Json.Int n) -> Some n | _ -> None
+
+let test_trmerge_renumbers_and_labels () =
+  let merged, skipped =
+    Trmerge.merge
+      [ ("router", page_with_event "a"); ("shard-0", page_with_event "b") ]
+  in
+  check_int "nothing skipped" 0 (List.length skipped);
+  let evs = events_of merged in
+  check_int "2 events + 2 process_name" 4 (List.length evs);
+  let find name =
+    match
+      List.find_opt (fun e -> ev_str "name" e = Some name) evs
+    with
+    | Some e -> e
+    | None -> Alcotest.failf "no event %S in merge" name
+  in
+  check_bool "a on pid 1" true (ev_int "pid" (find "a") = Some 1);
+  check_bool "b renumbered to pid 2" true (ev_int "pid" (find "b") = Some 2);
+  let names =
+    List.filter_map
+      (fun e ->
+        if ev_str "ph" e = Some "M" && ev_str "name" e = Some "process_name"
+        then
+          match Json.member "args" e with
+          | Some args -> ev_str "name" args
+          | None -> None
+        else None)
+      evs
+  in
+  check_bool "router lane named" true (List.mem "router" names);
+  check_bool "shard lane named" true (List.mem "shard-0" names);
+  (* The merged document itself is strictly parseable. *)
+  check_bool "merged reparses" true
+    (Result.is_ok (Json.parse (Json.to_string merged)))
+
+let test_trmerge_skips_bad_pages () =
+  let merged, skipped =
+    Trmerge.merge
+      [ ("router", page_with_event "a"); ("dead", "not json at all") ]
+  in
+  check_bool "dead page reported" true (skipped = [ "dead" ]);
+  let evs = events_of merged in
+  (* The surviving page keeps its events and its lane name. *)
+  check_int "1 event + 1 process_name" 2 (List.length evs);
+  check_bool "a survives" true
+    (List.exists (fun e -> ev_str "name" e = Some "a") evs)
+
+(* ------------------------- promerge edge cases ---------------------- *)
+
+let test_promerge_conflicting_help () =
+  let p1 = "# HELP c_total first help\n# TYPE c_total counter\nc_total 1\n" in
+  let p2 = "# HELP c_total second help\n# TYPE c_total counter\nc_total 2\n" in
+  let merged = Promerge.merge [ p1; p2 ] in
+  check_bool "first HELP wins" true (contains merged "# HELP c_total first help");
+  check_bool "second HELP dropped" false (contains merged "second help");
+  check_bool "values summed" true (contains merged "c_total 3\n")
+
+let test_promerge_histogram_buckets () =
+  let page b1 binf sum count mx =
+    Printf.sprintf
+      "# TYPE h histogram\n\
+       h_bucket{le=\"2\"} %d\nh_bucket{le=\"+Inf\"} %d\nh_sum %d\nh_count %d\n\
+       # TYPE h_max gauge\nh_max %d\n"
+      b1 binf sum count mx
+  in
+  let merged = Promerge.merge [ page 1 2 30 2 5; page 3 4 70 4 9 ] in
+  check_bool "buckets sum per le" true
+    (contains merged "h_bucket{le=\"2\"} 4\n"
+    && contains merged "h_bucket{le=\"+Inf\"} 6\n");
+  check_bool "sum and count sum" true
+    (contains merged "h_sum 100\n" && contains merged "h_count 6\n");
+  check_bool "_max takes the max" true (contains merged "h_max 9\n")
+
+let test_promerge_empty_pages () =
+  check_string "all-empty merge is empty" "" (Promerge.merge [ ""; "\n\n" ]);
+  let merged = Promerge.merge [ ""; "# TYPE c_total counter\nc_total 2\n" ] in
+  check_bool "empty page is a no-op" true (contains merged "c_total 2\n")
+
+let test_promerge_labeled_gauges () =
+  let router = "# TYPE g gauge\ng 1\n# TYPE c_total counter\nc_total 1\n" in
+  let worker v =
+    Printf.sprintf
+      "# TYPE g gauge\ng %d\n# TYPE c_total counter\nc_total %d\n" v v
+  in
+  let merged =
+    Promerge.merge_labeled
+      [ (None, router); (Some "0", worker 2); (Some "1", worker 3) ]
+  in
+  (* Worker gauges keep per-shard identity; the router's own stays
+     unlabelled; counters still sum into a fleet total. *)
+  check_bool "router gauge unlabelled" true (contains merged "g 1\n");
+  check_bool "shard 0 gauge" true (contains merged "g{shard=\"0\"} 2\n");
+  check_bool "shard 1 gauge" true (contains merged "g{shard=\"1\"} 3\n");
+  check_bool "counters sum" true (contains merged "c_total 6\n");
+  (* A labelled page whose gauge already has labels gets shard spliced in. *)
+  let labelled = "# TYPE q gauge\nq{lane=\"a\"} 7\n" in
+  let merged2 = Promerge.merge_labeled [ (Some "2", labelled) ] in
+  check_bool "shard label splices into existing labels" true
+    (contains merged2 "q{lane=\"a\",shard=\"2\"} 7\n")
+
+let prop_promerge_counter_sums =
+  QCheck.Test.make ~name:"promerge: counters sum across any page count"
+    ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 8) (int_bound 1000))
+    (fun vs ->
+      let page v = Printf.sprintf "# TYPE c_total counter\nc_total %d\n" v in
+      let merged = Promerge.merge (List.map page vs) in
+      contains merged
+        (Printf.sprintf "c_total %d\n" (List.fold_left ( + ) 0 vs)))
+
+(* -------------------------------- top ------------------------------- *)
+
+let test_top_parse_page () =
+  let page =
+    "# HELP m help text\n# TYPE m gauge\n\
+     m{shard=\"0\",path=\"a\\\"b\"} 1.5\nm{shard=\"1\"} 2.5\n\
+     broken{ 3\nplain 4\n"
+  in
+  let samples = Top.parse_page page in
+  check_int "comments and broken lines skipped" 3 (List.length samples);
+  let s0 =
+    List.find (fun s -> List.mem_assoc "path" s.Top.s_labels) samples
+  in
+  check_string "escaped quote in label value" "a\"b"
+    (List.assoc "path" s0.Top.s_labels);
+  let snap = Top.snapshot ~ts:0. ~page in
+  check_bool "value sums shard series" true (Top.value snap "m" = Some 4.);
+  check_bool "label filter" true
+    (Top.value ~labels:[ ("shard", "1") ] snap "m" = Some 2.5);
+  check_bool "by_shard sorts numerically" true
+    (Top.by_shard snap "m" = [ ("0", 1.5); ("1", 2.5) ])
+
+let test_top_rate_and_percentiles () =
+  let prev =
+    Top.snapshot ~ts:10. ~page:"c_total 10\nh_bucket{le=\"2\"} 0\nh_bucket{le=\"4\"} 0\nh_bucket{le=\"+Inf\"} 0\n"
+  in
+  let cur =
+    Top.snapshot ~ts:12.
+      ~page:"c_total 30\nh_bucket{le=\"2\"} 50\nh_bucket{le=\"4\"} 90\nh_bucket{le=\"+Inf\"} 100\n"
+  in
+  check_bool "rate is delta/dt" true
+    (Top.rate ~prev ~cur "c_total" = Some 10.);
+  check_bool "absent metric has no rate" true
+    (Top.rate ~prev ~cur "nope_total" = None);
+  check_bool "p50 in first bucket" true
+    (Top.percentile_delta ~prev ~cur ~name:"h" 0.50 = Some 2.);
+  check_bool "p90 in second bucket" true
+    (Top.percentile_delta ~prev ~cur ~name:"h" 0.90 = Some 4.);
+  check_bool "p99 overflows to +Inf" true
+    (Top.percentile_delta ~prev ~cur ~name:"h" 0.99 = Some infinity);
+  (* No events in the window: percentile is undefined, not zero. *)
+  check_bool "empty window" true
+    (Top.percentile_delta ~prev:cur ~cur ~name:"h" 0.5 = None)
+
+let test_top_render () =
+  let page d =
+    Printf.sprintf
+      "sbsched_serve_served_total %d\n\
+       sbsched_serve_latency_us_bucket{le=\"128\"} %d\n\
+       sbsched_serve_latency_us_bucket{le=\"+Inf\"} %d\n\
+       sbsched_shard_health{shard=\"0\"} 2\n\
+       sbsched_shard_health{shard=\"1\"} 0\n\
+       sbsched_router_shard_connected{shard=\"0\"} 1\n\
+       sbsched_slo_requests{window=\"5m\"} %d\n\
+       sbsched_slo_latency_burn_rate{window=\"5m\"} 0.5\n"
+      (100 + d) (80 + d) (100 + d) (100 + d)
+  in
+  let prev = Top.snapshot ~ts:0. ~page:(page 0) in
+  let cur = Top.snapshot ~ts:10. ~page:(page 100) in
+  let first = Top.render ~target:"t" ~frame:1 prev in
+  check_bool "first frame dashes rates" true (contains first "rps -");
+  let frame = Top.render ~prev ~target:"t" ~frame:2 cur in
+  check_bool "rps from counter delta" true (contains frame "rps 10.0");
+  check_bool "shard 0 healthy" true (contains frame "healthy");
+  check_bool "shard 1 open" true (contains frame "open");
+  check_bool "slo section present" true (contains frame "latency-burn");
+  check_bool "burn value shown" true (contains frame "0.50")
+
+(* --------------------------- fleet e2e ------------------------------ *)
+
+(* In-process copies of the shard-test glue (cache-enabled worker, TCP
+   listener on an ephemeral port). *)
+let cache_hook () =
+  let cache = Cache.create ~capacity:256 () in
+  {
+    Server.cached_compute =
+      (fun ~key ~compute ->
+        let v, o = Cache.find_or_compute cache ~key ~compute in
+        ( v,
+          match o with
+          | Cache.Hit -> Server.Cache_hit
+          | Cache.Miss -> Server.Cache_miss
+          | Cache.Waited -> Server.Cache_waited ));
+  }
+
+let start_shard_server () =
+  let config =
+    { Server.default_config with cache = Some (cache_hook ()) }
+  in
+  let server = Server.create ~config () in
+  let port = Atomic.make 0 in
+  let listener =
+    Thread.create
+      (fun () ->
+        Server.listen_tcp server ~host:"127.0.0.1" ~port:0
+          ~on_listen:(Atomic.set port))
+      ()
+  in
+  let deadline = Unix.gettimeofday () +. 5. in
+  while Atomic.get port = 0 && Unix.gettimeofday () < deadline do
+    Thread.delay 0.01
+  done;
+  check_bool "shard server bound" true (Atomic.get port <> 0);
+  (server, listener, Atomic.get port)
+
+let stop_server (server, listener, _port) =
+  Server.begin_drain server;
+  Server.await server;
+  Thread.join listener
+
+let with_tracer f =
+  Obs.Trace.start ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Trace.stop ();
+      Obs.Trace.reset ())
+    f
+
+let sched_result = function
+  | Ok (Protocol.Ok_schedule { result; _ }) -> result
+  | Ok r -> Alcotest.failf "unexpected reply: %s" (Protocol.render_reply r)
+  | Error m -> Alcotest.failf "request failed: %s" m
+
+(* One sampled request through a 2-shard fleet: the router mints the
+   trace id (sample rate 1.0), the worker tags its serving spans with
+   it and reports the timing breakdown, and the router's trace-dump
+   fans out and merges everything into one Perfetto document where
+   router and worker spans share the id.  Workers here are in-process,
+   so all pages snapshot the same rings — the linkage assertions (same
+   id across router.route and serve.* spans, named lanes per page) are
+   exactly what a multi-process fleet needs to hold. *)
+let test_fleet_trace_linkage () =
+  with_tracer @@ fun () ->
+  let shard0 = start_shard_server () in
+  let shard1 = start_shard_server () in
+  let _, _, port0 = shard0 and _, _, port1 = shard1 in
+  let targets =
+    [| Client.Tcp ("127.0.0.1", port0); Client.Tcp ("127.0.0.1", port1) |]
+  in
+  let slo = Slo.create { Slo.p99_ms = Some 1000; err_rate = Some 0.01 } in
+  let config =
+    {
+      Router.default_config with
+      Router.shards = targets;
+      inflight_limit = 16;
+      read_timeout_s = Some 10.;
+      hedge = { Router.default_config.Router.hedge with enabled = false };
+      trace_sample = 1.0;
+      slo = Some slo;
+    }
+  in
+  let router = Router.create ~config () in
+  let rport = Atomic.make 0 in
+  let rlistener =
+    Thread.create
+      (fun () ->
+        Router.listen_tcp router ~host:"127.0.0.1" ~port:0
+          ~on_listen:(Atomic.set rport))
+      ()
+  in
+  let deadline = Unix.gettimeofday () +. 5. in
+  while Atomic.get rport = 0 && Unix.gettimeofday () < deadline do
+    Thread.delay 0.01
+  done;
+  let rport = Atomic.get rport in
+  check_bool "router bound" true (rport <> 0);
+  let sb =
+    List.hd
+      (Sb_workload.Corpus.program ~count:1 "gcc").Sb_workload.Corpus
+        .superblocks
+  in
+  let c = Client.connect ~path:(Printf.sprintf "127.0.0.1:%d" rport) () in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  (* The client sends no trace id; sampling at 1.0 mints one, so the
+     reply grows the timing breakdown. *)
+  let first = sched_result (Client.schedule c ~id:"t1" sb) in
+  (match first.Protocol.timing with
+  | None -> Alcotest.fail "sampled request has no timing breakdown"
+  | Some t ->
+      check_bool "first compute is a cache miss" true
+        (t.Protocol.t_cache = Some `Miss);
+      check_bool "sched time was measured" true (t.Protocol.sched_us > 0));
+  let again = sched_result (Client.schedule c ~id:"t2" sb) in
+  (match again.Protocol.timing with
+  | None -> Alcotest.fail "second request has no timing breakdown"
+  | Some t ->
+      check_bool "repeat is a cache hit" true (t.Protocol.t_cache = Some `Hit);
+      check_int "a hit schedules nothing" 0 t.Protocol.sched_us);
+  (* The merged metrics page carries the SLO gauges and shard-labelled
+     worker gauges. *)
+  Client.send_metrics c ~id:"m";
+  (match Client.read_reply c with
+  | Ok (Protocol.Ok_metrics { body; _ }) ->
+      check_bool "slo gauges exported" true
+        (contains body "sbsched_slo_requests");
+      check_bool "worker gauges keep shard identity" true
+        (contains body "sbsched_serve_queue_depth{shard=\"0\"}")
+  | _ -> Alcotest.fail "metrics through the router failed");
+  (* Fleet trace: every page answers, lanes are named, and the router's
+     route span shares its trace id with the worker's serving spans. *)
+  Client.send_trace_dump c ~id:"td";
+  let body =
+    match Client.read_reply c with
+    | Ok (Protocol.Ok_trace { body; _ }) -> body
+    | Ok r -> Alcotest.failf "unexpected reply: %s" (Protocol.render_reply r)
+    | Error m -> Alcotest.failf "trace-dump failed: %s" m
+  in
+  let evs =
+    match Json.parse body with
+    | Error m -> Alcotest.failf "trace body is not strict JSON: %s" m
+    | Ok doc -> events_of doc
+  in
+  let lane_names =
+    List.filter_map
+      (fun e ->
+        if ev_str "ph" e = Some "M" && ev_str "name" e = Some "process_name"
+        then Option.bind (Json.member "args" e) (ev_str "name")
+        else None)
+      evs
+  in
+  check_bool "router lane named" true (List.mem "router" lane_names);
+  check_bool "both shard lanes named" true
+    (List.mem "shard-0" lane_names && List.mem "shard-1" lane_names);
+  let trace_of e =
+    Option.bind (Json.member "args" e) (ev_str "trace")
+  in
+  let route_trace =
+    match
+      List.find_opt (fun e -> ev_str "name" e = Some "router.route") evs
+    with
+    | None -> Alcotest.fail "no router.route span in the fleet trace"
+    | Some e -> (
+        match trace_of e with
+        | Some t ->
+            check_bool "route span id is hex" true (Protocol.is_hex_id t);
+            t
+        | None -> Alcotest.fail "router.route span carries no trace id")
+  in
+  let worker_linked name =
+    List.exists
+      (fun e -> ev_str "name" e = Some name && trace_of e = Some route_trace)
+      evs
+  in
+  check_bool "worker sched span shares the trace id" true
+    (worker_linked "serve.sched");
+  check_bool "worker queue span shares the trace id" true
+    (worker_linked "serve.queue_wait");
+  let attempt_linked =
+    List.exists
+      (fun e ->
+        ev_str "name" e = Some "router.attempt"
+        && trace_of e = Some route_trace)
+      evs
+  in
+  check_bool "router attempt span shares the trace id" true attempt_linked;
+  (* The SLO tracker saw the forwards. *)
+  check_int "slo observed both requests" 2 (Slo.window_5m slo).Slo.total;
+  Router.begin_drain router;
+  Router.await router;
+  Thread.join rlistener;
+  stop_server shard0;
+  stop_server shard1
+
+let suites =
+  [
+    ( "telemetry.protocol",
+      [
+        tc "timing field roundtrip" test_timing_roundtrip;
+        tc "reply timing roundtrip, untraced bytes unchanged"
+          test_reply_timing_roundtrip;
+        tc "trace ids and trace-dump requests parse"
+          test_trace_request_parsing;
+        tc "ok trace reply escapes its body" test_ok_trace_roundtrip;
+      ] );
+    ( "telemetry.slo",
+      [
+        tc "spec parsing" test_slo_parse;
+        tc "burn rates over rotating windows" test_slo_burn_rates;
+      ] );
+    ( "telemetry.trmerge",
+      [
+        tc "renumbers pids and names lanes" test_trmerge_renumbers_and_labels;
+        tc "skips unparseable pages" test_trmerge_skips_bad_pages;
+      ] );
+    ( "telemetry.promerge",
+      [
+        tc "conflicting HELP: first wins" test_promerge_conflicting_help;
+        tc "histogram buckets merge per le" test_promerge_histogram_buckets;
+        tc "empty pages are no-ops" test_promerge_empty_pages;
+        tc "labeled merge splits gauges, sums counters"
+          test_promerge_labeled_gauges;
+      ]
+      @ List.map QCheck_alcotest.to_alcotest [ prop_promerge_counter_sums ] );
+    ( "telemetry.top",
+      [
+        tc "page parsing and label lookups" test_top_parse_page;
+        tc "rates and histogram-delta percentiles"
+          test_top_rate_and_percentiles;
+        tc "frame rendering" test_top_render;
+      ] );
+    ( "telemetry.e2e",
+      [ tc "sampled request links router and worker spans"
+          test_fleet_trace_linkage ] );
+  ]
